@@ -1,0 +1,110 @@
+// Shared configuration for the figure/table reproduction harnesses.
+//
+// The paper's prototype trains multinomial LR on MNIST (60k images) across
+// 20 Raspberry Pis.  The harnesses run the same system on the synthetic
+// digit substitute at a laptop-friendly scale (250 samples per server
+// instead of 3000) — every qualitative claim is scale-free, and each bench
+// prints both the bench-scale numbers and, where applicable, the
+// paper-scale theory values.  Scale can be overridden from the command
+// line: `bench_fig5 samples=3000 target=0.92`.
+#pragma once
+
+#include <algorithm>
+#include <cstdio>
+#include <optional>
+#include <string>
+#include <thread>
+
+#include "common/config.h"
+#include "sim/fei_system.h"
+
+namespace eefei::bench {
+
+struct BenchScale {
+  std::size_t num_servers = 20;
+  std::size_t samples_per_server = 250;
+  std::size_t test_samples = 1000;
+  double learning_rate = 0.02;
+  double decay = 0.998;
+  double target_accuracy = 0.92;  // the paper's Figs. 5/6 accuracy level
+  std::size_t threads = 0;        // 0 = hardware concurrency
+  std::uint64_t seed = 3;
+};
+
+inline BenchScale scale_from_args(int argc, char** argv) {
+  BenchScale s;
+  const auto cfg = Config::from_args(argc, argv);
+  if (!cfg.ok()) {
+    std::fprintf(stderr, "warning: %s (using defaults)\n",
+                 cfg.error().message.c_str());
+    return s;
+  }
+  s.num_servers = static_cast<std::size_t>(
+      cfg->get_int_or("servers", static_cast<long>(s.num_servers)));
+  s.samples_per_server = static_cast<std::size_t>(cfg->get_int_or(
+      "samples", static_cast<long>(s.samples_per_server)));
+  s.test_samples = static_cast<std::size_t>(
+      cfg->get_int_or("test", static_cast<long>(s.test_samples)));
+  s.learning_rate = cfg->get_double_or("lr", s.learning_rate);
+  s.decay = cfg->get_double_or("decay", s.decay);
+  s.target_accuracy = cfg->get_double_or("target", s.target_accuracy);
+  s.threads =
+      static_cast<std::size_t>(cfg->get_int_or("threads", 0));
+  s.seed = static_cast<std::uint64_t>(
+      cfg->get_int_or("seed", static_cast<long>(s.seed)));
+  return s;
+}
+
+inline sim::FeiSystemConfig system_config(const BenchScale& s) {
+  auto cfg = sim::prototype_config();
+  cfg.num_servers = s.num_servers;
+  cfg.samples_per_server = s.samples_per_server;
+  cfg.test_samples = s.test_samples;
+  cfg.sgd.learning_rate = s.learning_rate;
+  cfg.sgd.decay = s.decay;
+  cfg.fl.threads = s.threads == 0
+                       ? std::max(1u, std::thread::hardware_concurrency())
+                       : s.threads;
+  cfg.seed = s.seed;
+  return cfg;
+}
+
+struct TargetRun {
+  bool reached = false;
+  std::size_t rounds = 0;          // T actually needed
+  double final_accuracy = 0.0;
+  double modeled_energy_j = 0.0;   // e^I + e^P + e^U (what Eq. 12 models)
+  double total_energy_j = 0.0;     // + waiting/download overheads
+  Seconds wall{0.0};
+};
+
+/// Trains to the scale's accuracy target with the given (K, E); returns the
+/// energy a bank of power meters would report.
+inline std::optional<TargetRun> run_to_target(const BenchScale& s,
+                                              std::size_t k, std::size_t e,
+                                              std::size_t max_rounds,
+                                              std::size_t eval_every = 2) {
+  auto cfg = system_config(s);
+  cfg.fl.clients_per_round = k;
+  cfg.fl.local_epochs = e;
+  cfg.fl.max_rounds = max_rounds;
+  cfg.fl.target_accuracy = s.target_accuracy;
+  cfg.fl.eval_every = eval_every;
+  sim::FeiSystem system(cfg);
+  const auto r = system.run();
+  if (!r.ok()) {
+    std::fprintf(stderr, "run(K=%zu, E=%zu) failed: %s\n", k, e,
+                 r.error().message.c_str());
+    return std::nullopt;
+  }
+  TargetRun out;
+  out.reached = r->training.reached_target;
+  out.rounds = r->training.rounds_run;
+  out.final_accuracy = r->training.record.last().test_accuracy;
+  out.modeled_energy_j = r->ledger.modeled_total().value();
+  out.total_energy_j = r->ledger.total().value();
+  out.wall = r->wall_clock;
+  return out;
+}
+
+}  // namespace eefei::bench

@@ -1,0 +1,93 @@
+// Reproduces the paper's Fig. 3: the power-consumption trace of one edge
+// server across two rounds of global model coordination, measured at 1 kHz.
+//
+// The paper's four-step pattern — (1) Waiting ≈ 3.6 W, (2) Model
+// Downloading ≈ 4.286 W, (3) Local Model Training ≈ 5.553 W, (4) Local
+// Model Uploading ≈ 5.015 W — must appear in the captured trace, and the
+// per-step mean powers measured from the trace must recover the profile.
+// The full 1 kHz trace is written to fig3_power_trace.csv for plotting.
+#include <cstdio>
+#include <fstream>
+
+#include "bench_common.h"
+#include "common/table.h"
+#include "energy/meter.h"
+#include "energy/trace_analysis.h"
+
+using namespace eefei;
+
+int main(int argc, char** argv) {
+  auto scale = bench::scale_from_args(argc, argv);
+  auto cfg = bench::system_config(scale);
+  // The paper's prototype setting: all 20 servers, E = 40, n_k = 3000,
+  // two rounds.  Learning itself is irrelevant to the trace, so the images
+  // are kept tiny (8×8) while the *timing model* still sees n_k = 3000.
+  cfg.samples_per_server = 3000;
+  cfg.data.image_side = 8;
+  cfg.model.input_dim = 64;
+  cfg.test_samples = 50;
+  cfg.fl.clients_per_round = cfg.num_servers;
+  cfg.fl.local_epochs = 40;
+  cfg.fl.max_rounds = 2;
+
+  sim::FeiSystem system(cfg);
+  const auto run = system.run();
+  if (!run.ok()) {
+    std::fprintf(stderr, "simulation failed: %s\n",
+                 run.error().message.c_str());
+    return 1;
+  }
+
+  const auto& timeline = run->timelines[0];  // server 0, like the paper
+  energy::MeterConfig mcfg;
+  mcfg.sample_rate_hz = 1000.0;         // the prototype's POWER-Z rate
+  mcfg.noise_stddev_watts = 0.05;       // bench-top measurement noise
+  energy::PowerMeter meter(mcfg);
+  const auto trace = meter.capture(timeline);
+
+  std::printf("=== Fig. 3: power trace of edge server 0, two rounds ===\n");
+  std::printf("trace: %zu samples at %.0f Hz over %.3f s\n\n", trace.size(),
+              trace.sample_rate_hz(), timeline.total_duration().value());
+
+  AsciiTable steps({"step", "state", "start_s", "duration_s",
+                    "trace_mean_W", "profile_W"});
+  std::size_t idx = 0;
+  for (const auto& interval : timeline.intervals()) {
+    const Watts mean = trace.mean_power(interval.start, interval.end());
+    steps.add_row({std::to_string(idx++),
+                   energy::to_string(interval.state),
+                   format_double(interval.start.value(), 5),
+                   format_double(interval.duration.value(), 5),
+                   format_double(mean.value(), 4),
+                   format_double(
+                       timeline.profile().power(interval.state).value(), 4)});
+  }
+  std::printf("%s\n", steps.render().c_str());
+
+  std::printf("paper's measured step means: waiting 3.6 W, download 4.286 W, "
+              "training 5.553 W, upload 5.015 W\n");
+  std::printf("trace-integrated energy: %.3f J (exact integral %.3f J)\n",
+              trace.energy().value(), timeline.total_energy().value());
+
+  // The §VI-B measurement methodology, applied blind to the raw trace:
+  // segment by power level and recover the step structure without ever
+  // looking at the simulator's ground-truth timeline.
+  std::printf("\n--- automatic segmentation of the raw trace (SVI-B "
+              "pipeline) ---\n");
+  const auto segments = energy::segment_trace(trace, timeline.profile());
+  if (segments.ok()) {
+    std::printf("%s\n", energy::render_segments(segments.value()).c_str());
+    const auto stats = energy::summarize_segments(segments.value());
+    for (const auto& s : stats) {
+      if (s.occurrences == 0) continue;
+      std::printf("  %s: %zu segment(s), %.3f s total, mean %.3f W\n",
+                  energy::to_string(s.state), s.occurrences,
+                  s.total_time.value(), s.mean_power.value());
+    }
+  }
+
+  std::ofstream csv("fig3_power_trace.csv");
+  csv << trace.to_csv();
+  std::printf("wrote fig3_power_trace.csv (%zu rows)\n", trace.size());
+  return 0;
+}

@@ -1,0 +1,156 @@
+// Google-benchmark microbenchmarks of the performance-critical kernels:
+// the LR forward/backward pass, FedAvg aggregation, model serialization,
+// synthetic-digit rendering, the event queue and the power meter.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "common/rng.h"
+#include "data/synth_digits.h"
+#include "energy/meter.h"
+#include "fl/aggregator.h"
+#include "ml/logistic_regression.h"
+#include "ml/serialize.h"
+#include "core/acs.h"
+#include "sim/event_queue.h"
+
+using namespace eefei;
+
+namespace {
+
+data::Dataset make_batch(std::size_t n, std::size_t side) {
+  data::SynthDigitsConfig cfg;
+  cfg.image_side = side;
+  cfg.seed = 9;
+  data::SynthDigits gen(cfg);
+  return gen.generate(n);
+}
+
+void BM_LrLossAndGradient(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const data::Dataset ds = make_batch(n, 28);
+  ml::LogisticRegressionConfig cfg;
+  ml::LogisticRegression model(cfg);
+  std::vector<double> grad(model.parameter_count());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.loss_and_gradient(ds.view(), grad));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_LrLossAndGradient)->Arg(100)->Arg(500)->Arg(3000);
+
+void BM_LrEvaluate(benchmark::State& state) {
+  const data::Dataset ds = make_batch(1000, 28);
+  ml::LogisticRegression model(ml::LogisticRegressionConfig{});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.evaluate(ds.view()));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          1000);
+}
+BENCHMARK(BM_LrEvaluate);
+
+void BM_FedAvgAggregate(benchmark::State& state) {
+  const auto k = static_cast<std::size_t>(state.range(0));
+  Rng rng(4);
+  std::vector<fl::LocalTrainResult> updates(k);
+  for (auto& u : updates) {
+    u.params.resize(7850);
+    for (auto& p : u.params) p = rng.normal();
+    u.samples_used = 3000;
+  }
+  std::vector<double> global;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        fl::aggregate(updates, fl::AggregationRule::kUniformMean, global)
+            .ok());
+  }
+}
+BENCHMARK(BM_FedAvgAggregate)->Arg(1)->Arg(10)->Arg(20);
+
+void BM_SerializeModel(benchmark::State& state) {
+  Rng rng(5);
+  std::vector<double> params(7850);
+  for (auto& p : params) p = rng.normal();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ml::serialize_parameters(params));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(ml::wire_size(7850)));
+}
+BENCHMARK(BM_SerializeModel);
+
+void BM_DeserializeModel(benchmark::State& state) {
+  Rng rng(6);
+  std::vector<double> params(7850);
+  for (auto& p : params) p = rng.normal();
+  const auto blob = ml::serialize_parameters(params);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ml::deserialize_parameters(blob.bytes));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(blob.bytes.size()));
+}
+BENCHMARK(BM_DeserializeModel);
+
+void BM_SynthDigitRender(benchmark::State& state) {
+  data::SynthDigitsConfig cfg;
+  data::SynthDigits gen(cfg);
+  std::vector<double> img(cfg.feature_dim());
+  int label = 0;
+  for (auto _ : state) {
+    gen.render(label, img);
+    label = (label + 1) % 10;
+    benchmark::DoNotOptimize(img.data());
+  }
+}
+BENCHMARK(BM_SynthDigitRender);
+
+void BM_EventQueueThroughput(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::EventQueue q;
+    int fired = 0;
+    for (int i = 0; i < 1000; ++i) {
+      q.schedule_at(Seconds{static_cast<double>((i * 37) % 1000)},
+                    [&fired] { ++fired; });
+    }
+    q.run();
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          1000);
+}
+BENCHMARK(BM_EventQueueThroughput);
+
+void BM_PowerMeterCapture(benchmark::State& state) {
+  energy::PowerStateTimeline tl;
+  for (int round = 0; round < 10; ++round) {
+    tl.push(energy::EdgeState::kWaiting, Seconds{0.2});
+    tl.push(energy::EdgeState::kDownloading, Seconds{0.1});
+    tl.push(energy::EdgeState::kTraining, Seconds{1.7});
+    tl.push(energy::EdgeState::kUploading, Seconds{0.1});
+  }
+  energy::PowerMeter meter{energy::MeterConfig{}};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(meter.capture(tl).energy());
+  }
+}
+BENCHMARK(BM_PowerMeterCapture);
+
+void BM_AcsSolve(benchmark::State& state) {
+  // How cheap is Algorithm 1?  (The paper runs it on the coordinator.)
+  const core::ConvergenceBound bound(energy::paper_reference_constants(),
+                                     0.05);
+  const core::EnergyObjective obj(bound, 7.79e-5 * 3000 + 3.34e-3, 0.381,
+                                  20);
+  const core::AcsSolver solver;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solver.solve(obj).ok());
+  }
+}
+BENCHMARK(BM_AcsSolve);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,106 @@
+// Reproduces the paper's Table I ("time duration of step (3) under
+// different training parameters") and the §VI-B least-squares calibration
+// of c0 and c1.
+//
+// The paper measured these durations with a 1 kHz USB power meter on a
+// Raspberry Pi 4B; here the edge-server simulation plays the Pi (see
+// DESIGN.md).  Three sections:
+//   1. the simulated Table I next to the paper's published values,
+//   2. the least-squares fit (c0, c1) from the simulated measurements,
+//   3. the same fit on the paper's published rows — recovering the paper's
+//      own c0 = 7.79e-5, c1 = 3.34e-3.
+#include <cstdio>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/table.h"
+#include "energy/calibration.h"
+#include "energy/power_model.h"
+#include "energy/trace_analysis.h"
+
+using namespace eefei;
+
+namespace {
+
+struct PaperRow {
+  std::size_t e;
+  std::size_t n;
+  double seconds;
+};
+
+// Table I, verbatim.
+const std::vector<PaperRow>& paper_rows() {
+  static const std::vector<PaperRow> rows = {
+      {10, 100, 0.0197},  {10, 500, 0.0749},  {10, 1000, 0.1471},
+      {10, 2000, 0.2855}, {20, 100, 0.0403},  {20, 500, 0.1508},
+      {20, 1000, 0.2912}, {20, 2000, 0.5721}, {40, 100, 0.0799},
+      {40, 500, 0.3026},  {40, 1000, 0.5554}, {40, 2000, 1.1451},
+  };
+  return rows;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Table I: time duration of step (3) ===\n");
+  std::printf("(simulated edge server vs the paper's measured rows)\n\n");
+
+  const energy::TrainingTimeModel timing;  // the calibrated Pi model
+  Rng rng(99);
+  const double jitter = 0.01;  // 1%% measurement noise, like the prototype
+
+  AsciiTable table({"E", "n_k", "simulated_s", "paper_s", "diff_%"});
+  std::vector<energy::TimingObservation> simulated;
+  for (const auto& row : paper_rows()) {
+    const double sim_s =
+        timing.duration(row.e, row.n).value() * (1.0 + rng.normal(0, jitter));
+    simulated.push_back({row.e, row.n, Seconds{sim_s}});
+    table.add_row({static_cast<double>(row.e), static_cast<double>(row.n),
+                   sim_s, row.seconds,
+                   100.0 * (sim_s - row.seconds) / row.seconds});
+  }
+  std::printf("%s\n", table.render().c_str());
+
+  const Watts p_train =
+      energy::DevicePowerProfile::raspberry_pi_4b().power(
+          energy::EdgeState::kTraining);
+
+  std::printf("=== Least-squares fit on the simulated measurements ===\n");
+  const auto sim_fit = energy::fit_training_time(simulated, p_train);
+  if (sim_fit.ok()) {
+    std::printf("c0 = %.4g J/(sample*epoch)   c1 = %.4g J/epoch   R^2 = %.6f\n\n",
+                sim_fit->energy.c0, sim_fit->energy.c1, sim_fit->r_squared);
+  }
+
+  std::printf("=== Full meter pipeline: 1 kHz traces -> segmentation -> "
+              "fit ===\n");
+  std::vector<std::pair<std::size_t, std::size_t>> grid;
+  for (const auto& row : paper_rows()) grid.emplace_back(row.e, row.n);
+  energy::MeterConfig mcfg;
+  mcfg.noise_stddev_watts = 0.05;
+  mcfg.seed = 77;
+  const auto pipeline = energy::calibrate_from_traces(
+      grid, timing, energy::DevicePowerProfile{}, mcfg);
+  if (pipeline.ok()) {
+    std::printf("c0 = %.4g J/(sample*epoch)   c1 = %.4g J/epoch   "
+                "R^2 = %.6f  (from %zu segmented traces)\n\n",
+                pipeline->fit.energy.c0, pipeline->fit.energy.c1,
+                pipeline->fit.r_squared, pipeline->observations.size());
+  } else {
+    std::printf("pipeline failed: %s\n\n", pipeline.error().message.c_str());
+  }
+
+  std::printf("=== Least-squares fit on the paper's published rows ===\n");
+  std::vector<energy::TimingObservation> published;
+  for (const auto& row : paper_rows()) {
+    published.push_back({row.e, row.n, Seconds{row.seconds}});
+  }
+  const auto paper_fit = energy::fit_training_time(published, p_train);
+  if (paper_fit.ok()) {
+    std::printf("c0 = %.4g J/(sample*epoch)   c1 = %.4g J/epoch   R^2 = %.6f\n",
+                paper_fit->energy.c0, paper_fit->energy.c1,
+                paper_fit->r_squared);
+    std::printf("paper reports: c0 = 7.79e-05, c1 = 3.34e-03\n");
+  }
+  return 0;
+}

@@ -1,0 +1,126 @@
+// Trace analyzer CLI — the §VI-B measurement pipeline as a standalone tool.
+//
+// Feed it a power-trace CSV (`time_s,power_w`, the format bench_fig3
+// exports and USB meters like the prototype's POWER-Z can produce) and it
+// segments the trace into the four FEI steps, reports per-step means and
+// durations, and — given the run's (E, n_k) — re-fits the training-energy
+// coefficients.
+//
+// Usage:
+//   ./examples/analyze_trace file=fig3_power_trace.csv e=40 n=3000
+//   ./examples/analyze_trace                 # self-demo on a synthetic trace
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/config.h"
+#include "energy/trace_analysis.h"
+
+using namespace eefei;
+
+namespace {
+
+// Demo trace: two noisy rounds, like a short Fig. 3 capture.
+energy::PowerTrace demo_trace() {
+  energy::PowerStateTimeline tl;
+  const energy::TrainingTimeModel timing;
+  for (int round = 0; round < 2; ++round) {
+    tl.push(energy::EdgeState::kWaiting, Seconds{0.25});
+    tl.push(energy::EdgeState::kDownloading, Seconds{0.08});
+    tl.push(energy::EdgeState::kTraining, timing.duration(40, 3000));
+    tl.push(energy::EdgeState::kUploading, Seconds{0.08});
+  }
+  tl.push(energy::EdgeState::kWaiting, Seconds{0.2});
+  energy::MeterConfig mcfg;
+  mcfg.noise_stddev_watts = 0.05;
+  mcfg.seed = 2024;
+  energy::PowerMeter meter(mcfg);
+  return meter.capture(tl);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto args = Config::from_args(argc, argv);
+  const std::string file =
+      args.ok() ? args->get_string_or("file", "") : std::string();
+  const auto epochs =
+      static_cast<std::size_t>(args.ok() ? args->get_int_or("e", 40) : 40);
+  const auto samples =
+      static_cast<std::size_t>(args.ok() ? args->get_int_or("n", 3000)
+                                         : 3000);
+
+  energy::PowerTrace trace;
+  if (file.empty()) {
+    std::printf("no file= given: analyzing a built-in synthetic trace "
+                "(2 rounds, E=40, n=3000)\n\n");
+    trace = demo_trace();
+  } else {
+    std::ifstream in(file);
+    if (!in) {
+      std::fprintf(stderr, "cannot open '%s'\n", file.c_str());
+      return 1;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    const auto imported = energy::trace_from_csv(buffer.str());
+    if (!imported.ok()) {
+      std::fprintf(stderr, "parse failed: %s\n",
+                   imported.error().message.c_str());
+      return 1;
+    }
+    trace = imported.value();
+  }
+
+  std::printf("trace: %zu samples at %.0f Hz, %.3f s, %.3f J integrated\n\n",
+              trace.size(), trace.sample_rate_hz(),
+              static_cast<double>(trace.size()) / trace.sample_rate_hz(),
+              trace.energy().value());
+
+  const energy::DevicePowerProfile profile;  // RPi-4B reference levels
+  const auto segments = energy::segment_trace(trace, profile);
+  if (!segments.ok()) {
+    std::fprintf(stderr, "segmentation failed: %s\n",
+                 segments.error().message.c_str());
+    return 1;
+  }
+  std::printf("-- segments --\n%s\n",
+              energy::render_segments(segments.value()).c_str());
+
+  std::printf("-- per-step summary (paper Fig. 3 reads these means) --\n");
+  for (const auto& s : energy::summarize_segments(segments.value())) {
+    if (s.occurrences == 0) continue;
+    std::printf("  %-12s %zux  %.3f s  mean %.3f W  (profile %.3f W)\n",
+                energy::to_string(s.state), s.occurrences,
+                s.total_time.value(), s.mean_power.value(),
+                profile.power(s.state).value());
+  }
+
+  const auto observations =
+      energy::training_durations(segments.value(), epochs, samples);
+  std::printf("\n-- training-step observations at E=%zu, n=%zu --\n", epochs,
+              samples);
+  for (const auto& obs : observations) {
+    const double c0_implied =
+        profile.power(energy::EdgeState::kTraining).value() *
+        obs.duration.value() /
+        (static_cast<double>(epochs) * static_cast<double>(samples));
+    std::printf("  duration %.4f s  ->  implied c0 ~ %.3g J/(sample*epoch)\n",
+                obs.duration.value(), c0_implied);
+  }
+  if (observations.size() >= 2) {
+    const auto fit = energy::fit_training_time(
+        observations, profile.power(energy::EdgeState::kTraining));
+    if (fit.ok()) {
+      std::printf("\nleast-squares over the trace's training segments: "
+                  "c0 = %.4g, c1 = %.4g\n",
+                  fit->energy.c0, fit->energy.c1);
+    } else {
+      std::printf("\n(fit needs duration variation across (E, n) runs: %s)\n",
+                  fit.error().message.c_str());
+    }
+  }
+  std::printf("\npaper reference: c0 = 7.79e-05 J/(sample*epoch), "
+              "c1 = 3.34e-03 J/epoch\n");
+  return 0;
+}

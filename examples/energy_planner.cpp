@@ -1,0 +1,141 @@
+// Energy planner CLI: the EE-FEI methodology as a deployment tool.
+//
+//   * calibrate (c0, c1) from a timing table (built-in: the paper's
+//     Table I) — or pass c0=... c1=... directly;
+//   * set the convergence constants (defaults reproduce the paper) or
+//     pass a0=... a1=... a2=...;
+//   * solve with ACS, cross-check with exhaustive grid search, and print
+//     the (K, E) energy landscape around the optimum.
+//
+// Usage examples:
+//   ./examples/energy_planner
+//   ./examples/energy_planner epsilon=0.03 servers=50 samples=1000
+//   ./examples/energy_planner a1=0.2            # non-IID variance
+//   ./examples/energy_planner upload_j=5.0      # slow uplink
+#include <cstdio>
+#include <vector>
+
+#include "common/config.h"
+#include "common/table.h"
+#include "core/grid_search.h"
+#include "core/planner.h"
+#include "core/sensitivity.h"
+#include "energy/calibration.h"
+
+using namespace eefei;
+
+int main(int argc, char** argv) {
+  const auto args_result = Config::from_args(argc, argv);
+  if (!args_result.ok()) {
+    std::fprintf(stderr, "bad arguments: %s\n",
+                 args_result.error().message.c_str());
+    return 1;
+  }
+  const Config& args = args_result.value();
+
+  core::PlannerInputs inputs;
+  inputs.num_servers =
+      static_cast<std::size_t>(args.get_int_or("servers", 20));
+  inputs.samples_per_server =
+      static_cast<std::size_t>(args.get_int_or("samples", 3000));
+  inputs.epsilon = args.get_double_or("epsilon", 0.05);
+  inputs.constants.a0 = args.get_double_or("a0", inputs.constants.a0);
+  inputs.constants.a1 = args.get_double_or("a1", inputs.constants.a1);
+  inputs.constants.a2 = args.get_double_or("a2", inputs.constants.a2);
+  inputs.energy.upload.e_upload =
+      Joules{args.get_double_or("upload_j",
+                                inputs.energy.upload.e_upload.value())};
+  inputs.energy.collection.rho =
+      Joules{args.get_double_or("rho", 0.0)};
+
+  core::EeFeiPlanner planner(inputs);
+
+  // Calibrate c0/c1 from the paper's Table I unless given explicitly.
+  if (args.contains("c0") && args.contains("c1")) {
+    inputs.energy.training.c0 = args.get_double("c0").value();
+    inputs.energy.training.c1 = args.get_double("c1").value();
+    planner = core::EeFeiPlanner(inputs);
+    std::printf("using explicit c0=%.4g, c1=%.4g\n\n",
+                inputs.energy.training.c0, inputs.energy.training.c1);
+  } else {
+    const std::vector<energy::TimingObservation> table1 = {
+        {10, 100, Seconds{0.0197}},  {10, 500, Seconds{0.0749}},
+        {10, 1000, Seconds{0.1471}}, {10, 2000, Seconds{0.2855}},
+        {20, 100, Seconds{0.0403}},  {20, 500, Seconds{0.1508}},
+        {20, 1000, Seconds{0.2912}}, {20, 2000, Seconds{0.5721}},
+        {40, 100, Seconds{0.0799}},  {40, 500, Seconds{0.3026}},
+        {40, 1000, Seconds{0.5554}}, {40, 2000, Seconds{1.1451}},
+    };
+    if (const auto st = planner.calibrate_energy(table1, Watts{5.553});
+        !st.ok()) {
+      std::fprintf(stderr, "calibration failed: %s\n", st.error().message.c_str());
+      return 1;
+    }
+    std::printf("calibrated from Table I: c0=%.4g J/(sample*epoch), "
+                "c1=%.4g J/epoch\n\n",
+                planner.inputs().energy.training.c0,
+                planner.inputs().energy.training.c1);
+  }
+
+  std::printf("problem: N=%zu servers, n_k=%zu samples, epsilon=%.3g, "
+              "A=(%.3g, %.3g, %.3g), B0=%.4g, B1=%.4g\n\n",
+              planner.inputs().num_servers,
+              planner.inputs().samples_per_server, planner.inputs().epsilon,
+              planner.inputs().constants.a0, planner.inputs().constants.a1,
+              planner.inputs().constants.a2, planner.objective().b0(),
+              planner.objective().b1());
+
+  const auto plan = planner.plan(
+      {{"naive K=1,E=1", 1, 1},
+       {"all servers K=N,E=1", planner.inputs().num_servers, 1},
+       {"heavy local K=1,E=40", 1, 40}});
+  if (!plan.ok()) {
+    std::fprintf(stderr, "no feasible plan: %s\n", plan.error().message.c_str());
+    return 1;
+  }
+  std::printf("%s\n", plan->render().c_str());
+
+  const auto exhaustive = planner.plan_exhaustive();
+  if (exhaustive.ok()) {
+    std::printf("exhaustive check: K=%zu E=%zu T=%zu -> %.6g J  (ACS gap "
+                "%.3f%%)\n\n",
+                exhaustive->k, exhaustive->e, exhaustive->t,
+                exhaustive->predicted_energy_j,
+                100.0 * (plan->predicted_energy_j -
+                         exhaustive->predicted_energy_j) /
+                    exhaustive->predicted_energy_j);
+  }
+
+  // The landscape around the optimum.
+  const auto objective = planner.objective();
+  std::vector<std::size_t> ks{1, 2, 5, 10, 20};
+  std::vector<std::size_t> es{1, 5, 10, 20, 40, 80};
+  AsciiTable landscape({"K\\E", "1", "5", "10", "20", "40", "80"});
+  for (const std::size_t k : ks) {
+    std::vector<std::string> row{std::to_string(k)};
+    for (const std::size_t e : es) {
+      const auto t = objective.bound().optimal_rounds_int(
+          static_cast<double>(k), static_cast<double>(e));
+      row.push_back(t.ok()
+                        ? format_double(objective.value_at_rounds(
+                                            static_cast<double>(k),
+                                            static_cast<double>(e),
+                                            static_cast<double>(t.value())),
+                                        5)
+                        : std::string("infeas"));
+    }
+    landscape.add_row(std::move(row));
+  }
+  std::printf("energy landscape (J, bound-implied T):\n%s\n",
+              landscape.render().c_str());
+
+  // How fragile is the plan if the calibration is off?
+  const double step = args.get_double_or("sensitivity", 0.2);
+  const auto sensitivity =
+      core::analyze_sensitivity(planner.inputs(), step);
+  if (sensitivity.ok()) {
+    std::printf("sensitivity to +/-%.0f%% calibration error:\n%s\n",
+                100.0 * step, sensitivity->render().c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,141 @@
+// Green deployment study: what the EE-FEI optimization buys a
+// battery-powered fleet.
+//
+//   1. plan the training with EE-FEI (K*, E*, T*) and with the naive
+//      (K=1, E=1) configuration;
+//   2. translate each plan's per-participation energy into IoT battery
+//      lifetime (how many full training campaigns a fleet survives);
+//   3. run the simulated system with battery-backed devices and watch the
+//      depletion actually happen;
+//   4. show energy-aware client selection spreading the drain.
+//
+// Usage: ./examples/green_deployment [battery_kj=20] [campaigns=40]
+#include <cstdio>
+
+#include "common/config.h"
+#include "common/table.h"
+#include "core/planner.h"
+#include "energy/battery.h"
+#include "fl/selection.h"
+#include "sim/fei_system.h"
+
+using namespace eefei;
+
+int main(int argc, char** argv) {
+  const auto args = Config::from_args(argc, argv);
+  const double battery_kj =
+      args.ok() ? args->get_double_or("battery_kj", 20.0) : 20.0;  // AA pair
+
+  std::printf("== Green deployment: EE-FEI vs naive on a battery budget ==\n\n");
+
+  // --- 1. the two operating points, prototype calibration -----------------
+  core::PlannerInputs inputs;
+  core::EeFeiPlanner planner(inputs);
+  const auto plan = planner.plan();
+  if (!plan.ok()) {
+    std::fprintf(stderr, "planning failed: %s\n", plan.error().message.c_str());
+    return 1;
+  }
+  const auto obj = planner.objective();
+  const auto t_naive = obj.bound().optimal_rounds_int(1.0, 1.0);
+  const double naive_energy =
+      t_naive.ok() ? obj.value_at_rounds(
+                         1.0, 1.0, static_cast<double>(t_naive.value()))
+                   : 0.0;
+  std::printf("EE-FEI plan:  K*=%zu E*=%zu T*=%zu -> %.4g J per campaign\n",
+              plan->k, plan->e, plan->t, plan->predicted_energy_j);
+  std::printf("naive (1,1):  T=%zu -> %.4g J per campaign\n\n",
+              t_naive.ok() ? t_naive.value() : 0, naive_energy);
+
+  // --- 2. translate into edge-battery lifetime ---------------------------
+  // Suppose each edge server runs off a battery of `battery_kj` kJ and a
+  // campaign bills per_server_round energy each time a server is selected.
+  const Joules battery = Joules::from_kilo(battery_kj);
+  AsciiTable life({"operating point", "J_per_participation",
+                   "participations/battery", "campaigns_until_first_death"});
+  struct Point {
+    const char* name;
+    std::size_t k, e, t;
+    double energy;
+  };
+  const std::vector<Point> points = {
+      {"EE-FEI (K*,E*)", plan->k, plan->e, plan->t,
+       plan->predicted_energy_j},
+      {"naive (1,1)", 1, 1, t_naive.ok() ? t_naive.value() : 1,
+       naive_energy},
+  };
+  for (const auto& p : points) {
+    const double per_participation =
+        p.energy / (static_cast<double>(p.k) * static_cast<double>(p.t));
+    const auto est = energy::estimate_lifetime(
+        battery, Joules{per_participation}, inputs.num_servers, p.k, 0);
+    // A campaign selects K servers per round for T rounds.
+    const double campaigns =
+        static_cast<double>(est.rounds_until_first_death) /
+        static_cast<double>(p.t);
+    life.add_row({p.name, format_double(per_participation, 5),
+                  format_double(battery.value() / per_participation, 5),
+                  format_double(campaigns, 4)});
+  }
+  std::printf("%s\n", life.render().c_str());
+
+  // --- 3. watch IoT batteries deplete in the simulator --------------------
+  std::printf("-- simulated battery-backed IoT fleet (collection mode) --\n");
+  auto cfg = sim::prototype_config();
+  cfg.num_servers = 6;
+  cfg.samples_per_server = 150;
+  cfg.test_samples = 200;
+  cfg.data.image_side = 12;
+  cfg.model.input_dim = 144;
+  cfg.sgd.learning_rate = 0.1;
+  cfg.fl.clients_per_round = 3;
+  cfg.fl.local_epochs = 10;
+  cfg.fl.max_rounds = 12;
+  cfg.iot_collection = true;
+  cfg.net.devices_per_edge = 4;
+  cfg.net.device.sample_bytes = Bytes{145.0};
+  // Small batteries so depletion is visible within the demo.
+  cfg.net.device.battery_capacity = Joules{220.0};
+  cfg.seed = 77;
+  sim::FeiSystem system(cfg);
+  const auto run = system.run();
+  if (run.ok()) {
+    std::size_t alive = 0;
+    for (std::size_t e = 0; e < cfg.num_servers; ++e) {
+      alive += system.topology().fleet(e).alive_count();
+    }
+    const std::size_t total = cfg.num_servers * cfg.net.devices_per_edge;
+    std::printf("after %zu rounds: %zu of %zu IoT devices still alive, "
+                "collection energy %.1f J\n\n",
+                run->training.rounds_run, alive, total,
+                run->ledger
+                    .category_total(energy::EnergyCategory::kDataCollection)
+                    .value());
+  }
+
+  // --- 4. energy-aware selection balances the drain ----------------------
+  std::printf("-- energy-aware selection spreads server load --\n");
+  fl::EnergyAwareSelection aware;
+  fl::UniformRandomSelection uniform{Rng(9)};
+  std::vector<double> aware_spent(10, 0.0), uniform_spent(10, 0.0);
+  for (std::size_t round = 0; round < 100; ++round) {
+    for (const auto id : aware.select(10, 3, round)) {
+      aware.debit(id, 1.0);
+      aware_spent[id] += 1.0;
+    }
+    for (const auto id : uniform.select(10, 3, round)) {
+      uniform_spent[id] += 1.0;
+    }
+  }
+  auto spread = [](const std::vector<double>& v) {
+    const auto [mn, mx] = std::minmax_element(v.begin(), v.end());
+    return *mx - *mn;
+  };
+  std::printf("after 100 rounds of K=3: max-min participation spread = %.0f "
+              "(energy-aware) vs %.0f (uniform random)\n",
+              spread(aware_spent), spread(uniform_spent));
+  std::printf("\nEE-FEI's fewer, better-placed joules stretch the same "
+              "battery budget %.1fx further.\n",
+              naive_energy / plan->predicted_energy_j);
+  return 0;
+}

@@ -1,0 +1,111 @@
+// Non-IID study: the full empirical loop behind the paper's §VI-C remark
+// that K* = 1 hinges on the IID data allocation.
+//
+//   1. run the calibration pipeline (train a (K, E) grid to the target,
+//      read off T, fit A0/A1/A2) under IID and Dirichlet(α) partitions;
+//   2. compare the fitted gradient-variance constants — non-IID data shows
+//      up as a larger A1;
+//   3. feed each fitted constant set to the planner and compare K*.
+//
+// Usage: ./examples/noniid_study [alpha=0.3] [target=0.85]
+#include <cstdio>
+
+#include "common/config.h"
+#include "common/table.h"
+#include "sim/calibration_runner.h"
+
+using namespace eefei;
+
+namespace {
+
+sim::CalibrationRunConfig base_config(double target) {
+  sim::CalibrationRunConfig cfg;
+  cfg.base = sim::prototype_config();
+  cfg.base.num_servers = 10;
+  cfg.base.samples_per_server = 200;
+  cfg.base.test_samples = 500;
+  cfg.base.data.image_side = 16;
+  cfg.base.model.input_dim = 256;
+  cfg.base.sgd.learning_rate = 0.05;
+  cfg.base.sgd.decay = 0.997;
+  cfg.base.fl.threads = 4;
+  cfg.base.seed = 23;
+  cfg.target_accuracy = target;
+  cfg.max_rounds = 300;
+  // Every run stops at the same accuracy target, i.e. the same loss gap.
+  cfg.gap_at_target = 0.05;
+  return cfg;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto args = Config::from_args(argc, argv);
+  const double alpha = args.ok() ? args->get_double_or("alpha", 0.3) : 0.3;
+  const double target = args.ok() ? args->get_double_or("target", 0.85) : 0.85;
+
+  std::printf("== Non-IID study: Dirichlet(alpha=%.2f) vs IID, target "
+              "accuracy %.2f ==\n\n", alpha, target);
+
+  const std::vector<std::pair<std::size_t, std::size_t>> grid{
+      {1, 10}, {2, 10}, {5, 10}, {10, 10}, {5, 5}, {5, 30}, {2, 30}};
+
+  std::vector<energy::ConvergenceConstants> fitted;
+  std::vector<core::PlannerInputs> planner_inputs;
+  struct Variant {
+    const char* name;
+    sim::PartitionScheme scheme;
+  };
+  for (const Variant v : {Variant{"IID", sim::PartitionScheme::kIid},
+                          Variant{"Dirichlet",
+                                  sim::PartitionScheme::kDirichlet}}) {
+    std::printf("-- %s --\n", v.name);
+    auto cfg = base_config(target);
+    cfg.base.partition = v.scheme;
+    cfg.base.dirichlet_alpha = alpha;
+    const auto outcome = sim::run_calibration(cfg, grid);
+    if (!outcome.ok()) {
+      std::printf("calibration failed: %s\n\n",
+                  outcome.error().message.c_str());
+      continue;
+    }
+    AsciiTable table({"K", "E", "T@target", "final_loss", "modeled_J"});
+    for (const auto& p : outcome->points) {
+      table.add_row({std::to_string(p.k), std::to_string(p.e),
+                     p.reached ? std::to_string(p.rounds)
+                               : std::string("> cap"),
+                     format_double(p.final_loss, 4),
+                     format_double(p.modeled_energy_j, 5)});
+    }
+    std::printf("%s", table.render().c_str());
+    std::printf("fitted constants: A0=%.4g  A1=%.4g  A2=%.4g  "
+                "(fit of the T(K,E) surface at fixed gap, %zu points)\n\n",
+                outcome->constants.a0, outcome->constants.a1,
+                outcome->constants.a2, outcome->points_used);
+    fitted.push_back(outcome->constants);
+    planner_inputs.push_back(outcome->planner_inputs);
+  }
+
+  if (fitted.size() == 2) {
+    std::printf("== planner verdict ==\n");
+    const char* names[2] = {"IID", "Dirichlet"};
+    for (std::size_t i = 0; i < 2; ++i) {
+      core::PlannerInputs inputs = planner_inputs[i];
+      inputs.epsilon = std::max(0.05, fitted[i].a1 / 8.0);  // keep feasible
+      const auto plan = core::EeFeiPlanner(inputs).plan();
+      if (plan.ok()) {
+        std::printf("%-10s A1=%.4g -> K*=%zu, E*=%zu, T*=%zu\n", names[i],
+                    fitted[i].a1, plan->k, plan->e, plan->t);
+      } else {
+        std::printf("%-10s A1=%.4g -> %s\n", names[i], fitted[i].a1,
+                    plan.error().message.c_str());
+      }
+    }
+    if (fitted[1].a1 > fitted[0].a1) {
+      std::printf("\nnon-IID variance raised A1 by %.1fx — exactly the "
+                  "mechanism that moves K* off 1 (paper SVI-C).\n",
+                  fitted[1].a1 / fitted[0].a1);
+    }
+  }
+  return 0;
+}

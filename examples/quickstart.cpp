@@ -1,0 +1,78 @@
+// Quickstart: the 5-minute tour of the EE-FEI library.
+//
+//   1. generate the synthetic digit dataset (the MNIST substitute) and
+//      peek at a sample;
+//   2. run a small federated training job (FedAvg across simulated edge
+//      servers) and watch it converge;
+//   3. ask the EE-FEI planner for the energy-optimal (K*, E*, T*) and see
+//      the predicted savings against the naive configuration.
+//
+// Build & run:  ./examples/quickstart
+#include <cstdio>
+#include <vector>
+
+#include "core/planner.h"
+#include "data/synth_digits.h"
+#include "sim/fei_system.h"
+
+using namespace eefei;
+
+int main() {
+  // ---- 1. data ---------------------------------------------------------
+  std::printf("== 1. Synthetic hand-written digits (28x28) ==\n");
+  data::SynthDigitsConfig dcfg;
+  dcfg.seed = 7;
+  data::SynthDigits generator(dcfg);
+  std::vector<double> image(dcfg.feature_dim());
+  generator.render(/*label=*/3, image);
+  std::printf("a sample of class '3':\n%s\n",
+              data::ascii_art(image, dcfg.image_side).c_str());
+
+  // ---- 2. federated training -------------------------------------------
+  std::printf("== 2. Federated training: 10 edge servers, K=5, E=20 ==\n");
+  auto cfg = sim::prototype_config();
+  cfg.num_servers = 10;
+  cfg.samples_per_server = 250;
+  cfg.test_samples = 500;
+  cfg.sgd.learning_rate = 0.02;
+  cfg.sgd.decay = 0.998;
+  cfg.fl.clients_per_round = 5;
+  cfg.fl.local_epochs = 20;
+  cfg.fl.max_rounds = 25;
+  cfg.fl.threads = 4;
+  cfg.seed = 7;
+
+  sim::FeiSystem system(cfg);
+  const auto run = system.run();
+  if (!run.ok()) {
+    std::fprintf(stderr, "training failed: %s\n", run.error().message.c_str());
+    return 1;
+  }
+  for (const auto& r : run->training.record.all()) {
+    if (r.round % 5 == 0 || r.round + 1 == run->training.rounds_run) {
+      std::printf("  round %2zu: loss %.4f, test accuracy %.3f\n", r.round + 1,
+                  r.global_loss, r.test_accuracy);
+    }
+  }
+  std::printf("simulated wall-clock: %.2f s, total energy: %.1f J "
+              "(training %.1f J, upload %.1f J)\n\n",
+              run->wall_clock.value(), run->ledger.total().value(),
+              run->ledger.category_total(energy::EnergyCategory::kTraining)
+                  .value(),
+              run->ledger.category_total(energy::EnergyCategory::kUpload)
+                  .value());
+
+  // ---- 3. the EE-FEI planner -------------------------------------------
+  std::printf("== 3. EE-FEI: energy-optimal (K*, E*, T*) ==\n");
+  core::PlannerInputs inputs;  // defaults = the paper's prototype calibration
+  core::EeFeiPlanner planner(inputs);
+  const auto plan = planner.plan();
+  if (!plan.ok()) {
+    std::fprintf(stderr, "planning failed: %s\n", plan.error().message.c_str());
+    return 1;
+  }
+  std::printf("%s\n", plan->render().c_str());
+  std::printf("(the paper's prototype measured 49.8%% savings at this "
+              "operating point)\n");
+  return 0;
+}

@@ -1,0 +1,156 @@
+#include "common/config.h"
+
+#include <algorithm>
+#include <cctype>
+#include <charconv>
+
+namespace eefei {
+
+namespace {
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.front()))) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back()))) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+Status add_token(Config& cfg, std::string_view token) {
+  token = trim(token);
+  if (token.empty()) return Status::success();
+  while (token.starts_with("-")) token.remove_prefix(1);
+  const auto eq = token.find('=');
+  if (eq == std::string_view::npos) {
+    return Error::parse_error("config: token without '=': '" +
+                              std::string(token) + "'");
+  }
+  const auto key = trim(token.substr(0, eq));
+  const auto value = trim(token.substr(eq + 1));
+  if (key.empty()) return Error::parse_error("config: empty key");
+  cfg.set(std::string(key), std::string(value));
+  return Status::success();
+}
+
+}  // namespace
+
+Result<Config> Config::parse(std::string_view text) {
+  Config cfg;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    auto end = text.find('\n', pos);
+    if (end == std::string_view::npos) end = text.size();
+    std::string_view line = text.substr(pos, end - pos);
+    pos = end + 1;
+    const auto hash = line.find('#');
+    if (hash != std::string_view::npos) line = line.substr(0, hash);
+    line = trim(line);
+    if (line.empty()) continue;
+    // A line may contain several whitespace-separated tokens.
+    std::size_t tp = 0;
+    while (tp < line.size()) {
+      auto te = line.find_first_of(" \t", tp);
+      if (te == std::string_view::npos) te = line.size();
+      if (const auto st = add_token(cfg, line.substr(tp, te - tp)); !st.ok()) {
+        return st.error();
+      }
+      tp = te + 1;
+    }
+  }
+  return cfg;
+}
+
+Result<Config> Config::from_args(int argc, const char* const* argv) {
+  Config cfg;
+  for (int i = 1; i < argc; ++i) {
+    if (const auto st = add_token(cfg, argv[i]); !st.ok()) return st.error();
+  }
+  return cfg;
+}
+
+void Config::set(std::string key, std::string value) {
+  values_[std::move(key)] = std::move(value);
+}
+
+bool Config::contains(std::string_view key) const {
+  return values_.find(key) != values_.end();
+}
+
+Result<std::string> Config::get_string(std::string_view key) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) {
+    return Error::invalid_argument("config: missing key '" + std::string(key) +
+                                   "'");
+  }
+  return it->second;
+}
+
+Result<double> Config::get_double(std::string_view key) const {
+  const auto s = get_string(key);
+  if (!s.ok()) return s.error();
+  double v = 0;
+  const auto& str = s.value();
+  const auto [ptr, ec] = std::from_chars(str.data(), str.data() + str.size(), v);
+  if (ec != std::errc() || ptr != str.data() + str.size()) {
+    return Error::parse_error("config: '" + std::string(key) +
+                              "' is not a number: '" + str + "'");
+  }
+  return v;
+}
+
+Result<long> Config::get_int(std::string_view key) const {
+  const auto s = get_string(key);
+  if (!s.ok()) return s.error();
+  long v = 0;
+  const auto& str = s.value();
+  const auto [ptr, ec] = std::from_chars(str.data(), str.data() + str.size(), v);
+  if (ec != std::errc() || ptr != str.data() + str.size()) {
+    return Error::parse_error("config: '" + std::string(key) +
+                              "' is not an integer: '" + str + "'");
+  }
+  return v;
+}
+
+Result<bool> Config::get_bool(std::string_view key) const {
+  const auto s = get_string(key);
+  if (!s.ok()) return s.error();
+  std::string v = s.value();
+  std::transform(v.begin(), v.end(), v.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  if (v == "1" || v == "true" || v == "yes" || v == "on") return true;
+  if (v == "0" || v == "false" || v == "no" || v == "off") return false;
+  return Error::parse_error("config: '" + std::string(key) +
+                            "' is not a boolean: '" + s.value() + "'");
+}
+
+std::string Config::get_string_or(std::string_view key,
+                                  std::string fallback) const {
+  const auto r = get_string(key);
+  return r.ok() ? r.value() : std::move(fallback);
+}
+
+double Config::get_double_or(std::string_view key, double fallback) const {
+  const auto r = get_double(key);
+  return r.ok() ? r.value() : fallback;
+}
+
+long Config::get_int_or(std::string_view key, long fallback) const {
+  const auto r = get_int(key);
+  return r.ok() ? r.value() : fallback;
+}
+
+bool Config::get_bool_or(std::string_view key, bool fallback) const {
+  const auto r = get_bool(key);
+  return r.ok() ? r.value() : fallback;
+}
+
+std::vector<std::string> Config::keys() const {
+  std::vector<std::string> out;
+  out.reserve(values_.size());
+  for (const auto& [k, _] : values_) out.push_back(k);
+  return out;
+}
+
+}  // namespace eefei

@@ -1,0 +1,46 @@
+// Flat key=value configuration with typed accessors, used by the examples
+// and bench binaries to override simulation parameters from the command line
+// or from small config files ("k=10 e=40 target_acc=0.92").
+#pragma once
+
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+
+namespace eefei {
+
+class Config {
+ public:
+  Config() = default;
+
+  /// Parses "key=value" tokens; '#' starts a comment until end of line.
+  [[nodiscard]] static Result<Config> parse(std::string_view text);
+  /// Parses argv-style tokens ("k=10", "--k=10" both accepted).
+  [[nodiscard]] static Result<Config> from_args(int argc, const char* const* argv);
+
+  void set(std::string key, std::string value);
+
+  [[nodiscard]] bool contains(std::string_view key) const;
+  [[nodiscard]] Result<std::string> get_string(std::string_view key) const;
+  [[nodiscard]] Result<double> get_double(std::string_view key) const;
+  [[nodiscard]] Result<long> get_int(std::string_view key) const;
+  [[nodiscard]] Result<bool> get_bool(std::string_view key) const;
+
+  [[nodiscard]] std::string get_string_or(std::string_view key,
+                                          std::string fallback) const;
+  [[nodiscard]] double get_double_or(std::string_view key,
+                                     double fallback) const;
+  [[nodiscard]] long get_int_or(std::string_view key, long fallback) const;
+  [[nodiscard]] bool get_bool_or(std::string_view key, bool fallback) const;
+
+  [[nodiscard]] std::vector<std::string> keys() const;
+  [[nodiscard]] std::size_t size() const { return values_.size(); }
+
+ private:
+  std::map<std::string, std::string, std::less<>> values_;
+};
+
+}  // namespace eefei

@@ -1,0 +1,166 @@
+#include "common/csv.h"
+
+#include <charconv>
+#include <cstdio>
+
+namespace eefei {
+
+std::string csv_escape(std::string_view field) {
+  const bool needs_quotes =
+      field.find_first_of(",\"\n\r") != std::string_view::npos;
+  if (!needs_quotes) return std::string(field);
+  std::string out;
+  out.reserve(field.size() + 2);
+  out.push_back('"');
+  for (const char c : field) {
+    if (c == '"') out.push_back('"');
+    out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
+}
+
+void CsvWriter::write_header(std::initializer_list<std::string_view> columns) {
+  std::vector<std::string> fields;
+  fields.reserve(columns.size());
+  for (const auto c : columns) fields.emplace_back(c);
+  write_fields(fields);
+}
+
+void CsvWriter::write_row(std::initializer_list<double> values) {
+  std::vector<std::string> fields;
+  fields.reserve(values.size());
+  char buf[64];
+  for (const double v : values) {
+    const int n = std::snprintf(buf, sizeof buf, "%.10g", v);
+    fields.emplace_back(buf, static_cast<std::size_t>(n));
+  }
+  write_fields(fields);
+}
+
+void CsvWriter::write_row(const std::vector<std::string>& fields) {
+  write_fields(fields);
+}
+
+void CsvWriter::write_fields(const std::vector<std::string>& fields) {
+  bool first = true;
+  for (const auto& f : fields) {
+    if (!first) *out_ << ',';
+    first = false;
+    *out_ << csv_escape(f);
+  }
+  *out_ << '\n';
+  ++rows_;
+}
+
+namespace {
+
+// Splits one logical CSV record starting at `pos`; returns fields and leaves
+// pos after the record's line terminator.
+Result<std::vector<std::string>> parse_record(std::string_view text,
+                                              std::size_t& pos) {
+  std::vector<std::string> fields;
+  std::string current;
+  bool in_quotes = false;
+  while (pos < text.size()) {
+    const char c = text[pos];
+    if (in_quotes) {
+      if (c == '"') {
+        if (pos + 1 < text.size() && text[pos + 1] == '"') {
+          current.push_back('"');
+          ++pos;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        current.push_back(c);
+      }
+      ++pos;
+      continue;
+    }
+    switch (c) {
+      case '"':
+        if (!current.empty()) {
+          return Error::parse_error("csv: quote inside unquoted field");
+        }
+        in_quotes = true;
+        ++pos;
+        break;
+      case ',':
+        fields.push_back(std::move(current));
+        current.clear();
+        ++pos;
+        break;
+      case '\r':
+        ++pos;
+        if (pos < text.size() && text[pos] == '\n') ++pos;
+        fields.push_back(std::move(current));
+        return fields;
+      case '\n':
+        ++pos;
+        fields.push_back(std::move(current));
+        return fields;
+      default:
+        current.push_back(c);
+        ++pos;
+    }
+  }
+  if (in_quotes) return Error::parse_error("csv: unterminated quoted field");
+  fields.push_back(std::move(current));
+  return fields;
+}
+
+}  // namespace
+
+Result<CsvDocument> parse_csv(std::string_view text) {
+  CsvDocument doc;
+  std::size_t pos = 0;
+  if (text.empty()) return Error::parse_error("csv: empty input");
+  auto header = parse_record(text, pos);
+  if (!header.ok()) return header.error();
+  doc.header = std::move(header).value();
+  while (pos < text.size()) {
+    // Skip blank trailing lines.
+    if (text[pos] == '\n' || text[pos] == '\r') {
+      ++pos;
+      continue;
+    }
+    auto record = parse_record(text, pos);
+    if (!record.ok()) return record.error();
+    auto fields = std::move(record).value();
+    if (fields.size() != doc.header.size()) {
+      return Error::parse_error("csv: row width differs from header");
+    }
+    doc.rows.push_back(std::move(fields));
+  }
+  return doc;
+}
+
+Result<std::size_t> CsvDocument::column_index(std::string_view name) const {
+  for (std::size_t i = 0; i < header.size(); ++i) {
+    if (header[i] == name) return i;
+  }
+  return Error::invalid_argument("csv: no column named '" + std::string(name) +
+                                 "'");
+}
+
+Result<std::vector<double>> CsvDocument::numeric_column(
+    std::string_view name) const {
+  const auto idx = column_index(name);
+  if (!idx.ok()) return idx.error();
+  std::vector<double> out;
+  out.reserve(rows.size());
+  for (const auto& row : rows) {
+    const std::string& field = row[idx.value()];
+    double v = 0;
+    const auto [ptr, ec] =
+        std::from_chars(field.data(), field.data() + field.size(), v);
+    if (ec != std::errc() || ptr != field.data() + field.size()) {
+      return Error::parse_error("csv: non-numeric field '" + field + "'");
+    }
+    out.push_back(v);
+  }
+  return out;
+}
+
+}  // namespace eefei

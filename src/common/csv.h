@@ -1,0 +1,50 @@
+// CSV writer/reader used by the benchmark harnesses to export trace data
+// (power traces, convergence curves, energy sweeps) in a form that plots
+// directly against the paper's figures.
+#pragma once
+
+#include <initializer_list>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+
+namespace eefei {
+
+/// Streams rows to an ostream, quoting fields when necessary.
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::ostream& out) : out_(&out) {}
+
+  void write_header(std::initializer_list<std::string_view> columns);
+  void write_row(std::initializer_list<double> values);
+  void write_row(const std::vector<std::string>& fields);
+
+  [[nodiscard]] std::size_t rows_written() const { return rows_; }
+
+ private:
+  void write_fields(const std::vector<std::string>& fields);
+
+  std::ostream* out_;
+  std::size_t rows_ = 0;
+};
+
+/// Fully parsed CSV document (small files only: traces and fixtures).
+struct CsvDocument {
+  std::vector<std::string> header;
+  std::vector<std::vector<std::string>> rows;
+
+  [[nodiscard]] Result<std::size_t> column_index(std::string_view name) const;
+  [[nodiscard]] Result<std::vector<double>> numeric_column(
+      std::string_view name) const;
+};
+
+/// Parses CSV text with RFC-4180 style quoting. First row is the header.
+[[nodiscard]] Result<CsvDocument> parse_csv(std::string_view text);
+
+/// Escapes a single field per CSV quoting rules.
+[[nodiscard]] std::string csv_escape(std::string_view field);
+
+}  // namespace eefei

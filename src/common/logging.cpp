@@ -1,0 +1,54 @@
+#include "common/logging.h"
+
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+
+namespace eefei {
+
+namespace {
+
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+std::atomic<LogSink> g_sink{nullptr};
+std::mutex g_stderr_mutex;
+
+void default_sink(LogLevel, std::string_view message) {
+  const std::lock_guard<std::mutex> lock(g_stderr_mutex);
+  std::fwrite(message.data(), 1, message.size(), stderr);
+  std::fputc('\n', stderr);
+}
+
+}  // namespace
+
+const char* to_string(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kOff:
+      return "OFF";
+  }
+  return "?";
+}
+
+void set_log_level(LogLevel level) { g_level.store(level); }
+LogLevel log_level() { return g_level.load(); }
+void set_log_sink(LogSink sink) { g_sink.store(sink); }
+
+namespace detail {
+void log_emit(LogLevel level, std::string_view message) {
+  const LogSink sink = g_sink.load();
+  if (sink != nullptr) {
+    sink(level, message);
+  } else {
+    default_sink(level, message);
+  }
+}
+}  // namespace detail
+
+}  // namespace eefei

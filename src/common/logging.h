@@ -1,0 +1,70 @@
+// Lightweight leveled logger.  Header declares the interface; logging.cpp
+// owns the global sink.  Kept deliberately small: the simulator emits traces
+// through the CSV/trace subsystem, not through the logger.
+#pragma once
+
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace eefei {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarn = 2,
+  kError = 3,
+  kOff = 4,
+};
+
+[[nodiscard]] const char* to_string(LogLevel level);
+
+/// Global minimum level; messages below it are dropped.
+void set_log_level(LogLevel level);
+[[nodiscard]] LogLevel log_level();
+
+/// Sink invoked for every emitted record (default: stderr).  Tests may
+/// install a capturing sink; pass nullptr to restore the default.
+using LogSink = void (*)(LogLevel, std::string_view);
+void set_log_sink(LogSink sink);
+
+namespace detail {
+void log_emit(LogLevel level, std::string_view message);
+
+class LogLine {
+ public:
+  LogLine(LogLevel level, const char* file, int line) : level_(level) {
+    stream_ << "[" << to_string(level) << "] " << file << ":" << line << " ";
+  }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+  ~LogLine() { log_emit(level_, stream_.str()); }
+
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+struct LogVoidify {
+  void operator&(LogLine&) {}
+};
+}  // namespace detail
+
+#define EEFEI_LOG(level)                                 \
+  (::eefei::log_level() > (level))                       \
+      ? (void)0                                          \
+      : ::eefei::detail::LogVoidify() &                  \
+            ::eefei::detail::LogLine((level), __FILE__, __LINE__)
+
+#define LOG_DEBUG EEFEI_LOG(::eefei::LogLevel::kDebug)
+#define LOG_INFO EEFEI_LOG(::eefei::LogLevel::kInfo)
+#define LOG_WARN EEFEI_LOG(::eefei::LogLevel::kWarn)
+#define LOG_ERROR EEFEI_LOG(::eefei::LogLevel::kError)
+
+}  // namespace eefei

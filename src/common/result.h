@@ -1,0 +1,130 @@
+// Minimal Expected-style result type used across the library for fallible
+// operations (calibration with insufficient data, infeasible optimization
+// domains, malformed configs).  Exceptions are reserved for programming
+// errors; expected runtime failures travel through Result<T>.
+#pragma once
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace eefei {
+
+/// Error payload: a machine-readable code plus a human-readable message.
+struct Error {
+  enum class Code {
+    kInvalidArgument,
+    kInfeasible,
+    kNotConverged,
+    kInsufficientData,
+    kIoError,
+    kParseError,
+    kInternal,
+  };
+
+  Code code = Code::kInternal;
+  std::string message;
+
+  [[nodiscard]] static Error invalid_argument(std::string msg) {
+    return {Code::kInvalidArgument, std::move(msg)};
+  }
+  [[nodiscard]] static Error infeasible(std::string msg) {
+    return {Code::kInfeasible, std::move(msg)};
+  }
+  [[nodiscard]] static Error not_converged(std::string msg) {
+    return {Code::kNotConverged, std::move(msg)};
+  }
+  [[nodiscard]] static Error insufficient_data(std::string msg) {
+    return {Code::kInsufficientData, std::move(msg)};
+  }
+  [[nodiscard]] static Error io_error(std::string msg) {
+    return {Code::kIoError, std::move(msg)};
+  }
+  [[nodiscard]] static Error parse_error(std::string msg) {
+    return {Code::kParseError, std::move(msg)};
+  }
+  [[nodiscard]] static Error internal(std::string msg) {
+    return {Code::kInternal, std::move(msg)};
+  }
+};
+
+[[nodiscard]] constexpr const char* to_string(Error::Code c) {
+  switch (c) {
+    case Error::Code::kInvalidArgument:
+      return "invalid_argument";
+    case Error::Code::kInfeasible:
+      return "infeasible";
+    case Error::Code::kNotConverged:
+      return "not_converged";
+    case Error::Code::kInsufficientData:
+      return "insufficient_data";
+    case Error::Code::kIoError:
+      return "io_error";
+    case Error::Code::kParseError:
+      return "parse_error";
+    case Error::Code::kInternal:
+      return "internal";
+  }
+  return "unknown";
+}
+
+/// Either a value of type T or an Error.  Accessors assert on misuse.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : data_(std::move(value)) {}          // NOLINT(implicit)
+  Result(Error error) : data_(std::move(error)) {}      // NOLINT(implicit)
+
+  [[nodiscard]] bool ok() const { return std::holds_alternative<T>(data_); }
+  explicit operator bool() const { return ok(); }
+
+  [[nodiscard]] const T& value() const& {
+    assert(ok() && "Result::value() on error");
+    return std::get<T>(data_);
+  }
+  [[nodiscard]] T& value() & {
+    assert(ok() && "Result::value() on error");
+    return std::get<T>(data_);
+  }
+  [[nodiscard]] T&& value() && {
+    assert(ok() && "Result::value() on error");
+    return std::get<T>(std::move(data_));
+  }
+
+  [[nodiscard]] const Error& error() const {
+    assert(!ok() && "Result::error() on success");
+    return std::get<Error>(data_);
+  }
+
+  [[nodiscard]] T value_or(T fallback) const {
+    return ok() ? std::get<T>(data_) : std::move(fallback);
+  }
+
+  const T* operator->() const { return &value(); }
+  const T& operator*() const& { return value(); }
+
+ private:
+  std::variant<T, Error> data_;
+};
+
+/// Result specialization for operations with no payload.
+class Status {
+ public:
+  Status() = default;
+  Status(Error error) : error_(std::move(error)) {}  // NOLINT(implicit)
+
+  [[nodiscard]] bool ok() const { return !error_.has_value(); }
+  explicit operator bool() const { return ok(); }
+  [[nodiscard]] const Error& error() const {
+    assert(!ok());
+    return *error_;
+  }
+  [[nodiscard]] static Status success() { return {}; }
+
+ private:
+  std::optional<Error> error_;
+};
+
+}  // namespace eefei

@@ -1,0 +1,198 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <limits>
+
+namespace eefei {
+
+void RunningStats::add(double x) {
+  if (n_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+void RunningStats::merge(const RunningStats& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const auto na = static_cast<double>(n_);
+  const auto nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  n_ += other.n_;
+}
+
+double RunningStats::variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+void KahanSum::add(double x) {
+  const double t = sum_ + x;
+  if (std::abs(sum_) >= std::abs(x)) {
+    compensation_ += (sum_ - t) + x;
+  } else {
+    compensation_ += (x - t) + sum_;
+  }
+  sum_ = t;
+}
+
+double percentile(std::span<const double> values, double q) {
+  if (values.empty()) return std::numeric_limits<double>::quiet_NaN();
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  q = std::clamp(q, 0.0, 1.0);
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+Result<LineFit> fit_line(std::span<const double> x,
+                         std::span<const double> y) {
+  if (x.size() != y.size()) {
+    return Error::invalid_argument("fit_line: x/y size mismatch");
+  }
+  if (x.size() < 2) {
+    return Error::insufficient_data("fit_line: need at least 2 points");
+  }
+  const auto n = static_cast<double>(x.size());
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    sx += x[i];
+    sy += y[i];
+    sxx += x[i] * x[i];
+    sxy += x[i] * y[i];
+  }
+  const double denom = n * sxx - sx * sx;
+  if (std::abs(denom) < 1e-300) {
+    return Error::insufficient_data("fit_line: degenerate x values");
+  }
+  LineFit fit;
+  fit.slope = (n * sxy - sx * sy) / denom;
+  fit.intercept = (sy - fit.slope * sx) / n;
+
+  const double ybar = sy / n;
+  double ss_res = 0, ss_tot = 0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double pred = fit.slope * x[i] + fit.intercept;
+    ss_res += (y[i] - pred) * (y[i] - pred);
+    ss_tot += (y[i] - ybar) * (y[i] - ybar);
+  }
+  fit.r_squared = ss_tot > 0 ? 1.0 - ss_res / ss_tot : 1.0;
+  return fit;
+}
+
+Result<std::vector<double>> ols(std::span<const double> x, std::size_t cols,
+                                std::span<const double> y) {
+  if (cols == 0) return Error::invalid_argument("ols: zero columns");
+  if (x.size() % cols != 0) {
+    return Error::invalid_argument("ols: X size not a multiple of cols");
+  }
+  const std::size_t rows = x.size() / cols;
+  if (rows != y.size()) {
+    return Error::invalid_argument("ols: row count mismatch with y");
+  }
+  if (rows < cols) {
+    return Error::insufficient_data("ols: underdetermined system");
+  }
+
+  // Normal equations: (XᵀX) beta = Xᵀy.
+  std::vector<double> xtx(cols * cols, 0.0);
+  std::vector<double> xty(cols, 0.0);
+  for (std::size_t r = 0; r < rows; ++r) {
+    const double* row = x.data() + r * cols;
+    for (std::size_t i = 0; i < cols; ++i) {
+      xty[i] += row[i] * y[r];
+      for (std::size_t j = i; j < cols; ++j) {
+        xtx[i * cols + j] += row[i] * row[j];
+      }
+    }
+  }
+  for (std::size_t i = 0; i < cols; ++i) {
+    for (std::size_t j = 0; j < i; ++j) {
+      xtx[i * cols + j] = xtx[j * cols + i];
+    }
+  }
+
+  // Gaussian elimination with partial pivoting on the augmented system.
+  std::vector<double> a = xtx;
+  std::vector<double> b = xty;
+  for (std::size_t col = 0; col < cols; ++col) {
+    std::size_t pivot = col;
+    for (std::size_t r = col + 1; r < cols; ++r) {
+      if (std::abs(a[r * cols + col]) > std::abs(a[pivot * cols + col])) {
+        pivot = r;
+      }
+    }
+    if (std::abs(a[pivot * cols + col]) < 1e-12) {
+      return Error::insufficient_data("ols: singular normal matrix");
+    }
+    if (pivot != col) {
+      for (std::size_t j = 0; j < cols; ++j) {
+        std::swap(a[pivot * cols + j], a[col * cols + j]);
+      }
+      std::swap(b[pivot], b[col]);
+    }
+    for (std::size_t r = col + 1; r < cols; ++r) {
+      const double f = a[r * cols + col] / a[col * cols + col];
+      for (std::size_t j = col; j < cols; ++j) {
+        a[r * cols + j] -= f * a[col * cols + j];
+      }
+      b[r] -= f * b[col];
+    }
+  }
+  std::vector<double> beta(cols, 0.0);
+  for (std::size_t ri = cols; ri-- > 0;) {
+    double acc = b[ri];
+    for (std::size_t j = ri + 1; j < cols; ++j) {
+      acc -= a[ri * cols + j] * beta[j];
+    }
+    beta[ri] = acc / a[ri * cols + ri];
+  }
+  return beta;
+}
+
+double r_squared(std::span<const double> predicted,
+                 std::span<const double> observed) {
+  if (predicted.size() != observed.size() || observed.empty()) {
+    return std::numeric_limits<double>::quiet_NaN();
+  }
+  double mean = 0;
+  for (const double v : observed) mean += v;
+  mean /= static_cast<double>(observed.size());
+  double ss_res = 0, ss_tot = 0;
+  for (std::size_t i = 0; i < observed.size(); ++i) {
+    ss_res += (observed[i] - predicted[i]) * (observed[i] - predicted[i]);
+    ss_tot += (observed[i] - mean) * (observed[i] - mean);
+  }
+  // Degenerate case: (numerically) constant observations.  R² is undefined
+  // there; report 1 when the fit reproduces the constant, else 0.
+  const double scale =
+      mean * mean * static_cast<double>(observed.size()) + 1e-300;
+  if (ss_tot <= 1e-12 * scale) {
+    return ss_res <= 1e-9 * scale ? 1.0 : 0.0;
+  }
+  return 1.0 - ss_res / ss_tot;
+}
+
+}  // namespace eefei

@@ -1,0 +1,72 @@
+// Statistics utilities: running moments (Welford), percentiles, Kahan
+// summation and ordinary least squares.  OLS is the workhorse behind the
+// paper's §VI-B calibration of (c0, c1) from Table I and our A0/A1/A2
+// convergence-constant fit.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/result.h"
+
+namespace eefei {
+
+/// Numerically stable running mean/variance/min/max (Welford's algorithm).
+class RunningStats {
+ public:
+  void add(double x);
+  void merge(const RunningStats& other);
+
+  [[nodiscard]] std::size_t count() const { return n_; }
+  [[nodiscard]] double mean() const { return n_ > 0 ? mean_ : 0.0; }
+  /// Unbiased sample variance; 0 with fewer than two samples.
+  [[nodiscard]] double variance() const;
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const { return min_; }
+  [[nodiscard]] double max() const { return max_; }
+  [[nodiscard]] double sum() const { return mean_ * static_cast<double>(n_); }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Compensated (Kahan–Babuška) summation for long energy integrations.
+class KahanSum {
+ public:
+  void add(double x);
+  [[nodiscard]] double value() const { return sum_ + compensation_; }
+
+ private:
+  double sum_ = 0.0;
+  double compensation_ = 0.0;
+};
+
+/// Linear interpolation percentile (q in [0,1]) of an unsorted sample.
+[[nodiscard]] double percentile(std::span<const double> values, double q);
+
+/// Simple y = a*x + b least-squares fit.
+struct LineFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  double r_squared = 0.0;
+};
+[[nodiscard]] Result<LineFit> fit_line(std::span<const double> x,
+                                       std::span<const double> y);
+
+/// Multivariate ordinary least squares: finds beta minimizing ||X beta - y||²
+/// via normal equations with Gaussian elimination and partial pivoting.
+/// X is row-major with `cols` features per row.
+[[nodiscard]] Result<std::vector<double>> ols(std::span<const double> x,
+                                              std::size_t cols,
+                                              std::span<const double> y);
+
+/// Coefficient of determination of predictions vs observations.
+[[nodiscard]] double r_squared(std::span<const double> predicted,
+                               std::span<const double> observed);
+
+}  // namespace eefei

@@ -1,0 +1,60 @@
+#include "common/table.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace eefei {
+
+std::string format_double(double v, int significant) {
+  char buf[64];
+  const int n = std::snprintf(buf, sizeof buf, "%.*g", significant, v);
+  return std::string(buf, static_cast<std::size_t>(n));
+}
+
+void AsciiTable::add_row(std::vector<std::string> row) {
+  row.resize(header_.size());
+  rows_.push_back(std::move(row));
+}
+
+void AsciiTable::add_row(const std::vector<double>& row) {
+  std::vector<std::string> fields;
+  fields.reserve(row.size());
+  for (const double v : row) fields.push_back(format_double(v));
+  add_row(std::move(fields));
+}
+
+std::string AsciiTable::render() const {
+  std::vector<std::size_t> widths(header_.size(), 0);
+  for (std::size_t i = 0; i < header_.size(); ++i) {
+    widths[i] = header_[i].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t i = 0; i < row.size() && i < widths.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  }
+
+  std::string out;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    out += "|";
+    for (std::size_t i = 0; i < widths.size(); ++i) {
+      const std::string& cell = i < row.size() ? row[i] : std::string();
+      out += " " + cell;
+      out.append(widths[i] - cell.size(), ' ');
+      out += " |";
+    }
+    out += "\n";
+  };
+
+  emit_row(header_);
+  out += "|";
+  for (const std::size_t w : widths) {
+    out.append(w + 2, '-');
+    out += "|";
+  }
+  out += "\n";
+  for (const auto& row : rows_) emit_row(row);
+  return out;
+}
+
+}  // namespace eefei

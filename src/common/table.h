@@ -1,0 +1,33 @@
+// ASCII table renderer used by the benchmark binaries to print paper-style
+// tables (Table I, Fig. 4's T-at-target readings, the Fig. 5/6 sweeps).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace eefei {
+
+class AsciiTable {
+ public:
+  explicit AsciiTable(std::vector<std::string> header)
+      : header_(std::move(header)) {}
+
+  void add_row(std::vector<std::string> row);
+  /// Convenience: formats doubles with %.6g; pass strings for mixed rows.
+  void add_row(const std::vector<double>& row);
+
+  [[nodiscard]] std::size_t row_count() const { return rows_.size(); }
+
+  /// Renders with a separator line under the header, columns padded.
+  [[nodiscard]] std::string render() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with a fixed number of significant digits.
+[[nodiscard]] std::string format_double(double v, int significant = 6);
+
+}  // namespace eefei

@@ -1,0 +1,190 @@
+// Strong physical unit types for the EE-FEI library.
+//
+// Energy accounting bugs in the original measurement pipeline almost always
+// came from mixing joules with watt-seconds-per-byte or seconds with
+// milliseconds.  These wrappers make such mixes a compile error while
+// remaining zero-overhead (a single double, all ops constexpr).
+#pragma once
+
+#include <cmath>
+#include <compare>
+#include <cstdint>
+#include <ostream>
+
+namespace eefei {
+
+namespace detail {
+
+// CRTP base providing the arithmetic shared by all scalar unit types.
+template <typename Derived>
+class UnitBase {
+ public:
+  constexpr UnitBase() = default;
+  constexpr explicit UnitBase(double v) : value_(v) {}
+
+  [[nodiscard]] constexpr double value() const { return value_; }
+
+  friend constexpr Derived operator+(Derived a, Derived b) {
+    return Derived{a.value() + b.value()};
+  }
+  friend constexpr Derived operator-(Derived a, Derived b) {
+    return Derived{a.value() - b.value()};
+  }
+  friend constexpr Derived operator*(Derived a, double s) {
+    return Derived{a.value() * s};
+  }
+  friend constexpr Derived operator*(double s, Derived a) {
+    return Derived{a.value() * s};
+  }
+  friend constexpr Derived operator/(Derived a, double s) {
+    return Derived{a.value() / s};
+  }
+  // Ratio of two like quantities is a plain scalar.
+  friend constexpr double operator/(Derived a, Derived b) {
+    return a.value() / b.value();
+  }
+  friend constexpr Derived operator-(Derived a) { return Derived{-a.value()}; }
+
+  constexpr Derived& operator+=(Derived other) {
+    value_ += other.value();
+    return *static_cast<Derived*>(this);
+  }
+  constexpr Derived& operator-=(Derived other) {
+    value_ -= other.value();
+    return *static_cast<Derived*>(this);
+  }
+  constexpr Derived& operator*=(double s) {
+    value_ *= s;
+    return *static_cast<Derived*>(this);
+  }
+
+  friend constexpr auto operator<=>(UnitBase a, UnitBase b) = default;
+
+ private:
+  double value_ = 0.0;
+};
+
+}  // namespace detail
+
+/// Time duration in seconds.
+class Seconds : public detail::UnitBase<Seconds> {
+ public:
+  using UnitBase::UnitBase;
+  [[nodiscard]] static constexpr Seconds from_millis(double ms) {
+    return Seconds{ms * 1e-3};
+  }
+  [[nodiscard]] static constexpr Seconds from_micros(double us) {
+    return Seconds{us * 1e-6};
+  }
+  [[nodiscard]] constexpr double millis() const { return value() * 1e3; }
+};
+
+/// Energy in joules (== watt-seconds).
+class Joules : public detail::UnitBase<Joules> {
+ public:
+  using UnitBase::UnitBase;
+  [[nodiscard]] static constexpr Joules from_milli(double mj) {
+    return Joules{mj * 1e-3};
+  }
+  [[nodiscard]] static constexpr Joules from_kilo(double kj) {
+    return Joules{kj * 1e3};
+  }
+  [[nodiscard]] constexpr double milli() const { return value() * 1e3; }
+  [[nodiscard]] constexpr double kilo() const { return value() * 1e-3; }
+};
+
+/// Power in watts.
+class Watts : public detail::UnitBase<Watts> {
+ public:
+  using UnitBase::UnitBase;
+  [[nodiscard]] static constexpr Watts from_milli(double mw) {
+    return Watts{mw * 1e-3};
+  }
+  [[nodiscard]] constexpr double milli() const { return value() * 1e3; }
+};
+
+/// Data size in bytes.
+class Bytes : public detail::UnitBase<Bytes> {
+ public:
+  using UnitBase::UnitBase;
+  [[nodiscard]] static constexpr Bytes from_kilo(double kb) {
+    return Bytes{kb * 1e3};
+  }
+  [[nodiscard]] constexpr double kilo() const { return value() * 1e-3; }
+};
+
+/// Data rate in bits per second.
+class BitsPerSecond : public detail::UnitBase<BitsPerSecond> {
+ public:
+  using UnitBase::UnitBase;
+  [[nodiscard]] static constexpr BitsPerSecond from_mbps(double mbps) {
+    return BitsPerSecond{mbps * 1e6};
+  }
+};
+
+// Cross-unit physics.  Only the dimensionally valid products are defined.
+[[nodiscard]] constexpr Joules operator*(Watts p, Seconds t) {
+  return Joules{p.value() * t.value()};
+}
+[[nodiscard]] constexpr Joules operator*(Seconds t, Watts p) { return p * t; }
+[[nodiscard]] constexpr Watts operator/(Joules e, Seconds t) {
+  return Watts{e.value() / t.value()};
+}
+[[nodiscard]] constexpr Seconds operator/(Joules e, Watts p) {
+  return Seconds{e.value() / p.value()};
+}
+/// Transfer duration for `b` bytes at rate `r`.
+[[nodiscard]] constexpr Seconds transfer_time(Bytes b, BitsPerSecond r) {
+  return Seconds{(b.value() * 8.0) / r.value()};
+}
+
+/// Energy per byte (used for the NB-IoT per-byte uplink cost, §IV-A).
+class JoulesPerByte : public detail::UnitBase<JoulesPerByte> {
+ public:
+  using UnitBase::UnitBase;
+  /// The paper quotes NB-IoT cost as 7.74 mW·s per byte; mW·s == mJ.
+  [[nodiscard]] static constexpr JoulesPerByte from_milliwatt_seconds(
+      double mws) {
+    return JoulesPerByte{mws * 1e-3};
+  }
+};
+
+[[nodiscard]] constexpr Joules operator*(JoulesPerByte c, Bytes b) {
+  return Joules{c.value() * b.value()};
+}
+[[nodiscard]] constexpr Joules operator*(Bytes b, JoulesPerByte c) {
+  return c * b;
+}
+
+inline std::ostream& operator<<(std::ostream& os, Seconds s) {
+  return os << s.value() << " s";
+}
+inline std::ostream& operator<<(std::ostream& os, Joules j) {
+  return os << j.value() << " J";
+}
+inline std::ostream& operator<<(std::ostream& os, Watts w) {
+  return os << w.value() << " W";
+}
+inline std::ostream& operator<<(std::ostream& os, Bytes b) {
+  return os << b.value() << " B";
+}
+
+namespace literals {
+constexpr Seconds operator""_s(long double v) {
+  return Seconds{static_cast<double>(v)};
+}
+constexpr Seconds operator""_ms(long double v) {
+  return Seconds::from_millis(static_cast<double>(v));
+}
+constexpr Joules operator""_J(long double v) {
+  return Joules{static_cast<double>(v)};
+}
+constexpr Watts operator""_W(long double v) {
+  return Watts{static_cast<double>(v)};
+}
+constexpr Bytes operator""_B(unsigned long long v) {
+  return Bytes{static_cast<double>(v)};
+}
+}  // namespace literals
+
+}  // namespace eefei

@@ -1,0 +1,115 @@
+#include "core/biconvex.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace eefei::core {
+
+double golden_section_minimize(const std::function<double(double)>& f,
+                               double lo, double hi, double tolerance,
+                               std::size_t max_iterations) {
+  if (hi < lo) std::swap(lo, hi);
+  constexpr double kInvPhi = 0.6180339887498949;  // 1/φ
+  double a = lo, b = hi;
+  double c = b - kInvPhi * (b - a);
+  double d = a + kInvPhi * (b - a);
+  double fc = f(c), fd = f(d);
+  for (std::size_t i = 0; i < max_iterations && (b - a) > tolerance; ++i) {
+    if (fc < fd) {
+      b = d;
+      d = c;
+      fd = fc;
+      c = b - kInvPhi * (b - a);
+      fc = f(c);
+    } else {
+      a = c;
+      c = d;
+      fc = fd;
+      d = a + kInvPhi * (b - a);
+      fd = f(d);
+    }
+  }
+  return 0.5 * (a + b);
+}
+
+Result<NumericAcsResult> numeric_acs(const BiconvexProblem& problem,
+                                     double x0, double y0, double residual,
+                                     std::size_t max_iterations) {
+  if (!problem.f) {
+    return Error::invalid_argument("numeric_acs: missing objective");
+  }
+  auto x_range = [&](double y) {
+    return problem.x_range_of_y ? problem.x_range_of_y(y)
+                                : std::make_pair(problem.x_lo, problem.x_hi);
+  };
+  auto y_range = [&](double x) {
+    return problem.y_range_of_x ? problem.y_range_of_x(x)
+                                : std::make_pair(problem.y_lo, problem.y_hi);
+  };
+
+  NumericAcsResult res;
+  double x = std::clamp(x0, problem.x_lo, problem.x_hi);
+  double y = std::clamp(y0, problem.y_lo, problem.y_hi);
+  double value = problem.f(x, y);
+
+  for (std::size_t i = 1; i <= max_iterations; ++i) {
+    const auto [xl, xh] = x_range(y);
+    if (!(xl <= xh)) {
+      return Error::infeasible("numeric_acs: empty x range");
+    }
+    x = golden_section_minimize([&](double xx) { return problem.f(xx, y); },
+                                xl, xh);
+    const auto [yl, yh] = y_range(x);
+    if (!(yl <= yh)) {
+      return Error::infeasible("numeric_acs: empty y range");
+    }
+    y = golden_section_minimize([&](double yy) { return problem.f(x, yy); },
+                                yl, yh);
+    const double next = problem.f(x, y);
+    res.iterations = i;
+    if (std::abs(next - value) <= residual) {
+      value = next;
+      res.converged = true;
+      break;
+    }
+    value = next;
+  }
+  res.x = x;
+  res.y = y;
+  res.value = value;
+  return res;
+}
+
+ConvexityReport check_biconvexity(const BiconvexProblem& problem,
+                                  std::size_t grid, double tolerance) {
+  ConvexityReport report;
+  report.min_second_difference_x = std::numeric_limits<double>::infinity();
+  report.min_second_difference_y = std::numeric_limits<double>::infinity();
+  const double hx = (problem.x_hi - problem.x_lo) /
+                    static_cast<double>(grid + 1);
+  const double hy = (problem.y_hi - problem.y_lo) /
+                    static_cast<double>(grid + 1);
+
+  for (std::size_t i = 1; i <= grid; ++i) {
+    for (std::size_t j = 1; j <= grid; ++j) {
+      const double x = problem.x_lo + hx * static_cast<double>(i);
+      const double y = problem.y_lo + hy * static_cast<double>(j);
+      // Central second differences in each coordinate.
+      const double ddx = problem.f(x + hx, y) - 2.0 * problem.f(x, y) +
+                         problem.f(x - hx, y);
+      const double ddy = problem.f(x, y + hy) - 2.0 * problem.f(x, y) +
+                         problem.f(x, y - hy);
+      report.min_second_difference_x =
+          std::min(report.min_second_difference_x, ddx);
+      report.min_second_difference_y =
+          std::min(report.min_second_difference_y, ddy);
+      if (ddx < -tolerance) report.convex_in_x = false;
+      if (ddy < -tolerance) report.convex_in_y = false;
+      ++report.probes;
+    }
+  }
+  return report;
+}
+
+}  // namespace eefei::core

@@ -1,0 +1,63 @@
+// Generic biconvex machinery, independent of the EE-FEI objective:
+//
+//   * golden-section minimization of a 1-D unimodal function;
+//   * a generic ACS loop that alternates numeric per-coordinate
+//     minimization (Gorski et al. 2007) — used to cross-validate the
+//     closed-form solver;
+//   * a biconvexity checker that probes second differences along each
+//     coordinate over a grid (the empirical counterpart of Theorem 1).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+#include "common/result.h"
+
+namespace eefei::core {
+
+/// f: R → R assumed unimodal on [lo, hi]; returns the minimizer.
+[[nodiscard]] double golden_section_minimize(
+    const std::function<double(double)>& f, double lo, double hi,
+    double tolerance = 1e-9, std::size_t max_iterations = 200);
+
+struct BiconvexProblem {
+  /// Objective f(x, y); may assume (x, y) within the boxes below.
+  std::function<double(double, double)> f;
+  double x_lo = 0.0, x_hi = 1.0;
+  double y_lo = 0.0, y_hi = 1.0;
+  /// Optional y-domain restriction as a function of x (and vice versa),
+  /// returning {lo, hi}; used for coupled feasible sets like Eq. 13c.
+  std::function<std::pair<double, double>(double)> y_range_of_x;
+  std::function<std::pair<double, double>(double)> x_range_of_y;
+};
+
+struct NumericAcsResult {
+  double x = 0.0;
+  double y = 0.0;
+  double value = 0.0;
+  std::size_t iterations = 0;
+  bool converged = false;
+};
+
+/// Alternates golden-section minimization in x and y until the objective
+/// changes by less than `residual`.
+[[nodiscard]] Result<NumericAcsResult> numeric_acs(
+    const BiconvexProblem& problem, double x0, double y0,
+    double residual = 1e-9, std::size_t max_iterations = 200);
+
+struct ConvexityReport {
+  bool convex_in_x = true;
+  bool convex_in_y = true;
+  std::size_t probes = 0;
+  double min_second_difference_x = 0.0;
+  double min_second_difference_y = 0.0;
+};
+
+/// Probes f's second differences on a `grid × grid` lattice over the boxes.
+/// A strictly biconvex function yields strictly positive second differences
+/// along both coordinates (up to -tolerance).
+[[nodiscard]] ConvexityReport check_biconvexity(
+    const BiconvexProblem& problem, std::size_t grid = 32,
+    double tolerance = 1e-9);
+
+}  // namespace eefei::core

@@ -1,0 +1,45 @@
+// Closed-form per-coordinate minimizers of the energy objective.
+//
+// K*(E): the paper's Eq. 15.  Setting ∂Ê/∂K = 0 gives K = 2A1/C1 with
+// C1 = ε − A2(E−1); the result is clamped to the feasible range
+// (max(1, A1/C1), N] since Ê decreases up to 2A1/C1 and increases after.
+//
+// E*(K): two variants.
+//   * `e_star_paper` — Eq. 17 exactly as printed:
+//       E* = (C4·B1 − A2·B0·K) / (2·A2·B1·K),  C4 = εK − A1 + A2K.
+//     Note: this drops the A2·K·B0·E² term of ∂Ê/∂E = 0 and is only the
+//     true minimizer when B0·E ≪ B1.  We reproduce it for fidelity.
+//   * `e_star_exact` — the exact root of ∂Ê/∂E = 0, the positive solution
+//     of A2KB0·E² + 2A2KB1·E − B1·C4 = 0 (by Lemma 2 the unique interior
+//     minimizer).  ACS uses this by default.
+//
+// Both are clamped to [1, E_max(K)) where E_max is the feasibility bound.
+#pragma once
+
+#include <cstddef>
+
+#include "common/result.h"
+#include "core/energy_objective.h"
+
+namespace eefei::core {
+
+/// Continuous K*(E) per Eq. 15 (with the clamping described above).
+[[nodiscard]] Result<double> k_star(const EnergyObjective& objective,
+                                    double e);
+
+/// Continuous E*(K), exact coordinate minimizer.
+[[nodiscard]] Result<double> e_star_exact(const EnergyObjective& objective,
+                                          double k);
+
+/// Continuous E*(K), the paper's printed Eq. 17.
+[[nodiscard]] Result<double> e_star_paper(const EnergyObjective& objective,
+                                          double k);
+
+/// Rounds a continuous coordinate value to the best feasible integer by
+/// comparing the objective at floor/ceil (convexity makes this exact).
+[[nodiscard]] Result<std::size_t> best_integer_k(
+    const EnergyObjective& objective, double k_cont, double e);
+[[nodiscard]] Result<std::size_t> best_integer_e(
+    const EnergyObjective& objective, double k, double e_cont);
+
+}  // namespace eefei::core

@@ -1,0 +1,49 @@
+#include "core/convergence_bound.h"
+
+#include <cmath>
+
+namespace eefei::core {
+
+double ConvergenceBound::feasibility_slack(double k, double e) const {
+  return epsilon_ * k - constants_.a1 - constants_.a2 * k * (e - 1.0);
+}
+
+Result<double> ConvergenceBound::optimal_rounds(double k, double e) const {
+  if (k < 1.0 || e < 1.0) {
+    return Error::invalid_argument("optimal_rounds: K and E must be >= 1");
+  }
+  const double slack = feasibility_slack(k, e);
+  if (slack <= 0.0) {
+    return Error::infeasible(
+        "optimal_rounds: (K, E) infeasible — A1/K + A2(E-1) already exceeds "
+        "epsilon");
+  }
+  // Eq. 11: T* = A0·K / ([εK − A1 − A2K(E−1)]·E).
+  return constants_.a0 * k / (slack * e);
+}
+
+Result<std::size_t> ConvergenceBound::optimal_rounds_int(double k,
+                                                         double e) const {
+  const auto t = optimal_rounds(k, e);
+  if (!t.ok()) return t.error();
+  const double up = std::ceil(t.value() - 1e-12);
+  return static_cast<std::size_t>(std::max(1.0, up));
+}
+
+std::optional<double> ConvergenceBound::max_feasible_epochs(double k) const {
+  if (k < 1.0 || constants_.a2 <= 0.0) return std::nullopt;
+  // slack(k, e) > 0  ⇔  e < (εK − A1 + A2K)/(A2K).
+  const double e_max =
+      (epsilon_ * k - constants_.a1 + constants_.a2 * k) / (constants_.a2 * k);
+  if (e_max <= 1.0) return std::nullopt;
+  return e_max;
+}
+
+std::optional<double> ConvergenceBound::min_feasible_servers(double e) const {
+  const double denom = epsilon_ - constants_.a2 * (e - 1.0);
+  if (denom <= 0.0) return std::nullopt;  // no K helps: E itself too large
+  const double k_min = constants_.a1 / denom;
+  return std::max(1.0, k_min);
+}
+
+}  // namespace eefei::core

@@ -1,0 +1,65 @@
+// Convergence bound machinery (Section V-A of the paper).
+//
+// Proposition 1 (from Khaled–Mishchenko–Richtárik 2020, Thm. 4) bounds the
+// expected loss gap after T rounds of E local epochs with K participating
+// servers.  Folding Proposition 2 in gives the merged constraint (Eq. 10)
+//
+//     A0/(T·E) + A1/K + A2·(E−1)  ≤  ε ,
+//
+// from which the minimum feasible round count T*(K, E) follows (Eq. 11).
+#pragma once
+
+#include <cstddef>
+#include <optional>
+
+#include "common/result.h"
+#include "energy/calibration.h"
+
+namespace eefei::core {
+
+using energy::ConvergenceConstants;
+
+class ConvergenceBound {
+ public:
+  /// `epsilon` is the target loss gap E[F(ω_T) − F(ω_*)].
+  ConvergenceBound(ConvergenceConstants constants, double epsilon)
+      : constants_(constants), epsilon_(epsilon) {}
+
+  [[nodiscard]] const ConvergenceConstants& constants() const {
+    return constants_;
+  }
+  [[nodiscard]] double epsilon() const { return epsilon_; }
+
+  /// Eq. 10 left-hand side at (K, E, T).
+  [[nodiscard]] double gap_bound(double k, double e, double t) const {
+    return constants_.gap_bound(k, e, t);
+  }
+
+  /// Eq. 13c slack: εK − A1 − A2·K·(E−1).  Feasible iff > 0.
+  [[nodiscard]] double feasibility_slack(double k, double e) const;
+  [[nodiscard]] bool feasible(double k, double e) const {
+    return feasibility_slack(k, e) > 0.0;
+  }
+
+  /// Eq. 11: the (continuous) minimum T such that the bound meets ε.
+  /// Error if (K, E) is infeasible (no T can reach ε).
+  [[nodiscard]] Result<double> optimal_rounds(double k, double e) const;
+
+  /// Integer version: smallest T ∈ Z⁺ with gap_bound(K,E,T) ≤ ε.
+  [[nodiscard]] Result<std::size_t> optimal_rounds_int(double k,
+                                                       double e) const;
+
+  /// Largest E keeping (K, E) feasible: E < (εK − A1 + A2K)/(A2K).
+  /// nullopt if no E ≥ 1 is feasible for this K.
+  [[nodiscard]] std::optional<double> max_feasible_epochs(double k) const;
+
+  /// Smallest K keeping (K, E) feasible: K > A1/(ε − A2(E−1)).
+  /// nullopt if no K ≥ 1 is feasible for this E (ε too tight).
+  [[nodiscard]] std::optional<double> min_feasible_servers(double e) const;
+
+ private:
+  ConvergenceConstants constants_;
+  double epsilon_;
+};
+
+}  // namespace eefei::core

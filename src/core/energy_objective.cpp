@@ -1,0 +1,78 @@
+#include "core/energy_objective.h"
+
+#include <cmath>
+
+namespace eefei::core {
+
+namespace {
+
+// Shared sub-expressions of the derivative formulas, following the paper's
+// notation: C1 = ε − A2(E−1); C4 (here `d`) = εK − A1 + A2K, so that the
+// Eq. 13c bracket equals C1·K − A1 = C4 − A2·K·E.
+struct Terms {
+  double a0, a1, a2, eps;
+  double c1(double e) const { return eps - a2 * (e - 1.0); }
+  double d(double k) const { return eps * k - a1 + a2 * k; }
+};
+
+Terms terms(const ConvergenceBound& bound) {
+  const auto& c = bound.constants();
+  return {c.a0, c.a1, c.a2, bound.epsilon()};
+}
+
+}  // namespace
+
+Result<double> EnergyObjective::value(double k, double e) const {
+  if (!feasible(k, e)) {
+    return Error::infeasible("energy objective: (K, E) outside the feasible "
+                             "domain of Eq. 13");
+  }
+  const auto t_star = bound_.optimal_rounds(k, e);
+  if (!t_star.ok()) return t_star.error();
+  return t_star.value() * k * (b0_ * e + b1_);
+}
+
+double EnergyObjective::d_dk(double k, double e) const {
+  const Terms tm = terms(bound_);
+  const double c0 = (b0_ * e + b1_) / e;
+  const double c1 = tm.c1(e);
+  const double bracket = c1 * k - tm.a1;
+  // d/dK [K²/(C1K−A1)] = K(C1K − 2A1)/(C1K−A1)².
+  return tm.a0 * c0 * k * (c1 * k - 2.0 * tm.a1) / (bracket * bracket);
+}
+
+double EnergyObjective::d2_dk2(double k, double e) const {
+  const Terms tm = terms(bound_);
+  const double c0 = (b0_ * e + b1_) / e;
+  const double c1 = tm.c1(e);
+  const double bracket = c1 * k - tm.a1;
+  // Paper Eq. 14.
+  return 2.0 * tm.a0 * tm.a1 * tm.a1 * c0 / (bracket * bracket * bracket);
+}
+
+double EnergyObjective::d_de(double k, double e) const {
+  const Terms tm = terms(bound_);
+  const double d = tm.d(k);
+  const double q = d * e - tm.a2 * k * e * e;  // (C4 − A2KE)·E
+  // φ(E) = (B0E+B1)/q;  φ' = N/q² with
+  // N = A2·K·B0·E² + 2·A2·K·B1·E − B1·C4.
+  const double n = tm.a2 * k * b0_ * e * e + 2.0 * tm.a2 * k * b1_ * e -
+                   b1_ * d;
+  return tm.a0 * k * k * n / (q * q);
+}
+
+double EnergyObjective::d2_de2(double k, double e) const {
+  const Terms tm = terms(bound_);
+  const double d = tm.d(k);
+  const double q = d * e - tm.a2 * k * e * e;
+  const double n = tm.a2 * k * b0_ * e * e + 2.0 * tm.a2 * k * b1_ * e -
+                   b1_ * d;
+  const double n_prime = 2.0 * tm.a2 * k * (b0_ * e + b1_);
+  const double q_prime_over = d - 2.0 * tm.a2 * k * e;  // q' = 2q̃·(…)/q̃ …
+  // φ'' = (N'·q − 2·N·(D − 2A2KE)·q̃) / q³ with q = q̃·E … expanded:
+  // q = (D − A2KE)E and dq/dE = D − 2A2KE; φ' = N/q² so
+  // φ'' = (N'·q² − N·2q·(D−2A2KE)) / q⁴ = (N'q − 2N(D−2A2KE)) / q³.
+  return tm.a0 * k * k * (n_prime * q - 2.0 * n * q_prime_over) / (q * q * q);
+}
+
+}  // namespace eefei::core

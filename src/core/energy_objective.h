@@ -1,0 +1,67 @@
+// The energy objective of Eq. 12:
+//
+//   Ê(K, E) = T*(K,E) · K · (B0·E + B1)
+//           = A0·K²·(B0E + B1) / ([εK − A1 − A2K(E−1)]·E)
+//
+// with B0 = c0·n_k + c1 (computation per epoch) and B1 = ρ·n_k + e^U
+// (fixed per-round communication).  Theorem 1 proves Ê is strictly
+// biconvex on the feasible domain; the analytic second partials below are
+// the paper's Eq. 14 / Eq. 16 and are exercised by the property tests.
+#pragma once
+
+#include <cstddef>
+
+#include "common/result.h"
+#include "core/convergence_bound.h"
+#include "energy/energy_model.h"
+
+namespace eefei::core {
+
+class EnergyObjective {
+ public:
+  /// `n` is the fleet size N (upper bound on K).
+  EnergyObjective(ConvergenceBound bound, double b0, double b1, std::size_t n)
+      : bound_(bound), b0_(b0), b1_(b1), n_(n) {}
+
+  [[nodiscard]] static EnergyObjective from_model(
+      ConvergenceBound bound, const energy::FeiEnergyModel& model,
+      std::size_t n) {
+    return EnergyObjective(bound, model.b0(), model.b1(), n);
+  }
+
+  [[nodiscard]] const ConvergenceBound& bound() const { return bound_; }
+  [[nodiscard]] double b0() const { return b0_; }
+  [[nodiscard]] double b1() const { return b1_; }
+  [[nodiscard]] std::size_t n() const { return n_; }
+
+  [[nodiscard]] bool feasible(double k, double e) const {
+    return k >= 1.0 && k <= static_cast<double>(n_) && e >= 1.0 &&
+           bound_.feasible(k, e);
+  }
+
+  /// Ê(K, E).  Error on infeasible points.
+  [[nodiscard]] Result<double> value(double k, double e) const;
+
+  /// Ê(K, E, T) for an explicitly chosen T (used when comparing fixed
+  /// operating points rather than bound-implied T).
+  [[nodiscard]] double value_at_rounds(double k, double e, double t) const {
+    return t * k * (b0_ * e + b1_);
+  }
+
+  // Analytic partial derivatives on the feasible interior.
+  [[nodiscard]] double d_dk(double k, double e) const;
+  [[nodiscard]] double d_de(double k, double e) const;
+  /// Eq. 14: ∂²Ê/∂K² = 2·A0·A1²·C0 / (C1·K − A1)³ with
+  /// C0 = (B0E+B1)/E, C1 = ε − A2(E−1).
+  [[nodiscard]] double d2_dk2(double k, double e) const;
+  /// Eq. 16 (the full expression; strictly positive on the interior).
+  [[nodiscard]] double d2_de2(double k, double e) const;
+
+ private:
+  ConvergenceBound bound_;
+  double b0_;
+  double b1_;
+  std::size_t n_;
+};
+
+}  // namespace eefei::core

@@ -1,0 +1,89 @@
+#include "core/grid_search.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace eefei::core {
+
+namespace {
+
+// Scores one lattice point; returns nullopt when infeasible.
+std::optional<GridPoint> score(const EnergyObjective& objective,
+                               std::size_t k, std::size_t e,
+                               bool integer_rounds) {
+  const auto kd = static_cast<double>(k);
+  const auto ed = static_cast<double>(e);
+  if (!objective.feasible(kd, ed)) return std::nullopt;
+  GridPoint p;
+  p.k = k;
+  p.e = e;
+  if (integer_rounds) {
+    const auto t = objective.bound().optimal_rounds_int(kd, ed);
+    if (!t.ok()) return std::nullopt;
+    p.t = t.value();
+    p.objective =
+        objective.value_at_rounds(kd, ed, static_cast<double>(p.t));
+  } else {
+    const auto v = objective.value(kd, ed);
+    if (!v.ok()) return std::nullopt;
+    const auto t = objective.bound().optimal_rounds(kd, ed);
+    p.t = static_cast<std::size_t>(std::ceil(t.value()));
+    p.objective = v.value();
+  }
+  return p;
+}
+
+}  // namespace
+
+Result<GridSearchResult> grid_search(const EnergyObjective& objective,
+                                     GridSearchConfig config) {
+  GridSearchResult result;
+  double best = std::numeric_limits<double>::infinity();
+  bool found = false;
+
+  for (std::size_t k = 1; k <= objective.n(); ++k) {
+    const auto e_max_cont =
+        objective.bound().max_feasible_epochs(static_cast<double>(k));
+    if (!e_max_cont.has_value()) {
+      ++result.infeasible;
+      continue;
+    }
+    std::size_t e_hi = static_cast<std::size_t>(std::floor(*e_max_cont));
+    if (config.max_epochs > 0) e_hi = std::min(e_hi, config.max_epochs);
+    for (std::size_t e = 1; e <= e_hi; ++e) {
+      const auto p = score(objective, k, e, config.integer_rounds);
+      if (!p.has_value()) {
+        ++result.infeasible;
+        continue;
+      }
+      ++result.evaluated;
+      if (p->objective < best) {
+        best = p->objective;
+        result.best = *p;
+        found = true;
+      }
+    }
+  }
+  if (!found) {
+    return Error::infeasible("grid search: no feasible (K, E) lattice point");
+  }
+  return result;
+}
+
+std::vector<GridPoint> sweep(const EnergyObjective& objective,
+                             std::vector<std::size_t> ks,
+                             std::vector<std::size_t> es,
+                             bool integer_rounds) {
+  std::vector<GridPoint> out;
+  out.reserve(ks.size() * es.size());
+  for (const std::size_t k : ks) {
+    for (const std::size_t e : es) {
+      const auto p = score(objective, k, e, integer_rounds);
+      if (p.has_value()) out.push_back(*p);
+    }
+  }
+  return out;
+}
+
+}  // namespace eefei::core

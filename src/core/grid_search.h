@@ -1,0 +1,45 @@
+// Exhaustive integer grid search over (K, E) — the optimality reference the
+// ACS solver is validated against, and the "brute force" baseline of the
+// solver-quality bench.  O(N · E_max) objective evaluations.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/result.h"
+#include "core/energy_objective.h"
+
+namespace eefei::core {
+
+struct GridPoint {
+  std::size_t k = 1;
+  std::size_t e = 1;
+  std::size_t t = 1;        // T*(k, e) rounded up to an integer
+  double objective = 0.0;   // T·K·(B0E+B1)
+};
+
+struct GridSearchResult {
+  GridPoint best;
+  std::size_t evaluated = 0;    // feasible lattice points seen
+  std::size_t infeasible = 0;   // lattice points rejected by Eq. 13c
+};
+
+struct GridSearchConfig {
+  /// Cap on E to bound the sweep; 0 = derive from the feasibility limit.
+  std::size_t max_epochs = 0;
+  /// Use the integer T (ceil of Eq. 11) when scoring, matching the real
+  /// system.  false scores with continuous T* (pure Eq. 12).
+  bool integer_rounds = true;
+};
+
+/// Scans K ∈ [1, N], E ∈ [1, E_max(K)] and returns the minimizer.
+[[nodiscard]] Result<GridSearchResult> grid_search(
+    const EnergyObjective& objective, GridSearchConfig config = {});
+
+/// Full sweep rows for plotting: Ê(K, E) for every feasible lattice point
+/// with K ∈ ks, E ∈ es (infeasible points are skipped).
+[[nodiscard]] std::vector<GridPoint> sweep(
+    const EnergyObjective& objective, std::vector<std::size_t> ks,
+    std::vector<std::size_t> es, bool integer_rounds = true);
+
+}  // namespace eefei::core

@@ -1,0 +1,87 @@
+#include "core/pareto.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/table.h"
+
+namespace eefei::core {
+
+Result<ParetoResult> pareto_sweep(const EnergyObjective& objective,
+                                  const RoundTimeModel& time_model,
+                                  std::size_t max_epochs) {
+  ParetoResult result;
+  for (std::size_t k = 1; k <= objective.n(); ++k) {
+    const auto e_max =
+        objective.bound().max_feasible_epochs(static_cast<double>(k));
+    if (!e_max.has_value()) continue;
+    std::size_t e_hi = static_cast<std::size_t>(std::floor(*e_max));
+    if (max_epochs > 0) e_hi = std::min(e_hi, max_epochs);
+    for (std::size_t e = 1; e <= e_hi; ++e) {
+      const auto t = objective.bound().optimal_rounds_int(
+          static_cast<double>(k), static_cast<double>(e));
+      if (!t.ok()) continue;
+      ParetoPoint p;
+      p.k = k;
+      p.e = e;
+      p.t = t.value();
+      p.energy_j = objective.value_at_rounds(
+          static_cast<double>(k), static_cast<double>(e),
+          static_cast<double>(p.t));
+      p.makespan =
+          time_model.round_duration(k, e) * static_cast<double>(p.t);
+      result.points.push_back(p);
+    }
+  }
+  if (result.points.empty()) {
+    return Error::infeasible("pareto: no feasible lattice point");
+  }
+
+  // O(n log n) frontier extraction: sort by makespan, keep strictly
+  // improving energy.
+  std::vector<std::size_t> order(result.points.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    const auto& pa = result.points[a];
+    const auto& pb = result.points[b];
+    if (pa.makespan.value() != pb.makespan.value()) {
+      return pa.makespan.value() < pb.makespan.value();
+    }
+    return pa.energy_j < pb.energy_j;
+  });
+  double best_energy = std::numeric_limits<double>::infinity();
+  for (const std::size_t idx : order) {
+    auto& p = result.points[idx];
+    if (p.energy_j < best_energy - 1e-12) {
+      best_energy = p.energy_j;
+      p.dominated = false;
+      result.frontier.push_back(p);
+    } else {
+      p.dominated = true;
+    }
+  }
+  return result;
+}
+
+std::string ParetoResult::render_frontier(std::size_t max_rows) const {
+  std::ostringstream out;
+  AsciiTable table({"K", "E", "T", "energy_J", "makespan_s"});
+  std::size_t shown = 0;
+  // Show an even subsample when the frontier is long.
+  const std::size_t stride =
+      frontier.size() > max_rows ? frontier.size() / max_rows : 1;
+  for (std::size_t i = 0; i < frontier.size(); i += stride) {
+    const auto& p = frontier[i];
+    table.add_row({std::to_string(p.k), std::to_string(p.e),
+                   std::to_string(p.t), format_double(p.energy_j, 5),
+                   format_double(p.makespan.value(), 5)});
+    ++shown;
+  }
+  out << "Pareto frontier (" << frontier.size() << " points, showing "
+      << shown << "):\n"
+      << table.render();
+  return out.str();
+}
+
+}  // namespace eefei::core

@@ -1,0 +1,63 @@
+// Energy/time multi-objective extension.
+//
+// Eq. 12 minimizes energy alone, but an FEI operator usually also cares
+// about wall-clock training time.  The two pull (K, E) in different
+// directions: more servers per round (K↑) wastes energy on redundant
+// gradients under IID data but shortens nothing, while fewer rounds (E↑)
+// saves round-trips but serializes more local compute.  This module sweeps
+// the feasible integer lattice, attaches a makespan model to each point
+// and extracts the Pareto frontier.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/units.h"
+#include "core/energy_objective.h"
+#include "energy/power_model.h"
+
+namespace eefei::core {
+
+/// Per-round wall-clock model, mirroring the simulator's timing: the
+/// coordinator dispatches K downloads serialized on the LAN, servers train
+/// in parallel, then K uploads serialize on the LAN again.
+struct RoundTimeModel {
+  energy::TrainingTimeModel timing;
+  Seconds download{0.080};  // per-server global-model transfer
+  Seconds upload{0.076};    // per-server local-model transfer
+  std::size_t samples_per_server = 3000;
+
+  [[nodiscard]] Seconds round_duration(std::size_t k, std::size_t e) const {
+    const auto kd = static_cast<double>(k);
+    return download * kd + timing.duration(e, samples_per_server) +
+           upload * kd;
+  }
+};
+
+struct ParetoPoint {
+  std::size_t k = 1;
+  std::size_t e = 1;
+  std::size_t t = 1;
+  double energy_j = 0.0;
+  Seconds makespan{0.0};
+  bool dominated = false;
+};
+
+struct ParetoResult {
+  /// All feasible lattice points evaluated (dominated flag set).
+  std::vector<ParetoPoint> points;
+  /// The non-dominated subset, sorted by makespan ascending.
+  std::vector<ParetoPoint> frontier;
+
+  [[nodiscard]] std::string render_frontier(std::size_t max_rows = 20) const;
+};
+
+/// Sweeps K ∈ [1, N] × feasible E, scores (energy, makespan) with the
+/// bound-implied T, and extracts the Pareto-optimal set.
+[[nodiscard]] Result<ParetoResult> pareto_sweep(
+    const EnergyObjective& objective, const RoundTimeModel& time_model,
+    std::size_t max_epochs = 0);
+
+}  // namespace eefei::core

@@ -1,0 +1,125 @@
+#include "core/planner.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "common/table.h"
+
+namespace eefei::core {
+
+EnergyObjective EeFeiPlanner::objective() const {
+  const ConvergenceBound bound(inputs_.constants, inputs_.epsilon);
+  energy::FeiEnergyModel model = inputs_.energy;
+  model.samples_per_server = inputs_.samples_per_server;
+  return EnergyObjective::from_model(bound, model, inputs_.num_servers);
+}
+
+Status EeFeiPlanner::calibrate_energy(
+    std::span<const energy::TimingObservation> timings,
+    Watts training_power) {
+  const auto fit = energy::fit_training_time(timings, training_power);
+  if (!fit.ok()) return fit.error();
+  inputs_.energy.training = fit->energy;
+  return Status::success();
+}
+
+Status EeFeiPlanner::calibrate_convergence(
+    std::span<const energy::ConvergenceObservation> observations) {
+  const auto fit = energy::fit_convergence_constants(observations);
+  if (!fit.ok()) return fit.error();
+  inputs_.constants = fit->constants;
+  return Status::success();
+}
+
+Result<Plan> EeFeiPlanner::finalize(
+    std::size_t k, std::size_t e, double cont_k, double cont_e,
+    std::size_t iterations, std::vector<BaselinePoint> baselines) const {
+  const EnergyObjective obj = objective();
+  const auto& bound = obj.bound();
+
+  Plan plan;
+  plan.k = k;
+  plan.e = e;
+  plan.continuous_k = cont_k;
+  plan.continuous_e = cont_e;
+  plan.acs_iterations = iterations;
+
+  const auto t = bound.optimal_rounds_int(static_cast<double>(k),
+                                          static_cast<double>(e));
+  if (!t.ok()) return t.error();
+  plan.t = t.value();
+  plan.predicted_energy_j = obj.value_at_rounds(
+      static_cast<double>(k), static_cast<double>(e),
+      static_cast<double>(plan.t));
+
+  if (baselines.empty()) {
+    baselines.push_back({"naive K=1,E=1", 1, 1});
+    baselines.push_back({"all servers K=N,E=1", inputs_.num_servers, 1});
+  }
+  for (auto& b : baselines) {
+    PlanComparison cmp;
+    cmp.baseline = b;
+    const auto bt = bound.optimal_rounds_int(static_cast<double>(b.k),
+                                             static_cast<double>(b.e));
+    if (!bt.ok()) {
+      cmp.feasible = false;
+      plan.comparisons.push_back(std::move(cmp));
+      continue;
+    }
+    cmp.t = bt.value();
+    cmp.energy_j = obj.value_at_rounds(static_cast<double>(b.k),
+                                       static_cast<double>(b.e),
+                                       static_cast<double>(cmp.t));
+    cmp.savings = cmp.energy_j > 0.0
+                      ? 1.0 - plan.predicted_energy_j / cmp.energy_j
+                      : 0.0;
+    plan.comparisons.push_back(std::move(cmp));
+  }
+  return plan;
+}
+
+Result<Plan> EeFeiPlanner::plan(std::vector<BaselinePoint> baselines) const {
+  const EnergyObjective obj = objective();
+  const AcsSolver solver(inputs_.acs);
+  const auto sol = solver.solve(obj);
+  if (!sol.ok()) return sol.error();
+  return finalize(sol->k_int, sol->e_int, sol->k, sol->e, sol->iterations,
+                  std::move(baselines));
+}
+
+Result<Plan> EeFeiPlanner::plan_exhaustive() const {
+  const EnergyObjective obj = objective();
+  const auto grid = grid_search(obj);
+  if (!grid.ok()) return grid.error();
+  return finalize(grid->best.k, grid->best.e,
+                  static_cast<double>(grid->best.k),
+                  static_cast<double>(grid->best.e), grid->evaluated, {});
+}
+
+std::string Plan::render() const {
+  std::ostringstream out;
+  out << "EE-FEI plan: K* = " << k << ", E* = " << e << ", T* = " << t
+      << "  (continuous K = " << format_double(continuous_k, 4)
+      << ", E = " << format_double(continuous_e, 4) << "; "
+      << acs_iterations << " ACS iterations)\n";
+  out << "predicted energy: " << format_double(predicted_energy_j, 6)
+      << " J\n";
+  if (!comparisons.empty()) {
+    AsciiTable table({"baseline", "K", "E", "T", "energy_J", "savings_%"});
+    for (const auto& c : comparisons) {
+      if (!c.feasible) {
+        table.add_row({c.baseline.name, std::to_string(c.baseline.k),
+                       std::to_string(c.baseline.e), "-", "infeasible", "-"});
+        continue;
+      }
+      table.add_row({c.baseline.name, std::to_string(c.baseline.k),
+                     std::to_string(c.baseline.e), std::to_string(c.t),
+                     format_double(c.energy_j, 6),
+                     format_double(100.0 * c.savings, 4)});
+    }
+    out << table.render();
+  }
+  return out.str();
+}
+
+}  // namespace eefei::core

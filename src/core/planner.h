@@ -1,0 +1,98 @@
+// EeFeiPlanner — the top-level EE-FEI entry point a deployment would use:
+//
+//   1. calibrate the energy coefficients (c0, c1, e^U, ρ) from timing
+//      measurements or take the reference defaults;
+//   2. calibrate the convergence constants (A0, A1, A2) from training
+//      traces or take the reference defaults;
+//   3. run ACS to obtain (K*, E*, T*) for the requested accuracy target;
+//   4. report the plan with predicted energy and savings against baseline
+//      operating points (e.g. the paper's K=1, E=1 reference).
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/acs.h"
+#include "core/grid_search.h"
+#include "energy/calibration.h"
+#include "energy/energy_model.h"
+
+namespace eefei::core {
+
+struct PlannerInputs {
+  std::size_t num_servers = 20;           // N
+  std::size_t samples_per_server = 3000;  // n_k
+  double epsilon = 0.05;                  // target loss gap
+  energy::FeiEnergyModel energy;          // c0/c1/ρ/e^U (defaults = paper)
+  ConvergenceConstants constants =
+      energy::paper_reference_constants();
+  AcsConfig acs;
+};
+
+/// A fixed (K, E) operating point to compare the plan against.
+struct BaselinePoint {
+  std::string name;
+  std::size_t k = 1;
+  std::size_t e = 1;
+};
+
+struct PlanComparison {
+  BaselinePoint baseline;
+  std::size_t t = 0;          // rounds the baseline needs (bound-implied)
+  double energy_j = 0.0;      // Ê at the baseline
+  double savings = 0.0;       // 1 − plan/baseline
+  bool feasible = true;
+};
+
+struct Plan {
+  std::size_t k = 1;
+  std::size_t e = 1;
+  std::size_t t = 1;
+  double predicted_energy_j = 0.0;
+  double continuous_k = 1.0;
+  double continuous_e = 1.0;
+  std::size_t acs_iterations = 0;
+  std::vector<PlanComparison> comparisons;
+
+  [[nodiscard]] std::string render() const;
+};
+
+class EeFeiPlanner {
+ public:
+  explicit EeFeiPlanner(PlannerInputs inputs) : inputs_(std::move(inputs)) {}
+
+  /// Overrides the energy coefficients from timing measurements (§VI-B).
+  [[nodiscard]] Status calibrate_energy(
+      std::span<const energy::TimingObservation> timings,
+      Watts training_power);
+
+  /// Overrides A0/A1/A2 from convergence traces.
+  [[nodiscard]] Status calibrate_convergence(
+      std::span<const energy::ConvergenceObservation> observations);
+
+  /// Runs ACS and builds the plan, comparing against `baselines`
+  /// (defaults to the paper's K=1, E=1 reference when empty).
+  [[nodiscard]] Result<Plan> plan(
+      std::vector<BaselinePoint> baselines = {}) const;
+
+  /// Exhaustive-search plan (for validation / small N).
+  [[nodiscard]] Result<Plan> plan_exhaustive() const;
+
+  [[nodiscard]] const PlannerInputs& inputs() const { return inputs_; }
+  [[nodiscard]] EnergyObjective objective() const;
+
+ private:
+  [[nodiscard]] Result<Plan> finalize(std::size_t k, std::size_t e,
+                                      double cont_k, double cont_e,
+                                      std::size_t iterations,
+                                      std::vector<BaselinePoint> baselines)
+      const;
+
+  PlannerInputs inputs_;
+};
+
+}  // namespace eefei::core

@@ -1,0 +1,123 @@
+#include "core/sensitivity.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "common/table.h"
+
+namespace eefei::core {
+
+namespace {
+
+// Applies a relative perturbation to one named parameter of the inputs.
+PlannerInputs perturb(const PlannerInputs& inputs, const std::string& name,
+                      double rel) {
+  PlannerInputs out = inputs;
+  const double f = 1.0 + rel;
+  if (name == "A0") {
+    out.constants.a0 *= f;
+  } else if (name == "A1") {
+    out.constants.a1 *= f;
+  } else if (name == "A2") {
+    out.constants.a2 *= f;
+  } else if (name == "B0") {
+    // B0 = c0·n_k + c1: scale both training coefficients.
+    out.energy.training.c0 *= f;
+    out.energy.training.c1 *= f;
+  } else if (name == "B1") {
+    out.energy.upload.e_upload *= f;
+    out.energy.collection.rho *= f;
+  } else if (name == "epsilon") {
+    out.epsilon *= f;
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<SensitivityReport> analyze_sensitivity(const PlannerInputs& inputs,
+                                              double relative_step) {
+  const EeFeiPlanner nominal_planner(inputs);
+  auto nominal = nominal_planner.plan();
+  if (!nominal.ok()) return nominal.error();
+
+  SensitivityReport report;
+  report.nominal = std::move(nominal).value();
+
+  const std::vector<std::string> params{"A0", "A1", "A2",
+                                        "B0", "B1", "epsilon"};
+  for (const auto& p : params) {
+    for (const double rel : {-relative_step, relative_step}) {
+      SensitivityEntry entry;
+      entry.parameter = p;
+      entry.perturbation = rel;
+
+      const PlannerInputs perturbed = perturb(inputs, p, rel);
+      const EeFeiPlanner planner(perturbed);
+      const auto plan = planner.plan();
+      if (!plan.ok()) {
+        entry.feasible = false;
+        report.entries.push_back(std::move(entry));
+        continue;
+      }
+      entry.k_star = plan->k;
+      entry.e_star = plan->e;
+      entry.t_star = plan->t;
+      entry.energy_j = plan->predicted_energy_j;
+
+      // Regret: run the nominal (K, E) under the perturbed truth.
+      const auto obj = planner.objective();
+      const auto t_nominal = obj.bound().optimal_rounds_int(
+          static_cast<double>(report.nominal.k),
+          static_cast<double>(report.nominal.e));
+      if (t_nominal.ok() && plan->predicted_energy_j > 0.0) {
+        const double nominal_under_truth = obj.value_at_rounds(
+            static_cast<double>(report.nominal.k),
+            static_cast<double>(report.nominal.e),
+            static_cast<double>(t_nominal.value()));
+        entry.regret =
+            nominal_under_truth / plan->predicted_energy_j - 1.0;
+      } else if (!t_nominal.ok()) {
+        // The nominal plan cannot even reach the target under the
+        // perturbed truth: infinite regret, flagged as infeasible.
+        entry.feasible = false;
+      }
+      report.entries.push_back(std::move(entry));
+    }
+  }
+  return report;
+}
+
+double SensitivityReport::worst_regret() const {
+  double worst = 0.0;
+  for (const auto& e : entries) {
+    if (e.feasible) worst = std::max(worst, e.regret);
+  }
+  return worst;
+}
+
+std::string SensitivityReport::render() const {
+  std::ostringstream out;
+  out << "nominal plan: K*=" << nominal.k << " E*=" << nominal.e
+      << " T*=" << nominal.t << " -> "
+      << format_double(nominal.predicted_energy_j, 6) << " J\n";
+  AsciiTable table({"parameter", "shift_%", "K*", "E*", "T*", "energy_J",
+                    "nominal_regret_%"});
+  for (const auto& e : entries) {
+    if (!e.feasible) {
+      table.add_row({e.parameter, format_double(100.0 * e.perturbation, 3),
+                     "-", "-", "-", "infeasible", "-"});
+      continue;
+    }
+    table.add_row({e.parameter, format_double(100.0 * e.perturbation, 3),
+                   std::to_string(e.k_star), std::to_string(e.e_star),
+                   std::to_string(e.t_star), format_double(e.energy_j, 5),
+                   format_double(100.0 * e.regret, 3)});
+  }
+  out << table.render();
+  out << "worst-case regret of the nominal plan: "
+      << format_double(100.0 * worst_regret(), 3) << "%\n";
+  return out.str();
+}
+
+}  // namespace eefei::core

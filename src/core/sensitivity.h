@@ -1,0 +1,49 @@
+// Sensitivity analysis of the EE-FEI plan.
+//
+// The optimizer's inputs — the convergence constants (A0, A1, A2) and the
+// energy coefficients (B0 via c0/c1, B1 via ρ/e^U) — come from noisy
+// calibration.  Before committing a deployment to (K*, E*), an operator
+// wants to know how fragile the plan is: if a constant is off by ±p%, how
+// much do K*, E* and the predicted energy move, and how much energy would
+// the nominal plan waste under the perturbed truth (regret)?
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/planner.h"
+
+namespace eefei::core {
+
+struct SensitivityEntry {
+  std::string parameter;     // "A0", "A1", "A2", "B0", "B1", "epsilon"
+  double perturbation = 0.0; // relative, e.g. +0.2 = +20%
+  std::size_t k_star = 0;    // re-optimized under the perturbed constant
+  std::size_t e_star = 0;
+  std::size_t t_star = 0;
+  double energy_j = 0.0;     // re-optimized energy under perturbation
+  /// Energy of the *nominal* plan evaluated under the perturbed truth,
+  /// relative to the re-optimized energy − 1 (0 = nominal plan still
+  /// optimal; 0.1 = it wastes 10%).
+  double regret = 0.0;
+  bool feasible = true;
+};
+
+struct SensitivityReport {
+  Plan nominal;
+  std::vector<SensitivityEntry> entries;
+
+  [[nodiscard]] std::string render() const;
+  /// Largest regret across all perturbations (the robustness headline).
+  [[nodiscard]] double worst_regret() const;
+};
+
+/// Perturbs each parameter by ±`relative_step` (default ±20%) and
+/// re-optimizes.  Fails only if the *nominal* problem is infeasible;
+/// infeasible perturbations are reported as such.
+[[nodiscard]] Result<SensitivityReport> analyze_sensitivity(
+    const PlannerInputs& inputs, double relative_step = 0.2);
+
+}  // namespace eefei::core

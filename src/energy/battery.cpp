@@ -1,0 +1,53 @@
+#include "energy/battery.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace eefei::energy {
+
+bool Battery::drain(Joules amount) {
+  if (amount.value() <= 0.0) return !depleted();
+  remaining_ -= amount;
+  if (remaining_.value() < 0.0) {
+    remaining_ = Joules{0.0};
+    return false;
+  }
+  return true;
+}
+
+LifetimeEstimate estimate_lifetime(Joules battery_capacity, Joules per_round,
+                                   std::size_t fleet_size,
+                                   std::size_t participants_per_round,
+                                   std::size_t horizon_rounds) {
+  LifetimeEstimate est;
+  if (fleet_size == 0 || participants_per_round == 0 ||
+      per_round.value() <= 0.0) {
+    est.rounds_until_first_death = horizon_rounds;
+    return est;
+  }
+  participants_per_round = std::min(participants_per_round, fleet_size);
+
+  // Uniform rotation: every member participates once per
+  // ceil(fleet/participants) rounds, so the first death happens when a
+  // member has accumulated capacity/per_round participations.
+  const double participations_to_die =
+      battery_capacity.value() / per_round.value();
+  const double rounds_per_participation =
+      static_cast<double>(fleet_size) /
+      static_cast<double>(participants_per_round);
+  est.rounds_until_first_death = static_cast<std::size_t>(
+      std::floor(participations_to_die * rounds_per_participation));
+
+  if (horizon_rounds == 0) {
+    est.fleet_alive_fraction_at_horizon = 1.0;
+    return est;
+  }
+  // Under uniform rotation everyone drains at the same expected rate, so
+  // the fleet survives (fraction 1.0) until the common death round and
+  // then dies together.
+  est.fleet_alive_fraction_at_horizon =
+      horizon_rounds <= est.rounds_until_first_death ? 1.0 : 0.0;
+  return est;
+}
+
+}  // namespace eefei::energy

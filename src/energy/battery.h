@@ -1,0 +1,64 @@
+// Battery model for energy-constrained IoT devices and lifetime analysis.
+//
+// The paper motivates EE-FEI with the sustainability of IoT deployments;
+// this extension makes the consequence concrete: given a per-round energy
+// draw, how long until battery-powered devices start dying, and how much
+// longer does the EE-FEI operating point keep the fleet alive than a naive
+// one?
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "common/units.h"
+
+namespace eefei::energy {
+
+class Battery {
+ public:
+  /// A fresh battery with the given capacity.  Typical IoT coin cell:
+  /// ~2.4 kJ (CR2450); AA pair: ~20 kJ.
+  explicit Battery(Joules capacity)
+      : capacity_(capacity), remaining_(capacity) {}
+
+  [[nodiscard]] Joules capacity() const { return capacity_; }
+  [[nodiscard]] Joules remaining() const { return remaining_; }
+  [[nodiscard]] bool depleted() const { return remaining_.value() <= 0.0; }
+  /// State of charge in [0, 1].
+  [[nodiscard]] double state_of_charge() const {
+    return capacity_.value() > 0.0
+               ? std::max(0.0, remaining_.value() / capacity_.value())
+               : 0.0;
+  }
+
+  /// Draws `amount`; returns false (and clamps to empty) if the charge ran
+  /// out mid-draw.
+  bool drain(Joules amount);
+
+  void recharge() { remaining_ = capacity_; }
+
+ private:
+  Joules capacity_;
+  Joules remaining_;
+};
+
+/// Fleet-lifetime analysis: rounds of operation until depletion given a
+/// constant per-round draw.
+struct LifetimeEstimate {
+  std::size_t rounds_until_first_death = 0;
+  double fleet_alive_fraction_at_horizon = 1.0;
+};
+
+/// Estimates lifetime for a fleet of identical batteries where each round
+/// draws `per_round` from `participants_per_round` randomly-rotated
+/// members of a fleet of size `fleet_size` (uniform rotation: expected
+/// per-member draw = per_round · participants / fleet_size).
+/// `horizon_rounds` bounds the what-fraction-survives question.
+[[nodiscard]] LifetimeEstimate estimate_lifetime(Joules battery_capacity,
+                                                 Joules per_round,
+                                                 std::size_t fleet_size,
+                                                 std::size_t participants_per_round,
+                                                 std::size_t horizon_rounds);
+
+}  // namespace eefei::energy

@@ -1,0 +1,86 @@
+#include "energy/calibration.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/stats.h"
+
+namespace eefei::energy {
+
+Result<TimingFit> fit_training_time(
+    std::span<const TimingObservation> observations, Watts training_power) {
+  if (observations.size() < 2) {
+    return Error::insufficient_data("timing fit: need >= 2 observations");
+  }
+  // duration/E = t0·n + t1 — a straight line in n.
+  std::vector<double> xs;
+  std::vector<double> ys;
+  xs.reserve(observations.size());
+  ys.reserve(observations.size());
+  for (const auto& obs : observations) {
+    if (obs.epochs == 0) {
+      return Error::invalid_argument("timing fit: observation with E = 0");
+    }
+    xs.push_back(static_cast<double>(obs.samples));
+    ys.push_back(obs.duration.value() / static_cast<double>(obs.epochs));
+  }
+  const auto line = fit_line(xs, ys);
+  if (!line.ok()) return line.error();
+
+  TimingFit fit;
+  fit.timing.seconds_per_sample_epoch = line->slope;
+  fit.timing.seconds_per_epoch = line->intercept;
+  fit.energy = LocalTrainingModel::from_timing(fit.timing, training_power);
+  fit.r_squared = line->r_squared;
+  return fit;
+}
+
+Result<ConvergenceFit> fit_convergence_constants(
+    std::span<const ConvergenceObservation> observations) {
+  if (observations.size() < 3) {
+    return Error::insufficient_data(
+        "convergence fit: need >= 3 observations");
+  }
+  std::vector<double> x;
+  std::vector<double> y;
+  x.reserve(observations.size() * 3);
+  y.reserve(observations.size());
+  for (const auto& obs : observations) {
+    if (obs.k == 0 || obs.epochs == 0 || obs.rounds == 0) {
+      return Error::invalid_argument("convergence fit: zero K/E/T");
+    }
+    const auto k = static_cast<double>(obs.k);
+    const auto e = static_cast<double>(obs.epochs);
+    const auto t = static_cast<double>(obs.rounds);
+    x.push_back(1.0 / (t * e));
+    x.push_back(1.0 / k);
+    x.push_back(e - 1.0);
+    y.push_back(obs.gap);
+  }
+  const auto beta = ols(x, 3, y);
+  if (!beta.ok()) return beta.error();
+
+  // The bound needs strictly positive constants; clamp tiny/negative fits.
+  constexpr double kFloorA0 = 1e-6;
+  constexpr double kFloorA1 = 1e-9;
+  constexpr double kFloorA2 = 1e-9;
+  ConvergenceFit fit;
+  fit.constants.a0 = std::max(beta.value()[0], kFloorA0);
+  fit.constants.a1 = std::max(beta.value()[1], kFloorA1);
+  fit.constants.a2 = std::max(beta.value()[2], kFloorA2);
+
+  std::vector<double> predicted;
+  std::vector<double> observed;
+  predicted.reserve(observations.size());
+  observed.reserve(observations.size());
+  for (const auto& obs : observations) {
+    predicted.push_back(fit.constants.gap_bound(
+        static_cast<double>(obs.k), static_cast<double>(obs.epochs),
+        static_cast<double>(obs.rounds)));
+    observed.push_back(obs.gap);
+  }
+  fit.r_squared = r_squared(predicted, observed);
+  return fit;
+}
+
+}  // namespace eefei::energy

@@ -1,0 +1,75 @@
+// Calibration fits.
+//
+// TimingCalibration reproduces the paper's §VI-B analysis: least-squares
+// fit of the step-(3) duration grid (Table I) to t = E·(t0·n + t1), then
+// conversion to the energy coefficients c0 = P_train·t0, c1 = P_train·t1.
+//
+// ConvergenceCalibration fits the bound constants A0, A1, A2 of Eq. 10 from
+// measured (K, E, T, loss-gap) tuples — the empirical route to the
+// optimizer's inputs when no theory constants are known.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/result.h"
+#include "common/units.h"
+#include "energy/energy_model.h"
+
+namespace eefei::energy {
+
+struct TimingObservation {
+  std::size_t epochs = 0;    // E
+  std::size_t samples = 0;   // n_k
+  Seconds duration{0.0};     // measured step-(3) time
+};
+
+struct TimingFit {
+  TrainingTimeModel timing;
+  LocalTrainingModel energy;  // c0, c1 (requires the training power level)
+  double r_squared = 0.0;
+};
+
+/// Least-squares fit of duration = E·(t0·n + t1).  Needs ≥ 2 observations
+/// with distinct n values.
+[[nodiscard]] Result<TimingFit> fit_training_time(
+    std::span<const TimingObservation> observations, Watts training_power);
+
+struct ConvergenceObservation {
+  std::size_t k = 0;        // servers per round
+  std::size_t epochs = 0;   // E
+  std::size_t rounds = 0;   // T needed to reach the target
+  double gap = 0.0;         // E[F(ω_T)] − F(ω_*) actually reached
+};
+
+struct ConvergenceConstants {
+  double a0 = 100.0;   // A0 = α0‖ω0−ω*‖²/γ      (initial-distance term)
+  double a1 = 0.005;   // A1 = α1·γ·σ²           (gradient-variance term)
+  double a2 = 5.6e-4;  // A2 = α2·γ²·L·σ²        (client-drift term)
+
+  /// Eq. 10's bound value at (K, E, T).
+  [[nodiscard]] double gap_bound(double k, double e, double t) const {
+    return a0 / (t * e) + a1 / k + a2 * (e - 1.0);
+  }
+};
+
+struct ConvergenceFit {
+  ConvergenceConstants constants;
+  double r_squared = 0.0;
+};
+
+/// OLS on gap = A0·[1/(TE)] + A1·[1/K] + A2·[E−1].  Needs ≥ 3 observations
+/// spanning distinct K and E values.  Negative fitted constants are clamped
+/// to a small positive floor (the bound requires positivity).
+[[nodiscard]] Result<ConvergenceFit> fit_convergence_constants(
+    std::span<const ConvergenceObservation> observations);
+
+/// The library's reference constants: calibrated so the bound reproduces
+/// the paper's Fig. 4–6 readings (see DESIGN.md "Key numerical
+/// calibration").  Target gap ε = 0.05 corresponds to the 92 % accuracy
+/// level of Figs. 5/6.
+[[nodiscard]] constexpr ConvergenceConstants paper_reference_constants() {
+  return ConvergenceConstants{100.0, 0.005, 5.6e-4};
+}
+
+}  // namespace eefei::energy

@@ -1,0 +1,102 @@
+// The paper's closed-form energy models (Section IV):
+//
+//   Eq. 4: e_k^I(n_k)    = ρ_k · n_k                (IoT data collection)
+//   Eq. 5: e_k^P(E, n_k) = c0 · E · n_k + c1 · E    (local model training)
+//          e_k^U         = const                    (local model upload)
+//
+// plus the per-round aggregates B0 = c0·n_k + c1 and B1 = ρ·n_k + e^U that
+// appear in the optimization objective (Eq. 12).
+#pragma once
+
+#include <cstddef>
+
+#include "common/units.h"
+#include "energy/power_model.h"
+
+namespace eefei::energy {
+
+/// Eq. 4 — data-collection energy.  ρ is the effective per-sample uplink
+/// constant (NB-IoT per-byte cost × sample size, inflated by the expected
+/// collision retries in the unlicensed band).
+struct DataCollectionModel {
+  Joules rho{0.0};  // per-sample energy; 0 = prototype mode (preloaded data)
+
+  [[nodiscard]] constexpr Joules energy(std::size_t samples) const {
+    return rho * static_cast<double>(samples);
+  }
+};
+
+/// Eq. 5 — local-training energy, with the §VI-B fitted defaults.
+struct LocalTrainingModel {
+  double c0 = 7.79e-5;  // J per (sample · epoch)
+  double c1 = 3.34e-3;  // J per epoch (load-independent)
+
+  [[nodiscard]] constexpr Joules energy(std::size_t epochs,
+                                        std::size_t samples) const {
+    const auto e = static_cast<double>(epochs);
+    const auto n = static_cast<double>(samples);
+    return Joules{c0 * e * n + c1 * e};
+  }
+
+  /// Per-epoch energy e_k^l = c0·n + c1.
+  [[nodiscard]] constexpr Joules per_epoch(std::size_t samples) const {
+    return Joules{c0 * static_cast<double>(samples) + c1};
+  }
+
+  /// Builds the energy model from the timing model and the training-state
+  /// power level — the physical relationship c = P_train · t the paper's
+  /// measurement exploits.
+  [[nodiscard]] static constexpr LocalTrainingModel from_timing(
+      const TrainingTimeModel& timing, Watts training_power) {
+    return {timing.seconds_per_sample_epoch * training_power.value(),
+            timing.seconds_per_epoch * training_power.value()};
+  }
+};
+
+/// Model-upload energy: upload power × LAN transfer duration of the
+/// parameter blob.
+struct UploadModel {
+  Joules e_upload{0.381};  // default: 31.44 kB at 3.4 Mbps × 5.015 W
+
+  [[nodiscard]] constexpr Joules energy() const { return e_upload; }
+
+  [[nodiscard]] static constexpr UploadModel from_link(
+      Bytes blob, BitsPerSecond rate, Seconds latency, Watts upload_power) {
+    return {upload_power * (latency + transfer_time(blob, rate))};
+  }
+};
+
+/// Full per-round, per-server energy model of the paper's Section IV, and
+/// the B0/B1 aggregates of Eq. 12.
+struct FeiEnergyModel {
+  DataCollectionModel collection;
+  LocalTrainingModel training;
+  UploadModel upload;
+  std::size_t samples_per_server = 3000;  // n_k (prototype: 60000/20)
+
+  /// e_k^I + e_k^P + e_k^U for one selected server in one round.
+  [[nodiscard]] constexpr Joules per_server_round(std::size_t epochs) const {
+    return collection.energy(samples_per_server) +
+           training.energy(epochs, samples_per_server) + upload.energy();
+  }
+
+  /// Total for T rounds with K selected servers per round (Eq. 3's sum
+  /// under the homogeneous-server assumption).
+  [[nodiscard]] constexpr Joules total(std::size_t epochs, std::size_t k,
+                                       std::size_t rounds) const {
+    return per_server_round(epochs) * static_cast<double>(k) *
+           static_cast<double>(rounds);
+  }
+
+  /// B0 = c0·n_k + c1 — the E-proportional (computation) coefficient.
+  [[nodiscard]] constexpr double b0() const {
+    return training.per_epoch(samples_per_server).value();
+  }
+
+  /// B1 = ρ·n_k + e^U — the per-round fixed (communication) coefficient.
+  [[nodiscard]] constexpr double b1() const {
+    return (collection.energy(samples_per_server) + upload.energy()).value();
+  }
+};
+
+}  // namespace eefei::energy

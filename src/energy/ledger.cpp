@@ -1,0 +1,86 @@
+#include "energy/ledger.h"
+
+#include <cassert>
+
+#include "common/table.h"
+
+namespace eefei::energy {
+
+EnergyLedger::EnergyLedger(std::size_t num_servers)
+    : per_server_(num_servers) {
+  assert(num_servers > 0);
+}
+
+void EnergyLedger::charge(std::size_t server, EnergyCategory category,
+                          Joules amount) {
+  assert(server < per_server_.size());
+  assert(amount.value() >= 0.0);
+  per_server_[server][static_cast<std::size_t>(category)] += amount;
+}
+
+Joules EnergyLedger::server_total(std::size_t server) const {
+  assert(server < per_server_.size());
+  Joules total{0.0};
+  for (const Joules j : per_server_[server]) total += j;
+  return total;
+}
+
+Joules EnergyLedger::category_total(EnergyCategory category) const {
+  Joules total{0.0};
+  for (const auto& row : per_server_) {
+    total += row[static_cast<std::size_t>(category)];
+  }
+  return total;
+}
+
+Joules EnergyLedger::total() const {
+  Joules total{0.0};
+  for (std::size_t s = 0; s < per_server_.size(); ++s) {
+    total += server_total(s);
+  }
+  return total;
+}
+
+Joules EnergyLedger::entry(std::size_t server, EnergyCategory category) const {
+  assert(server < per_server_.size());
+  return per_server_[server][static_cast<std::size_t>(category)];
+}
+
+Joules EnergyLedger::modeled_total() const {
+  return category_total(EnergyCategory::kDataCollection) +
+         category_total(EnergyCategory::kTraining) +
+         category_total(EnergyCategory::kUpload);
+}
+
+void EnergyLedger::merge(const EnergyLedger& other) {
+  assert(per_server_.size() == other.per_server_.size());
+  for (std::size_t s = 0; s < per_server_.size(); ++s) {
+    for (std::size_t c = 0; c < kNumEnergyCategories; ++c) {
+      per_server_[s][c] += other.per_server_[s][c];
+    }
+  }
+}
+
+void EnergyLedger::reset() {
+  for (auto& row : per_server_) row.fill(Joules{0.0});
+}
+
+std::string EnergyLedger::render() const {
+  std::vector<std::string> header{"server"};
+  for (std::size_t c = 0; c < kNumEnergyCategories; ++c) {
+    header.emplace_back(to_string(static_cast<EnergyCategory>(c)));
+  }
+  header.emplace_back("total_J");
+  AsciiTable table(std::move(header));
+  for (std::size_t s = 0; s < per_server_.size(); ++s) {
+    std::vector<std::string> row{std::to_string(s)};
+    for (std::size_t c = 0; c < kNumEnergyCategories; ++c) {
+      row.push_back(format_double(per_server_[s][c].value(), 5));
+    }
+    row.push_back(format_double(server_total(s).value(), 6));
+    table.add_row(std::move(row));
+  }
+  return table.render();
+}
+
+}  // namespace eefei::energy

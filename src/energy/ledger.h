@@ -1,0 +1,69 @@
+// Energy ledger: per-server, per-category accounting of everything the
+// simulated FEI system spends.  This is the "measured" side of Figs. 5/6 —
+// the number the theoretical bound is compared against.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+#include "energy/power_model.h"
+
+namespace eefei::energy {
+
+enum class EnergyCategory : std::size_t {
+  kDataCollection = 0,  // IoT uplink (e^I)
+  kWaiting = 1,         // edge idle
+  kDownload = 2,        // global model reception
+  kTraining = 3,        // local epochs (e^P)
+  kUpload = 4,          // local model transmission (e^U)
+};
+
+inline constexpr std::size_t kNumEnergyCategories = 5;
+
+[[nodiscard]] constexpr const char* to_string(EnergyCategory c) {
+  switch (c) {
+    case EnergyCategory::kDataCollection:
+      return "data_collection";
+    case EnergyCategory::kWaiting:
+      return "waiting";
+    case EnergyCategory::kDownload:
+      return "download";
+    case EnergyCategory::kTraining:
+      return "training";
+    case EnergyCategory::kUpload:
+      return "upload";
+  }
+  return "?";
+}
+
+class EnergyLedger {
+ public:
+  explicit EnergyLedger(std::size_t num_servers);
+
+  void charge(std::size_t server, EnergyCategory category, Joules amount);
+
+  [[nodiscard]] std::size_t num_servers() const { return per_server_.size(); }
+  [[nodiscard]] Joules server_total(std::size_t server) const;
+  [[nodiscard]] Joules category_total(EnergyCategory category) const;
+  [[nodiscard]] Joules total() const;
+  [[nodiscard]] Joules entry(std::size_t server,
+                             EnergyCategory category) const;
+
+  /// e^P + e^U + e^I — the subset of the total the paper's Eq. 12 models
+  /// (waiting/download overheads are outside the analytical model).
+  [[nodiscard]] Joules modeled_total() const;
+
+  void merge(const EnergyLedger& other);
+  void reset();
+
+  [[nodiscard]] std::string render() const;
+
+ private:
+  using Row = std::array<Joules, kNumEnergyCategories>;
+  std::vector<Row> per_server_;
+};
+
+}  // namespace eefei::energy

@@ -1,0 +1,62 @@
+#include "energy/meter.h"
+
+#include <cassert>
+#include <sstream>
+
+#include "common/csv.h"
+
+namespace eefei::energy {
+
+Joules PowerTrace::energy() const {
+  if (samples_.empty() || sample_rate_hz_ <= 0.0) return Joules{0.0};
+  const Seconds period{1.0 / sample_rate_hz_};
+  Joules total{0.0};
+  for (const auto& s : samples_) total += s.power * period;
+  return total;
+}
+
+Watts PowerTrace::mean_power(Seconds t0, Seconds t1) const {
+  double acc = 0.0;
+  std::size_t n = 0;
+  for (const auto& s : samples_) {
+    if (s.time >= t0 && s.time < t1) {
+      acc += s.power.value();
+      ++n;
+    }
+  }
+  return n > 0 ? Watts{acc / static_cast<double>(n)} : Watts{0.0};
+}
+
+std::string PowerTrace::to_csv() const {
+  std::ostringstream out;
+  CsvWriter writer(out);
+  writer.write_header({"time_s", "power_w"});
+  for (const auto& s : samples_) {
+    writer.write_row({s.time.value(), s.power.value()});
+  }
+  return out.str();
+}
+
+PowerTrace PowerMeter::capture(const PowerStateTimeline& timeline) {
+  assert(config_.sample_rate_hz > 0.0);
+  const Seconds end = timeline.total_duration();
+  std::vector<PowerSample> samples;
+  samples.reserve(
+      static_cast<std::size_t>(end.value() * config_.sample_rate_hz) + 1);
+  // Integer sample index avoids floating-point drift over long captures.
+  for (std::size_t i = 0;; ++i) {
+    const Seconds t{static_cast<double>(i) / config_.sample_rate_hz};
+    if (t >= end) break;
+    if (config_.dropout_prob > 0.0 && rng_.bernoulli(config_.dropout_prob)) {
+      continue;  // lost sample, exactly like a flaky USB meter
+    }
+    Watts p = timeline.power_at(t);
+    if (config_.noise_stddev_watts > 0.0) {
+      p += Watts{rng_.normal(0.0, config_.noise_stddev_watts)};
+    }
+    samples.push_back({t, p});
+  }
+  return PowerTrace{std::move(samples), config_.sample_rate_hz};
+}
+
+}  // namespace eefei::energy

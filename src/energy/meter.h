@@ -1,0 +1,75 @@
+// Simulated USB power meter — the stand-in for the prototype's POWER-Z
+// KM001C (§VI-A: plugged into each Raspberry Pi's power port, 1 kHz sample
+// rate).  It samples a PowerStateTimeline at a fixed rate with optional
+// Gaussian measurement noise and sample dropouts, and integrates the trace
+// back to energy the way the real measurement pipeline does.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/units.h"
+#include "energy/timeline.h"
+
+namespace eefei::energy {
+
+struct MeterConfig {
+  double sample_rate_hz = 1000.0;  // the prototype's 1 kHz
+  double noise_stddev_watts = 0.0; // additive Gaussian per sample
+  double dropout_prob = 0.0;       // probability a sample is lost
+  std::uint64_t seed = 1234;
+};
+
+struct PowerSample {
+  Seconds time{0.0};
+  Watts power{0.0};
+};
+
+/// A captured trace plus integration helpers.
+class PowerTrace {
+ public:
+  PowerTrace() = default;
+  PowerTrace(std::vector<PowerSample> samples, double sample_rate_hz)
+      : samples_(std::move(samples)), sample_rate_hz_(sample_rate_hz) {}
+
+  [[nodiscard]] std::size_t size() const { return samples_.size(); }
+  [[nodiscard]] bool empty() const { return samples_.empty(); }
+  [[nodiscard]] const std::vector<PowerSample>& samples() const {
+    return samples_;
+  }
+  [[nodiscard]] double sample_rate_hz() const { return sample_rate_hz_; }
+
+  /// Rectangle-rule energy integral (power × sample period), the method a
+  /// streaming meter uses.
+  [[nodiscard]] Joules energy() const;
+
+  /// Mean power over a [t0, t1) window — how the paper's per-step averages
+  /// (3.6 / 4.286 / 5.553 / 5.015 W) were obtained.
+  [[nodiscard]] Watts mean_power(Seconds t0, Seconds t1) const;
+
+  /// CSV export: time_s,power_w.
+  [[nodiscard]] std::string to_csv() const;
+
+ private:
+  std::vector<PowerSample> samples_;
+  double sample_rate_hz_ = 0.0;
+};
+
+class PowerMeter {
+ public:
+  explicit PowerMeter(MeterConfig config = {})
+      : config_(config), rng_(config.seed) {}
+
+  /// Samples the timeline from t = 0 to its end.
+  [[nodiscard]] PowerTrace capture(const PowerStateTimeline& timeline);
+
+  [[nodiscard]] const MeterConfig& config() const { return config_; }
+
+ private:
+  MeterConfig config_;
+  Rng rng_;
+};
+
+}  // namespace eefei::energy

@@ -1,0 +1,74 @@
+// Device power model.  The paper's §VI-B measurement found the edge server
+// (Raspberry Pi 4B) draws an essentially constant power level in each of
+// the four steps of a global round — the levels below are the paper's
+// measured averages.  Energy is therefore power-level × step-duration,
+// which is exactly how the simulator accounts it.
+#pragma once
+
+#include <array>
+#include <cstddef>
+
+#include "common/units.h"
+
+namespace eefei::energy {
+
+/// The four steps of one global round at an edge server (§VI-B, Fig. 3).
+enum class EdgeState : std::size_t {
+  kWaiting = 0,      // idle, waiting for coordinator / data
+  kDownloading = 1,  // receiving ω_t + training setup
+  kTraining = 2,     // E local epochs
+  kUploading = 3,    // sending ω_{k,t}
+};
+
+inline constexpr std::size_t kNumEdgeStates = 4;
+
+[[nodiscard]] constexpr const char* to_string(EdgeState s) {
+  switch (s) {
+    case EdgeState::kWaiting:
+      return "waiting";
+    case EdgeState::kDownloading:
+      return "downloading";
+    case EdgeState::kTraining:
+      return "training";
+    case EdgeState::kUploading:
+      return "uploading";
+  }
+  return "?";
+}
+
+/// Per-state power draw of one edge server.
+struct DevicePowerProfile {
+  std::array<Watts, kNumEdgeStates> state_power{
+      Watts{3.600},   // Waiting   (§VI-B step 1: "almost idle", 3.6 W)
+      Watts{4.286},   // Download  (§VI-B step 2)
+      Watts{5.553},   // Training  (§VI-B step 3)
+      Watts{5.015},   // Upload    (§VI-B step 4)
+  };
+
+  [[nodiscard]] constexpr Watts power(EdgeState s) const {
+    return state_power[static_cast<std::size_t>(s)];
+  }
+
+  /// The paper's Raspberry Pi 4B numbers (also the default).
+  [[nodiscard]] static constexpr DevicePowerProfile raspberry_pi_4b() {
+    return DevicePowerProfile{};
+  }
+};
+
+/// Duration model of the local-training step (step 3).  §VI-B/Table I
+/// establish t = E·(t0·n_k + t1); the defaults below reproduce every row
+/// of Table I and, multiplied by the 5.553 W training power, give the
+/// paper's fitted energy coefficients c0 = 7.79e-5, c1 = 3.34e-3.
+struct TrainingTimeModel {
+  double seconds_per_sample_epoch = 1.4027e-5;  // t0
+  double seconds_per_epoch = 6.015e-4;          // t1
+
+  [[nodiscard]] constexpr Seconds duration(std::size_t epochs,
+                                           std::size_t samples) const {
+    const auto e = static_cast<double>(epochs);
+    const auto n = static_cast<double>(samples);
+    return Seconds{e * (seconds_per_sample_epoch * n + seconds_per_epoch)};
+  }
+};
+
+}  // namespace eefei::energy

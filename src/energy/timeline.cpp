@@ -1,0 +1,62 @@
+#include "energy/timeline.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace eefei::energy {
+
+void PowerStateTimeline::push(EdgeState state, Seconds duration) {
+  assert(duration.value() >= 0.0);
+  if (duration.value() <= 0.0) return;
+  // Coalesce with the previous interval when the state repeats.
+  if (!intervals_.empty() && intervals_.back().state == state) {
+    intervals_.back().duration += duration;
+  } else {
+    intervals_.push_back({state, end_, duration});
+  }
+  end_ += duration;
+}
+
+Watts PowerStateTimeline::power_at(Seconds t) const {
+  if (t.value() < 0.0 || intervals_.empty() || t > end_) {
+    return profile_.power(EdgeState::kWaiting);
+  }
+  // Binary search for the interval containing t.
+  const auto it = std::upper_bound(
+      intervals_.begin(), intervals_.end(), t,
+      [](Seconds time, const StateInterval& iv) { return time < iv.start; });
+  const auto& iv = (it == intervals_.begin()) ? intervals_.front() : *(it - 1);
+  if (t >= iv.start && t <= iv.end()) return profile_.power(iv.state);
+  return profile_.power(EdgeState::kWaiting);
+}
+
+Joules PowerStateTimeline::total_energy() const {
+  Joules total{0.0};
+  for (const auto& iv : intervals_) {
+    total += profile_.power(iv.state) * iv.duration;
+  }
+  return total;
+}
+
+Joules PowerStateTimeline::energy_in_state(EdgeState state) const {
+  Joules total{0.0};
+  for (const auto& iv : intervals_) {
+    if (iv.state == state) total += profile_.power(iv.state) * iv.duration;
+  }
+  return total;
+}
+
+Seconds PowerStateTimeline::time_in_state(EdgeState state) const {
+  Seconds total{0.0};
+  for (const auto& iv : intervals_) {
+    if (iv.state == state) total += iv.duration;
+  }
+  return total;
+}
+
+void PowerStateTimeline::clear() {
+  intervals_.clear();
+  end_ = Seconds{0.0};
+}
+
+}  // namespace eefei::energy

@@ -1,0 +1,58 @@
+// Power-state timeline: the ground-truth record of which state a device was
+// in over time.  The simulated power meter samples it; the exact energy
+// integral is available directly for tests and for the energy ledger.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/units.h"
+#include "energy/power_model.h"
+
+namespace eefei::energy {
+
+struct StateInterval {
+  EdgeState state = EdgeState::kWaiting;
+  Seconds start{0.0};
+  Seconds duration{0.0};
+
+  [[nodiscard]] Seconds end() const { return start + duration; }
+};
+
+class PowerStateTimeline {
+ public:
+  explicit PowerStateTimeline(DevicePowerProfile profile = {})
+      : profile_(profile) {}
+
+  /// Appends an interval of `duration` in `state` at the current end time.
+  void push(EdgeState state, Seconds duration);
+
+  [[nodiscard]] Seconds total_duration() const { return end_; }
+  [[nodiscard]] bool empty() const { return intervals_.empty(); }
+  [[nodiscard]] const std::vector<StateInterval>& intervals() const {
+    return intervals_;
+  }
+  [[nodiscard]] const DevicePowerProfile& profile() const { return profile_; }
+
+  /// Instantaneous power at time t (last interval's level extends to
+  /// exactly its end; waiting power outside any interval).
+  [[nodiscard]] Watts power_at(Seconds t) const;
+
+  /// Exact energy integral over the whole timeline.
+  [[nodiscard]] Joules total_energy() const;
+
+  /// Exact energy spent in a given state.
+  [[nodiscard]] Joules energy_in_state(EdgeState state) const;
+
+  /// Total time spent in a given state.
+  [[nodiscard]] Seconds time_in_state(EdgeState state) const;
+
+  void clear();
+
+ private:
+  DevicePowerProfile profile_;
+  std::vector<StateInterval> intervals_;
+  Seconds end_{0.0};
+};
+
+}  // namespace eefei::energy

@@ -1,0 +1,239 @@
+#include "energy/trace_analysis.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "common/csv.h"
+#include "common/stats.h"
+#include "common/table.h"
+
+namespace eefei::energy {
+
+namespace {
+
+EdgeState classify_power(Watts mean, const DevicePowerProfile& profile) {
+  EdgeState best = EdgeState::kWaiting;
+  double best_dist = std::numeric_limits<double>::infinity();
+  for (std::size_t s = 0; s < kNumEdgeStates; ++s) {
+    const auto state = static_cast<EdgeState>(s);
+    const double d = std::abs(profile.power(state).value() - mean.value());
+    if (d < best_dist) {
+      best_dist = d;
+      best = state;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+Result<std::vector<TraceSegment>> segment_trace(
+    const PowerTrace& trace, const DevicePowerProfile& profile,
+    SegmentationConfig config) {
+  if (trace.empty()) {
+    return Error::insufficient_data("segment_trace: empty trace");
+  }
+  if (config.window == 0) {
+    return Error::invalid_argument("segment_trace: window must be >= 1");
+  }
+  const auto& samples = trace.samples();
+  const double period = 1.0 / trace.sample_rate_hz();
+
+  // Pass 1: split wherever the rolling mean jumps by the threshold.
+  struct RawSegment {
+    std::size_t first;
+    std::size_t last;  // inclusive
+  };
+  std::vector<RawSegment> raw;
+  raw.push_back({0, 0});
+  double window_sum = samples[0].power.value();
+  std::size_t window_count = 1;
+  for (std::size_t i = 1; i < samples.size(); ++i) {
+    const double rolling = window_sum / static_cast<double>(window_count);
+    const double v = samples[i].power.value();
+    if (std::abs(v - rolling) > config.change_threshold.value()) {
+      raw.push_back({i, i});
+      window_sum = v;
+      window_count = 1;
+    } else {
+      raw.back().last = i;
+      window_sum += v;
+      ++window_count;
+      if (window_count > config.window) {
+        // Slide: approximate by rescaling (cheap rolling mean).
+        window_sum *= static_cast<double>(config.window) /
+                      static_cast<double>(window_count);
+        window_count = config.window;
+      }
+    }
+  }
+
+  // Pass 2: materialize segments, merging spikes into their predecessor.
+  std::vector<TraceSegment> segments;
+  auto materialize = [&](const RawSegment& r) {
+    TraceSegment seg;
+    seg.start = samples[r.first].time;
+    seg.samples = r.last - r.first + 1;
+    seg.duration = Seconds{static_cast<double>(seg.samples) * period};
+    double acc = 0.0;
+    for (std::size_t i = r.first; i <= r.last; ++i) {
+      acc += samples[i].power.value();
+    }
+    seg.mean_power = Watts{acc / static_cast<double>(seg.samples)};
+    return seg;
+  };
+  for (const auto& r : raw) {
+    TraceSegment seg = materialize(r);
+    if (!segments.empty() && seg.duration < config.min_duration) {
+      // Spike: fold into the previous segment's time-weighted mean.
+      auto& prev = segments.back();
+      const double total =
+          prev.duration.value() + seg.duration.value();
+      prev.mean_power =
+          Watts{(prev.mean_power.value() * prev.duration.value() +
+                 seg.mean_power.value() * seg.duration.value()) /
+                total};
+      prev.duration = Seconds{total};
+      prev.samples += seg.samples;
+      continue;
+    }
+    segments.push_back(seg);
+  }
+
+  // Pass 3: classify and coalesce neighbours that map to the same state.
+  std::vector<TraceSegment> merged;
+  for (auto& seg : segments) {
+    seg.state = classify_power(seg.mean_power, profile);
+    if (!merged.empty() && merged.back().state == seg.state) {
+      auto& prev = merged.back();
+      const double total = prev.duration.value() + seg.duration.value();
+      prev.mean_power =
+          Watts{(prev.mean_power.value() * prev.duration.value() +
+                 seg.mean_power.value() * seg.duration.value()) /
+                total};
+      prev.duration = Seconds{total};
+      prev.samples += seg.samples;
+    } else {
+      merged.push_back(seg);
+    }
+  }
+  return merged;
+}
+
+std::vector<StepStatistics> summarize_segments(
+    std::span<const TraceSegment> segments) {
+  std::vector<StepStatistics> stats(kNumEdgeStates);
+  for (std::size_t s = 0; s < kNumEdgeStates; ++s) {
+    stats[s].state = static_cast<EdgeState>(s);
+  }
+  for (const auto& seg : segments) {
+    auto& st = stats[static_cast<std::size_t>(seg.state)];
+    ++st.occurrences;
+    st.total_time += seg.duration;
+    st.total_energy += seg.energy();
+  }
+  for (auto& st : stats) {
+    if (st.total_time.value() > 0.0) {
+      st.mean_power = st.total_energy / st.total_time;
+    }
+  }
+  return stats;
+}
+
+std::vector<TimingObservation> training_durations(
+    std::span<const TraceSegment> segments, std::size_t epochs,
+    std::size_t samples) {
+  std::vector<TimingObservation> out;
+  for (const auto& seg : segments) {
+    if (seg.state == EdgeState::kTraining) {
+      out.push_back({epochs, samples, seg.duration});
+    }
+  }
+  return out;
+}
+
+Result<TraceCalibrationResult> calibrate_from_traces(
+    std::span<const std::pair<std::size_t, std::size_t>> grid,
+    const TrainingTimeModel& true_timing, const DevicePowerProfile& profile,
+    const MeterConfig& meter_config) {
+  TraceCalibrationResult result;
+  PowerMeter meter(meter_config);
+  for (const auto& [epochs, samples] : grid) {
+    // Build the physical timeline one measured round would produce.
+    PowerStateTimeline timeline(profile);
+    timeline.push(EdgeState::kWaiting, Seconds{0.15});
+    timeline.push(EdgeState::kDownloading, Seconds{0.08});
+    timeline.push(EdgeState::kTraining,
+                  true_timing.duration(epochs, samples));
+    timeline.push(EdgeState::kUploading, Seconds{0.08});
+    timeline.push(EdgeState::kWaiting, Seconds{0.1});
+
+    const PowerTrace trace = meter.capture(timeline);
+    const auto segments = segment_trace(trace, profile);
+    if (!segments.ok()) return segments.error();
+    const auto observations =
+        training_durations(segments.value(), epochs, samples);
+    if (observations.empty()) {
+      return Error::internal(
+          "trace calibration: no training segment detected for E=" +
+          std::to_string(epochs) + ", n=" + std::to_string(samples));
+    }
+    result.observations.insert(result.observations.end(),
+                               observations.begin(), observations.end());
+  }
+  const auto fit = fit_training_time(result.observations,
+                                     profile.power(EdgeState::kTraining));
+  if (!fit.ok()) return fit.error();
+  result.fit = fit.value();
+  return result;
+}
+
+Result<PowerTrace> trace_from_csv(std::string_view csv_text) {
+  const auto doc = parse_csv(csv_text);
+  if (!doc.ok()) return doc.error();
+  const auto times = doc->numeric_column("time_s");
+  if (!times.ok()) return times.error();
+  const auto powers = doc->numeric_column("power_w");
+  if (!powers.ok()) return powers.error();
+  if (times->size() < 2) {
+    return Error::insufficient_data("trace csv: need >= 2 samples");
+  }
+
+  std::vector<double> gaps;
+  gaps.reserve(times->size() - 1);
+  for (std::size_t i = 1; i < times->size(); ++i) {
+    const double gap = times.value()[i] - times.value()[i - 1];
+    if (gap <= 0.0) {
+      return Error::parse_error("trace csv: non-increasing timestamps");
+    }
+    gaps.push_back(gap);
+  }
+  const double median_gap = percentile(gaps, 0.5);
+  if (median_gap <= 0.0) {
+    return Error::parse_error("trace csv: cannot infer sample rate");
+  }
+
+  std::vector<PowerSample> samples;
+  samples.reserve(times->size());
+  for (std::size_t i = 0; i < times->size(); ++i) {
+    samples.push_back({Seconds{times.value()[i]},
+                       Watts{powers.value()[i]}});
+  }
+  return PowerTrace{std::move(samples), 1.0 / median_gap};
+}
+
+std::string render_segments(std::span<const TraceSegment> segments) {
+  AsciiTable table({"start_s", "duration_s", "mean_W", "state", "energy_J"});
+  for (const auto& seg : segments) {
+    table.add_row({format_double(seg.start.value(), 5),
+                   format_double(seg.duration.value(), 5),
+                   format_double(seg.mean_power.value(), 4),
+                   to_string(seg.state),
+                   format_double(seg.energy().value(), 5)});
+  }
+  return table.render();
+}
+
+}  // namespace eefei::energy

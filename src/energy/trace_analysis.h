@@ -1,0 +1,96 @@
+// Power-trace analysis: the measurement methodology of the paper's §VI-B,
+// automated.
+//
+// The prototype's pipeline was: record a 1 kHz power trace per edge server
+// (POWER-Z), segment it into the four steps by their distinct power
+// levels, average power and measure duration per step, then least-squares
+// the training-step durations into (c0, c1).  This module implements that
+// pipeline over PowerTrace data so the whole §VI-B analysis can run on
+// simulated (or imported CSV) traces:
+//
+//   PowerTrace ──segment──▶ [TraceSegment] ──classify──▶ steps
+//             ──training durations──▶ TimingObservation ──▶ fit c0/c1
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "energy/calibration.h"
+#include "energy/meter.h"
+#include "energy/power_model.h"
+
+namespace eefei::energy {
+
+/// One detected constant-power segment of a trace.
+struct TraceSegment {
+  Seconds start{0.0};
+  Seconds duration{0.0};
+  Watts mean_power{0.0};
+  EdgeState state = EdgeState::kWaiting;  // classified against a profile
+  std::size_t samples = 0;
+
+  [[nodiscard]] Seconds end() const { return start + duration; }
+  [[nodiscard]] Joules energy() const { return mean_power * duration; }
+};
+
+struct SegmentationConfig {
+  /// A new segment starts when the rolling mean shifts by more than this.
+  Watts change_threshold{0.25};
+  /// Rolling-mean window (samples); absorbs meter noise.
+  std::size_t window = 8;
+  /// Segments shorter than this are merged into their neighbour (spikes).
+  Seconds min_duration{0.004};
+};
+
+/// Splits a trace into constant-power segments and classifies each against
+/// the profile's state levels (nearest level wins).
+[[nodiscard]] Result<std::vector<TraceSegment>> segment_trace(
+    const PowerTrace& trace, const DevicePowerProfile& profile,
+    SegmentationConfig config = {});
+
+/// Statistics of a segmented trace, per state — the per-step means the
+/// paper reports under Fig. 3.
+struct StepStatistics {
+  EdgeState state = EdgeState::kWaiting;
+  std::size_t occurrences = 0;
+  Seconds total_time{0.0};
+  Watts mean_power{0.0};
+  Joules total_energy{0.0};
+};
+
+[[nodiscard]] std::vector<StepStatistics> summarize_segments(
+    std::span<const TraceSegment> segments);
+
+/// Extracts the training-step durations from a segmented trace: one
+/// TimingObservation per detected training segment, stamped with the known
+/// (E, n_k) of the run — exactly the Table I measurement procedure.
+[[nodiscard]] std::vector<TimingObservation> training_durations(
+    std::span<const TraceSegment> segments, std::size_t epochs,
+    std::size_t samples);
+
+/// End-to-end §VI-B: runs the (E, n_k) grid through a timeline builder,
+/// meters each timeline, segments the traces, extracts the training
+/// durations and fits (c0, c1).
+struct TraceCalibrationResult {
+  TimingFit fit;
+  std::vector<TimingObservation> observations;
+};
+
+[[nodiscard]] Result<TraceCalibrationResult> calibrate_from_traces(
+    std::span<const std::pair<std::size_t, std::size_t>> grid,  // (E, n_k)
+    const TrainingTimeModel& true_timing, const DevicePowerProfile& profile,
+    const MeterConfig& meter_config);
+
+/// Renders segments as the paper-style step table.
+[[nodiscard]] std::string render_segments(
+    std::span<const TraceSegment> segments);
+
+/// Imports a trace from CSV text with columns `time_s,power_w` (the format
+/// PowerTrace::to_csv writes and external meters can export).  The sample
+/// rate is inferred from the median inter-sample gap, so traces with
+/// dropouts import correctly.
+[[nodiscard]] Result<PowerTrace> trace_from_csv(std::string_view csv_text);
+
+}  // namespace eefei::energy

@@ -1,0 +1,50 @@
+#include "fl/aggregator.h"
+
+#include <algorithm>
+
+namespace eefei::fl {
+
+Status aggregate(std::span<const LocalTrainResult> updates,
+                 AggregationRule rule, std::vector<double>& global_out) {
+  if (updates.empty()) {
+    return Error::invalid_argument("aggregate: no updates");
+  }
+  const std::size_t dim = updates.front().params.size();
+  for (const auto& u : updates) {
+    if (u.params.size() != dim) {
+      return Error::invalid_argument("aggregate: parameter size mismatch");
+    }
+  }
+
+  global_out.assign(dim, 0.0);
+  switch (rule) {
+    case AggregationRule::kUniformMean: {
+      const double w = 1.0 / static_cast<double>(updates.size());
+      for (const auto& u : updates) {
+        for (std::size_t i = 0; i < dim; ++i) {
+          global_out[i] += w * u.params[i];
+        }
+      }
+      break;
+    }
+    case AggregationRule::kSampleWeighted: {
+      double total = 0.0;
+      for (const auto& u : updates) {
+        total += static_cast<double>(u.samples_used);
+      }
+      if (total <= 0.0) {
+        return Error::invalid_argument("aggregate: zero total samples");
+      }
+      for (const auto& u : updates) {
+        const double w = static_cast<double>(u.samples_used) / total;
+        for (std::size_t i = 0; i < dim; ++i) {
+          global_out[i] += w * u.params[i];
+        }
+      }
+      break;
+    }
+  }
+  return Status::success();
+}
+
+}  // namespace eefei::fl

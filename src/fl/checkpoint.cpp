@@ -1,0 +1,59 @@
+#include "fl/checkpoint.h"
+
+#include <algorithm>
+#include <array>
+
+#include "ml/serialize.h"
+
+namespace eefei::fl {
+
+namespace {
+constexpr std::array<std::uint8_t, 4> kMagic{'C', 'K', 'P', 'T'};
+constexpr std::uint16_t kVersion = 1;
+constexpr std::size_t kHeaderSize = 4 + 2 + 2 + 8;
+}  // namespace
+
+std::vector<std::uint8_t> serialize_checkpoint(
+    const TrainingCheckpoint& checkpoint) {
+  std::vector<std::uint8_t> out;
+  const auto blob = ml::serialize_parameters(checkpoint.params);
+  out.reserve(kHeaderSize + blob.bytes.size());
+  out.insert(out.end(), kMagic.begin(), kMagic.end());
+  out.push_back(static_cast<std::uint8_t>(kVersion & 0xFF));
+  out.push_back(static_cast<std::uint8_t>(kVersion >> 8));
+  out.push_back(0);
+  out.push_back(0);
+  std::uint64_t rounds = checkpoint.rounds_completed;
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<std::uint8_t>((rounds >> (8 * i)) & 0xFF));
+  }
+  out.insert(out.end(), blob.bytes.begin(), blob.bytes.end());
+  return out;
+}
+
+Result<TrainingCheckpoint> deserialize_checkpoint(
+    std::span<const std::uint8_t> bytes) {
+  if (bytes.size() < kHeaderSize) {
+    return Error::parse_error("checkpoint: truncated header");
+  }
+  if (!std::equal(kMagic.begin(), kMagic.end(), bytes.begin())) {
+    return Error::parse_error("checkpoint: bad magic");
+  }
+  const std::uint16_t version =
+      static_cast<std::uint16_t>(bytes[4] | (bytes[5] << 8));
+  if (version != kVersion) {
+    return Error::parse_error("checkpoint: unsupported version");
+  }
+  std::uint64_t rounds = 0;
+  for (int i = 7; i >= 0; --i) {
+    rounds = (rounds << 8) | bytes[8 + static_cast<std::size_t>(i)];
+  }
+  auto params = ml::deserialize_parameters(bytes.subspan(kHeaderSize));
+  if (!params.ok()) return params.error();
+  TrainingCheckpoint cp;
+  cp.params = std::move(params).value();
+  cp.rounds_completed = rounds;
+  return cp;
+}
+
+}  // namespace eefei::fl

@@ -1,0 +1,29 @@
+// Training checkpointing: serialize the coordinator's global state (model
+// parameters + completed-round count) so long federated runs survive
+// coordinator restarts — a must for the multi-hour trainings the paper's
+// T ≈ 2000-round baselines imply.
+//
+// Wire format: magic 'CKPT' | version u16 | reserved u16 | rounds u64
+//            | embedded float32 model blob (ml/serialize.h format).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/result.h"
+
+namespace eefei::fl {
+
+struct TrainingCheckpoint {
+  std::vector<double> params;        // ω after `rounds_completed` rounds
+  std::size_t rounds_completed = 0;  // next round index to execute
+};
+
+[[nodiscard]] std::vector<std::uint8_t> serialize_checkpoint(
+    const TrainingCheckpoint& checkpoint);
+
+[[nodiscard]] Result<TrainingCheckpoint> deserialize_checkpoint(
+    std::span<const std::uint8_t> bytes);
+
+}  // namespace eefei::fl

@@ -1,0 +1,78 @@
+// FL client — the model-training role of one edge server.  Given the global
+// parameters it runs E epochs of full-batch gradient descent on its local
+// shard (the paper's prototype uses full-batch SGD, §VI-A) and returns the
+// updated parameter vector.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "data/dataset.h"
+#include "ml/model_spec.h"
+#include "ml/optimizer.h"
+
+namespace eefei::fl {
+
+using ClientId = std::size_t;
+
+struct LocalTrainResult {
+  ClientId client = 0;
+  std::vector<double> params;   // locally updated ω_{k,t}
+  double initial_loss = 0.0;    // loss at the received global model
+  double final_loss = 0.0;      // loss after E epochs
+  std::size_t epochs_run = 0;   // E
+  std::size_t samples_used = 0; // n_k
+  /// false when the update was lost before aggregation (upload failure /
+  /// straggler deadline) — the energy was still spent on training.
+  bool aggregated = true;
+};
+
+struct ClientConfig {
+  ml::ModelSpec model;
+  ml::SgdConfig sgd;
+  /// Cap on local samples per round (n_k).  0 means the full shard.
+  std::size_t sample_limit = 0;
+  /// Mini-batch size per SGD step.  0 = full batch (the paper's setup,
+  /// SVI-A); otherwise each local epoch sweeps the shard in shuffled
+  /// mini-batches of this size (one optimizer step per batch).
+  std::size_t batch_size = 0;
+  /// FedProx proximal coefficient μ: adds μ·(ω − ω_t) to every local
+  /// gradient, pulling updates toward the received global model.  0
+  /// disables (plain FedAvg, the paper's algorithm).  Useful under
+  /// non-IID allocations (§VI-C).
+  double proximal_mu = 0.0;
+};
+
+class Client {
+ public:
+  /// `shard` must outlive the client.
+  Client(ClientId id, const data::Shard* shard, ClientConfig config);
+
+  /// Runs `epochs` full-batch GD steps from `global_params`.  `round` is
+  /// the global round index t: the paper's schedule (§VI-A) uses learning
+  /// rate 0.01·0.99^t, held constant within a round, synchronized across
+  /// clients by the coordinator.
+  [[nodiscard]] LocalTrainResult train(std::span<const double> global_params,
+                                       std::size_t epochs, std::size_t round);
+
+  [[nodiscard]] ClientId id() const { return id_; }
+  [[nodiscard]] std::size_t num_samples() const;
+  [[nodiscard]] const ClientConfig& config() const { return config_; }
+
+  /// Local loss F_k(ω) at the given parameters (Eq. 1) — used by tests and
+  /// by the convergence-constant calibration.
+  [[nodiscard]] double local_loss(std::span<const double> params) const;
+
+ private:
+  [[nodiscard]] ml::BatchView batch() const;
+
+  ClientId id_;
+  const data::Shard* shard_;
+  ClientConfig config_;
+  std::unique_ptr<ml::Model> model_;  // reused across rounds
+  std::vector<double> grad_buffer_;   // reused across epochs
+};
+
+}  // namespace eefei::fl

@@ -1,0 +1,188 @@
+#include "fl/coordinator.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "ml/model_spec.h"
+#include "ml/quantize.h"
+
+namespace eefei::fl {
+
+Coordinator::Coordinator(std::vector<Client>* clients,
+                         const data::Dataset* test_set,
+                         CoordinatorConfig config,
+                         std::unique_ptr<SelectionPolicy> policy)
+    : clients_(clients),
+      test_set_(test_set),
+      config_(config),
+      policy_(std::move(policy)) {
+  assert(clients_ != nullptr);
+  assert(test_set_ != nullptr);
+  assert(policy_ != nullptr);
+}
+
+void Coordinator::set_initial_params(std::vector<double> params) {
+  initial_params_ = std::move(params);
+}
+
+void Coordinator::resume_from(const TrainingCheckpoint& checkpoint) {
+  initial_params_ = checkpoint.params;
+  start_round_ = checkpoint.rounds_completed;
+}
+
+Result<TrainingOutcome> Coordinator::run() {
+  if (clients_->empty()) {
+    return Error::invalid_argument("coordinator: no clients");
+  }
+  if (config_.clients_per_round == 0) {
+    return Error::invalid_argument("coordinator: K must be >= 1");
+  }
+  if (config_.max_rounds == 0) {
+    return Error::invalid_argument("coordinator: max_rounds must be >= 1");
+  }
+
+  // ω_0 comes from a freshly constructed model: the all-zero vector for
+  // the paper's (convex) logistic regression, a proper random init for
+  // non-convex models like the MLP (zero init would be a dead network).
+  const auto init_model = ml::make_model(clients_->front().config().model);
+  const std::size_t param_count = init_model->parameter_count();
+  std::vector<double> global(init_model->parameters().begin(),
+                             init_model->parameters().end());
+  if (initial_params_.has_value()) {
+    if (initial_params_->size() != param_count) {
+      return Error::invalid_argument(
+          "coordinator: initial params size mismatch");
+    }
+    global = *initial_params_;
+  }
+
+  // Evaluation model reused every round.
+  const auto eval_model_ptr =
+      ml::make_model(clients_->front().config().model);
+  ml::Model& eval_model = *eval_model_ptr;
+
+  std::unique_ptr<ThreadPool> pool;
+  if (config_.threads > 0) {
+    pool = std::make_unique<ThreadPool>(config_.threads);
+  }
+
+  TrainingOutcome outcome;
+  std::size_t cumulative_epochs = 0;
+  Rng drop_rng(config_.drop_seed);
+  ServerOptimizer server_opt(config_.server_optimizer);
+  std::vector<double> client_average(param_count, 0.0);
+
+  for (std::size_t t = start_round_; t < start_round_ + config_.max_rounds;
+       ++t) {
+    const auto selected =
+        policy_->select(clients_->size(), config_.clients_per_round, t);
+    assert(!selected.empty());
+
+    // Local training — every client trains from ω_t at the round-t lr.
+    std::vector<LocalTrainResult> updates(selected.size());
+    auto train_one = [&](std::size_t i) {
+      updates[i] =
+          (*clients_)[selected[i]].train(global, config_.local_epochs, t);
+    };
+    if (pool) {
+      pool->parallel_for(selected.size(), train_one);
+    } else {
+      for (std::size_t i = 0; i < selected.size(); ++i) train_one(i);
+    }
+
+    // Lossy-upload extension: each update crosses the wire quantized.
+    if (config_.upload_quant_bits != 0 && config_.upload_quant_bits != 32) {
+      for (auto& u : updates) {
+        if (const auto st =
+                ml::quantize_roundtrip(u.params, config_.upload_quant_bits);
+            !st.ok()) {
+          return st.error();
+        }
+      }
+    }
+
+    // Failure injection: drop updates with the configured probability,
+    // always keeping at least one so aggregation is defined.
+    if (config_.update_drop_probability > 0.0) {
+      for (auto& u : updates) {
+        u.aggregated = !drop_rng.bernoulli(config_.update_drop_probability);
+      }
+      const bool any_survivor =
+          std::any_of(updates.begin(), updates.end(),
+                      [](const LocalTrainResult& u) { return u.aggregated; });
+      if (!any_survivor) {
+        updates[drop_rng.uniform_index(updates.size())].aggregated = true;
+      }
+    }
+    std::vector<LocalTrainResult> survivors;
+    survivors.reserve(updates.size());
+    for (const auto& u : updates) {
+      if (u.aggregated) survivors.push_back(u);
+    }
+
+    if (const auto st =
+            aggregate(survivors, config_.aggregation, client_average);
+        !st.ok()) {
+      return st.error();
+    }
+    // ω_{t+1} from the aggregated average (Eq. 2 when the server rule is
+    // plain averaging with lr 1.0, FedAvgM/FedAdam otherwise).
+    server_opt.step(global, client_average);
+
+    cumulative_epochs += config_.local_epochs;
+    outcome.total_local_epochs += config_.local_epochs * selected.size();
+
+    RoundRecord record;
+    record.round = t;
+    record.clients_selected = selected.size();
+    record.updates_aggregated = survivors.size();
+    record.local_epochs = config_.local_epochs;
+    record.cumulative_local_epochs = cumulative_epochs;
+    record.selected = selected;
+    double mean_local = 0.0;
+    for (const auto& u : updates) mean_local += u.final_loss;
+    record.mean_local_loss = mean_local / static_cast<double>(updates.size());
+
+    const bool eval_round =
+        (t % config_.eval_every == 0) || (t + 1 == config_.max_rounds);
+    if (eval_round) {
+      auto params = eval_model.parameters();
+      std::copy(global.begin(), global.end(), params.begin());
+      const auto eval = eval_model.evaluate(test_set_->view());
+      record.global_loss = eval.loss;
+      record.test_accuracy = eval.accuracy;
+    } else if (!outcome.record.empty()) {
+      record.global_loss = outcome.record.last().global_loss;
+      record.test_accuracy = outcome.record.last().test_accuracy;
+    }
+
+    if (observer_) observer_(record, updates);
+    outcome.record.add(record);
+    outcome.rounds_run = t + 1 - start_round_;
+
+    if (eval_round) {
+      const bool hit_accuracy =
+          config_.target_accuracy.has_value() &&
+          record.test_accuracy >= *config_.target_accuracy;
+      const bool hit_loss =
+          config_.target_loss_gap.has_value() &&
+          (record.global_loss - config_.f_star) <= *config_.target_loss_gap;
+      if (hit_accuracy || hit_loss) {
+        outcome.reached_target = true;
+        break;
+      }
+    }
+  }
+
+  outcome.final_params = std::move(global);
+  return outcome;
+}
+
+double Coordinator::evaluate_loss(std::span<const double> params) const {
+  const auto model = ml::make_model(clients_->front().config().model);
+  auto p = model->parameters();
+  std::copy(params.begin(), params.end(), p.begin());
+  return model->evaluate(test_set_->view()).loss;
+}
+
+}  // namespace eefei::fl

@@ -1,0 +1,111 @@
+// FL coordinator — drives the FedAvg loop of the paper's Fig. 1:
+// select 𝒦_t, dispatch ω_t, collect ω_{k,t} after E local epochs,
+// aggregate (Eq. 2), evaluate, repeat until the accuracy/loss target or
+// the round cap T_max is reached.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "data/dataset.h"
+#include "fl/aggregator.h"
+#include "fl/checkpoint.h"
+#include "fl/client.h"
+#include "fl/selection.h"
+#include "fl/server_optimizer.h"
+#include "fl/training_record.h"
+
+namespace eefei::fl {
+
+struct CoordinatorConfig {
+  std::size_t clients_per_round = 10;  // K
+  std::size_t local_epochs = 40;       // E
+  std::size_t max_rounds = 500;        // hard cap on T
+  /// Stop when test accuracy reaches this (nullopt disables).
+  std::optional<double> target_accuracy;
+  /// Stop when global loss gap F(ω_t) − f_star reaches ε (nullopt disables).
+  std::optional<double> target_loss_gap;
+  /// Reference minimum loss F(ω_*) for the gap criterion.
+  double f_star = 0.0;
+  AggregationRule aggregation = AggregationRule::kUniformMean;
+  /// Server-side optimizer applied to the aggregated average (kAverage
+  /// with lr = 1.0 reproduces the paper's Eq. 2 exactly).
+  ServerOptimizerConfig server_optimizer;
+  /// Evaluate every this many rounds (1 = every round).
+  std::size_t eval_every = 1;
+  /// Worker threads for parallel local training (0 = run serially).
+  std::size_t threads = 0;
+  /// Lossy-upload extension: quantize each uploaded model to this many
+  /// bits per parameter (4/8/16).  0 or 32 = exact float upload.
+  unsigned upload_quant_bits = 0;
+  /// Failure injection: probability an update is lost before aggregation
+  /// (upload failure / straggler past deadline).  At least one update per
+  /// round always survives so the round can aggregate.
+  double update_drop_probability = 0.0;
+  std::uint64_t drop_seed = 99;
+};
+
+struct TrainingOutcome {
+  TrainingRecord record;
+  std::vector<double> final_params;
+  bool reached_target = false;
+  std::size_t rounds_run = 0;         // T actually executed this run
+  std::size_t total_local_epochs = 0; // Σ_t Σ_{k∈𝒦_t} E
+
+  /// Checkpoint that resumes exactly where this run stopped.
+  /// `first_round` is the absolute index of this run's first round.
+  [[nodiscard]] TrainingCheckpoint checkpoint(
+      std::size_t first_round = 0) const {
+    return {final_params, first_round + rounds_run};
+  }
+};
+
+/// Per-round observer, e.g. for the energy ledger: called after each
+/// aggregation with the round record and the per-client updates.
+using RoundObserver = std::function<void(
+    const RoundRecord&, std::span<const LocalTrainResult>)>;
+
+class Coordinator {
+ public:
+  /// `clients` and `test_set` must outlive the coordinator.  The policy is
+  /// owned.  The global model starts at the zero vector (convex problem).
+  Coordinator(std::vector<Client>* clients, const data::Dataset* test_set,
+              CoordinatorConfig config,
+              std::unique_ptr<SelectionPolicy> policy);
+
+  /// Runs the federated loop.  Fails if there are no clients or K = 0.
+  [[nodiscard]] Result<TrainingOutcome> run();
+
+  void set_round_observer(RoundObserver observer) {
+    observer_ = std::move(observer);
+  }
+
+  /// Replaces the initial global parameters (default: a freshly
+  /// constructed model per the clients' spec).
+  void set_initial_params(std::vector<double> params);
+
+  /// Resumes from a checkpoint: restores ω and continues the round
+  /// numbering (so lr decay and round-indexed selection line up with the
+  /// original run).  max_rounds then means "this many MORE rounds".
+  void resume_from(const TrainingCheckpoint& checkpoint);
+
+  [[nodiscard]] const CoordinatorConfig& config() const { return config_; }
+
+ private:
+  [[nodiscard]] double evaluate_loss(std::span<const double> params) const;
+
+  std::vector<Client>* clients_;
+  const data::Dataset* test_set_;
+  CoordinatorConfig config_;
+  std::unique_ptr<SelectionPolicy> policy_;
+  RoundObserver observer_;
+  std::optional<std::vector<double>> initial_params_;
+  std::size_t start_round_ = 0;
+};
+
+}  // namespace eefei::fl

@@ -1,0 +1,68 @@
+#include "fl/selection.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace eefei::fl {
+
+std::vector<ClientId> UniformRandomSelection::select(std::size_t n,
+                                                     std::size_t k,
+                                                     std::size_t /*round*/) {
+  k = std::min(k, n);
+  // Partial Fisher–Yates: O(n) setup, exact uniform sample w/o replacement.
+  std::vector<ClientId> ids(n);
+  std::iota(ids.begin(), ids.end(), ClientId{0});
+  for (std::size_t i = 0; i < k; ++i) {
+    const std::size_t j =
+        i + static_cast<std::size_t>(rng_.uniform_index(n - i));
+    std::swap(ids[i], ids[j]);
+  }
+  ids.resize(k);
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+std::vector<ClientId> RoundRobinSelection::select(std::size_t n, std::size_t k,
+                                                  std::size_t round) {
+  k = std::min(k, n);
+  std::vector<ClientId> ids;
+  ids.reserve(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    ids.push_back((round * k + i) % n);
+  }
+  std::sort(ids.begin(), ids.end());
+  ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+  // If wrap-around produced duplicates (k close to n), fill with unused ids.
+  for (ClientId c = 0; ids.size() < k && c < n; ++c) {
+    if (!std::binary_search(ids.begin(), ids.end(), c)) {
+      ids.insert(std::lower_bound(ids.begin(), ids.end(), c), c);
+    }
+  }
+  return ids;
+}
+
+std::vector<ClientId> EnergyAwareSelection::select(std::size_t n,
+                                                   std::size_t k,
+                                                   std::size_t /*round*/) {
+  k = std::min(k, n);
+  if (spent_.size() < n) spent_.resize(n, 0.0);
+  std::vector<ClientId> ids(n);
+  std::iota(ids.begin(), ids.end(), ClientId{0});
+  std::stable_sort(ids.begin(), ids.end(), [this](ClientId a, ClientId b) {
+    return spent_[a] < spent_[b];
+  });
+  ids.resize(k);
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+void EnergyAwareSelection::debit(ClientId client, double joules) {
+  if (spent_.size() <= client) spent_.resize(client + 1, 0.0);
+  spent_[client] += joules;
+}
+
+double EnergyAwareSelection::balance(ClientId client) const {
+  return client < spent_.size() ? spent_[client] : 0.0;
+}
+
+}  // namespace eefei::fl

@@ -1,0 +1,63 @@
+#include "fl/server_optimizer.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace eefei::fl {
+
+void ServerOptimizer::step(std::span<double> global,
+                           std::span<const double> client_average) {
+  assert(global.size() == client_average.size());
+  const std::size_t n = global.size();
+
+  switch (config_.rule) {
+    case ServerRule::kAverage: {
+      // Eq. 2 with an optional server lr: ω ← ω − η(ω − avg).
+      for (std::size_t i = 0; i < n; ++i) {
+        global[i] -= config_.learning_rate * (global[i] - client_average[i]);
+      }
+      break;
+    }
+    case ServerRule::kFedAvgM: {
+      if (momentum_buffer_.size() != n) momentum_buffer_.assign(n, 0.0);
+      for (std::size_t i = 0; i < n; ++i) {
+        const double delta = global[i] - client_average[i];
+        momentum_buffer_[i] =
+            config_.momentum * momentum_buffer_[i] + delta;
+        global[i] -= config_.learning_rate * momentum_buffer_[i];
+      }
+      break;
+    }
+    case ServerRule::kFedAdam: {
+      if (adam_m_.size() != n) {
+        adam_m_.assign(n, 0.0);
+        adam_v_.assign(n, 0.0);
+      }
+      const auto t = static_cast<double>(steps_ + 1);
+      const double bc1 = 1.0 - std::pow(config_.beta1, t);
+      const double bc2 = 1.0 - std::pow(config_.beta2, t);
+      for (std::size_t i = 0; i < n; ++i) {
+        const double delta = global[i] - client_average[i];
+        adam_m_[i] = config_.beta1 * adam_m_[i] +
+                     (1.0 - config_.beta1) * delta;
+        adam_v_[i] = config_.beta2 * adam_v_[i] +
+                     (1.0 - config_.beta2) * delta * delta;
+        const double m_hat = adam_m_[i] / bc1;
+        const double v_hat = adam_v_[i] / bc2;
+        global[i] -= config_.learning_rate * m_hat /
+                     (std::sqrt(v_hat) + config_.adam_epsilon);
+      }
+      break;
+    }
+  }
+  ++steps_;
+}
+
+void ServerOptimizer::reset() {
+  steps_ = 0;
+  momentum_buffer_.clear();
+  adam_m_.clear();
+  adam_v_.clear();
+}
+
+}  // namespace eefei::fl

@@ -1,0 +1,59 @@
+// Server-side optimization (the FedOpt family, Reddi et al. 2021) — an
+// extension over the paper's plain parameter averaging (Eq. 2).
+//
+// Each round the aggregated client average defines a pseudo-gradient
+//     Δ_t = ω_t − avg_k(ω_{k,t})
+// which the server feeds to a first-order optimizer instead of adopting
+// the average outright:
+//   * kAverage:  ω_{t+1} = avg (the paper's FedAvg, Eq. 2);
+//   * kFedAvgM:  server momentum over Δ_t;
+//   * kFedAdam:  Adam over Δ_t.
+// Server optimizers can cut the round count T — which in EE-FEI terms is
+// an energy knob orthogonal to (K, E).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace eefei::fl {
+
+enum class ServerRule {
+  kAverage,  // Eq. 2
+  kFedAvgM,  // server momentum
+  kFedAdam,  // server Adam
+};
+
+struct ServerOptimizerConfig {
+  ServerRule rule = ServerRule::kAverage;
+  double learning_rate = 1.0;  // 1.0 + kAverage == plain FedAvg
+  double momentum = 0.9;       // kFedAvgM
+  double beta1 = 0.9;          // kFedAdam
+  double beta2 = 0.99;
+  double adam_epsilon = 1e-3;  // FedOpt uses a large tau
+};
+
+class ServerOptimizer {
+ public:
+  explicit ServerOptimizer(ServerOptimizerConfig config) : config_(config) {}
+
+  /// Advances the global model given the round's aggregated client
+  /// average: reads `global` as ω_t, writes ω_{t+1} into it.
+  void step(std::span<double> global, std::span<const double> client_average);
+
+  void reset();
+
+  [[nodiscard]] const ServerOptimizerConfig& config() const {
+    return config_;
+  }
+  [[nodiscard]] std::size_t steps_taken() const { return steps_; }
+
+ private:
+  ServerOptimizerConfig config_;
+  std::size_t steps_ = 0;
+  std::vector<double> momentum_buffer_;
+  std::vector<double> adam_m_;
+  std::vector<double> adam_v_;
+};
+
+}  // namespace eefei::fl

@@ -1,0 +1,55 @@
+#include "fl/training_record.h"
+
+#include <limits>
+#include <sstream>
+
+#include "common/csv.h"
+
+namespace eefei::fl {
+
+void TrainingRecord::add(RoundRecord record) {
+  rounds_.push_back(std::move(record));
+}
+
+std::optional<std::size_t> TrainingRecord::rounds_to_accuracy(
+    double target) const {
+  for (const auto& r : rounds_) {
+    if (r.test_accuracy >= target) return r.round + 1;
+  }
+  return std::nullopt;
+}
+
+std::optional<std::size_t> TrainingRecord::rounds_to_loss(double target) const {
+  for (const auto& r : rounds_) {
+    if (r.global_loss <= target) return r.round + 1;
+  }
+  return std::nullopt;
+}
+
+double TrainingRecord::best_accuracy() const {
+  double best = 0.0;
+  for (const auto& r : rounds_) best = std::max(best, r.test_accuracy);
+  return best;
+}
+
+double TrainingRecord::final_loss() const {
+  return rounds_.empty() ? std::numeric_limits<double>::quiet_NaN()
+                         : rounds_.back().global_loss;
+}
+
+std::string TrainingRecord::to_csv() const {
+  std::ostringstream out;
+  CsvWriter writer(out);
+  writer.write_header({"round", "loss", "accuracy", "mean_local_loss", "k",
+                       "e", "cumulative_epochs"});
+  for (const auto& r : rounds_) {
+    writer.write_row({static_cast<double>(r.round), r.global_loss,
+                      r.test_accuracy, r.mean_local_loss,
+                      static_cast<double>(r.clients_selected),
+                      static_cast<double>(r.local_epochs),
+                      static_cast<double>(r.cumulative_local_epochs)});
+  }
+  return out.str();
+}
+
+}  // namespace eefei::fl

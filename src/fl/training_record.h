@@ -1,0 +1,56 @@
+// Per-round training telemetry: the data behind the paper's Fig. 4 curves
+// and the T-at-target-accuracy readings that anchor the convergence
+// constants A0/A1/A2.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "fl/client.h"
+
+namespace eefei::fl {
+
+struct RoundRecord {
+  std::size_t round = 0;             // t (0-based)
+  double global_loss = 0.0;          // F(ω_{t+1}) on the evaluation set
+  double test_accuracy = 0.0;
+  double mean_local_loss = 0.0;      // mean of clients' final local losses
+  std::size_t clients_selected = 0;  // K
+  std::size_t updates_aggregated = 0;  // survivors after failure injection
+  std::size_t local_epochs = 0;      // E
+  std::size_t cumulative_local_epochs = 0;  // Σ E over rounds (≈ t·E)
+  std::vector<ClientId> selected;
+};
+
+class TrainingRecord {
+ public:
+  void add(RoundRecord record);
+
+  [[nodiscard]] std::size_t rounds() const { return rounds_.size(); }
+  [[nodiscard]] bool empty() const { return rounds_.empty(); }
+  [[nodiscard]] const RoundRecord& round(std::size_t t) const {
+    return rounds_.at(t);
+  }
+  [[nodiscard]] const std::vector<RoundRecord>& all() const { return rounds_; }
+  [[nodiscard]] const RoundRecord& last() const { return rounds_.back(); }
+
+  /// Smallest 1-based T with test accuracy ≥ target; nullopt if never hit.
+  [[nodiscard]] std::optional<std::size_t> rounds_to_accuracy(
+      double target) const;
+
+  /// Smallest 1-based T with global loss ≤ target; nullopt if never hit.
+  [[nodiscard]] std::optional<std::size_t> rounds_to_loss(double target) const;
+
+  [[nodiscard]] double best_accuracy() const;
+  [[nodiscard]] double final_loss() const;
+
+  /// CSV export: round,loss,accuracy,mean_local_loss,K,E,cum_epochs.
+  [[nodiscard]] std::string to_csv() const;
+
+ private:
+  std::vector<RoundRecord> rounds_;
+};
+
+}  // namespace eefei::fl

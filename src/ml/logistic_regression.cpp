@@ -1,0 +1,162 @@
+#include "ml/logistic_regression.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace eefei::ml {
+
+namespace {
+constexpr double kProbFloor = 1e-12;  // avoids log(0) on saturated heads
+}
+
+LogisticRegression::LogisticRegression(LogisticRegressionConfig config,
+                                       Rng* init_rng)
+    : config_(config),
+      params_(config.input_dim * config.num_classes + config.num_classes,
+              0.0) {
+  assert(config_.input_dim > 0 && config_.num_classes >= 2);
+  if (config_.init_stddev > 0.0 && init_rng != nullptr) {
+    for (double& p : params_) {
+      p = init_rng->normal(0.0, config_.init_stddev);
+    }
+  }
+}
+
+void LogisticRegression::forward(std::span<const double> features,
+                                 std::size_t n,
+                                 std::vector<double>& out) const {
+  const std::size_t d = config_.input_dim;
+  const std::size_t c = config_.num_classes;
+  assert(features.size() == n * d);
+  out.assign(n * c, 0.0);
+  const double* w = params_.data();               // d × c row-major
+  const double* b = params_.data() + d * c;       // c
+  for (std::size_t i = 0; i < n; ++i) {
+    const double* x = features.data() + i * d;
+    double* logits = out.data() + i * c;
+    for (std::size_t j = 0; j < c; ++j) logits[j] = b[j];
+    for (std::size_t k = 0; k < d; ++k) {
+      const double xv = x[k];
+      if (xv == 0.0) continue;
+      const double* wrow = w + k * c;
+      for (std::size_t j = 0; j < c; ++j) logits[j] += xv * wrow[j];
+    }
+    std::span<double> row(logits, c);
+    if (config_.activation == Activation::kSoftmax) {
+      softmax_inplace(row);
+    } else {
+      sigmoid_inplace(row);
+    }
+  }
+}
+
+double LogisticRegression::batch_loss(std::span<const double> probs,
+                                      std::span<const int> labels) const {
+  const std::size_t c = config_.num_classes;
+  double loss = 0.0;
+  if (config_.activation == Activation::kSoftmax) {
+    // Multinomial cross-entropy: −log p_y.
+    for (std::size_t i = 0; i < labels.size(); ++i) {
+      const double p =
+          std::max(probs[i * c + static_cast<std::size_t>(labels[i])],
+                   kProbFloor);
+      loss -= std::log(p);
+    }
+  } else {
+    // One-vs-all binary cross-entropy summed over classes.
+    for (std::size_t i = 0; i < labels.size(); ++i) {
+      for (std::size_t j = 0; j < c; ++j) {
+        const double p = std::clamp(probs[i * c + j], kProbFloor,
+                                    1.0 - kProbFloor);
+        const double y =
+            (static_cast<std::size_t>(labels[i]) == j) ? 1.0 : 0.0;
+        loss -= y * std::log(p) + (1.0 - y) * std::log(1.0 - p);
+      }
+    }
+  }
+  loss /= static_cast<double>(labels.size());
+  if (config_.l2_lambda > 0.0) {
+    double sq = 0.0;
+    for (const double p : params_) sq += p * p;
+    loss += 0.5 * config_.l2_lambda * sq;
+  }
+  return loss;
+}
+
+double LogisticRegression::loss_and_gradient(const BatchView& batch,
+                                             std::span<double> grad) {
+  assert(batch.valid());
+  assert(batch.feature_dim == config_.input_dim);
+  assert(grad.size() == params_.size());
+  const std::size_t n = batch.size();
+  const std::size_t d = config_.input_dim;
+  const std::size_t c = config_.num_classes;
+
+  std::vector<double> probs;
+  forward(batch.features, n, probs);
+  const double loss = batch_loss(probs, batch.labels);
+
+  // For both softmax+CE and sigmoid+BCE the error signal is (p − y):
+  // that identity is what makes the two heads share this gradient code.
+  std::fill(grad.begin(), grad.end(), 0.0);
+  double* gw = grad.data();
+  double* gb = grad.data() + d * c;
+  for (std::size_t i = 0; i < n; ++i) {
+    double* err = probs.data() + i * c;  // reuse probs as the error buffer
+    err[static_cast<std::size_t>(batch.labels[i])] -= 1.0;
+    const double* x = batch.features.data() + i * d;
+    for (std::size_t k = 0; k < d; ++k) {
+      const double xv = x[k];
+      if (xv == 0.0) continue;
+      double* grow = gw + k * c;
+      for (std::size_t j = 0; j < c; ++j) grow[j] += xv * err[j];
+    }
+    for (std::size_t j = 0; j < c; ++j) gb[j] += err[j];
+  }
+  const double inv_n = 1.0 / static_cast<double>(n);
+  for (double& g : grad) g *= inv_n;
+  if (config_.l2_lambda > 0.0) {
+    for (std::size_t i = 0; i < grad.size(); ++i) {
+      grad[i] += config_.l2_lambda * params_[i];
+    }
+  }
+  return loss;
+}
+
+EvalResult LogisticRegression::evaluate(const BatchView& batch) const {
+  assert(batch.valid());
+  assert(batch.feature_dim == config_.input_dim);
+  const std::size_t n = batch.size();
+  const std::size_t c = config_.num_classes;
+
+  std::vector<double> probs;
+  forward(batch.features, n, probs);
+
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double* row = probs.data() + i * c;
+    const std::size_t argmax = static_cast<std::size_t>(
+        std::max_element(row, row + c) - row);
+    if (argmax == static_cast<std::size_t>(batch.labels[i])) ++correct;
+  }
+  EvalResult r;
+  r.loss = batch_loss(probs, batch.labels);
+  r.accuracy = static_cast<double>(correct) / static_cast<double>(n);
+  r.samples = n;
+  return r;
+}
+
+int LogisticRegression::predict(std::span<const double> features) const {
+  assert(features.size() == config_.input_dim);
+  std::vector<double> probs;
+  forward(features, 1, probs);
+  return static_cast<int>(
+      std::max_element(probs.begin(), probs.end()) - probs.begin());
+}
+
+std::unique_ptr<Model> LogisticRegression::clone() const {
+  return std::make_unique<LogisticRegression>(*this);
+}
+
+}  // namespace eefei::ml

@@ -1,0 +1,72 @@
+// Multinomial logistic regression, the model of the paper's prototype
+// (Table II: 784 → 10, SGD lr 0.01, decay 0.99).  Supports the standard
+// softmax head and the paper's literal sigmoid head.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "common/rng.h"
+#include "ml/activations.h"
+#include "ml/model.h"
+
+namespace eefei::ml {
+
+struct LogisticRegressionConfig {
+  std::size_t input_dim = 784;
+  std::size_t num_classes = 10;
+  Activation activation = Activation::kSoftmax;
+  double l2_lambda = 0.0;  // optional ridge penalty
+  /// Stddev of the random init; 0 gives the all-zero init (convex problem,
+  /// so zero init is fine and makes runs exactly reproducible).
+  double init_stddev = 0.0;
+};
+
+class LogisticRegression final : public Model {
+ public:
+  explicit LogisticRegression(LogisticRegressionConfig config,
+                              Rng* init_rng = nullptr);
+
+  [[nodiscard]] std::span<double> parameters() override { return params_; }
+  [[nodiscard]] std::span<const double> parameters() const override {
+    return params_;
+  }
+
+  double loss_and_gradient(const BatchView& batch,
+                           std::span<double> grad) override;
+  [[nodiscard]] EvalResult evaluate(const BatchView& batch) const override;
+  [[nodiscard]] int predict(std::span<const double> features) const override;
+  [[nodiscard]] std::unique_ptr<Model> clone() const override;
+
+  [[nodiscard]] const LogisticRegressionConfig& config() const {
+    return config_;
+  }
+
+  /// Weight block of the flat parameter vector, row-major
+  /// (input_dim × num_classes).
+  [[nodiscard]] std::span<const double> weights() const {
+    return {params_.data(), config_.input_dim * config_.num_classes};
+  }
+  /// Bias block (num_classes).
+  [[nodiscard]] std::span<const double> bias() const {
+    return {params_.data() + config_.input_dim * config_.num_classes,
+            config_.num_classes};
+  }
+
+ private:
+  /// Writes class probabilities (after activation) for `n` examples into
+  /// `out` (n × num_classes row-major).
+  void forward(std::span<const double> features, std::size_t n,
+               std::vector<double>& out) const;
+
+  /// Mean loss of the batch given forward-pass probabilities.
+  [[nodiscard]] double batch_loss(std::span<const double> probs,
+                                  std::span<const int> labels) const;
+
+  LogisticRegressionConfig config_;
+  // Layout: [W row-major (input_dim × num_classes) | bias (num_classes)].
+  std::vector<double> params_;
+};
+
+}  // namespace eefei::ml

@@ -1,0 +1,76 @@
+#include "ml/matrix.h"
+
+#include <algorithm>
+
+namespace eefei::ml {
+
+Matrix& Matrix::operator+=(const Matrix& other) {
+  assert(same_shape(other));
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator-=(const Matrix& other) {
+  assert(same_shape(other));
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= other.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator*=(double s) {
+  for (double& v : data_) v *= s;
+  return *this;
+}
+
+void Matrix::add_scaled(const Matrix& other, double alpha) {
+  assert(same_shape(other));
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    data_[i] += alpha * other.data_[i];
+  }
+}
+
+double Matrix::squared_norm() const {
+  double acc = 0.0;
+  for (const double v : data_) acc += v * v;
+  return acc;
+}
+
+void gemm(std::span<const double> a, std::size_t n, std::size_t k,
+          const Matrix& b, Matrix& out) {
+  assert(a.size() == n * k);
+  assert(b.rows() == k);
+  const std::size_t m = b.cols();
+  if (out.rows() != n || out.cols() != m) out = Matrix(n, m);
+  out.fill(0.0);
+  // i-k-j loop order: streams through B's rows, keeps out-row in cache.
+  for (std::size_t i = 0; i < n; ++i) {
+    const double* arow = a.data() + i * k;
+    auto orow = out.row(i);
+    for (std::size_t kk = 0; kk < k; ++kk) {
+      const double av = arow[kk];
+      if (av == 0.0) continue;  // synthetic images are sparse-ish
+      const auto brow = b.row(kk);
+      for (std::size_t j = 0; j < m; ++j) orow[j] += av * brow[j];
+    }
+  }
+}
+
+void gemm_at_b(std::span<const double> a, std::size_t n, std::size_t k,
+               const Matrix& b, Matrix& out) {
+  assert(a.size() == n * k);
+  assert(b.rows() == n);
+  const std::size_t m = b.cols();
+  if (out.rows() != k || out.cols() != m) out = Matrix(k, m);
+  out.fill(0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double* arow = a.data() + i * k;
+    const auto brow = b.row(i);
+    for (std::size_t kk = 0; kk < k; ++kk) {
+      const double av = arow[kk];
+      if (av == 0.0) continue;
+      auto orow = out.row(kk);
+      for (std::size_t j = 0; j < m; ++j) orow[j] += av * brow[j];
+    }
+  }
+}
+
+}  // namespace eefei::ml

@@ -1,0 +1,92 @@
+// Dense row-major matrix used for model parameters and data batches.
+// Deliberately minimal: the workloads in this library are logistic
+// regression scale (784×10), so a cache-friendly GEMM plus a few
+// elementwise kernels is all that is needed.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace eefei::ml {
+
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  [[nodiscard]] static Matrix from_rows(
+      std::size_t rows, std::size_t cols, std::vector<double> data) {
+    assert(data.size() == rows * cols);
+    Matrix m;
+    m.rows_ = rows;
+    m.cols_ = cols;
+    m.data_ = std::move(data);
+    return m;
+  }
+
+  [[nodiscard]] std::size_t rows() const { return rows_; }
+  [[nodiscard]] std::size_t cols() const { return cols_; }
+  [[nodiscard]] std::size_t size() const { return data_.size(); }
+  [[nodiscard]] bool empty() const { return data_.empty(); }
+
+  [[nodiscard]] double& operator()(std::size_t r, std::size_t c) {
+    assert(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+  [[nodiscard]] double operator()(std::size_t r, std::size_t c) const {
+    assert(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+
+  [[nodiscard]] std::span<double> row(std::size_t r) {
+    assert(r < rows_);
+    return {data_.data() + r * cols_, cols_};
+  }
+  [[nodiscard]] std::span<const double> row(std::size_t r) const {
+    assert(r < rows_);
+    return {data_.data() + r * cols_, cols_};
+  }
+
+  [[nodiscard]] std::span<double> flat() { return data_; }
+  [[nodiscard]] std::span<const double> flat() const { return data_; }
+  [[nodiscard]] const std::vector<double>& storage() const { return data_; }
+
+  void fill(double v) { std::fill(data_.begin(), data_.end(), v); }
+
+  // Elementwise in-place arithmetic on same-shape matrices.
+  Matrix& operator+=(const Matrix& other);
+  Matrix& operator-=(const Matrix& other);
+  Matrix& operator*=(double s);
+
+  /// this += alpha * other  (axpy).
+  void add_scaled(const Matrix& other, double alpha);
+
+  [[nodiscard]] bool same_shape(const Matrix& other) const {
+    return rows_ == other.rows_ && cols_ == other.cols_;
+  }
+
+  /// Squared Frobenius norm — used for the ‖ω0−ω*‖² distance in Eq. 7.
+  [[nodiscard]] double squared_norm() const;
+
+  friend bool operator==(const Matrix&, const Matrix&) = default;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// out = A (n×k, row-major span) * B (k×m) — A given as a raw span so data
+/// batches can multiply without copying into a Matrix.
+void gemm(std::span<const double> a, std::size_t n, std::size_t k,
+          const Matrix& b, Matrix& out);
+
+/// out = Aᵀ (k×n from n×k span) * B (n×m); the gradient contraction
+/// Xᵀ·(P − Y) in logistic regression.
+void gemm_at_b(std::span<const double> a, std::size_t n, std::size_t k,
+               const Matrix& b, Matrix& out);
+
+}  // namespace eefei::ml

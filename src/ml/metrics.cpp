@@ -1,0 +1,98 @@
+#include "ml/metrics.h"
+
+#include <cassert>
+
+#include "common/table.h"
+
+namespace eefei::ml {
+
+ConfusionMatrix::ConfusionMatrix(std::size_t num_classes)
+    : num_classes_(num_classes), counts_(num_classes * num_classes, 0) {
+  assert(num_classes > 0);
+}
+
+void ConfusionMatrix::add(int truth, int predicted) {
+  assert(truth >= 0 && static_cast<std::size_t>(truth) < num_classes_);
+  assert(predicted >= 0 &&
+         static_cast<std::size_t>(predicted) < num_classes_);
+  ++counts_[static_cast<std::size_t>(truth) * num_classes_ +
+            static_cast<std::size_t>(predicted)];
+  ++total_;
+}
+
+void ConfusionMatrix::merge(const ConfusionMatrix& other) {
+  assert(num_classes_ == other.num_classes_);
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    counts_[i] += other.counts_[i];
+  }
+  total_ += other.total_;
+}
+
+std::size_t ConfusionMatrix::count(int truth, int predicted) const {
+  return counts_[static_cast<std::size_t>(truth) * num_classes_ +
+                 static_cast<std::size_t>(predicted)];
+}
+
+double ConfusionMatrix::accuracy() const {
+  if (total_ == 0) return 0.0;
+  std::size_t correct = 0;
+  for (std::size_t c = 0; c < num_classes_; ++c) {
+    correct += counts_[c * num_classes_ + c];
+  }
+  return static_cast<double>(correct) / static_cast<double>(total_);
+}
+
+double ConfusionMatrix::precision(int cls) const {
+  const auto c = static_cast<std::size_t>(cls);
+  std::size_t predicted = 0;
+  for (std::size_t t = 0; t < num_classes_; ++t) {
+    predicted += counts_[t * num_classes_ + c];
+  }
+  if (predicted == 0) return 0.0;
+  return static_cast<double>(counts_[c * num_classes_ + c]) /
+         static_cast<double>(predicted);
+}
+
+double ConfusionMatrix::recall(int cls) const {
+  const auto c = static_cast<std::size_t>(cls);
+  std::size_t actual = 0;
+  for (std::size_t p = 0; p < num_classes_; ++p) {
+    actual += counts_[c * num_classes_ + p];
+  }
+  if (actual == 0) return 0.0;
+  return static_cast<double>(counts_[c * num_classes_ + c]) /
+         static_cast<double>(actual);
+}
+
+double ConfusionMatrix::f1(int cls) const {
+  const double p = precision(cls);
+  const double r = recall(cls);
+  if (p + r == 0.0) return 0.0;
+  return 2.0 * p * r / (p + r);
+}
+
+double ConfusionMatrix::macro_f1() const {
+  double acc = 0.0;
+  for (std::size_t c = 0; c < num_classes_; ++c) {
+    acc += f1(static_cast<int>(c));
+  }
+  return acc / static_cast<double>(num_classes_);
+}
+
+std::string ConfusionMatrix::render() const {
+  std::vector<std::string> header{"truth\\pred"};
+  for (std::size_t c = 0; c < num_classes_; ++c) {
+    header.push_back(std::to_string(c));
+  }
+  AsciiTable table(std::move(header));
+  for (std::size_t t = 0; t < num_classes_; ++t) {
+    std::vector<std::string> row{std::to_string(t)};
+    for (std::size_t p = 0; p < num_classes_; ++p) {
+      row.push_back(std::to_string(counts_[t * num_classes_ + p]));
+    }
+    table.add_row(std::move(row));
+  }
+  return table.render();
+}
+
+}  // namespace eefei::ml

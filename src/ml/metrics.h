@@ -1,0 +1,38 @@
+// Classification metrics beyond plain accuracy: confusion matrix, per-class
+// precision/recall/F1, macro averages.  Used by the examples and the
+// non-IID ablation bench.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace eefei::ml {
+
+class ConfusionMatrix {
+ public:
+  explicit ConfusionMatrix(std::size_t num_classes);
+
+  void add(int truth, int predicted);
+  void merge(const ConfusionMatrix& other);
+
+  [[nodiscard]] std::size_t num_classes() const { return num_classes_; }
+  [[nodiscard]] std::size_t total() const { return total_; }
+  [[nodiscard]] std::size_t count(int truth, int predicted) const;
+
+  [[nodiscard]] double accuracy() const;
+  [[nodiscard]] double precision(int cls) const;
+  [[nodiscard]] double recall(int cls) const;
+  [[nodiscard]] double f1(int cls) const;
+  [[nodiscard]] double macro_f1() const;
+
+  [[nodiscard]] std::string render() const;
+
+ private:
+  std::size_t num_classes_;
+  std::size_t total_ = 0;
+  std::vector<std::size_t> counts_;  // truth-major
+};
+
+}  // namespace eefei::ml

@@ -1,0 +1,191 @@
+#include "ml/mlp.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "ml/activations.h"
+
+namespace eefei::ml {
+
+namespace {
+constexpr double kProbFloor = 1e-12;
+}
+
+Mlp::Mlp(MlpConfig config)
+    : config_(config), params_(parameter_count_for(config), 0.0) {
+  assert(config_.input_dim > 0 && config_.hidden_units > 0 &&
+         config_.num_classes >= 2);
+  // He-normal for the ReLU layer, Xavier-ish for the head; biases zero.
+  Rng rng(config_.init_seed);
+  const double s1 = std::sqrt(2.0 / static_cast<double>(config_.input_dim));
+  const double s2 =
+      std::sqrt(1.0 / static_cast<double>(config_.hidden_units));
+  for (std::size_t i = 0; i < b1_offset(); ++i) {
+    params_[i] = rng.normal(0.0, s1);
+  }
+  for (std::size_t i = w2_offset(); i < b2_offset(); ++i) {
+    params_[i] = rng.normal(0.0, s2);
+  }
+}
+
+void Mlp::forward(std::span<const double> features, std::size_t n,
+                  std::vector<double>& hidden,
+                  std::vector<double>& probs) const {
+  const std::size_t d = config_.input_dim;
+  const std::size_t h = config_.hidden_units;
+  const std::size_t c = config_.num_classes;
+  const double* w1 = params_.data() + w1_offset();  // d×h row-major
+  const double* b1 = params_.data() + b1_offset();
+  const double* w2 = params_.data() + w2_offset();  // h×c row-major
+  const double* b2 = params_.data() + b2_offset();
+
+  hidden.assign(n * h, 0.0);
+  probs.assign(n * c, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double* x = features.data() + i * d;
+    double* z = hidden.data() + i * h;
+    for (std::size_t j = 0; j < h; ++j) z[j] = b1[j];
+    for (std::size_t k = 0; k < d; ++k) {
+      const double xv = x[k];
+      if (xv == 0.0) continue;
+      const double* wrow = w1 + k * h;
+      for (std::size_t j = 0; j < h; ++j) z[j] += xv * wrow[j];
+    }
+    for (std::size_t j = 0; j < h; ++j) z[j] = std::max(0.0, z[j]);  // ReLU
+
+    double* logits = probs.data() + i * c;
+    for (std::size_t j = 0; j < c; ++j) logits[j] = b2[j];
+    for (std::size_t k = 0; k < h; ++k) {
+      const double a = z[k];
+      if (a == 0.0) continue;
+      const double* wrow = w2 + k * c;
+      for (std::size_t j = 0; j < c; ++j) logits[j] += a * wrow[j];
+    }
+    softmax_inplace(std::span<double>(logits, c));
+  }
+}
+
+double Mlp::loss_and_gradient(const BatchView& batch,
+                              std::span<double> grad) {
+  assert(batch.valid());
+  assert(batch.feature_dim == config_.input_dim);
+  assert(grad.size() == params_.size());
+  const std::size_t n = batch.size();
+  const std::size_t d = config_.input_dim;
+  const std::size_t h = config_.hidden_units;
+  const std::size_t c = config_.num_classes;
+
+  std::vector<double> hidden, probs;
+  forward(batch.features, n, hidden, probs);
+
+  double loss = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    loss -= std::log(std::max(
+        probs[i * c + static_cast<std::size_t>(batch.labels[i])],
+        kProbFloor));
+  }
+  loss /= static_cast<double>(n);
+
+  std::fill(grad.begin(), grad.end(), 0.0);
+  double* gw1 = grad.data() + w1_offset();
+  double* gb1 = grad.data() + b1_offset();
+  double* gw2 = grad.data() + w2_offset();
+  double* gb2 = grad.data() + b2_offset();
+  const double* w2 = params_.data() + w2_offset();
+
+  std::vector<double> dhidden(h);
+  for (std::size_t i = 0; i < n; ++i) {
+    // dL/dlogits = p − y (softmax + CE).
+    double* err = probs.data() + i * c;
+    err[static_cast<std::size_t>(batch.labels[i])] -= 1.0;
+
+    const double* a = hidden.data() + i * h;  // post-ReLU activations
+    // Head gradients: gw2 += a ⊗ err, gb2 += err.
+    for (std::size_t k = 0; k < h; ++k) {
+      const double av = a[k];
+      if (av != 0.0) {
+        double* grow = gw2 + k * c;
+        for (std::size_t j = 0; j < c; ++j) grow[j] += av * err[j];
+      }
+    }
+    for (std::size_t j = 0; j < c; ++j) gb2[j] += err[j];
+
+    // Backprop into the hidden layer: dh = (W2 · err) ⊙ 1[a > 0].
+    for (std::size_t k = 0; k < h; ++k) {
+      if (a[k] <= 0.0) {
+        dhidden[k] = 0.0;
+        continue;
+      }
+      const double* wrow = w2 + k * c;
+      double acc = 0.0;
+      for (std::size_t j = 0; j < c; ++j) acc += wrow[j] * err[j];
+      dhidden[k] = acc;
+    }
+
+    // Input-layer gradients: gw1 += x ⊗ dh, gb1 += dh.
+    const double* x = batch.features.data() + i * d;
+    for (std::size_t k = 0; k < d; ++k) {
+      const double xv = x[k];
+      if (xv == 0.0) continue;
+      double* grow = gw1 + k * h;
+      for (std::size_t j = 0; j < h; ++j) grow[j] += xv * dhidden[j];
+    }
+    for (std::size_t j = 0; j < h; ++j) gb1[j] += dhidden[j];
+  }
+
+  const double inv_n = 1.0 / static_cast<double>(n);
+  for (double& g : grad) g *= inv_n;
+  if (config_.l2_lambda > 0.0) {
+    double sq = 0.0;
+    for (std::size_t i = 0; i < params_.size(); ++i) {
+      sq += params_[i] * params_[i];
+      grad[i] += config_.l2_lambda * params_[i];
+    }
+    loss += 0.5 * config_.l2_lambda * sq;
+  }
+  return loss;
+}
+
+EvalResult Mlp::evaluate(const BatchView& batch) const {
+  assert(batch.valid());
+  const std::size_t n = batch.size();
+  const std::size_t c = config_.num_classes;
+  std::vector<double> hidden, probs;
+  forward(batch.features, n, hidden, probs);
+
+  double loss = 0.0;
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double* row = probs.data() + i * c;
+    loss -= std::log(std::max(
+        row[static_cast<std::size_t>(batch.labels[i])], kProbFloor));
+    const auto argmax =
+        static_cast<std::size_t>(std::max_element(row, row + c) - row);
+    if (argmax == static_cast<std::size_t>(batch.labels[i])) ++correct;
+  }
+  EvalResult r;
+  r.loss = loss / static_cast<double>(n);
+  if (config_.l2_lambda > 0.0) {
+    double sq = 0.0;
+    for (const double p : params_) sq += p * p;
+    r.loss += 0.5 * config_.l2_lambda * sq;
+  }
+  r.accuracy = static_cast<double>(correct) / static_cast<double>(n);
+  r.samples = n;
+  return r;
+}
+
+int Mlp::predict(std::span<const double> features) const {
+  assert(features.size() == config_.input_dim);
+  std::vector<double> hidden, probs;
+  forward(features, 1, hidden, probs);
+  return static_cast<int>(
+      std::max_element(probs.begin(), probs.end()) - probs.begin());
+}
+
+std::unique_ptr<Model> Mlp::clone() const {
+  return std::make_unique<Mlp>(*this);
+}
+
+}  // namespace eefei::ml

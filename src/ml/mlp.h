@@ -1,0 +1,71 @@
+// One-hidden-layer perceptron (input → ReLU hidden → softmax output) with
+// manual backprop — the "more complex model" direction the paper leaves as
+// future work.  Drop-in ml::Model, so the whole FL/energy pipeline runs
+// unchanged on a non-convex objective (where the convergence bound of
+// Prop. 1 is no longer a guarantee, only a heuristic — see bench_acs
+// notes in EXPERIMENTS.md).
+#pragma once
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "common/rng.h"
+#include "ml/model.h"
+
+namespace eefei::ml {
+
+struct MlpConfig {
+  std::size_t input_dim = 784;
+  std::size_t hidden_units = 64;
+  std::size_t num_classes = 10;
+  double l2_lambda = 0.0;
+  /// He-normal init scale; the seed makes construction deterministic.
+  std::uint64_t init_seed = 1;
+};
+
+class Mlp final : public Model {
+ public:
+  explicit Mlp(MlpConfig config);
+
+  [[nodiscard]] std::span<double> parameters() override { return params_; }
+  [[nodiscard]] std::span<const double> parameters() const override {
+    return params_;
+  }
+
+  double loss_and_gradient(const BatchView& batch,
+                           std::span<double> grad) override;
+  [[nodiscard]] EvalResult evaluate(const BatchView& batch) const override;
+  [[nodiscard]] int predict(std::span<const double> features) const override;
+  [[nodiscard]] std::unique_ptr<Model> clone() const override;
+
+  [[nodiscard]] const MlpConfig& config() const { return config_; }
+  [[nodiscard]] static std::size_t parameter_count_for(
+      const MlpConfig& config) {
+    return config.input_dim * config.hidden_units + config.hidden_units +
+           config.hidden_units * config.num_classes + config.num_classes;
+  }
+
+ private:
+  // Parameter layout offsets into the flat buffer.
+  [[nodiscard]] std::size_t w1_offset() const { return 0; }
+  [[nodiscard]] std::size_t b1_offset() const {
+    return config_.input_dim * config_.hidden_units;
+  }
+  [[nodiscard]] std::size_t w2_offset() const {
+    return b1_offset() + config_.hidden_units;
+  }
+  [[nodiscard]] std::size_t b2_offset() const {
+    return w2_offset() + config_.hidden_units * config_.num_classes;
+  }
+
+  /// Forward pass for n examples; fills hidden activations (n×h, already
+  /// ReLU'd) and output probabilities (n×c, already softmaxed).
+  void forward(std::span<const double> features, std::size_t n,
+               std::vector<double>& hidden, std::vector<double>& probs) const;
+
+  MlpConfig config_;
+  std::vector<double> params_;
+};
+
+}  // namespace eefei::ml

@@ -1,0 +1,61 @@
+// Model abstraction shared by the FL layer.  A model exposes parameter
+// access (for FedAvg aggregation and network transfer), gradient computation
+// and loss/accuracy evaluation over a batch of row-major features.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <span>
+
+#include "ml/matrix.h"
+
+namespace eefei::ml {
+
+/// A borrowed view of a training batch: `n` examples of `feature_dim`
+/// row-major features plus integer class labels.
+struct BatchView {
+  std::span<const double> features;  // n * feature_dim
+  std::span<const int> labels;       // n
+  std::size_t feature_dim = 0;
+
+  [[nodiscard]] std::size_t size() const { return labels.size(); }
+  [[nodiscard]] bool valid() const {
+    return feature_dim > 0 && features.size() == labels.size() * feature_dim;
+  }
+};
+
+/// Loss + accuracy of one evaluation pass.
+struct EvalResult {
+  double loss = 0.0;
+  double accuracy = 0.0;
+  std::size_t samples = 0;
+};
+
+class Model {
+ public:
+  virtual ~Model() = default;
+
+  /// Flattened trainable parameters (mutable view for the optimizer and
+  /// for FedAvg writes).
+  [[nodiscard]] virtual std::span<double> parameters() = 0;
+  [[nodiscard]] virtual std::span<const double> parameters() const = 0;
+  [[nodiscard]] std::size_t parameter_count() const {
+    return const_cast<const Model*>(this)->parameters().size();
+  }
+
+  /// Computes mean loss over the batch and writes the mean gradient into
+  /// `grad` (resized/zeroed by the implementation). Returns the loss.
+  virtual double loss_and_gradient(const BatchView& batch,
+                                   std::span<double> grad) = 0;
+
+  /// Loss + accuracy without touching gradients.
+  [[nodiscard]] virtual EvalResult evaluate(const BatchView& batch) const = 0;
+
+  /// Predicted class of a single example.
+  [[nodiscard]] virtual int predict(std::span<const double> features) const = 0;
+
+  /// Deep copy (used to snapshot the global model per round).
+  [[nodiscard]] virtual std::unique_ptr<Model> clone() const = 0;
+};
+
+}  // namespace eefei::ml

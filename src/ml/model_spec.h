@@ -1,0 +1,81 @@
+// Declarative model specification + factory, so the FL layer can train any
+// registered architecture without compile-time coupling.  The spec is a
+// plain value (copyable config), which keeps ClientConfig/FeiSystemConfig
+// serializable-by-assignment.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "ml/logistic_regression.h"
+#include "ml/mlp.h"
+#include "ml/model.h"
+
+namespace eefei::ml {
+
+enum class ModelKind {
+  kLogisticRegression,  // the paper's Table II model (default)
+  kMlp,                 // one-hidden-layer ReLU network (extension)
+};
+
+struct ModelSpec {
+  ModelKind kind = ModelKind::kLogisticRegression;
+  std::size_t input_dim = 784;
+  std::size_t num_classes = 10;
+  Activation activation = Activation::kSoftmax;  // LR head only
+  double l2_lambda = 0.0;
+  double init_stddev = 0.0;        // LR random init (0 = zero init)
+  std::size_t hidden_units = 64;   // MLP only
+  std::uint64_t init_seed = 1;     // deterministic non-convex init
+
+  [[nodiscard]] LogisticRegressionConfig lr_config() const {
+    LogisticRegressionConfig cfg;
+    cfg.input_dim = input_dim;
+    cfg.num_classes = num_classes;
+    cfg.activation = activation;
+    cfg.l2_lambda = l2_lambda;
+    cfg.init_stddev = init_stddev;
+    return cfg;
+  }
+
+  [[nodiscard]] MlpConfig mlp_config() const {
+    MlpConfig cfg;
+    cfg.input_dim = input_dim;
+    cfg.hidden_units = hidden_units;
+    cfg.num_classes = num_classes;
+    cfg.l2_lambda = l2_lambda;
+    cfg.init_seed = init_seed;
+    return cfg;
+  }
+
+  [[nodiscard]] std::size_t parameter_count() const {
+    switch (kind) {
+      case ModelKind::kLogisticRegression:
+        return input_dim * num_classes + num_classes;
+      case ModelKind::kMlp:
+        return Mlp::parameter_count_for(mlp_config());
+    }
+    return 0;
+  }
+};
+
+/// Builds a fresh model per the spec.  Construction is deterministic:
+/// two models from the same spec start with identical parameters (clients
+/// rely on this when reconstructing the architecture from config).
+[[nodiscard]] inline std::unique_ptr<Model> make_model(
+    const ModelSpec& spec) {
+  switch (spec.kind) {
+    case ModelKind::kLogisticRegression: {
+      if (spec.init_stddev > 0.0) {
+        Rng rng(spec.init_seed);
+        return std::make_unique<LogisticRegression>(spec.lr_config(), &rng);
+      }
+      return std::make_unique<LogisticRegression>(spec.lr_config());
+    }
+    case ModelKind::kMlp:
+      return std::make_unique<Mlp>(spec.mlp_config());
+  }
+  return nullptr;
+}
+
+}  // namespace eefei::ml

@@ -1,0 +1,38 @@
+#include "ml/optimizer.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace eefei::ml {
+
+double SgdOptimizer::learning_rate() const {
+  return config_.learning_rate *
+         std::pow(config_.decay, static_cast<double>(steps_));
+}
+
+void SgdOptimizer::step(std::span<double> params,
+                        std::span<const double> grad) {
+  assert(params.size() == grad.size());
+  const double lr = learning_rate();
+  if (config_.momentum > 0.0) {
+    if (velocity_.size() != params.size()) {
+      velocity_.assign(params.size(), 0.0);
+    }
+    for (std::size_t i = 0; i < params.size(); ++i) {
+      velocity_[i] = config_.momentum * velocity_[i] - lr * grad[i];
+      params[i] += velocity_[i];
+    }
+  } else {
+    for (std::size_t i = 0; i < params.size(); ++i) {
+      params[i] -= lr * grad[i];
+    }
+  }
+  ++steps_;
+}
+
+void SgdOptimizer::reset() {
+  steps_ = 0;
+  velocity_.clear();
+}
+
+}  // namespace eefei::ml

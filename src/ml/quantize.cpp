@@ -1,0 +1,191 @@
+#include "ml/quantize.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <cstring>
+#include <limits>
+
+#include "ml/serialize.h"  // crc32
+
+namespace eefei::ml {
+
+namespace {
+
+constexpr std::array<std::uint8_t, 4> kMagic{'Q', 'E', 'F', 'I'};
+constexpr std::uint16_t kVersion = 1;
+constexpr std::size_t kHeaderSize = 4 + 2 + 2 + 8 + 8 + 8;
+constexpr std::size_t kCrcSize = 4;
+
+void put_u16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v & 0xFF));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<std::uint8_t>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<std::uint8_t>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+void put_f64(std::vector<std::uint8_t>& out, double v) {
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof bits);
+  put_u64(out, bits);
+}
+
+std::uint16_t get_u16(const std::uint8_t* p) {
+  return static_cast<std::uint16_t>(p[0] | (p[1] << 8));
+}
+
+std::uint32_t get_u32(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(p[0]) |
+         (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) |
+         (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+std::uint64_t get_u64(const std::uint8_t* p) {
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) v = (v << 8) | p[i];
+  return v;
+}
+
+double get_f64(const std::uint8_t* p) {
+  const std::uint64_t bits = get_u64(p);
+  double v = 0;
+  std::memcpy(&v, &bits, sizeof v);
+  return v;
+}
+
+std::size_t payload_bytes(std::size_t count, unsigned bits) {
+  return (count * bits + 7) / 8;
+}
+
+}  // namespace
+
+std::size_t quantized_wire_size(std::size_t count, unsigned bits) {
+  return kHeaderSize + payload_bytes(count, bits) + kCrcSize;
+}
+
+double quantization_error_bound(double min_value, double max_value,
+                                unsigned bits) {
+  if (!valid_quant_bits(bits) || max_value <= min_value) return 0.0;
+  const double levels = std::pow(2.0, static_cast<double>(bits)) - 1.0;
+  return 0.5 * (max_value - min_value) / levels;
+}
+
+Result<QuantizedBlob> quantize_parameters(std::span<const double> params,
+                                          unsigned bits) {
+  if (!valid_quant_bits(bits)) {
+    return Error::invalid_argument("quantize: bits must be 4, 8 or 16");
+  }
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = -std::numeric_limits<double>::infinity();
+  for (const double p : params) {
+    lo = std::min(lo, p);
+    hi = std::max(hi, p);
+  }
+  if (params.empty()) {
+    lo = 0.0;
+    hi = 0.0;
+  }
+  const double levels = std::pow(2.0, static_cast<double>(bits)) - 1.0;
+  const double range = hi - lo;
+  const double scale = range > 0.0 ? range / levels : 1.0;
+
+  QuantizedBlob blob;
+  blob.bytes.reserve(quantized_wire_size(params.size(), bits));
+  blob.bytes.insert(blob.bytes.end(), kMagic.begin(), kMagic.end());
+  put_u16(blob.bytes, kVersion);
+  put_u16(blob.bytes, static_cast<std::uint16_t>(bits));
+  put_u64(blob.bytes, params.size());
+  put_f64(blob.bytes, lo);
+  put_f64(blob.bytes, scale);
+
+  // Pack values little-endian, LSB-first within a byte for 4-bit.
+  std::uint32_t acc = 0;
+  unsigned acc_bits = 0;
+  for (const double p : params) {
+    const double q = range > 0.0 ? std::round((p - lo) / scale) : 0.0;
+    const auto code = static_cast<std::uint32_t>(
+        std::clamp(q, 0.0, levels));
+    acc |= code << acc_bits;
+    acc_bits += bits;
+    while (acc_bits >= 8) {
+      blob.bytes.push_back(static_cast<std::uint8_t>(acc & 0xFF));
+      acc >>= 8;
+      acc_bits -= 8;
+    }
+  }
+  if (acc_bits > 0) {
+    blob.bytes.push_back(static_cast<std::uint8_t>(acc & 0xFF));
+  }
+  put_u32(blob.bytes, crc32(blob.bytes));
+  return blob;
+}
+
+Result<std::vector<double>> dequantize_parameters(
+    std::span<const std::uint8_t> bytes) {
+  if (bytes.size() < kHeaderSize + kCrcSize) {
+    return Error::parse_error("quantized blob: truncated header");
+  }
+  if (!std::equal(kMagic.begin(), kMagic.end(), bytes.begin())) {
+    return Error::parse_error("quantized blob: bad magic");
+  }
+  if (get_u16(bytes.data() + 4) != kVersion) {
+    return Error::parse_error("quantized blob: unsupported version");
+  }
+  const unsigned bits = get_u16(bytes.data() + 6);
+  if (!valid_quant_bits(bits)) {
+    return Error::parse_error("quantized blob: bad bit width");
+  }
+  const std::uint64_t count = get_u64(bytes.data() + 8);
+  if (bytes.size() != quantized_wire_size(count, bits)) {
+    return Error::parse_error("quantized blob: size/count mismatch");
+  }
+  const std::uint32_t stored = get_u32(bytes.data() + bytes.size() - 4);
+  if (stored != crc32(bytes.subspan(0, bytes.size() - kCrcSize))) {
+    return Error::parse_error("quantized blob: CRC mismatch");
+  }
+  const double lo = get_f64(bytes.data() + 16);
+  const double scale = get_f64(bytes.data() + 24);
+
+  std::vector<double> out;
+  out.reserve(count);
+  const std::uint8_t* p = bytes.data() + kHeaderSize;
+  std::uint32_t acc = 0;
+  unsigned acc_bits = 0;
+  const std::uint32_t mask = (bits == 32) ? 0xFFFFFFFFu
+                                          : ((1u << bits) - 1u);
+  std::size_t consumed = 0;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    while (acc_bits < bits) {
+      acc |= static_cast<std::uint32_t>(p[consumed++]) << acc_bits;
+      acc_bits += 8;
+    }
+    const std::uint32_t code = acc & mask;
+    acc >>= bits;
+    acc_bits -= bits;
+    out.push_back(lo + static_cast<double>(code) * scale);
+  }
+  return out;
+}
+
+Status quantize_roundtrip(std::span<double> params, unsigned bits) {
+  if (bits == 32) return Status::success();
+  const auto blob = quantize_parameters(params, bits);
+  if (!blob.ok()) return blob.error();
+  const auto restored = dequantize_parameters(blob->bytes);
+  if (!restored.ok()) return restored.error();
+  std::copy(restored->begin(), restored->end(), params.begin());
+  return Status::success();
+}
+
+}  // namespace eefei::ml

@@ -1,0 +1,54 @@
+// Lossy parameter quantization for model uploads — an EE-FEI extension:
+// shrinking the upload blob cuts e^U (the B1 term of Eq. 12), trading a
+// controlled quantization error that can slow convergence.
+//
+// Scheme: per-tensor affine quantization.  Values are mapped to b-bit
+// unsigned integers with a shared (offset, scale); b ∈ {4, 8, 16}.
+// Wire format: magic 'QEFI' | version u16 | bits u16 | count u64
+//            | offset f64 | scale f64 | packed values | crc32.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/result.h"
+
+namespace eefei::ml {
+
+struct QuantizedBlob {
+  std::vector<std::uint8_t> bytes;
+  [[nodiscard]] std::size_t size_bytes() const { return bytes.size(); }
+};
+
+/// Supported bit widths.  32 means "no quantization" to callers that treat
+/// the width as a dial; quantize_parameters rejects it (use serialize.h).
+[[nodiscard]] constexpr bool valid_quant_bits(unsigned bits) {
+  return bits == 4 || bits == 8 || bits == 16;
+}
+
+/// Serialized size of a b-bit blob for `count` parameters.
+[[nodiscard]] std::size_t quantized_wire_size(std::size_t count,
+                                              unsigned bits);
+
+/// Quantizes `params` to `bits` per value.
+[[nodiscard]] Result<QuantizedBlob> quantize_parameters(
+    std::span<const double> params, unsigned bits);
+
+/// Parses, CRC-checks and dequantizes a blob.
+[[nodiscard]] Result<std::vector<double>> dequantize_parameters(
+    std::span<const std::uint8_t> bytes);
+
+/// Round-trips params through b-bit quantization in place (the shortcut
+/// the coordinator uses to model a lossy upload without materializing the
+/// wire bytes).  No-op when bits == 32.
+[[nodiscard]] Status quantize_roundtrip(std::span<double> params,
+                                        unsigned bits);
+
+/// Worst-case absolute quantization error for a value range and width:
+/// half a quantization step.
+[[nodiscard]] double quantization_error_bound(double min_value,
+                                              double max_value,
+                                              unsigned bits);
+
+}  // namespace eefei::ml

@@ -1,0 +1,130 @@
+#include "ml/serialize.h"
+
+#include <array>
+#include <cstring>
+
+namespace eefei::ml {
+
+namespace {
+
+constexpr std::array<std::uint8_t, 4> kMagic{'E', 'F', 'E', 'I'};
+constexpr std::uint16_t kVersion = 1;
+constexpr std::size_t kHeaderSize = 4 + 2 + 2 + 8;
+constexpr std::size_t kCrcSize = 4;
+
+const std::array<std::uint32_t, 256>& crc_table() {
+  static const std::array<std::uint32_t, 256> table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1U) ? 0xEDB88320U ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  return table;
+}
+
+void put_u16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v & 0xFF));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<std::uint8_t>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<std::uint8_t>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+std::uint16_t get_u16(const std::uint8_t* p) {
+  return static_cast<std::uint16_t>(p[0] | (p[1] << 8));
+}
+
+std::uint32_t get_u32(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(p[0]) |
+         (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) |
+         (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+std::uint64_t get_u64(const std::uint8_t* p) {
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) v = (v << 8) | p[i];
+  return v;
+}
+
+}  // namespace
+
+std::uint32_t crc32(std::span<const std::uint8_t> data) {
+  std::uint32_t c = 0xFFFFFFFFU;
+  for (const std::uint8_t b : data) {
+    c = crc_table()[(c ^ b) & 0xFFU] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFU;
+}
+
+std::size_t wire_size(std::size_t param_count) {
+  return kHeaderSize + param_count * sizeof(float) + kCrcSize;
+}
+
+ModelBlob serialize_parameters(std::span<const double> params) {
+  ModelBlob blob;
+  blob.bytes.reserve(wire_size(params.size()));
+  blob.bytes.insert(blob.bytes.end(), kMagic.begin(), kMagic.end());
+  put_u16(blob.bytes, kVersion);
+  put_u16(blob.bytes, 0);  // flags, reserved
+  put_u64(blob.bytes, params.size());
+  for (const double p : params) {
+    const auto f = static_cast<float>(p);
+    std::uint32_t bits = 0;
+    std::memcpy(&bits, &f, sizeof bits);
+    put_u32(blob.bytes, bits);
+  }
+  put_u32(blob.bytes, crc32(blob.bytes));
+  return blob;
+}
+
+Result<std::vector<double>> deserialize_parameters(
+    std::span<const std::uint8_t> bytes) {
+  if (bytes.size() < kHeaderSize + kCrcSize) {
+    return Error::parse_error("model blob: truncated header");
+  }
+  if (!std::equal(kMagic.begin(), kMagic.end(), bytes.begin())) {
+    return Error::parse_error("model blob: bad magic");
+  }
+  const std::uint16_t version = get_u16(bytes.data() + 4);
+  if (version != kVersion) {
+    return Error::parse_error("model blob: unsupported version " +
+                              std::to_string(version));
+  }
+  const std::uint64_t count = get_u64(bytes.data() + 8);
+  if (bytes.size() != wire_size(count)) {
+    return Error::parse_error("model blob: size/count mismatch");
+  }
+  const std::uint32_t stored_crc = get_u32(bytes.data() + bytes.size() - 4);
+  const std::uint32_t computed_crc =
+      crc32(bytes.subspan(0, bytes.size() - kCrcSize));
+  if (stored_crc != computed_crc) {
+    return Error::parse_error("model blob: CRC mismatch (corrupted upload)");
+  }
+  std::vector<double> params;
+  params.reserve(count);
+  const std::uint8_t* p = bytes.data() + kHeaderSize;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const std::uint32_t bits = get_u32(p + i * 4);
+    float f = 0;
+    std::memcpy(&f, &bits, sizeof f);
+    params.push_back(static_cast<double>(f));
+  }
+  return params;
+}
+
+}  // namespace eefei::ml

@@ -1,0 +1,35 @@
+// Parameter blob (de)serialization.  The prototype uploads the local model
+// to the coordinator over WiFi as float32; we serialize the same way so the
+// byte counts that drive e_k^U match the real system (7850 params ≈ 31.4 kB).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/result.h"
+
+namespace eefei::ml {
+
+/// Wire format: magic (4B) | version (2B) | flags (2B) | count (8B LE)
+/// | float32 parameters | crc32 (4B).
+struct ModelBlob {
+  std::vector<std::uint8_t> bytes;
+
+  [[nodiscard]] std::size_t size_bytes() const { return bytes.size(); }
+};
+
+/// Serializes parameters as float32 (the precision the prototype ships).
+[[nodiscard]] ModelBlob serialize_parameters(std::span<const double> params);
+
+/// Parses and CRC-checks a blob; returns the parameter vector as doubles.
+[[nodiscard]] Result<std::vector<double>> deserialize_parameters(
+    std::span<const std::uint8_t> bytes);
+
+/// Size in bytes a parameter vector of length n occupies on the wire.
+[[nodiscard]] std::size_t wire_size(std::size_t param_count);
+
+/// CRC-32 (IEEE, reflected) over a byte span.
+[[nodiscard]] std::uint32_t crc32(std::span<const std::uint8_t> data);
+
+}  // namespace eefei::ml

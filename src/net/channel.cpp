@@ -1,0 +1,56 @@
+#include "net/channel.h"
+
+#include <cmath>
+
+namespace eefei::net {
+
+Seconds WifiLan::nominal_duration(Bytes payload) const {
+  return config_.base_latency + transfer_time(payload, config_.rate);
+}
+
+TransferResult WifiLan::transfer(const Message& msg) {
+  TransferResult result;
+  const Seconds once = nominal_duration(msg.wire_bytes());
+  for (std::size_t attempt = 0; attempt <= config_.max_retries; ++attempt) {
+    ++result.attempts;
+    result.duration += once;
+    if (!rng_.bernoulli(config_.loss_probability)) {
+      result.delivered = true;
+      return result;
+    }
+  }
+  return result;  // dropped after max_retries
+}
+
+UplinkResult NbIotChannel::send(Bytes payload) {
+  UplinkResult result;
+  const Joules per_attempt = config_.energy_per_byte * payload;
+  const Seconds air_time = transfer_time(payload, config_.rate);
+  for (std::size_t attempt = 0; attempt <= config_.max_retries; ++attempt) {
+    ++result.attempts;
+    result.device_energy += per_attempt;
+    result.duration += air_time;
+    if (!rng_.bernoulli(config_.collision_probability)) {
+      result.delivered = true;
+      return result;
+    }
+  }
+  return result;
+}
+
+Joules NbIotChannel::expected_energy(Bytes payload) const {
+  const Joules clean = config_.energy_per_byte * payload;
+  const double p = config_.collision_probability;
+  if (p <= 0.0) return clean;
+  // Expected attempts of a geometric truncated at max_retries+1 tries.
+  const auto max_attempts = static_cast<double>(config_.max_retries + 1);
+  double expected_attempts = 0.0;
+  double prob_reach = 1.0;  // probability the k-th attempt happens
+  for (double k = 1.0; k <= max_attempts; k += 1.0) {
+    expected_attempts += prob_reach;
+    prob_reach *= p;
+  }
+  return clean * expected_attempts;
+}
+
+}  // namespace eefei::net

@@ -1,0 +1,92 @@
+// Link models.
+//
+// WifiLan models the edge↔coordinator LAN of the prototype (TP-Link router):
+// a rate/latency pipe with optional per-message loss and retransmission.
+//
+// NbIotChannel models the IoT→edge uplink: fixed per-byte energy (the paper
+// quotes 7.74 mW·s per byte for NB-IoT) and, for unlicensed-band operation,
+// a fixed collision probability per transmission attempt — the paper argues
+// both can be treated as constants when device locations are fixed (§IV-A).
+#pragma once
+
+#include <cstddef>
+
+#include "common/rng.h"
+#include "common/units.h"
+#include "net/message.h"
+
+namespace eefei::net {
+
+struct WifiLanConfig {
+  BitsPerSecond rate = BitsPerSecond::from_mbps(40.0);
+  Seconds base_latency = Seconds::from_millis(2.0);
+  double loss_probability = 0.0;  // per-attempt message loss
+  std::size_t max_retries = 5;
+};
+
+/// Result of pushing one message through a link.
+struct TransferResult {
+  bool delivered = false;
+  Seconds duration{0.0};     // total air time incl. retries
+  std::size_t attempts = 0;  // 1 = clean delivery
+};
+
+class WifiLan {
+ public:
+  WifiLan(WifiLanConfig config, Rng rng) : config_(config), rng_(rng) {}
+
+  /// Time to move `msg` across the LAN, retrying on loss.
+  [[nodiscard]] TransferResult transfer(const Message& msg);
+
+  /// Deterministic single-attempt duration (no loss roll) — used by the
+  /// closed-form energy model.
+  [[nodiscard]] Seconds nominal_duration(Bytes payload) const;
+
+  [[nodiscard]] const WifiLanConfig& config() const { return config_; }
+
+ private:
+  WifiLanConfig config_;
+  Rng rng_;
+};
+
+struct NbIotConfig {
+  /// Per-byte uplink energy: the §IV-A NB-IoT figure.
+  JoulesPerByte energy_per_byte =
+      JoulesPerByte::from_milliwatt_seconds(7.74);
+  /// Per-attempt collision probability in the unlicensed band (0 for
+  /// licensed operation).
+  double collision_probability = 0.0;
+  std::size_t max_retries = 8;
+  BitsPerSecond rate = BitsPerSecond::from_mbps(0.06);  // ~60 kbps uplink
+};
+
+/// One IoT uplink transmission outcome: energy spent by the device
+/// (including failed attempts) and whether the sample got through.
+struct UplinkResult {
+  bool delivered = false;
+  Joules device_energy{0.0};
+  Seconds duration{0.0};
+  std::size_t attempts = 0;
+};
+
+class NbIotChannel {
+ public:
+  NbIotChannel(NbIotConfig config, Rng rng) : config_(config), rng_(rng) {}
+
+  /// Sends `payload` bytes uphill, retrying on collision.  Every attempt
+  /// costs full transmission energy — that is what makes the *effective*
+  /// per-sample energy a constant multiple of the clean-channel cost.
+  [[nodiscard]] UplinkResult send(Bytes payload);
+
+  /// Expected energy to deliver `payload` bytes: ρ·bytes / (1 − p_collision)
+  /// truncated at max_retries — the constant the paper's Eq. 4 abstracts.
+  [[nodiscard]] Joules expected_energy(Bytes payload) const;
+
+  [[nodiscard]] const NbIotConfig& config() const { return config_; }
+
+ private:
+  NbIotConfig config_;
+  Rng rng_;
+};
+
+}  // namespace eefei::net

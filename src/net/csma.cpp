@@ -1,0 +1,62 @@
+#include "net/csma.h"
+
+#include <algorithm>
+
+namespace eefei::net {
+
+CsmaTransferResult CsmaCell::transfer(Bytes payload,
+                                      std::size_t contenders) {
+  CsmaTransferResult result;
+  std::size_t cw = config_.cw_min;
+  std::size_t attempts = 0;
+  const Seconds rival_air = transfer_time(payload, config_.rate);
+  // Deferrals (a rival legitimately winning the medium) do not consume
+  // transmission attempts — the station freezes and re-contends, exactly
+  // like DCF.  Only genuine collisions (equal backoff draws) do.  The
+  // safety cap bounds pathological contention.
+  const std::size_t max_iterations =
+      config_.max_attempts * (contenders + 2) * 4;
+  for (std::size_t iter = 0; iter < max_iterations; ++iter) {
+    result.duration += config_.difs;
+    std::size_t mine = static_cast<std::size_t>(rng_.uniform_index(cw));
+    std::size_t rival_min = cw + 1;
+    for (std::size_t i = 0; i < contenders; ++i) {
+      rival_min = std::min(
+          rival_min, static_cast<std::size_t>(rng_.uniform_index(cw)));
+    }
+    result.duration +=
+        config_.slot_time * static_cast<double>(std::min(mine, rival_min));
+    if (mine < rival_min) {
+      result.duration += transfer_time(payload, config_.rate);
+      result.delivered = true;
+      return result;
+    }
+    if (mine == rival_min) {
+      // Collision: both transmitted and garbled each other.
+      ++result.collisions;
+      cw = std::min(cw * 2, config_.cw_max);
+      if (++attempts >= config_.max_attempts) return result;  // dropped
+      continue;
+    }
+    // Deferral: the rival won cleanly; its frame occupies the medium.
+    result.duration += rival_air;
+  }
+  return result;  // safety cap hit (treated as dropped)
+}
+
+Seconds CsmaCell::expected_overhead(std::size_t contenders,
+                                    std::size_t trials) {
+  double acc = 0.0;
+  std::size_t delivered = 0;
+  for (std::size_t i = 0; i < trials; ++i) {
+    const auto r = transfer(Bytes{0.0}, contenders);
+    if (r.delivered) {
+      acc += r.duration.value();
+      ++delivered;
+    }
+  }
+  return delivered > 0 ? Seconds{acc / static_cast<double>(delivered)}
+                       : Seconds{0.0};
+}
+
+}  // namespace eefei::net

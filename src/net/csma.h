@@ -1,0 +1,59 @@
+// Slotted CSMA/CA medium model — the contention behaviour of the
+// prototype's 2.4 GHz WiFi cell, one level below the FCFS queue the
+// simulator uses by default.
+//
+// Model (802.11 DCF in spirit, simplified to what affects energy/timing):
+// a station with a frame picks a backoff slot uniformly from the current
+// contention window; the lowest draw among contenders wins the medium and
+// transmits; equal draws collide, everyone doubles its window (up to
+// CWmax) and redraws.  The per-frame medium-acquisition overhead therefore
+// grows with the number of simultaneous contenders — exactly the effect
+// that makes K concurrent uploads cost more than K× a lone upload.
+#pragma once
+
+#include <cstddef>
+
+#include "common/rng.h"
+#include "common/units.h"
+
+namespace eefei::net {
+
+struct CsmaConfig {
+  BitsPerSecond rate = BitsPerSecond::from_mbps(3.4);
+  Seconds slot_time = Seconds::from_micros(20.0);   // 802.11-ish slot
+  Seconds difs = Seconds::from_micros(50.0);        // sensing overhead
+  std::size_t cw_min = 16;                          // initial window
+  std::size_t cw_max = 1024;
+  std::size_t max_attempts = 16;                    // then the frame drops
+};
+
+struct CsmaTransferResult {
+  bool delivered = false;
+  Seconds duration{0.0};       // acquisition + air time, incl. collisions
+  std::size_t collisions = 0;  // collision events this frame survived
+};
+
+class CsmaCell {
+ public:
+  CsmaCell(CsmaConfig config, Rng rng) : config_(config), rng_(rng) {}
+
+  /// Time for one station to push `payload` through the cell while
+  /// `contenders` other stations are also trying to transmit.  Contender
+  /// frames are modelled statistically (they only matter through the
+  /// collision probability they induce).
+  [[nodiscard]] CsmaTransferResult transfer(Bytes payload,
+                                            std::size_t contenders);
+
+  /// Expected medium-acquisition overhead (no payload) for a given number
+  /// of contenders — Monte-Carlo averaged; used by tests and planners.
+  [[nodiscard]] Seconds expected_overhead(std::size_t contenders,
+                                          std::size_t trials = 2000);
+
+  [[nodiscard]] const CsmaConfig& config() const { return config_; }
+
+ private:
+  CsmaConfig config_;
+  Rng rng_;
+};
+
+}  // namespace eefei::net

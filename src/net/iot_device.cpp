@@ -1,0 +1,79 @@
+#include "net/iot_device.h"
+
+#include <cassert>
+
+namespace eefei::net {
+
+UplinkResult IotDevice::upload_sample() {
+  if (!alive()) {
+    ++samples_lost_;
+    return UplinkResult{};  // dead radio: nothing transmitted
+  }
+  UplinkResult r = channel_.send(config_.sample_bytes);
+  lifetime_energy_ += r.device_energy;
+  if (battery_.has_value() && !battery_->drain(r.device_energy)) {
+    // The battery died mid-transmission; the sample did not make it.
+    r.delivered = false;
+  }
+  if (r.delivered) {
+    ++samples_sent_;
+  } else {
+    ++samples_lost_;
+  }
+  return r;
+}
+
+DeviceFleet::DeviceFleet(std::size_t num_devices, IotDeviceConfig config,
+                         Rng rng) {
+  assert(num_devices > 0);
+  devices_.reserve(num_devices);
+  for (std::size_t i = 0; i < num_devices; ++i) {
+    devices_.emplace_back(static_cast<std::uint32_t>(i), config,
+                          rng.split(i));
+  }
+}
+
+CollectionResult DeviceFleet::collect(std::size_t n) {
+  CollectionResult result;
+  result.samples_requested = n;
+  // Guard against a channel so bad nothing ever arrives.
+  const std::size_t attempt_cap = n * 20 + 100;
+  std::size_t attempts = 0;
+  std::size_t depleted_before = 0;
+  for (const auto& d : devices_) {
+    if (!d.alive()) ++depleted_before;
+  }
+  while (result.samples_delivered < n && attempts < attempt_cap) {
+    if (alive_count() == 0) break;  // whole fleet dark
+    IotDevice& dev = devices_[next_device_];
+    next_device_ = (next_device_ + 1) % devices_.size();
+    ++attempts;
+    if (!dev.alive()) continue;  // route around dead devices
+    const UplinkResult r = dev.upload_sample();
+    result.total_energy += r.device_energy;
+    result.duration += r.duration;
+    if (r.delivered) ++result.samples_delivered;
+  }
+  std::size_t depleted_after = 0;
+  for (const auto& d : devices_) {
+    if (!d.alive()) ++depleted_after;
+  }
+  result.devices_depleted = depleted_after - depleted_before;
+  return result;
+}
+
+std::size_t DeviceFleet::alive_count() const {
+  std::size_t alive = 0;
+  for (const auto& d : devices_) {
+    if (d.alive()) ++alive;
+  }
+  return alive;
+}
+
+Joules DeviceFleet::expected_energy_per_sample() const {
+  const auto& cfg = devices_.front().config();
+  const NbIotChannel probe(cfg.uplink, Rng(0));
+  return probe.expected_energy(cfg.sample_bytes);
+}
+
+}  // namespace eefei::net

@@ -1,0 +1,100 @@
+// IoT devices and fleets.  Each device is a passive sensor attached to an
+// edge server; per the paper's §IV-A the sensing energy is negligible and
+// the per-sample uplink energy is a constant ρ.  A DeviceFleet is the set
+// of devices feeding one edge server: asked for n_k samples per round, it
+// spreads the uploads across its devices and accounts the energy.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include <optional>
+
+#include "common/rng.h"
+#include "common/units.h"
+#include "energy/battery.h"
+#include "net/channel.h"
+
+namespace eefei::net {
+
+struct IotDeviceConfig {
+  /// Serialized size of one data sample.  A 28×28 uint8 image plus a 1-byte
+  /// label = 785 bytes, the MNIST-like default.
+  Bytes sample_bytes{785.0};
+  NbIotConfig uplink;
+  /// Optional finite battery; nullopt = mains/energy-harvesting powered.
+  /// A depleted device stops transmitting (its fleet routes around it).
+  std::optional<Joules> battery_capacity;
+};
+
+class IotDevice {
+ public:
+  IotDevice(std::uint32_t id, IotDeviceConfig config, Rng rng)
+      : id_(id), config_(config), channel_(config.uplink, rng) {
+    if (config_.battery_capacity.has_value()) {
+      battery_.emplace(*config_.battery_capacity);
+    }
+  }
+
+  /// Uploads one sample; returns the uplink outcome (energy incl. retries).
+  /// A depleted device returns delivered = false with zero energy.
+  [[nodiscard]] UplinkResult upload_sample();
+
+  [[nodiscard]] std::uint32_t id() const { return id_; }
+  [[nodiscard]] Joules lifetime_energy() const { return lifetime_energy_; }
+  [[nodiscard]] std::size_t samples_sent() const { return samples_sent_; }
+  [[nodiscard]] std::size_t samples_lost() const { return samples_lost_; }
+  [[nodiscard]] const IotDeviceConfig& config() const { return config_; }
+  /// Battery state; nullopt for mains-powered devices.
+  [[nodiscard]] const std::optional<energy::Battery>& battery() const {
+    return battery_;
+  }
+  [[nodiscard]] bool alive() const {
+    return !battery_.has_value() || !battery_->depleted();
+  }
+
+ private:
+  std::uint32_t id_;
+  IotDeviceConfig config_;
+  NbIotChannel channel_;
+  std::optional<energy::Battery> battery_;
+  Joules lifetime_energy_{0.0};
+  std::size_t samples_sent_ = 0;
+  std::size_t samples_lost_ = 0;
+};
+
+/// Outcome of one round of data collection for an edge server.
+struct CollectionResult {
+  std::size_t samples_requested = 0;
+  std::size_t samples_delivered = 0;
+  Joules total_energy{0.0};  // e_k^I including retransmissions
+  Seconds duration{0.0};     // wall time (devices transmit sequentially)
+  std::size_t devices_depleted = 0;  // batteries that ran out this round
+};
+
+class DeviceFleet {
+ public:
+  /// Creates `num_devices` devices with independent RNG streams.
+  DeviceFleet(std::size_t num_devices, IotDeviceConfig config, Rng rng);
+
+  /// Collects n samples round-robin across the fleet; lost samples are
+  /// re-requested from the next device so the edge server always ends up
+  /// with n delivered samples (matching the paper's fixed n_k).
+  [[nodiscard]] CollectionResult collect(std::size_t n);
+
+  /// The effective per-sample energy constant ρ_k of Eq. 4.
+  [[nodiscard]] Joules expected_energy_per_sample() const;
+
+  [[nodiscard]] std::size_t size() const { return devices_.size(); }
+  [[nodiscard]] const IotDevice& device(std::size_t i) const {
+    return devices_.at(i);
+  }
+  /// Number of devices still able to transmit.
+  [[nodiscard]] std::size_t alive_count() const;
+
+ private:
+  std::vector<IotDevice> devices_;
+  std::size_t next_device_ = 0;
+};
+
+}  // namespace eefei::net

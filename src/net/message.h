@@ -1,0 +1,54 @@
+// Network message framing for the simulated FEI system.  Byte counts drive
+// transfer durations (and therefore energy) in the link models, so the
+// framing mirrors what the prototype actually ships: a small header plus a
+// float32 parameter blob or raw sensor payload.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "common/units.h"
+
+namespace eefei::net {
+
+enum class MessageType : std::uint8_t {
+  kGlobalModel,    // coordinator → edge: ω_t + training setup
+  kLocalModel,     // edge → coordinator: ω_{k,t}
+  kSensorData,     // IoT device → edge: data samples
+  kSelectionNotice,// coordinator → edge: "you are in 𝒦_t"
+  kAck,
+};
+
+[[nodiscard]] constexpr const char* to_string(MessageType t) {
+  switch (t) {
+    case MessageType::kGlobalModel:
+      return "global_model";
+    case MessageType::kLocalModel:
+      return "local_model";
+    case MessageType::kSensorData:
+      return "sensor_data";
+    case MessageType::kSelectionNotice:
+      return "selection_notice";
+    case MessageType::kAck:
+      return "ack";
+  }
+  return "?";
+}
+
+struct Message {
+  MessageType type = MessageType::kAck;
+  std::uint32_t source = 0;
+  std::uint32_t destination = 0;
+  std::size_t payload_bytes = 0;
+
+  /// Fixed per-message framing overhead (type/src/dst/len/crc), matching
+  /// the prototype's small TCP-level header.
+  static constexpr std::size_t kHeaderBytes = 24;
+
+  [[nodiscard]] Bytes wire_bytes() const {
+    return Bytes{static_cast<double>(payload_bytes + kHeaderBytes)};
+  }
+};
+
+}  // namespace eefei::net

@@ -1,0 +1,20 @@
+#include "net/topology.h"
+
+#include <cassert>
+
+namespace eefei::net {
+
+Topology::Topology(TopologyConfig config) : config_(config) {
+  assert(config_.num_edge_servers > 0);
+  assert(config_.devices_per_edge > 0);
+  Rng root(config_.seed);
+  fleets_.reserve(config_.num_edge_servers);
+  lans_.reserve(config_.num_edge_servers);
+  for (std::size_t e = 0; e < config_.num_edge_servers; ++e) {
+    fleets_.emplace_back(config_.devices_per_edge, config_.device,
+                         root.split(2 * e));
+    lans_.emplace_back(config_.lan, root.split(2 * e + 1));
+  }
+}
+
+}  // namespace eefei::net

@@ -1,0 +1,171 @@
+#include "sim/async_fei.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "ml/model_spec.h"
+#include "ml/quantize.h"
+#include "ml/serialize.h"
+#include "sim/event_queue.h"
+
+namespace eefei::sim {
+
+std::optional<std::size_t> AsyncRunResult::updates_to_accuracy(
+    double target) const {
+  for (const auto& u : updates) {
+    if (u.test_accuracy >= target && u.test_accuracy > 0.0) {
+      return u.update + 1;
+    }
+  }
+  return std::nullopt;
+}
+
+AsyncFeiSystem::AsyncFeiSystem(AsyncFeiConfig config)
+    : config_(std::move(config)) {}
+
+Result<AsyncRunResult> AsyncFeiSystem::run() {
+  FeiSystemConfig base = config_.base;
+  FeiSystem substrate(base);
+  if (const auto st = substrate.prepare(); !st.ok()) return st.error();
+  auto& clients = substrate.clients();
+  auto& topology = substrate.topology();
+
+  if (config_.mixing_alpha <= 0.0 || config_.mixing_alpha > 1.0) {
+    return Error::invalid_argument("async: alpha must be in (0, 1]");
+  }
+  const std::size_t workers =
+      std::min(base.fl.clients_per_round, clients.size());
+  if (workers == 0) {
+    return Error::invalid_argument("async: need at least one worker");
+  }
+
+  AsyncRunResult result;
+  result.ledger = energy::EnergyLedger(clients.size());
+
+  const auto eval_model = ml::make_model(base.model);
+  std::vector<double> global(eval_model->parameters().begin(),
+                             eval_model->parameters().end());
+
+  const std::size_t param_count = base.model.parameter_count();
+  net::Message msg;
+  msg.payload_bytes = ml::wire_size(param_count);
+
+  EventQueue queue;
+  Rng jitter_rng(base.seed * 104729 + 55);
+  Rng straggler_rng(base.seed * 15485863 + 57);
+  auto jittered = [&](Seconds nominal) {
+    if (base.timing_jitter <= 0.0) return nominal;
+    const double f =
+        std::max(0.5, 1.0 + jitter_rng.normal(0.0, base.timing_jitter));
+    return nominal * f;
+  };
+  std::vector<double> persistent_slowdown(clients.size(), 1.0);
+  if (base.straggler_persistent && base.straggler_fraction > 0.0) {
+    for (auto& f : persistent_slowdown) {
+      if (straggler_rng.bernoulli(base.straggler_fraction)) {
+        f = std::max(1.0, base.straggler_slowdown);
+      }
+    }
+  }
+  auto straggler_factor = [&](std::size_t sid) {
+    if (base.straggler_fraction <= 0.0) return 1.0;
+    if (base.straggler_persistent) return persistent_slowdown[sid];
+    return straggler_rng.bernoulli(base.straggler_fraction)
+               ? std::max(1.0, base.straggler_slowdown)
+               : 1.0;
+  };
+
+  std::size_t version = 0;          // bumps on every applied update
+  std::size_t applied = 0;
+  bool stop = false;
+
+  // Starts one training task for `server` from the current global model;
+  // schedules its completion.
+  std::function<void(std::size_t)> dispatch = [&](std::size_t server) {
+    if (stop) return;
+    const std::size_t start_version = version;
+    // Model download (async: no LAN serialization barrier — transfers are
+    // short relative to training and overlap freely).
+    const auto down = topology.lan(server).transfer(msg);
+    const Seconds d = jittered(down.duration);
+    result.ledger.charge(
+        server, energy::EnergyCategory::kDownload,
+        base.profile.power(energy::EdgeState::kDownloading) * d);
+
+    // Snapshot the global model NOW (the server trains on what it pulled).
+    const std::vector<double> snapshot = global;
+
+    Seconds train = jittered(config_.base.timing.duration(
+        base.fl.local_epochs, clients[server].num_samples()));
+    train *= straggler_factor(server);
+    result.ledger.charge(
+        server, energy::EnergyCategory::kTraining,
+        base.profile.power(energy::EdgeState::kTraining) * train);
+
+    const auto up = topology.lan(server).transfer(msg);
+    const Seconds u = jittered(up.duration);
+    result.ledger.charge(
+        server, energy::EnergyCategory::kUpload,
+        base.profile.power(energy::EdgeState::kUploading) * u);
+
+    queue.schedule_in(d + train + u, [&, server, start_version, snapshot] {
+      if (stop) return;
+      // The actual computation happens lazily at completion time, using
+      // the snapshot the server pulled at dispatch.
+      auto update = clients[server].train(snapshot, base.fl.local_epochs,
+                                          applied / workers);
+
+      const std::size_t staleness = version - start_version;
+      const double alpha_s =
+          config_.mixing_alpha /
+          std::pow(1.0 + static_cast<double>(staleness),
+                   config_.staleness_exponent);
+      for (std::size_t i = 0; i < global.size(); ++i) {
+        global[i] = (1.0 - alpha_s) * global[i] + alpha_s * update.params[i];
+      }
+      ++version;
+
+      AsyncUpdateRecord rec;
+      rec.update = applied;
+      rec.server = server;
+      rec.staleness = staleness;
+      rec.mixing_weight = alpha_s;
+      rec.applied_at = queue.now();
+
+      const bool eval_now = (applied % config_.eval_every == 0) ||
+                            (applied + 1 == config_.max_updates);
+      if (eval_now) {
+        auto params = eval_model->parameters();
+        std::copy(global.begin(), global.end(), params.begin());
+        const auto eval = eval_model->evaluate(substrate.test_set().view());
+        rec.global_loss = eval.loss;
+        rec.test_accuracy = eval.accuracy;
+        result.final_accuracy = eval.accuracy;
+        result.final_loss = eval.loss;
+        if (base.fl.target_accuracy.has_value() &&
+            eval.accuracy >= *base.fl.target_accuracy) {
+          result.reached_target = true;
+          stop = true;
+        }
+      }
+      result.updates.push_back(std::move(rec));
+      ++applied;
+      if (applied >= config_.max_updates) stop = true;
+      if (!stop) dispatch(server);  // pull the fresh model, keep going
+    });
+  };
+
+  // Seed the initial worker pool with distinct servers.
+  Rng pick_rng(base.seed * 7727 + 3);
+  std::vector<std::size_t> ids(clients.size());
+  for (std::size_t i = 0; i < ids.size(); ++i) ids[i] = i;
+  pick_rng.shuffle(ids);
+  for (std::size_t w = 0; w < workers; ++w) dispatch(ids[w]);
+
+  queue.run();
+  result.updates_applied = applied;
+  result.wall_clock = queue.now();
+  return result;
+}
+
+}  // namespace eefei::sim

@@ -1,0 +1,65 @@
+#include "sim/calibration_runner.h"
+
+#include "energy/calibration.h"
+
+namespace eefei::sim {
+
+Result<CalibrationOutcome> run_calibration(
+    const CalibrationRunConfig& config,
+    std::span<const std::pair<std::size_t, std::size_t>> grid) {
+  if (grid.size() < 3) {
+    return Error::invalid_argument(
+        "calibration: need at least 3 grid points");
+  }
+
+  CalibrationOutcome outcome;
+  std::vector<energy::ConvergenceObservation> observations;
+
+  for (const auto& [k, e] : grid) {
+    FeiSystemConfig cfg = config.base;
+    cfg.fl.clients_per_round = k;
+    cfg.fl.local_epochs = e;
+    cfg.fl.max_rounds = config.max_rounds;
+    cfg.fl.eval_every = config.eval_every;
+    cfg.fl.target_accuracy = config.target_accuracy;
+
+    FeiSystem system(cfg);
+    const auto run = system.run();
+    CalibrationPoint point;
+    point.k = k;
+    point.e = e;
+    if (run.ok()) {
+      point.reached = run->training.reached_target;
+      point.rounds = run->training.rounds_run;
+      point.final_loss = run->training.record.last().global_loss;
+      point.modeled_energy_j = run->ledger.modeled_total().value();
+      if (point.reached) {
+        observations.push_back({k, e, point.rounds, config.gap_at_target});
+      }
+    }
+    outcome.points.push_back(point);
+  }
+
+  if (observations.size() < 3) {
+    return Error::insufficient_data(
+        "calibration: fewer than 3 grid points reached the target — raise "
+        "max_rounds or lower the target");
+  }
+
+  const auto fit = energy::fit_convergence_constants(observations);
+  if (!fit.ok()) return fit.error();
+  outcome.constants = fit->constants;
+  outcome.points_used = observations.size();
+
+  // Assemble planner inputs from the fitted constants plus the system's
+  // own energy model.
+  FeiSystem probe(config.base);
+  outcome.planner_inputs.num_servers = config.base.num_servers;
+  outcome.planner_inputs.samples_per_server = config.base.samples_per_server;
+  outcome.planner_inputs.epsilon = config.gap_at_target;
+  outcome.planner_inputs.constants = outcome.constants;
+  outcome.planner_inputs.energy = probe.energy_model();
+  return outcome;
+}
+
+}  // namespace eefei::sim

@@ -1,0 +1,52 @@
+// Empirical calibration runner: the bridge from simulated (or real)
+// training runs to the planner's inputs.
+//
+// Runs the system at a grid of (K, E) operating points up to the accuracy
+// target, records T-to-target, fits the convergence constants (A0, A1, A2)
+// of Eq. 10, and packages everything as PlannerInputs — the full
+// "measure, fit, optimize" loop of the paper in one call.
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "core/planner.h"
+#include "sim/fei_system.h"
+
+namespace eefei::sim {
+
+struct CalibrationRunConfig {
+  FeiSystemConfig base;           // population/model/network template
+  double target_accuracy = 0.85;  // every grid point trains to this
+  std::size_t max_rounds = 300;   // cap per point
+  std::size_t eval_every = 2;
+  /// Loss gap assigned to every at-target observation (all runs stop at
+  /// the same accuracy, i.e. at the same gap ε).
+  double gap_at_target = 0.05;
+};
+
+struct CalibrationPoint {
+  std::size_t k = 0;
+  std::size_t e = 0;
+  bool reached = false;
+  std::size_t rounds = 0;          // T@target (when reached)
+  double final_loss = 0.0;
+  double modeled_energy_j = 0.0;   // measured e^I + e^P + e^U
+};
+
+struct CalibrationOutcome {
+  std::vector<CalibrationPoint> points;
+  energy::ConvergenceConstants constants;  // fitted A0/A1/A2
+  core::PlannerInputs planner_inputs;      // ready for EeFeiPlanner
+  std::size_t points_used = 0;             // observations that hit target
+};
+
+/// Runs every (K, E) in `grid` and fits.  Fails when fewer than three grid
+/// points reach the target (the fit would be underdetermined).
+[[nodiscard]] Result<CalibrationOutcome> run_calibration(
+    const CalibrationRunConfig& config,
+    std::span<const std::pair<std::size_t, std::size_t>> grid);
+
+}  // namespace eefei::sim

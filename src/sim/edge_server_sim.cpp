@@ -1,0 +1,25 @@
+#include "sim/edge_server_sim.h"
+
+#include <cassert>
+
+namespace eefei::sim {
+
+void EdgeServerSim::run_phase(energy::EdgeState state, Seconds start,
+                              Seconds duration) {
+  const Seconds end = timeline_.total_duration();
+  assert(start.value() + 1e-12 >= end.value() &&
+         "phase starts before the previous one ended");
+  if (start > end) {
+    timeline_.push(energy::EdgeState::kWaiting, start - end);
+  }
+  timeline_.push(state, duration);
+}
+
+void EdgeServerSim::idle_until(Seconds until) {
+  const Seconds end = timeline_.total_duration();
+  if (until > end) {
+    timeline_.push(energy::EdgeState::kWaiting, until - end);
+  }
+}
+
+}  // namespace eefei::sim

@@ -1,0 +1,37 @@
+#include "sim/event_queue.h"
+
+#include <cassert>
+#include <utility>
+
+namespace eefei::sim {
+
+void EventQueue::schedule_at(Seconds at, Handler handler) {
+  assert(handler);
+  if (at < now_) at = now_;  // never schedule into the past
+  heap_.push(Event{at, next_seq_++, std::move(handler)});
+}
+
+void EventQueue::schedule_in(Seconds delay, Handler handler) {
+  assert(delay.value() >= 0.0);
+  schedule_at(now_ + delay, std::move(handler));
+}
+
+std::size_t EventQueue::run(std::size_t max_events) {
+  std::size_t processed = 0;
+  while (!heap_.empty() && processed < max_events) {
+    // priority_queue::top() is const; move out via const_cast is UB-adjacent,
+    // so copy the handler (cheap: std::function) and pop.
+    Event ev = heap_.top();
+    heap_.pop();
+    now_ = ev.at;
+    ev.handler();
+    ++processed;
+  }
+  return processed;
+}
+
+void EventQueue::clear() {
+  while (!heap_.empty()) heap_.pop();
+}
+
+}  // namespace eefei::sim

@@ -1,0 +1,58 @@
+// Minimal discrete-event simulation engine.  Events are closures ordered by
+// simulated time (FIFO within equal timestamps).  The FEI system simulation
+// schedules per-server phase completions (download done, training done,
+// upload done) through this queue; everything downstream reads time from it.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/units.h"
+
+namespace eefei::sim {
+
+class EventQueue {
+ public:
+  using Handler = std::function<void()>;
+
+  /// Current simulated time (the timestamp of the event being processed,
+  /// or the last processed event after run() returns).
+  [[nodiscard]] Seconds now() const { return now_; }
+
+  /// Schedules `handler` at absolute simulated time `at` (>= now).
+  void schedule_at(Seconds at, Handler handler);
+
+  /// Schedules `handler` `delay` after the current time.
+  void schedule_in(Seconds delay, Handler handler);
+
+  /// Processes events until the queue is empty or `max_events` fires.
+  /// Returns the number of events processed.
+  std::size_t run(std::size_t max_events = SIZE_MAX);
+
+  [[nodiscard]] bool empty() const { return heap_.empty(); }
+  [[nodiscard]] std::size_t pending() const { return heap_.size(); }
+
+  /// Drops all pending events (end of a simulation phase).
+  void clear();
+
+ private:
+  struct Event {
+    Seconds at{0.0};
+    std::uint64_t seq = 0;  // tie-break: FIFO among equal times
+    Handler handler;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.at.value() != b.at.value()) return a.at.value() > b.at.value();
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  Seconds now_{0.0};
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace eefei::sim

@@ -1,0 +1,302 @@
+#include "sim/fei_system.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "ml/quantize.h"
+#include "ml/serialize.h"
+#include "sim/edge_server_sim.h"
+#include "sim/event_queue.h"
+
+namespace eefei::sim {
+
+FeiSystemConfig prototype_config() {
+  FeiSystemConfig cfg;
+  cfg.num_servers = 20;
+  cfg.samples_per_server = 3000;
+  cfg.test_samples = 2000;
+  cfg.model.input_dim = 784;
+  cfg.model.num_classes = 10;
+  cfg.sgd.learning_rate = 0.01;
+  cfg.sgd.decay = 0.99;
+  cfg.fl.clients_per_round = 10;
+  cfg.fl.local_epochs = 40;
+  cfg.fl.max_rounds = 500;
+  cfg.net.num_edge_servers = cfg.num_servers;
+  // 3.4 Mbps effective LAN throughput: a congested 2.4 GHz WiFi shared by
+  // 20 stations; yields e^U ≈ 0.38 J per 31.4 kB model upload, the value
+  // the optimizer defaults are calibrated against (DESIGN.md).
+  cfg.net.lan.rate = BitsPerSecond::from_mbps(3.4);
+  cfg.net.lan.base_latency = Seconds::from_millis(2.0);
+  return cfg;
+}
+
+FeiSystem::FeiSystem(FeiSystemConfig config) : config_(std::move(config)) {}
+
+Status FeiSystem::build_population() {
+  if (config_.num_servers == 0) {
+    return Error::invalid_argument("fei: num_servers must be >= 1");
+  }
+  if (config_.samples_per_server == 0) {
+    return Error::invalid_argument("fei: samples_per_server must be >= 1");
+  }
+
+  data::SynthDigitsConfig data_cfg = config_.data;
+  data_cfg.seed = config_.seed * 1000003 + 17;
+  data::SynthDigits generator(data_cfg);
+  train_set_ = generator.generate(config_.num_servers *
+                                  config_.samples_per_server);
+  test_set_ = generator.generate(config_.test_samples);
+
+  Rng part_rng(config_.seed * 7919 + 3);
+  Result<std::vector<data::Shard>> shards = [&] {
+    switch (config_.partition) {
+      case PartitionScheme::kIid:
+        return data::partition_iid(train_set_, config_.num_servers, part_rng);
+      case PartitionScheme::kShards:
+        return data::partition_shards(train_set_, config_.num_servers,
+                                      config_.shards_per_client, part_rng);
+      case PartitionScheme::kDirichlet:
+        return data::partition_dirichlet(train_set_, config_.num_servers,
+                                         config_.dirichlet_alpha, part_rng);
+    }
+    return data::partition_iid(train_set_, config_.num_servers, part_rng);
+  }();
+  if (!shards.ok()) return shards.error();
+  shards_ = std::move(shards).value();
+
+  clients_.clear();
+  clients_.reserve(config_.num_servers);
+  for (std::size_t k = 0; k < config_.num_servers; ++k) {
+    fl::ClientConfig ccfg;
+    ccfg.model = config_.model;
+    ccfg.sgd = config_.sgd;
+    clients_.emplace_back(k, &shards_[k], ccfg);
+  }
+
+  net::TopologyConfig net_cfg = config_.net;
+  net_cfg.num_edge_servers = config_.num_servers;
+  net_cfg.seed = config_.seed * 31 + 11;
+  topology_ = std::make_unique<net::Topology>(net_cfg);
+  return Status::success();
+}
+
+Status FeiSystem::prepare() {
+  if (prepared_) return Status::success();
+  if (const auto st = build_population(); !st.ok()) return st;
+  prepared_ = true;
+  return Status::success();
+}
+
+energy::FeiEnergyModel FeiSystem::energy_model() const {
+  energy::FeiEnergyModel model;
+  model.samples_per_server = config_.samples_per_server;
+  model.training = energy::LocalTrainingModel::from_timing(
+      config_.timing, config_.profile.power(energy::EdgeState::kTraining));
+
+  const std::size_t param_count = config_.model.parameter_count();
+  const std::size_t blob_payload =
+      ml::valid_quant_bits(config_.upload_quant_bits)
+          ? ml::quantized_wire_size(param_count, config_.upload_quant_bits)
+          : ml::wire_size(param_count);
+  const Bytes blob{
+      static_cast<double>(blob_payload + net::Message::kHeaderBytes)};
+  model.upload = energy::UploadModel::from_link(
+      blob, config_.net.lan.rate, config_.net.lan.base_latency,
+      config_.profile.power(energy::EdgeState::kUploading));
+
+  if (config_.iot_collection) {
+    const net::NbIotChannel probe(config_.net.device.uplink, Rng(0));
+    model.collection.rho =
+        probe.expected_energy(config_.net.device.sample_bytes);
+  } else {
+    model.collection.rho = Joules{0.0};
+  }
+  return model;
+}
+
+Result<FeiRunResult> FeiSystem::run() {
+  if (const auto st = prepare(); !st.ok()) return st.error();
+
+  FeiRunResult result;
+  result.ledger = energy::EnergyLedger(config_.num_servers);
+
+  std::vector<EdgeServerSim> servers;
+  servers.reserve(config_.num_servers);
+  for (std::size_t k = 0; k < config_.num_servers; ++k) {
+    servers.emplace_back(k, config_.profile);
+  }
+
+  const std::size_t param_count = config_.model.parameter_count();
+  // The downlink always carries the exact global model; the uplink shrinks
+  // when upload quantization is on.
+  net::Message down_msg;
+  down_msg.payload_bytes = ml::wire_size(param_count);
+  net::Message up_msg = down_msg;
+  if (ml::valid_quant_bits(config_.upload_quant_bits)) {
+    up_msg.payload_bytes =
+        ml::quantized_wire_size(param_count, config_.upload_quant_bits);
+  }
+
+  EventQueue queue;
+  Rng jitter_rng(config_.seed * 104729 + 5);
+  Rng straggler_rng(config_.seed * 15485863 + 7);
+  net::CsmaCell csma(config_.csma, Rng(config_.seed * 48611 + 9));
+  auto jittered = [&](Seconds nominal) {
+    if (config_.timing_jitter <= 0.0) return nominal;
+    const double f = std::max(
+        0.5, 1.0 + jitter_rng.normal(0.0, config_.timing_jitter));
+    return nominal * f;
+  };
+  // Persistent stragglers: slow hardware keeps its handicap for the whole
+  // run; transient stragglers re-roll per task.
+  std::vector<double> persistent_slowdown(config_.num_servers, 1.0);
+  if (config_.straggler_persistent && config_.straggler_fraction > 0.0) {
+    for (auto& f : persistent_slowdown) {
+      if (straggler_rng.bernoulli(config_.straggler_fraction)) {
+        f = std::max(1.0, config_.straggler_slowdown);
+      }
+    }
+  }
+  auto straggler_factor = [&](std::size_t sid) {
+    if (config_.straggler_fraction <= 0.0) return 1.0;
+    if (config_.straggler_persistent) return persistent_slowdown[sid];
+    return straggler_rng.bernoulli(config_.straggler_fraction)
+               ? std::max(1.0, config_.straggler_slowdown)
+               : 1.0;
+  };
+
+  Seconds clock{0.0};
+
+  // The per-round timing/energy simulation, invoked by the coordinator
+  // after each aggregation.
+  auto observer = [&](const fl::RoundRecord& record,
+                      std::span<const fl::LocalTrainResult> updates) {
+    const Seconds round_start = clock;
+    // The LAN is a single shared medium: coordinator dispatches the global
+    // model to the selected servers one at a time, and later their uploads
+    // contend for the same medium (FCFS queue or CSMA/CA, per config).
+    Seconds lan_free = round_start;
+    Seconds round_end = round_start;
+    std::size_t uploads_pending = record.selected.size();
+
+    struct UploadPlan {
+      std::size_t server;
+      Seconds train_end{0.0};
+    };
+
+    for (std::size_t i = 0; i < record.selected.size(); ++i) {
+      const std::size_t sid = record.selected[i];
+      const std::size_t n_k = updates[i].samples_used;
+
+      // Step (1): data collection from the IoT fleet (energy only; the
+      // devices push concurrently with the model dispatch).
+      if (config_.iot_collection) {
+        const auto collected = topology_->fleet(sid).collect(n_k);
+        result.ledger.charge(sid, energy::EnergyCategory::kDataCollection,
+                             collected.total_energy);
+      }
+
+      // Step (2): model download, serialized at the coordinator.
+      const auto down = topology_->lan(sid).transfer(down_msg);
+      const Seconds d = jittered(down.duration);
+      const Seconds download_start = lan_free;
+      lan_free += d;
+      servers[sid].run_phase(energy::EdgeState::kDownloading, download_start,
+                             d);
+      result.ledger.charge(
+          sid, energy::EnergyCategory::kDownload,
+          config_.profile.power(energy::EdgeState::kDownloading) * d);
+
+      // Step (3): local training, with optional straggler slowdown.
+      Seconds t = jittered(
+          config_.timing.duration(record.local_epochs, n_k));
+      t *= straggler_factor(sid);
+      servers[sid].run_phase(energy::EdgeState::kTraining,
+                             download_start + d, t);
+      result.ledger.charge(
+          sid, energy::EnergyCategory::kTraining,
+          config_.profile.power(energy::EdgeState::kTraining) * t);
+
+      // Step (4): upload — completion-ordered LAN contention, resolved
+      // through the event queue.
+      const Seconds train_end = download_start + d + t;
+      queue.schedule_at(train_end, [&, sid, train_end] {
+        Seconds u{0.0};
+        Seconds upload_start = train_end;
+        if (config_.lan_contention == FeiSystemConfig::LanContention::kCsma) {
+          // CSMA/CA: contention with the other servers still uploading is
+          // folded into the transfer duration itself.
+          const auto r = csma.transfer(up_msg.wire_bytes(),
+                                       uploads_pending - 1);
+          u = jittered(r.duration);
+        } else {
+          // FCFS queue at the access point.
+          const auto up = topology_->lan(sid).transfer(up_msg);
+          u = jittered(up.duration);
+          upload_start = std::max(train_end, lan_free);
+          const Seconds queue_wait = upload_start - train_end;
+          lan_free = upload_start + u;
+          if (queue_wait.value() > 0.0) {
+            result.ledger.charge(
+                sid, energy::EnergyCategory::kWaiting,
+                config_.profile.power(energy::EdgeState::kWaiting) *
+                    queue_wait);
+          }
+        }
+        --uploads_pending;
+        servers[sid].run_phase(energy::EdgeState::kUploading, upload_start,
+                               u);
+        result.ledger.charge(
+            sid, energy::EnergyCategory::kUpload,
+            config_.profile.power(energy::EdgeState::kUploading) * u);
+        round_end = std::max(round_end, upload_start + u);
+      });
+    }
+
+    queue.run();
+    clock = std::max(round_end, lan_free);
+
+    if (config_.charge_idle_servers) {
+      // Every server not busy this round idles at waiting power.
+      const Seconds round_duration = clock - round_start;
+      for (std::size_t sid = 0; sid < config_.num_servers; ++sid) {
+        const bool selected =
+            std::find(record.selected.begin(), record.selected.end(), sid) !=
+            record.selected.end();
+        if (!selected) {
+          result.ledger.charge(
+              sid, energy::EnergyCategory::kWaiting,
+              config_.profile.power(energy::EdgeState::kWaiting) *
+                  round_duration);
+        }
+      }
+    }
+  };
+
+  fl::CoordinatorConfig fl_cfg = config_.fl;
+  fl_cfg.upload_quant_bits = config_.upload_quant_bits;
+  fl_cfg.update_drop_probability = config_.update_drop_probability;
+  fl_cfg.drop_seed = config_.seed * 2654435761 + 13;
+  auto policy = std::make_unique<fl::UniformRandomSelection>(
+      Rng(config_.seed * 613 + 29));
+  fl::Coordinator coordinator(&clients_, &test_set_, fl_cfg,
+                              std::move(policy));
+  coordinator.set_round_observer(observer);
+
+  auto outcome = coordinator.run();
+  if (!outcome.ok()) return outcome.error();
+  result.training = std::move(outcome).value();
+  result.wall_clock = clock;
+
+  // Close every server's physical timeline at the makespan so Fig. 3-style
+  // traces show the trailing idle stretch.
+  for (auto& s : servers) s.idle_until(clock);
+  result.timelines.reserve(servers.size());
+  for (auto& s : servers) result.timelines.push_back(s.timeline());
+
+  return result;
+}
+
+}  // namespace eefei::sim

@@ -1,0 +1,146 @@
+// Full FEI system simulation: binds the synthetic IoT network, the edge
+// servers, the FL training loop and the energy accounting into the
+// experiment the paper's prototype runs.  One FeiSystem::run() is one
+// "train the model to the target with parameters (K, E)" measurement —
+// the unit behind every point in Figs. 4, 5 and 6.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "common/result.h"
+#include "common/units.h"
+#include "data/partition.h"
+#include "data/synth_digits.h"
+#include "energy/energy_model.h"
+#include "energy/ledger.h"
+#include "energy/meter.h"
+#include "energy/power_model.h"
+#include "fl/coordinator.h"
+#include "net/csma.h"
+#include "net/topology.h"
+
+namespace eefei::sim {
+
+enum class PartitionScheme {
+  kIid,        // the prototype's uniform allocation
+  kShards,     // pathological label-sorted non-IID
+  kDirichlet,  // tunable label skew
+};
+
+struct FeiSystemConfig {
+  // --- population ---
+  std::size_t num_servers = 20;         // N (prototype value)
+  std::size_t samples_per_server = 3000;  // n_k (prototype value)
+  std::size_t test_samples = 2000;
+
+  // --- data ---
+  data::SynthDigitsConfig data;
+  PartitionScheme partition = PartitionScheme::kIid;
+  double dirichlet_alpha = 0.5;
+  std::size_t shards_per_client = 2;
+
+  // --- learning (paper Table II) ---
+  ml::ModelSpec model;
+  ml::SgdConfig sgd;
+  fl::CoordinatorConfig fl;
+
+  // --- network & hardware ---
+  net::TopologyConfig net;
+  /// How simultaneous uploads share the medium: kFcfsQueue serializes them
+  /// at the access point (the default heuristic); kCsma runs the slotted
+  /// CSMA/CA contention model, so the per-upload cost grows with how many
+  /// servers finish training together.
+  enum class LanContention { kFcfsQueue, kCsma };
+  LanContention lan_contention = LanContention::kFcfsQueue;
+  net::CsmaConfig csma;
+  energy::DevicePowerProfile profile;
+  energy::TrainingTimeModel timing;
+  /// Relative stddev of per-phase duration jitter (hardware variation).
+  double timing_jitter = 0.0;
+  /// Straggler injection: each selected server is a straggler with this
+  /// probability per round; its training step runs `straggler_slowdown`×
+  /// slower (thermal throttling, background load), delaying the round
+  /// barrier for everyone.
+  double straggler_fraction = 0.0;
+  double straggler_slowdown = 3.0;
+  /// false: straggling is transient (re-rolled per task — background
+  /// load); true: persistent (rolled once per server — slow hardware).
+  bool straggler_persistent = false;
+  /// Upload quantization (4/8/16 bits; 0/32 = exact float32).  Shrinks the
+  /// upload blob (and e^U) and injects quantization error into FedAvg.
+  unsigned upload_quant_bits = 0;
+  /// Probability an upload is lost before aggregation (training energy is
+  /// still spent; upload energy too — the transmission failed in flight).
+  double update_drop_probability = 0.0;
+
+  // --- accounting modes ---
+  /// true: IoT devices upload n_k fresh samples every round (full Eq. 3);
+  /// false: prototype mode, dataset preloaded, e^I = 0.
+  bool iot_collection = false;
+  /// true: also charge waiting energy of non-selected servers each round.
+  bool charge_idle_servers = false;
+
+  std::uint64_t seed = 1;
+};
+
+struct FeiRunResult {
+  fl::TrainingOutcome training;
+  energy::EnergyLedger ledger{1};
+  /// Per-server power-state timelines over the whole run (the Fig. 3 data).
+  std::vector<energy::PowerStateTimeline> timelines;
+  Seconds wall_clock{0.0};  // simulated makespan
+
+  /// Total "measured" energy — what a bank of POWER-Z meters would report
+  /// summed over servers (exact integral; use a PowerMeter on a timeline
+  /// for the quantized version).
+  [[nodiscard]] Joules measured_energy() const { return ledger.total(); }
+};
+
+class FeiSystem {
+ public:
+  explicit FeiSystem(FeiSystemConfig config);
+
+  /// Builds data/clients lazily, then runs the federated loop with full
+  /// timing and energy simulation.
+  [[nodiscard]] Result<FeiRunResult> run();
+
+  /// The closed-form energy model matching this system's configuration
+  /// (used by benches to lay the Eq. 12 bound over the measured curve).
+  [[nodiscard]] energy::FeiEnergyModel energy_model() const;
+
+  [[nodiscard]] const FeiSystemConfig& config() const { return config_; }
+
+  /// Test-set accessor (valid after prepare()/run()).
+  [[nodiscard]] const data::Dataset& test_set() const { return test_set_; }
+
+  /// Mutable access to the built population (valid after prepare()) — for
+  /// alternative coordination protocols layered on the same substrate,
+  /// e.g. AsyncFeiSystem.
+  [[nodiscard]] std::vector<fl::Client>& clients() { return clients_; }
+  [[nodiscard]] net::Topology& topology() { return *topology_; }
+
+  /// Forces data/client construction without running (benches that only
+  /// need the substrate).
+  [[nodiscard]] Status prepare();
+
+ private:
+  [[nodiscard]] Status build_population();
+
+  FeiSystemConfig config_;
+  bool prepared_ = false;
+
+  data::Dataset train_set_;
+  data::Dataset test_set_;
+  std::vector<data::Shard> shards_;
+  std::vector<fl::Client> clients_;
+  std::unique_ptr<net::Topology> topology_;
+};
+
+/// Convenience: the library's default configuration reproducing the
+/// prototype (20 servers, 3000 samples each, Table II model, RPi-4B power
+/// profile).  Benches start from this and override K/E/targets.
+[[nodiscard]] FeiSystemConfig prototype_config();
+
+}  // namespace eefei::sim

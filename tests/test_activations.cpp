@@ -1,0 +1,87 @@
+#include "ml/activations.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace eefei::ml {
+namespace {
+
+TEST(Softmax, SumsToOne) {
+  std::vector<double> v{1.0, 2.0, 3.0, 4.0};
+  softmax_inplace(v);
+  double sum = 0;
+  for (const double x : v) {
+    EXPECT_GT(x, 0.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+  // Monotone: larger logit -> larger probability.
+  EXPECT_LT(v[0], v[1]);
+  EXPECT_LT(v[2], v[3]);
+}
+
+TEST(Softmax, NumericallyStableOnLargeLogits) {
+  std::vector<double> v{1000.0, 1001.0, 999.0};
+  softmax_inplace(v);
+  double sum = 0;
+  for (const double x : v) {
+    EXPECT_TRUE(std::isfinite(x));
+    sum += x;
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+TEST(Softmax, UniformOnEqualLogits) {
+  std::vector<double> v(5, 3.0);
+  softmax_inplace(v);
+  for (const double x : v) EXPECT_NEAR(x, 0.2, 1e-12);
+}
+
+TEST(Softmax, ShiftInvariance) {
+  std::vector<double> a{0.1, 0.7, -0.4};
+  std::vector<double> b{100.1, 100.7, 99.6};
+  softmax_inplace(a);
+  softmax_inplace(b);
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_NEAR(a[i], b[i], 1e-12);
+}
+
+TEST(Sigmoid, KnownValues) {
+  EXPECT_DOUBLE_EQ(sigmoid(0.0), 0.5);
+  EXPECT_NEAR(sigmoid(2.0), 1.0 / (1.0 + std::exp(-2.0)), 1e-15);
+  EXPECT_NEAR(sigmoid(-2.0), 1.0 - sigmoid(2.0), 1e-15);
+}
+
+TEST(Sigmoid, SaturatesWithoutOverflow) {
+  EXPECT_NEAR(sigmoid(1000.0), 1.0, 1e-12);
+  EXPECT_NEAR(sigmoid(-1000.0), 0.0, 1e-12);
+}
+
+TEST(SigmoidInplace, AppliesElementwise) {
+  std::vector<double> v{0.0, 100.0, -100.0};
+  sigmoid_inplace(v);
+  EXPECT_DOUBLE_EQ(v[0], 0.5);
+  EXPECT_NEAR(v[1], 1.0, 1e-12);
+  EXPECT_NEAR(v[2], 0.0, 1e-12);
+}
+
+TEST(LogSumExp, MatchesDirectComputation) {
+  const std::vector<double> v{0.5, -1.0, 2.0};
+  double direct = 0;
+  for (const double x : v) direct += std::exp(x);
+  EXPECT_NEAR(log_sum_exp(v), std::log(direct), 1e-12);
+}
+
+TEST(LogSumExp, StableOnLargeValues) {
+  const std::vector<double> v{1e4, 1e4 + 1.0};
+  const double expected = 1e4 + std::log(1.0 + std::exp(1.0));
+  EXPECT_NEAR(log_sum_exp(v), expected, 1e-8);
+}
+
+TEST(LogSumExp, EmptyIsMinusInfinity) {
+  EXPECT_TRUE(std::isinf(log_sum_exp({})));
+}
+
+}  // namespace
+}  // namespace eefei::ml

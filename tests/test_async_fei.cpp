@@ -1,0 +1,169 @@
+#include "sim/async_fei.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace eefei::sim {
+namespace {
+
+AsyncFeiConfig small_async() {
+  AsyncFeiConfig cfg;
+  cfg.base = prototype_config();
+  cfg.base.num_servers = 6;
+  cfg.base.samples_per_server = 100;
+  cfg.base.test_samples = 300;
+  cfg.base.data.image_side = 12;
+  cfg.base.model.input_dim = 144;
+  cfg.base.sgd.learning_rate = 0.1;
+  cfg.base.sgd.decay = 0.998;
+  cfg.base.fl.clients_per_round = 3;  // concurrent workers
+  cfg.base.fl.local_epochs = 5;
+  cfg.base.seed = 51;
+  cfg.max_updates = 120;
+  cfg.eval_every = 10;
+  return cfg;
+}
+
+TEST(AsyncFei, RunsAndLearns) {
+  AsyncFeiSystem system(small_async());
+  const auto r = system.run();
+  ASSERT_TRUE(r.ok()) << r.error().message;
+  EXPECT_EQ(r->updates_applied, 120u);
+  EXPECT_EQ(r->updates.size(), 120u);
+  EXPECT_GT(r->final_accuracy, 0.55);
+  EXPECT_GT(r->wall_clock.value(), 0.0);
+}
+
+TEST(AsyncFei, StopsAtTarget) {
+  auto cfg = small_async();
+  cfg.base.fl.target_accuracy = 0.5;
+  cfg.max_updates = 2000;
+  AsyncFeiSystem system(cfg);
+  const auto r = system.run();
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->reached_target);
+  EXPECT_LT(r->updates_applied, 2000u);
+  EXPECT_TRUE(r->updates_to_accuracy(0.5).has_value());
+}
+
+TEST(AsyncFei, StalenessIsBounded) {
+  const auto cfg = small_async();
+  AsyncFeiSystem system(cfg);
+  const auto r = system.run();
+  ASSERT_TRUE(r.ok());
+  for (const auto& u : r->updates) {
+    // Staleness can never exceed the worker count − 1 (only concurrent
+    // peers can bump the version while one trains) — here 3 workers.
+    EXPECT_LE(u.staleness, 2u) << "update " << u.update;
+    EXPECT_GT(u.mixing_weight, 0.0);
+    EXPECT_LE(u.mixing_weight, 0.4 + 1e-12);
+  }
+}
+
+TEST(AsyncFei, StalenessDiscountsMixingWeight) {
+  auto cfg = small_async();
+  cfg.staleness_exponent = 1.0;
+  AsyncFeiSystem system(cfg);
+  const auto r = system.run();
+  ASSERT_TRUE(r.ok());
+  for (const auto& u : r->updates) {
+    const double expected =
+        cfg.mixing_alpha /
+        (1.0 + static_cast<double>(u.staleness));
+    EXPECT_NEAR(u.mixing_weight, expected, 1e-12);
+  }
+}
+
+TEST(AsyncFei, NoWaitingEnergy) {
+  // The async protocol's selling point: servers never idle at a barrier.
+  AsyncFeiSystem system(small_async());
+  const auto r = system.run();
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(
+      r->ledger.category_total(energy::EnergyCategory::kWaiting).value(),
+      0.0);
+  EXPECT_GT(
+      r->ledger.category_total(energy::EnergyCategory::kTraining).value(),
+      0.0);
+}
+
+TEST(AsyncFei, Deterministic) {
+  AsyncFeiSystem a(small_async()), b(small_async());
+  const auto ra = a.run();
+  const auto rb = b.run();
+  ASSERT_TRUE(ra.ok());
+  ASSERT_TRUE(rb.ok());
+  EXPECT_DOUBLE_EQ(ra->final_loss, rb->final_loss);
+  EXPECT_DOUBLE_EQ(ra->wall_clock.value(), rb->wall_clock.value());
+}
+
+TEST(AsyncFei, UsesMultipleServers) {
+  AsyncFeiSystem system(small_async());
+  const auto r = system.run();
+  ASSERT_TRUE(r.ok());
+  std::set<std::size_t> servers;
+  for (const auto& u : r->updates) servers.insert(u.server);
+  EXPECT_GE(servers.size(), 3u);
+}
+
+TEST(AsyncFei, StragglersHurtLessThanSync) {
+  // With persistently slow hardware on half the fleet and a
+  // training-dominated round, the async makespan to the same number of
+  // aggregate updates degrades less than the synchronous round-barrier
+  // system's: the barrier stalls every round that contains one slow
+  // server, while async lets fast servers keep contributing.
+  auto make_async = [](bool slow) {
+    auto cfg = small_async();
+    cfg.base.fl.local_epochs = 40;  // training-dominated
+    cfg.max_updates = 60;
+    if (slow) {
+      cfg.base.straggler_fraction = 0.5;
+      cfg.base.straggler_slowdown = 10.0;
+      cfg.base.straggler_persistent = true;
+    }
+    return cfg;
+  };
+  AsyncFeiSystem async_fast(make_async(false)), async_slow(make_async(true));
+
+  auto make_sync = [](bool slow) {
+    auto cfg = small_async().base;
+    cfg.fl.local_epochs = 40;
+    cfg.fl.max_rounds = 20;  // 20 rounds × 3 servers = 60 updates
+    if (slow) {
+      cfg.straggler_fraction = 0.5;
+      cfg.straggler_slowdown = 10.0;
+      cfg.straggler_persistent = true;
+    }
+    return cfg;
+  };
+  FeiSystem sync_fast(make_sync(false)), sync_slow(make_sync(true));
+
+  const auto af = async_fast.run();
+  const auto as = async_slow.run();
+  const auto sf = sync_fast.run();
+  const auto ss = sync_slow.run();
+  ASSERT_TRUE(af.ok() && as.ok() && sf.ok() && ss.ok());
+
+  const double async_degradation =
+      as->wall_clock.value() / af->wall_clock.value();
+  const double sync_degradation =
+      ss->wall_clock.value() / sf->wall_clock.value();
+  EXPECT_LT(async_degradation, sync_degradation)
+      << "async should absorb stragglers better than the round barrier";
+}
+
+TEST(AsyncFei, InvalidConfigRejected) {
+  auto cfg = small_async();
+  cfg.mixing_alpha = 0.0;
+  EXPECT_FALSE(AsyncFeiSystem(cfg).run().ok());
+  auto cfg2 = small_async();
+  cfg2.mixing_alpha = 1.5;
+  EXPECT_FALSE(AsyncFeiSystem(cfg2).run().ok());
+  auto cfg3 = small_async();
+  cfg3.base.fl.clients_per_round = 0;
+  EXPECT_FALSE(AsyncFeiSystem(cfg3).run().ok());
+}
+
+}  // namespace
+}  // namespace eefei::sim

@@ -1,0 +1,128 @@
+#include "energy/battery.h"
+
+#include <gtest/gtest.h>
+
+#include "net/iot_device.h"
+
+namespace eefei::energy {
+namespace {
+
+TEST(Battery, DrainsAndDepletes) {
+  Battery b(Joules{10.0});
+  EXPECT_DOUBLE_EQ(b.state_of_charge(), 1.0);
+  EXPECT_TRUE(b.drain(Joules{4.0}));
+  EXPECT_DOUBLE_EQ(b.remaining().value(), 6.0);
+  EXPECT_NEAR(b.state_of_charge(), 0.6, 1e-12);
+  EXPECT_FALSE(b.drain(Joules{7.0}));  // ran out mid-draw
+  EXPECT_TRUE(b.depleted());
+  EXPECT_DOUBLE_EQ(b.remaining().value(), 0.0);
+}
+
+TEST(Battery, ZeroDrainNoOp) {
+  Battery b(Joules{5.0});
+  EXPECT_TRUE(b.drain(Joules{0.0}));
+  EXPECT_DOUBLE_EQ(b.remaining().value(), 5.0);
+}
+
+TEST(Battery, Recharge) {
+  Battery b(Joules{5.0});
+  (void)b.drain(Joules{5.0});
+  EXPECT_TRUE(b.depleted());
+  b.recharge();
+  EXPECT_FALSE(b.depleted());
+  EXPECT_DOUBLE_EQ(b.remaining().value(), 5.0);
+}
+
+TEST(LifetimeEstimate, UniformRotation) {
+  // 100 J battery, 2 J per participation, fleet 10, 2 participate/round:
+  // a member participates every 5 rounds and survives 50 participations →
+  // first death at round 250.
+  const auto est = estimate_lifetime(Joules{100.0}, Joules{2.0}, 10, 2, 300);
+  EXPECT_EQ(est.rounds_until_first_death, 250u);
+  EXPECT_DOUBLE_EQ(est.fleet_alive_fraction_at_horizon, 0.0);
+  const auto est2 = estimate_lifetime(Joules{100.0}, Joules{2.0}, 10, 2, 200);
+  EXPECT_DOUBLE_EQ(est2.fleet_alive_fraction_at_horizon, 1.0);
+}
+
+TEST(LifetimeEstimate, DegenerateInputs) {
+  const auto est = estimate_lifetime(Joules{100.0}, Joules{0.0}, 10, 2, 50);
+  EXPECT_EQ(est.rounds_until_first_death, 50u);
+  EXPECT_DOUBLE_EQ(est.fleet_alive_fraction_at_horizon, 1.0);
+}
+
+TEST(LifetimeEstimate, MoreParticipantsDieFaster) {
+  const auto few = estimate_lifetime(Joules{100.0}, Joules{1.0}, 20, 1, 0);
+  const auto many = estimate_lifetime(Joules{100.0}, Joules{1.0}, 20, 20, 0);
+  EXPECT_GT(few.rounds_until_first_death, many.rounds_until_first_death);
+  EXPECT_EQ(many.rounds_until_first_death, 100u);
+}
+
+}  // namespace
+}  // namespace eefei::energy
+
+namespace eefei::net {
+namespace {
+
+TEST(BatteryDevice, StopsTransmittingWhenDepleted) {
+  IotDeviceConfig cfg;
+  cfg.uplink.collision_probability = 0.0;
+  cfg.sample_bytes = Bytes{100.0};
+  // Per-sample energy = 7.74e-3 * 100 = 0.774 J; a 2 J battery survives
+  // two full samples and dies during the third.
+  cfg.battery_capacity = Joules{2.0};
+  IotDevice dev(0, cfg, Rng(1));
+  EXPECT_TRUE(dev.upload_sample().delivered);
+  EXPECT_TRUE(dev.upload_sample().delivered);
+  EXPECT_FALSE(dev.upload_sample().delivered);  // died mid-transmission
+  EXPECT_FALSE(dev.alive());
+  const auto after_death = dev.upload_sample();
+  EXPECT_FALSE(after_death.delivered);
+  EXPECT_DOUBLE_EQ(after_death.device_energy.value(), 0.0);
+}
+
+TEST(BatteryDevice, MainsPoweredNeverDies) {
+  IotDeviceConfig cfg;
+  cfg.sample_bytes = Bytes{100.0};
+  IotDevice dev(0, cfg, Rng(2));
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_TRUE(dev.upload_sample().delivered);
+  }
+  EXPECT_TRUE(dev.alive());
+  EXPECT_FALSE(dev.battery().has_value());
+}
+
+TEST(BatteryFleet, RoutesAroundDeadDevices) {
+  IotDeviceConfig cfg;
+  cfg.uplink.collision_probability = 0.0;
+  cfg.sample_bytes = Bytes{100.0};
+  cfg.battery_capacity = Joules{1.0};  // one sample each (0.774 J)
+  DeviceFleet fleet(4, cfg, Rng(3));
+  EXPECT_EQ(fleet.alive_count(), 4u);
+  const auto r = fleet.collect(10);
+  // Each device delivers 1 sample and dies attempting the 2nd.
+  EXPECT_EQ(r.samples_delivered, 4u);
+  EXPECT_EQ(fleet.alive_count(), 0u);
+  EXPECT_EQ(r.devices_depleted, 4u);
+  // A further collect does nothing (and terminates).
+  const auto r2 = fleet.collect(5);
+  EXPECT_EQ(r2.samples_delivered, 0u);
+  EXPECT_DOUBLE_EQ(r2.total_energy.value(), 0.0);
+}
+
+TEST(BatteryFleet, PartialDepletionStillDelivers) {
+  IotDeviceConfig cfg;
+  cfg.uplink.collision_probability = 0.0;
+  cfg.sample_bytes = Bytes{100.0};
+  cfg.battery_capacity = Joules{100.0};  // ~129 samples each
+  DeviceFleet fleet(3, cfg, Rng(4));
+  const auto r = fleet.collect(60);
+  EXPECT_EQ(r.samples_delivered, 60u);
+  EXPECT_EQ(fleet.alive_count(), 3u);
+  for (std::size_t i = 0; i < fleet.size(); ++i) {
+    EXPECT_LT(fleet.device(i).battery()->state_of_charge(), 1.0);
+    EXPECT_GT(fleet.device(i).battery()->state_of_charge(), 0.5);
+  }
+}
+
+}  // namespace
+}  // namespace eefei::net

@@ -1,0 +1,151 @@
+#include "core/biconvex.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/energy_objective.h"
+
+namespace eefei::core {
+namespace {
+
+TEST(GoldenSection, FindsQuadraticMinimum) {
+  const double x = golden_section_minimize(
+      [](double v) { return (v - 3.7) * (v - 3.7); }, -10.0, 10.0, 1e-10);
+  EXPECT_NEAR(x, 3.7, 1e-7);
+}
+
+TEST(GoldenSection, BoundaryMinimum) {
+  const double x = golden_section_minimize([](double v) { return v; }, 2.0,
+                                           5.0, 1e-10);
+  EXPECT_NEAR(x, 2.0, 1e-7);
+}
+
+TEST(GoldenSection, SwappedBounds) {
+  const double x = golden_section_minimize(
+      [](double v) { return std::abs(v - 1.0); }, 4.0, -4.0, 1e-10);
+  EXPECT_NEAR(x, 1.0, 1e-7);
+}
+
+TEST(NumericAcs, SolvesSeparableQuadratic) {
+  BiconvexProblem p;
+  p.f = [](double x, double y) {
+    return (x - 2.0) * (x - 2.0) + (y + 1.0) * (y + 1.0);
+  };
+  p.x_lo = -5;
+  p.x_hi = 5;
+  p.y_lo = -5;
+  p.y_hi = 5;
+  const auto r = numeric_acs(p, 0.0, 0.0);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->converged);
+  EXPECT_NEAR(r->x, 2.0, 1e-5);
+  EXPECT_NEAR(r->y, -1.0, 1e-5);
+  EXPECT_NEAR(r->value, 0.0, 1e-9);
+}
+
+TEST(NumericAcs, SolvesCoupledBiconvexFunction) {
+  // f(x,y) = x² + y² + xy is convex (hence biconvex); min at origin.
+  BiconvexProblem p;
+  p.f = [](double x, double y) { return x * x + y * y + x * y; };
+  p.x_lo = -3;
+  p.x_hi = 3;
+  p.y_lo = -3;
+  p.y_hi = 3;
+  const auto r = numeric_acs(p, 2.5, -2.5);
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(r->x, 0.0, 1e-3);
+  EXPECT_NEAR(r->y, 0.0, 1e-3);
+}
+
+TEST(NumericAcs, BilinearEscapesSaddleToCorner) {
+  // f(x,y) = x·y on [−1,1]² is biconvex but NOT convex.  From (0,0) the
+  // first x-line-search sees a flat function; the golden-section drift
+  // breaks the tie, after which ACS slides into a corner minimum (−1).
+  BiconvexProblem p;
+  p.f = [](double x, double y) { return x * y; };
+  p.x_lo = -1;
+  p.x_hi = 1;
+  p.y_lo = -1;
+  p.y_hi = 1;
+  const auto r = numeric_acs(p, 0.0, 0.0);
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(r->value, -1.0, 1e-3);
+  EXPECT_NEAR(std::abs(r->x), 1.0, 1e-3);
+  EXPECT_NEAR(std::abs(r->y), 1.0, 1e-3);
+}
+
+TEST(NumericAcs, MissingObjectiveRejected) {
+  BiconvexProblem p;
+  EXPECT_FALSE(numeric_acs(p, 0, 0).ok());
+}
+
+TEST(NumericAcs, CoupledRangesStallAtPartialOptimum) {
+  // Feasible set: y ≤ x, minimize (x−1)² + (y−2)².  The constrained
+  // optimum sits on the diagonal at (1.5, 1.5), but coordinate search
+  // cannot slide along the coupled boundary: it stalls at the partial
+  // optimum (1, 1) — the classic ACS caveat (Gorski et al. §4), and the
+  // reason Theorem 1's biconvexity of the *rectangular-domain* objective
+  // matters for the paper's Algorithm 1.
+  BiconvexProblem p;
+  p.f = [](double x, double y) {
+    return (x - 1.0) * (x - 1.0) + (y - 2.0) * (y - 2.0);
+  };
+  p.x_lo = 0;
+  p.x_hi = 4;
+  p.y_lo = 0;
+  p.y_hi = 4;
+  p.y_range_of_x = [](double x) { return std::make_pair(0.0, x); };
+  p.x_range_of_y = [](double y) { return std::make_pair(y, 4.0); };
+  const auto r = numeric_acs(p, 3.0, 0.5, 1e-12, 500);
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(r->x, 1.0, 1e-3);
+  EXPECT_NEAR(r->y, 1.0, 1e-3);
+  EXPECT_NEAR(r->value, 1.0, 1e-3);
+}
+
+TEST(CheckBiconvexity, QuadraticIsBiconvex) {
+  BiconvexProblem p;
+  p.f = [](double x, double y) { return x * x + 3 * y * y - x * y; };
+  p.x_lo = -2;
+  p.x_hi = 2;
+  p.y_lo = -2;
+  p.y_hi = 2;
+  const auto report = check_biconvexity(p, 16);
+  EXPECT_TRUE(report.convex_in_x);
+  EXPECT_TRUE(report.convex_in_y);
+  EXPECT_EQ(report.probes, 256u);
+}
+
+TEST(CheckBiconvexity, DetectsNonConvexity) {
+  BiconvexProblem p;
+  p.f = [](double x, double y) { return -(x * x) + y * y; };
+  p.x_lo = -2;
+  p.x_hi = 2;
+  p.y_lo = -2;
+  p.y_hi = 2;
+  const auto report = check_biconvexity(p, 16);
+  EXPECT_FALSE(report.convex_in_x);
+  EXPECT_TRUE(report.convex_in_y);
+  EXPECT_LT(report.min_second_difference_x, 0.0);
+}
+
+// The empirical counterpart of the paper's Theorem 1: the EE-FEI energy
+// objective probes as biconvex over a feasible box.
+TEST(CheckBiconvexity, EnergyObjectiveIsBiconvexOnFeasibleBox) {
+  const ConvergenceBound bound(energy::paper_reference_constants(), 0.05);
+  const EnergyObjective obj(bound, 7.79e-5 * 3000 + 3.34e-3, 0.381, 20);
+  BiconvexProblem p;
+  p.f = [&](double k, double e) { return obj.value(k, e).value_or(1e18); };
+  // A comfortably feasible box (E_max(K=1) ≈ 81).
+  p.x_lo = 1.0;
+  p.x_hi = 20.0;
+  p.y_lo = 1.0;
+  p.y_hi = 70.0;
+  const auto report = check_biconvexity(p, 24, 1e-6);
+  EXPECT_TRUE(report.convex_in_x);
+  EXPECT_TRUE(report.convex_in_y);
+}
+
+}  // namespace
+}  // namespace eefei::core

@@ -1,0 +1,148 @@
+#include "energy/calibration.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.h"
+
+namespace eefei::energy {
+namespace {
+
+// The paper's Table I, verbatim.
+std::vector<TimingObservation> table_one() {
+  return {
+      {10, 100, Seconds{0.0197}},  {10, 500, Seconds{0.0749}},
+      {10, 1000, Seconds{0.1471}}, {10, 2000, Seconds{0.2855}},
+      {20, 100, Seconds{0.0403}},  {20, 500, Seconds{0.1508}},
+      {20, 1000, Seconds{0.2912}}, {20, 2000, Seconds{0.5721}},
+      {40, 100, Seconds{0.0799}},  {40, 500, Seconds{0.3026}},
+      {40, 1000, Seconds{0.5554}}, {40, 2000, Seconds{1.1451}},
+  };
+}
+
+TEST(TimingFit, RecoversPaperCoefficientsFromTableOne) {
+  const auto obs = table_one();
+  const auto fit = fit_training_time(obs, Watts{5.553});
+  ASSERT_TRUE(fit.ok());
+  // §VI-B: c0 = 7.79e-5, c1 = 3.34e-3 by least squares on this table.
+  EXPECT_NEAR(fit->energy.c0, 7.79e-5, 3e-6);
+  EXPECT_NEAR(fit->energy.c1, 3.34e-3, 1.5e-3);
+  EXPECT_GT(fit->r_squared, 0.99);
+}
+
+TEST(TimingFit, ExactSyntheticRecovery) {
+  const TrainingTimeModel truth{2e-5, 5e-4};
+  std::vector<TimingObservation> obs;
+  for (const std::size_t e : {5u, 10u, 20u}) {
+    for (const std::size_t n : {100u, 400u, 1600u}) {
+      obs.push_back({e, n, truth.duration(e, n)});
+    }
+  }
+  const auto fit = fit_training_time(obs, Watts{5.0});
+  ASSERT_TRUE(fit.ok());
+  EXPECT_NEAR(fit->timing.seconds_per_sample_epoch, 2e-5, 1e-12);
+  EXPECT_NEAR(fit->timing.seconds_per_epoch, 5e-4, 1e-10);
+  EXPECT_NEAR(fit->energy.c0, 1e-4, 1e-12);
+  EXPECT_NEAR(fit->r_squared, 1.0, 1e-12);
+}
+
+TEST(TimingFit, Errors) {
+  EXPECT_FALSE(fit_training_time({}, Watts{5.0}).ok());
+  const std::vector<TimingObservation> one{{10, 100, Seconds{0.02}}};
+  EXPECT_FALSE(fit_training_time(one, Watts{5.0}).ok());
+  const std::vector<TimingObservation> zero_e{{0, 100, Seconds{0.02}},
+                                              {10, 200, Seconds{0.04}}};
+  EXPECT_FALSE(fit_training_time(zero_e, Watts{5.0}).ok());
+  // Same n everywhere: slope is unidentifiable.
+  const std::vector<TimingObservation> degenerate{
+      {10, 100, Seconds{0.02}}, {20, 100, Seconds{0.04}}};
+  EXPECT_FALSE(fit_training_time(degenerate, Watts{5.0}).ok());
+}
+
+TEST(ConvergenceConstants, GapBoundForm) {
+  const ConvergenceConstants c{100.0, 0.005, 5.6e-4};
+  // A0/(TE) + A1/K + A2(E−1).
+  EXPECT_NEAR(c.gap_bound(10.0, 40.0, 90.0),
+              100.0 / 3600.0 + 0.0005 + 5.6e-4 * 39.0, 1e-12);
+}
+
+TEST(ConvergenceFit, RecoversKnownConstants) {
+  const ConvergenceConstants truth{80.0, 0.01, 4e-4};
+  std::vector<ConvergenceObservation> obs;
+  for (const std::size_t k : {1u, 2u, 5u, 10u, 20u}) {
+    for (const std::size_t e : {1u, 10u, 40u, 80u}) {
+      for (const std::size_t t : {50u, 200u, 800u}) {
+        obs.push_back({k, e, t,
+                       truth.gap_bound(static_cast<double>(k),
+                                       static_cast<double>(e),
+                                       static_cast<double>(t))});
+      }
+    }
+  }
+  const auto fit = fit_convergence_constants(obs);
+  ASSERT_TRUE(fit.ok());
+  EXPECT_NEAR(fit->constants.a0, 80.0, 1e-6);
+  EXPECT_NEAR(fit->constants.a1, 0.01, 1e-9);
+  EXPECT_NEAR(fit->constants.a2, 4e-4, 1e-10);
+  EXPECT_NEAR(fit->r_squared, 1.0, 1e-9);
+}
+
+TEST(ConvergenceFit, RobustToNoise) {
+  const ConvergenceConstants truth{80.0, 0.01, 4e-4};
+  Rng rng(33);
+  std::vector<ConvergenceObservation> obs;
+  for (const std::size_t k : {1u, 2u, 5u, 10u, 20u}) {
+    for (const std::size_t e : {1u, 10u, 40u, 80u}) {
+      for (const std::size_t t : {50u, 200u, 800u}) {
+        const double gap = truth.gap_bound(static_cast<double>(k),
+                                           static_cast<double>(e),
+                                           static_cast<double>(t));
+        obs.push_back({k, e, t, gap * (1.0 + rng.normal(0.0, 0.03))});
+      }
+    }
+  }
+  const auto fit = fit_convergence_constants(obs);
+  ASSERT_TRUE(fit.ok());
+  EXPECT_NEAR(fit->constants.a0, 80.0, 8.0);
+  EXPECT_GT(fit->r_squared, 0.95);
+}
+
+TEST(ConvergenceFit, ClampsNegativeConstants) {
+  // Observations implying a negative A2 (gap shrinking with E) still
+  // produce a usable (positive) constant set.
+  std::vector<ConvergenceObservation> obs;
+  for (const std::size_t e : {1u, 20u, 60u}) {
+    for (const std::size_t k : {1u, 5u, 9u}) {
+      obs.push_back(
+          {k, e, 100, 0.5 / static_cast<double>(e) +
+                          0.01 / static_cast<double>(k)});
+    }
+  }
+  const auto fit = fit_convergence_constants(obs);
+  ASSERT_TRUE(fit.ok());
+  EXPECT_GT(fit->constants.a0, 0.0);
+  EXPECT_GT(fit->constants.a1, 0.0);
+  EXPECT_GT(fit->constants.a2, 0.0);
+}
+
+TEST(ConvergenceFit, Errors) {
+  EXPECT_FALSE(fit_convergence_constants({}).ok());
+  const std::vector<ConvergenceObservation> two{{1, 1, 10, 0.5},
+                                                {2, 2, 20, 0.3}};
+  EXPECT_FALSE(fit_convergence_constants(two).ok());
+  const std::vector<ConvergenceObservation> zero{{0, 1, 10, 0.5},
+                                                 {2, 2, 20, 0.3},
+                                                 {3, 3, 30, 0.2}};
+  EXPECT_FALSE(fit_convergence_constants(zero).ok());
+}
+
+TEST(PaperReferenceConstants, MatchDesignDoc) {
+  const auto c = paper_reference_constants();
+  EXPECT_DOUBLE_EQ(c.a0, 100.0);
+  EXPECT_DOUBLE_EQ(c.a1, 0.005);
+  EXPECT_DOUBLE_EQ(c.a2, 5.6e-4);
+}
+
+}  // namespace
+}  // namespace eefei::energy

@@ -1,0 +1,120 @@
+#include "sim/calibration_runner.h"
+
+#include <gtest/gtest.h>
+
+#include "energy/trace_analysis.h"
+
+namespace eefei::sim {
+namespace {
+
+CalibrationRunConfig small_config() {
+  CalibrationRunConfig cfg;
+  cfg.base = prototype_config();
+  cfg.base.num_servers = 8;
+  cfg.base.samples_per_server = 120;
+  cfg.base.test_samples = 300;
+  cfg.base.data.image_side = 12;
+  cfg.base.model.input_dim = 144;
+  cfg.base.sgd.learning_rate = 0.1;
+  cfg.base.sgd.decay = 0.997;
+  cfg.base.fl.threads = 4;
+  cfg.base.seed = 61;
+  cfg.target_accuracy = 0.70;
+  cfg.max_rounds = 250;
+  return cfg;
+}
+
+const std::vector<std::pair<std::size_t, std::size_t>>& grid() {
+  static const std::vector<std::pair<std::size_t, std::size_t>> g = {
+      {1, 5}, {2, 10}, {4, 10}, {8, 20}, {4, 30}, {2, 20}};
+  return g;
+}
+
+TEST(CalibrationRunner, FitsConstantsFromRuns) {
+  const auto outcome = run_calibration(small_config(), grid());
+  ASSERT_TRUE(outcome.ok()) << outcome.error().message;
+  EXPECT_EQ(outcome->points.size(), grid().size());
+  EXPECT_GE(outcome->points_used, 3u);
+  EXPECT_GT(outcome->constants.a0, 0.0);
+  EXPECT_GT(outcome->constants.a1, 0.0);
+  EXPECT_GT(outcome->constants.a2, 0.0);
+  for (const auto& p : outcome->points) {
+    if (p.reached) {
+      EXPECT_GE(p.rounds, 1u);
+      EXPECT_GT(p.modeled_energy_j, 0.0);
+    }
+  }
+}
+
+TEST(CalibrationRunner, PlannerInputsAreUsable) {
+  const auto outcome = run_calibration(small_config(), grid());
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_EQ(outcome->planner_inputs.num_servers, 8u);
+  EXPECT_EQ(outcome->planner_inputs.samples_per_server, 120u);
+  const auto plan =
+      core::EeFeiPlanner(outcome->planner_inputs).plan();
+  ASSERT_TRUE(plan.ok()) << plan.error().message;
+  EXPECT_GE(plan->k, 1u);
+  EXPECT_LE(plan->k, 8u);
+  EXPECT_GE(plan->e, 1u);
+}
+
+TEST(CalibrationRunner, RejectsTinyGrids) {
+  const std::vector<std::pair<std::size_t, std::size_t>> two = {{1, 5},
+                                                                {2, 10}};
+  EXPECT_FALSE(run_calibration(small_config(), two).ok());
+}
+
+TEST(CalibrationRunner, FailsWhenTargetUnreachable) {
+  auto cfg = small_config();
+  cfg.target_accuracy = 0.999;  // unreachable
+  cfg.max_rounds = 10;
+  const auto outcome = run_calibration(cfg, grid());
+  ASSERT_FALSE(outcome.ok());
+  EXPECT_EQ(outcome.error().code, Error::Code::kInsufficientData);
+}
+
+TEST(TraceCsv, RoundTripThroughCsv) {
+  energy::PowerStateTimeline tl;
+  tl.push(energy::EdgeState::kDownloading, Seconds{0.2});
+  tl.push(energy::EdgeState::kTraining, Seconds{0.6});
+  energy::PowerMeter meter{energy::MeterConfig{}};
+  const auto trace = meter.capture(tl);
+  const auto imported = energy::trace_from_csv(trace.to_csv());
+  ASSERT_TRUE(imported.ok()) << imported.error().message;
+  EXPECT_EQ(imported->size(), trace.size());
+  EXPECT_NEAR(imported->sample_rate_hz(), 1000.0, 1.0);
+  EXPECT_NEAR(imported->energy().value(), trace.energy().value(), 1e-6);
+
+  // The imported trace segments identically to the original.
+  const auto segments = energy::segment_trace(
+      imported.value(), energy::DevicePowerProfile{});
+  ASSERT_TRUE(segments.ok());
+  ASSERT_EQ(segments->size(), 2u);
+  EXPECT_EQ(segments.value()[1].state, energy::EdgeState::kTraining);
+}
+
+TEST(TraceCsv, InfersRateDespiteDropouts) {
+  energy::PowerStateTimeline tl;
+  tl.push(energy::EdgeState::kWaiting, Seconds{1.0});
+  energy::MeterConfig mcfg;
+  mcfg.dropout_prob = 0.2;
+  mcfg.seed = 3;
+  energy::PowerMeter meter(mcfg);
+  const auto trace = meter.capture(tl);
+  const auto imported = energy::trace_from_csv(trace.to_csv());
+  ASSERT_TRUE(imported.ok());
+  // Median gap is still one clean period.
+  EXPECT_NEAR(imported->sample_rate_hz(), 1000.0, 1.0);
+}
+
+TEST(TraceCsv, RejectsMalformedInput) {
+  EXPECT_FALSE(energy::trace_from_csv("").ok());
+  EXPECT_FALSE(energy::trace_from_csv("a,b\n1,2\n").ok());
+  EXPECT_FALSE(energy::trace_from_csv("time_s,power_w\n0.001,3.6\n").ok());
+  EXPECT_FALSE(
+      energy::trace_from_csv("time_s,power_w\n0.002,3.6\n0.001,3.6\n").ok());
+}
+
+}  // namespace
+}  // namespace eefei::sim

@@ -1,0 +1,172 @@
+#include "core/closed_form.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/biconvex.h"
+
+namespace eefei::core {
+namespace {
+
+EnergyObjective reference_objective(double b1 = 0.381, double a1 = 0.005) {
+  energy::ConvergenceConstants c = energy::paper_reference_constants();
+  c.a1 = a1;
+  const ConvergenceBound bound(c, 0.05);
+  const double b0 = 7.79e-5 * 3000.0 + 3.34e-3;
+  return EnergyObjective(bound, b0, b1, 20);
+}
+
+// Numeric 1-D minimum via golden section, for cross-validation.
+double numeric_k_star(const EnergyObjective& obj, double e) {
+  const auto k_min = obj.bound().min_feasible_servers(e).value();
+  return golden_section_minimize(
+      [&](double k) { return obj.value(k, e).value_or(1e18); },
+      std::max(1.0, k_min * (1.0 + 1e-9)), static_cast<double>(obj.n()),
+      1e-10);
+}
+
+double numeric_e_star(const EnergyObjective& obj, double k) {
+  const double e_max = obj.bound().max_feasible_epochs(k).value();
+  return golden_section_minimize(
+      [&](double e) { return obj.value(k, e).value_or(1e18); }, 1.0,
+      e_max * (1.0 - 1e-9), 1e-10);
+}
+
+TEST(KStar, IidReferenceGivesOne) {
+  // With the IID-calibrated (small) A1, the paper's Fig. 5 conclusion:
+  // K* = 1.
+  const auto obj = reference_objective();
+  const auto k = k_star(obj, 10.0);
+  ASSERT_TRUE(k.ok());
+  EXPECT_DOUBLE_EQ(k.value(), 1.0);
+}
+
+TEST(KStar, LargeVarianceMovesKStarInterior) {
+  // Non-IID data ⇒ larger σ² ⇒ larger A1 ⇒ interior K* = 2A1/C1.
+  const auto obj = reference_objective(0.381, 0.15);
+  const auto k = k_star(obj, 10.0);
+  ASSERT_TRUE(k.ok());
+  const double c1 = 0.05 - 5.6e-4 * 9.0;
+  EXPECT_NEAR(k.value(), 2.0 * 0.15 / c1, 1e-9);
+  EXPECT_GT(k.value(), 1.0);
+  EXPECT_LT(k.value(), 20.0);
+}
+
+TEST(KStar, ClampsToN) {
+  // A1 = 0.6: the unconstrained 2A1/C1 exceeds N = 20, but A1/C1 < 20 keeps
+  // the problem feasible, so the clamp lands on N.
+  const auto obj = reference_objective(0.381, 0.6);
+  const auto k = k_star(obj, 5.0);
+  ASSERT_TRUE(k.ok());
+  EXPECT_DOUBLE_EQ(k.value(), 20.0);
+}
+
+TEST(KStar, InfeasibleVarianceRejected) {
+  // A1 = 2.0: even K = N cannot bring A1/K below epsilon.
+  const auto obj = reference_objective(0.381, 2.0);
+  EXPECT_FALSE(k_star(obj, 5.0).ok());
+}
+
+TEST(KStar, InfeasibleEpochsRejected) {
+  const auto obj = reference_objective();
+  EXPECT_FALSE(k_star(obj, 1e4).ok());
+}
+
+class KStarSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(KStarSweep, MatchesNumericMinimizer) {
+  const double a1 = GetParam();
+  const auto obj = reference_objective(0.381, a1);
+  for (const double e : {1.0, 5.0, 20.0, 50.0}) {
+    const auto k = k_star(obj, e);
+    if (!k.ok()) continue;
+    const double numeric = numeric_k_star(obj, e);
+    // Both clamped to the same box: compare objective values (flat regions
+    // can make the argmin itself ambiguous).
+    const double v_closed = obj.value(k.value(), e).value();
+    const double v_numeric = obj.value(numeric, e).value();
+    EXPECT_NEAR(v_closed, v_numeric, std::abs(v_numeric) * 1e-6)
+        << "a1=" << a1 << " e=" << e;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(VarianceLevels, KStarSweep,
+                         ::testing::Values(0.001, 0.005, 0.05, 0.15, 0.4));
+
+TEST(EStarExact, MatchesNumericMinimizer) {
+  for (const double b1 : {0.05, 0.381, 2.0, 10.0}) {
+    const auto obj = reference_objective(b1);
+    for (const double k : {1.0, 5.0, 10.0, 20.0}) {
+      const auto e = e_star_exact(obj, k);
+      ASSERT_TRUE(e.ok());
+      const double numeric = numeric_e_star(obj, k);
+      const double v_closed = obj.value(k, e.value()).value();
+      const double v_numeric = obj.value(k, numeric).value();
+      EXPECT_NEAR(v_closed, v_numeric, std::abs(v_numeric) * 1e-6)
+          << "b1=" << b1 << " k=" << k;
+    }
+  }
+}
+
+TEST(EStarExact, IsStationaryPoint) {
+  const auto obj = reference_objective();
+  const auto e = e_star_exact(obj, 1.0);
+  ASSERT_TRUE(e.ok());
+  if (e.value() > 1.0) {  // interior
+    EXPECT_NEAR(obj.d_de(1.0, e.value()), 0.0, 1e-6);
+  }
+}
+
+TEST(EStarPaper, IsUpwardBiasedWhenB0Dominates) {
+  // The printed Eq. 17 drops the B0·E² term, which biases E* upward when
+  // computation (B0·E) dominates communication (B1).  Documented deviation.
+  const auto obj = reference_objective(0.381);
+  const auto exact = e_star_exact(obj, 1.0);
+  const auto paper = e_star_paper(obj, 1.0);
+  ASSERT_TRUE(exact.ok());
+  ASSERT_TRUE(paper.ok());
+  EXPECT_GT(paper.value(), exact.value());
+  // With B0 → 0 the two coincide.
+  const EnergyObjective comm_only(obj.bound(), 0.0, 0.381, 20);
+  const auto exact0 = e_star_exact(comm_only, 1.0);
+  const auto paper0 = e_star_paper(comm_only, 1.0);
+  ASSERT_TRUE(exact0.ok());
+  ASSERT_TRUE(paper0.ok());
+  EXPECT_NEAR(exact0.value(), paper0.value(), 1e-6);
+}
+
+TEST(EStar, ClampedToOneWhenCommunicationFree) {
+  // B1 = 0 (free communication): more epochs only burn compute, E* = 1.
+  const auto obj_free = EnergyObjective(reference_objective().bound(),
+                                        0.237, 1e-12, 20);
+  const auto e = e_star_exact(obj_free, 1.0);
+  ASSERT_TRUE(e.ok());
+  EXPECT_NEAR(e.value(), 1.0, 0.51);
+}
+
+TEST(BestInteger, PicksTheBetterNeighbour) {
+  const auto obj = reference_objective();
+  const auto e_cont = e_star_exact(obj, 1.0).value();
+  const auto e_int = best_integer_e(obj, 1.0, e_cont);
+  ASSERT_TRUE(e_int.ok());
+  const double floor_v =
+      obj.value(1.0, std::floor(e_cont)).value_or(1e18);
+  const double ceil_v = obj.value(1.0, std::ceil(e_cont)).value_or(1e18);
+  const double chosen =
+      obj.value(1.0, static_cast<double>(e_int.value())).value();
+  EXPECT_LE(chosen, std::min(floor_v, ceil_v) + 1e-12);
+}
+
+TEST(BestInteger, KClampedToDomain) {
+  const auto obj = reference_objective();
+  const auto k = best_integer_k(obj, 0.2, 10.0);
+  ASSERT_TRUE(k.ok());
+  EXPECT_EQ(k.value(), 1u);
+  const auto k_hi = best_integer_k(obj, 99.0, 10.0);
+  ASSERT_TRUE(k_hi.ok());
+  EXPECT_EQ(k_hi.value(), 20u);
+}
+
+}  // namespace
+}  // namespace eefei::core

@@ -1,0 +1,74 @@
+#include "common/config.h"
+
+#include <gtest/gtest.h>
+
+namespace eefei {
+namespace {
+
+TEST(Config, ParseBasic) {
+  const auto cfg = Config::parse("k=10 e=40\ntarget_acc=0.92\n");
+  ASSERT_TRUE(cfg.ok());
+  EXPECT_EQ(cfg->get_int("k").value(), 10);
+  EXPECT_EQ(cfg->get_int("e").value(), 40);
+  EXPECT_DOUBLE_EQ(cfg->get_double("target_acc").value(), 0.92);
+}
+
+TEST(Config, Comments) {
+  const auto cfg = Config::parse("# a comment\nk=3 # trailing\n");
+  ASSERT_TRUE(cfg.ok());
+  EXPECT_EQ(cfg->get_int("k").value(), 3);
+  EXPECT_EQ(cfg->size(), 1u);
+}
+
+TEST(Config, FromArgs) {
+  const char* argv[] = {"prog", "k=5", "--epochs=20", "-mode=iid"};
+  const auto cfg = Config::from_args(4, argv);
+  ASSERT_TRUE(cfg.ok());
+  EXPECT_EQ(cfg->get_int("k").value(), 5);
+  EXPECT_EQ(cfg->get_int("epochs").value(), 20);
+  EXPECT_EQ(cfg->get_string("mode").value(), "iid");
+}
+
+TEST(Config, Booleans) {
+  const auto cfg = Config::parse("a=true b=0 c=YES d=off");
+  ASSERT_TRUE(cfg.ok());
+  EXPECT_TRUE(cfg->get_bool("a").value());
+  EXPECT_FALSE(cfg->get_bool("b").value());
+  EXPECT_TRUE(cfg->get_bool("c").value());
+  EXPECT_FALSE(cfg->get_bool("d").value());
+}
+
+TEST(Config, Fallbacks) {
+  const auto cfg = Config::parse("k=5");
+  ASSERT_TRUE(cfg.ok());
+  EXPECT_EQ(cfg->get_int_or("missing", 7), 7);
+  EXPECT_DOUBLE_EQ(cfg->get_double_or("missing", 1.5), 1.5);
+  EXPECT_EQ(cfg->get_string_or("missing", "dflt"), "dflt");
+  EXPECT_TRUE(cfg->get_bool_or("missing", true));
+  EXPECT_EQ(cfg->get_int_or("k", 0), 5);
+}
+
+TEST(Config, Errors) {
+  EXPECT_FALSE(Config::parse("novalue").ok());
+  EXPECT_FALSE(Config::parse("=5").ok());
+  const auto cfg = Config::parse("k=abc b=1.5.2");
+  ASSERT_TRUE(cfg.ok());
+  EXPECT_FALSE(cfg->get_int("k").ok());
+  EXPECT_FALSE(cfg->get_double("b").ok());
+  EXPECT_FALSE(cfg->get_bool("k").ok());
+  EXPECT_FALSE(cfg->get_string("missing").ok());
+}
+
+TEST(Config, OverwriteAndKeys) {
+  auto cfg = Config::parse("a=1 b=2").value();
+  cfg.set("a", "3");
+  EXPECT_EQ(cfg.get_int("a").value(), 3);
+  const auto keys = cfg.keys();
+  ASSERT_EQ(keys.size(), 2u);
+  EXPECT_EQ(keys[0], "a");
+  EXPECT_TRUE(cfg.contains("b"));
+  EXPECT_FALSE(cfg.contains("c"));
+}
+
+}  // namespace
+}  // namespace eefei

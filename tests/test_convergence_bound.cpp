@@ -1,0 +1,114 @@
+#include "core/convergence_bound.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace eefei::core {
+namespace {
+
+ConvergenceBound reference_bound(double epsilon = 0.05) {
+  return ConvergenceBound(energy::paper_reference_constants(), epsilon);
+}
+
+TEST(ConvergenceBound, FeasibilitySlack) {
+  const auto b = reference_bound();
+  // εK − A1 − A2K(E−1) at K=10, E=40.
+  EXPECT_NEAR(b.feasibility_slack(10, 40), 0.5 - 0.005 - 5.6e-4 * 10 * 39,
+              1e-12);
+  EXPECT_TRUE(b.feasible(10, 40));
+  EXPECT_FALSE(b.feasible(1, 1000));  // E too large
+}
+
+TEST(ConvergenceBound, OptimalRoundsMatchesEq11) {
+  const auto b = reference_bound();
+  const auto t = b.optimal_rounds(10, 40);
+  ASSERT_TRUE(t.ok());
+  const double slack = 0.5 - 0.005 - 5.6e-4 * 10 * 39;
+  EXPECT_NEAR(t.value(), 100.0 * 10.0 / (slack * 40.0), 1e-9);
+  // The calibration anchor: ≈ 90 rounds at the paper's Fig. 4 operating
+  // point (K=10, E=40, 92 % accuracy target).
+  EXPECT_NEAR(t.value(), 90.0, 5.0);
+}
+
+TEST(ConvergenceBound, BoundHoldsAtIntegerRounds) {
+  const auto b = reference_bound();
+  for (const double k : {1.0, 5.0, 10.0, 20.0}) {
+    for (const double e : {1.0, 10.0, 40.0}) {
+      const auto t = b.optimal_rounds_int(k, e);
+      ASSERT_TRUE(t.ok()) << k << "," << e;
+      const auto td = static_cast<double>(t.value());
+      // At T* the bound meets ε…
+      EXPECT_LE(b.gap_bound(k, e, td), b.epsilon() + 1e-9);
+      // …and T*−1 would miss it (minimality), unless T* = 1.
+      if (t.value() > 1) {
+        EXPECT_GT(b.gap_bound(k, e, td - 1.0), b.epsilon() - 1e-9);
+      }
+    }
+  }
+}
+
+TEST(ConvergenceBound, InfeasiblePairsRejected) {
+  const auto b = reference_bound();
+  EXPECT_FALSE(b.optimal_rounds(1, 500).ok());
+  EXPECT_FALSE(b.optimal_rounds(0.5, 10).ok());
+  EXPECT_FALSE(b.optimal_rounds(10, 0.0).ok());
+}
+
+TEST(ConvergenceBound, TightEpsilonNeedsMoreRounds) {
+  const auto loose = reference_bound(0.08);
+  const auto tight = reference_bound(0.03);
+  const auto t_loose = loose.optimal_rounds(10, 10);
+  const auto t_tight = tight.optimal_rounds(10, 10);
+  ASSERT_TRUE(t_loose.ok());
+  ASSERT_TRUE(t_tight.ok());
+  EXPECT_GT(t_tight.value(), t_loose.value());
+}
+
+TEST(ConvergenceBound, MoreServersReduceRounds) {
+  // The paper's Fig. 4(b) observation: larger K cuts the required T.
+  const auto b = reference_bound();
+  const auto t1 = b.optimal_rounds(1, 40);
+  const auto t20 = b.optimal_rounds(20, 40);
+  ASSERT_TRUE(t1.ok());
+  ASSERT_TRUE(t20.ok());
+  EXPECT_GT(t1.value(), t20.value());
+}
+
+TEST(ConvergenceBound, MoreEpochsReduceRoundsUntilFeasibilityEdge) {
+  const auto b = reference_bound();
+  const auto t10 = b.optimal_rounds(10, 10);
+  const auto t40 = b.optimal_rounds(10, 40);
+  ASSERT_TRUE(t10.ok());
+  ASSERT_TRUE(t40.ok());
+  EXPECT_GT(t10.value(), t40.value());
+}
+
+TEST(ConvergenceBound, MaxFeasibleEpochs) {
+  const auto b = reference_bound();
+  const auto e_max = b.max_feasible_epochs(10.0);
+  ASSERT_TRUE(e_max.has_value());
+  // Just inside is feasible, just outside is not.
+  EXPECT_TRUE(b.feasible(10.0, *e_max - 1e-6));
+  EXPECT_FALSE(b.feasible(10.0, *e_max + 1e-6));
+}
+
+TEST(ConvergenceBound, MinFeasibleServers) {
+  // With a tight epsilon, small K becomes infeasible.
+  const ConvergenceBound b(energy::ConvergenceConstants{100.0, 0.08, 1e-4},
+                           0.05);
+  const auto k_min = b.min_feasible_servers(1.0);
+  ASSERT_TRUE(k_min.has_value());
+  EXPECT_GT(*k_min, 1.0);
+  EXPECT_TRUE(b.feasible(*k_min + 1e-6, 1.0));
+  EXPECT_FALSE(b.feasible(*k_min - 1e-6, 1.0));
+}
+
+TEST(ConvergenceBound, MinFeasibleServersNoneForHugeE) {
+  const auto b = reference_bound();
+  // ε − A2(E−1) < 0 for E beyond ~90: no K can help.
+  EXPECT_FALSE(b.min_feasible_servers(200.0).has_value());
+}
+
+}  // namespace
+}  // namespace eefei::core

@@ -1,0 +1,140 @@
+#include "net/csma.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/fei_system.h"
+
+namespace eefei::net {
+namespace {
+
+CsmaConfig fast_config() {
+  CsmaConfig cfg;
+  cfg.rate = BitsPerSecond::from_mbps(3.4);
+  return cfg;
+}
+
+TEST(Csma, LoneStationTransmitsImmediately) {
+  CsmaCell cell(fast_config(), Rng(1));
+  const auto r = cell.transfer(Bytes{1000.0}, 0);
+  ASSERT_TRUE(r.delivered);
+  EXPECT_EQ(r.collisions, 0u);
+  // DIFS + ≤ CWmin slots + air time.
+  const double air = 1000.0 * 8.0 / 3.4e6;
+  EXPECT_GE(r.duration.value(), air);
+  EXPECT_LE(r.duration.value(),
+            air + 50e-6 + 16.0 * 20e-6 + 1e-9);
+}
+
+TEST(Csma, OverheadGrowsWithContenders) {
+  CsmaCell cell(fast_config(), Rng(2));
+  const double lone = cell.expected_overhead(0).value();
+  const double few = cell.expected_overhead(4).value();
+  const double many = cell.expected_overhead(19).value();
+  EXPECT_LT(lone, few);
+  EXPECT_LT(few, many);
+}
+
+TEST(Csma, CollisionsIncreaseWithContention) {
+  CsmaCell cell(fast_config(), Rng(3));
+  auto mean_collisions = [&](std::size_t contenders) {
+    double acc = 0;
+    for (int i = 0; i < 1000; ++i) {
+      acc += static_cast<double>(
+          cell.transfer(Bytes{100.0}, contenders).collisions);
+    }
+    return acc / 1000.0;
+  };
+  EXPECT_DOUBLE_EQ(mean_collisions(0), 0.0);
+  EXPECT_GT(mean_collisions(19), mean_collisions(3));
+}
+
+TEST(Csma, DeliveryRateHighEvenUnderLoad) {
+  CsmaCell cell(fast_config(), Rng(4));
+  int delivered = 0;
+  for (int i = 0; i < 2000; ++i) {
+    if (cell.transfer(Bytes{100.0}, 19).delivered) ++delivered;
+  }
+  // Backoff doubling resolves contention; nearly everything gets through.
+  EXPECT_GT(delivered, 1900);
+}
+
+TEST(Csma, DeterministicForSeed) {
+  CsmaCell a(fast_config(), Rng(5)), b(fast_config(), Rng(5));
+  for (int i = 0; i < 50; ++i) {
+    const auto ra = a.transfer(Bytes{500.0}, 7);
+    const auto rb = b.transfer(Bytes{500.0}, 7);
+    ASSERT_DOUBLE_EQ(ra.duration.value(), rb.duration.value());
+    ASSERT_EQ(ra.collisions, rb.collisions);
+  }
+}
+
+}  // namespace
+}  // namespace eefei::net
+
+namespace eefei::sim {
+namespace {
+
+FeiSystemConfig csma_config(std::size_t k) {
+  auto cfg = prototype_config();
+  cfg.num_servers = 12;
+  cfg.samples_per_server = 60;
+  cfg.test_samples = 100;
+  cfg.data.image_side = 12;
+  cfg.model.input_dim = 144;
+  cfg.fl.clients_per_round = k;
+  // E = 1 so every selected server finishes training at nearly the same
+  // instant — worst-case upload contention.
+  cfg.fl.local_epochs = 1;
+  cfg.fl.max_rounds = 6;
+  cfg.lan_contention = FeiSystemConfig::LanContention::kCsma;
+  cfg.seed = 91;
+  return cfg;
+}
+
+TEST(CsmaFei, RunsEndToEnd) {
+  FeiSystem system(csma_config(4));
+  const auto r = system.run();
+  ASSERT_TRUE(r.ok()) << r.error().message;
+  EXPECT_GT(r->ledger.category_total(energy::EnergyCategory::kUpload)
+                .value(),
+            0.0);
+  // CSMA folds contention into the transfer itself: no queue-wait charges.
+  EXPECT_DOUBLE_EQ(
+      r->ledger.category_total(energy::EnergyCategory::kWaiting).value(),
+      0.0);
+}
+
+TEST(CsmaFei, PerUploadCostGrowsWithSimultaneity) {
+  // Mean per-upload energy at K = 12 must exceed K = 1 (contention
+  // overhead), which the FCFS model cannot express (its per-upload cost is
+  // constant; only the waiting grows).
+  FeiSystem lone(csma_config(1)), crowd(csma_config(12));
+  const auto rl = lone.run();
+  const auto rc = crowd.run();
+  ASSERT_TRUE(rl.ok());
+  ASSERT_TRUE(rc.ok());
+  const double lone_per =
+      rl->ledger.category_total(energy::EnergyCategory::kUpload).value() /
+      (6.0 * 1.0);
+  const double crowd_per =
+      rc->ledger.category_total(energy::EnergyCategory::kUpload).value() /
+      (6.0 * 12.0);
+  EXPECT_GT(crowd_per, lone_per * 1.05);
+}
+
+TEST(CsmaFei, FcfsAndCsmaAgreeOnTrainingEnergy) {
+  auto fcfs_cfg = csma_config(6);
+  fcfs_cfg.lan_contention = FeiSystemConfig::LanContention::kFcfsQueue;
+  FeiSystem csma(csma_config(6)), fcfs(fcfs_cfg);
+  const auto rc = csma.run();
+  const auto rf = fcfs.run();
+  ASSERT_TRUE(rc.ok());
+  ASSERT_TRUE(rf.ok());
+  // The medium model only affects communication; compute is identical.
+  EXPECT_DOUBLE_EQ(
+      rc->ledger.category_total(energy::EnergyCategory::kTraining).value(),
+      rf->ledger.category_total(energy::EnergyCategory::kTraining).value());
+}
+
+}  // namespace
+}  // namespace eefei::sim

@@ -1,0 +1,86 @@
+#include "common/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace eefei {
+namespace {
+
+TEST(CsvWriter, HeaderAndRows) {
+  std::ostringstream out;
+  CsvWriter w(out);
+  w.write_header({"a", "b"});
+  w.write_row({1.0, 2.5});
+  w.write_row({-3.0, 1e-7});
+  EXPECT_EQ(out.str(), "a,b\n1,2.5\n-3,1e-07\n");
+  EXPECT_EQ(w.rows_written(), 3u);
+}
+
+TEST(CsvEscape, QuotesWhenNeeded) {
+  EXPECT_EQ(csv_escape("plain"), "plain");
+  EXPECT_EQ(csv_escape("with,comma"), "\"with,comma\"");
+  EXPECT_EQ(csv_escape("with\"quote"), "\"with\"\"quote\"");
+  EXPECT_EQ(csv_escape("with\nnewline"), "\"with\nnewline\"");
+}
+
+TEST(CsvParse, RoundTrip) {
+  std::ostringstream out;
+  CsvWriter w(out);
+  w.write_header({"name", "value"});
+  w.write_row({std::vector<std::string>{"x,y", "1"}});
+  w.write_row({std::vector<std::string>{"he said \"hi\"", "2"}});
+  const auto doc = parse_csv(out.str());
+  ASSERT_TRUE(doc.ok());
+  ASSERT_EQ(doc->rows.size(), 2u);
+  EXPECT_EQ(doc->rows[0][0], "x,y");
+  EXPECT_EQ(doc->rows[1][0], "he said \"hi\"");
+}
+
+TEST(CsvParse, NumericColumn) {
+  const auto doc = parse_csv("t,p\n0,3.6\n0.001,4.286\n0.002,5.553\n");
+  ASSERT_TRUE(doc.ok());
+  const auto col = doc->numeric_column("p");
+  ASSERT_TRUE(col.ok());
+  ASSERT_EQ(col->size(), 3u);
+  EXPECT_DOUBLE_EQ(col.value()[2], 5.553);
+}
+
+TEST(CsvParse, MissingColumn) {
+  const auto doc = parse_csv("a,b\n1,2\n");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_FALSE(doc->column_index("c").ok());
+  EXPECT_FALSE(doc->numeric_column("c").ok());
+}
+
+TEST(CsvParse, NonNumericField) {
+  const auto doc = parse_csv("a\nhello\n");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_FALSE(doc->numeric_column("a").ok());
+}
+
+TEST(CsvParse, RowWidthMismatch) {
+  EXPECT_FALSE(parse_csv("a,b\n1\n").ok());
+}
+
+TEST(CsvParse, CrLfLineEndings) {
+  const auto doc = parse_csv("a,b\r\n1,2\r\n3,4\r\n");
+  ASSERT_TRUE(doc.ok());
+  ASSERT_EQ(doc->rows.size(), 2u);
+  EXPECT_EQ(doc->rows[1][1], "4");
+}
+
+TEST(CsvParse, UnterminatedQuote) {
+  EXPECT_FALSE(parse_csv("a\n\"oops\n").ok());
+}
+
+TEST(CsvParse, Empty) { EXPECT_FALSE(parse_csv("").ok()); }
+
+TEST(CsvParse, TrailingNewlinesIgnored) {
+  const auto doc = parse_csv("a\n1\n\n\n");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->rows.size(), 1u);
+}
+
+}  // namespace
+}  // namespace eefei

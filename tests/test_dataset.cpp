@@ -1,0 +1,97 @@
+#include "data/dataset.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+namespace eefei::data {
+namespace {
+
+Dataset make_dataset() {
+  Dataset ds(3, 2);
+  ds.add(std::vector<double>{1, 2, 3}, 0);
+  ds.add(std::vector<double>{4, 5, 6}, 1);
+  ds.add(std::vector<double>{7, 8, 9}, 1);
+  return ds;
+}
+
+TEST(Dataset, AddAndAccess) {
+  const Dataset ds = make_dataset();
+  EXPECT_EQ(ds.size(), 3u);
+  EXPECT_EQ(ds.feature_dim(), 3u);
+  EXPECT_EQ(ds.num_classes(), 2u);
+  EXPECT_EQ(ds.label(1), 1);
+  const auto f = ds.features(2);
+  EXPECT_DOUBLE_EQ(f[0], 7.0);
+  EXPECT_DOUBLE_EQ(f[2], 9.0);
+}
+
+TEST(Dataset, View) {
+  const Dataset ds = make_dataset();
+  const auto v = ds.view();
+  EXPECT_TRUE(v.valid());
+  EXPECT_EQ(v.size(), 3u);
+  EXPECT_EQ(v.feature_dim, 3u);
+  EXPECT_DOUBLE_EQ(v.features[4], 5.0);
+}
+
+TEST(Dataset, ClassHistogram) {
+  const Dataset ds = make_dataset();
+  const auto hist = ds.class_histogram();
+  ASSERT_EQ(hist.size(), 2u);
+  EXPECT_EQ(hist[0], 1u);
+  EXPECT_EQ(hist[1], 2u);
+}
+
+TEST(Dataset, EmptyState) {
+  const Dataset ds(4, 3);
+  EXPECT_TRUE(ds.empty());
+  EXPECT_EQ(ds.size(), 0u);
+}
+
+TEST(Shard, MaterializesSelectedRows) {
+  const Dataset ds = make_dataset();
+  const std::vector<std::size_t> idx{2, 0};
+  const Shard shard(ds, idx);
+  EXPECT_EQ(shard.size(), 2u);
+  const auto v = shard.view();
+  EXPECT_TRUE(v.valid());
+  // Order preserved: row 2 first.
+  EXPECT_DOUBLE_EQ(v.features[0], 7.0);
+  EXPECT_EQ(v.labels[0], 1);
+  EXPECT_DOUBLE_EQ(v.features[3], 1.0);
+  EXPECT_EQ(v.labels[1], 0);
+}
+
+TEST(Shard, PrefixView) {
+  const Dataset ds = make_dataset();
+  const std::vector<std::size_t> idx{0, 1, 2};
+  const Shard shard(ds, idx);
+  const auto v = shard.prefix_view(2);
+  EXPECT_EQ(v.size(), 2u);
+  EXPECT_TRUE(v.valid());
+  // Asking beyond the shard clamps.
+  EXPECT_EQ(shard.prefix_view(99).size(), 3u);
+}
+
+TEST(Shard, ClassHistogram) {
+  const Dataset ds = make_dataset();
+  const std::vector<std::size_t> idx{1, 2};
+  const Shard shard(ds, idx);
+  const auto hist = shard.class_histogram(2);
+  EXPECT_EQ(hist[0], 0u);
+  EXPECT_EQ(hist[1], 2u);
+}
+
+TEST(BatchView, ValidityChecks) {
+  const std::vector<double> f{1, 2, 3, 4};
+  const std::vector<int> l{0, 1};
+  const ml::BatchView good{f, l, 2};
+  EXPECT_TRUE(good.valid());
+  const ml::BatchView bad{f, l, 3};
+  EXPECT_FALSE(bad.valid());
+}
+
+}  // namespace
+}  // namespace eefei::data

@@ -1,0 +1,53 @@
+#include "sim/edge_server_sim.h"
+
+#include <gtest/gtest.h>
+
+namespace eefei::sim {
+namespace {
+
+using energy::EdgeState;
+
+TEST(EdgeServerSim, RecordsPhases) {
+  EdgeServerSim server(0, {});
+  server.run_phase(EdgeState::kDownloading, Seconds{0.0}, Seconds{0.1});
+  server.run_phase(EdgeState::kTraining, Seconds{0.1}, Seconds{1.0});
+  server.run_phase(EdgeState::kUploading, Seconds{1.1}, Seconds{0.2});
+  EXPECT_DOUBLE_EQ(server.busy_until().value(), 1.3);
+  EXPECT_EQ(server.timeline().intervals().size(), 3u);
+  EXPECT_NEAR(server.energy_in(EdgeState::kTraining).value(), 5.553, 1e-12);
+}
+
+TEST(EdgeServerSim, FillsGapsWithWaiting) {
+  EdgeServerSim server(1, {});
+  server.run_phase(EdgeState::kDownloading, Seconds{0.5}, Seconds{0.1});
+  // Gap 0–0.5 became waiting.
+  const auto& ivals = server.timeline().intervals();
+  ASSERT_EQ(ivals.size(), 2u);
+  EXPECT_EQ(ivals[0].state, EdgeState::kWaiting);
+  EXPECT_DOUBLE_EQ(ivals[0].duration.value(), 0.5);
+  EXPECT_NEAR(server.energy_in(EdgeState::kWaiting).value(), 3.6 * 0.5,
+              1e-12);
+}
+
+TEST(EdgeServerSim, IdleUntilExtendsTimeline) {
+  EdgeServerSim server(2, {});
+  server.run_phase(EdgeState::kTraining, Seconds{0.0}, Seconds{1.0});
+  server.idle_until(Seconds{3.0});
+  EXPECT_DOUBLE_EQ(server.busy_until().value(), 3.0);
+  EXPECT_DOUBLE_EQ(
+      server.timeline().time_in_state(EdgeState::kWaiting).value(), 2.0);
+  // idle_until into the past is a no-op.
+  server.idle_until(Seconds{1.0});
+  EXPECT_DOUBLE_EQ(server.busy_until().value(), 3.0);
+}
+
+TEST(EdgeServerSim, TotalEnergyIsSumOfStates) {
+  EdgeServerSim server(3, {});
+  server.run_phase(EdgeState::kDownloading, Seconds{0.0}, Seconds{0.5});
+  server.run_phase(EdgeState::kUploading, Seconds{1.0}, Seconds{0.5});
+  const double expected = 4.286 * 0.5 + 3.6 * 0.5 + 5.015 * 0.5;
+  EXPECT_NEAR(server.total_energy().value(), expected, 1e-12);
+}
+
+}  // namespace
+}  // namespace eefei::sim

@@ -1,0 +1,122 @@
+#include "core/energy_objective.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+namespace eefei::core {
+namespace {
+
+EnergyObjective reference_objective(double epsilon = 0.05,
+                                    std::size_t n = 20) {
+  const ConvergenceBound bound(energy::paper_reference_constants(), epsilon);
+  // Prototype-mode coefficients: B0 = c0·3000 + c1, B1 = e^U.
+  const double b0 = 7.79e-5 * 3000.0 + 3.34e-3;
+  const double b1 = 0.381;
+  return EnergyObjective(bound, b0, b1, n);
+}
+
+TEST(EnergyObjective, ValueMatchesEq12) {
+  const auto obj = reference_objective();
+  const double k = 10.0, e = 40.0;
+  const auto v = obj.value(k, e);
+  ASSERT_TRUE(v.ok());
+  const double slack = 0.05 * k - 0.005 - 5.6e-4 * k * (e - 1.0);
+  const double t_star = 100.0 * k / (slack * e);
+  EXPECT_NEAR(v.value(), t_star * k * (obj.b0() * e + obj.b1()), 1e-9);
+}
+
+TEST(EnergyObjective, InfeasibleRejected) {
+  const auto obj = reference_objective();
+  EXPECT_FALSE(obj.value(1.0, 500.0).ok());
+  EXPECT_FALSE(obj.value(0.0, 10.0).ok());
+  EXPECT_FALSE(obj.value(21.0, 10.0).ok());  // K > N
+  EXPECT_FALSE(obj.value(10.0, 0.5).ok());
+}
+
+TEST(EnergyObjective, ValueAtRoundsIsLinear) {
+  const auto obj = reference_objective();
+  EXPECT_DOUBLE_EQ(obj.value_at_rounds(2.0, 3.0, 100.0),
+                   100.0 * 2.0 * (obj.b0() * 3.0 + obj.b1()));
+}
+
+// Parameterized sweep: analytic partials must match central differences
+// everywhere on the feasible interior.
+class ObjectiveDerivativeTest
+    : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(ObjectiveDerivativeTest, FirstPartialsMatchFiniteDifferences) {
+  const auto obj = reference_objective();
+  const auto [k, e] = GetParam();
+  if (!obj.feasible(k, e)) GTEST_SKIP() << "infeasible point";
+  const double h = 1e-5;
+  if (!obj.feasible(k + h, e) || !obj.feasible(k - h, e) ||
+      !obj.feasible(k, e + h) || !obj.feasible(k, e - h)) {
+    GTEST_SKIP() << "too close to the boundary";
+  }
+  const double dk_num =
+      (obj.value(k + h, e).value() - obj.value(k - h, e).value()) / (2 * h);
+  const double de_num =
+      (obj.value(k, e + h).value() - obj.value(k, e - h).value()) / (2 * h);
+  const double scale_k = std::max(1.0, std::abs(dk_num));
+  const double scale_e = std::max(1.0, std::abs(de_num));
+  EXPECT_NEAR(obj.d_dk(k, e) / scale_k, dk_num / scale_k, 1e-4);
+  EXPECT_NEAR(obj.d_de(k, e) / scale_e, de_num / scale_e, 1e-4);
+}
+
+TEST_P(ObjectiveDerivativeTest, SecondPartialsMatchFiniteDifferences) {
+  const auto obj = reference_objective();
+  const auto [k, e] = GetParam();
+  // h must be large enough that f's O(h²·f'') variation beats the ~1e-16
+  // relative rounding of f (f can be ~1e4 while f'' ~1e-1).
+  const double h = 0.02;
+  if (!obj.feasible(k, e) || !obj.feasible(k + h, e) ||
+      !obj.feasible(k - h, e) || !obj.feasible(k, e + h) ||
+      !obj.feasible(k, e - h)) {
+    GTEST_SKIP() << "boundary";
+  }
+  const double f0 = obj.value(k, e).value();
+  const double dk2_num = (obj.value(k + h, e).value() - 2 * f0 +
+                          obj.value(k - h, e).value()) /
+                         (h * h);
+  const double de2_num = (obj.value(k, e + h).value() - 2 * f0 +
+                          obj.value(k, e - h).value()) /
+                         (h * h);
+  const double sk = std::max(1.0, std::abs(dk2_num));
+  const double se = std::max(1.0, std::abs(de2_num));
+  EXPECT_NEAR(obj.d2_dk2(k, e) / sk, dk2_num / sk, 2e-2);
+  EXPECT_NEAR(obj.d2_de2(k, e) / se, de2_num / se, 2e-2);
+}
+
+// The paper's Theorem 1 (strict biconvexity): both analytic second
+// partials are strictly positive on the feasible interior.
+TEST_P(ObjectiveDerivativeTest, SecondPartialsStrictlyPositive) {
+  const auto obj = reference_objective();
+  const auto [k, e] = GetParam();
+  if (!obj.feasible(k, e)) GTEST_SKIP();
+  EXPECT_GT(obj.d2_dk2(k, e), 0.0) << "Eq. 14 violated at " << k << "," << e;
+  EXPECT_GT(obj.d2_de2(k, e), 0.0) << "Eq. 16 violated at " << k << "," << e;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    FeasibleLattice, ObjectiveDerivativeTest,
+    ::testing::Combine(::testing::Values(1.0, 2.0, 4.0, 7.0, 10.0, 14.0,
+                                         19.0),
+                       ::testing::Values(1.0, 2.0, 5.0, 10.0, 20.0, 40.0,
+                                         60.0, 80.0)));
+
+TEST(EnergyObjective, FromModelUsesB0B1) {
+  energy::FeiEnergyModel model;
+  model.samples_per_server = 3000;
+  model.training = {7.79e-5, 3.34e-3};
+  model.upload = {Joules{0.381}};
+  const ConvergenceBound bound(energy::paper_reference_constants(), 0.05);
+  const auto obj = EnergyObjective::from_model(bound, model, 20);
+  EXPECT_NEAR(obj.b0(), model.b0(), 1e-15);
+  EXPECT_NEAR(obj.b1(), model.b1(), 1e-15);
+  EXPECT_EQ(obj.n(), 20u);
+}
+
+}  // namespace
+}  // namespace eefei::core

@@ -1,0 +1,86 @@
+#include "sim/event_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace eefei::sim {
+namespace {
+
+TEST(EventQueue, ProcessesInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule_at(Seconds{3.0}, [&] { order.push_back(3); });
+  q.schedule_at(Seconds{1.0}, [&] { order.push_back(1); });
+  q.schedule_at(Seconds{2.0}, [&] { order.push_back(2); });
+  EXPECT_EQ(q.run(), 3u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(q.now().value(), 3.0);
+}
+
+TEST(EventQueue, FifoAmongEqualTimes) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    q.schedule_at(Seconds{1.0}, [&order, i] { order.push_back(i); });
+  }
+  q.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, ScheduleInIsRelative) {
+  EventQueue q;
+  double fired_at = -1.0;
+  q.schedule_at(Seconds{2.0}, [&] {
+    q.schedule_in(Seconds{0.5}, [&] { fired_at = q.now().value(); });
+  });
+  q.run();
+  EXPECT_DOUBLE_EQ(fired_at, 2.5);
+}
+
+TEST(EventQueue, PastSchedulesClampToNow) {
+  EventQueue q;
+  double fired_at = -1.0;
+  q.schedule_at(Seconds{5.0}, [&] {
+    q.schedule_at(Seconds{1.0}, [&] { fired_at = q.now().value(); });
+  });
+  q.run();
+  EXPECT_DOUBLE_EQ(fired_at, 5.0);  // never travels back in time
+}
+
+TEST(EventQueue, EventsCanCascade) {
+  EventQueue q;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 10) q.schedule_in(Seconds{0.1}, recurse);
+  };
+  q.schedule_at(Seconds{0.0}, recurse);
+  EXPECT_EQ(q.run(), 10u);
+  EXPECT_NEAR(q.now().value(), 0.9, 1e-12);
+}
+
+TEST(EventQueue, MaxEventsBudget) {
+  EventQueue q;
+  int count = 0;
+  std::function<void()> forever = [&] {
+    ++count;
+    q.schedule_in(Seconds{1.0}, forever);
+  };
+  q.schedule_at(Seconds{0.0}, forever);
+  EXPECT_EQ(q.run(100), 100u);
+  EXPECT_EQ(count, 100);
+  EXPECT_FALSE(q.empty());
+}
+
+TEST(EventQueue, Clear) {
+  EventQueue q;
+  q.schedule_at(Seconds{1.0}, [] {});
+  q.schedule_at(Seconds{2.0}, [] {});
+  EXPECT_EQ(q.pending(), 2u);
+  q.clear();
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.run(), 0u);
+}
+
+}  // namespace
+}  // namespace eefei::sim

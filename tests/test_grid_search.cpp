@@ -1,0 +1,103 @@
+#include "core/grid_search.h"
+
+#include <gtest/gtest.h>
+
+namespace eefei::core {
+namespace {
+
+EnergyObjective make_objective(double a1 = 0.005, double b1 = 0.381,
+                               std::size_t n = 20) {
+  energy::ConvergenceConstants c = energy::paper_reference_constants();
+  c.a1 = a1;
+  const ConvergenceBound bound(c, 0.05);
+  return EnergyObjective(bound, 7.79e-5 * 3000.0 + 3.34e-3, b1, n);
+}
+
+TEST(GridSearch, FindsAMinimizer) {
+  const auto obj = make_objective();
+  const auto r = grid_search(obj);
+  ASSERT_TRUE(r.ok());
+  EXPECT_GE(r->best.k, 1u);
+  EXPECT_LE(r->best.k, 20u);
+  EXPECT_GE(r->best.e, 1u);
+  EXPECT_GT(r->evaluated, 100u);
+
+  // No lattice point in a local window beats it.
+  const double best = r->best.objective;
+  for (std::size_t k = 1; k <= 20; ++k) {
+    for (std::size_t e = 1; e <= 90; ++e) {
+      const auto kd = static_cast<double>(k);
+      const auto ed = static_cast<double>(e);
+      if (!obj.feasible(kd, ed)) continue;
+      const auto t = obj.bound().optimal_rounds_int(kd, ed);
+      if (!t.ok()) continue;
+      const double v =
+          obj.value_at_rounds(kd, ed, static_cast<double>(t.value()));
+      EXPECT_GE(v, best - 1e-9) << "k=" << k << " e=" << e;
+    }
+  }
+}
+
+TEST(GridSearch, MaxEpochsCapRespected) {
+  const auto obj = make_objective();
+  GridSearchConfig cfg;
+  cfg.max_epochs = 3;
+  const auto r = grid_search(obj, cfg);
+  ASSERT_TRUE(r.ok());
+  EXPECT_LE(r->best.e, 3u);
+}
+
+TEST(GridSearch, ContinuousRoundsScoring) {
+  const auto obj = make_objective();
+  GridSearchConfig cfg;
+  cfg.integer_rounds = false;
+  const auto r = grid_search(obj, cfg);
+  ASSERT_TRUE(r.ok());
+  // Continuous scoring equals Eq. 12 exactly at the best point.
+  const auto v = obj.value(static_cast<double>(r->best.k),
+                           static_cast<double>(r->best.e));
+  ASSERT_TRUE(v.ok());
+  EXPECT_NEAR(r->best.objective, v.value(), 1e-9);
+}
+
+TEST(GridSearch, InfeasibleProblem) {
+  const auto obj = make_objective(5.0);  // A1/N = 0.25 > ε
+  EXPECT_FALSE(grid_search(obj).ok());
+}
+
+TEST(GridSearch, CountsInfeasiblePoints) {
+  const auto obj = make_objective();
+  const auto r = grid_search(obj);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->infeasible, 0u)
+      << "scan is bounded by E_max so nothing should be rejected";
+}
+
+TEST(Sweep, ReturnsOnlyFeasiblePoints) {
+  const auto obj = make_objective();
+  const auto rows = sweep(obj, {1, 10, 20}, {1, 40, 5000});
+  // E = 5000 is infeasible for every K → 3 K-values × 2 feasible E.
+  EXPECT_EQ(rows.size(), 6u);
+  for (const auto& p : rows) {
+    EXPECT_TRUE(obj.feasible(static_cast<double>(p.k),
+                             static_cast<double>(p.e)));
+    EXPECT_GT(p.objective, 0.0);
+    EXPECT_GE(p.t, 1u);
+  }
+}
+
+TEST(Sweep, EnergyCurveOverKIsConvexShaped) {
+  // Fig. 5's x-axis: energy as a function of K at fixed E.  With IID
+  // calibration the curve increases from K = 1 (K* = 1).
+  const auto obj = make_objective();
+  std::vector<std::size_t> ks;
+  for (std::size_t k = 1; k <= 20; ++k) ks.push_back(k);
+  const auto rows = sweep(obj, ks, {10}, /*integer_rounds=*/false);
+  ASSERT_EQ(rows.size(), 20u);
+  for (std::size_t i = 1; i < rows.size(); ++i) {
+    EXPECT_GT(rows[i].objective, rows[i - 1].objective);
+  }
+}
+
+}  // namespace
+}  // namespace eefei::core

@@ -1,0 +1,80 @@
+#include "common/logging.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace eefei {
+namespace {
+
+// Captured records for the test sink (single-threaded tests only).
+std::vector<std::pair<LogLevel, std::string>>& captured() {
+  static std::vector<std::pair<LogLevel, std::string>> v;
+  return v;
+}
+
+void capture_sink(LogLevel level, std::string_view message) {
+  captured().emplace_back(level, std::string(message));
+}
+
+class LoggingTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    captured().clear();
+    set_log_sink(&capture_sink);
+    set_log_level(LogLevel::kDebug);
+  }
+  void TearDown() override {
+    set_log_sink(nullptr);
+    set_log_level(LogLevel::kWarn);
+  }
+};
+
+TEST_F(LoggingTest, EmitsAtOrAboveLevel) {
+  set_log_level(LogLevel::kInfo);
+  LOG_DEBUG << "hidden";
+  LOG_INFO << "visible " << 42;
+  LOG_ERROR << "also visible";
+  ASSERT_EQ(captured().size(), 2u);
+  EXPECT_EQ(captured()[0].first, LogLevel::kInfo);
+  EXPECT_NE(captured()[0].second.find("visible 42"), std::string::npos);
+  EXPECT_EQ(captured()[1].first, LogLevel::kError);
+}
+
+TEST_F(LoggingTest, OffSilencesEverything) {
+  set_log_level(LogLevel::kOff);
+  LOG_ERROR << "nope";
+  EXPECT_TRUE(captured().empty());
+}
+
+TEST_F(LoggingTest, MessageIncludesFileAndLevel) {
+  LOG_WARN << "payload";
+  ASSERT_EQ(captured().size(), 1u);
+  EXPECT_NE(captured()[0].second.find("[WARN]"), std::string::npos);
+  EXPECT_NE(captured()[0].second.find("test_logging.cpp"), std::string::npos);
+}
+
+TEST_F(LoggingTest, LazyEvaluationBelowThreshold) {
+  set_log_level(LogLevel::kError);
+  int evaluations = 0;
+  auto expensive = [&] {
+    ++evaluations;
+    return std::string("costly");
+  };
+  LOG_DEBUG << expensive();
+  EXPECT_EQ(evaluations, 0) << "suppressed log must not evaluate operands";
+  LOG_ERROR << expensive();
+  EXPECT_EQ(evaluations, 1);
+}
+
+TEST(LogLevelNames, Strings) {
+  EXPECT_STREQ(to_string(LogLevel::kDebug), "DEBUG");
+  EXPECT_STREQ(to_string(LogLevel::kInfo), "INFO");
+  EXPECT_STREQ(to_string(LogLevel::kWarn), "WARN");
+  EXPECT_STREQ(to_string(LogLevel::kError), "ERROR");
+  EXPECT_STREQ(to_string(LogLevel::kOff), "OFF");
+}
+
+}  // namespace
+}  // namespace eefei

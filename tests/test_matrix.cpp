@@ -1,0 +1,156 @@
+#include "ml/matrix.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace eefei::ml {
+namespace {
+
+TEST(Matrix, ConstructionAndIndexing) {
+  Matrix m(2, 3, 1.5);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_EQ(m.size(), 6u);
+  EXPECT_DOUBLE_EQ(m(1, 2), 1.5);
+  m(0, 1) = 7.0;
+  EXPECT_DOUBLE_EQ(m(0, 1), 7.0);
+}
+
+TEST(Matrix, FromRows) {
+  const auto m = Matrix::from_rows(2, 2, {1, 2, 3, 4});
+  EXPECT_DOUBLE_EQ(m(0, 0), 1);
+  EXPECT_DOUBLE_EQ(m(1, 1), 4);
+}
+
+TEST(Matrix, RowSpan) {
+  auto m = Matrix::from_rows(2, 3, {1, 2, 3, 4, 5, 6});
+  const auto r1 = m.row(1);
+  ASSERT_EQ(r1.size(), 3u);
+  EXPECT_DOUBLE_EQ(r1[0], 4);
+  m.row(0)[2] = 9.0;
+  EXPECT_DOUBLE_EQ(m(0, 2), 9.0);
+}
+
+TEST(Matrix, ElementwiseOps) {
+  auto a = Matrix::from_rows(2, 2, {1, 2, 3, 4});
+  const auto b = Matrix::from_rows(2, 2, {10, 20, 30, 40});
+  a += b;
+  EXPECT_DOUBLE_EQ(a(1, 1), 44);
+  a -= b;
+  EXPECT_DOUBLE_EQ(a(0, 0), 1);
+  a *= 2.0;
+  EXPECT_DOUBLE_EQ(a(0, 1), 4);
+}
+
+TEST(Matrix, AddScaled) {
+  auto a = Matrix::from_rows(1, 2, {1, 1});
+  const auto b = Matrix::from_rows(1, 2, {2, 4});
+  a.add_scaled(b, 0.5);
+  EXPECT_DOUBLE_EQ(a(0, 0), 2.0);
+  EXPECT_DOUBLE_EQ(a(0, 1), 3.0);
+}
+
+TEST(Matrix, SquaredNorm) {
+  const auto m = Matrix::from_rows(1, 3, {1, 2, 2});
+  EXPECT_DOUBLE_EQ(m.squared_norm(), 9.0);
+}
+
+TEST(Matrix, Equality) {
+  const auto a = Matrix::from_rows(1, 2, {1, 2});
+  const auto b = Matrix::from_rows(1, 2, {1, 2});
+  const auto c = Matrix::from_rows(2, 1, {1, 2});
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+}
+
+// Reference (naive) GEMM for validation.
+Matrix naive_gemm(const std::vector<double>& a, std::size_t n, std::size_t k,
+                  const Matrix& b) {
+  Matrix out(n, b.cols(), 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < b.cols(); ++j) {
+      double acc = 0;
+      for (std::size_t kk = 0; kk < k; ++kk) {
+        acc += a[i * k + kk] * b(kk, j);
+      }
+      out(i, j) = acc;
+    }
+  }
+  return out;
+}
+
+TEST(Gemm, MatchesNaive) {
+  const std::size_t n = 7, k = 5, m = 4;
+  std::vector<double> a(n * k);
+  Matrix b(k, m);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    a[i] = static_cast<double>((i * 31) % 11) - 5.0;
+  }
+  for (std::size_t i = 0; i < k; ++i) {
+    for (std::size_t j = 0; j < m; ++j) {
+      b(i, j) = static_cast<double>((i * 7 + j * 3) % 13) - 6.0;
+    }
+  }
+  Matrix out;
+  gemm(a, n, k, b, out);
+  const Matrix expected = naive_gemm(a, n, k, b);
+  ASSERT_EQ(out.rows(), expected.rows());
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < m; ++j) {
+      EXPECT_DOUBLE_EQ(out(i, j), expected(i, j)) << i << "," << j;
+    }
+  }
+}
+
+TEST(Gemm, HandlesZeroEntries) {
+  // The kernel skips zero inputs; the result must still be exact.
+  const std::vector<double> a{0, 1, 0, 2};
+  const auto b = Matrix::from_rows(2, 2, {1, 2, 3, 4});
+  Matrix out;
+  gemm(a, 2, 2, b, out);
+  EXPECT_DOUBLE_EQ(out(0, 0), 3);
+  EXPECT_DOUBLE_EQ(out(0, 1), 4);
+  EXPECT_DOUBLE_EQ(out(1, 0), 6);
+  EXPECT_DOUBLE_EQ(out(1, 1), 8);
+}
+
+TEST(GemmAtB, MatchesTransposedNaive) {
+  // out = Aᵀ B where A is n×k: equivalently naive_gemm on Aᵀ.
+  const std::size_t n = 6, k = 3, m = 2;
+  std::vector<double> a(n * k);
+  Matrix b(n, m);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    a[i] = static_cast<double>((i * 17) % 7) - 3.0;
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < m; ++j) {
+      b(i, j) = static_cast<double>((i + 2 * j) % 5) - 2.0;
+    }
+  }
+  Matrix out;
+  gemm_at_b(a, n, k, b, out);
+  ASSERT_EQ(out.rows(), k);
+  ASSERT_EQ(out.cols(), m);
+  for (std::size_t kk = 0; kk < k; ++kk) {
+    for (std::size_t j = 0; j < m; ++j) {
+      double acc = 0;
+      for (std::size_t i = 0; i < n; ++i) {
+        acc += a[i * k + kk] * b(i, j);
+      }
+      EXPECT_DOUBLE_EQ(out(kk, j), acc);
+    }
+  }
+}
+
+TEST(Gemm, ReusesOutputBuffer) {
+  const std::vector<double> a{1, 0, 0, 1};
+  const auto b = Matrix::from_rows(2, 2, {5, 6, 7, 8});
+  Matrix out(2, 2, 99.0);  // stale values must be overwritten
+  gemm(a, 2, 2, b, out);
+  EXPECT_DOUBLE_EQ(out(0, 0), 5);
+  EXPECT_DOUBLE_EQ(out(1, 1), 8);
+}
+
+}  // namespace
+}  // namespace eefei::ml

@@ -1,0 +1,78 @@
+#include "ml/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace eefei::ml {
+namespace {
+
+TEST(ConfusionMatrix, AccuracyAndCounts) {
+  ConfusionMatrix cm(3);
+  cm.add(0, 0);
+  cm.add(0, 0);
+  cm.add(0, 1);  // one miss
+  cm.add(1, 1);
+  cm.add(2, 2);
+  EXPECT_EQ(cm.total(), 5u);
+  EXPECT_EQ(cm.count(0, 0), 2u);
+  EXPECT_EQ(cm.count(0, 1), 1u);
+  EXPECT_DOUBLE_EQ(cm.accuracy(), 4.0 / 5.0);
+}
+
+TEST(ConfusionMatrix, PrecisionRecallF1) {
+  ConfusionMatrix cm(2);
+  // class 1: TP=3, FP=1, FN=2.
+  cm.add(1, 1);
+  cm.add(1, 1);
+  cm.add(1, 1);
+  cm.add(0, 1);
+  cm.add(1, 0);
+  cm.add(1, 0);
+  cm.add(0, 0);
+  EXPECT_DOUBLE_EQ(cm.precision(1), 3.0 / 4.0);
+  EXPECT_DOUBLE_EQ(cm.recall(1), 3.0 / 5.0);
+  const double p = 0.75, r = 0.6;
+  EXPECT_DOUBLE_EQ(cm.f1(1), 2 * p * r / (p + r));
+}
+
+TEST(ConfusionMatrix, ZeroDenominators) {
+  ConfusionMatrix cm(3);
+  cm.add(0, 0);
+  // Class 2 never appears: precision/recall/f1 = 0 by convention.
+  EXPECT_DOUBLE_EQ(cm.precision(2), 0.0);
+  EXPECT_DOUBLE_EQ(cm.recall(2), 0.0);
+  EXPECT_DOUBLE_EQ(cm.f1(2), 0.0);
+}
+
+TEST(ConfusionMatrix, MacroF1) {
+  ConfusionMatrix cm(2);
+  cm.add(0, 0);
+  cm.add(1, 1);
+  EXPECT_DOUBLE_EQ(cm.macro_f1(), 1.0);
+}
+
+TEST(ConfusionMatrix, Merge) {
+  ConfusionMatrix a(2), b(2);
+  a.add(0, 0);
+  b.add(1, 0);
+  b.add(1, 1);
+  a.merge(b);
+  EXPECT_EQ(a.total(), 3u);
+  EXPECT_EQ(a.count(1, 0), 1u);
+  EXPECT_DOUBLE_EQ(a.accuracy(), 2.0 / 3.0);
+}
+
+TEST(ConfusionMatrix, EmptyAccuracyIsZero) {
+  ConfusionMatrix cm(4);
+  EXPECT_DOUBLE_EQ(cm.accuracy(), 0.0);
+}
+
+TEST(ConfusionMatrix, RenderContainsCounts) {
+  ConfusionMatrix cm(2);
+  cm.add(0, 1);
+  const std::string s = cm.render();
+  EXPECT_NE(s.find("truth\\pred"), std::string::npos);
+  EXPECT_NE(s.find("1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace eefei::ml

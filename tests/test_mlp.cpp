@@ -1,0 +1,221 @@
+#include "ml/mlp.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.h"
+#include "data/synth_digits.h"
+#include "ml/model_spec.h"
+
+namespace eefei::ml {
+namespace {
+
+// Small 2-feature, 3-class fixture (same layout as the LR tests).
+struct Fixture {
+  std::vector<double> features;
+  std::vector<int> labels;
+
+  Fixture() {
+    Rng rng(13);
+    for (int c = 0; c < 3; ++c) {
+      for (int i = 0; i < 40; ++i) {
+        const double cx = (c == 1) ? 4.0 : 0.0;
+        const double cy = (c == 2) ? 4.0 : 0.0;
+        features.push_back(cx + rng.normal(0.0, 0.5));
+        features.push_back(cy + rng.normal(0.0, 0.5));
+        labels.push_back(c);
+      }
+    }
+  }
+  [[nodiscard]] BatchView view() const { return {features, labels, 2}; }
+};
+
+MlpConfig small_config() {
+  MlpConfig cfg;
+  cfg.input_dim = 2;
+  cfg.hidden_units = 8;
+  cfg.num_classes = 3;
+  cfg.init_seed = 3;
+  return cfg;
+}
+
+TEST(Mlp, ParameterLayout) {
+  const Mlp model(small_config());
+  EXPECT_EQ(model.parameter_count(), 2u * 8u + 8u + 8u * 3u + 3u);
+  EXPECT_EQ(Mlp::parameter_count_for(small_config()),
+            model.parameter_count());
+}
+
+TEST(Mlp, DeterministicInit) {
+  const Mlp a(small_config()), b(small_config());
+  const auto pa = a.parameters();
+  const auto pb = b.parameters();
+  for (std::size_t i = 0; i < pa.size(); ++i) {
+    ASSERT_DOUBLE_EQ(pa[i], pb[i]);
+  }
+  auto other = small_config();
+  other.init_seed = 4;
+  const Mlp c(other);
+  bool differ = false;
+  for (std::size_t i = 0; i < pa.size(); ++i) {
+    if (pa[i] != c.parameters()[i]) differ = true;
+  }
+  EXPECT_TRUE(differ);
+}
+
+TEST(Mlp, GradientMatchesFiniteDifferences) {
+  Mlp model(small_config());
+  const Fixture fx;
+  std::vector<double> grad(model.parameter_count());
+  model.loss_and_gradient(fx.view(), grad);
+  auto params = model.parameters();
+  const double h = 1e-6;
+  for (std::size_t i = 0; i < params.size(); i += 5) {
+    const double orig = params[i];
+    params[i] = orig + h;
+    const double up = model.evaluate(fx.view()).loss;
+    params[i] = orig - h;
+    const double down = model.evaluate(fx.view()).loss;
+    params[i] = orig;
+    const double numeric = (up - down) / (2.0 * h);
+    // ReLU kinks make the comparison slightly rougher than for LR.
+    EXPECT_NEAR(grad[i], numeric, 2e-4) << "param " << i;
+  }
+}
+
+TEST(Mlp, GradientMatchesFiniteDifferencesWithL2) {
+  auto cfg = small_config();
+  cfg.l2_lambda = 0.01;
+  Mlp model(cfg);
+  const Fixture fx;
+  std::vector<double> grad(model.parameter_count());
+  model.loss_and_gradient(fx.view(), grad);
+  auto params = model.parameters();
+  const double h = 1e-6;
+  for (std::size_t i = 2; i < params.size(); i += 7) {
+    const double orig = params[i];
+    params[i] = orig + h;
+    const double up = model.evaluate(fx.view()).loss;
+    params[i] = orig - h;
+    const double down = model.evaluate(fx.view()).loss;
+    params[i] = orig;
+    EXPECT_NEAR(grad[i], (up - down) / (2.0 * h), 2e-4);
+  }
+}
+
+TEST(Mlp, LearnsSeparableData) {
+  Mlp model(small_config());
+  const Fixture fx;
+  std::vector<double> grad(model.parameter_count());
+  auto params = model.parameters();
+  for (int step = 0; step < 500; ++step) {
+    model.loss_and_gradient(fx.view(), grad);
+    for (std::size_t i = 0; i < params.size(); ++i) {
+      params[i] -= 0.1 * grad[i];
+    }
+  }
+  EXPECT_GT(model.evaluate(fx.view()).accuracy, 0.97);
+}
+
+TEST(Mlp, BeatsLinearModelOnXor) {
+  // XOR-style data is not linearly separable: LR stalls near chance, the
+  // MLP solves it — the reason to have a hidden layer at all.
+  std::vector<double> features;
+  std::vector<int> labels;
+  Rng rng(7);
+  for (int i = 0; i < 200; ++i) {
+    const double x = rng.uniform(-1.0, 1.0);
+    const double y = rng.uniform(-1.0, 1.0);
+    features.push_back(x);
+    features.push_back(y);
+    labels.push_back((x * y > 0.0) ? 1 : 0);
+  }
+  const BatchView batch{features, labels, 2};
+
+  MlpConfig mcfg;
+  mcfg.input_dim = 2;
+  mcfg.hidden_units = 16;
+  mcfg.num_classes = 2;
+  mcfg.init_seed = 5;
+  Mlp mlp(mcfg);
+  std::vector<double> grad(mlp.parameter_count());
+  auto params = mlp.parameters();
+  for (int step = 0; step < 3000; ++step) {
+    mlp.loss_and_gradient(batch, grad);
+    for (std::size_t i = 0; i < params.size(); ++i) {
+      params[i] -= 0.3 * grad[i];
+    }
+  }
+  EXPECT_GT(mlp.evaluate(batch).accuracy, 0.95);
+
+  LogisticRegressionConfig lcfg;
+  lcfg.input_dim = 2;
+  lcfg.num_classes = 2;
+  LogisticRegression lr(lcfg);
+  std::vector<double> lgrad(lr.parameter_count());
+  auto lparams = lr.parameters();
+  for (int step = 0; step < 3000; ++step) {
+    lr.loss_and_gradient(batch, lgrad);
+    for (std::size_t i = 0; i < lparams.size(); ++i) {
+      lparams[i] -= 0.3 * lgrad[i];
+    }
+  }
+  EXPECT_LT(lr.evaluate(batch).accuracy, 0.7);
+}
+
+TEST(Mlp, CloneIsDeep) {
+  Mlp model(small_config());
+  auto copy = model.clone();
+  model.parameters()[0] += 5.0;
+  EXPECT_NE(model.parameters()[0], copy->parameters()[0]);
+}
+
+TEST(Mlp, PredictAgreesWithEvaluate) {
+  Mlp model(small_config());
+  const Fixture fx;
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < fx.labels.size(); ++i) {
+    const std::span<const double> x(fx.features.data() + i * 2, 2);
+    if (model.predict(x) == fx.labels[i]) ++correct;
+  }
+  EXPECT_NEAR(model.evaluate(fx.view()).accuracy,
+              static_cast<double>(correct) /
+                  static_cast<double>(fx.labels.size()),
+              1e-12);
+}
+
+TEST(ModelSpec, FactoryBuildsBothKinds) {
+  ModelSpec spec;
+  spec.input_dim = 10;
+  spec.num_classes = 4;
+  const auto lr = make_model(spec);
+  EXPECT_EQ(lr->parameter_count(), 10u * 4u + 4u);
+  EXPECT_EQ(spec.parameter_count(), lr->parameter_count());
+
+  spec.kind = ModelKind::kMlp;
+  spec.hidden_units = 6;
+  const auto mlp = make_model(spec);
+  EXPECT_EQ(mlp->parameter_count(), 10u * 6u + 6u + 6u * 4u + 4u);
+  EXPECT_EQ(spec.parameter_count(), mlp->parameter_count());
+}
+
+TEST(ModelSpec, FactoryIsDeterministic) {
+  ModelSpec spec;
+  spec.kind = ModelKind::kMlp;
+  spec.input_dim = 8;
+  spec.hidden_units = 4;
+  spec.num_classes = 3;
+  spec.init_seed = 9;
+  const auto a = make_model(spec);
+  const auto b = make_model(spec);
+  const auto pa = a->parameters();
+  const auto pb = b->parameters();
+  for (std::size_t i = 0; i < pa.size(); ++i) {
+    ASSERT_DOUBLE_EQ(pa[i], pb[i]);
+  }
+}
+
+}  // namespace
+}  // namespace eefei::ml

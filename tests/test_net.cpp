@@ -1,0 +1,189 @@
+// Tests for the network substrate: message framing, WiFi LAN link, NB-IoT
+// uplink, device fleets and the topology.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "net/channel.h"
+#include "net/iot_device.h"
+#include "net/message.h"
+#include "net/topology.h"
+
+namespace eefei::net {
+namespace {
+
+TEST(Message, WireBytesIncludeHeader) {
+  Message m;
+  m.payload_bytes = 1000;
+  EXPECT_DOUBLE_EQ(m.wire_bytes().value(), 1024.0);
+}
+
+TEST(Message, TypeNames) {
+  EXPECT_STREQ(to_string(MessageType::kGlobalModel), "global_model");
+  EXPECT_STREQ(to_string(MessageType::kLocalModel), "local_model");
+  EXPECT_STREQ(to_string(MessageType::kSensorData), "sensor_data");
+  EXPECT_STREQ(to_string(MessageType::kSelectionNotice), "selection_notice");
+  EXPECT_STREQ(to_string(MessageType::kAck), "ack");
+}
+
+TEST(WifiLan, NominalDuration) {
+  WifiLanConfig cfg;
+  cfg.rate = BitsPerSecond::from_mbps(8.0);
+  cfg.base_latency = Seconds::from_millis(2.0);
+  WifiLan lan(cfg, Rng(1));
+  // 1000 bytes at 8 Mbps = 1 ms, + 2 ms latency.
+  EXPECT_NEAR(lan.nominal_duration(Bytes{1000.0}).value(), 0.003, 1e-12);
+}
+
+TEST(WifiLan, LosslessTransferIsOneAttempt) {
+  WifiLanConfig cfg;
+  cfg.loss_probability = 0.0;
+  WifiLan lan(cfg, Rng(2));
+  Message m;
+  m.payload_bytes = 500;
+  const auto r = lan.transfer(m);
+  EXPECT_TRUE(r.delivered);
+  EXPECT_EQ(r.attempts, 1u);
+  EXPECT_NEAR(r.duration.value(),
+              lan.nominal_duration(m.wire_bytes()).value(), 1e-12);
+}
+
+TEST(WifiLan, LossyTransferRetries) {
+  WifiLanConfig cfg;
+  cfg.loss_probability = 0.5;
+  cfg.max_retries = 20;
+  WifiLan lan(cfg, Rng(3));
+  Message m;
+  m.payload_bytes = 100;
+  double mean_attempts = 0;
+  constexpr int kN = 2000;
+  for (int i = 0; i < kN; ++i) {
+    const auto r = lan.transfer(m);
+    EXPECT_TRUE(r.delivered);
+    mean_attempts += static_cast<double>(r.attempts);
+  }
+  mean_attempts /= kN;
+  EXPECT_NEAR(mean_attempts, 2.0, 0.1);  // geometric mean 1/(1-p)
+}
+
+TEST(WifiLan, GivesUpAfterMaxRetries) {
+  WifiLanConfig cfg;
+  cfg.loss_probability = 1.0;
+  cfg.max_retries = 3;
+  WifiLan lan(cfg, Rng(4));
+  Message m;
+  const auto r = lan.transfer(m);
+  EXPECT_FALSE(r.delivered);
+  EXPECT_EQ(r.attempts, 4u);  // initial + 3 retries
+}
+
+TEST(NbIot, CleanChannelEnergyMatchesRho) {
+  NbIotConfig cfg;
+  cfg.collision_probability = 0.0;
+  NbIotChannel ch(cfg, Rng(5));
+  const auto r = ch.send(Bytes{785.0});
+  EXPECT_TRUE(r.delivered);
+  EXPECT_EQ(r.attempts, 1u);
+  // 7.74 mJ/byte × 785 bytes.
+  EXPECT_NEAR(r.device_energy.value(), 6.0759, 1e-9);
+  EXPECT_NEAR(ch.expected_energy(Bytes{785.0}).value(), 6.0759, 1e-9);
+}
+
+TEST(NbIot, CollisionsInflateExpectedEnergy) {
+  NbIotConfig cfg;
+  cfg.collision_probability = 0.25;
+  cfg.max_retries = 50;
+  NbIotChannel ch(cfg, Rng(6));
+  const Joules clean = Joules{cfg.energy_per_byte.value() * 100.0};
+  const Joules expected = ch.expected_energy(Bytes{100.0});
+  // Expected attempts ≈ 1/(1-p) = 4/3.
+  EXPECT_NEAR(expected.value() / clean.value(), 4.0 / 3.0, 1e-6);
+
+  // Empirical check.
+  double total = 0;
+  constexpr int kN = 4000;
+  for (int i = 0; i < kN; ++i) {
+    total += ch.send(Bytes{100.0}).device_energy.value();
+  }
+  EXPECT_NEAR(total / kN, expected.value(), expected.value() * 0.05);
+}
+
+TEST(NbIot, ExpectedEnergyTruncatedByMaxRetries) {
+  NbIotConfig cfg;
+  cfg.collision_probability = 0.5;
+  cfg.max_retries = 0;  // single attempt only
+  NbIotChannel ch(cfg, Rng(7));
+  EXPECT_NEAR(ch.expected_energy(Bytes{10.0}).value(),
+              cfg.energy_per_byte.value() * 10.0, 1e-12);
+}
+
+TEST(DeviceFleet, CollectDeliversExactlyN) {
+  IotDeviceConfig cfg;
+  cfg.uplink.collision_probability = 0.2;
+  DeviceFleet fleet(5, cfg, Rng(8));
+  const auto r = fleet.collect(100);
+  EXPECT_EQ(r.samples_requested, 100u);
+  EXPECT_EQ(r.samples_delivered, 100u);
+  EXPECT_GT(r.total_energy.value(), 0.0);
+  EXPECT_GT(r.duration.value(), 0.0);
+}
+
+TEST(DeviceFleet, EnergyScalesWithSamples) {
+  IotDeviceConfig cfg;
+  cfg.uplink.collision_probability = 0.0;
+  DeviceFleet fleet(4, cfg, Rng(9));
+  const auto small = fleet.collect(10);
+  const auto large = fleet.collect(100);
+  EXPECT_NEAR(large.total_energy.value() / small.total_energy.value(), 10.0,
+              1e-9);
+  // Clean channel: energy = n × ρ.
+  EXPECT_NEAR(small.total_energy.value(),
+              10.0 * fleet.expected_energy_per_sample().value(), 1e-9);
+}
+
+TEST(DeviceFleet, SpreadsLoadAcrossDevices) {
+  IotDeviceConfig cfg;
+  cfg.uplink.collision_probability = 0.0;
+  DeviceFleet fleet(4, cfg, Rng(10));
+  (void)fleet.collect(40);
+  for (std::size_t i = 0; i < fleet.size(); ++i) {
+    EXPECT_EQ(fleet.device(i).samples_sent(), 10u);
+  }
+}
+
+TEST(DeviceFleet, HopelessChannelTerminates) {
+  IotDeviceConfig cfg;
+  cfg.uplink.collision_probability = 1.0;
+  cfg.uplink.max_retries = 2;
+  DeviceFleet fleet(2, cfg, Rng(11));
+  const auto r = fleet.collect(5);
+  EXPECT_LT(r.samples_delivered, 5u);  // gave up, but did not hang
+  EXPECT_GT(r.total_energy.value(), 0.0);  // wasted energy is accounted
+}
+
+TEST(Topology, BuildsRequestedShape) {
+  TopologyConfig cfg;
+  cfg.num_edge_servers = 6;
+  cfg.devices_per_edge = 3;
+  Topology topo(cfg);
+  EXPECT_EQ(topo.num_edge_servers(), 6u);
+  for (std::size_t e = 0; e < 6; ++e) {
+    EXPECT_EQ(topo.fleet(e).size(), 3u);
+  }
+}
+
+TEST(Topology, IndependentFleetStreams) {
+  TopologyConfig cfg;
+  cfg.num_edge_servers = 2;
+  cfg.devices_per_edge = 1;
+  cfg.device.uplink.collision_probability = 0.5;
+  cfg.device.uplink.max_retries = 20;
+  Topology topo(cfg);
+  // Same request on two fleets: attempts differ (independent RNG streams).
+  const auto a = topo.fleet(0).collect(50);
+  const auto b = topo.fleet(1).collect(50);
+  EXPECT_NE(a.total_energy.value(), b.total_energy.value());
+}
+
+}  // namespace
+}  // namespace eefei::net

@@ -1,0 +1,99 @@
+#include "ml/optimizer.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace eefei::ml {
+namespace {
+
+TEST(SgdOptimizer, SingleStep) {
+  SgdConfig cfg;
+  cfg.learning_rate = 0.1;
+  cfg.decay = 1.0;
+  SgdOptimizer opt(cfg);
+  std::vector<double> params{1.0, 2.0};
+  const std::vector<double> grad{0.5, -1.0};
+  opt.step(params, grad);
+  EXPECT_DOUBLE_EQ(params[0], 0.95);
+  EXPECT_DOUBLE_EQ(params[1], 2.1);
+  EXPECT_EQ(opt.steps_taken(), 1u);
+}
+
+TEST(SgdOptimizer, DecaySchedule) {
+  SgdConfig cfg;
+  cfg.learning_rate = 0.01;
+  cfg.decay = 0.99;  // the paper's schedule
+  SgdOptimizer opt(cfg);
+  EXPECT_DOUBLE_EQ(opt.learning_rate(), 0.01);
+  std::vector<double> p{0.0};
+  const std::vector<double> g{0.0};
+  for (int i = 0; i < 10; ++i) opt.step(p, g);
+  EXPECT_NEAR(opt.learning_rate(), 0.01 * std::pow(0.99, 10), 1e-15);
+}
+
+TEST(SgdOptimizer, AdvanceSchedule) {
+  SgdConfig cfg;
+  cfg.learning_rate = 0.01;
+  cfg.decay = 0.99;
+  SgdOptimizer opt(cfg);
+  opt.advance_schedule(100);
+  EXPECT_NEAR(opt.learning_rate(), 0.01 * std::pow(0.99, 100), 1e-15);
+}
+
+TEST(SgdOptimizer, Reset) {
+  SgdConfig cfg;
+  cfg.decay = 0.9;
+  SgdOptimizer opt(cfg);
+  std::vector<double> p{0.0};
+  opt.step(p, std::vector<double>{1.0});
+  opt.reset();
+  EXPECT_EQ(opt.steps_taken(), 0u);
+  EXPECT_DOUBLE_EQ(opt.learning_rate(), cfg.learning_rate);
+}
+
+TEST(SgdOptimizer, MomentumAccumulates) {
+  SgdConfig cfg;
+  cfg.learning_rate = 0.1;
+  cfg.decay = 1.0;
+  cfg.momentum = 0.9;
+  SgdOptimizer opt(cfg);
+  std::vector<double> p{0.0};
+  const std::vector<double> g{1.0};
+  opt.step(p, g);  // v = -0.1, p = -0.1
+  EXPECT_DOUBLE_EQ(p[0], -0.1);
+  opt.step(p, g);  // v = -0.19, p = -0.29
+  EXPECT_NEAR(p[0], -0.29, 1e-12);
+}
+
+TEST(SgdOptimizer, ConvergesOnQuadratic) {
+  // f(x) = (x − 3)², gradient 2(x − 3).
+  SgdConfig cfg;
+  cfg.learning_rate = 0.1;
+  cfg.decay = 1.0;
+  SgdOptimizer opt(cfg);
+  std::vector<double> x{10.0};
+  for (int i = 0; i < 200; ++i) {
+    const std::vector<double> g{2.0 * (x[0] - 3.0)};
+    opt.step(x, g);
+  }
+  EXPECT_NEAR(x[0], 3.0, 1e-6);
+}
+
+TEST(SgdOptimizer, MomentumConvergesOnQuadratic) {
+  SgdConfig cfg;
+  cfg.learning_rate = 0.05;
+  cfg.decay = 1.0;
+  cfg.momentum = 0.8;
+  SgdOptimizer opt(cfg);
+  std::vector<double> x{10.0};
+  for (int i = 0; i < 300; ++i) {
+    const std::vector<double> g{2.0 * (x[0] - 3.0)};
+    opt.step(x, g);
+  }
+  EXPECT_NEAR(x[0], 3.0, 1e-4);
+}
+
+}  // namespace
+}  // namespace eefei::ml

@@ -1,0 +1,90 @@
+#include "core/pareto.h"
+
+#include <gtest/gtest.h>
+
+namespace eefei::core {
+namespace {
+
+EnergyObjective reference_objective(double a1 = 0.005) {
+  energy::ConvergenceConstants c = energy::paper_reference_constants();
+  c.a1 = a1;
+  const ConvergenceBound bound(c, 0.05);
+  return EnergyObjective(bound, 7.79e-5 * 3000.0 + 3.34e-3, 0.381, 20);
+}
+
+RoundTimeModel reference_time_model() {
+  RoundTimeModel tm;
+  tm.samples_per_server = 3000;
+  return tm;
+}
+
+TEST(Pareto, FrontierIsNonDominatedAndSorted) {
+  const auto r = pareto_sweep(reference_objective(), reference_time_model());
+  ASSERT_TRUE(r.ok());
+  ASSERT_GE(r->frontier.size(), 2u);
+  for (std::size_t i = 1; i < r->frontier.size(); ++i) {
+    // Makespan increases along the frontier while energy strictly falls.
+    EXPECT_GE(r->frontier[i].makespan.value(),
+              r->frontier[i - 1].makespan.value());
+    EXPECT_LT(r->frontier[i].energy_j, r->frontier[i - 1].energy_j);
+  }
+}
+
+TEST(Pareto, NoPointDominatesAFrontierPoint) {
+  const auto r = pareto_sweep(reference_objective(), reference_time_model());
+  ASSERT_TRUE(r.ok());
+  for (const auto& f : r->frontier) {
+    for (const auto& p : r->points) {
+      const bool dominates = p.energy_j < f.energy_j - 1e-9 &&
+                             p.makespan.value() < f.makespan.value() - 1e-12;
+      EXPECT_FALSE(dominates)
+          << "(" << p.k << "," << p.e << ") dominates (" << f.k << "," << f.e
+          << ")";
+    }
+  }
+}
+
+TEST(Pareto, EnergyMinimizerIsOnTheFrontier) {
+  const auto obj = reference_objective();
+  const auto r = pareto_sweep(obj, reference_time_model());
+  ASSERT_TRUE(r.ok());
+  double best_energy = 1e18;
+  for (const auto& p : r->points) best_energy = std::min(best_energy, p.energy_j);
+  EXPECT_NEAR(r->frontier.back().energy_j, best_energy, 1e-9)
+      << "the frontier's cheapest point must be the global energy optimum";
+}
+
+TEST(Pareto, RoundDurationModel) {
+  RoundTimeModel tm;
+  tm.samples_per_server = 1000;
+  const Seconds d1 = tm.round_duration(1, 10);
+  const Seconds d2 = tm.round_duration(2, 10);
+  // Two servers add one more download + upload slot.
+  EXPECT_NEAR((d2 - d1).value(), (tm.download + tm.upload).value(), 1e-12);
+  const Seconds e2 = tm.round_duration(1, 20);
+  EXPECT_GT(e2.value(), d1.value());
+}
+
+TEST(Pareto, MaxEpochsCap) {
+  const auto r =
+      pareto_sweep(reference_objective(), reference_time_model(), 5);
+  ASSERT_TRUE(r.ok());
+  for (const auto& p : r->points) EXPECT_LE(p.e, 5u);
+}
+
+TEST(Pareto, InfeasibleProblem) {
+  const auto r =
+      pareto_sweep(reference_objective(5.0), reference_time_model());
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(Pareto, RenderShowsRows) {
+  const auto r = pareto_sweep(reference_objective(), reference_time_model());
+  ASSERT_TRUE(r.ok());
+  const std::string s = r->render_frontier(10);
+  EXPECT_NE(s.find("Pareto frontier"), std::string::npos);
+  EXPECT_NE(s.find("makespan_s"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace eefei::core

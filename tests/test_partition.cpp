@@ -1,0 +1,122 @@
+#include "data/partition.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "data/synth_digits.h"
+
+namespace eefei::data {
+namespace {
+
+Dataset make_data(std::size_t n) {
+  SynthDigitsConfig cfg;
+  cfg.image_side = 8;  // tiny images: partition tests only need labels
+  cfg.seed = 5;
+  SynthDigits gen(cfg);
+  return gen.generate(n);
+}
+
+TEST(PartitionIid, EqualSizes) {
+  const Dataset ds = make_data(1000);
+  Rng rng(1);
+  const auto shards = partition_iid(ds, 20, rng);
+  ASSERT_TRUE(shards.ok());
+  ASSERT_EQ(shards->size(), 20u);
+  for (const auto& s : shards.value()) EXPECT_EQ(s.size(), 50u);
+}
+
+TEST(PartitionIid, LowLabelSkew) {
+  const Dataset ds = make_data(4000);
+  Rng rng(2);
+  const auto shards = partition_iid(ds, 10, rng);
+  ASSERT_TRUE(shards.ok());
+  EXPECT_LT(label_skew(shards.value(), 10), 0.15);
+}
+
+TEST(PartitionIid, Errors) {
+  const Dataset ds = make_data(5);
+  Rng rng(3);
+  EXPECT_FALSE(partition_iid(ds, 0, rng).ok());
+  EXPECT_FALSE(partition_iid(ds, 10, rng).ok());
+}
+
+TEST(PartitionShards, SizesAndHighSkew) {
+  const Dataset ds = make_data(4000);
+  Rng rng(4);
+  const auto noniid = partition_shards(ds, 10, 2, rng);
+  ASSERT_TRUE(noniid.ok());
+  ASSERT_EQ(noniid->size(), 10u);
+  for (const auto& s : noniid.value()) EXPECT_EQ(s.size(), 400u);
+
+  Rng rng2(4);
+  const auto iid = partition_iid(ds, 10, rng2);
+  ASSERT_TRUE(iid.ok());
+  EXPECT_GT(label_skew(noniid.value(), 10), 2.0 * label_skew(iid.value(), 10))
+      << "shard partition must be markedly more skewed than IID";
+}
+
+TEST(PartitionShards, FewLabelsPerClient) {
+  const Dataset ds = make_data(4000);
+  Rng rng(5);
+  const auto shards = partition_shards(ds, 10, 2, rng);
+  ASSERT_TRUE(shards.ok());
+  for (const auto& s : shards.value()) {
+    const auto hist = s.class_histogram(10);
+    const std::size_t distinct = static_cast<std::size_t>(
+        std::count_if(hist.begin(), hist.end(),
+                      [](std::size_t c) { return c > 0; }));
+    // Two label-sorted shards touch at most 4 labels (boundary effects).
+    EXPECT_LE(distinct, 4u);
+  }
+}
+
+TEST(PartitionShards, Errors) {
+  const Dataset ds = make_data(10);
+  Rng rng(6);
+  EXPECT_FALSE(partition_shards(ds, 0, 2, rng).ok());
+  EXPECT_FALSE(partition_shards(ds, 10, 0, rng).ok());
+  EXPECT_FALSE(partition_shards(ds, 10, 5, rng).ok());
+}
+
+TEST(PartitionDirichlet, CoversAllExamples) {
+  const Dataset ds = make_data(2000);
+  Rng rng(7);
+  const auto shards = partition_dirichlet(ds, 8, 0.5, rng);
+  ASSERT_TRUE(shards.ok());
+  std::size_t total = 0;
+  for (const auto& s : shards.value()) total += s.size();
+  EXPECT_EQ(total, ds.size());
+}
+
+TEST(PartitionDirichlet, SkewDecreasesWithAlpha) {
+  const Dataset ds = make_data(6000);
+  Rng rng_a(8), rng_b(8);
+  const auto skewed = partition_dirichlet(ds, 10, 0.1, rng_a);
+  const auto mild = partition_dirichlet(ds, 10, 100.0, rng_b);
+  ASSERT_TRUE(skewed.ok());
+  ASSERT_TRUE(mild.ok());
+  EXPECT_GT(label_skew(skewed.value(), 10), label_skew(mild.value(), 10));
+  EXPECT_LT(label_skew(mild.value(), 10), 0.15);
+}
+
+TEST(PartitionDirichlet, Errors) {
+  const Dataset ds = make_data(100);
+  Rng rng(9);
+  EXPECT_FALSE(partition_dirichlet(ds, 0, 0.5, rng).ok());
+  EXPECT_FALSE(partition_dirichlet(ds, 5, 0.0, rng).ok());
+  EXPECT_FALSE(partition_dirichlet(ds, 5, -1.0, rng).ok());
+}
+
+TEST(LabelSkew, EdgeCases) {
+  EXPECT_DOUBLE_EQ(label_skew({}, 10), 0.0);
+  const Dataset ds = make_data(200);
+  Rng rng(10);
+  const auto one = partition_iid(ds, 1, rng);
+  ASSERT_TRUE(one.ok());
+  // One shard == global distribution: zero skew.
+  EXPECT_NEAR(label_skew(one.value(), 10), 0.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace eefei::data

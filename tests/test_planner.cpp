@@ -1,0 +1,126 @@
+#include "core/planner.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace eefei::core {
+namespace {
+
+TEST(Planner, DefaultPlanReproducesHeadlineResult) {
+  // The paper's headline: with IID data, K* = 1 and optimizing E cuts
+  // energy ≈ 49.8% versus the K=1, E=1 baseline.
+  EeFeiPlanner planner{PlannerInputs{}};
+  const auto plan = planner.plan();
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->k, 1u);
+  EXPECT_GT(plan->e, 5u);
+  EXPECT_LT(plan->e, 20u);
+  ASSERT_FALSE(plan->comparisons.empty());
+  const auto& naive = plan->comparisons.front();
+  EXPECT_EQ(naive.baseline.k, 1u);
+  EXPECT_EQ(naive.baseline.e, 1u);
+  EXPECT_NEAR(naive.savings, 0.498, 0.02);
+}
+
+TEST(Planner, PlanMatchesExhaustive) {
+  EeFeiPlanner planner{PlannerInputs{}};
+  const auto acs = planner.plan();
+  const auto grid = planner.plan_exhaustive();
+  ASSERT_TRUE(acs.ok());
+  ASSERT_TRUE(grid.ok());
+  EXPECT_LE(acs->predicted_energy_j, grid->predicted_energy_j * 1.02);
+}
+
+TEST(Planner, CustomBaselines) {
+  EeFeiPlanner planner{PlannerInputs{}};
+  const auto plan =
+      planner.plan({{"fig4 operating point", 10, 40}, {"impossible", 1, 500}});
+  ASSERT_TRUE(plan.ok());
+  ASSERT_EQ(plan->comparisons.size(), 2u);
+  EXPECT_TRUE(plan->comparisons[0].feasible);
+  EXPECT_GT(plan->comparisons[0].savings, 0.0);
+  EXPECT_FALSE(plan->comparisons[1].feasible);
+}
+
+TEST(Planner, CalibrateEnergyFromTimings) {
+  PlannerInputs inputs;
+  EeFeiPlanner planner(inputs);
+  // Synthetic device twice as slow as the Pi: c0/c1 double.
+  const energy::TrainingTimeModel slow{2.8054e-5, 1.203e-3};
+  std::vector<energy::TimingObservation> obs;
+  for (const std::size_t e : {10u, 20u, 40u}) {
+    for (const std::size_t n : {100u, 1000u, 2000u}) {
+      obs.push_back({e, n, slow.duration(e, n)});
+    }
+  }
+  ASSERT_TRUE(planner.calibrate_energy(obs, Watts{5.553}).ok());
+  EXPECT_NEAR(planner.inputs().energy.training.c0, 2.0 * 7.79e-5, 1e-6);
+}
+
+TEST(Planner, CalibrateConvergenceFromTraces) {
+  PlannerInputs inputs;
+  EeFeiPlanner planner(inputs);
+  const energy::ConvergenceConstants truth{60.0, 0.02, 3e-4};
+  std::vector<energy::ConvergenceObservation> obs;
+  for (const std::size_t k : {1u, 5u, 20u}) {
+    for (const std::size_t e : {1u, 20u, 60u}) {
+      for (const std::size_t t : {40u, 400u}) {
+        obs.push_back({k, e, t,
+                       truth.gap_bound(static_cast<double>(k),
+                                       static_cast<double>(e),
+                                       static_cast<double>(t))});
+      }
+    }
+  }
+  ASSERT_TRUE(planner.calibrate_convergence(obs).ok());
+  EXPECT_NEAR(planner.inputs().constants.a0, 60.0, 1e-6);
+  const auto plan = planner.plan();
+  ASSERT_TRUE(plan.ok());
+  EXPECT_GE(plan->k, 1u);
+}
+
+TEST(Planner, HigherVarianceRaisesKStar) {
+  PlannerInputs iid;
+  PlannerInputs noniid;
+  noniid.constants.a1 = 0.2;  // non-IID gradient variance
+  const auto plan_iid = EeFeiPlanner(iid).plan();
+  const auto plan_noniid = EeFeiPlanner(noniid).plan();
+  ASSERT_TRUE(plan_iid.ok());
+  ASSERT_TRUE(plan_noniid.ok());
+  EXPECT_GT(plan_noniid->k, plan_iid->k)
+      << "the paper's §VI-C: K*=1 is an artifact of IID data";
+}
+
+TEST(Planner, InfeasibleTargetRejected) {
+  PlannerInputs inputs;
+  inputs.epsilon = 1e-9;  // cannot beat A1/K even with K = N… (A1/N ≫ ε)
+  const auto plan = EeFeiPlanner(inputs).plan();
+  ASSERT_FALSE(plan.ok());
+  EXPECT_EQ(plan.error().code, Error::Code::kInfeasible);
+}
+
+TEST(Plan, RenderMentionsEverything) {
+  EeFeiPlanner planner{PlannerInputs{}};
+  const auto plan = planner.plan();
+  ASSERT_TRUE(plan.ok());
+  const std::string s = plan->render();
+  EXPECT_NE(s.find("K* = 1"), std::string::npos);
+  EXPECT_NE(s.find("predicted energy"), std::string::npos);
+  EXPECT_NE(s.find("naive K=1,E=1"), std::string::npos);
+  EXPECT_NE(s.find("savings"), std::string::npos);
+}
+
+TEST(Planner, TIsConsistentWithBound) {
+  EeFeiPlanner planner{PlannerInputs{}};
+  const auto plan = planner.plan();
+  ASSERT_TRUE(plan.ok());
+  const auto obj = planner.objective();
+  EXPECT_LE(obj.bound().gap_bound(static_cast<double>(plan->k),
+                                  static_cast<double>(plan->e),
+                                  static_cast<double>(plan->t)),
+            planner.inputs().epsilon + 1e-9);
+}
+
+}  // namespace
+}  // namespace eefei::core

@@ -1,0 +1,248 @@
+// Cross-module property sweeps: invariants that must hold across wide
+// parameter ranges, checked with parameterized gtest.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "core/acs.h"
+#include "core/closed_form.h"
+#include "core/convergence_bound.h"
+#include "ml/quantize.h"
+#include "sim/fei_system.h"
+
+namespace eefei {
+namespace {
+
+// ---------------------------------------------------------------------
+// Convergence-bound lattice properties over a family of constant sets.
+// ---------------------------------------------------------------------
+class BoundSweep
+    : public ::testing::TestWithParam<std::tuple<double, double, double>> {
+ protected:
+  [[nodiscard]] core::ConvergenceBound bound() const {
+    const auto [a0, a1, eps] = GetParam();
+    return core::ConvergenceBound(
+        energy::ConvergenceConstants{a0, a1, 5.6e-4}, eps);
+  }
+};
+
+TEST_P(BoundSweep, RoundsDecreaseInServers) {
+  const auto b = bound();
+  double prev_k = 1e18;
+  for (const double k : {1.0, 2.0, 5.0, 10.0, 20.0}) {
+    const auto t = b.optimal_rounds(k, 10.0);
+    if (!t.ok()) continue;
+    EXPECT_LE(t.value(), prev_k + 1e-9) << "T* must not grow with K";
+    prev_k = t.value();
+  }
+}
+
+TEST_P(BoundSweep, RoundsAreUnimodalInEpochs) {
+  // T*(E) = A0K/(slack·E) with slack linear-decreasing in E, so slack·E is
+  // concave with a single peak: T* falls, bottoms out at
+  // E = C4/(2·A2·K), then climbs toward the feasibility edge.  (The
+  // monotone-decrease regime of the paper's Fig. 4 is the left branch.)
+  const auto b = bound();
+  const double k = 10.0;
+  const auto e_max = b.max_feasible_epochs(k);
+  if (!e_max.has_value()) GTEST_SKIP();
+  std::vector<double> ts;
+  for (double e = 1.0; e < *e_max; e += 1.0) {
+    const auto t = b.optimal_rounds(k, e);
+    if (!t.ok()) break;
+    ts.push_back(t.value());
+  }
+  ASSERT_GE(ts.size(), 3u);
+  std::size_t direction_changes = 0;
+  bool decreasing = true;
+  for (std::size_t i = 1; i < ts.size(); ++i) {
+    const bool step_down = ts[i] <= ts[i - 1] + 1e-9;
+    if (decreasing && !step_down) {
+      decreasing = false;
+      ++direction_changes;
+    } else if (!decreasing) {
+      EXPECT_GE(ts[i], ts[i - 1] - 1e-9)
+          << "T*(E) dipped again after climbing at E=" << (i + 1);
+    }
+  }
+  EXPECT_LE(direction_changes, 1u);
+}
+
+TEST_P(BoundSweep, IntegerRoundingIsMinimal) {
+  const auto b = bound();
+  for (const double k : {1.0, 4.0, 16.0}) {
+    for (const double e : {1.0, 8.0, 32.0}) {
+      const auto t = b.optimal_rounds_int(k, e);
+      if (!t.ok()) continue;
+      const auto td = static_cast<double>(t.value());
+      EXPECT_LE(b.gap_bound(k, e, td), b.epsilon() + 1e-9);
+      if (t.value() > 1) {
+        EXPECT_GT(b.gap_bound(k, e, td - 1.0), b.epsilon() - 1e-9);
+      }
+    }
+  }
+}
+
+TEST_P(BoundSweep, FeasibilityBoundariesAreExact) {
+  const auto b = bound();
+  for (const double k : {1.0, 7.0, 20.0}) {
+    const auto e_max = b.max_feasible_epochs(k);
+    if (!e_max.has_value()) continue;
+    EXPECT_TRUE(b.feasible(k, *e_max * (1.0 - 1e-9)));
+    EXPECT_FALSE(b.feasible(k, *e_max * (1.0 + 1e-9)));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ConstantFamilies, BoundSweep,
+    ::testing::Combine(::testing::Values(10.0, 100.0, 500.0),   // A0
+                       ::testing::Values(0.001, 0.01, 0.05),    // A1
+                       ::testing::Values(0.03, 0.05, 0.1)));    // epsilon
+
+// ---------------------------------------------------------------------
+// Closed-form coordinate minimizers really minimize along their axis.
+// ---------------------------------------------------------------------
+class CoordinateOptimality : public ::testing::TestWithParam<double> {};
+
+TEST_P(CoordinateOptimality, KStarBeatsAllLatticeK) {
+  const double b1 = GetParam();
+  const core::ConvergenceBound bound(energy::paper_reference_constants(),
+                                     0.05);
+  const core::EnergyObjective obj(bound, 0.237, b1, 20);
+  for (const double e : {2.0, 10.0, 30.0}) {
+    const auto ks = core::k_star(obj, e);
+    if (!ks.ok()) continue;
+    const double best = obj.value(ks.value(), e).value();
+    for (double k = 1.0; k <= 20.0; k += 1.0) {
+      const auto v = obj.value(k, e);
+      if (!v.ok()) continue;
+      EXPECT_GE(v.value(), best - 1e-9)
+          << "k=" << k << " beats k*=" << ks.value() << " at e=" << e;
+    }
+  }
+}
+
+TEST_P(CoordinateOptimality, EStarBeatsAllLatticeE) {
+  const double b1 = GetParam();
+  const core::ConvergenceBound bound(energy::paper_reference_constants(),
+                                     0.05);
+  const core::EnergyObjective obj(bound, 0.237, b1, 20);
+  for (const double k : {1.0, 5.0, 15.0}) {
+    const auto es = core::e_star_exact(obj, k);
+    ASSERT_TRUE(es.ok());
+    const double best = obj.value(k, es.value()).value();
+    for (double e = 1.0; e <= 80.0; e += 1.0) {
+      const auto v = obj.value(k, e);
+      if (!v.ok()) continue;
+      EXPECT_GE(v.value(), best - 1e-9)
+          << "e=" << e << " beats e*=" << es.value() << " at k=" << k;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(CommCosts, CoordinateOptimality,
+                         ::testing::Values(0.02, 0.381, 3.0, 25.0));
+
+// ---------------------------------------------------------------------
+// Simulator invariants across seeds.
+// ---------------------------------------------------------------------
+class SimSeedSweep : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  [[nodiscard]] sim::FeiSystemConfig config() const {
+    auto cfg = sim::prototype_config();
+    cfg.num_servers = 5;
+    cfg.samples_per_server = 80;
+    cfg.test_samples = 150;
+    cfg.data.image_side = 12;
+    cfg.model.input_dim = 144;
+    cfg.sgd.learning_rate = 0.1;
+    cfg.fl.clients_per_round = 2;
+    cfg.fl.local_epochs = 4;
+    cfg.fl.max_rounds = 5;
+    cfg.seed = GetParam();
+    return cfg;
+  }
+};
+
+TEST_P(SimSeedSweep, LedgerAlwaysMatchesTimelines) {
+  sim::FeiSystem system(config());
+  const auto r = system.run();
+  ASSERT_TRUE(r.ok());
+  // Physical timelines and the ledger must agree on every billed state
+  // (waiting differs: the ledger bills queue-waits only, the timeline
+  // records all idle gaps).
+  for (const auto state :
+       {energy::EdgeState::kDownloading, energy::EdgeState::kTraining,
+        energy::EdgeState::kUploading}) {
+    double from_timelines = 0.0;
+    for (const auto& tl : r->timelines) {
+      from_timelines += tl.energy_in_state(state).value();
+    }
+    const auto category = [&] {
+      switch (state) {
+        case energy::EdgeState::kDownloading:
+          return energy::EnergyCategory::kDownload;
+        case energy::EdgeState::kTraining:
+          return energy::EnergyCategory::kTraining;
+        default:
+          return energy::EnergyCategory::kUpload;
+      }
+    }();
+    EXPECT_NEAR(from_timelines, r->ledger.category_total(category).value(),
+                std::max(1e-9, from_timelines * 1e-9))
+        << to_string(state) << " seed " << GetParam();
+  }
+}
+
+TEST_P(SimSeedSweep, TimelinesAreWellFormed) {
+  sim::FeiSystem system(config());
+  const auto r = system.run();
+  ASSERT_TRUE(r.ok());
+  for (const auto& tl : r->timelines) {
+    double cursor = 0.0;
+    for (const auto& iv : tl.intervals()) {
+      EXPECT_NEAR(iv.start.value(), cursor, 1e-9) << "gap in timeline";
+      EXPECT_GT(iv.duration.value(), 0.0);
+      cursor = iv.end().value();
+    }
+    EXPECT_LE(cursor, r->wall_clock.value() + 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimSeedSweep,
+                         ::testing::Values(1u, 2u, 3u, 17u, 99u));
+
+// ---------------------------------------------------------------------
+// Quantization error bound holds across random content and widths.
+// ---------------------------------------------------------------------
+class QuantSweep
+    : public ::testing::TestWithParam<std::tuple<unsigned, std::uint64_t>> {};
+
+TEST_P(QuantSweep, ErrorWithinHalfStep) {
+  const auto [bits, seed] = GetParam();
+  Rng rng(seed);
+  std::vector<double> params(257);
+  for (auto& p : params) p = rng.uniform(-2.0, 3.0);
+  const auto blob = ml::quantize_parameters(params, bits);
+  ASSERT_TRUE(blob.ok());
+  const auto restored = ml::dequantize_parameters(blob->bytes);
+  ASSERT_TRUE(restored.ok());
+  double lo = params[0], hi = params[0];
+  for (const double p : params) {
+    lo = std::min(lo, p);
+    hi = std::max(hi, p);
+  }
+  const double bound = ml::quantization_error_bound(lo, hi, bits);
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    ASSERT_LE(std::abs(restored.value()[i] - params[i]), bound * 1.0001);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    WidthsAndSeeds, QuantSweep,
+    ::testing::Combine(::testing::Values(4u, 8u, 16u),
+                       ::testing::Values(1u, 7u, 42u, 1234u)));
+
+}  // namespace
+}  // namespace eefei

@@ -1,0 +1,143 @@
+#include "ml/quantize.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.h"
+#include "ml/serialize.h"
+
+namespace eefei::ml {
+namespace {
+
+std::vector<double> random_params(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> p(n);
+  for (auto& v : p) v = rng.normal(0.0, 0.3);
+  return p;
+}
+
+class QuantizeBits : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(QuantizeBits, RoundTripWithinErrorBound) {
+  const unsigned bits = GetParam();
+  const auto params = random_params(1000, 1);
+  const auto blob = quantize_parameters(params, bits);
+  ASSERT_TRUE(blob.ok());
+  const auto restored = dequantize_parameters(blob->bytes);
+  ASSERT_TRUE(restored.ok());
+  ASSERT_EQ(restored->size(), params.size());
+
+  double lo = params[0], hi = params[0];
+  for (const double p : params) {
+    lo = std::min(lo, p);
+    hi = std::max(hi, p);
+  }
+  const double bound = quantization_error_bound(lo, hi, bits);
+  ASSERT_GT(bound, 0.0);
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    // Half-step bound plus rounding slack.
+    ASSERT_LE(std::abs(restored.value()[i] - params[i]), bound * 1.0001)
+        << "param " << i << " bits " << bits;
+  }
+}
+
+TEST_P(QuantizeBits, WireSizeMatches) {
+  const unsigned bits = GetParam();
+  const auto params = random_params(777, 2);
+  const auto blob = quantize_parameters(params, bits);
+  ASSERT_TRUE(blob.ok());
+  EXPECT_EQ(blob->size_bytes(), quantized_wire_size(777, bits));
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, QuantizeBits,
+                         ::testing::Values(4u, 8u, 16u));
+
+TEST(Quantize, ErrorShrinksWithMoreBits) {
+  const auto params = random_params(2000, 3);
+  double prev_err = 1e18;
+  for (const unsigned bits : {4u, 8u, 16u}) {
+    const auto blob = quantize_parameters(params, bits);
+    ASSERT_TRUE(blob.ok());
+    const auto restored = dequantize_parameters(blob->bytes);
+    ASSERT_TRUE(restored.ok());
+    double err = 0;
+    for (std::size_t i = 0; i < params.size(); ++i) {
+      err += std::abs(restored.value()[i] - params[i]);
+    }
+    EXPECT_LT(err, prev_err);
+    prev_err = err;
+  }
+}
+
+TEST(Quantize, EightBitBlobMuchSmallerThanFloat) {
+  // 7850 params: float32 blob ≈ 31.4 kB, 8-bit ≈ 7.9 kB.
+  EXPECT_LT(quantized_wire_size(7850, 8), wire_size(7850) / 3);
+  EXPECT_LT(quantized_wire_size(7850, 4), wire_size(7850) / 7);
+}
+
+TEST(Quantize, ConstantVectorSurvives) {
+  const std::vector<double> params(100, 0.75);
+  const auto blob = quantize_parameters(params, 8);
+  ASSERT_TRUE(blob.ok());
+  const auto restored = dequantize_parameters(blob->bytes);
+  ASSERT_TRUE(restored.ok());
+  for (const double v : restored.value()) {
+    ASSERT_DOUBLE_EQ(v, 0.75);
+  }
+}
+
+TEST(Quantize, EmptyVector) {
+  const auto blob = quantize_parameters({}, 8);
+  ASSERT_TRUE(blob.ok());
+  const auto restored = dequantize_parameters(blob->bytes);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_TRUE(restored->empty());
+}
+
+TEST(Quantize, RejectsBadWidths) {
+  const auto params = random_params(10, 4);
+  EXPECT_FALSE(quantize_parameters(params, 3).ok());
+  EXPECT_FALSE(quantize_parameters(params, 0).ok());
+  EXPECT_FALSE(quantize_parameters(params, 32).ok());
+}
+
+TEST(Quantize, DetectsCorruption) {
+  const auto params = random_params(50, 5);
+  auto blob = quantize_parameters(params, 8).value();
+  blob.bytes[blob.bytes.size() / 2] ^= 0x55;
+  EXPECT_FALSE(dequantize_parameters(blob.bytes).ok());
+}
+
+TEST(Quantize, RoundtripHelperInPlace) {
+  auto params = random_params(64, 6);
+  const auto original = params;
+  ASSERT_TRUE(quantize_roundtrip(params, 8).ok());
+  bool changed = false;
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    if (params[i] != original[i]) changed = true;
+  }
+  EXPECT_TRUE(changed);
+  // bits = 32 is a no-op.
+  auto copy = original;
+  ASSERT_TRUE(quantize_roundtrip(copy, 32).ok());
+  EXPECT_EQ(copy, original);
+}
+
+TEST(Quantize, ErrorBoundFormula) {
+  // 8 bits over [0, 255]: step = 1, bound = 0.5.
+  EXPECT_DOUBLE_EQ(quantization_error_bound(0.0, 255.0, 8), 0.5);
+  EXPECT_DOUBLE_EQ(quantization_error_bound(1.0, 1.0, 8), 0.0);
+}
+
+TEST(Quantize, FourBitPackingDensity) {
+  // 9 values at 4 bits = 4.5 bytes → 5 payload bytes.
+  const auto blob = quantize_parameters(random_params(9, 7), 4);
+  ASSERT_TRUE(blob.ok());
+  EXPECT_EQ(blob->size_bytes(), quantized_wire_size(9, 4));
+  EXPECT_EQ(quantized_wire_size(9, 4) - quantized_wire_size(0, 4), 5u);
+}
+
+}  // namespace
+}  // namespace eefei::ml

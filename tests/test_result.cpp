@@ -1,0 +1,77 @@
+#include "common/result.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace eefei {
+namespace {
+
+Result<int> parse_positive(int v) {
+  if (v <= 0) return Error::invalid_argument("not positive");
+  return v;
+}
+
+TEST(Result, HoldsValue) {
+  const Result<int> r = parse_positive(5);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 5);
+  EXPECT_EQ(*r, 5);
+}
+
+TEST(Result, HoldsError) {
+  const Result<int> r = parse_positive(-1);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code, Error::Code::kInvalidArgument);
+  EXPECT_EQ(r.error().message, "not positive");
+}
+
+TEST(Result, ValueOr) {
+  EXPECT_EQ(parse_positive(3).value_or(0), 3);
+  EXPECT_EQ(parse_positive(-3).value_or(42), 42);
+}
+
+TEST(Result, MoveOut) {
+  Result<std::string> r = std::string("hello world");
+  const std::string s = std::move(r).value();
+  EXPECT_EQ(s, "hello world");
+}
+
+TEST(Result, BoolConversion) {
+  EXPECT_TRUE(static_cast<bool>(parse_positive(1)));
+  EXPECT_FALSE(static_cast<bool>(parse_positive(0)));
+}
+
+TEST(Status, Success) {
+  const Status s = Status::success();
+  EXPECT_TRUE(s.ok());
+}
+
+TEST(Status, Failure) {
+  const Status s = Error::io_error("disk on fire");
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.error().code, Error::Code::kIoError);
+}
+
+TEST(ErrorCode, ToString) {
+  EXPECT_STREQ(to_string(Error::Code::kInfeasible), "infeasible");
+  EXPECT_STREQ(to_string(Error::Code::kNotConverged), "not_converged");
+  EXPECT_STREQ(to_string(Error::Code::kInsufficientData),
+               "insufficient_data");
+  EXPECT_STREQ(to_string(Error::Code::kParseError), "parse_error");
+  EXPECT_STREQ(to_string(Error::Code::kInternal), "internal");
+  EXPECT_STREQ(to_string(Error::Code::kInvalidArgument), "invalid_argument");
+  EXPECT_STREQ(to_string(Error::Code::kIoError), "io_error");
+}
+
+TEST(ErrorFactories, CarryCodes) {
+  EXPECT_EQ(Error::infeasible("x").code, Error::Code::kInfeasible);
+  EXPECT_EQ(Error::not_converged("x").code, Error::Code::kNotConverged);
+  EXPECT_EQ(Error::insufficient_data("x").code,
+            Error::Code::kInsufficientData);
+  EXPECT_EQ(Error::parse_error("x").code, Error::Code::kParseError);
+  EXPECT_EQ(Error::internal("x").code, Error::Code::kInternal);
+}
+
+}  // namespace
+}  // namespace eefei

@@ -1,0 +1,85 @@
+#include "core/sensitivity.h"
+
+#include <gtest/gtest.h>
+
+namespace eefei::core {
+namespace {
+
+TEST(Sensitivity, ReportCoversAllParameters) {
+  const auto report = analyze_sensitivity(PlannerInputs{}, 0.2);
+  ASSERT_TRUE(report.ok());
+  // 6 parameters × 2 directions.
+  EXPECT_EQ(report->entries.size(), 12u);
+  std::size_t feasible = 0;
+  for (const auto& e : report->entries) {
+    if (e.feasible) {
+      ++feasible;
+      EXPECT_GE(e.k_star, 1u);
+      EXPECT_GE(e.e_star, 1u);
+      EXPECT_GT(e.energy_j, 0.0);
+      EXPECT_GE(e.regret, -1e-9) << e.parameter
+          << ": re-optimized energy can never exceed the nominal plan's";
+    }
+  }
+  EXPECT_GE(feasible, 10u);
+}
+
+TEST(Sensitivity, NominalMatchesPlanner) {
+  const PlannerInputs inputs;
+  const auto report = analyze_sensitivity(inputs, 0.1);
+  ASSERT_TRUE(report.ok());
+  const auto plan = EeFeiPlanner(inputs).plan();
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(report->nominal.k, plan->k);
+  EXPECT_EQ(report->nominal.e, plan->e);
+  EXPECT_DOUBLE_EQ(report->nominal.predicted_energy_j,
+                   plan->predicted_energy_j);
+}
+
+TEST(Sensitivity, ReferencePlanIsRobust) {
+  // At the paper's calibration, a ±20% error in any single constant costs
+  // the nominal plan only a few percent — the biconvex bowl is shallow
+  // near its minimum.
+  const auto report = analyze_sensitivity(PlannerInputs{}, 0.2);
+  ASSERT_TRUE(report.ok());
+  EXPECT_LT(report->worst_regret(), 0.10);
+}
+
+TEST(Sensitivity, LargerPerturbationsLargerRegret) {
+  const auto small = analyze_sensitivity(PlannerInputs{}, 0.05);
+  const auto large = analyze_sensitivity(PlannerInputs{}, 0.5);
+  ASSERT_TRUE(small.ok());
+  ASSERT_TRUE(large.ok());
+  EXPECT_LE(small->worst_regret(), large->worst_regret() + 1e-12);
+}
+
+TEST(Sensitivity, EpsilonDominatesTheRoundCount) {
+  // Tightening ε raises T* sharply: the −20% epsilon entry must have a
+  // larger T* than the nominal plan.
+  const auto report = analyze_sensitivity(PlannerInputs{}, 0.2);
+  ASSERT_TRUE(report.ok());
+  for (const auto& e : report->entries) {
+    if (e.parameter == "epsilon" && e.perturbation < 0 && e.feasible) {
+      EXPECT_GT(e.t_star, report->nominal.t);
+    }
+  }
+}
+
+TEST(Sensitivity, InfeasibleNominalRejected) {
+  PlannerInputs inputs;
+  inputs.epsilon = 1e-9;
+  EXPECT_FALSE(analyze_sensitivity(inputs).ok());
+}
+
+TEST(Sensitivity, RenderMentionsParameters) {
+  const auto report = analyze_sensitivity(PlannerInputs{}, 0.2);
+  ASSERT_TRUE(report.ok());
+  const std::string s = report->render();
+  for (const char* p : {"A0", "A1", "A2", "B0", "B1", "epsilon",
+                        "worst-case regret"}) {
+    EXPECT_NE(s.find(p), std::string::npos) << p;
+  }
+}
+
+}  // namespace
+}  // namespace eefei::core

@@ -1,0 +1,157 @@
+#include "fl/server_optimizer.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/partition.h"
+#include "data/synth_digits.h"
+#include "fl/coordinator.h"
+
+namespace eefei::fl {
+namespace {
+
+TEST(ServerOptimizer, AverageWithUnitLrAdoptsTheAverage) {
+  ServerOptimizer opt(ServerOptimizerConfig{});  // kAverage, lr = 1.0
+  std::vector<double> global{1.0, 2.0, 3.0};
+  const std::vector<double> avg{0.5, 2.5, 2.0};
+  opt.step(global, avg);
+  EXPECT_EQ(global, avg);  // exactly Eq. 2
+}
+
+TEST(ServerOptimizer, AverageWithDampedLrInterpolates) {
+  ServerOptimizerConfig cfg;
+  cfg.learning_rate = 0.5;
+  ServerOptimizer opt(cfg);
+  std::vector<double> global{2.0};
+  opt.step(global, std::vector<double>{0.0});
+  EXPECT_DOUBLE_EQ(global[0], 1.0);
+}
+
+TEST(ServerOptimizer, MomentumAccumulatesAcrossRounds) {
+  ServerOptimizerConfig cfg;
+  cfg.rule = ServerRule::kFedAvgM;
+  cfg.learning_rate = 1.0;
+  cfg.momentum = 0.5;
+  ServerOptimizer opt(cfg);
+  std::vector<double> global{1.0};
+  // Round 1: delta = 1 − 0 = 1; buffer = 1; global = 0.
+  opt.step(global, std::vector<double>{0.0});
+  EXPECT_DOUBLE_EQ(global[0], 0.0);
+  // Round 2: avg = global ⇒ delta = 0, but the buffer keeps pushing:
+  // buffer = 0.5; global = −0.5.
+  opt.step(global, std::vector<double>{0.0});
+  EXPECT_DOUBLE_EQ(global[0], -0.5);
+}
+
+TEST(ServerOptimizer, AdamNormalizesStepSize) {
+  ServerOptimizerConfig cfg;
+  cfg.rule = ServerRule::kFedAdam;
+  cfg.learning_rate = 0.1;
+  ServerOptimizer opt(cfg);
+  // Large and small coordinate deltas produce comparable step magnitudes
+  // (Adam's per-coordinate normalization).
+  std::vector<double> global{10.0, 0.01};
+  const std::vector<double> avg{0.0, 0.0};
+  opt.step(global, avg);
+  const double step_large = 10.0 - global[0];
+  const double step_small = 0.01 - global[1];
+  EXPECT_GT(step_large, 0.0);
+  EXPECT_GT(step_small, 0.0);
+  EXPECT_LT(step_large / step_small, 20.0)
+      << "Adam should damp the 1000x delta ratio";
+}
+
+TEST(ServerOptimizer, ResetClearsState) {
+  ServerOptimizerConfig cfg;
+  cfg.rule = ServerRule::kFedAvgM;
+  ServerOptimizer opt(cfg);
+  std::vector<double> global{1.0};
+  opt.step(global, std::vector<double>{0.0});
+  opt.reset();
+  EXPECT_EQ(opt.steps_taken(), 0u);
+  std::vector<double> g2{1.0};
+  opt.step(g2, std::vector<double>{0.0});
+  EXPECT_DOUBLE_EQ(g2[0], 0.0);  // no stale momentum
+}
+
+// End-to-end: FedAvgM in the coordinator — plain averaging with lr 1.0
+// must be bit-identical to the default path, and momentum must converge.
+struct World {
+  data::Dataset train;
+  data::Dataset test;
+  std::vector<data::Shard> shards;
+  std::vector<Client> clients;
+
+  World() {
+    data::SynthDigitsConfig dcfg;
+    dcfg.image_side = 12;
+    dcfg.seed = 81;
+    data::SynthDigits gen(dcfg);
+    train = gen.generate(4 * 60);
+    test = gen.generate(200);
+    Rng rng(82);
+    shards = data::partition_iid(train, 4, rng).value();
+    ClientConfig ccfg;
+    ccfg.model.input_dim = 144;
+    ccfg.sgd.learning_rate = 0.1;
+    for (std::size_t k = 0; k < 4; ++k) {
+      clients.emplace_back(k, &shards[k], ccfg);
+    }
+  }
+};
+
+TEST(ServerOptimizerFl, DefaultRuleMatchesPlainFedAvg) {
+  World a, b;
+  CoordinatorConfig cfg;
+  cfg.clients_per_round = 2;
+  cfg.local_epochs = 3;
+  cfg.max_rounds = 8;
+  Coordinator plain(&a.clients, &a.test, cfg,
+                    std::make_unique<RoundRobinSelection>());
+  cfg.server_optimizer.rule = ServerRule::kAverage;
+  cfg.server_optimizer.learning_rate = 1.0;
+  Coordinator explicit_avg(&b.clients, &b.test, cfg,
+                           std::make_unique<RoundRobinSelection>());
+  const auto ra = plain.run();
+  const auto rb = explicit_avg.run();
+  ASSERT_TRUE(ra.ok());
+  ASSERT_TRUE(rb.ok());
+  EXPECT_EQ(ra->final_params, rb->final_params);
+}
+
+TEST(ServerOptimizerFl, MomentumConverges) {
+  World w;
+  CoordinatorConfig cfg;
+  cfg.clients_per_round = 2;
+  cfg.local_epochs = 3;
+  cfg.max_rounds = 30;
+  cfg.server_optimizer.rule = ServerRule::kFedAvgM;
+  cfg.server_optimizer.momentum = 0.6;
+  Coordinator coord(&w.clients, &w.test, cfg,
+                    std::make_unique<UniformRandomSelection>(Rng(3)));
+  const auto r = coord.run();
+  ASSERT_TRUE(r.ok());
+  EXPECT_LT(r->record.last().global_loss,
+            r->record.round(0).global_loss * 0.7);
+  EXPECT_GT(r->record.last().test_accuracy, 0.55);
+}
+
+TEST(ServerOptimizerFl, AdamConverges) {
+  World w;
+  CoordinatorConfig cfg;
+  cfg.clients_per_round = 2;
+  cfg.local_epochs = 3;
+  cfg.max_rounds = 30;
+  cfg.server_optimizer.rule = ServerRule::kFedAdam;
+  cfg.server_optimizer.learning_rate = 0.05;
+  Coordinator coord(&w.clients, &w.test, cfg,
+                    std::make_unique<UniformRandomSelection>(Rng(4)));
+  const auto r = coord.run();
+  ASSERT_TRUE(r.ok());
+  EXPECT_LT(r->record.last().global_loss, r->record.round(0).global_loss);
+  EXPECT_GT(r->record.last().test_accuracy, 0.5);
+}
+
+}  // namespace
+}  // namespace eefei::fl

@@ -1,0 +1,155 @@
+#include "common/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace eefei {
+namespace {
+
+TEST(RunningStats, BasicMoments) {
+  RunningStats s;
+  for (const double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(v);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // unbiased
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStats, EmptyAndSingle) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  s.add(3.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStats, MergeMatchesSequential) {
+  Rng rng(1);
+  RunningStats all, a, b;
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.normal(3.0, 2.0);
+    all.add(v);
+    (i % 2 == 0 ? a : b).add(v);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-10);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-8);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStats, MergeWithEmpty) {
+  RunningStats a, b;
+  a.add(1.0);
+  a.add(2.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  b.merge(a);
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_DOUBLE_EQ(b.mean(), 1.5);
+}
+
+TEST(KahanSum, RecoversSmallIncrements) {
+  KahanSum sum;
+  sum.add(1e16);
+  for (int i = 0; i < 10000; ++i) sum.add(1.0);
+  sum.add(-1e16);
+  EXPECT_DOUBLE_EQ(sum.value(), 10000.0);
+}
+
+TEST(Percentile, Basics) {
+  const std::vector<double> v{5.0, 1.0, 3.0, 2.0, 4.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 1.0), 5.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 0.5), 3.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 0.25), 2.0);
+}
+
+TEST(Percentile, EmptyIsNaN) {
+  EXPECT_TRUE(std::isnan(percentile({}, 0.5)));
+}
+
+TEST(FitLine, ExactLine) {
+  const std::vector<double> x{1, 2, 3, 4, 5};
+  const std::vector<double> y{3, 5, 7, 9, 11};  // y = 2x + 1
+  const auto fit = fit_line(x, y);
+  ASSERT_TRUE(fit.ok());
+  EXPECT_NEAR(fit->slope, 2.0, 1e-12);
+  EXPECT_NEAR(fit->intercept, 1.0, 1e-12);
+  EXPECT_NEAR(fit->r_squared, 1.0, 1e-12);
+}
+
+TEST(FitLine, NoisyLine) {
+  Rng rng(5);
+  std::vector<double> x, y;
+  for (int i = 0; i < 500; ++i) {
+    const double xv = static_cast<double>(i);
+    x.push_back(xv);
+    y.push_back(0.5 * xv - 7.0 + rng.normal(0.0, 1.0));
+  }
+  const auto fit = fit_line(x, y);
+  ASSERT_TRUE(fit.ok());
+  EXPECT_NEAR(fit->slope, 0.5, 0.01);
+  EXPECT_NEAR(fit->intercept, -7.0, 1.0);
+  EXPECT_GT(fit->r_squared, 0.99);
+}
+
+TEST(FitLine, Errors) {
+  EXPECT_FALSE(fit_line(std::vector<double>{1.0},
+                        std::vector<double>{2.0}).ok());
+  EXPECT_FALSE(fit_line(std::vector<double>{1.0, 2.0},
+                        std::vector<double>{2.0}).ok());
+  // Degenerate: all x equal.
+  EXPECT_FALSE(fit_line(std::vector<double>{3.0, 3.0, 3.0},
+                        std::vector<double>{1.0, 2.0, 3.0}).ok());
+}
+
+TEST(Ols, RecoversPlane) {
+  // y = 2a − 3b + 0.5c, exact.
+  std::vector<double> x, y;
+  Rng rng(6);
+  for (int i = 0; i < 50; ++i) {
+    const double a = rng.uniform(-5, 5);
+    const double b = rng.uniform(-5, 5);
+    const double c = rng.uniform(-5, 5);
+    x.insert(x.end(), {a, b, c});
+    y.push_back(2.0 * a - 3.0 * b + 0.5 * c);
+  }
+  const auto beta = ols(x, 3, y);
+  ASSERT_TRUE(beta.ok());
+  EXPECT_NEAR(beta.value()[0], 2.0, 1e-9);
+  EXPECT_NEAR(beta.value()[1], -3.0, 1e-9);
+  EXPECT_NEAR(beta.value()[2], 0.5, 1e-9);
+}
+
+TEST(Ols, Errors) {
+  EXPECT_FALSE(ols(std::vector<double>{1, 2, 3}, 0,
+                   std::vector<double>{1.0}).ok());
+  EXPECT_FALSE(ols(std::vector<double>{1, 2, 3}, 2,
+                   std::vector<double>{1.0}).ok());
+  // Underdetermined: 2 rows, 3 cols.
+  EXPECT_FALSE(ols(std::vector<double>{1, 2, 3, 4, 5, 6}, 3,
+                   std::vector<double>{1.0, 2.0}).ok());
+  // Singular: duplicated column.
+  EXPECT_FALSE(ols(std::vector<double>{1, 1, 2, 2, 3, 3, 4, 4}, 2,
+                   std::vector<double>{1, 2, 3, 4}).ok());
+}
+
+TEST(RSquared, PerfectAndPoor) {
+  const std::vector<double> obs{1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(r_squared(obs, obs), 1.0);
+  const std::vector<double> bad{4, 3, 2, 1};
+  EXPECT_LT(r_squared(bad, obs), 0.0);  // worse than the mean predictor
+}
+
+}  // namespace
+}  // namespace eefei

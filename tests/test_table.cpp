@@ -1,0 +1,58 @@
+#include "common/table.h"
+
+#include <algorithm>
+#include <gtest/gtest.h>
+
+namespace eefei {
+namespace {
+
+TEST(AsciiTable, RendersHeaderSeparatorRows) {
+  AsciiTable t({"E", "n_k", "time_s"});
+  t.add_row({10.0, 100.0, 0.0197});
+  t.add_row({40.0, 2000.0, 1.1451});
+  const std::string s = t.render();
+  EXPECT_NE(s.find("| E "), std::string::npos);
+  EXPECT_NE(s.find("0.0197"), std::string::npos);
+  EXPECT_NE(s.find("1.1451"), std::string::npos);
+  // header + separator + 2 rows = 4 lines
+  EXPECT_EQ(std::count(s.begin(), s.end(), '\n'), 4);
+}
+
+TEST(AsciiTable, PadsShortRows) {
+  AsciiTable t({"a", "b", "c"});
+  t.add_row(std::vector<std::string>{"only"});
+  const std::string s = t.render();
+  EXPECT_NE(s.find("only"), std::string::npos);
+}
+
+TEST(AsciiTable, ColumnsAligned) {
+  AsciiTable t({"x", "longheader"});
+  t.add_row(std::vector<std::string>{"verylongvalue", "1"});
+  const std::string s = t.render();
+  // Every line has the same length.
+  std::size_t pos = 0, first_len = std::string::npos;
+  while (pos < s.size()) {
+    const auto nl = s.find('\n', pos);
+    const std::size_t len = nl - pos;
+    if (first_len == std::string::npos) first_len = len;
+    EXPECT_EQ(len, first_len);
+    pos = nl + 1;
+  }
+}
+
+TEST(FormatDouble, SignificantDigits) {
+  EXPECT_EQ(format_double(3.14159265, 3), "3.14");
+  EXPECT_EQ(format_double(1e-7, 6), "1e-07");
+  EXPECT_EQ(format_double(42.0), "42");
+}
+
+TEST(AsciiTable, RowCount) {
+  AsciiTable t({"a"});
+  EXPECT_EQ(t.row_count(), 0u);
+  t.add_row(std::vector<double>{1.0});
+  t.add_row(std::vector<double>{2.0});
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+}  // namespace
+}  // namespace eefei

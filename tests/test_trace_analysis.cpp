@@ -1,0 +1,154 @@
+#include "energy/trace_analysis.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace eefei::energy {
+namespace {
+
+PowerStateTimeline four_step_timeline() {
+  PowerStateTimeline tl;
+  tl.push(EdgeState::kWaiting, Seconds{0.3});
+  tl.push(EdgeState::kDownloading, Seconds{0.1});
+  tl.push(EdgeState::kTraining, Seconds{1.2});
+  tl.push(EdgeState::kUploading, Seconds{0.15});
+  tl.push(EdgeState::kWaiting, Seconds{0.2});
+  return tl;
+}
+
+TEST(SegmentTrace, RecoversCleanSteps) {
+  const auto tl = four_step_timeline();
+  PowerMeter meter{MeterConfig{}};
+  const auto trace = meter.capture(tl);
+  const auto segments = segment_trace(trace, tl.profile());
+  ASSERT_TRUE(segments.ok());
+  ASSERT_EQ(segments->size(), 5u);
+  const EdgeState expected[] = {EdgeState::kWaiting, EdgeState::kDownloading,
+                                EdgeState::kTraining, EdgeState::kUploading,
+                                EdgeState::kWaiting};
+  const double durations[] = {0.3, 0.1, 1.2, 0.15, 0.2};
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(segments.value()[i].state, expected[i]) << "segment " << i;
+    EXPECT_NEAR(segments.value()[i].duration.value(), durations[i], 0.01)
+        << "segment " << i;
+  }
+}
+
+TEST(SegmentTrace, RobustToMeterNoise) {
+  const auto tl = four_step_timeline();
+  MeterConfig mcfg;
+  mcfg.noise_stddev_watts = 0.06;
+  mcfg.seed = 5;
+  PowerMeter meter(mcfg);
+  const auto trace = meter.capture(tl);
+  const auto segments = segment_trace(trace, tl.profile());
+  ASSERT_TRUE(segments.ok());
+  // Noise may fragment steps slightly, but the classified state sequence
+  // after coalescing must still be the 5-step pattern.
+  ASSERT_EQ(segments->size(), 5u);
+  EXPECT_EQ(segments.value()[2].state, EdgeState::kTraining);
+  EXPECT_NEAR(segments.value()[2].mean_power.value(), 5.553, 0.05);
+  EXPECT_NEAR(segments.value()[2].duration.value(), 1.2, 0.03);
+}
+
+TEST(SegmentTrace, EmptyTraceRejected) {
+  const PowerTrace empty;
+  EXPECT_FALSE(segment_trace(empty, DevicePowerProfile{}).ok());
+}
+
+TEST(SegmentTrace, SingleStateTrace) {
+  PowerStateTimeline tl;
+  tl.push(EdgeState::kTraining, Seconds{0.5});
+  PowerMeter meter{MeterConfig{}};
+  const auto segments = segment_trace(meter.capture(tl), tl.profile());
+  ASSERT_TRUE(segments.ok());
+  ASSERT_EQ(segments->size(), 1u);
+  EXPECT_EQ(segments->front().state, EdgeState::kTraining);
+}
+
+TEST(SummarizeSegments, PerStateAggregates) {
+  const auto tl = four_step_timeline();
+  PowerMeter meter{MeterConfig{}};
+  const auto segments = segment_trace(meter.capture(tl), tl.profile());
+  ASSERT_TRUE(segments.ok());
+  const auto stats = summarize_segments(segments.value());
+  ASSERT_EQ(stats.size(), kNumEdgeStates);
+  const auto& waiting = stats[static_cast<std::size_t>(EdgeState::kWaiting)];
+  EXPECT_EQ(waiting.occurrences, 2u);
+  EXPECT_NEAR(waiting.total_time.value(), 0.5, 0.02);
+  EXPECT_NEAR(waiting.mean_power.value(), 3.6, 0.02);
+  const auto& train = stats[static_cast<std::size_t>(EdgeState::kTraining)];
+  EXPECT_EQ(train.occurrences, 1u);
+  EXPECT_NEAR(train.total_energy.value(), 5.553 * 1.2, 0.1);
+}
+
+TEST(TrainingDurations, ExtractsOnlyTrainingSegments) {
+  const auto tl = four_step_timeline();
+  PowerMeter meter{MeterConfig{}};
+  const auto segments = segment_trace(meter.capture(tl), tl.profile());
+  ASSERT_TRUE(segments.ok());
+  const auto obs = training_durations(segments.value(), 40, 1000);
+  ASSERT_EQ(obs.size(), 1u);
+  EXPECT_EQ(obs[0].epochs, 40u);
+  EXPECT_EQ(obs[0].samples, 1000u);
+  EXPECT_NEAR(obs[0].duration.value(), 1.2, 0.01);
+}
+
+// The §VI-B pipeline end-to-end: meter → segment → extract → fit, and the
+// recovered (c0, c1) must match the ground-truth timing model that
+// generated the traces.
+TEST(CalibrateFromTraces, RecoversGroundTruthCoefficients) {
+  const TrainingTimeModel truth;  // the Pi's calibrated model
+  const std::vector<std::pair<std::size_t, std::size_t>> grid = {
+      {10, 100}, {10, 500}, {10, 1000}, {10, 2000},
+      {20, 100}, {20, 500}, {20, 1000}, {20, 2000},
+      {40, 100}, {40, 500}, {40, 1000}, {40, 2000},
+  };
+  MeterConfig mcfg;  // clean 1 kHz meter
+  const auto result = calibrate_from_traces(grid, truth,
+                                            DevicePowerProfile{}, mcfg);
+  ASSERT_TRUE(result.ok()) << result.error().message;
+  EXPECT_EQ(result->observations.size(), grid.size());
+  // 1 kHz quantization limits precision to ~1 ms per measurement; the
+  // least-squares fit over 12 points recovers c0 within ~3%.
+  EXPECT_NEAR(result->fit.energy.c0, 7.79e-5, 3e-6);
+  EXPECT_GT(result->fit.r_squared, 0.99);
+}
+
+TEST(CalibrateFromTraces, WorksWithNoisyMeter) {
+  const TrainingTimeModel truth;
+  const std::vector<std::pair<std::size_t, std::size_t>> grid = {
+      {10, 500}, {10, 2000}, {20, 500}, {20, 2000}, {40, 500}, {40, 2000},
+  };
+  MeterConfig mcfg;
+  mcfg.noise_stddev_watts = 0.05;
+  mcfg.dropout_prob = 0.01;
+  mcfg.seed = 11;
+  const auto result = calibrate_from_traces(grid, truth,
+                                            DevicePowerProfile{}, mcfg);
+  ASSERT_TRUE(result.ok()) << result.error().message;
+  EXPECT_NEAR(result->fit.energy.c0, 7.79e-5, 6e-6);
+}
+
+TEST(RenderSegments, ContainsStates) {
+  const auto tl = four_step_timeline();
+  PowerMeter meter{MeterConfig{}};
+  const auto segments = segment_trace(meter.capture(tl), tl.profile());
+  ASSERT_TRUE(segments.ok());
+  const std::string s = render_segments(segments.value());
+  EXPECT_NE(s.find("training"), std::string::npos);
+  EXPECT_NE(s.find("uploading"), std::string::npos);
+}
+
+TEST(SegmentTrace, InvalidConfigRejected) {
+  const auto tl = four_step_timeline();
+  PowerMeter meter{MeterConfig{}};
+  const auto trace = meter.capture(tl);
+  SegmentationConfig cfg;
+  cfg.window = 0;
+  EXPECT_FALSE(segment_trace(trace, tl.profile(), cfg).ok());
+}
+
+}  // namespace
+}  // namespace eefei::energy

@@ -1,0 +1,106 @@
+#include "common/units.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace eefei {
+namespace {
+
+using namespace eefei::literals;
+
+TEST(Units, AdditionAndSubtraction) {
+  const Joules a{3.0};
+  const Joules b{1.5};
+  EXPECT_DOUBLE_EQ((a + b).value(), 4.5);
+  EXPECT_DOUBLE_EQ((a - b).value(), 1.5);
+}
+
+TEST(Units, ScalarMultiplication) {
+  const Watts p{2.0};
+  EXPECT_DOUBLE_EQ((p * 3.0).value(), 6.0);
+  EXPECT_DOUBLE_EQ((3.0 * p).value(), 6.0);
+  EXPECT_DOUBLE_EQ((p / 2.0).value(), 1.0);
+}
+
+TEST(Units, RatioOfLikeQuantitiesIsScalar) {
+  const Seconds a{10.0};
+  const Seconds b{4.0};
+  const double ratio = a / b;
+  EXPECT_DOUBLE_EQ(ratio, 2.5);
+}
+
+TEST(Units, PowerTimesTimeIsEnergy) {
+  const Watts p{5.553};
+  const Seconds t{2.0};
+  const Joules e = p * t;
+  EXPECT_DOUBLE_EQ(e.value(), 11.106);
+  EXPECT_DOUBLE_EQ((t * p).value(), 11.106);
+}
+
+TEST(Units, EnergyDividedByTimeIsPower) {
+  const Joules e{10.0};
+  EXPECT_DOUBLE_EQ((e / Seconds{4.0}).value(), 2.5);
+  EXPECT_DOUBLE_EQ((e / Watts{2.0}).value(), 5.0);
+}
+
+TEST(Units, TransferTime) {
+  // 1 MB at 8 Mbps = 1 second.
+  const Bytes mb{1e6};
+  const auto rate = BitsPerSecond::from_mbps(8.0);
+  EXPECT_DOUBLE_EQ(transfer_time(mb, rate).value(), 1.0);
+}
+
+TEST(Units, NbIotPerByteCostMatchesPaperFigure) {
+  // The paper: NB-IoT consumes 7.74 mW·s per byte.
+  const auto rho = JoulesPerByte::from_milliwatt_seconds(7.74);
+  const Joules per_sample = rho * Bytes{785.0};
+  EXPECT_NEAR(per_sample.value(), 6.0759, 1e-9);
+}
+
+TEST(Units, Comparisons) {
+  EXPECT_LT(Joules{1.0}, Joules{2.0});
+  EXPECT_GE(Watts{3.6}, Watts{3.6});
+  EXPECT_GT(Seconds{0.1}, Seconds{0.0});
+}
+
+TEST(Units, CompoundAssignment) {
+  Joules e{1.0};
+  e += Joules{2.0};
+  EXPECT_DOUBLE_EQ(e.value(), 3.0);
+  e -= Joules{0.5};
+  EXPECT_DOUBLE_EQ(e.value(), 2.5);
+  e *= 2.0;
+  EXPECT_DOUBLE_EQ(e.value(), 5.0);
+}
+
+TEST(Units, ConversionHelpers) {
+  EXPECT_DOUBLE_EQ(Seconds::from_millis(250.0).value(), 0.25);
+  EXPECT_DOUBLE_EQ(Seconds{0.25}.millis(), 250.0);
+  EXPECT_DOUBLE_EQ(Joules::from_milli(500.0).value(), 0.5);
+  EXPECT_DOUBLE_EQ(Joules{2000.0}.kilo(), 2.0);
+  EXPECT_DOUBLE_EQ(Watts::from_milli(1500.0).value(), 1.5);
+  EXPECT_DOUBLE_EQ(Bytes::from_kilo(31.44).value(), 31440.0);
+}
+
+TEST(Units, Literals) {
+  EXPECT_DOUBLE_EQ((1.5_s).value(), 1.5);
+  EXPECT_DOUBLE_EQ((20.0_ms).value(), 0.02);
+  EXPECT_DOUBLE_EQ((3.0_J).value(), 3.0);
+  EXPECT_DOUBLE_EQ((5.015_W).value(), 5.015);
+  EXPECT_DOUBLE_EQ((785_B).value(), 785.0);
+}
+
+TEST(Units, Streaming) {
+  std::ostringstream os;
+  os << Joules{2.5} << " " << Watts{3.6} << " " << Seconds{1.0} << " "
+     << Bytes{10.0};
+  EXPECT_EQ(os.str(), "2.5 J 3.6 W 1 s 10 B");
+}
+
+TEST(Units, Negation) {
+  EXPECT_DOUBLE_EQ((-Joules{2.0}).value(), -2.0);
+}
+
+}  // namespace
+}  // namespace eefei
