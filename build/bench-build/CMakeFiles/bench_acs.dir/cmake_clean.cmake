@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_acs"
+  "../bench/bench_acs.pdb"
+  "CMakeFiles/bench_acs.dir/bench_acs.cpp.o"
+  "CMakeFiles/bench_acs.dir/bench_acs.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_acs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

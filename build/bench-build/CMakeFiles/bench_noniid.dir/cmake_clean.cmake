@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_noniid"
+  "../bench/bench_noniid.pdb"
+  "CMakeFiles/bench_noniid.dir/bench_noniid.cpp.o"
+  "CMakeFiles/bench_noniid.dir/bench_noniid.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_noniid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_quant.cpp" "bench-build/CMakeFiles/bench_quant.dir/bench_quant.cpp.o" "gcc" "bench-build/CMakeFiles/bench_quant.dir/bench_quant.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/eefei_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/eefei_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/fl/CMakeFiles/eefei_fl.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/eefei_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/energy/CMakeFiles/eefei_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/eefei_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/eefei_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/eefei_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

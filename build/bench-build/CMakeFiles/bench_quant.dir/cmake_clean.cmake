@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_quant"
+  "../bench/bench_quant.pdb"
+  "CMakeFiles/bench_quant.dir/bench_quant.cpp.o"
+  "CMakeFiles/bench_quant.dir/bench_quant.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_quant.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/green_deployment.dir/green_deployment.cpp.o"
+  "CMakeFiles/green_deployment.dir/green_deployment.cpp.o.d"
+  "green_deployment"
+  "green_deployment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/green_deployment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

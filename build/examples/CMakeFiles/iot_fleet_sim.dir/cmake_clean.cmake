@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iot_fleet_sim.dir/iot_fleet_sim.cpp.o"
+  "CMakeFiles/iot_fleet_sim.dir/iot_fleet_sim.cpp.o.d"
+  "iot_fleet_sim"
+  "iot_fleet_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iot_fleet_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eefei_common.dir/config.cpp.o"
+  "CMakeFiles/eefei_common.dir/config.cpp.o.d"
+  "CMakeFiles/eefei_common.dir/csv.cpp.o"
+  "CMakeFiles/eefei_common.dir/csv.cpp.o.d"
+  "CMakeFiles/eefei_common.dir/logging.cpp.o"
+  "CMakeFiles/eefei_common.dir/logging.cpp.o.d"
+  "CMakeFiles/eefei_common.dir/stats.cpp.o"
+  "CMakeFiles/eefei_common.dir/stats.cpp.o.d"
+  "CMakeFiles/eefei_common.dir/table.cpp.o"
+  "CMakeFiles/eefei_common.dir/table.cpp.o.d"
+  "CMakeFiles/eefei_common.dir/thread_pool.cpp.o"
+  "CMakeFiles/eefei_common.dir/thread_pool.cpp.o.d"
+  "libeefei_common.a"
+  "libeefei_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eefei_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

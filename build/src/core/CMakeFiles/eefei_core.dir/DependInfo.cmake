@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/acs.cpp" "src/core/CMakeFiles/eefei_core.dir/acs.cpp.o" "gcc" "src/core/CMakeFiles/eefei_core.dir/acs.cpp.o.d"
+  "/root/repo/src/core/biconvex.cpp" "src/core/CMakeFiles/eefei_core.dir/biconvex.cpp.o" "gcc" "src/core/CMakeFiles/eefei_core.dir/biconvex.cpp.o.d"
+  "/root/repo/src/core/closed_form.cpp" "src/core/CMakeFiles/eefei_core.dir/closed_form.cpp.o" "gcc" "src/core/CMakeFiles/eefei_core.dir/closed_form.cpp.o.d"
+  "/root/repo/src/core/convergence_bound.cpp" "src/core/CMakeFiles/eefei_core.dir/convergence_bound.cpp.o" "gcc" "src/core/CMakeFiles/eefei_core.dir/convergence_bound.cpp.o.d"
+  "/root/repo/src/core/energy_objective.cpp" "src/core/CMakeFiles/eefei_core.dir/energy_objective.cpp.o" "gcc" "src/core/CMakeFiles/eefei_core.dir/energy_objective.cpp.o.d"
+  "/root/repo/src/core/grid_search.cpp" "src/core/CMakeFiles/eefei_core.dir/grid_search.cpp.o" "gcc" "src/core/CMakeFiles/eefei_core.dir/grid_search.cpp.o.d"
+  "/root/repo/src/core/pareto.cpp" "src/core/CMakeFiles/eefei_core.dir/pareto.cpp.o" "gcc" "src/core/CMakeFiles/eefei_core.dir/pareto.cpp.o.d"
+  "/root/repo/src/core/planner.cpp" "src/core/CMakeFiles/eefei_core.dir/planner.cpp.o" "gcc" "src/core/CMakeFiles/eefei_core.dir/planner.cpp.o.d"
+  "/root/repo/src/core/sensitivity.cpp" "src/core/CMakeFiles/eefei_core.dir/sensitivity.cpp.o" "gcc" "src/core/CMakeFiles/eefei_core.dir/sensitivity.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/eefei_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/energy/CMakeFiles/eefei_energy.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

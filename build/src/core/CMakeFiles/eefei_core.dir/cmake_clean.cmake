@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eefei_core.dir/acs.cpp.o"
+  "CMakeFiles/eefei_core.dir/acs.cpp.o.d"
+  "CMakeFiles/eefei_core.dir/biconvex.cpp.o"
+  "CMakeFiles/eefei_core.dir/biconvex.cpp.o.d"
+  "CMakeFiles/eefei_core.dir/closed_form.cpp.o"
+  "CMakeFiles/eefei_core.dir/closed_form.cpp.o.d"
+  "CMakeFiles/eefei_core.dir/convergence_bound.cpp.o"
+  "CMakeFiles/eefei_core.dir/convergence_bound.cpp.o.d"
+  "CMakeFiles/eefei_core.dir/energy_objective.cpp.o"
+  "CMakeFiles/eefei_core.dir/energy_objective.cpp.o.d"
+  "CMakeFiles/eefei_core.dir/grid_search.cpp.o"
+  "CMakeFiles/eefei_core.dir/grid_search.cpp.o.d"
+  "CMakeFiles/eefei_core.dir/pareto.cpp.o"
+  "CMakeFiles/eefei_core.dir/pareto.cpp.o.d"
+  "CMakeFiles/eefei_core.dir/planner.cpp.o"
+  "CMakeFiles/eefei_core.dir/planner.cpp.o.d"
+  "CMakeFiles/eefei_core.dir/sensitivity.cpp.o"
+  "CMakeFiles/eefei_core.dir/sensitivity.cpp.o.d"
+  "libeefei_core.a"
+  "libeefei_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eefei_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

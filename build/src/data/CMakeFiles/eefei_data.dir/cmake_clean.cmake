@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eefei_data.dir/dataset.cpp.o"
+  "CMakeFiles/eefei_data.dir/dataset.cpp.o.d"
+  "CMakeFiles/eefei_data.dir/partition.cpp.o"
+  "CMakeFiles/eefei_data.dir/partition.cpp.o.d"
+  "CMakeFiles/eefei_data.dir/synth_digits.cpp.o"
+  "CMakeFiles/eefei_data.dir/synth_digits.cpp.o.d"
+  "libeefei_data.a"
+  "libeefei_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eefei_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

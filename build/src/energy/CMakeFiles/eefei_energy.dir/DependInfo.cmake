@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/energy/battery.cpp" "src/energy/CMakeFiles/eefei_energy.dir/battery.cpp.o" "gcc" "src/energy/CMakeFiles/eefei_energy.dir/battery.cpp.o.d"
+  "/root/repo/src/energy/calibration.cpp" "src/energy/CMakeFiles/eefei_energy.dir/calibration.cpp.o" "gcc" "src/energy/CMakeFiles/eefei_energy.dir/calibration.cpp.o.d"
+  "/root/repo/src/energy/ledger.cpp" "src/energy/CMakeFiles/eefei_energy.dir/ledger.cpp.o" "gcc" "src/energy/CMakeFiles/eefei_energy.dir/ledger.cpp.o.d"
+  "/root/repo/src/energy/meter.cpp" "src/energy/CMakeFiles/eefei_energy.dir/meter.cpp.o" "gcc" "src/energy/CMakeFiles/eefei_energy.dir/meter.cpp.o.d"
+  "/root/repo/src/energy/timeline.cpp" "src/energy/CMakeFiles/eefei_energy.dir/timeline.cpp.o" "gcc" "src/energy/CMakeFiles/eefei_energy.dir/timeline.cpp.o.d"
+  "/root/repo/src/energy/trace_analysis.cpp" "src/energy/CMakeFiles/eefei_energy.dir/trace_analysis.cpp.o" "gcc" "src/energy/CMakeFiles/eefei_energy.dir/trace_analysis.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/eefei_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eefei_energy.dir/battery.cpp.o"
+  "CMakeFiles/eefei_energy.dir/battery.cpp.o.d"
+  "CMakeFiles/eefei_energy.dir/calibration.cpp.o"
+  "CMakeFiles/eefei_energy.dir/calibration.cpp.o.d"
+  "CMakeFiles/eefei_energy.dir/ledger.cpp.o"
+  "CMakeFiles/eefei_energy.dir/ledger.cpp.o.d"
+  "CMakeFiles/eefei_energy.dir/meter.cpp.o"
+  "CMakeFiles/eefei_energy.dir/meter.cpp.o.d"
+  "CMakeFiles/eefei_energy.dir/timeline.cpp.o"
+  "CMakeFiles/eefei_energy.dir/timeline.cpp.o.d"
+  "CMakeFiles/eefei_energy.dir/trace_analysis.cpp.o"
+  "CMakeFiles/eefei_energy.dir/trace_analysis.cpp.o.d"
+  "libeefei_energy.a"
+  "libeefei_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eefei_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fl/aggregator.cpp" "src/fl/CMakeFiles/eefei_fl.dir/aggregator.cpp.o" "gcc" "src/fl/CMakeFiles/eefei_fl.dir/aggregator.cpp.o.d"
+  "/root/repo/src/fl/checkpoint.cpp" "src/fl/CMakeFiles/eefei_fl.dir/checkpoint.cpp.o" "gcc" "src/fl/CMakeFiles/eefei_fl.dir/checkpoint.cpp.o.d"
+  "/root/repo/src/fl/client.cpp" "src/fl/CMakeFiles/eefei_fl.dir/client.cpp.o" "gcc" "src/fl/CMakeFiles/eefei_fl.dir/client.cpp.o.d"
+  "/root/repo/src/fl/coordinator.cpp" "src/fl/CMakeFiles/eefei_fl.dir/coordinator.cpp.o" "gcc" "src/fl/CMakeFiles/eefei_fl.dir/coordinator.cpp.o.d"
+  "/root/repo/src/fl/selection.cpp" "src/fl/CMakeFiles/eefei_fl.dir/selection.cpp.o" "gcc" "src/fl/CMakeFiles/eefei_fl.dir/selection.cpp.o.d"
+  "/root/repo/src/fl/server_optimizer.cpp" "src/fl/CMakeFiles/eefei_fl.dir/server_optimizer.cpp.o" "gcc" "src/fl/CMakeFiles/eefei_fl.dir/server_optimizer.cpp.o.d"
+  "/root/repo/src/fl/training_record.cpp" "src/fl/CMakeFiles/eefei_fl.dir/training_record.cpp.o" "gcc" "src/fl/CMakeFiles/eefei_fl.dir/training_record.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/eefei_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/eefei_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/eefei_data.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

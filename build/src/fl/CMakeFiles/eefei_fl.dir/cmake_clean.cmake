@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eefei_fl.dir/aggregator.cpp.o"
+  "CMakeFiles/eefei_fl.dir/aggregator.cpp.o.d"
+  "CMakeFiles/eefei_fl.dir/checkpoint.cpp.o"
+  "CMakeFiles/eefei_fl.dir/checkpoint.cpp.o.d"
+  "CMakeFiles/eefei_fl.dir/client.cpp.o"
+  "CMakeFiles/eefei_fl.dir/client.cpp.o.d"
+  "CMakeFiles/eefei_fl.dir/coordinator.cpp.o"
+  "CMakeFiles/eefei_fl.dir/coordinator.cpp.o.d"
+  "CMakeFiles/eefei_fl.dir/selection.cpp.o"
+  "CMakeFiles/eefei_fl.dir/selection.cpp.o.d"
+  "CMakeFiles/eefei_fl.dir/server_optimizer.cpp.o"
+  "CMakeFiles/eefei_fl.dir/server_optimizer.cpp.o.d"
+  "CMakeFiles/eefei_fl.dir/training_record.cpp.o"
+  "CMakeFiles/eefei_fl.dir/training_record.cpp.o.d"
+  "libeefei_fl.a"
+  "libeefei_fl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eefei_fl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

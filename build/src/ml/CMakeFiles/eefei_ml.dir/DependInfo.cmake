@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ml/activations.cpp" "src/ml/CMakeFiles/eefei_ml.dir/activations.cpp.o" "gcc" "src/ml/CMakeFiles/eefei_ml.dir/activations.cpp.o.d"
+  "/root/repo/src/ml/logistic_regression.cpp" "src/ml/CMakeFiles/eefei_ml.dir/logistic_regression.cpp.o" "gcc" "src/ml/CMakeFiles/eefei_ml.dir/logistic_regression.cpp.o.d"
+  "/root/repo/src/ml/matrix.cpp" "src/ml/CMakeFiles/eefei_ml.dir/matrix.cpp.o" "gcc" "src/ml/CMakeFiles/eefei_ml.dir/matrix.cpp.o.d"
+  "/root/repo/src/ml/metrics.cpp" "src/ml/CMakeFiles/eefei_ml.dir/metrics.cpp.o" "gcc" "src/ml/CMakeFiles/eefei_ml.dir/metrics.cpp.o.d"
+  "/root/repo/src/ml/mlp.cpp" "src/ml/CMakeFiles/eefei_ml.dir/mlp.cpp.o" "gcc" "src/ml/CMakeFiles/eefei_ml.dir/mlp.cpp.o.d"
+  "/root/repo/src/ml/optimizer.cpp" "src/ml/CMakeFiles/eefei_ml.dir/optimizer.cpp.o" "gcc" "src/ml/CMakeFiles/eefei_ml.dir/optimizer.cpp.o.d"
+  "/root/repo/src/ml/quantize.cpp" "src/ml/CMakeFiles/eefei_ml.dir/quantize.cpp.o" "gcc" "src/ml/CMakeFiles/eefei_ml.dir/quantize.cpp.o.d"
+  "/root/repo/src/ml/serialize.cpp" "src/ml/CMakeFiles/eefei_ml.dir/serialize.cpp.o" "gcc" "src/ml/CMakeFiles/eefei_ml.dir/serialize.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/eefei_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eefei_ml.dir/activations.cpp.o"
+  "CMakeFiles/eefei_ml.dir/activations.cpp.o.d"
+  "CMakeFiles/eefei_ml.dir/logistic_regression.cpp.o"
+  "CMakeFiles/eefei_ml.dir/logistic_regression.cpp.o.d"
+  "CMakeFiles/eefei_ml.dir/matrix.cpp.o"
+  "CMakeFiles/eefei_ml.dir/matrix.cpp.o.d"
+  "CMakeFiles/eefei_ml.dir/metrics.cpp.o"
+  "CMakeFiles/eefei_ml.dir/metrics.cpp.o.d"
+  "CMakeFiles/eefei_ml.dir/mlp.cpp.o"
+  "CMakeFiles/eefei_ml.dir/mlp.cpp.o.d"
+  "CMakeFiles/eefei_ml.dir/optimizer.cpp.o"
+  "CMakeFiles/eefei_ml.dir/optimizer.cpp.o.d"
+  "CMakeFiles/eefei_ml.dir/quantize.cpp.o"
+  "CMakeFiles/eefei_ml.dir/quantize.cpp.o.d"
+  "CMakeFiles/eefei_ml.dir/serialize.cpp.o"
+  "CMakeFiles/eefei_ml.dir/serialize.cpp.o.d"
+  "libeefei_ml.a"
+  "libeefei_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eefei_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

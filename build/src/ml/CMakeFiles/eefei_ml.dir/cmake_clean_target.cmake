@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libeefei_ml.a"
+)

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/channel.cpp" "src/net/CMakeFiles/eefei_net.dir/channel.cpp.o" "gcc" "src/net/CMakeFiles/eefei_net.dir/channel.cpp.o.d"
+  "/root/repo/src/net/csma.cpp" "src/net/CMakeFiles/eefei_net.dir/csma.cpp.o" "gcc" "src/net/CMakeFiles/eefei_net.dir/csma.cpp.o.d"
+  "/root/repo/src/net/iot_device.cpp" "src/net/CMakeFiles/eefei_net.dir/iot_device.cpp.o" "gcc" "src/net/CMakeFiles/eefei_net.dir/iot_device.cpp.o.d"
+  "/root/repo/src/net/topology.cpp" "src/net/CMakeFiles/eefei_net.dir/topology.cpp.o" "gcc" "src/net/CMakeFiles/eefei_net.dir/topology.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/eefei_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/energy/CMakeFiles/eefei_energy.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eefei_net.dir/channel.cpp.o"
+  "CMakeFiles/eefei_net.dir/channel.cpp.o.d"
+  "CMakeFiles/eefei_net.dir/csma.cpp.o"
+  "CMakeFiles/eefei_net.dir/csma.cpp.o.d"
+  "CMakeFiles/eefei_net.dir/iot_device.cpp.o"
+  "CMakeFiles/eefei_net.dir/iot_device.cpp.o.d"
+  "CMakeFiles/eefei_net.dir/topology.cpp.o"
+  "CMakeFiles/eefei_net.dir/topology.cpp.o.d"
+  "libeefei_net.a"
+  "libeefei_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eefei_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/async_fei.cpp" "src/sim/CMakeFiles/eefei_sim.dir/async_fei.cpp.o" "gcc" "src/sim/CMakeFiles/eefei_sim.dir/async_fei.cpp.o.d"
+  "/root/repo/src/sim/calibration_runner.cpp" "src/sim/CMakeFiles/eefei_sim.dir/calibration_runner.cpp.o" "gcc" "src/sim/CMakeFiles/eefei_sim.dir/calibration_runner.cpp.o.d"
+  "/root/repo/src/sim/edge_server_sim.cpp" "src/sim/CMakeFiles/eefei_sim.dir/edge_server_sim.cpp.o" "gcc" "src/sim/CMakeFiles/eefei_sim.dir/edge_server_sim.cpp.o.d"
+  "/root/repo/src/sim/event_queue.cpp" "src/sim/CMakeFiles/eefei_sim.dir/event_queue.cpp.o" "gcc" "src/sim/CMakeFiles/eefei_sim.dir/event_queue.cpp.o.d"
+  "/root/repo/src/sim/fei_system.cpp" "src/sim/CMakeFiles/eefei_sim.dir/fei_system.cpp.o" "gcc" "src/sim/CMakeFiles/eefei_sim.dir/fei_system.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/eefei_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/eefei_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/eefei_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/eefei_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/fl/CMakeFiles/eefei_fl.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/eefei_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/energy/CMakeFiles/eefei_energy.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

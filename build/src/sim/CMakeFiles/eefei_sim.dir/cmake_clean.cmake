@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eefei_sim.dir/async_fei.cpp.o"
+  "CMakeFiles/eefei_sim.dir/async_fei.cpp.o.d"
+  "CMakeFiles/eefei_sim.dir/calibration_runner.cpp.o"
+  "CMakeFiles/eefei_sim.dir/calibration_runner.cpp.o.d"
+  "CMakeFiles/eefei_sim.dir/edge_server_sim.cpp.o"
+  "CMakeFiles/eefei_sim.dir/edge_server_sim.cpp.o.d"
+  "CMakeFiles/eefei_sim.dir/event_queue.cpp.o"
+  "CMakeFiles/eefei_sim.dir/event_queue.cpp.o.d"
+  "CMakeFiles/eefei_sim.dir/fei_system.cpp.o"
+  "CMakeFiles/eefei_sim.dir/fei_system.cpp.o.d"
+  "libeefei_sim.a"
+  "libeefei_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eefei_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,74 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_acs.cpp" "tests/CMakeFiles/eefei_tests.dir/test_acs.cpp.o" "gcc" "tests/CMakeFiles/eefei_tests.dir/test_acs.cpp.o.d"
+  "/root/repo/tests/test_activations.cpp" "tests/CMakeFiles/eefei_tests.dir/test_activations.cpp.o" "gcc" "tests/CMakeFiles/eefei_tests.dir/test_activations.cpp.o.d"
+  "/root/repo/tests/test_async_fei.cpp" "tests/CMakeFiles/eefei_tests.dir/test_async_fei.cpp.o" "gcc" "tests/CMakeFiles/eefei_tests.dir/test_async_fei.cpp.o.d"
+  "/root/repo/tests/test_battery.cpp" "tests/CMakeFiles/eefei_tests.dir/test_battery.cpp.o" "gcc" "tests/CMakeFiles/eefei_tests.dir/test_battery.cpp.o.d"
+  "/root/repo/tests/test_biconvex.cpp" "tests/CMakeFiles/eefei_tests.dir/test_biconvex.cpp.o" "gcc" "tests/CMakeFiles/eefei_tests.dir/test_biconvex.cpp.o.d"
+  "/root/repo/tests/test_calibration.cpp" "tests/CMakeFiles/eefei_tests.dir/test_calibration.cpp.o" "gcc" "tests/CMakeFiles/eefei_tests.dir/test_calibration.cpp.o.d"
+  "/root/repo/tests/test_calibration_runner.cpp" "tests/CMakeFiles/eefei_tests.dir/test_calibration_runner.cpp.o" "gcc" "tests/CMakeFiles/eefei_tests.dir/test_calibration_runner.cpp.o.d"
+  "/root/repo/tests/test_checkpoint.cpp" "tests/CMakeFiles/eefei_tests.dir/test_checkpoint.cpp.o" "gcc" "tests/CMakeFiles/eefei_tests.dir/test_checkpoint.cpp.o.d"
+  "/root/repo/tests/test_closed_form.cpp" "tests/CMakeFiles/eefei_tests.dir/test_closed_form.cpp.o" "gcc" "tests/CMakeFiles/eefei_tests.dir/test_closed_form.cpp.o.d"
+  "/root/repo/tests/test_config.cpp" "tests/CMakeFiles/eefei_tests.dir/test_config.cpp.o" "gcc" "tests/CMakeFiles/eefei_tests.dir/test_config.cpp.o.d"
+  "/root/repo/tests/test_convergence_bound.cpp" "tests/CMakeFiles/eefei_tests.dir/test_convergence_bound.cpp.o" "gcc" "tests/CMakeFiles/eefei_tests.dir/test_convergence_bound.cpp.o.d"
+  "/root/repo/tests/test_coordinator.cpp" "tests/CMakeFiles/eefei_tests.dir/test_coordinator.cpp.o" "gcc" "tests/CMakeFiles/eefei_tests.dir/test_coordinator.cpp.o.d"
+  "/root/repo/tests/test_csma.cpp" "tests/CMakeFiles/eefei_tests.dir/test_csma.cpp.o" "gcc" "tests/CMakeFiles/eefei_tests.dir/test_csma.cpp.o.d"
+  "/root/repo/tests/test_csv.cpp" "tests/CMakeFiles/eefei_tests.dir/test_csv.cpp.o" "gcc" "tests/CMakeFiles/eefei_tests.dir/test_csv.cpp.o.d"
+  "/root/repo/tests/test_dataset.cpp" "tests/CMakeFiles/eefei_tests.dir/test_dataset.cpp.o" "gcc" "tests/CMakeFiles/eefei_tests.dir/test_dataset.cpp.o.d"
+  "/root/repo/tests/test_edge_server_sim.cpp" "tests/CMakeFiles/eefei_tests.dir/test_edge_server_sim.cpp.o" "gcc" "tests/CMakeFiles/eefei_tests.dir/test_edge_server_sim.cpp.o.d"
+  "/root/repo/tests/test_energy.cpp" "tests/CMakeFiles/eefei_tests.dir/test_energy.cpp.o" "gcc" "tests/CMakeFiles/eefei_tests.dir/test_energy.cpp.o.d"
+  "/root/repo/tests/test_energy_objective.cpp" "tests/CMakeFiles/eefei_tests.dir/test_energy_objective.cpp.o" "gcc" "tests/CMakeFiles/eefei_tests.dir/test_energy_objective.cpp.o.d"
+  "/root/repo/tests/test_event_queue.cpp" "tests/CMakeFiles/eefei_tests.dir/test_event_queue.cpp.o" "gcc" "tests/CMakeFiles/eefei_tests.dir/test_event_queue.cpp.o.d"
+  "/root/repo/tests/test_fei_system.cpp" "tests/CMakeFiles/eefei_tests.dir/test_fei_system.cpp.o" "gcc" "tests/CMakeFiles/eefei_tests.dir/test_fei_system.cpp.o.d"
+  "/root/repo/tests/test_fl.cpp" "tests/CMakeFiles/eefei_tests.dir/test_fl.cpp.o" "gcc" "tests/CMakeFiles/eefei_tests.dir/test_fl.cpp.o.d"
+  "/root/repo/tests/test_fl_extensions.cpp" "tests/CMakeFiles/eefei_tests.dir/test_fl_extensions.cpp.o" "gcc" "tests/CMakeFiles/eefei_tests.dir/test_fl_extensions.cpp.o.d"
+  "/root/repo/tests/test_fl_mlp.cpp" "tests/CMakeFiles/eefei_tests.dir/test_fl_mlp.cpp.o" "gcc" "tests/CMakeFiles/eefei_tests.dir/test_fl_mlp.cpp.o.d"
+  "/root/repo/tests/test_grid_search.cpp" "tests/CMakeFiles/eefei_tests.dir/test_grid_search.cpp.o" "gcc" "tests/CMakeFiles/eefei_tests.dir/test_grid_search.cpp.o.d"
+  "/root/repo/tests/test_integration.cpp" "tests/CMakeFiles/eefei_tests.dir/test_integration.cpp.o" "gcc" "tests/CMakeFiles/eefei_tests.dir/test_integration.cpp.o.d"
+  "/root/repo/tests/test_logging.cpp" "tests/CMakeFiles/eefei_tests.dir/test_logging.cpp.o" "gcc" "tests/CMakeFiles/eefei_tests.dir/test_logging.cpp.o.d"
+  "/root/repo/tests/test_logistic_regression.cpp" "tests/CMakeFiles/eefei_tests.dir/test_logistic_regression.cpp.o" "gcc" "tests/CMakeFiles/eefei_tests.dir/test_logistic_regression.cpp.o.d"
+  "/root/repo/tests/test_matrix.cpp" "tests/CMakeFiles/eefei_tests.dir/test_matrix.cpp.o" "gcc" "tests/CMakeFiles/eefei_tests.dir/test_matrix.cpp.o.d"
+  "/root/repo/tests/test_metrics.cpp" "tests/CMakeFiles/eefei_tests.dir/test_metrics.cpp.o" "gcc" "tests/CMakeFiles/eefei_tests.dir/test_metrics.cpp.o.d"
+  "/root/repo/tests/test_mlp.cpp" "tests/CMakeFiles/eefei_tests.dir/test_mlp.cpp.o" "gcc" "tests/CMakeFiles/eefei_tests.dir/test_mlp.cpp.o.d"
+  "/root/repo/tests/test_net.cpp" "tests/CMakeFiles/eefei_tests.dir/test_net.cpp.o" "gcc" "tests/CMakeFiles/eefei_tests.dir/test_net.cpp.o.d"
+  "/root/repo/tests/test_optimizer.cpp" "tests/CMakeFiles/eefei_tests.dir/test_optimizer.cpp.o" "gcc" "tests/CMakeFiles/eefei_tests.dir/test_optimizer.cpp.o.d"
+  "/root/repo/tests/test_pareto.cpp" "tests/CMakeFiles/eefei_tests.dir/test_pareto.cpp.o" "gcc" "tests/CMakeFiles/eefei_tests.dir/test_pareto.cpp.o.d"
+  "/root/repo/tests/test_partition.cpp" "tests/CMakeFiles/eefei_tests.dir/test_partition.cpp.o" "gcc" "tests/CMakeFiles/eefei_tests.dir/test_partition.cpp.o.d"
+  "/root/repo/tests/test_planner.cpp" "tests/CMakeFiles/eefei_tests.dir/test_planner.cpp.o" "gcc" "tests/CMakeFiles/eefei_tests.dir/test_planner.cpp.o.d"
+  "/root/repo/tests/test_properties.cpp" "tests/CMakeFiles/eefei_tests.dir/test_properties.cpp.o" "gcc" "tests/CMakeFiles/eefei_tests.dir/test_properties.cpp.o.d"
+  "/root/repo/tests/test_quantize.cpp" "tests/CMakeFiles/eefei_tests.dir/test_quantize.cpp.o" "gcc" "tests/CMakeFiles/eefei_tests.dir/test_quantize.cpp.o.d"
+  "/root/repo/tests/test_result.cpp" "tests/CMakeFiles/eefei_tests.dir/test_result.cpp.o" "gcc" "tests/CMakeFiles/eefei_tests.dir/test_result.cpp.o.d"
+  "/root/repo/tests/test_rng.cpp" "tests/CMakeFiles/eefei_tests.dir/test_rng.cpp.o" "gcc" "tests/CMakeFiles/eefei_tests.dir/test_rng.cpp.o.d"
+  "/root/repo/tests/test_sensitivity.cpp" "tests/CMakeFiles/eefei_tests.dir/test_sensitivity.cpp.o" "gcc" "tests/CMakeFiles/eefei_tests.dir/test_sensitivity.cpp.o.d"
+  "/root/repo/tests/test_serialize.cpp" "tests/CMakeFiles/eefei_tests.dir/test_serialize.cpp.o" "gcc" "tests/CMakeFiles/eefei_tests.dir/test_serialize.cpp.o.d"
+  "/root/repo/tests/test_server_optimizer.cpp" "tests/CMakeFiles/eefei_tests.dir/test_server_optimizer.cpp.o" "gcc" "tests/CMakeFiles/eefei_tests.dir/test_server_optimizer.cpp.o.d"
+  "/root/repo/tests/test_stats.cpp" "tests/CMakeFiles/eefei_tests.dir/test_stats.cpp.o" "gcc" "tests/CMakeFiles/eefei_tests.dir/test_stats.cpp.o.d"
+  "/root/repo/tests/test_synth_digits.cpp" "tests/CMakeFiles/eefei_tests.dir/test_synth_digits.cpp.o" "gcc" "tests/CMakeFiles/eefei_tests.dir/test_synth_digits.cpp.o.d"
+  "/root/repo/tests/test_table.cpp" "tests/CMakeFiles/eefei_tests.dir/test_table.cpp.o" "gcc" "tests/CMakeFiles/eefei_tests.dir/test_table.cpp.o.d"
+  "/root/repo/tests/test_thread_pool.cpp" "tests/CMakeFiles/eefei_tests.dir/test_thread_pool.cpp.o" "gcc" "tests/CMakeFiles/eefei_tests.dir/test_thread_pool.cpp.o.d"
+  "/root/repo/tests/test_trace_analysis.cpp" "tests/CMakeFiles/eefei_tests.dir/test_trace_analysis.cpp.o" "gcc" "tests/CMakeFiles/eefei_tests.dir/test_trace_analysis.cpp.o.d"
+  "/root/repo/tests/test_units.cpp" "tests/CMakeFiles/eefei_tests.dir/test_units.cpp.o" "gcc" "tests/CMakeFiles/eefei_tests.dir/test_units.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/eefei_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/eefei_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/fl/CMakeFiles/eefei_fl.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/eefei_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/energy/CMakeFiles/eefei_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/eefei_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/eefei_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/eefei_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
