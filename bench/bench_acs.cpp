@@ -8,6 +8,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "bench_json.h"
 #include "common/table.h"
 #include "core/acs.h"
 #include "core/grid_search.h"
@@ -25,6 +26,7 @@ double ms_since(Clock::time_point start) {
 }  // namespace
 
 int main() {
+  const bench::TotalTimeReport bench_report("acs");
   std::printf("=== Algorithm 1 (ACS) vs exhaustive grid search ===\n\n");
 
   struct Shape {

@@ -8,6 +8,7 @@
 // servers keep contributing at their own pace.
 #include <cstdio>
 
+#include "bench_json.h"
 #include "bench_common.h"
 #include "common/table.h"
 #include "sim/async_fei.h"
@@ -86,6 +87,7 @@ Row run_async(const bench::BenchScale& scale, bool stragglers) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  const bench::TotalTimeReport bench_report("async");
   auto scale = bench::scale_from_args(argc, argv);
   scale.target_accuracy = std::min(scale.target_accuracy, 0.90);
 

@@ -9,6 +9,7 @@
 #include <cstdio>
 #include <fstream>
 
+#include "bench_json.h"
 #include "bench_common.h"
 #include "common/table.h"
 #include "energy/meter.h"
@@ -17,6 +18,7 @@
 using namespace eefei;
 
 int main(int argc, char** argv) {
+  const bench::TotalTimeReport bench_report("fig3");
   auto scale = bench::scale_from_args(argc, argv);
   auto cfg = bench::system_config(scale);
   // The paper's prototype setting: all 20 servers, E = 40, n_k = 3000,

@@ -13,6 +13,7 @@
 #include <fstream>
 #include <vector>
 
+#include "bench_json.h"
 #include "bench_common.h"
 #include "common/table.h"
 
@@ -96,6 +97,7 @@ void print_targets(const bench::BenchScale& scale,
 }  // namespace
 
 int main(int argc, char** argv) {
+  const bench::TotalTimeReport bench_report("fig4");
   const auto scale = bench::scale_from_args(argc, argv);
 
   std::printf("=== Fig. 4: training performance (Table II model: LR %zux10, "

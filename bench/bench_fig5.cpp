@@ -10,6 +10,7 @@
 #include <fstream>
 #include <vector>
 
+#include "bench_json.h"
 #include "bench_common.h"
 #include "common/table.h"
 #include "core/acs.h"
@@ -18,6 +19,7 @@
 using namespace eefei;
 
 int main(int argc, char** argv) {
+  const bench::TotalTimeReport bench_report("fig5");
   const auto scale = bench::scale_from_args(argc, argv);
   const std::size_t fixed_e = 40;
 

@@ -9,6 +9,7 @@
 #include <limits>
 #include <vector>
 
+#include "bench_json.h"
 #include "bench_common.h"
 #include "common/table.h"
 #include "core/planner.h"
@@ -16,6 +17,7 @@
 using namespace eefei;
 
 int main(int argc, char** argv) {
+  const bench::TotalTimeReport bench_report("fig6");
   const auto scale = bench::scale_from_args(argc, argv);
   const std::size_t fixed_k = 1;  // the Fig. 5 result under IID data
 

@@ -1,0 +1,137 @@
+// Machine-readable bench output.
+//
+// Every bench binary drops a BENCH_<name>.json next to its console output:
+//
+//   {"bench": "micro", "schema": 1, "threads": 4,
+//    "metrics": [
+//      {"name": "BM_LrLossAndGradient/3000", "ns_per_op": 1.7e7,
+//       "baseline_ns_per_op": 6.8e7, "speedup_vs_baseline": 4.0}]}
+//
+// Each metric is written on one line so downstream tooling (and the
+// baseline re-reader below) can parse it with nothing fancier than a line
+// scan — tools/bench_compare.py does exactly that with the stdlib.
+//
+// Baselines resolve in order:
+//   1. $EEFEI_BENCH_BASELINE_DIR/BENCH_<name>.json (e.g. the checked-in
+//      bench/baselines/ snapshots of the pre-optimization seed), else
+//   2. the previous BENCH_<name>.json in the output directory (so
+//      back-to-back runs compare against each other automatically).
+// A missing baseline — or a metric absent from it — is a first recording,
+// not an error: the metric is simply written without speedup fields.
+#pragma once
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace eefei::bench {
+
+/// ns_per_op for each metric of a previously written BENCH_<name>.json.
+inline std::map<std::string, double> read_baseline(const std::string& path) {
+  std::map<std::string, double> out;
+  std::ifstream in(path);
+  if (!in) return out;
+  std::string line;
+  while (std::getline(in, line)) {
+    // One metric per line: {"name": "...", "ns_per_op": <num>, ...}
+    const auto name_key = line.find("\"name\"");
+    const auto ns_key = line.find("\"ns_per_op\"");
+    if (name_key == std::string::npos || ns_key == std::string::npos) {
+      continue;
+    }
+    const auto q0 = line.find('"', line.find(':', name_key) + 1);
+    const auto q1 = line.find('"', q0 + 1);
+    if (q0 == std::string::npos || q1 == std::string::npos) continue;
+    const std::string name = line.substr(q0 + 1, q1 - q0 - 1);
+    const char* num = line.c_str() + line.find(':', ns_key) + 1;
+    char* end = nullptr;
+    const double ns = std::strtod(num, &end);
+    if (end != num) out[name] = ns;
+  }
+  return out;
+}
+
+class BenchReport {
+ public:
+  /// `name` is the suffix of BENCH_<name>.json; `out_dir` defaults to the
+  /// working directory.
+  explicit BenchReport(std::string name, std::string out_dir = ".")
+      : name_(std::move(name)), out_dir_(std::move(out_dir)) {}
+
+  void add(const std::string& metric, double ns_per_op) {
+    metrics_.emplace_back(metric, ns_per_op);
+  }
+
+  /// Writes BENCH_<name>.json and returns its path.
+  std::string write() const {
+    const std::string path = out_dir_ + "/BENCH_" + name_ + ".json";
+    std::map<std::string, double> baseline;
+    if (const char* dir = std::getenv("EEFEI_BENCH_BASELINE_DIR")) {
+      baseline =
+          read_baseline(std::string(dir) + "/BENCH_" + name_ + ".json");
+    }
+    if (baseline.empty()) baseline = read_baseline(path);
+
+    std::ostringstream out;
+    out.precision(17);
+    out << "{\"bench\": \"" << name_ << "\", \"schema\": 1, \"threads\": "
+        << std::max(1u, std::thread::hardware_concurrency())
+        << ",\n \"metrics\": [";
+    for (std::size_t i = 0; i < metrics_.size(); ++i) {
+      const auto& [metric, ns] = metrics_[i];
+      out << (i == 0 ? "\n" : ",\n");
+      out << "  {\"name\": \"" << metric << "\", \"ns_per_op\": " << ns;
+      if (const auto it = baseline.find(metric);
+          it != baseline.end() && ns > 0.0) {
+        out << ", \"baseline_ns_per_op\": " << it->second
+            << ", \"speedup_vs_baseline\": " << it->second / ns;
+      }
+      out << "}";
+    }
+    out << "\n]}\n";
+
+    std::ofstream file(path);
+    file << out.str();
+    std::printf("wrote %s\n", path.c_str());
+    return path;
+  }
+
+ private:
+  std::string name_;
+  std::string out_dir_;
+  std::vector<std::pair<std::string, double>> metrics_;
+};
+
+/// RAII end-to-end timer for the figure/table harnesses: construct at the
+/// top of main(); on scope exit it writes BENCH_<name>.json with a single
+/// "total" metric covering the whole run.
+class TotalTimeReport {
+ public:
+  explicit TotalTimeReport(std::string name)
+      : report_(std::move(name)),
+        start_(std::chrono::steady_clock::now()) {}
+
+  ~TotalTimeReport() {
+    const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                        std::chrono::steady_clock::now() - start_)
+                        .count();
+    report_.add("total", static_cast<double>(ns));
+    report_.write();
+  }
+
+  TotalTimeReport(const TotalTimeReport&) = delete;
+  TotalTimeReport& operator=(const TotalTimeReport&) = delete;
+
+ private:
+  BenchReport report_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace eefei::bench

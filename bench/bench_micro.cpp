@@ -3,16 +3,21 @@
 // synthetic-digit rendering, the event queue and the power meter.
 #include <benchmark/benchmark.h>
 
+#include <string>
+#include <utility>
 #include <vector>
 
+#include "bench_json.h"
 #include "common/rng.h"
 #include "data/synth_digits.h"
 #include "energy/meter.h"
 #include "fl/aggregator.h"
 #include "ml/logistic_regression.h"
+#include "ml/mlp.h"
 #include "ml/serialize.h"
 #include "core/acs.h"
 #include "sim/event_queue.h"
+#include "sim/fei_system.h"
 
 using namespace eefei;
 
@@ -138,6 +143,39 @@ void BM_PowerMeterCapture(benchmark::State& state) {
 }
 BENCHMARK(BM_PowerMeterCapture);
 
+void BM_MlpLossAndGradient(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const data::Dataset ds = make_batch(n, 28);
+  ml::MlpConfig cfg;
+  ml::Mlp model(cfg);
+  std::vector<double> grad(model.parameter_count());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.loss_and_gradient(ds.view(), grad));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_MlpLossAndGradient)->Arg(100)->Arg(500);
+
+void BM_FeiSystemRun(benchmark::State& state) {
+  // End-to-end FedAvg + event-driven energy simulation, scaled down to a
+  // couple of rounds.  The speedup-vs-baseline of this metric is the
+  // headline number of the allocation-free/parallel hot-path work.
+  auto cfg = sim::prototype_config();
+  cfg.num_servers = 20;
+  cfg.samples_per_server = 100;
+  cfg.test_samples = 400;
+  cfg.fl.clients_per_round = 10;
+  cfg.fl.local_epochs = 40;
+  cfg.fl.max_rounds = 2;
+  cfg.seed = 3;
+  for (auto _ : state) {
+    sim::FeiSystem system(cfg);
+    benchmark::DoNotOptimize(system.run().ok());
+  }
+}
+BENCHMARK(BM_FeiSystemRun)->Unit(benchmark::kMillisecond);
+
 void BM_AcsSolve(benchmark::State& state) {
   // How cheap is Algorithm 1?  (The paper runs it on the coordinator.)
   const core::ConvergenceBound bound(energy::paper_reference_constants(),
@@ -151,6 +189,33 @@ void BM_AcsSolve(benchmark::State& state) {
 }
 BENCHMARK(BM_AcsSolve);
 
+// Console output as usual, plus every finished run collected for the
+// BENCH_micro.json report.
+class JsonCollectingReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& runs) override {
+    ConsoleReporter::ReportRuns(runs);
+    for (const Run& run : runs) {
+      if (run.error_occurred) continue;
+      const double iters = static_cast<double>(run.iterations);
+      if (iters <= 0.0) continue;
+      results.emplace_back(run.benchmark_name(),
+                           run.real_accumulated_time / iters * 1e9);
+    }
+  }
+
+  std::vector<std::pair<std::string, double>> results;
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  JsonCollectingReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  eefei::bench::BenchReport report("micro");
+  for (const auto& [name, ns] : reporter.results) report.add(name, ns);
+  report.write();
+  return 0;
+}

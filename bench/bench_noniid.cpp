@@ -10,6 +10,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "bench_json.h"
 #include "bench_common.h"
 #include "common/table.h"
 #include "core/planner.h"
@@ -18,6 +19,7 @@
 using namespace eefei;
 
 int main(int argc, char** argv) {
+  const bench::TotalTimeReport bench_report("noniid");
   auto scale = bench::scale_from_args(argc, argv);
   scale.target_accuracy = 0.88;  // non-IID runs need a reachable target
 

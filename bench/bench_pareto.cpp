@@ -6,6 +6,7 @@
 // paper's EE-FEI point) and the fastest point sit.
 #include <cstdio>
 
+#include "bench_json.h"
 #include "common/table.h"
 #include "core/acs.h"
 #include "core/pareto.h"
@@ -14,6 +15,7 @@
 using namespace eefei;
 
 int main() {
+  const bench::TotalTimeReport bench_report("pareto");
   std::printf("=== Energy/time Pareto frontier (prototype scale) ===\n\n");
 
   core::PlannerInputs inputs;  // prototype calibration

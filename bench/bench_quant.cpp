@@ -9,6 +9,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "bench_json.h"
 #include "bench_common.h"
 #include "common/table.h"
 #include "core/planner.h"
@@ -18,6 +19,7 @@
 using namespace eefei;
 
 int main(int argc, char** argv) {
+  const bench::TotalTimeReport bench_report("quant");
   auto scale = bench::scale_from_args(argc, argv);
 
   std::printf("=== Upload quantization ablation (K=1, E=20, target %.2f) "

@@ -12,6 +12,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "bench_json.h"
 #include "common/rng.h"
 #include "common/table.h"
 #include "energy/calibration.h"
@@ -42,6 +43,7 @@ const std::vector<PaperRow>& paper_rows() {
 }  // namespace
 
 int main() {
+  const bench::TotalTimeReport bench_report("table1");
   std::printf("=== Table I: time duration of step (3) ===\n");
   std::printf("(simulated edge server vs the paper's measured rows)\n\n");
 

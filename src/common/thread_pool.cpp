@@ -4,6 +4,13 @@
 
 namespace eefei {
 
+namespace {
+// Which pool (if any) owns the current thread.  Lets parallel_for detect
+// re-entrant calls from its own workers and degrade to inline execution
+// instead of deadlocking on its own queue.
+thread_local const ThreadPool* tls_worker_pool = nullptr;
+}  // namespace
+
 ThreadPool::ThreadPool(std::size_t threads) {
   if (threads == 0) {
     threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
@@ -23,7 +30,15 @@ ThreadPool::~ThreadPool() {
   for (auto& w : workers_) w.join();
 }
 
+ThreadPool& ThreadPool::shared() {
+  static ThreadPool pool(0);  // leaks nothing: joined at static destruction
+  return pool;
+}
+
+bool ThreadPool::on_worker_thread() const { return tls_worker_pool == this; }
+
 void ThreadPool::worker_loop() {
+  tls_worker_pool = this;
   for (;;) {
     std::function<void()> task;
     {
@@ -39,10 +54,21 @@ void ThreadPool::worker_loop() {
 
 void ThreadPool::parallel_for(std::size_t n,
                               const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  if (n == 1 || size() <= 1 || on_worker_thread()) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  // A few chunks per worker balances load without per-index queue traffic.
+  const std::size_t chunks = std::min(n, size() * 4);
   std::vector<std::future<void>> futures;
-  futures.reserve(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    futures.push_back(submit([&fn, i] { fn(i); }));
+  futures.reserve(chunks);
+  for (std::size_t ci = 0; ci < chunks; ++ci) {
+    const std::size_t begin = n * ci / chunks;
+    const std::size_t end = n * (ci + 1) / chunks;
+    futures.push_back(submit([&fn, begin, end] {
+      for (std::size_t i = begin; i < end; ++i) fn(i);
+    }));
   }
   for (auto& f : futures) f.get();
 }

@@ -1,6 +1,10 @@
 // Fixed-size thread pool used to run selected clients' local training in
 // parallel inside one global round (the edge servers of the prototype train
 // concurrently, so the simulation should too).
+//
+// A process-wide shared() pool is created lazily on first use so every
+// subsystem (Coordinator rounds, sharded evaluation, the sweep engine) draws
+// from one set of workers instead of each spinning up its own.
 #pragma once
 
 #include <condition_variable>
@@ -23,6 +27,10 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
+  /// Lazily-created process-wide pool sized to hardware_concurrency.
+  /// Never destroyed before main() returns; safe to call from any thread.
+  [[nodiscard]] static ThreadPool& shared();
+
   /// Enqueues a task; the returned future rethrows any task exception.
   template <typename F>
   auto submit(F&& f) -> std::future<std::invoke_result_t<F>> {
@@ -38,13 +46,22 @@ class ThreadPool {
     return result;
   }
 
-  /// Applies fn(i) for i in [0, n) across the pool and waits for all.
+  /// Applies fn(i) for i in [0, n) and waits for all.  Work is submitted in
+  /// contiguous index chunks (a few per worker) instead of one task per
+  /// index, so tiny per-index bodies don't drown in queue overhead.  Runs
+  /// inline — same iteration order, same effects — when the pool has a
+  /// single worker, when n <= 1, or when called from inside one of this
+  /// pool's own workers (a nested parallel_for must not wait on a queue it
+  /// is itself draining).
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
 
   [[nodiscard]] std::size_t size() const { return workers_.size(); }
 
  private:
   void worker_loop();
+
+  /// True when the calling thread is one of this pool's workers.
+  [[nodiscard]] bool on_worker_thread() const;
 
   std::vector<std::thread> workers_;
   std::queue<std::function<void()>> tasks_;

@@ -3,6 +3,10 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <optional>
+#include <utility>
+
+#include "common/thread_pool.h"
 
 namespace eefei::core {
 
@@ -34,14 +38,38 @@ std::optional<GridPoint> score(const EnergyObjective& objective,
   return p;
 }
 
+// Scores every (k, e) point into a slot of the returned vector, in parallel
+// when `threads` allows.  Slot i always corresponds to points[i], so any
+// in-order reduction over the slots is byte-identical to a serial sweep.
+std::vector<std::optional<GridPoint>> score_all(
+    const EnergyObjective& objective,
+    const std::vector<std::pair<std::size_t, std::size_t>>& points,
+    bool integer_rounds, std::size_t threads) {
+  std::vector<std::optional<GridPoint>> slots(points.size());
+  auto score_one = [&](std::size_t i) {
+    slots[i] =
+        score(objective, points[i].first, points[i].second, integer_rounds);
+  };
+  ThreadPool* pool =
+      (threads == 1 || points.size() <= 1) ? nullptr : &ThreadPool::shared();
+  if (pool != nullptr) {
+    pool->parallel_for(points.size(), score_one);
+  } else {
+    for (std::size_t i = 0; i < points.size(); ++i) score_one(i);
+  }
+  return slots;
+}
+
 }  // namespace
 
 Result<GridSearchResult> grid_search(const EnergyObjective& objective,
                                      GridSearchConfig config) {
   GridSearchResult result;
-  double best = std::numeric_limits<double>::infinity();
-  bool found = false;
 
+  // Enumerate the feasible-column lattice serially (cheap), score the
+  // points across the pool, then reduce in lattice order so the argmin and
+  // its tie-breaking match the serial sweep exactly.
+  std::vector<std::pair<std::size_t, std::size_t>> points;
   for (std::size_t k = 1; k <= objective.n(); ++k) {
     const auto e_max_cont =
         objective.bound().max_feasible_epochs(static_cast<double>(k));
@@ -51,18 +79,24 @@ Result<GridSearchResult> grid_search(const EnergyObjective& objective,
     }
     std::size_t e_hi = static_cast<std::size_t>(std::floor(*e_max_cont));
     if (config.max_epochs > 0) e_hi = std::min(e_hi, config.max_epochs);
-    for (std::size_t e = 1; e <= e_hi; ++e) {
-      const auto p = score(objective, k, e, config.integer_rounds);
-      if (!p.has_value()) {
-        ++result.infeasible;
-        continue;
-      }
-      ++result.evaluated;
-      if (p->objective < best) {
-        best = p->objective;
-        result.best = *p;
-        found = true;
-      }
+    for (std::size_t e = 1; e <= e_hi; ++e) points.emplace_back(k, e);
+  }
+
+  const auto slots =
+      score_all(objective, points, config.integer_rounds, config.threads);
+
+  double best = std::numeric_limits<double>::infinity();
+  bool found = false;
+  for (const auto& p : slots) {
+    if (!p.has_value()) {
+      ++result.infeasible;
+      continue;
+    }
+    ++result.evaluated;
+    if (p->objective < best) {
+      best = p->objective;
+      result.best = *p;
+      found = true;
     }
   }
   if (!found) {
@@ -74,14 +108,19 @@ Result<GridSearchResult> grid_search(const EnergyObjective& objective,
 std::vector<GridPoint> sweep(const EnergyObjective& objective,
                              std::vector<std::size_t> ks,
                              std::vector<std::size_t> es,
-                             bool integer_rounds) {
-  std::vector<GridPoint> out;
-  out.reserve(ks.size() * es.size());
+                             bool integer_rounds, std::size_t threads) {
+  std::vector<std::pair<std::size_t, std::size_t>> points;
+  points.reserve(ks.size() * es.size());
   for (const std::size_t k : ks) {
-    for (const std::size_t e : es) {
-      const auto p = score(objective, k, e, integer_rounds);
-      if (p.has_value()) out.push_back(*p);
-    }
+    for (const std::size_t e : es) points.emplace_back(k, e);
+  }
+
+  const auto slots = score_all(objective, points, integer_rounds, threads);
+
+  std::vector<GridPoint> out;
+  out.reserve(slots.size());
+  for (const auto& p : slots) {
+    if (p.has_value()) out.push_back(*p);
   }
   return out;
 }

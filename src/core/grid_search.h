@@ -30,6 +30,10 @@ struct GridSearchConfig {
   /// Use the integer T (ceil of Eq. 11) when scoring, matching the real
   /// system.  false scores with continuous T* (pure Eq. 12).
   bool integer_rounds = true;
+  /// Worker threads for scoring lattice points: 0 = the process-wide
+  /// shared pool, 1 = serial.  The result is byte-identical either way —
+  /// points are scored into indexed slots and reduced in lattice order.
+  std::size_t threads = 0;
 };
 
 /// Scans K ∈ [1, N], E ∈ [1, E_max(K)] and returns the minimizer.
@@ -37,9 +41,11 @@ struct GridSearchConfig {
     const EnergyObjective& objective, GridSearchConfig config = {});
 
 /// Full sweep rows for plotting: Ê(K, E) for every feasible lattice point
-/// with K ∈ ks, E ∈ es (infeasible points are skipped).
+/// with K ∈ ks, E ∈ es (infeasible points are skipped).  `threads` as in
+/// GridSearchConfig: 0 = shared pool, 1 = serial, identical output.
 [[nodiscard]] std::vector<GridPoint> sweep(
     const EnergyObjective& objective, std::vector<std::size_t> ks,
-    std::vector<std::size_t> es, bool integer_rounds = true);
+    std::vector<std::size_t> es, bool integer_rounds = true,
+    std::size_t threads = 0);
 
 }  // namespace eefei::core

@@ -2,37 +2,57 @@
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
 #include <sstream>
+#include <utility>
 
 #include "common/table.h"
+#include "common/thread_pool.h"
 
 namespace eefei::core {
 
 Result<ParetoResult> pareto_sweep(const EnergyObjective& objective,
                                   const RoundTimeModel& time_model,
-                                  std::size_t max_epochs) {
-  ParetoResult result;
+                                  std::size_t max_epochs,
+                                  std::size_t threads) {
+  // Enumerate the lattice serially, score in parallel into indexed slots,
+  // then collect in lattice order — the downstream sort/frontier pass sees
+  // the exact sequence a serial sweep would have produced.
+  std::vector<std::pair<std::size_t, std::size_t>> lattice;
   for (std::size_t k = 1; k <= objective.n(); ++k) {
     const auto e_max =
         objective.bound().max_feasible_epochs(static_cast<double>(k));
     if (!e_max.has_value()) continue;
     std::size_t e_hi = static_cast<std::size_t>(std::floor(*e_max));
     if (max_epochs > 0) e_hi = std::min(e_hi, max_epochs);
-    for (std::size_t e = 1; e <= e_hi; ++e) {
-      const auto t = objective.bound().optimal_rounds_int(
-          static_cast<double>(k), static_cast<double>(e));
-      if (!t.ok()) continue;
-      ParetoPoint p;
-      p.k = k;
-      p.e = e;
-      p.t = t.value();
-      p.energy_j = objective.value_at_rounds(
-          static_cast<double>(k), static_cast<double>(e),
-          static_cast<double>(p.t));
-      p.makespan =
-          time_model.round_duration(k, e) * static_cast<double>(p.t);
-      result.points.push_back(p);
-    }
+    for (std::size_t e = 1; e <= e_hi; ++e) lattice.emplace_back(k, e);
+  }
+
+  std::vector<std::optional<ParetoPoint>> slots(lattice.size());
+  auto score_one = [&](std::size_t i) {
+    const auto [k, e] = lattice[i];
+    const auto t = objective.bound().optimal_rounds_int(
+        static_cast<double>(k), static_cast<double>(e));
+    if (!t.ok()) return;
+    ParetoPoint p;
+    p.k = k;
+    p.e = e;
+    p.t = t.value();
+    p.energy_j = objective.value_at_rounds(
+        static_cast<double>(k), static_cast<double>(e),
+        static_cast<double>(p.t));
+    p.makespan = time_model.round_duration(k, e) * static_cast<double>(p.t);
+    slots[i] = p;
+  };
+  if (threads != 1 && lattice.size() > 1) {
+    ThreadPool::shared().parallel_for(lattice.size(), score_one);
+  } else {
+    for (std::size_t i = 0; i < lattice.size(); ++i) score_one(i);
+  }
+
+  ParetoResult result;
+  for (const auto& p : slots) {
+    if (p.has_value()) result.points.push_back(*p);
   }
   if (result.points.empty()) {
     return Error::infeasible("pareto: no feasible lattice point");

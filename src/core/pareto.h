@@ -55,9 +55,11 @@ struct ParetoResult {
 };
 
 /// Sweeps K ∈ [1, N] × feasible E, scores (energy, makespan) with the
-/// bound-implied T, and extracts the Pareto-optimal set.
+/// bound-implied T, and extracts the Pareto-optimal set.  `threads`:
+/// 0 = score points on the process-wide shared pool, 1 = serial; the
+/// result is byte-identical either way.
 [[nodiscard]] Result<ParetoResult> pareto_sweep(
     const EnergyObjective& objective, const RoundTimeModel& time_model,
-    std::size_t max_epochs = 0);
+    std::size_t max_epochs = 0, std::size_t threads = 0);
 
 }  // namespace eefei::core

@@ -2,8 +2,10 @@
 
 #include <cmath>
 #include <sstream>
+#include <utility>
 
 #include "common/table.h"
+#include "common/thread_pool.h"
 
 namespace eefei::core {
 
@@ -36,7 +38,8 @@ PlannerInputs perturb(const PlannerInputs& inputs, const std::string& name,
 }  // namespace
 
 Result<SensitivityReport> analyze_sensitivity(const PlannerInputs& inputs,
-                                              double relative_step) {
+                                              double relative_step,
+                                              std::size_t threads) {
   const EeFeiPlanner nominal_planner(inputs);
   auto nominal = nominal_planner.plan();
   if (!nominal.ok()) return nominal.error();
@@ -46,45 +49,60 @@ Result<SensitivityReport> analyze_sensitivity(const PlannerInputs& inputs,
 
   const std::vector<std::string> params{"A0", "A1", "A2",
                                         "B0", "B1", "epsilon"};
+  // Each (parameter, ±step) entry re-plans from scratch — independent work,
+  // computed into indexed slots and collected in the fixed (param, -, +)
+  // order so the report is identical to the serial sweep's.
+  std::vector<std::pair<std::string, double>> cases;
+  cases.reserve(params.size() * 2);
   for (const auto& p : params) {
     for (const double rel : {-relative_step, relative_step}) {
-      SensitivityEntry entry;
-      entry.parameter = p;
-      entry.perturbation = rel;
-
-      const PlannerInputs perturbed = perturb(inputs, p, rel);
-      const EeFeiPlanner planner(perturbed);
-      const auto plan = planner.plan();
-      if (!plan.ok()) {
-        entry.feasible = false;
-        report.entries.push_back(std::move(entry));
-        continue;
-      }
-      entry.k_star = plan->k;
-      entry.e_star = plan->e;
-      entry.t_star = plan->t;
-      entry.energy_j = plan->predicted_energy_j;
-
-      // Regret: run the nominal (K, E) under the perturbed truth.
-      const auto obj = planner.objective();
-      const auto t_nominal = obj.bound().optimal_rounds_int(
-          static_cast<double>(report.nominal.k),
-          static_cast<double>(report.nominal.e));
-      if (t_nominal.ok() && plan->predicted_energy_j > 0.0) {
-        const double nominal_under_truth = obj.value_at_rounds(
-            static_cast<double>(report.nominal.k),
-            static_cast<double>(report.nominal.e),
-            static_cast<double>(t_nominal.value()));
-        entry.regret =
-            nominal_under_truth / plan->predicted_energy_j - 1.0;
-      } else if (!t_nominal.ok()) {
-        // The nominal plan cannot even reach the target under the
-        // perturbed truth: infinite regret, flagged as infeasible.
-        entry.feasible = false;
-      }
-      report.entries.push_back(std::move(entry));
+      cases.emplace_back(p, rel);
     }
   }
+
+  std::vector<SensitivityEntry> slots(cases.size());
+  auto analyze_one = [&](std::size_t i) {
+    SensitivityEntry& entry = slots[i];
+    entry.parameter = cases[i].first;
+    const double rel = cases[i].second;
+    entry.perturbation = rel;
+
+    const PlannerInputs perturbed = perturb(inputs, entry.parameter, rel);
+    const EeFeiPlanner planner(perturbed);
+    const auto plan = planner.plan();
+    if (!plan.ok()) {
+      entry.feasible = false;
+      return;
+    }
+    entry.k_star = plan->k;
+    entry.e_star = plan->e;
+    entry.t_star = plan->t;
+    entry.energy_j = plan->predicted_energy_j;
+
+    // Regret: run the nominal (K, E) under the perturbed truth.
+    const auto obj = planner.objective();
+    const auto t_nominal = obj.bound().optimal_rounds_int(
+        static_cast<double>(report.nominal.k),
+        static_cast<double>(report.nominal.e));
+    if (t_nominal.ok() && plan->predicted_energy_j > 0.0) {
+      const double nominal_under_truth = obj.value_at_rounds(
+          static_cast<double>(report.nominal.k),
+          static_cast<double>(report.nominal.e),
+          static_cast<double>(t_nominal.value()));
+      entry.regret = nominal_under_truth / plan->predicted_energy_j - 1.0;
+    } else if (!t_nominal.ok()) {
+      // The nominal plan cannot even reach the target under the
+      // perturbed truth: infinite regret, flagged as infeasible.
+      entry.feasible = false;
+    }
+  };
+  if (threads != 1 && cases.size() > 1) {
+    ThreadPool::shared().parallel_for(cases.size(), analyze_one);
+  } else {
+    for (std::size_t i = 0; i < cases.size(); ++i) analyze_one(i);
+  }
+
+  report.entries = std::move(slots);
   return report;
 }
 

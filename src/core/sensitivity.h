@@ -42,8 +42,11 @@ struct SensitivityReport {
 
 /// Perturbs each parameter by ±`relative_step` (default ±20%) and
 /// re-optimizes.  Fails only if the *nominal* problem is infeasible;
-/// infeasible perturbations are reported as such.
+/// infeasible perturbations are reported as such.  `threads`: 0 = the
+/// process-wide shared pool (each perturbation re-plans independently),
+/// 1 = serial; the report is byte-identical either way.
 [[nodiscard]] Result<SensitivityReport> analyze_sensitivity(
-    const PlannerInputs& inputs, double relative_step = 0.2);
+    const PlannerInputs& inputs, double relative_step = 0.2,
+    std::size_t threads = 0);
 
 }  // namespace eefei::core

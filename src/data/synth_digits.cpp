@@ -79,18 +79,22 @@ const std::array<std::vector<Segment>, 10>& glyphs() {
   return g;
 }
 
-double point_segment_distance(double px, double py, const Segment& s) {
-  const double dx = s.b.x - s.a.x;
-  const double dy = s.b.y - s.a.y;
-  const double len2 = dx * dx + dy * dy;
-  double t = 0.0;
-  if (len2 > 0.0) {
-    t = ((px - s.a.x) * dx + (py - s.a.y) * dy) / len2;
-    t = std::clamp(t, 0.0, 1.0);
-  }
-  const double cx = s.a.x + t * dx;
-  const double cy = s.a.y + t * dy;
-  return std::hypot(px - cx, py - cy);
+// Pixel-space segment with the projection constants and the cutoff-expanded
+// bounding box precomputed once per sample.  Distances are kept squared
+// until the single sqrt per pixel.
+struct PreparedSegment {
+  Point a;
+  double dx, dy, inv_len2;
+  double x_lo, x_hi, y_lo, y_hi;  // bbox expanded by the intensity cutoff
+};
+
+double point_segment_distance2(double px, double py,
+                               const PreparedSegment& s) {
+  double t = ((px - s.a.x) * s.dx + (py - s.a.y) * s.dy) * s.inv_len2;
+  t = std::clamp(t, 0.0, 1.0);
+  const double ex = px - (s.a.x + t * s.dx);
+  const double ey = py - (s.a.y + t * s.dy);
+  return ex * ex + ey * ey;
 }
 
 }  // namespace
@@ -123,9 +127,16 @@ void SynthDigits::render(int label, std::span<double> out) {
   const double sinr = std::sin(angle);
   const auto fside = static_cast<double>(side);
 
-  // Transform the prototype segments into pixel space once per sample.
+  // A pixel farther than this from every stroke has zero pre-noise
+  // intensity: (thickness − d)/softness + 0.5 ≤ 0 clamps to exactly 0.
+  const double softness = 0.8 * std::max(res, 0.35);
+  const double cutoff = thickness + 0.5 * softness;
+  const double cutoff2 = cutoff * cutoff;
+
+  // Transform the prototype segments into pixel space once per sample and
+  // precompute the projection constants + cutoff-expanded bounding boxes.
   const auto& proto = glyphs()[static_cast<std::size_t>(label)];
-  std::vector<Segment> segs;
+  std::vector<PreparedSegment> segs;
   segs.reserve(proto.size());
   for (const auto& s : proto) {
     auto map = [&](Point p) -> Point {
@@ -135,20 +146,40 @@ void SynthDigits::render(int label, std::span<double> out) {
       const double ry = ux * sinr + uy * cosr;
       return {rx * fside + fside / 2.0 + tx, ry * fside + fside / 2.0 + ty};
     };
-    segs.push_back({map(s.a), map(s.b)});
+    const Point a = map(s.a);
+    const Point b = map(s.b);
+    PreparedSegment ps;
+    ps.a = a;
+    ps.dx = b.x - a.x;
+    ps.dy = b.y - a.y;
+    const double len2 = ps.dx * ps.dx + ps.dy * ps.dy;
+    ps.inv_len2 = len2 > 0.0 ? 1.0 / len2 : 0.0;
+    ps.x_lo = std::min(a.x, b.x) - cutoff;
+    ps.x_hi = std::max(a.x, b.x) + cutoff;
+    ps.y_lo = std::min(a.y, b.y) - cutoff;
+    ps.y_hi = std::max(a.y, b.y) + cutoff;
+    segs.push_back(ps);
   }
 
   // Rasterize: per-pixel intensity from the closest stroke, then noise.
-  const double softness = 0.8 * std::max(res, 0.35);
+  // Segments whose expanded bbox misses the pixel are ≥ cutoff away, so
+  // skipping them cannot change the clamped intensity.
   for (std::size_t yy = 0; yy < side; ++yy) {
+    const double py = static_cast<double>(yy) + 0.5;
     for (std::size_t xx = 0; xx < side; ++xx) {
       const double px = static_cast<double>(xx) + 0.5;
-      const double py = static_cast<double>(yy) + 0.5;
-      double dmin = 1e9;
+      double dmin2 = cutoff2;
       for (const auto& s : segs) {
-        dmin = std::min(dmin, point_segment_distance(px, py, s));
+        if (px < s.x_lo || px > s.x_hi || py < s.y_lo || py > s.y_hi) {
+          continue;
+        }
+        dmin2 = std::min(dmin2, point_segment_distance2(px, py, s));
       }
-      double v = std::clamp((thickness - dmin) / softness + 0.5, 0.0, 1.0);
+      double v = 0.0;
+      if (dmin2 < cutoff2) {
+        v = std::clamp(
+            (thickness - std::sqrt(dmin2)) / softness + 0.5, 0.0, 1.0);
+      }
       if (v > 0.0 && rng_.bernoulli(config_.dropout_prob)) v = 0.0;
       v += rng_.normal(0.0, config_.pixel_noise_stddev);
       out[yy * side + xx] = std::clamp(v, 0.0, 1.0);

@@ -56,15 +56,8 @@ Result<TrainingOutcome> Coordinator::run() {
     global = *initial_params_;
   }
 
-  // Evaluation model reused every round.
-  const auto eval_model_ptr =
-      ml::make_model(clients_->front().config().model);
-  ml::Model& eval_model = *eval_model_ptr;
-
-  std::unique_ptr<ThreadPool> pool;
-  if (config_.threads > 0) {
-    pool = std::make_unique<ThreadPool>(config_.threads);
-  }
+  ml::Model& evaluator = eval_model();
+  ThreadPool* pool = acquire_pool();
 
   TrainingOutcome outcome;
   std::size_t cumulative_epochs = 0;
@@ -114,14 +107,23 @@ Result<TrainingOutcome> Coordinator::run() {
         updates[drop_rng.uniform_index(updates.size())].aggregated = true;
       }
     }
+    // Aggregate over the surviving updates.  Copying the (large) parameter
+    // vectors into a survivors buffer is only needed when drops actually
+    // occurred; the common no-drop path aggregates the updates in place.
     std::vector<LocalTrainResult> survivors;
-    survivors.reserve(updates.size());
-    for (const auto& u : updates) {
-      if (u.aggregated) survivors.push_back(u);
+    std::size_t survivor_count = updates.size();
+    std::span<const LocalTrainResult> to_aggregate = updates;
+    if (config_.update_drop_probability > 0.0) {
+      survivors.reserve(updates.size());
+      for (const auto& u : updates) {
+        if (u.aggregated) survivors.push_back(u);
+      }
+      survivor_count = survivors.size();
+      to_aggregate = survivors;
     }
 
     if (const auto st =
-            aggregate(survivors, config_.aggregation, client_average);
+            aggregate(to_aggregate, config_.aggregation, client_average);
         !st.ok()) {
       return st.error();
     }
@@ -135,7 +137,7 @@ Result<TrainingOutcome> Coordinator::run() {
     RoundRecord record;
     record.round = t;
     record.clients_selected = selected.size();
-    record.updates_aggregated = survivors.size();
+    record.updates_aggregated = survivor_count;
     record.local_epochs = config_.local_epochs;
     record.cumulative_local_epochs = cumulative_epochs;
     record.selected = selected;
@@ -146,9 +148,10 @@ Result<TrainingOutcome> Coordinator::run() {
     const bool eval_round =
         (t % config_.eval_every == 0) || (t + 1 == config_.max_rounds);
     if (eval_round) {
-      auto params = eval_model.parameters();
+      auto params = evaluator.parameters();
       std::copy(global.begin(), global.end(), params.begin());
-      const auto eval = eval_model.evaluate(test_set_->view());
+      const auto eval = ml::evaluate_sharded(evaluator, test_set_->view(),
+                                             pool, eval_workspaces_);
       record.global_loss = eval.loss;
       record.test_accuracy = eval.accuracy;
     } else if (!outcome.record.empty()) {
@@ -179,10 +182,33 @@ Result<TrainingOutcome> Coordinator::run() {
 }
 
 double Coordinator::evaluate_loss(std::span<const double> params) const {
-  const auto model = ml::make_model(clients_->front().config().model);
-  auto p = model->parameters();
+  ml::Model& model = eval_model();
+  auto p = model.parameters();
   std::copy(params.begin(), params.end(), p.begin());
-  return model->evaluate(test_set_->view()).loss;
+  return ml::evaluate_sharded(model, test_set_->view(), pool_,
+                              eval_workspaces_)
+      .loss;
+}
+
+ThreadPool* Coordinator::acquire_pool() {
+  if (config_.threads <= 1) {
+    pool_ = nullptr;
+  } else if (pool_ == nullptr) {
+    if (config_.threads == ThreadPool::shared().size()) {
+      pool_ = &ThreadPool::shared();
+    } else {
+      owned_pool_ = std::make_unique<ThreadPool>(config_.threads);
+      pool_ = owned_pool_.get();
+    }
+  }
+  return pool_;
+}
+
+ml::Model& Coordinator::eval_model() const {
+  if (!eval_model_) {
+    eval_model_ = ml::make_model(clients_->front().config().model);
+  }
+  return *eval_model_;
 }
 
 }  // namespace eefei::fl

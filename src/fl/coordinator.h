@@ -38,7 +38,10 @@ struct CoordinatorConfig {
   ServerOptimizerConfig server_optimizer;
   /// Evaluate every this many rounds (1 = every round).
   std::size_t eval_every = 1;
-  /// Worker threads for parallel local training (0 = run serially).
+  /// Worker threads for parallel local training and sharded test-set
+  /// evaluation.  0 or 1 = run serially; a count matching the process-wide
+  /// shared pool borrows it instead of spawning threads.  Results are
+  /// bit-identical for any value (deterministic chunked reduction).
   std::size_t threads = 0;
   /// Lossy-upload extension: quantize each uploaded model to this many
   /// bits per parameter (4/8/16).  0 or 32 = exact float upload.
@@ -99,6 +102,15 @@ class Coordinator {
  private:
   [[nodiscard]] double evaluate_loss(std::span<const double> params) const;
 
+  /// Pool for this config's thread count: null for serial, the shared
+  /// process-wide pool when sizes match, else a lazily-created pool owned
+  /// by (and reused across run() calls of) this coordinator.
+  [[nodiscard]] ThreadPool* acquire_pool();
+
+  /// Evaluation model matching the clients' spec, created once and reused
+  /// by every evaluation (run() rounds and evaluate_loss()).
+  [[nodiscard]] ml::Model& eval_model() const;
+
   std::vector<Client>* clients_;
   const data::Dataset* test_set_;
   CoordinatorConfig config_;
@@ -106,6 +118,10 @@ class Coordinator {
   RoundObserver observer_;
   std::optional<std::vector<double>> initial_params_;
   std::size_t start_round_ = 0;
+  std::unique_ptr<ThreadPool> owned_pool_;
+  ThreadPool* pool_ = nullptr;
+  mutable std::unique_ptr<ml::Model> eval_model_;
+  mutable std::vector<ml::Workspace> eval_workspaces_;
 };
 
 }  // namespace eefei::fl

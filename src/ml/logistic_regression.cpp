@@ -4,6 +4,8 @@
 #include <cassert>
 #include <cmath>
 
+#include "ml/kernels.h"
+
 namespace eefei::ml {
 
 namespace {
@@ -24,24 +26,17 @@ LogisticRegression::LogisticRegression(LogisticRegressionConfig config,
 }
 
 void LogisticRegression::forward(std::span<const double> features,
-                                 std::size_t n,
-                                 std::vector<double>& out) const {
+                                 std::size_t n, double* out) const {
   const std::size_t d = config_.input_dim;
   const std::size_t c = config_.num_classes;
   assert(features.size() == n * d);
-  out.assign(n * c, 0.0);
   const double* w = params_.data();               // d × c row-major
   const double* b = params_.data() + d * c;       // c
   for (std::size_t i = 0; i < n; ++i) {
     const double* x = features.data() + i * d;
-    double* logits = out.data() + i * c;
+    double* logits = out + i * c;
     for (std::size_t j = 0; j < c; ++j) logits[j] = b[j];
-    for (std::size_t k = 0; k < d; ++k) {
-      const double xv = x[k];
-      if (xv == 0.0) continue;
-      const double* wrow = w + k * c;
-      for (std::size_t j = 0; j < c; ++j) logits[j] += xv * wrow[j];
-    }
+    accumulate_rows(x, d, c, w, logits);
     std::span<double> row(logits, c);
     if (config_.activation == Activation::kSoftmax) {
       softmax_inplace(row);
@@ -51,8 +46,8 @@ void LogisticRegression::forward(std::span<const double> features,
   }
 }
 
-double LogisticRegression::batch_loss(std::span<const double> probs,
-                                      std::span<const int> labels) const {
+double LogisticRegression::batch_loss_sum(std::span<const double> probs,
+                                          std::span<const int> labels) const {
   const std::size_t c = config_.num_classes;
   double loss = 0.0;
   if (config_.activation == Activation::kSoftmax) {
@@ -75,17 +70,19 @@ double LogisticRegression::batch_loss(std::span<const double> probs,
       }
     }
   }
-  loss /= static_cast<double>(labels.size());
-  if (config_.l2_lambda > 0.0) {
-    double sq = 0.0;
-    for (const double p : params_) sq += p * p;
-    loss += 0.5 * config_.l2_lambda * sq;
-  }
   return loss;
 }
 
+double LogisticRegression::penalty() const {
+  if (config_.l2_lambda <= 0.0) return 0.0;
+  double sq = 0.0;
+  for (const double p : params_) sq += p * p;
+  return 0.5 * config_.l2_lambda * sq;
+}
+
 double LogisticRegression::loss_and_gradient(const BatchView& batch,
-                                             std::span<double> grad) {
+                                             std::span<double> grad,
+                                             Workspace& ws) {
   assert(batch.valid());
   assert(batch.feature_dim == config_.input_dim);
   assert(grad.size() == params_.size());
@@ -93,9 +90,11 @@ double LogisticRegression::loss_and_gradient(const BatchView& batch,
   const std::size_t d = config_.input_dim;
   const std::size_t c = config_.num_classes;
 
-  std::vector<double> probs;
-  forward(batch.features, n, probs);
-  const double loss = batch_loss(probs, batch.labels);
+  const auto probs = Workspace::ensure(ws.probs, n * c);
+  forward(batch.features, n, probs.data());
+  const double loss = batch_loss_sum(probs, batch.labels) /
+                          static_cast<double>(n) +
+                      penalty();
 
   // For both softmax+CE and sigmoid+BCE the error signal is (p − y):
   // that identity is what makes the two heads share this gradient code.
@@ -106,12 +105,7 @@ double LogisticRegression::loss_and_gradient(const BatchView& batch,
     double* err = probs.data() + i * c;  // reuse probs as the error buffer
     err[static_cast<std::size_t>(batch.labels[i])] -= 1.0;
     const double* x = batch.features.data() + i * d;
-    for (std::size_t k = 0; k < d; ++k) {
-      const double xv = x[k];
-      if (xv == 0.0) continue;
-      double* grow = gw + k * c;
-      for (std::size_t j = 0; j < c; ++j) grow[j] += xv * err[j];
-    }
+    accumulate_outer(x, d, c, err, gw);
     for (std::size_t j = 0; j < c; ++j) gb[j] += err[j];
   }
   const double inv_n = 1.0 / static_cast<double>(n);
@@ -124,33 +118,33 @@ double LogisticRegression::loss_and_gradient(const BatchView& batch,
   return loss;
 }
 
-EvalResult LogisticRegression::evaluate(const BatchView& batch) const {
+EvalSums LogisticRegression::evaluate_sums(const BatchView& batch,
+                                           Workspace& ws) const {
   assert(batch.valid());
   assert(batch.feature_dim == config_.input_dim);
   const std::size_t n = batch.size();
   const std::size_t c = config_.num_classes;
 
-  std::vector<double> probs;
-  forward(batch.features, n, probs);
+  const auto probs = Workspace::ensure(ws.probs, n * c);
+  forward(batch.features, n, probs.data());
 
-  std::size_t correct = 0;
+  EvalSums sums;
+  sums.samples = n;
+  sums.loss_sum = batch_loss_sum(probs, batch.labels);
   for (std::size_t i = 0; i < n; ++i) {
     const double* row = probs.data() + i * c;
     const std::size_t argmax = static_cast<std::size_t>(
         std::max_element(row, row + c) - row);
-    if (argmax == static_cast<std::size_t>(batch.labels[i])) ++correct;
+    if (argmax == static_cast<std::size_t>(batch.labels[i])) ++sums.correct;
   }
-  EvalResult r;
-  r.loss = batch_loss(probs, batch.labels);
-  r.accuracy = static_cast<double>(correct) / static_cast<double>(n);
-  r.samples = n;
-  return r;
+  return sums;
 }
 
-int LogisticRegression::predict(std::span<const double> features) const {
+int LogisticRegression::predict(std::span<const double> features,
+                                Workspace& ws) const {
   assert(features.size() == config_.input_dim);
-  std::vector<double> probs;
-  forward(features, 1, probs);
+  const auto probs = Workspace::ensure(ws.probs, config_.num_classes);
+  forward(features, 1, probs.data());
   return static_cast<int>(
       std::max_element(probs.begin(), probs.end()) - probs.begin());
 }

@@ -33,10 +33,17 @@ class LogisticRegression final : public Model {
     return params_;
   }
 
-  double loss_and_gradient(const BatchView& batch,
-                           std::span<double> grad) override;
-  [[nodiscard]] EvalResult evaluate(const BatchView& batch) const override;
-  [[nodiscard]] int predict(std::span<const double> features) const override;
+  using Model::evaluate;
+  using Model::loss_and_gradient;
+  using Model::predict;
+
+  double loss_and_gradient(const BatchView& batch, std::span<double> grad,
+                           Workspace& ws) override;
+  [[nodiscard]] EvalSums evaluate_sums(const BatchView& batch,
+                                       Workspace& ws) const override;
+  [[nodiscard]] double penalty() const override;
+  [[nodiscard]] int predict(std::span<const double> features,
+                            Workspace& ws) const override;
   [[nodiscard]] std::unique_ptr<Model> clone() const override;
 
   [[nodiscard]] const LogisticRegressionConfig& config() const {
@@ -56,13 +63,14 @@ class LogisticRegression final : public Model {
 
  private:
   /// Writes class probabilities (after activation) for `n` examples into
-  /// `out` (n × num_classes row-major).
+  /// `out` (n × num_classes row-major, fully overwritten).
   void forward(std::span<const double> features, std::size_t n,
-               std::vector<double>& out) const;
+               double* out) const;
 
-  /// Mean loss of the batch given forward-pass probabilities.
-  [[nodiscard]] double batch_loss(std::span<const double> probs,
-                                  std::span<const int> labels) const;
+  /// Sum of per-example data losses given forward-pass probabilities
+  /// (no mean, no L2 — see EvalSums).
+  [[nodiscard]] double batch_loss_sum(std::span<const double> probs,
+                                      std::span<const int> labels) const;
 
   LogisticRegressionConfig config_;
   // Layout: [W row-major (input_dim × num_classes) | bias (num_classes)].

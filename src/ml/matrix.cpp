@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "ml/kernels.h"
+
 namespace eefei::ml {
 
 Matrix& Matrix::operator+=(const Matrix& other) {
@@ -42,15 +44,10 @@ void gemm(std::span<const double> a, std::size_t n, std::size_t k,
   if (out.rows() != n || out.cols() != m) out = Matrix(n, m);
   out.fill(0.0);
   // i-k-j loop order: streams through B's rows, keeps out-row in cache.
+  // The 4-way k-blocked kernel keeps the sparse-skip at block granularity.
   for (std::size_t i = 0; i < n; ++i) {
-    const double* arow = a.data() + i * k;
-    auto orow = out.row(i);
-    for (std::size_t kk = 0; kk < k; ++kk) {
-      const double av = arow[kk];
-      if (av == 0.0) continue;  // synthetic images are sparse-ish
-      const auto brow = b.row(kk);
-      for (std::size_t j = 0; j < m; ++j) orow[j] += av * brow[j];
-    }
+    accumulate_rows(a.data() + i * k, k, m, b.flat().data(),
+                    out.row(i).data());
   }
 }
 
@@ -62,14 +59,8 @@ void gemm_at_b(std::span<const double> a, std::size_t n, std::size_t k,
   if (out.rows() != k || out.cols() != m) out = Matrix(k, m);
   out.fill(0.0);
   for (std::size_t i = 0; i < n; ++i) {
-    const double* arow = a.data() + i * k;
-    const auto brow = b.row(i);
-    for (std::size_t kk = 0; kk < k; ++kk) {
-      const double av = arow[kk];
-      if (av == 0.0) continue;
-      auto orow = out.row(kk);
-      for (std::size_t j = 0; j < m; ++j) orow[j] += av * brow[j];
-    }
+    accumulate_outer(a.data() + i * k, k, m, b.row(i).data(),
+                     out.flat().data());
   }
 }
 

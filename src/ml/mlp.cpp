@@ -5,6 +5,7 @@
 #include <cmath>
 
 #include "ml/activations.h"
+#include "ml/kernels.h"
 
 namespace eefei::ml {
 
@@ -30,8 +31,7 @@ Mlp::Mlp(MlpConfig config)
 }
 
 void Mlp::forward(std::span<const double> features, std::size_t n,
-                  std::vector<double>& hidden,
-                  std::vector<double>& probs) const {
+                  double* hidden, double* probs) const {
   const std::size_t d = config_.input_dim;
   const std::size_t h = config_.hidden_units;
   const std::size_t c = config_.num_classes;
@@ -40,34 +40,29 @@ void Mlp::forward(std::span<const double> features, std::size_t n,
   const double* w2 = params_.data() + w2_offset();  // h×c row-major
   const double* b2 = params_.data() + b2_offset();
 
-  hidden.assign(n * h, 0.0);
-  probs.assign(n * c, 0.0);
   for (std::size_t i = 0; i < n; ++i) {
     const double* x = features.data() + i * d;
-    double* z = hidden.data() + i * h;
+    double* z = hidden + i * h;
     for (std::size_t j = 0; j < h; ++j) z[j] = b1[j];
-    for (std::size_t k = 0; k < d; ++k) {
-      const double xv = x[k];
-      if (xv == 0.0) continue;
-      const double* wrow = w1 + k * h;
-      for (std::size_t j = 0; j < h; ++j) z[j] += xv * wrow[j];
-    }
+    accumulate_rows(x, d, h, w1, z);
     for (std::size_t j = 0; j < h; ++j) z[j] = std::max(0.0, z[j]);  // ReLU
 
-    double* logits = probs.data() + i * c;
+    double* logits = probs + i * c;
     for (std::size_t j = 0; j < c; ++j) logits[j] = b2[j];
-    for (std::size_t k = 0; k < h; ++k) {
-      const double a = z[k];
-      if (a == 0.0) continue;
-      const double* wrow = w2 + k * c;
-      for (std::size_t j = 0; j < c; ++j) logits[j] += a * wrow[j];
-    }
+    accumulate_rows(z, h, c, w2, logits);
     softmax_inplace(std::span<double>(logits, c));
   }
 }
 
-double Mlp::loss_and_gradient(const BatchView& batch,
-                              std::span<double> grad) {
+double Mlp::penalty() const {
+  if (config_.l2_lambda <= 0.0) return 0.0;
+  double sq = 0.0;
+  for (const double p : params_) sq += p * p;
+  return 0.5 * config_.l2_lambda * sq;
+}
+
+double Mlp::loss_and_gradient(const BatchView& batch, std::span<double> grad,
+                              Workspace& ws) {
   assert(batch.valid());
   assert(batch.feature_dim == config_.input_dim);
   assert(grad.size() == params_.size());
@@ -76,8 +71,9 @@ double Mlp::loss_and_gradient(const BatchView& batch,
   const std::size_t h = config_.hidden_units;
   const std::size_t c = config_.num_classes;
 
-  std::vector<double> hidden, probs;
-  forward(batch.features, n, hidden, probs);
+  const auto hidden = Workspace::ensure(ws.hidden, n * h);
+  const auto probs = Workspace::ensure(ws.probs, n * c);
+  forward(batch.features, n, hidden.data(), probs.data());
 
   double loss = 0.0;
   for (std::size_t i = 0; i < n; ++i) {
@@ -94,7 +90,7 @@ double Mlp::loss_and_gradient(const BatchView& batch,
   double* gb2 = grad.data() + b2_offset();
   const double* w2 = params_.data() + w2_offset();
 
-  std::vector<double> dhidden(h);
+  const auto dhidden = Workspace::ensure(ws.scratch, h);
   for (std::size_t i = 0; i < n; ++i) {
     // dL/dlogits = p − y (softmax + CE).
     double* err = probs.data() + i * c;
@@ -102,13 +98,7 @@ double Mlp::loss_and_gradient(const BatchView& batch,
 
     const double* a = hidden.data() + i * h;  // post-ReLU activations
     // Head gradients: gw2 += a ⊗ err, gb2 += err.
-    for (std::size_t k = 0; k < h; ++k) {
-      const double av = a[k];
-      if (av != 0.0) {
-        double* grow = gw2 + k * c;
-        for (std::size_t j = 0; j < c; ++j) grow[j] += av * err[j];
-      }
-    }
+    accumulate_outer(a, h, c, err, gw2);
     for (std::size_t j = 0; j < c; ++j) gb2[j] += err[j];
 
     // Backprop into the hidden layer: dh = (W2 · err) ⊙ 1[a > 0].
@@ -125,12 +115,7 @@ double Mlp::loss_and_gradient(const BatchView& batch,
 
     // Input-layer gradients: gw1 += x ⊗ dh, gb1 += dh.
     const double* x = batch.features.data() + i * d;
-    for (std::size_t k = 0; k < d; ++k) {
-      const double xv = x[k];
-      if (xv == 0.0) continue;
-      double* grow = gw1 + k * h;
-      for (std::size_t j = 0; j < h; ++j) grow[j] += xv * dhidden[j];
-    }
+    accumulate_outer(x, d, h, dhidden.data(), gw1);
     for (std::size_t j = 0; j < h; ++j) gb1[j] += dhidden[j];
   }
 
@@ -147,39 +132,33 @@ double Mlp::loss_and_gradient(const BatchView& batch,
   return loss;
 }
 
-EvalResult Mlp::evaluate(const BatchView& batch) const {
+EvalSums Mlp::evaluate_sums(const BatchView& batch, Workspace& ws) const {
   assert(batch.valid());
   const std::size_t n = batch.size();
+  const std::size_t h = config_.hidden_units;
   const std::size_t c = config_.num_classes;
-  std::vector<double> hidden, probs;
-  forward(batch.features, n, hidden, probs);
+  const auto hidden = Workspace::ensure(ws.hidden, n * h);
+  const auto probs = Workspace::ensure(ws.probs, n * c);
+  forward(batch.features, n, hidden.data(), probs.data());
 
-  double loss = 0.0;
-  std::size_t correct = 0;
+  EvalSums sums;
+  sums.samples = n;
   for (std::size_t i = 0; i < n; ++i) {
     const double* row = probs.data() + i * c;
-    loss -= std::log(std::max(
+    sums.loss_sum -= std::log(std::max(
         row[static_cast<std::size_t>(batch.labels[i])], kProbFloor));
     const auto argmax =
         static_cast<std::size_t>(std::max_element(row, row + c) - row);
-    if (argmax == static_cast<std::size_t>(batch.labels[i])) ++correct;
+    if (argmax == static_cast<std::size_t>(batch.labels[i])) ++sums.correct;
   }
-  EvalResult r;
-  r.loss = loss / static_cast<double>(n);
-  if (config_.l2_lambda > 0.0) {
-    double sq = 0.0;
-    for (const double p : params_) sq += p * p;
-    r.loss += 0.5 * config_.l2_lambda * sq;
-  }
-  r.accuracy = static_cast<double>(correct) / static_cast<double>(n);
-  r.samples = n;
-  return r;
+  return sums;
 }
 
-int Mlp::predict(std::span<const double> features) const {
+int Mlp::predict(std::span<const double> features, Workspace& ws) const {
   assert(features.size() == config_.input_dim);
-  std::vector<double> hidden, probs;
-  forward(features, 1, hidden, probs);
+  const auto hidden = Workspace::ensure(ws.hidden, config_.hidden_units);
+  const auto probs = Workspace::ensure(ws.probs, config_.num_classes);
+  forward(features, 1, hidden.data(), probs.data());
   return static_cast<int>(
       std::max_element(probs.begin(), probs.end()) - probs.begin());
 }

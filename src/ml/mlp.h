@@ -33,10 +33,17 @@ class Mlp final : public Model {
     return params_;
   }
 
-  double loss_and_gradient(const BatchView& batch,
-                           std::span<double> grad) override;
-  [[nodiscard]] EvalResult evaluate(const BatchView& batch) const override;
-  [[nodiscard]] int predict(std::span<const double> features) const override;
+  using Model::evaluate;
+  using Model::loss_and_gradient;
+  using Model::predict;
+
+  double loss_and_gradient(const BatchView& batch, std::span<double> grad,
+                           Workspace& ws) override;
+  [[nodiscard]] EvalSums evaluate_sums(const BatchView& batch,
+                                       Workspace& ws) const override;
+  [[nodiscard]] double penalty() const override;
+  [[nodiscard]] int predict(std::span<const double> features,
+                            Workspace& ws) const override;
   [[nodiscard]] std::unique_ptr<Model> clone() const override;
 
   [[nodiscard]] const MlpConfig& config() const { return config_; }
@@ -59,10 +66,10 @@ class Mlp final : public Model {
     return w2_offset() + config_.hidden_units * config_.num_classes;
   }
 
-  /// Forward pass for n examples; fills hidden activations (n×h, already
-  /// ReLU'd) and output probabilities (n×c, already softmaxed).
+  /// Forward pass for n examples; fills `hidden` (n×h, already ReLU'd) and
+  /// `probs` (n×c, already softmaxed).  Both fully overwritten.
   void forward(std::span<const double> features, std::size_t n,
-               std::vector<double>& hidden, std::vector<double>& probs) const;
+               double* hidden, double* probs) const;
 
   MlpConfig config_;
   std::vector<double> params_;

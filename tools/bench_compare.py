@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Compare BENCH_<name>.json files produced by the bench binaries.
+
+Usage:
+    bench_compare.py CURRENT [BASELINE]
+
+CURRENT and BASELINE are BENCH_*.json files or directories containing them.
+With only CURRENT, prints the recorded metrics (including any speedups the
+binary itself computed against its baseline).  With both, recomputes
+speedups of CURRENT over BASELINE.
+
+Missing baselines or metrics are reported as first recordings, never
+errors — the tooling is no-op-tolerant by design (exit code 0).
+"""
+
+import json
+import os
+import sys
+
+
+def load(path):
+    """{bench_name: {metric_name: ns_per_op}} for a file or directory."""
+    out = {}
+    if os.path.isdir(path):
+        files = sorted(
+            os.path.join(path, f)
+            for f in os.listdir(path)
+            if f.startswith("BENCH_") and f.endswith(".json")
+        )
+    else:
+        files = [path]
+    for f in files:
+        try:
+            with open(f) as fh:
+                doc = json.load(fh)
+        except (OSError, json.JSONDecodeError) as err:
+            print(f"note: skipping {f}: {err}")
+            continue
+        bench = doc.get("bench", os.path.basename(f))
+        out[bench] = {
+            m["name"]: m
+            for m in doc.get("metrics", [])
+            if "name" in m and "ns_per_op" in m
+        }
+    return out
+
+
+def fmt_ns(ns):
+    for unit, div in (("s", 1e9), ("ms", 1e6), ("us", 1e3)):
+        if ns >= div:
+            return f"{ns / div:.3f} {unit}"
+    return f"{ns:.0f} ns"
+
+
+def main(argv):
+    if len(argv) not in (2, 3):
+        print(__doc__.strip())
+        return 0 if len(argv) == 1 else 1
+
+    current = load(argv[1])
+    baseline = load(argv[2]) if len(argv) == 3 else {}
+    if not current:
+        print(f"note: no BENCH_*.json found in {argv[1]} (nothing to compare)")
+        return 0
+
+    for bench, metrics in current.items():
+        print(f"== {bench} ==")
+        base = baseline.get(bench, {})
+        for name, m in metrics.items():
+            ns = m["ns_per_op"]
+            line = f"  {name:<40} {fmt_ns(ns):>12}"
+            ref = base.get(name, {}).get("ns_per_op")
+            if ref is None:
+                ref = m.get("baseline_ns_per_op")
+            if ref and ns > 0:
+                line += f"   {ref / ns:6.2f}x vs baseline ({fmt_ns(ref)})"
+            elif baseline or "baseline_ns_per_op" not in m:
+                line += "   (first recording, no baseline)"
+            print(line)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
