@@ -1,5 +1,6 @@
 #include "energy/ledger.h"
 
+#include <algorithm>
 #include <cassert>
 
 #include "common/table.h"
@@ -16,6 +17,16 @@ void EnergyLedger::charge(std::size_t server, EnergyCategory category,
   assert(server < per_server_.size());
   assert(amount.value() >= 0.0);
   per_server_[server][static_cast<std::size_t>(category)] += amount;
+}
+
+void EnergyLedger::reclassify(std::size_t server, EnergyCategory from,
+                              EnergyCategory to, Joules amount) {
+  assert(server < per_server_.size());
+  assert(amount.value() >= 0.0);
+  Joules& src = per_server_[server][static_cast<std::size_t>(from)];
+  const Joules moved = std::min(src, amount);
+  src -= moved;
+  per_server_[server][static_cast<std::size_t>(to)] += moved;
 }
 
 Joules EnergyLedger::server_total(std::size_t server) const {

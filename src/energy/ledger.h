@@ -19,9 +19,11 @@ enum class EnergyCategory : std::size_t {
   kDownload = 2,        // global model reception
   kTraining = 3,        // local epochs (e^P)
   kUpload = 4,          // local model transmission (e^U)
+  kRetry = 5,           // failed transfer attempts later recovered
+  kAborted = 6,         // work lost to link/server failures or deadlines
 };
 
-inline constexpr std::size_t kNumEnergyCategories = 5;
+inline constexpr std::size_t kNumEnergyCategories = 7;
 
 [[nodiscard]] constexpr const char* to_string(EnergyCategory c) {
   switch (c) {
@@ -35,6 +37,10 @@ inline constexpr std::size_t kNumEnergyCategories = 5;
       return "training";
     case EnergyCategory::kUpload:
       return "upload";
+    case EnergyCategory::kRetry:
+      return "retry";
+    case EnergyCategory::kAborted:
+      return "aborted";
   }
   return "?";
 }
@@ -44,6 +50,12 @@ class EnergyLedger {
   explicit EnergyLedger(std::size_t num_servers);
 
   void charge(std::size_t server, EnergyCategory category, Joules amount);
+
+  /// Moves up to `amount` (clamped to what the entry holds) from one
+  /// category to another — e.g. re-booking energy pre-charged for a task
+  /// that was later cancelled as kAborted.  Total energy is conserved.
+  void reclassify(std::size_t server, EnergyCategory from, EnergyCategory to,
+                  Joules amount);
 
   [[nodiscard]] std::size_t num_servers() const { return per_server_.size(); }
   [[nodiscard]] Joules server_total(std::size_t server) const;

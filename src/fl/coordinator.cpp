@@ -40,6 +40,9 @@ Result<TrainingOutcome> Coordinator::run() {
   if (config_.max_rounds == 0) {
     return Error::invalid_argument("coordinator: max_rounds must be >= 1");
   }
+  if (config_.eval_every == 0) {
+    return Error::invalid_argument("coordinator: eval_every must be >= 1");
+  }
 
   // ω_0 comes from a freshly constructed model: the all-zero vector for
   // the paper's (convex) logistic regression, a proper random init for
@@ -67,8 +70,10 @@ Result<TrainingOutcome> Coordinator::run() {
 
   for (std::size_t t = start_round_; t < start_round_ + config_.max_rounds;
        ++t) {
-    const auto selected =
-        policy_->select(clients_->size(), config_.clients_per_round, t);
+    // Fault tolerance: over-select K′ = K + overselect so the round can
+    // lose updates to links/deadlines and still aggregate about K of them.
+    const auto selected = policy_->select(
+        clients_->size(), config_.clients_per_round + config_.overselect, t);
     assert(!selected.empty());
 
     // Local training — every client trains from ω_t at the round-t lr.
@@ -94,17 +99,33 @@ Result<TrainingOutcome> Coordinator::run() {
       }
     }
 
-    // Failure injection: drop updates with the configured probability,
-    // always keeping at least one so aggregation is defined.
+    // Fault injection: the simulation-layer filter decides which updates
+    // survived their link/deadline/crash fate, *before* aggregation.
+    RoundFaultStats fault_stats;
+    if (update_filter_) {
+      fault_stats = update_filter_(t, selected, updates);
+    }
+
+    // Failure injection: drop (still-surviving) updates with the configured
+    // probability.  Without a filter, at least one update per round always
+    // survives so aggregation is defined; with a filter a round may
+    // legitimately end empty.
     if (config_.update_drop_probability > 0.0) {
-      for (auto& u : updates) {
-        u.aggregated = !drop_rng.bernoulli(config_.update_drop_probability);
+      std::vector<std::size_t> eligible;
+      eligible.reserve(updates.size());
+      for (std::size_t i = 0; i < updates.size(); ++i) {
+        if (updates[i].aggregated) eligible.push_back(i);
+      }
+      for (const std::size_t i : eligible) {
+        updates[i].aggregated =
+            !drop_rng.bernoulli(config_.update_drop_probability);
       }
       const bool any_survivor =
           std::any_of(updates.begin(), updates.end(),
                       [](const LocalTrainResult& u) { return u.aggregated; });
-      if (!any_survivor) {
-        updates[drop_rng.uniform_index(updates.size())].aggregated = true;
+      if (!any_survivor && !eligible.empty()) {
+        updates[eligible[drop_rng.uniform_index(eligible.size())]]
+            .aggregated = true;
       }
     }
     // Aggregate over the surviving updates.  Copying the (large) parameter
@@ -113,7 +134,7 @@ Result<TrainingOutcome> Coordinator::run() {
     std::vector<LocalTrainResult> survivors;
     std::size_t survivor_count = updates.size();
     std::span<const LocalTrainResult> to_aggregate = updates;
-    if (config_.update_drop_probability > 0.0) {
+    if (config_.update_drop_probability > 0.0 || update_filter_) {
       survivors.reserve(updates.size());
       for (const auto& u : updates) {
         if (u.aggregated) survivors.push_back(u);
@@ -122,14 +143,17 @@ Result<TrainingOutcome> Coordinator::run() {
       to_aggregate = survivors;
     }
 
-    if (const auto st =
-            aggregate(to_aggregate, config_.aggregation, client_average);
-        !st.ok()) {
-      return st.error();
+    if (survivor_count > 0) {
+      if (const auto st =
+              aggregate(to_aggregate, config_.aggregation, client_average);
+          !st.ok()) {
+        return st.error();
+      }
+      // ω_{t+1} from the aggregated average (Eq. 2 when the server rule is
+      // plain averaging with lr 1.0, FedAvgM/FedAdam otherwise).
+      server_opt.step(global, client_average);
     }
-    // ω_{t+1} from the aggregated average (Eq. 2 when the server rule is
-    // plain averaging with lr 1.0, FedAvgM/FedAdam otherwise).
-    server_opt.step(global, client_average);
+    // else: every update was lost this round — ω carries over unchanged.
 
     cumulative_epochs += config_.local_epochs;
     outcome.total_local_epochs += config_.local_epochs * selected.size();
@@ -141,12 +165,18 @@ Result<TrainingOutcome> Coordinator::run() {
     record.local_epochs = config_.local_epochs;
     record.cumulative_local_epochs = cumulative_epochs;
     record.selected = selected;
+    record.retries = fault_stats.retries;
+    record.aborted_updates = fault_stats.aborted_updates;
+    record.straggler_drops = fault_stats.straggler_drops;
+    record.crashed_servers = fault_stats.crashed_servers;
     double mean_local = 0.0;
     for (const auto& u : updates) mean_local += u.final_loss;
     record.mean_local_loss = mean_local / static_cast<double>(updates.size());
 
-    const bool eval_round =
-        (t % config_.eval_every == 0) || (t + 1 == config_.max_rounds);
+    // The final round is forced to evaluate; with a resumed run the loop
+    // ends at start_round_ + max_rounds, not max_rounds.
+    const bool eval_round = (t % config_.eval_every == 0) ||
+                            (t + 1 == start_round_ + config_.max_rounds);
     if (eval_round) {
       auto params = evaluator.parameters();
       std::copy(global.begin(), global.end(), params.begin());
@@ -162,6 +192,13 @@ Result<TrainingOutcome> Coordinator::run() {
     if (observer_) observer_(record, updates);
     outcome.record.add(record);
     outcome.rounds_run = t + 1 - start_round_;
+
+    // Periodic checkpoint autosave, so a coordinator crash loses at most
+    // checkpoint_every rounds of work.
+    if (config_.checkpoint_every != 0 && checkpoint_sink_ &&
+        outcome.rounds_run % config_.checkpoint_every == 0) {
+      checkpoint_sink_(TrainingCheckpoint{global, t + 1});
+    }
 
     if (eval_round) {
       const bool hit_accuracy =

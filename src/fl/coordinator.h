@@ -51,6 +51,13 @@ struct CoordinatorConfig {
   /// round always survives so the round can aggregate.
   double update_drop_probability = 0.0;
   std::uint64_t drop_seed = 99;
+  /// Fault tolerance: select this many EXTRA servers beyond K each round
+  /// (K′ = K + overselect), so the round can still aggregate K-ish updates
+  /// when links fail or stragglers miss the deadline.
+  std::size_t overselect = 0;
+  /// Autosave a TrainingCheckpoint to the registered sink every this many
+  /// completed rounds (0 = off).
+  std::size_t checkpoint_every = 0;
 };
 
 struct TrainingOutcome {
@@ -73,6 +80,29 @@ struct TrainingOutcome {
 using RoundObserver = std::function<void(
     const RoundRecord&, std::span<const LocalTrainResult>)>;
 
+/// What a fault-injecting UpdateFilter reports back for one round; the
+/// coordinator copies it into the RoundRecord.
+struct RoundFaultStats {
+  std::size_t retries = 0;           // failed attempts that were retried
+  std::size_t aborted_updates = 0;   // lost to exhausted links / crashes
+  std::size_t straggler_drops = 0;   // arrived after the round deadline
+  std::size_t crashed_servers = 0;   // selected servers down or crashed
+};
+
+/// Pre-aggregation hook: decides which trained updates actually reach the
+/// coordinator this round (link failures, deadline stragglers, crashed
+/// servers) by clearing `LocalTrainResult::aggregated`.  The simulation
+/// layer installs this to run its timing/energy model *before* aggregation,
+/// so lost updates never influence ω.  A round may end with zero survivors —
+/// the coordinator then skips aggregation and keeps ω unchanged.
+using UpdateFilter = std::function<RoundFaultStats(
+    std::size_t round, std::span<const ClientId> selected,
+    std::span<LocalTrainResult> updates)>;
+
+/// Receives periodic checkpoint autosaves (see
+/// CoordinatorConfig::checkpoint_every).
+using CheckpointSink = std::function<void(const TrainingCheckpoint&)>;
+
 class Coordinator {
  public:
   /// `clients` and `test_set` must outlive the coordinator.  The policy is
@@ -86,6 +116,14 @@ class Coordinator {
 
   void set_round_observer(RoundObserver observer) {
     observer_ = std::move(observer);
+  }
+
+  void set_update_filter(UpdateFilter filter) {
+    update_filter_ = std::move(filter);
+  }
+
+  void set_checkpoint_sink(CheckpointSink sink) {
+    checkpoint_sink_ = std::move(sink);
   }
 
   /// Replaces the initial global parameters (default: a freshly
@@ -116,6 +154,8 @@ class Coordinator {
   CoordinatorConfig config_;
   std::unique_ptr<SelectionPolicy> policy_;
   RoundObserver observer_;
+  UpdateFilter update_filter_;
+  CheckpointSink checkpoint_sink_;
   std::optional<std::vector<double>> initial_params_;
   std::size_t start_round_ = 0;
   std::unique_ptr<ThreadPool> owned_pool_;

@@ -41,13 +41,19 @@ std::string TrainingRecord::to_csv() const {
   std::ostringstream out;
   CsvWriter writer(out);
   writer.write_header({"round", "loss", "accuracy", "mean_local_loss", "k",
-                       "e", "cumulative_epochs"});
+                       "e", "cumulative_epochs", "aggregated", "retries",
+                       "aborted", "stragglers", "crashed"});
   for (const auto& r : rounds_) {
     writer.write_row({static_cast<double>(r.round), r.global_loss,
                       r.test_accuracy, r.mean_local_loss,
                       static_cast<double>(r.clients_selected),
                       static_cast<double>(r.local_epochs),
-                      static_cast<double>(r.cumulative_local_epochs)});
+                      static_cast<double>(r.cumulative_local_epochs),
+                      static_cast<double>(r.updates_aggregated),
+                      static_cast<double>(r.retries),
+                      static_cast<double>(r.aborted_updates),
+                      static_cast<double>(r.straggler_drops),
+                      static_cast<double>(r.crashed_servers)});
   }
   return out.str();
 }

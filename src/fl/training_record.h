@@ -17,11 +17,16 @@ struct RoundRecord {
   double global_loss = 0.0;          // F(ω_{t+1}) on the evaluation set
   double test_accuracy = 0.0;
   double mean_local_loss = 0.0;      // mean of clients' final local losses
-  std::size_t clients_selected = 0;  // K
+  std::size_t clients_selected = 0;  // K′ (K + overselect)
   std::size_t updates_aggregated = 0;  // survivors after failure injection
   std::size_t local_epochs = 0;      // E
   std::size_t cumulative_local_epochs = 0;  // Σ E over rounds (≈ t·E)
   std::vector<ClientId> selected;
+  // Fault-tolerance telemetry (all zero when fault injection is off).
+  std::size_t retries = 0;           // failed transfer attempts retried
+  std::size_t aborted_updates = 0;   // updates lost to exhausted links
+  std::size_t straggler_drops = 0;   // updates past the round deadline
+  std::size_t crashed_servers = 0;   // selected servers down or crashed
 };
 
 class TrainingRecord {

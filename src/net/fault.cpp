@@ -1,0 +1,53 @@
+#include "net/fault.h"
+
+#include <algorithm>
+
+namespace eefei::net {
+
+namespace {
+
+[[nodiscard]] bool overlaps_outage(const std::vector<OutageWindow>& outages,
+                                   Seconds begin, Seconds end) {
+  return std::any_of(outages.begin(), outages.end(),
+                     [&](const OutageWindow& w) {
+                       return begin < w.end() && w.start < end;
+                     });
+}
+
+}  // namespace
+
+FaultTransferOutcome plan_faulty_transfer(Rng& rng,
+                                          const LinkFaultConfig& config,
+                                          Seconds start,
+                                          Seconds attempt_duration) {
+  FaultTransferOutcome outcome;
+  const std::size_t cap = std::max<std::size_t>(1, config.max_attempts);
+  Seconds at = start;
+  Seconds backoff = config.backoff_base;
+  for (std::size_t attempt = 0; attempt < cap; ++attempt) {
+    ++outcome.attempts;
+    const Seconds attempt_end = at + attempt_duration;
+    outcome.air_time += attempt_duration;
+    // The loss roll is drawn unconditionally so the rng stream advances one
+    // uniform per attempt regardless of the outage schedule.
+    const bool lost = rng.bernoulli(config.loss_probability);
+    const bool in_outage =
+        overlaps_outage(config.outages, at, attempt_end);
+    if (!lost && !in_outage) {
+      outcome.delivered = true;
+      outcome.finish = attempt_end;
+      return outcome;
+    }
+    outcome.wasted_air_time += attempt_duration;
+    at = attempt_end;
+    if (attempt + 1 < cap) {
+      outcome.backoff_time += backoff;
+      at += backoff;
+      backoff *= std::max(1.0, config.backoff_factor);
+    }
+  }
+  outcome.finish = at;
+  return outcome;
+}
+
+}  // namespace eefei::net

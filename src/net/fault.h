@@ -1,0 +1,67 @@
+// Per-link fault model: packet loss and scheduled outage windows, recovered
+// by retransmission with exponential backoff up to an attempt cap.
+//
+// Unlike WifiLan's built-in per-message loss (which folds retries into one
+// opaque duration), this model is time-aware: every attempt occupies a real
+// interval of simulated time, an attempt fails if it overlaps an outage
+// window or loses the per-attempt Bernoulli roll, and failed attempts are
+// separated by exponentially growing backoff gaps.  The caller can therefore
+// charge the energy of failed attempts (EnergyCategory::kRetry) and of
+// transfers that exhaust the cap (kAborted) separately from useful work.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/units.h"
+
+namespace eefei::net {
+
+/// One interval of simulated time during which the link is fully down
+/// (access-point reboot, interference burst, backhaul flap).
+struct OutageWindow {
+  Seconds start{0.0};
+  Seconds duration{0.0};
+
+  [[nodiscard]] Seconds end() const { return start + duration; }
+};
+
+struct LinkFaultConfig {
+  /// Per-attempt Bernoulli loss probability (independent of outages).
+  double loss_probability = 0.0;
+  /// Absolute simulated-time windows where every attempt fails.
+  std::vector<OutageWindow> outages;
+  /// Total tries per transfer, including the first (>= 1).
+  std::size_t max_attempts = 6;
+  /// Idle gap before retry k is backoff_base · backoff_factor^(k-1).
+  Seconds backoff_base = Seconds::from_millis(10.0);
+  double backoff_factor = 2.0;
+  std::uint64_t seed = 77;
+
+  [[nodiscard]] bool enabled() const {
+    return loss_probability > 0.0 || !outages.empty();
+  }
+};
+
+/// Outcome of one transfer pushed through a faulty link.
+struct FaultTransferOutcome {
+  bool delivered = false;
+  std::size_t attempts = 0;      // 1 = clean first-try delivery
+  Seconds finish{0.0};           // absolute end time (success or give-up)
+  Seconds air_time{0.0};         // radio-on time across all attempts
+  Seconds wasted_air_time{0.0};  // air time of the failed attempts only
+  Seconds backoff_time{0.0};     // idle gaps between attempts (radio off)
+
+  [[nodiscard]] std::size_t retries() const { return attempts - 1; }
+};
+
+/// Plans a transfer starting at absolute time `start` where each attempt
+/// takes `attempt_duration` of air time.  Deterministic given the rng state;
+/// draws exactly one uniform per attempt made.
+[[nodiscard]] FaultTransferOutcome plan_faulty_transfer(
+    Rng& rng, const LinkFaultConfig& config, Seconds start,
+    Seconds attempt_duration);
+
+}  // namespace eefei::net

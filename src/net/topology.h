@@ -8,6 +8,7 @@
 
 #include "common/rng.h"
 #include "net/channel.h"
+#include "net/fault.h"
 #include "net/iot_device.h"
 
 namespace eefei::net {
@@ -17,6 +18,11 @@ struct TopologyConfig {
   std::size_t devices_per_edge = 8;
   IotDeviceConfig device;
   WifiLanConfig lan;
+  /// Fault injection on the edge↔coordinator LAN: per-attempt loss and
+  /// outage windows with retransmission + exponential backoff (all off by
+  /// default).  Consumed by the simulation layer, which charges failed
+  /// attempts to EnergyCategory::kRetry/kAborted.
+  LinkFaultConfig link_faults;
   std::uint64_t seed = 7;
 };
 

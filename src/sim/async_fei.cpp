@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
 
 #include "ml/model_spec.h"
 #include "ml/quantize.h"
@@ -32,6 +33,9 @@ Result<AsyncRunResult> AsyncFeiSystem::run() {
 
   if (config_.mixing_alpha <= 0.0 || config_.mixing_alpha > 1.0) {
     return Error::invalid_argument("async: alpha must be in (0, 1]");
+  }
+  if (config_.eval_every == 0) {
+    return Error::invalid_argument("async: eval_every must be >= 1");
   }
   const std::size_t workers =
       std::min(base.fl.clients_per_round, clients.size());
@@ -78,6 +82,27 @@ Result<AsyncRunResult> AsyncFeiSystem::run() {
   std::size_t version = 0;          // bumps on every applied update
   std::size_t applied = 0;
   bool stop = false;
+  std::optional<Seconds> stop_time;
+
+  // Energy pre-charged at dispatch for a task whose completion hasn't run
+  // yet.  When the run stops, tasks still in flight never complete — their
+  // charges move to kAborted instead of silently counting as useful work.
+  struct InFlight {
+    Joules download{0.0};
+    Joules training{0.0};
+    Joules upload{0.0};
+  };
+  std::vector<std::optional<InFlight>> in_flight(clients.size());
+
+  // First stop request wins: it pins the wall clock to the stopping
+  // update's completion time and cancels everything still queued, so late
+  // completions neither run nor stretch the reported makespan.
+  auto request_stop = [&] {
+    if (stop) return;
+    stop = true;
+    stop_time = queue.now();
+    queue.clear();
+  };
 
   // Starts one training task for `server` from the current global model;
   // schedules its completion.
@@ -108,8 +133,14 @@ Result<AsyncRunResult> AsyncFeiSystem::run() {
         server, energy::EnergyCategory::kUpload,
         base.profile.power(energy::EdgeState::kUploading) * u);
 
+    in_flight[server] = InFlight{
+        base.profile.power(energy::EdgeState::kDownloading) * d,
+        base.profile.power(energy::EdgeState::kTraining) * train,
+        base.profile.power(energy::EdgeState::kUploading) * u};
+
     queue.schedule_in(d + train + u, [&, server, start_version, snapshot] {
       if (stop) return;
+      in_flight[server].reset();
       // The actual computation happens lazily at completion time, using
       // the snapshot the server pulled at dispatch.
       auto update = clients[server].train(snapshot, base.fl.local_epochs,
@@ -145,12 +176,12 @@ Result<AsyncRunResult> AsyncFeiSystem::run() {
         if (base.fl.target_accuracy.has_value() &&
             eval.accuracy >= *base.fl.target_accuracy) {
           result.reached_target = true;
-          stop = true;
+          request_stop();
         }
       }
       result.updates.push_back(std::move(rec));
       ++applied;
-      if (applied >= config_.max_updates) stop = true;
+      if (applied >= config_.max_updates) request_stop();
       if (!stop) dispatch(server);  // pull the fresh model, keep going
     });
   };
@@ -163,8 +194,27 @@ Result<AsyncRunResult> AsyncFeiSystem::run() {
   for (std::size_t w = 0; w < workers; ++w) dispatch(ids[w]);
 
   queue.run();
+
+  // Tasks cancelled by the stop never delivered an update: their
+  // pre-charged energy is lost work, not download/training/upload.
+  for (std::size_t s = 0; s < in_flight.size(); ++s) {
+    if (!in_flight[s].has_value()) continue;
+    result.ledger.reclassify(s, energy::EnergyCategory::kDownload,
+                             energy::EnergyCategory::kAborted,
+                             in_flight[s]->download);
+    result.ledger.reclassify(s, energy::EnergyCategory::kTraining,
+                             energy::EnergyCategory::kAborted,
+                             in_flight[s]->training);
+    result.ledger.reclassify(s, energy::EnergyCategory::kUpload,
+                             energy::EnergyCategory::kAborted,
+                             in_flight[s]->upload);
+    ++result.cancelled_tasks;
+  }
+
   result.updates_applied = applied;
-  result.wall_clock = queue.now();
+  // The run ends at the stopping update, not at whatever cancelled
+  // completion happened to drain from the queue last.
+  result.wall_clock = stop_time.value_or(queue.now());
   return result;
 }
 

@@ -52,6 +52,9 @@ struct AsyncRunResult {
   Seconds wall_clock{0.0};
   bool reached_target = false;
   std::size_t updates_applied = 0;
+  /// In-flight tasks cancelled by the stop (their pre-charged energy is
+  /// reclassified to EnergyCategory::kAborted).
+  std::size_t cancelled_tasks = 0;
   double final_accuracy = 0.0;
   double final_loss = 0.0;
 

@@ -1,0 +1,64 @@
+#include "sim/fault_process.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace eefei::sim {
+
+CrashProcess::CrashProcess(std::size_t num_servers, CrashProcessConfig config)
+    : config_(config), servers_(num_servers) {
+  Rng root(config_.seed);
+  for (std::size_t s = 0; s < num_servers; ++s) {
+    servers_[s].rng = root.split(s);
+  }
+}
+
+void CrashProcess::extend(std::size_t server, Seconds until) {
+  if (!config_.enabled()) return;
+  auto& tl = servers_[server];
+  const double up_rate = 1.0 / config_.mtbf.value();
+  // A zero MTTR would make crashes invisible; floor the reboot at 1 ms.
+  const double down_mean = std::max(config_.mttr.value(), 1e-3);
+  while (tl.horizon <= until) {
+    const Seconds up{tl.rng.exponential(up_rate)};
+    const Seconds down{tl.rng.exponential(1.0 / down_mean)};
+    const Seconds crash_at = tl.horizon + up;
+    tl.downs.emplace_back(crash_at, crash_at + down);
+    tl.horizon = crash_at + down;
+  }
+}
+
+bool CrashProcess::is_down(std::size_t server, Seconds at) {
+  if (!config_.enabled()) return false;
+  assert(server < servers_.size());
+  extend(server, at);
+  for (const auto& [start, end] : servers_[server].downs) {
+    if (start > at) break;
+    if (at < end) return true;
+  }
+  return false;
+}
+
+std::optional<Seconds> CrashProcess::next_crash_in(std::size_t server,
+                                                   Seconds from, Seconds to) {
+  if (!config_.enabled() || !(from < to)) return std::nullopt;
+  assert(server < servers_.size());
+  extend(server, to);
+  for (const auto& [start, end] : servers_[server].downs) {
+    if (start >= to) break;
+    if (start >= from) return start;
+  }
+  return std::nullopt;
+}
+
+std::size_t CrashProcess::crashes_before(Seconds before) const {
+  std::size_t n = 0;
+  for (const auto& tl : servers_) {
+    for (const auto& [start, end] : tl.downs) {
+      if (start < before) ++n;
+    }
+  }
+  return n;
+}
+
+}  // namespace eefei::sim

@@ -280,6 +280,232 @@ Result<FeiRunResult> FeiSystem::run() {
     }
   };
 
+  // --- Fault-mode round simulation -------------------------------------
+  // Runs the timing/energy model BEFORE aggregation (as an UpdateFilter) so
+  // link failures, deadline stragglers and server crashes can veto updates.
+  // Downloads are serialized at the coordinator and uploads drain FCFS in
+  // training-completion order, mirroring the fault-free observer path.
+  // Every phase is truncated at the round deadline: the coordinator
+  // broadcasts the round abort, so no energy is spent past it.
+  net::LinkFaultConfig link_faults = config_.net.link_faults;
+  Rng fault_rng(link_faults.seed * 0x9e3779b97f4a7c15ULL +
+                config_.seed * 7349 + 101);
+  CrashProcessConfig crash_cfg = config_.crashes;
+  crash_cfg.seed = crash_cfg.seed * 2862933555777941757ULL +
+                   config_.seed * 977 + 3;
+  CrashProcess crash_process(config_.num_servers, crash_cfg);
+
+  auto fault_filter = [&](std::size_t /*round*/,
+                          std::span<const fl::ClientId> selected,
+                          std::span<fl::LocalTrainResult> updates)
+      -> fl::RoundFaultStats {
+    fl::RoundFaultStats stats;
+    const Seconds round_start = clock;
+    const bool has_deadline = config_.round_deadline.value() > 0.0;
+    const Seconds deadline = round_start + config_.round_deadline;
+    const Watts p_down = config_.profile.power(energy::EdgeState::kDownloading);
+    const Watts p_train = config_.profile.power(energy::EdgeState::kTraining);
+    const Watts p_up = config_.profile.power(energy::EdgeState::kUploading);
+    const Watts p_wait = config_.profile.power(energy::EdgeState::kWaiting);
+
+    Seconds lan_free = round_start;
+    Seconds round_end = round_start;
+    const auto note_end = [&](Seconds at) {
+      round_end = std::max(round_end, has_deadline ? std::min(at, deadline)
+                                                   : at);
+    };
+
+    struct PendingUpload {
+      std::size_t index = 0;
+      std::size_t server = 0;
+      Seconds train_end{0.0};
+    };
+    std::vector<PendingUpload> pending;
+    pending.reserve(selected.size());
+
+    for (std::size_t i = 0; i < selected.size(); ++i) {
+      const std::size_t sid = selected[i];
+      auto& u = updates[i];
+
+      // Step (1): IoT data collection, as in the fault-free path.
+      if (config_.iot_collection) {
+        const auto collected = topology_->fleet(sid).collect(u.samples_used);
+        result.ledger.charge(sid, energy::EnergyCategory::kDataCollection,
+                             collected.total_energy);
+      }
+
+      // A server still rebooting at round start never hears the dispatch.
+      if (crash_process.is_down(sid, round_start)) {
+        u.aggregated = false;
+        ++stats.crashed_servers;
+        continue;
+      }
+
+      // Step (2): model download, serialized at the coordinator, with
+      // link-fault retransmission + backoff.
+      const Seconds download_start = lan_free;
+      if (has_deadline && download_start >= deadline) {
+        // The dispatch queue itself overran the deadline.
+        u.aggregated = false;
+        ++stats.straggler_drops;
+        note_end(deadline);
+        continue;
+      }
+      const Seconds d1 = jittered(
+          topology_->lan(sid).nominal_duration(down_msg.wire_bytes()));
+      const auto down = net::plan_faulty_transfer(fault_rng, link_faults,
+                                                  download_start, d1);
+      stats.retries += down.attempts - 1;
+      lan_free = has_deadline ? std::min(down.finish, deadline) : down.finish;
+      if (has_deadline && down.finish > deadline) {
+        // Abandoned mid-retransmission at the deadline.
+        const double frac = (deadline - download_start) /
+                            (down.finish - download_start);
+        const Seconds cut = down.air_time * std::clamp(frac, 0.0, 1.0);
+        result.ledger.charge(sid, energy::EnergyCategory::kAborted,
+                             p_down * cut);
+        servers[sid].run_phase(energy::EdgeState::kDownloading,
+                               download_start, cut);
+        u.aggregated = false;
+        ++stats.straggler_drops;
+        note_end(deadline);
+        continue;
+      }
+      if (!down.delivered) {
+        result.ledger.charge(sid, energy::EnergyCategory::kAborted,
+                             p_down * down.air_time);
+        servers[sid].run_phase(energy::EdgeState::kDownloading,
+                               download_start, down.air_time);
+        u.aggregated = false;
+        ++stats.aborted_updates;
+        note_end(down.finish);
+        continue;
+      }
+      result.ledger.charge(sid, energy::EnergyCategory::kRetry,
+                           p_down * down.wasted_air_time);
+      result.ledger.charge(sid, energy::EnergyCategory::kDownload,
+                           p_down * (down.air_time - down.wasted_air_time));
+      servers[sid].run_phase(energy::EdgeState::kDownloading, download_start,
+                             down.air_time);
+
+      // Step (3): local training, with straggler slowdown, crash checks and
+      // deadline truncation.
+      const Seconds train_start = down.finish;
+      Seconds t = jittered(
+          config_.timing.duration(u.epochs_run, u.samples_used));
+      t *= straggler_factor(sid);
+      const Seconds train_end = train_start + t;
+      const Seconds train_cap =
+          has_deadline ? std::min(train_end, deadline) : train_end;
+      if (const auto crash =
+              crash_process.next_crash_in(sid, train_start, train_cap)) {
+        result.ledger.charge(sid, energy::EnergyCategory::kAborted,
+                             p_train * (*crash - train_start));
+        servers[sid].run_phase(energy::EdgeState::kTraining, train_start,
+                               *crash - train_start);
+        u.aggregated = false;
+        ++stats.crashed_servers;
+        note_end(*crash);
+        continue;
+      }
+      if (has_deadline && train_end > deadline) {
+        result.ledger.charge(sid, energy::EnergyCategory::kAborted,
+                             p_train * (deadline - train_start));
+        if (deadline > train_start) {
+          servers[sid].run_phase(energy::EdgeState::kTraining, train_start,
+                                 deadline - train_start);
+        }
+        u.aggregated = false;
+        ++stats.straggler_drops;
+        note_end(deadline);
+        continue;
+      }
+      result.ledger.charge(sid, energy::EnergyCategory::kTraining,
+                           p_train * t);
+      servers[sid].run_phase(energy::EdgeState::kTraining, train_start, t);
+      pending.push_back({i, sid, train_end});
+    }
+
+    // Step (4): uploads drain FCFS in training-completion order over the
+    // same shared medium the downloads used.
+    std::sort(pending.begin(), pending.end(),
+              [](const PendingUpload& a, const PendingUpload& b) {
+                if (a.train_end.value() != b.train_end.value()) {
+                  return a.train_end.value() < b.train_end.value();
+                }
+                return a.index < b.index;
+              });
+    for (const auto& p : pending) {
+      auto& u = updates[p.index];
+      const std::size_t sid = p.server;
+      const Seconds upload_start = std::max(p.train_end, lan_free);
+      const Seconds queue_wait_end =
+          has_deadline ? std::min(upload_start, deadline) : upload_start;
+      if (queue_wait_end > p.train_end) {
+        result.ledger.charge(sid, energy::EnergyCategory::kWaiting,
+                             p_wait * (queue_wait_end - p.train_end));
+      }
+      if (has_deadline && upload_start >= deadline) {
+        u.aggregated = false;
+        ++stats.straggler_drops;
+        note_end(deadline);
+        continue;
+      }
+      const Seconds u1 = jittered(
+          topology_->lan(sid).nominal_duration(up_msg.wire_bytes()));
+      const auto up = net::plan_faulty_transfer(fault_rng, link_faults,
+                                                upload_start, u1);
+      stats.retries += up.attempts - 1;
+      lan_free = has_deadline ? std::min(up.finish, deadline) : up.finish;
+      if (has_deadline && up.finish > deadline) {
+        const double frac =
+            (deadline - upload_start) / (up.finish - upload_start);
+        const Seconds cut = up.air_time * std::clamp(frac, 0.0, 1.0);
+        result.ledger.charge(sid, energy::EnergyCategory::kAborted,
+                             p_up * cut);
+        servers[sid].run_phase(energy::EdgeState::kUploading, upload_start,
+                               cut);
+        u.aggregated = false;
+        ++stats.straggler_drops;
+        note_end(deadline);
+        continue;
+      }
+      if (!up.delivered) {
+        result.ledger.charge(sid, energy::EnergyCategory::kAborted,
+                             p_up * up.air_time);
+        servers[sid].run_phase(energy::EdgeState::kUploading, upload_start,
+                               up.air_time);
+        u.aggregated = false;
+        ++stats.aborted_updates;
+        note_end(up.finish);
+        continue;
+      }
+      result.ledger.charge(sid, energy::EnergyCategory::kRetry,
+                           p_up * up.wasted_air_time);
+      result.ledger.charge(sid, energy::EnergyCategory::kUpload,
+                           p_up * (up.air_time - up.wasted_air_time));
+      servers[sid].run_phase(energy::EdgeState::kUploading, upload_start,
+                             up.air_time);
+      note_end(up.finish);
+    }
+
+    clock = std::max(round_end, round_start);
+
+    if (config_.charge_idle_servers) {
+      const Seconds round_duration = clock - round_start;
+      for (std::size_t sid = 0; sid < config_.num_servers; ++sid) {
+        const bool was_selected =
+            std::find(selected.begin(), selected.end(), sid) !=
+            selected.end();
+        if (!was_selected) {
+          result.ledger.charge(sid, energy::EnergyCategory::kWaiting,
+                               p_wait * round_duration);
+        }
+      }
+    }
+    return stats;
+  };
+
   fl::CoordinatorConfig fl_cfg = config_.fl;
   fl_cfg.upload_quant_bits = config_.upload_quant_bits;
   fl_cfg.update_drop_probability = config_.update_drop_probability;
@@ -288,12 +514,34 @@ Result<FeiRunResult> FeiSystem::run() {
       Rng(config_.seed * 613 + 29));
   fl::Coordinator coordinator(&clients_, &test_set_, fl_cfg,
                               std::move(policy));
-  coordinator.set_round_observer(observer);
+  if (fault_injection_active()) {
+    if (config_.lan_contention == FeiSystemConfig::LanContention::kCsma) {
+      return Error::invalid_argument(
+          "fei: link fault injection models FCFS LAN contention only");
+    }
+    coordinator.set_update_filter(fault_filter);
+  } else {
+    coordinator.set_round_observer(observer);
+  }
+  if (config_.fl.checkpoint_every != 0) {
+    coordinator.set_checkpoint_sink([&](const fl::TrainingCheckpoint& cp) {
+      result.last_checkpoint = cp;
+    });
+  }
+  if (resume_.has_value()) {
+    coordinator.resume_from(*resume_);
+  }
 
   auto outcome = coordinator.run();
   if (!outcome.ok()) return outcome.error();
   result.training = std::move(outcome).value();
   result.wall_clock = clock;
+  for (const auto& r : result.training.record.all()) {
+    result.total_retries += r.retries;
+    result.total_aborted_updates += r.aborted_updates;
+    result.total_straggler_drops += r.straggler_drops;
+    result.total_crashed_servers += r.crashed_servers;
+  }
 
   // Close every server's physical timeline at the makespan so Fig. 3-style
   // traces show the trailing idle stretch.

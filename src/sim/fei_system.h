@@ -7,6 +7,7 @@
 
 #include <cstddef>
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "common/result.h"
@@ -17,9 +18,11 @@
 #include "energy/ledger.h"
 #include "energy/meter.h"
 #include "energy/power_model.h"
+#include "fl/checkpoint.h"
 #include "fl/coordinator.h"
 #include "net/csma.h"
 #include "net/topology.h"
+#include "sim/fault_process.h"
 
 namespace eefei::sim {
 
@@ -75,6 +78,23 @@ struct FeiSystemConfig {
   /// still spent; upload energy too — the transmission failed in flight).
   double update_drop_probability = 0.0;
 
+  // --- fault tolerance (all off by default; enabling any of these swaps
+  // --- the per-round timing model for the fault-aware one, which vetoes
+  // --- lost updates BEFORE aggregation and books failed-attempt energy
+  // --- under EnergyCategory::kRetry / kAborted) ---
+  /// Link loss/outage model lives in net.link_faults (per-attempt loss,
+  /// outage windows, retransmission with exponential backoff, attempt cap).
+  /// Per-round deadline relative to round start: work still in flight at
+  /// the deadline is abandoned (energy until then booked as kAborted) and
+  /// the update is dropped as a straggler.  0 = wait for everyone.
+  Seconds round_deadline{0.0};
+  /// Server crash/reboot process (per-server MTBF/MTTR; mtbf 0 = off).  A
+  /// selected server that is down misses the round; one that crashes while
+  /// training loses the work in progress (partial energy under kAborted).
+  CrashProcessConfig crashes;
+  /// Over-selection (K′ = K + fl.overselect) and periodic checkpoint
+  /// autosave (fl.checkpoint_every) are configured on `fl` directly.
+
   // --- accounting modes ---
   /// true: IoT devices upload n_k fresh samples every round (full Eq. 3);
   /// false: prototype mode, dataset preloaded, e^I = 0.
@@ -92,6 +112,15 @@ struct FeiRunResult {
   std::vector<energy::PowerStateTimeline> timelines;
   Seconds wall_clock{0.0};  // simulated makespan
 
+  // Fault-tolerance telemetry, summed over rounds (zero with faults off).
+  std::size_t total_retries = 0;
+  std::size_t total_aborted_updates = 0;
+  std::size_t total_straggler_drops = 0;
+  std::size_t total_crashed_servers = 0;
+  /// Most recent periodic autosave (set when fl.checkpoint_every > 0) —
+  /// what a restarted coordinator would resume_from().
+  std::optional<fl::TrainingCheckpoint> last_checkpoint;
+
   /// Total "measured" energy — what a bank of POWER-Z meters would report
   /// summed over servers (exact integral; use a PowerMeter on a timeline
   /// for the quantized version).
@@ -105,6 +134,15 @@ class FeiSystem {
   /// Builds data/clients lazily, then runs the federated loop with full
   /// timing and energy simulation.
   [[nodiscard]] Result<FeiRunResult> run();
+
+  /// The next run() resumes training from `checkpoint` (e.g. a periodic
+  /// autosave recovered after a coordinator crash): ω is restored and round
+  /// numbering continues, so fl.max_rounds means "this many MORE rounds".
+  /// The energy ledger and clock of the resumed run start from zero — they
+  /// cover only the resumed segment.
+  void resume_from(fl::TrainingCheckpoint checkpoint) {
+    resume_ = std::move(checkpoint);
+  }
 
   /// The closed-form energy model matching this system's configuration
   /// (used by benches to lay the Eq. 12 bound over the measured curve).
@@ -128,8 +166,16 @@ class FeiSystem {
  private:
   [[nodiscard]] Status build_population();
 
+  /// Any fault knob on → the fault-aware round simulation replaces the
+  /// fault-free observer path (which stays byte-identical to the seed).
+  [[nodiscard]] bool fault_injection_active() const {
+    return config_.net.link_faults.enabled() ||
+           config_.round_deadline.value() > 0.0 || config_.crashes.enabled();
+  }
+
   FeiSystemConfig config_;
   bool prepared_ = false;
+  std::optional<fl::TrainingCheckpoint> resume_;
 
   data::Dataset train_set_;
   data::Dataset test_set_;

@@ -153,6 +153,43 @@ TEST(AsyncFei, StragglersHurtLessThanSync) {
       << "async should absorb stragglers better than the round barrier";
 }
 
+// Regression: after the stop, the queue used to keep draining cancelled
+// completions, so wall_clock reported the finish time of a task that never
+// applied — not the stopping update.  The makespan must be the time the
+// last APPLIED update landed.
+TEST(AsyncFei, WallClockStopsAtTheLastAppliedUpdate) {
+  AsyncFeiSystem system(small_async());
+  const auto r = system.run();
+  ASSERT_TRUE(r.ok());
+  ASSERT_FALSE(r->updates.empty());
+  EXPECT_DOUBLE_EQ(r->wall_clock.value(),
+                   r->updates.back().applied_at.value());
+  for (const auto& u : r->updates) {
+    EXPECT_LE(u.applied_at.value(), r->wall_clock.value());
+  }
+}
+
+// Regression: dispatch pre-charges download+training+upload energy; tasks
+// still in flight when the run stops never complete, so their charges must
+// move to kAborted instead of counting as useful work.
+TEST(AsyncFei, CancelledInFlightEnergyIsReclassifiedAsAborted) {
+  AsyncFeiSystem system(small_async());
+  const auto r = system.run();
+  ASSERT_TRUE(r.ok());
+  // 3 workers: when the 120th update stops the run, the other 2 workers'
+  // tasks are mid-flight and get cancelled.
+  EXPECT_EQ(r->cancelled_tasks, 2u);
+  EXPECT_GT(
+      r->ledger.category_total(energy::EnergyCategory::kAborted).value(),
+      0.0);
+}
+
+TEST(AsyncFei, EvalEveryZeroIsRejected) {
+  auto cfg = small_async();
+  cfg.eval_every = 0;
+  EXPECT_FALSE(AsyncFeiSystem(cfg).run().ok());
+}
+
 TEST(AsyncFei, InvalidConfigRejected) {
   auto cfg = small_async();
   cfg.mixing_alpha = 0.0;

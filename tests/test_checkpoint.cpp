@@ -112,6 +112,88 @@ TEST(Checkpoint, ResumedRunMatchesContinuousRun) {
               full->record.last().global_loss, 1e-12);
 }
 
+// Regression: the forced final-round evaluation used to test
+// `t + 1 == max_rounds`, which a resumed run (looping over
+// [start_round_, start_round_ + max_rounds)) never satisfies — the final
+// record silently carried the last periodic evaluation instead of a fresh
+// one.  With eval_every > 1 the resumed run must still end on a fresh eval.
+TEST(Checkpoint, ResumedFinalRoundForcesFreshEvaluation) {
+  World w_straight, w_first, w_second;
+
+  auto full_cfg = config(12);
+  full_cfg.eval_every = 5;
+  Coordinator straight(&w_straight.clients, &w_straight.test, full_cfg,
+                       std::make_unique<RoundRobinSelection>());
+  const auto full = straight.run();
+  ASSERT_TRUE(full.ok());
+
+  auto half_cfg = config(6);
+  half_cfg.eval_every = 5;
+  Coordinator first(&w_first.clients, &w_first.test, half_cfg,
+                    std::make_unique<RoundRobinSelection>());
+  const auto half = first.run();
+  ASSERT_TRUE(half.ok());
+
+  Coordinator second(&w_second.clients, &w_second.test, half_cfg,
+                     std::make_unique<RoundRobinSelection>());
+  second.resume_from(half->checkpoint());
+  const auto resumed = second.run();
+  ASSERT_TRUE(resumed.ok());
+
+  ASSERT_EQ(resumed->record.last().round, 11u);
+  // Fresh final eval — not a copy of the round-10 periodic one.
+  EXPECT_NE(resumed->record.last().global_loss,
+            resumed->record.round(4).global_loss);
+  // And it matches the continuous run's forced final evaluation.
+  EXPECT_NEAR(resumed->record.last().global_loss,
+              full->record.last().global_loss, 1e-12);
+}
+
+// Periodic autosave: resuming from a mid-run checkpoint reproduces the
+// uninterrupted run exactly.
+TEST(Checkpoint, PeriodicAutosaveResumesToUninterruptedResult) {
+  World w_straight, w_auto, w_resume;
+
+  Coordinator straight(&w_straight.clients, &w_straight.test, config(9),
+                       std::make_unique<RoundRobinSelection>());
+  const auto full = straight.run();
+  ASSERT_TRUE(full.ok());
+
+  auto cfg = config(9);
+  cfg.checkpoint_every = 3;
+  Coordinator with_saves(&w_auto.clients, &w_auto.test, cfg,
+                         std::make_unique<RoundRobinSelection>());
+  std::vector<TrainingCheckpoint> saves;
+  with_saves.set_checkpoint_sink(
+      [&](const TrainingCheckpoint& cp) { saves.push_back(cp); });
+  const auto out = with_saves.run();
+  ASSERT_TRUE(out.ok());
+  ASSERT_EQ(saves.size(), 3u);
+  EXPECT_EQ(saves[0].rounds_completed, 3u);
+  EXPECT_EQ(saves[1].rounds_completed, 6u);
+  EXPECT_EQ(saves[2].rounds_completed, 9u);
+  EXPECT_EQ(saves[2].params, full->final_params);
+
+  // Crash after round 6, restart from the autosave, finish the last 3.
+  Coordinator resumed(&w_resume.clients, &w_resume.test, config(3),
+                      std::make_unique<RoundRobinSelection>());
+  resumed.resume_from(saves[1]);
+  const auto r = resumed.run();
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->record.round(0).round, 6u);
+  EXPECT_EQ(r->final_params, full->final_params);
+}
+
+TEST(Checkpoint, EvalEveryZeroIsRejected) {
+  World w;
+  auto cfg = config(4);
+  cfg.eval_every = 0;
+  Coordinator coord(&w.clients, &w.test, cfg,
+                    std::make_unique<RoundRobinSelection>());
+  const auto r = coord.run();
+  EXPECT_FALSE(r.ok());
+}
+
 TEST(Checkpoint, ResumeContinuesLrSchedule) {
   // After resuming at round 100, the client must train with lr·decay^100,
   // not the fresh-run lr.
