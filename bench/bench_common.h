@@ -11,11 +11,15 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <memory>
 #include <optional>
 #include <string>
 #include <thread>
 
 #include "common/config.h"
+#include "obs/manifest.h"
+#include "obs/telemetry.h"
+#include "obs/trace_export.h"
 #include "sim/fei_system.h"
 
 namespace eefei::bench {
@@ -29,6 +33,9 @@ struct BenchScale {
   double target_accuracy = 0.92;  // the paper's Figs. 5/6 accuracy level
   std::size_t threads = 0;        // 0 = hardware concurrency
   std::uint64_t seed = 3;
+  /// Non-empty enables telemetry for the run; the Chrome trace is written
+  /// here with .metrics.json / .manifest.json siblings (`trace=out.json`).
+  std::string trace_path;
 };
 
 inline BenchScale scale_from_args(int argc, char** argv) {
@@ -52,8 +59,68 @@ inline BenchScale scale_from_args(int argc, char** argv) {
       static_cast<std::size_t>(cfg->get_int_or("threads", 0));
   s.seed = static_cast<std::uint64_t>(
       cfg->get_int_or("seed", static_cast<long>(s.seed)));
+  s.trace_path = cfg->get_string_or("trace", "");
   return s;
 }
+
+/// RAII telemetry session for a bench binary: construct right after
+/// scale_from_args; when the scale carries a trace path the whole run is
+/// recorded and the destructor writes <trace>.json plus metrics and
+/// manifest siblings.  With no trace path this is a no-op and the run pays
+/// only the disabled-telemetry pointer checks.
+class TraceSession {
+ public:
+  TraceSession(std::string tool, const BenchScale& scale)
+      : tool_(std::move(tool)), path_(scale.trace_path) {
+    if (path_.empty()) return;
+    scale_ = scale;
+    telemetry_ = std::make_unique<obs::Telemetry>();
+    scope_ = std::make_unique<obs::TelemetryScope>(*telemetry_);
+  }
+  TraceSession(const TraceSession&) = delete;
+  TraceSession& operator=(const TraceSession&) = delete;
+
+  ~TraceSession() {
+    if (telemetry_ == nullptr) return;
+    scope_.reset();  // stop recording before exporting
+    std::string base = path_;
+    if (const auto dot = base.rfind(".json");
+        dot != std::string::npos && dot + 5 == base.size()) {
+      base.resize(dot);
+    }
+    const std::string metrics_path = base + ".metrics.json";
+    const std::string manifest_path = base + ".manifest.json";
+    const auto snapshot = telemetry_->metrics.snapshot();
+
+    obs::RunManifest manifest;
+    manifest.tool = tool_;
+    manifest.seed = scale_.seed;
+    manifest.set("servers", std::to_string(scale_.num_servers));
+    manifest.set("samples", std::to_string(scale_.samples_per_server));
+    manifest.set("test", std::to_string(scale_.test_samples));
+    manifest.set("target", std::to_string(scale_.target_accuracy));
+    manifest.set("threads", std::to_string(scale_.threads));
+    manifest.add_metric_totals(snapshot);
+    manifest.artifacts = {path_, metrics_path};
+
+    for (const auto& st :
+         {obs::write_chrome_trace(telemetry_->tracer, path_),
+          obs::write_metrics_json(snapshot, metrics_path),
+          obs::write_manifest(manifest, manifest_path)}) {
+      if (!st.ok()) {
+        std::fprintf(stderr, "warning: %s\n", st.error().message.c_str());
+      }
+    }
+    std::printf("wrote %s (+ metrics, manifest)\n", path_.c_str());
+  }
+
+ private:
+  std::string tool_;
+  std::string path_;
+  BenchScale scale_;
+  std::unique_ptr<obs::Telemetry> telemetry_;
+  std::unique_ptr<obs::TelemetryScope> scope_;
+};
 
 inline sim::FeiSystemConfig system_config(const BenchScale& s) {
   auto cfg = sim::prototype_config();

@@ -69,6 +69,7 @@ int main(int argc, char** argv) {
   const auto start = std::chrono::steady_clock::now();
   auto scale = bench::scale_from_args(argc, argv);
   scale.target_accuracy = std::min(scale.target_accuracy, 0.88);
+  const bench::TraceSession trace("bench_faults", scale);
 
   std::printf("=== energy-to-target vs. link failure rate (target %.2f) ===\n",
               scale.target_accuracy);

@@ -20,6 +20,7 @@ using namespace eefei;
 int main(int argc, char** argv) {
   const bench::TotalTimeReport bench_report("fig3");
   auto scale = bench::scale_from_args(argc, argv);
+  const bench::TraceSession trace_session("bench_fig3", scale);
   auto cfg = bench::system_config(scale);
   // The paper's prototype setting: all 20 servers, E = 40, n_k = 3000,
   // two rounds.  Learning itself is irrelevant to the trace, so the images

@@ -31,6 +31,10 @@
 #include <utility>
 #include <vector>
 
+#include "obs/build_info.h"
+#include "obs/manifest.h"
+#include "obs/trace_export.h"
+
 namespace eefei::bench {
 
 /// ns_per_op for each metric of a previously written BENCH_<name>.json.
@@ -81,7 +85,9 @@ class BenchReport {
 
     std::ostringstream out;
     out.precision(17);
-    out << "{\"bench\": \"" << name_ << "\", \"schema\": 1, \"threads\": "
+    out << "{\"bench\": \"" << name_ << "\", \"schema\": 1"
+        << ", \"schema_version\": " << obs::kTelemetrySchemaVersion
+        << ", \"git_sha\": \"" << obs::git_sha() << "\", \"threads\": "
         << std::max(1u, std::thread::hardware_concurrency())
         << ",\n \"metrics\": [";
     for (std::size_t i = 0; i < metrics_.size(); ++i) {
@@ -100,6 +106,21 @@ class BenchReport {
     std::ofstream file(path);
     file << out.str();
     std::printf("wrote %s\n", path.c_str());
+
+    // Provenance record: BENCH_<name>.manifest.json answers "what produced
+    // this?" without shell-history spelunking.
+    obs::RunManifest manifest;
+    manifest.tool = "bench_" + name_;
+    manifest.artifacts.push_back(path);
+    for (const auto& [metric, ns] : metrics_) {
+      manifest.metric_totals.emplace_back(metric + ".ns_per_op", ns);
+    }
+    const std::string manifest_path =
+        out_dir_ + "/BENCH_" + name_ + ".manifest.json";
+    if (const auto st = obs::write_manifest(manifest, manifest_path);
+        !st.ok()) {
+      std::fprintf(stderr, "warning: %s\n", st.error().message.c_str());
+    }
     return path;
   }
 

@@ -15,6 +15,7 @@
 #include "ml/logistic_regression.h"
 #include "ml/mlp.h"
 #include "ml/serialize.h"
+#include "obs/telemetry.h"
 #include "core/acs.h"
 #include "sim/event_queue.h"
 #include "sim/fei_system.h"
@@ -44,6 +45,26 @@ void BM_LrLossAndGradient(benchmark::State& state) {
                           static_cast<std::int64_t>(n));
 }
 BENCHMARK(BM_LrLossAndGradient)->Arg(100)->Arg(500)->Arg(3000);
+
+void BM_LrLossAndGradientTraced(benchmark::State& state) {
+  // Same body as BM_LrLossAndGradient/500 but with telemetry installed, so
+  // every gemm pays two clock reads and a histogram update.  The telemetry
+  // overhead contract reads off BENCH_micro.json directly:
+  //   - disabled cost: BM_LrLossAndGradient/500 vs its pre-telemetry
+  //     baseline (the instrumented sites collapse to a pointer check);
+  //   - enabled cost: this metric vs BM_LrLossAndGradient/500.
+  const data::Dataset ds = make_batch(500, 28);
+  ml::LogisticRegression model(ml::LogisticRegressionConfig{});
+  std::vector<double> grad(model.parameter_count());
+  obs::Telemetry telemetry;
+  const obs::TelemetryScope scope(telemetry);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.loss_and_gradient(ds.view(), grad));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          500);
+}
+BENCHMARK(BM_LrLossAndGradientTraced);
 
 void BM_LrEvaluate(benchmark::State& state) {
   const data::Dataset ds = make_batch(1000, 28);

@@ -9,10 +9,19 @@
 //      the accuracy target — losing at most checkpoint_every rounds of
 //      work, not the whole run.
 //
+// The whole demo runs traced: fault_tolerance.trace.json (open in Perfetto
+// or chrome://tracing — one lane per edge server, fault instants on the
+// lane of the server they hit), fault_tolerance.metrics.json and
+// fault_tolerance.manifest.json land next to the binary's output.
+//
 // Build & run:  ./examples/fault_tolerance
+#include <cmath>
 #include <cstdio>
 
 #include "fl/checkpoint.h"
+#include "obs/manifest.h"
+#include "obs/telemetry.h"
+#include "obs/trace_export.h"
 #include "sim/fei_system.h"
 
 using namespace eefei;
@@ -43,6 +52,9 @@ sim::FeiSystemConfig demo_config() {
 }  // namespace
 
 int main() {
+  obs::Telemetry telemetry;
+  const obs::TelemetryScope telemetry_scope(telemetry);
+
   std::printf("== 1. Training over lossy links (10%% per-attempt loss) ==\n");
   auto cfg = demo_config();
   cfg.fl.max_rounds = 12;
@@ -91,5 +103,45 @@ int main() {
 
   std::printf("resumed segment energy ledger:\n%s\n",
               seg2->ledger.render().c_str());
+
+  // Telemetry self-check: the metrics registry must have seen exactly the
+  // joules both ledgers booked, category by category (including the faulty
+  // reclassify paths) — a live proof the mirror can't drift.
+  const auto snapshot = telemetry.metrics.snapshot();
+  for (std::size_t c = 0; c < energy::kNumEnergyCategories; ++c) {
+    const auto cat = static_cast<energy::EnergyCategory>(c);
+    const double booked = seg1->ledger.category_total(cat).value() +
+                          seg2->ledger.category_total(cat).value();
+    const double counted = snapshot.counter_value(
+        std::string("energy.joules.") + energy::to_string(cat));
+    if (std::abs(booked - counted) > 1e-9 * std::max(1.0, booked)) {
+      std::fprintf(stderr,
+                   "telemetry mismatch in %s: ledger %.12g != metrics %.12g\n",
+                   energy::to_string(cat), booked, counted);
+      return 1;
+    }
+  }
+  std::printf("telemetry self-check: metric totals match both ledgers\n");
+
+  obs::RunManifest manifest;
+  manifest.tool = "examples/fault_tolerance";
+  manifest.seed = 7;
+  manifest.set("loss_probability", "0.10");
+  manifest.set("checkpoint_every", "5");
+  manifest.set("target_accuracy", "0.80");
+  manifest.add_metric_totals(snapshot);
+  manifest.artifacts = {"fault_tolerance.trace.json",
+                        "fault_tolerance.metrics.json"};
+  for (const auto& st :
+       {obs::write_chrome_trace(telemetry.tracer,
+                                "fault_tolerance.trace.json"),
+        obs::write_metrics_json(snapshot, "fault_tolerance.metrics.json"),
+        obs::write_manifest(manifest, "fault_tolerance.manifest.json")}) {
+    if (!st.ok()) {
+      std::fprintf(stderr, "write failed: %s\n", st.error().message.c_str());
+      return 1;
+    }
+  }
+  std::printf("wrote fault_tolerance.{trace,metrics,manifest}.json\n");
   return seg2->training.reached_target ? 0 : 1;
 }

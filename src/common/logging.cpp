@@ -4,6 +4,8 @@
 #include <cstdio>
 #include <mutex>
 
+#include "obs/telemetry.h"
+
 namespace eefei {
 
 namespace {
@@ -42,11 +44,19 @@ void set_log_sink(LogSink sink) { g_sink.store(sink); }
 
 namespace detail {
 void log_emit(LogLevel level, std::string_view message) {
+  // The sink pointer is loaded exactly once per record, so a sink swapped
+  // in mid-emit from another thread is either fully used or fully unused —
+  // never a torn mix (pinned by the LoggingRace TSan test).
   const LogSink sink = g_sink.load();
   if (sink != nullptr) {
     sink(level, message);
   } else {
     default_sink(level, message);
+  }
+  // With telemetry installed every record also lands in the trace as an
+  // instant event on the host track, next to the spans it interleaves with.
+  if (obs::Telemetry* t = obs::telemetry()) {
+    t->tracer.wall_instant(to_string(level), "log", {}, "message", message);
   }
 }
 }  // namespace detail

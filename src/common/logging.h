@@ -31,10 +31,21 @@ void set_log_sink(LogSink sink);
 namespace detail {
 void log_emit(LogLevel level, std::string_view message);
 
+/// Basename of a __FILE__ path, resolved at compile time — records carry
+/// "fei_system.cpp:123", not the build machine's full source path.
+[[nodiscard]] constexpr const char* short_file_name(const char* path) {
+  const char* base = path;
+  for (const char* p = path; *p != '\0'; ++p) {
+    if (*p == '/' || *p == '\\') base = p + 1;
+  }
+  return base;
+}
+
 class LogLine {
  public:
   LogLine(LogLevel level, const char* file, int line) : level_(level) {
-    stream_ << "[" << to_string(level) << "] " << file << ":" << line << " ";
+    stream_ << "[" << to_string(level) << "] " << short_file_name(file) << ":"
+            << line << " ";
   }
   LogLine(const LogLine&) = delete;
   LogLine& operator=(const LogLine&) = delete;

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/telemetry.h"
+
 namespace eefei {
 
 namespace {
@@ -9,7 +11,35 @@ namespace {
 // re-entrant calls from its own workers and degrade to inline execution
 // instead of deadlocking on its own queue.
 thread_local const ThreadPool* tls_worker_pool = nullptr;
+
+// Nanosecond buckets from 1 µs to ~4 s for the task wait/run histograms.
+constexpr double kNsBucketFirst = 1e3;
+constexpr double kNsBucketFactor = 4.0;
+constexpr std::size_t kNsBucketCount = 12;
+
+obs::Histogram& ns_histogram(obs::MetricsRegistry& metrics,
+                             const char* name) {
+  static const std::vector<double> bounds = obs::Histogram::exponential_bounds(
+      kNsBucketFirst, kNsBucketFactor, kNsBucketCount);
+  return metrics.histogram(name, bounds);
+}
 }  // namespace
+
+namespace detail {
+
+std::uint64_t pool_enqueue_ns() {
+  obs::Telemetry* t = obs::telemetry();
+  return t != nullptr ? t->tracer.wall_now_ns() : 0;
+}
+
+void pool_note_queue_depth(std::size_t depth, bool enqueued) {
+  obs::Telemetry* t = obs::telemetry();
+  if (t == nullptr) return;
+  t->metrics.gauge("pool.queue_depth").set(static_cast<double>(depth));
+  if (enqueued) t->metrics.counter("pool.tasks").increment();
+}
+
+}  // namespace detail
 
 ThreadPool::ThreadPool(std::size_t threads) {
   if (threads == 0) {
@@ -40,25 +70,43 @@ bool ThreadPool::on_worker_thread() const { return tls_worker_pool == this; }
 void ThreadPool::worker_loop() {
   tls_worker_pool = this;
   for (;;) {
-    std::function<void()> task;
+    Task task;
     {
       std::unique_lock<std::mutex> lock(mutex_);
       cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
       if (stop_ && tasks_.empty()) return;
       task = std::move(tasks_.front());
       tasks_.pop();
+      detail::pool_note_queue_depth(tasks_.size(), /*enqueued=*/false);
     }
-    task();
+    obs::Telemetry* t = obs::telemetry();
+    if (t == nullptr) {
+      task.fn();
+      continue;
+    }
+    const std::uint64_t start_ns = t->tracer.wall_now_ns();
+    if (task.enqueue_ns != 0 && start_ns >= task.enqueue_ns) {
+      ns_histogram(t->metrics, "pool.task_wait.ns")
+          .observe(static_cast<double>(start_ns - task.enqueue_ns));
+    }
+    task.fn();
+    ns_histogram(t->metrics, "pool.task_run.ns")
+        .observe(static_cast<double>(t->tracer.wall_now_ns() - start_ns));
   }
 }
 
 void ThreadPool::parallel_for(std::size_t n,
                               const std::function<void(std::size_t)>& fn) {
+  // Zero-length loops must be free: no submission lock, no queue traffic,
+  // no fn invocation (regression-tested — an earlier version still paid
+  // the submission path here).
   if (n == 0) return;
   if (n == 1 || size() <= 1 || on_worker_thread()) {
     for (std::size_t i = 0; i < n; ++i) fn(i);
     return;
   }
+  obs::Tracer::WallSpan span(obs::tracer(), "pool.parallel_for", "host.pool",
+                             {{"n", static_cast<double>(n)}});
   // A few chunks per worker balances load without per-index queue traffic.
   const std::size_t chunks = std::min(n, size() * 4);
   std::vector<std::future<void>> futures;

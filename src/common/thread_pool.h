@@ -9,6 +9,7 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <future>
 #include <mutex>
@@ -17,6 +18,14 @@
 #include <vector>
 
 namespace eefei {
+
+namespace detail {
+// Telemetry hooks, defined in thread_pool.cpp so this header stays free of
+// obs includes.  With telemetry disabled each is a pointer check and
+// nothing else (pool_enqueue_ns returns 0 without reading a clock).
+[[nodiscard]] std::uint64_t pool_enqueue_ns();
+void pool_note_queue_depth(std::size_t depth, bool enqueued);
+}  // namespace detail
 
 class ThreadPool {
  public:
@@ -38,9 +47,11 @@ class ThreadPool {
     auto task =
         std::make_shared<std::packaged_task<R()>>(std::forward<F>(f));
     std::future<R> result = task->get_future();
+    const std::uint64_t enqueue_ns = detail::pool_enqueue_ns();
     {
       const std::lock_guard<std::mutex> lock(mutex_);
-      tasks_.emplace([task] { (*task)(); });
+      tasks_.push(Task{[task] { (*task)(); }, enqueue_ns});
+      detail::pool_note_queue_depth(tasks_.size(), /*enqueued=*/true);
     }
     cv_.notify_one();
     return result;
@@ -58,13 +69,20 @@ class ThreadPool {
   [[nodiscard]] std::size_t size() const { return workers_.size(); }
 
  private:
+  /// Queued work plus its enqueue timestamp (0 unless telemetry was
+  /// enabled at submit time; feeds the pool.task_wait.ns histogram).
+  struct Task {
+    std::function<void()> fn;
+    std::uint64_t enqueue_ns = 0;
+  };
+
   void worker_loop();
 
   /// True when the calling thread is one of this pool's workers.
   [[nodiscard]] bool on_worker_thread() const;
 
   std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> tasks_;
+  std::queue<Task> tasks_;
   std::mutex mutex_;
   std::condition_variable cv_;
   bool stop_ = false;

@@ -4,8 +4,30 @@
 #include <cassert>
 
 #include "common/table.h"
+#include "obs/telemetry.h"
 
 namespace eefei::energy {
+
+namespace {
+
+// "energy.joules.<category>" counter names, built once.  The metric totals
+// track every charge()/reclassify() since telemetry was installed, so after
+// a traced run metrics.counter_value("energy.joules.training") equals
+// category_total(kTraining) — including amounts moved by reclassify (the
+// observability test pins this on a faulty run).
+const std::string& category_counter_name(EnergyCategory category) {
+  static const std::array<std::string, kNumEnergyCategories> names = [] {
+    std::array<std::string, kNumEnergyCategories> out;
+    for (std::size_t c = 0; c < kNumEnergyCategories; ++c) {
+      out[c] = std::string("energy.joules.") +
+               to_string(static_cast<EnergyCategory>(c));
+    }
+    return out;
+  }();
+  return names[static_cast<std::size_t>(category)];
+}
+
+}  // namespace
 
 EnergyLedger::EnergyLedger(std::size_t num_servers)
     : per_server_(num_servers) {
@@ -17,6 +39,9 @@ void EnergyLedger::charge(std::size_t server, EnergyCategory category,
   assert(server < per_server_.size());
   assert(amount.value() >= 0.0);
   per_server_[server][static_cast<std::size_t>(category)] += amount;
+  if (obs::Telemetry* t = obs::telemetry()) {
+    t->metrics.counter(category_counter_name(category)).add(amount.value());
+  }
 }
 
 void EnergyLedger::reclassify(std::size_t server, EnergyCategory from,
@@ -27,6 +52,10 @@ void EnergyLedger::reclassify(std::size_t server, EnergyCategory from,
   const Joules moved = std::min(src, amount);
   src -= moved;
   per_server_[server][static_cast<std::size_t>(to)] += moved;
+  if (obs::Telemetry* t = obs::telemetry(); t != nullptr && moved.value() > 0.0) {
+    t->metrics.counter(category_counter_name(from)).add(-moved.value());
+    t->metrics.counter(category_counter_name(to)).add(moved.value());
+  }
 }
 
 Joules EnergyLedger::server_total(std::size_t server) const {

@@ -5,6 +5,7 @@
 
 #include "ml/model_spec.h"
 #include "ml/quantize.h"
+#include "obs/telemetry.h"
 
 namespace eefei::fl {
 
@@ -82,10 +83,16 @@ Result<TrainingOutcome> Coordinator::run() {
       updates[i] =
           (*clients_)[selected[i]].train(global, config_.local_epochs, t);
     };
-    if (pool) {
-      pool->parallel_for(selected.size(), train_one);
-    } else {
-      for (std::size_t i = 0; i < selected.size(); ++i) train_one(i);
+    {
+      obs::Tracer::WallSpan span(
+          obs::tracer(), "fl.train", "host.fl",
+          {{"round", static_cast<double>(t)},
+           {"clients", static_cast<double>(selected.size())}});
+      if (pool) {
+        pool->parallel_for(selected.size(), train_one);
+      } else {
+        for (std::size_t i = 0; i < selected.size(); ++i) train_one(i);
+      }
     }
 
     // Lossy-upload extension: each update crosses the wire quantized.
@@ -178,12 +185,17 @@ Result<TrainingOutcome> Coordinator::run() {
     const bool eval_round = (t % config_.eval_every == 0) ||
                             (t + 1 == start_round_ + config_.max_rounds);
     if (eval_round) {
+      obs::Tracer::WallSpan span(obs::tracer(), "fl.eval", "host.fl",
+                                 {{"round", static_cast<double>(t)}});
       auto params = evaluator.parameters();
       std::copy(global.begin(), global.end(), params.begin());
       const auto eval = ml::evaluate_sharded(evaluator, test_set_->view(),
                                              pool, eval_workspaces_);
       record.global_loss = eval.loss;
       record.test_accuracy = eval.accuracy;
+      if (obs::Telemetry* tel = obs::telemetry()) {
+        tel->metrics.counter("fl.evals").increment();
+      }
     } else if (!outcome.record.empty()) {
       record.global_loss = outcome.record.last().global_loss;
       record.test_accuracy = outcome.record.last().test_accuracy;
@@ -192,12 +204,20 @@ Result<TrainingOutcome> Coordinator::run() {
     if (observer_) observer_(record, updates);
     outcome.record.add(record);
     outcome.rounds_run = t + 1 - start_round_;
+    if (obs::Telemetry* tel = obs::telemetry()) {
+      tel->metrics.counter("fl.rounds").increment();
+    }
 
     // Periodic checkpoint autosave, so a coordinator crash loses at most
     // checkpoint_every rounds of work.
     if (config_.checkpoint_every != 0 && checkpoint_sink_ &&
         outcome.rounds_run % config_.checkpoint_every == 0) {
       checkpoint_sink_(TrainingCheckpoint{global, t + 1});
+      if (obs::Telemetry* tel = obs::telemetry()) {
+        tel->tracer.wall_instant("fl.checkpoint", "host.fl",
+                                 {{"round", static_cast<double>(t)}});
+        tel->metrics.counter("fl.checkpoints").increment();
+      }
     }
 
     if (eval_round) {

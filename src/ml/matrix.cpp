@@ -3,8 +3,47 @@
 #include <algorithm>
 
 #include "ml/kernels.h"
+#include "obs/telemetry.h"
 
 namespace eefei::ml {
+
+namespace {
+
+// gemm.ns buckets: 256 ns to ~1 s, factor 4.  The blocked kernels are the
+// hottest code in the repo, so the disabled-telemetry path through these
+// wrappers must stay a single pointer check (bench_micro pins the cost).
+obs::Histogram* gemm_histogram(obs::Telemetry* t) {
+  static const std::vector<double> bounds =
+      obs::Histogram::exponential_bounds(256.0, 4.0, 12);
+  return &t->metrics.histogram("gemm.ns", bounds);
+}
+
+class GemmTimer {
+ public:
+  explicit GemmTimer(double flops) : telemetry_(obs::telemetry()) {
+    if (telemetry_ != nullptr) {
+      flops_ = flops;
+      start_ns_ = telemetry_->tracer.wall_now_ns();
+    }
+  }
+  ~GemmTimer() {
+    if (telemetry_ == nullptr) return;
+    const auto ns = static_cast<double>(telemetry_->tracer.wall_now_ns() -
+                                        start_ns_);
+    gemm_histogram(telemetry_)->observe(ns);
+    telemetry_->metrics.counter("gemm.calls").increment();
+    telemetry_->metrics.counter("gemm.flops").add(flops_);
+  }
+  GemmTimer(const GemmTimer&) = delete;
+  GemmTimer& operator=(const GemmTimer&) = delete;
+
+ private:
+  obs::Telemetry* telemetry_;
+  double flops_ = 0.0;
+  std::uint64_t start_ns_ = 0;
+};
+
+}  // namespace
 
 Matrix& Matrix::operator+=(const Matrix& other) {
   assert(same_shape(other));
@@ -41,6 +80,7 @@ void gemm(std::span<const double> a, std::size_t n, std::size_t k,
   assert(a.size() == n * k);
   assert(b.rows() == k);
   const std::size_t m = b.cols();
+  const GemmTimer timer(2.0 * static_cast<double>(n * k * m));
   if (out.rows() != n || out.cols() != m) out = Matrix(n, m);
   out.fill(0.0);
   // i-k-j loop order: streams through B's rows, keeps out-row in cache.
@@ -56,6 +96,7 @@ void gemm_at_b(std::span<const double> a, std::size_t n, std::size_t k,
   assert(a.size() == n * k);
   assert(b.rows() == n);
   const std::size_t m = b.cols();
+  const GemmTimer timer(2.0 * static_cast<double>(n * k * m));
   if (out.rows() != k || out.cols() != m) out = Matrix(k, m);
   out.fill(0.0);
   for (std::size_t i = 0; i < n; ++i) {

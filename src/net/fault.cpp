@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/telemetry.h"
+
 namespace eefei::net {
 
 namespace {
@@ -36,7 +38,7 @@ FaultTransferOutcome plan_faulty_transfer(Rng& rng,
     if (!lost && !in_outage) {
       outcome.delivered = true;
       outcome.finish = attempt_end;
-      return outcome;
+      break;
     }
     outcome.wasted_air_time += attempt_duration;
     at = attempt_end;
@@ -46,7 +48,16 @@ FaultTransferOutcome plan_faulty_transfer(Rng& rng,
       backoff *= std::max(1.0, config.backoff_factor);
     }
   }
-  outcome.finish = at;
+  if (!outcome.delivered) outcome.finish = at;
+  // Telemetry observes the planned outcome only — the rng stream and the
+  // returned timings are identical with telemetry on or off.
+  if (obs::Telemetry* t = obs::telemetry()) {
+    if (outcome.retries() > 0) {
+      t->metrics.counter("link.retries")
+          .add(static_cast<double>(outcome.retries()));
+    }
+    if (!outcome.delivered) t->metrics.counter("link.lost").increment();
+  }
   return outcome;
 }
 

@@ -1,0 +1,21 @@
+#include "obs/build_info.h"
+
+#ifndef EEFEI_GIT_SHA
+#define EEFEI_GIT_SHA "unknown"
+#endif
+#ifndef EEFEI_BUILD_TYPE
+#define EEFEI_BUILD_TYPE "unknown"
+#endif
+#ifndef EEFEI_CXX_FLAGS
+#define EEFEI_CXX_FLAGS ""
+#endif
+
+namespace eefei::obs {
+
+const char* git_sha() { return EEFEI_GIT_SHA; }
+
+const char* build_type() { return EEFEI_BUILD_TYPE; }
+
+const char* build_flags() { return __VERSION__ "; " EEFEI_CXX_FLAGS; }
+
+}  // namespace eefei::obs

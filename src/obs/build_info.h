@@ -1,0 +1,19 @@
+// Build provenance baked into the obs library at configure time — every
+// manifest, trace and BENCH json carries these so an artifact can always be
+// traced back to the exact tree and flags that produced it.
+#pragma once
+
+namespace eefei::obs {
+
+/// Short git sha of the configured source tree ("unknown" outside git).
+/// Captured at CMake configure time, so it is stale until the next
+/// reconfigure after a commit.
+[[nodiscard]] const char* git_sha();
+
+/// CMAKE_BUILD_TYPE of this binary ("RelWithDebInfo", "Release", ...).
+[[nodiscard]] const char* build_type();
+
+/// Compiler banner (__VERSION__) plus the configured extra CXX flags.
+[[nodiscard]] const char* build_flags();
+
+}  // namespace eefei::obs

@@ -1,0 +1,61 @@
+// Minimal JSON emission helpers shared by the telemetry exporters.  The
+// repo's JSON idiom (see bench/bench_json.h, tools/trace_check.py) is
+// line-oriented and stdlib-parseable; these helpers only guarantee correct
+// escaping and locale-independent, round-trippable number formatting.
+#pragma once
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+namespace eefei::obs {
+
+/// JSON string literal, quoted and escaped.
+inline std::string json_quote(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  out.push_back('"');
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+  return out;
+}
+
+/// Shortest-ish round-trippable double (JSON has no inf/nan — they are
+/// clamped to null, which the schema checker rejects loudly rather than
+/// producing invalid JSON silently).
+inline std::string json_number(double v) {
+  if (!std::isfinite(v)) return "null";
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+}  // namespace eefei::obs

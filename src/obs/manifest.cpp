@@ -1,0 +1,60 @@
+#include "obs/manifest.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "obs/build_info.h"
+#include "obs/json.h"
+#include "obs/trace_export.h"
+
+namespace eefei::obs {
+
+void RunManifest::add_metric_totals(const MetricsSnapshot& snapshot) {
+  for (const auto& [name, value] : snapshot.counters) {
+    metric_totals.emplace_back(name, value);
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    metric_totals.emplace_back(name, value);
+  }
+}
+
+std::string manifest_json(const RunManifest& manifest) {
+  std::ostringstream out;
+  out << "{\"schema_version\": " << kTelemetrySchemaVersion
+      << ", \"kind\": \"manifest\",\n"
+      << " \"tool\": " << json_quote(manifest.tool) << ",\n"
+      << " \"git_sha\": " << json_quote(git_sha()) << ",\n"
+      << " \"build_type\": " << json_quote(build_type()) << ",\n"
+      << " \"build_flags\": " << json_quote(build_flags()) << ",\n";
+  if (manifest.seed.has_value()) {
+    out << " \"seed\": " << *manifest.seed << ",\n";
+  }
+  out << " \"config\": {";
+  for (std::size_t i = 0; i < manifest.config.size(); ++i) {
+    out << (i == 0 ? "\n" : ",\n") << "  "
+        << json_quote(manifest.config[i].first) << ": "
+        << json_quote(manifest.config[i].second);
+  }
+  out << "\n },\n \"metric_totals\": {";
+  for (std::size_t i = 0; i < manifest.metric_totals.size(); ++i) {
+    out << (i == 0 ? "\n" : ",\n") << "  "
+        << json_quote(manifest.metric_totals[i].first) << ": "
+        << json_number(manifest.metric_totals[i].second);
+  }
+  out << "\n },\n \"artifacts\": [";
+  for (std::size_t i = 0; i < manifest.artifacts.size(); ++i) {
+    out << (i == 0 ? "" : ", ") << json_quote(manifest.artifacts[i]);
+  }
+  out << "]}\n";
+  return out.str();
+}
+
+Status write_manifest(const RunManifest& manifest, const std::string& path) {
+  std::ofstream file(path);
+  if (!file) return Error::io_error("manifest: cannot open " + path);
+  file << manifest_json(manifest);
+  if (!file) return Error::io_error("manifest: write failed: " + path);
+  return Status::success();
+}
+
+}  // namespace eefei::obs

@@ -1,0 +1,44 @@
+// Run manifests: the provenance record written next to every bench and
+// example output.  One manifest answers "what exactly produced this
+// artifact?" — config echo, seed, git sha, build type/flags, schema
+// version, and the run's metric totals — so a figure can be re-derived (or
+// distrusted) without spelunking through shell history.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "obs/metrics.h"
+
+namespace eefei::obs {
+
+struct RunManifest {
+  /// Producing binary, e.g. "bench_fig3" or "examples/fault_tolerance".
+  std::string tool;
+  std::optional<std::uint64_t> seed;
+  /// Echo of the effective configuration, insertion-ordered key/value.
+  std::vector<std::pair<std::string, std::string>> config;
+  /// Headline totals (counter/gauge values) of the run.
+  std::vector<std::pair<std::string, double>> metric_totals;
+  /// Sibling artifacts this manifest describes (trace/metrics/csv paths).
+  std::vector<std::string> artifacts;
+
+  void set(std::string key, std::string value) {
+    config.emplace_back(std::move(key), std::move(value));
+  }
+  /// Copies every counter and gauge total out of a snapshot.
+  void add_metric_totals(const MetricsSnapshot& snapshot);
+};
+
+/// The manifest as JSON, stamped with schema_version, git sha and build
+/// info from obs/build_info.h.
+[[nodiscard]] std::string manifest_json(const RunManifest& manifest);
+
+[[nodiscard]] Status write_manifest(const RunManifest& manifest,
+                                    const std::string& path);
+
+}  // namespace eefei::obs

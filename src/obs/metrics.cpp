@@ -1,0 +1,141 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace eefei::obs {
+
+namespace detail {
+
+std::size_t metric_shard() {
+  static std::atomic<std::size_t> next{0};
+  thread_local const std::size_t shard =
+      next.fetch_add(1, std::memory_order_relaxed) % kMetricShards;
+  return shard;
+}
+
+}  // namespace detail
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  assert(std::is_sorted(bounds_.begin(), bounds_.end()));
+  for (auto& s : shards_) {
+    s.buckets = std::vector<std::atomic<std::uint64_t>>(bounds_.size() + 1);
+  }
+}
+
+void Histogram::observe(double v) {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+  const std::size_t bucket =
+      static_cast<std::size_t>(it - bounds_.begin());  // past-end = overflow
+  Shard& s = shards_[detail::metric_shard()];
+  s.buckets[bucket].fetch_add(1, std::memory_order_relaxed);
+  s.sum.fetch_add(v, std::memory_order_relaxed);
+}
+
+std::vector<std::uint64_t> Histogram::bucket_counts() const {
+  std::vector<std::uint64_t> out(bounds_.size() + 1, 0);
+  for (const auto& s : shards_) {
+    for (std::size_t b = 0; b < out.size(); ++b) {
+      out[b] += s.buckets[b].load(std::memory_order_relaxed);
+    }
+  }
+  return out;
+}
+
+std::uint64_t Histogram::count() const {
+  std::uint64_t total = 0;
+  for (const std::uint64_t c : bucket_counts()) total += c;
+  return total;
+}
+
+double Histogram::sum() const {
+  double total = 0.0;
+  for (const auto& s : shards_) {
+    total += s.sum.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+std::vector<double> Histogram::exponential_bounds(double first, double factor,
+                                                  std::size_t count) {
+  assert(first > 0.0 && factor > 1.0);
+  std::vector<double> bounds;
+  bounds.reserve(count);
+  double b = first;
+  for (std::size_t i = 0; i < count; ++i) {
+    bounds.push_back(b);
+    b *= factor;
+  }
+  return bounds;
+}
+
+double MetricsSnapshot::counter_value(std::string_view name) const {
+  for (const auto& [n, v] : counters) {
+    if (n == name) return v;
+  }
+  return 0.0;
+}
+
+double MetricsSnapshot::gauge_value(std::string_view name) const {
+  for (const auto& [n, v] : gauges) {
+    if (n == name) return v;
+  }
+  return 0.0;
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (const auto it = counters_.find(name); it != counters_.end()) {
+    return *it->second;
+  }
+  return *counters_.emplace(std::string(name), std::make_unique<Counter>())
+              .first->second;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (const auto it = gauges_.find(name); it != gauges_.end()) {
+    return *it->second;
+  }
+  return *gauges_.emplace(std::string(name), std::make_unique<Gauge>())
+              .first->second;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name,
+                                      std::span<const double> bounds) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (const auto it = histograms_.find(name); it != histograms_.end()) {
+    return *it->second;
+  }
+  return *histograms_
+              .emplace(std::string(name),
+                       std::make_unique<Histogram>(std::vector<double>(
+                           bounds.begin(), bounds.end())))
+              .first->second;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  MetricsSnapshot snap;
+  snap.counters.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) {
+    snap.counters.emplace_back(name, c->value());
+  }
+  snap.gauges.reserve(gauges_.size());
+  for (const auto& [name, g] : gauges_) {
+    snap.gauges.emplace_back(name, g->value());
+  }
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) {
+    HistogramSnapshot hs;
+    hs.name = name;
+    hs.bounds = h->bounds();
+    hs.buckets = h->bucket_counts();
+    hs.sum = h->sum();
+    for (const std::uint64_t c : hs.buckets) hs.count += c;
+    snap.histograms.push_back(std::move(hs));
+  }
+  return snap;
+}
+
+}  // namespace eefei::obs

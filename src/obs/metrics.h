@@ -1,0 +1,147 @@
+// Metrics registry: named counters, gauges and fixed-bucket histograms for
+// the whole simulator (round.stragglers, link.retries, energy.joules.*,
+// pool.queue_depth, gemm.ns, ...).
+//
+// Counters and histograms are sharded across a small fixed set of slots;
+// each thread hashes to one slot and updates it with a relaxed atomic, so
+// concurrent recording from pool workers never serializes on a lock.
+// snapshot() merges the shards into plain totals.  Metric objects have
+// stable addresses for the registry's lifetime — call sites may cache the
+// reference returned by counter()/gauge()/histogram().
+//
+// The registry itself is always cheap to *have*; whether a call site pays
+// anything at all is governed by the global telemetry toggle (telemetry.h):
+// disabled telemetry means the site never reaches the registry.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace eefei::obs {
+
+inline constexpr std::size_t kMetricShards = 16;
+
+namespace detail {
+/// Shard index of the calling thread (stable per thread, assigned on first
+/// use round-robin so pool workers spread across the slots).
+[[nodiscard]] std::size_t metric_shard();
+}  // namespace detail
+
+/// Monotonic sum (double-valued; negative deltas are allowed so paired
+/// moves like EnergyLedger::reclassify can keep two counters consistent).
+class Counter {
+ public:
+  void add(double delta) {
+    shards_[detail::metric_shard()].v.fetch_add(delta,
+                                                std::memory_order_relaxed);
+  }
+  void increment() { add(1.0); }
+  [[nodiscard]] double value() const {
+    double total = 0.0;
+    for (const auto& s : shards_) {
+      total += s.v.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+ private:
+  struct alignas(64) Shard {
+    std::atomic<double> v{0.0};
+  };
+  std::array<Shard, kMetricShards> shards_{};
+};
+
+/// Last-write-wins instantaneous value (queue depth, pool size, ...).
+class Gauge {
+ public:
+  void set(double v) { value_.store(v, std::memory_order_relaxed); }
+  [[nodiscard]] double value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket histogram: bucket i counts observations <= bounds[i], with
+/// an implicit overflow bucket above the last bound.  Bounds are fixed at
+/// registration; observations are sharded like counters.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+
+  void observe(double v);
+
+  [[nodiscard]] const std::vector<double>& bounds() const { return bounds_; }
+  /// Merged bucket counts, size bounds().size() + 1 (last = overflow).
+  [[nodiscard]] std::vector<std::uint64_t> bucket_counts() const;
+  [[nodiscard]] std::uint64_t count() const;
+  [[nodiscard]] double sum() const;
+
+  /// `count` bounds growing geometrically from `first` by `factor` — the
+  /// usual shape for nanosecond timings.
+  [[nodiscard]] static std::vector<double> exponential_bounds(double first,
+                                                              double factor,
+                                                              std::size_t count);
+
+ private:
+  struct alignas(64) Shard {
+    std::atomic<double> sum{0.0};
+    std::vector<std::atomic<std::uint64_t>> buckets;
+  };
+  std::vector<double> bounds_;
+  std::array<Shard, kMetricShards> shards_;
+};
+
+struct HistogramSnapshot {
+  std::string name;
+  std::vector<double> bounds;
+  std::vector<std::uint64_t> buckets;  // bounds.size() + 1 entries
+  std::uint64_t count = 0;
+  double sum = 0.0;
+};
+
+/// Point-in-time merge of every registered metric, name-sorted.
+struct MetricsSnapshot {
+  std::vector<std::pair<std::string, double>> counters;
+  std::vector<std::pair<std::string, double>> gauges;
+  std::vector<HistogramSnapshot> histograms;
+
+  /// Counter value by name (0.0 when absent) — test convenience.
+  [[nodiscard]] double counter_value(std::string_view name) const;
+  [[nodiscard]] double gauge_value(std::string_view name) const;
+};
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Finds or creates; the returned reference stays valid for the
+  /// registry's lifetime.
+  [[nodiscard]] Counter& counter(std::string_view name);
+  [[nodiscard]] Gauge& gauge(std::string_view name);
+  /// `bounds` is only consulted on first registration of `name`.
+  [[nodiscard]] Histogram& histogram(std::string_view name,
+                                     std::span<const double> bounds);
+
+  [[nodiscard]] MetricsSnapshot snapshot() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+}  // namespace eefei::obs

@@ -1,0 +1,13 @@
+#include "obs/telemetry.h"
+
+namespace eefei::obs {
+
+namespace detail {
+std::atomic<Telemetry*> g_telemetry{nullptr};
+}  // namespace detail
+
+void install_telemetry(Telemetry* t) {
+  detail::g_telemetry.store(t, std::memory_order_release);
+}
+
+}  // namespace eefei::obs

@@ -1,0 +1,72 @@
+// The unified telemetry toggle: one Telemetry object bundles the span
+// tracer and the metrics registry, and a single global pointer turns every
+// instrumentation site in the codebase on or off at once.
+//
+// Overhead contract: with telemetry disabled (the default) an instrumented
+// call site costs exactly one atomic pointer load and a predictable branch —
+// no clock reads, no allocation, no locks.  Instrumentation only *reads*
+// simulation state (simulated clocks, ids, ledger amounts); it never
+// advances a clock or consumes randomness, so enabling tracing cannot
+// perturb simulation results (the fault-layer golden byte-identity test
+// pins this with telemetry both off and on).
+#pragma once
+
+#include <atomic>
+
+#include "obs/metrics.h"
+#include "obs/tracer.h"
+
+namespace eefei::obs {
+
+class Telemetry {
+ public:
+  Tracer tracer;
+  MetricsRegistry metrics;
+};
+
+namespace detail {
+extern std::atomic<Telemetry*> g_telemetry;
+}  // namespace detail
+
+/// The installed telemetry, or nullptr when disabled.  This is THE hot-path
+/// check: call it once per instrumentation site and bail on nullptr.
+[[nodiscard]] inline Telemetry* telemetry() {
+  return detail::g_telemetry.load(std::memory_order_acquire);
+}
+
+/// Shorthands for sites that only need one half.  Null when disabled.
+[[nodiscard]] inline Tracer* tracer() {
+  Telemetry* t = telemetry();
+  return t != nullptr ? &t->tracer : nullptr;
+}
+[[nodiscard]] inline MetricsRegistry* metrics() {
+  Telemetry* t = telemetry();
+  return t != nullptr ? &t->metrics : nullptr;
+}
+
+/// Installs `t` as the process-wide telemetry (nullptr disables).  The
+/// caller keeps ownership and must keep `t` alive until replaced.
+void install_telemetry(Telemetry* t);
+
+/// RAII install/restore — the idiomatic way to trace one run:
+///
+///   obs::Telemetry tel;
+///   {
+///     obs::TelemetryScope scope(tel);
+///     system.run();
+///   }
+///   write_chrome_trace(tel, "run.trace.json");
+class TelemetryScope {
+ public:
+  explicit TelemetryScope(Telemetry& t) : previous_(telemetry()) {
+    install_telemetry(&t);
+  }
+  TelemetryScope(const TelemetryScope&) = delete;
+  TelemetryScope& operator=(const TelemetryScope&) = delete;
+  ~TelemetryScope() { install_telemetry(previous_); }
+
+ private:
+  Telemetry* previous_;
+};
+
+}  // namespace eefei::obs

@@ -1,0 +1,174 @@
+#include "obs/tracer.h"
+
+#include <algorithm>
+#include <atomic>
+
+namespace eefei::obs {
+
+namespace {
+
+// Tracer identity for the thread-local buffer cache.  Ids are never reused,
+// so a cache entry whose id matches a live tracer always points at that
+// tracer's (live) buffer, even if a destroyed tracer's address was recycled.
+std::atomic<std::uint64_t> g_next_tracer_id{1};
+
+struct TlsEntry {
+  std::uint64_t tracer_id;
+  void* buffer;
+};
+thread_local std::vector<TlsEntry> tls_buffers;
+
+}  // namespace
+
+Tracer::Tracer()
+    : birth_(std::chrono::steady_clock::now()),
+      id_(g_next_tracer_id.fetch_add(1)) {
+  // Wall-time events always land on kHostPid, so its track name exists from
+  // birth; sim tracks are registered by whoever owns the simulated entity.
+  set_track_name(kHostPid, "host");
+}
+
+Tracer::~Tracer() = default;
+
+Tracer::Buffer& Tracer::local_buffer() {
+  for (const TlsEntry& e : tls_buffers) {
+    if (e.tracer_id == id_) return *static_cast<Buffer*>(e.buffer);
+  }
+  const std::lock_guard<std::mutex> lock(buffers_mutex_);
+  buffers_.push_back(std::make_unique<Buffer>());
+  Buffer& buf = *buffers_.back();
+  buf.tid = static_cast<std::int32_t>(buffers_.size() - 1);
+  tls_buffers.push_back({id_, &buf});
+  return buf;
+}
+
+void Tracer::record(TraceEvent&& e, std::initializer_list<TraceArg> args) {
+  e.n_args = static_cast<std::uint8_t>(std::min(args.size(), e.args.size()));
+  std::copy_n(args.begin(), e.n_args, e.args.begin());
+  Buffer& buf = local_buffer();
+  if (e.clock == Clock::kWall) e.tid = buf.tid;
+  const std::lock_guard<std::mutex> lock(buf.mutex);
+  buf.events.push_back(std::move(e));
+}
+
+void Tracer::set_track_name(std::int32_t pid, std::string name) {
+  const std::lock_guard<std::mutex> lock(names_mutex_);
+  for (auto& [p, n] : names_) {
+    if (p == pid) {
+      n = std::move(name);
+      return;
+    }
+  }
+  names_.emplace_back(pid, std::move(name));
+}
+
+void Tracer::sim_span(const char* name, const char* cat, std::int32_t pid,
+                      Seconds start, Seconds duration,
+                      std::initializer_list<TraceArg> args) {
+  TraceEvent e;
+  e.name = name;
+  e.cat = cat;
+  e.ph = 'X';
+  e.clock = Clock::kSim;
+  e.pid = pid;
+  e.ts_us = start.value() * 1e6;
+  e.dur_us = duration.value() * 1e6;
+  record(std::move(e), args);
+}
+
+void Tracer::sim_instant(const char* name, const char* cat, std::int32_t pid,
+                         Seconds at, std::initializer_list<TraceArg> args) {
+  TraceEvent e;
+  e.name = name;
+  e.cat = cat;
+  e.ph = 'i';
+  e.clock = Clock::kSim;
+  e.pid = pid;
+  e.ts_us = at.value() * 1e6;
+  record(std::move(e), args);
+}
+
+std::uint64_t Tracer::wall_now_ns() const {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - birth_)
+          .count());
+}
+
+void Tracer::wall_span_ns(const char* name, const char* cat,
+                          std::uint64_t start_ns, std::uint64_t end_ns,
+                          std::initializer_list<TraceArg> args) {
+  TraceEvent e;
+  e.name = name;
+  e.cat = cat;
+  e.ph = 'X';
+  e.clock = Clock::kWall;
+  e.pid = kHostPid;
+  e.ts_us = static_cast<double>(start_ns) * 1e-3;
+  e.dur_us = static_cast<double>(end_ns - start_ns) * 1e-3;
+  record(std::move(e), args);
+}
+
+void Tracer::wall_instant(const char* name, const char* cat,
+                          std::initializer_list<TraceArg> args,
+                          const char* str_key, std::string_view str_value) {
+  TraceEvent e;
+  e.name = name;
+  e.cat = cat;
+  e.ph = 'i';
+  e.clock = Clock::kWall;
+  e.pid = kHostPid;
+  e.ts_us = static_cast<double>(wall_now_ns()) * 1e-3;
+  if (str_key != nullptr) {
+    e.str_key = str_key;
+    e.str_value = std::string(str_value);
+  }
+  record(std::move(e), args);
+}
+
+Tracer::WallSpan::~WallSpan() {
+  if (tracer_ == nullptr) return;
+  TraceEvent e;
+  e.name = name_;
+  e.cat = cat_;
+  e.ph = 'X';
+  e.clock = Clock::kWall;
+  e.pid = kHostPid;
+  e.ts_us = static_cast<double>(start_ns_) * 1e-3;
+  e.dur_us =
+      static_cast<double>(tracer_->wall_now_ns() - start_ns_) * 1e-3;
+  e.n_args = n_args_;
+  e.args = args_;
+  Buffer& buf = tracer_->local_buffer();
+  e.tid = buf.tid;
+  const std::lock_guard<std::mutex> lock(buf.mutex);
+  buf.events.push_back(std::move(e));
+}
+
+std::vector<TraceEvent> Tracer::events() const {
+  std::vector<TraceEvent> out;
+  const std::lock_guard<std::mutex> lock(buffers_mutex_);
+  for (const auto& buf : buffers_) {
+    const std::lock_guard<std::mutex> buf_lock(buf->mutex);
+    out.insert(out.end(), buf->events.begin(), buf->events.end());
+  }
+  return out;
+}
+
+std::vector<std::pair<std::int32_t, std::string>> Tracer::track_names() const {
+  const std::lock_guard<std::mutex> lock(names_mutex_);
+  auto out = names_;
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+bool Tracer::empty() const {
+  const std::lock_guard<std::mutex> lock(buffers_mutex_);
+  for (const auto& buf : buffers_) {
+    const std::lock_guard<std::mutex> buf_lock(buf->mutex);
+    if (!buf->events.empty()) return false;
+  }
+  return true;
+}
+
+}  // namespace eefei::obs

@@ -7,6 +7,7 @@
 #include "ml/model_spec.h"
 #include "ml/quantize.h"
 #include "ml/serialize.h"
+#include "obs/telemetry.h"
 #include "sim/event_queue.h"
 
 namespace eefei::sim {
@@ -45,6 +46,14 @@ Result<AsyncRunResult> AsyncFeiSystem::run() {
 
   AsyncRunResult result;
   result.ledger = energy::EnergyLedger(clients.size());
+
+  if (obs::Tracer* tr = obs::tracer()) {
+    tr->set_track_name(obs::Tracer::kCoordinatorPid, "coordinator");
+    for (std::size_t k = 0; k < clients.size(); ++k) {
+      tr->set_track_name(obs::Tracer::server_pid(k),
+                         "edge_server_" + std::to_string(k));
+    }
+  }
 
   const auto eval_model = ml::make_model(base.model);
   std::vector<double> global(eval_model->parameters().begin(),
@@ -138,6 +147,16 @@ Result<AsyncRunResult> AsyncFeiSystem::run() {
         base.profile.power(energy::EdgeState::kTraining) * train,
         base.profile.power(energy::EdgeState::kUploading) * u};
 
+    // The whole task timeline is known at dispatch (the computation runs
+    // lazily at completion), so the three phase spans are recorded here.
+    if (obs::Tracer* tr = obs::tracer()) {
+      const std::int32_t pid = obs::Tracer::server_pid(server);
+      const Seconds at = queue.now();
+      tr->sim_span("downloading", "sim.phase", pid, at, d);
+      tr->sim_span("training", "sim.phase", pid, at + d, train);
+      tr->sim_span("uploading", "sim.phase", pid, at + d + train, u);
+    }
+
     queue.schedule_in(d + train + u, [&, server, start_version, snapshot] {
       if (stop) return;
       in_flight[server].reset();
@@ -179,6 +198,16 @@ Result<AsyncRunResult> AsyncFeiSystem::run() {
           request_stop();
         }
       }
+      if (obs::Telemetry* tel = obs::telemetry()) {
+        tel->tracer.sim_instant(
+            "update.applied", "sim.async", obs::Tracer::kCoordinatorPid,
+            rec.applied_at,
+            {{"update", static_cast<double>(rec.update)},
+             {"server", static_cast<double>(server)},
+             {"staleness", static_cast<double>(staleness)},
+             {"alpha", alpha_s}});
+        tel->metrics.counter("async.updates").increment();
+      }
       result.updates.push_back(std::move(rec));
       ++applied;
       if (applied >= config_.max_updates) request_stop();
@@ -209,6 +238,12 @@ Result<AsyncRunResult> AsyncFeiSystem::run() {
                              energy::EnergyCategory::kAborted,
                              in_flight[s]->upload);
     ++result.cancelled_tasks;
+    if (obs::Telemetry* tel = obs::telemetry()) {
+      tel->tracer.sim_instant("task.cancelled", "sim.async",
+                              obs::Tracer::server_pid(s),
+                              stop_time.value_or(queue.now()));
+      tel->metrics.counter("async.cancelled").increment();
+    }
   }
 
   result.updates_applied = applied;

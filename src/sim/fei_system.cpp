@@ -7,6 +7,7 @@
 
 #include "ml/quantize.h"
 #include "ml/serialize.h"
+#include "obs/telemetry.h"
 #include "sim/edge_server_sim.h"
 #include "sim/event_queue.h"
 
@@ -131,6 +132,16 @@ Result<FeiRunResult> FeiSystem::run() {
   servers.reserve(config_.num_servers);
   for (std::size_t k = 0; k < config_.num_servers; ++k) {
     servers.emplace_back(k, config_.profile);
+  }
+
+  // Name the trace tracks up front: one pseudo-process per edge server plus
+  // the coordinator's round track (Fig. 3 layout in the Perfetto UI).
+  if (obs::Tracer* tr = obs::tracer()) {
+    tr->set_track_name(obs::Tracer::kCoordinatorPid, "coordinator");
+    for (std::size_t k = 0; k < config_.num_servers; ++k) {
+      tr->set_track_name(obs::Tracer::server_pid(k),
+                         "edge_server_" + std::to_string(k));
+    }
   }
 
   const std::size_t param_count = config_.model.parameter_count();
@@ -278,6 +289,17 @@ Result<FeiRunResult> FeiSystem::run() {
         }
       }
     }
+
+    if (obs::Telemetry* tel = obs::telemetry()) {
+      tel->tracer.sim_span(
+          "round", "sim.round", obs::Tracer::kCoordinatorPid, round_start,
+          clock - round_start,
+          {{"round", static_cast<double>(record.round)},
+           {"selected", static_cast<double>(record.selected.size())},
+           {"accuracy", record.test_accuracy},
+           {"loss", record.global_loss}});
+      tel->metrics.counter("round.count").increment();
+    }
   };
 
   // --- Fault-mode round simulation -------------------------------------
@@ -295,12 +317,20 @@ Result<FeiRunResult> FeiSystem::run() {
                    config_.seed * 977 + 3;
   CrashProcess crash_process(config_.num_servers, crash_cfg);
 
-  auto fault_filter = [&](std::size_t /*round*/,
+  auto fault_filter = [&](std::size_t round,
                           std::span<const fl::ClientId> selected,
                           std::span<fl::LocalTrainResult> updates)
       -> fl::RoundFaultStats {
     fl::RoundFaultStats stats;
     const Seconds round_start = clock;
+    // Fault events land as instants on the affected server's track, next to
+    // the truncated phase span they explain.
+    const auto trace_fault = [](const char* name, std::size_t sid,
+                                Seconds at) {
+      if (obs::Tracer* tr = obs::tracer()) {
+        tr->sim_instant(name, "sim.fault", obs::Tracer::server_pid(sid), at);
+      }
+    };
     const bool has_deadline = config_.round_deadline.value() > 0.0;
     const Seconds deadline = round_start + config_.round_deadline;
     const Watts p_down = config_.profile.power(energy::EdgeState::kDownloading);
@@ -336,6 +366,7 @@ Result<FeiRunResult> FeiSystem::run() {
 
       // A server still rebooting at round start never hears the dispatch.
       if (crash_process.is_down(sid, round_start)) {
+        trace_fault("server.down", sid, round_start);
         u.aggregated = false;
         ++stats.crashed_servers;
         continue;
@@ -346,6 +377,7 @@ Result<FeiRunResult> FeiSystem::run() {
       const Seconds download_start = lan_free;
       if (has_deadline && download_start >= deadline) {
         // The dispatch queue itself overran the deadline.
+        trace_fault("deadline.drop", sid, deadline);
         u.aggregated = false;
         ++stats.straggler_drops;
         note_end(deadline);
@@ -366,6 +398,7 @@ Result<FeiRunResult> FeiSystem::run() {
                              p_down * cut);
         servers[sid].run_phase(energy::EdgeState::kDownloading,
                                download_start, cut);
+        trace_fault("deadline.drop", sid, deadline);
         u.aggregated = false;
         ++stats.straggler_drops;
         note_end(deadline);
@@ -376,6 +409,7 @@ Result<FeiRunResult> FeiSystem::run() {
                              p_down * down.air_time);
         servers[sid].run_phase(energy::EdgeState::kDownloading,
                                download_start, down.air_time);
+        trace_fault("update.lost", sid, down.finish);
         u.aggregated = false;
         ++stats.aborted_updates;
         note_end(down.finish);
@@ -403,6 +437,7 @@ Result<FeiRunResult> FeiSystem::run() {
                              p_train * (*crash - train_start));
         servers[sid].run_phase(energy::EdgeState::kTraining, train_start,
                                *crash - train_start);
+        trace_fault("server.crash", sid, *crash);
         u.aggregated = false;
         ++stats.crashed_servers;
         note_end(*crash);
@@ -415,6 +450,7 @@ Result<FeiRunResult> FeiSystem::run() {
           servers[sid].run_phase(energy::EdgeState::kTraining, train_start,
                                  deadline - train_start);
         }
+        trace_fault("deadline.drop", sid, deadline);
         u.aggregated = false;
         ++stats.straggler_drops;
         note_end(deadline);
@@ -446,6 +482,7 @@ Result<FeiRunResult> FeiSystem::run() {
                              p_wait * (queue_wait_end - p.train_end));
       }
       if (has_deadline && upload_start >= deadline) {
+        trace_fault("deadline.drop", sid, deadline);
         u.aggregated = false;
         ++stats.straggler_drops;
         note_end(deadline);
@@ -465,6 +502,7 @@ Result<FeiRunResult> FeiSystem::run() {
                              p_up * cut);
         servers[sid].run_phase(energy::EdgeState::kUploading, upload_start,
                                cut);
+        trace_fault("deadline.drop", sid, deadline);
         u.aggregated = false;
         ++stats.straggler_drops;
         note_end(deadline);
@@ -475,6 +513,7 @@ Result<FeiRunResult> FeiSystem::run() {
                              p_up * up.air_time);
         servers[sid].run_phase(energy::EdgeState::kUploading, upload_start,
                                up.air_time);
+        trace_fault("update.lost", sid, up.finish);
         u.aggregated = false;
         ++stats.aborted_updates;
         note_end(up.finish);
@@ -502,6 +541,25 @@ Result<FeiRunResult> FeiSystem::run() {
                                p_wait * round_duration);
         }
       }
+    }
+
+    if (obs::Telemetry* tel = obs::telemetry()) {
+      tel->tracer.sim_span(
+          "round", "sim.round", obs::Tracer::kCoordinatorPid, round_start,
+          clock - round_start,
+          {{"round", static_cast<double>(round)},
+           {"selected", static_cast<double>(selected.size())},
+           {"retries", static_cast<double>(stats.retries)},
+           {"dropped", static_cast<double>(stats.straggler_drops +
+                                           stats.aborted_updates +
+                                           stats.crashed_servers)}});
+      tel->metrics.counter("round.count").increment();
+      tel->metrics.counter("round.stragglers")
+          .add(static_cast<double>(stats.straggler_drops));
+      tel->metrics.counter("round.crashes")
+          .add(static_cast<double>(stats.crashed_servers));
+      tel->metrics.counter("round.aborted_updates")
+          .add(static_cast<double>(stats.aborted_updates));
     }
     return stats;
   };

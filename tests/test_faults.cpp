@@ -8,6 +8,7 @@
 
 #include "energy/ledger.h"
 #include "net/fault.h"
+#include "obs/telemetry.h"
 #include "sim/fault_process.h"
 #include "sim/fei_system.h"
 
@@ -227,6 +228,31 @@ TEST(FaultDefaults, ByteIdenticalToFaultFreeSeed) {
   EXPECT_DOUBLE_EQ(
       r->ledger.category_total(energy::EnergyCategory::kAborted).value(),
       0.0);
+}
+
+// The telemetry layer's non-perturbation guarantee: recording spans and
+// metrics must not touch a clock, an rng stream or any aggregation order,
+// so the traced run reproduces the exact same golden bytes as the
+// untraced one above.
+TEST(FaultDefaults, ByteIdenticalWithTelemetryEnabled) {
+  obs::Telemetry telemetry;
+  const obs::TelemetryScope scope(telemetry);
+  sim::FeiSystem system(small_config());
+  const auto r = system.run();
+  ASSERT_TRUE(r.ok()) << r.error().message;
+
+  const auto& params = r->training.final_params;
+  EXPECT_EQ(fnv1a(params.data(), params.size() * sizeof(double)),
+            0x7df0d05514f8f32dULL);
+  EXPECT_EQ(r->training.record.last().global_loss, 0x1.e7d784c082ebp+0);
+  EXPECT_EQ(r->training.record.last().test_accuracy, 0x1.fc962fc962fc9p-2);
+  EXPECT_EQ(r->ledger.total().value(), 0x1.ad44a7413f57ap+2);
+  EXPECT_EQ(r->wall_clock.value(), 0x1.83162202e1b3fp-1);
+
+  // The run really was recorded, not silently skipped.
+  EXPECT_FALSE(telemetry.tracer.empty());
+  const auto snapshot = telemetry.metrics.snapshot();
+  EXPECT_EQ(snapshot.counter_value("round.count"), 8.0);
 }
 
 TEST(FaultRuns, DeterministicPerSeed) {

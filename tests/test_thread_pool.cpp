@@ -7,6 +7,8 @@
 #include <stdexcept>
 #include <vector>
 
+#include "obs/telemetry.h"
+
 namespace eefei {
 namespace {
 
@@ -57,6 +59,41 @@ TEST(ThreadPool, ManySmallTasks) {
 TEST(ThreadPool, DefaultSizeAtLeastOne) {
   ThreadPool pool;
   EXPECT_GE(pool.size(), 1u);
+}
+
+TEST(ThreadPool, ParallelForZeroIsFree) {
+  // Regression: a zero-length loop must return before the submission path —
+  // no queue traffic, no fn invocation.  The pool.tasks counter observes
+  // queue traffic directly, so a regression that re-introduces submission
+  // for n == 0 trips the counter check, not just the invocation check.
+  obs::Telemetry telemetry;
+  const obs::TelemetryScope scope(telemetry);
+  ThreadPool pool(4);
+  std::atomic<int> calls{0};
+  pool.parallel_for(0, [&](std::size_t) { calls.fetch_add(1); });
+  EXPECT_EQ(calls.load(), 0);
+  EXPECT_EQ(telemetry.metrics.snapshot().counter_value("pool.tasks"), 0.0);
+}
+
+TEST(ThreadPool, QueueMetricsCountSubmittedTasks) {
+  obs::Telemetry telemetry;
+  const obs::TelemetryScope scope(telemetry);
+  ThreadPool pool(2);
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 32; ++i) {
+    futures.push_back(pool.submit([] {}));
+  }
+  for (auto& f : futures) f.get();
+  const auto snapshot = telemetry.metrics.snapshot();
+  EXPECT_EQ(snapshot.counter_value("pool.tasks"), 32.0);
+  // Every task's wait and run latency landed in the histograms.
+  for (const auto& h : snapshot.histograms) {
+    if (h.name == "pool.task_wait.ns" || h.name == "pool.task_run.ns") {
+      EXPECT_EQ(h.count, 32u) << h.name;
+    }
+  }
+  // Gauge exists and has settled at zero depth after the drain.
+  EXPECT_EQ(snapshot.gauge_value("pool.queue_depth"), 0.0);
 }
 
 TEST(ThreadPool, DestructorDrainsCleanly) {
