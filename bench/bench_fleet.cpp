@@ -1,0 +1,129 @@
+// Fleet-scale engine bench: runs the FleetEngine at N ∈ {100, 1k, 10k}
+// edge servers (100k opt-in via `n100k=1`), reporting simulation
+// throughput (servers·rounds per second), peak RSS, and energy at the end
+// of the run.  Also proves the thread-count byte-identity claim in-process
+// before timing anything.
+//
+//   build/bench/bench_fleet [rounds=20] [threads=0] [n100k=1]
+//
+// Writes BENCH_fleet.json; tools/bench_compare.py gates CI on the
+// ns_per_server_round metrics (>15% regression fails).
+#include <sys/resource.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_json.h"
+#include "common/config.h"
+#include "sim/fleet_engine.h"
+
+namespace {
+
+using namespace eefei;
+
+double peak_rss_mb() {
+  rusage usage{};
+  getrusage(RUSAGE_SELF, &usage);
+  return static_cast<double>(usage.ru_maxrss) / 1024.0;  // KiB → MiB
+}
+
+sim::FleetEngineConfig fleet_config(std::size_t n, std::size_t rounds,
+                                    std::size_t threads) {
+  sim::FleetEngineConfig cfg;
+  cfg.system = sim::prototype_config();
+  cfg.system.num_servers = n;
+  cfg.system.net.num_edge_servers = n;
+  cfg.system.net.devices_per_edge = 1;  // fleets idle; keep topology lean
+  cfg.system.samples_per_server = 50;
+  cfg.system.test_samples = 500;
+  cfg.system.data.image_side = 12;
+  cfg.system.model.input_dim = 144;
+  cfg.system.sgd.learning_rate = 0.1;
+  cfg.system.fl.clients_per_round = 10;
+  cfg.system.fl.local_epochs = 3;
+  cfg.system.fl.max_rounds = rounds;
+  cfg.system.fl.eval_every = 5;
+  cfg.system.fl.threads = threads;
+  cfg.system.charge_idle_servers = true;  // the O(N) per-round fleet work
+  cfg.system.seed = 3;
+  // Above 1k servers, pool the training data (256 distinct shards shared
+  // round-robin) so the dataset footprint stays flat while every server
+  // still trains, uploads and accounts energy individually.
+  cfg.data_pool_shards = n > 1000 ? 256 : 0;
+  cfg.sampled_timelines = 8;
+  return cfg;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::size_t rounds = 20;
+  std::size_t threads = std::max(1u, std::thread::hardware_concurrency());
+  bool include_100k = false;
+  if (const auto cfg = Config::from_args(argc, argv); cfg.ok()) {
+    rounds = static_cast<std::size_t>(
+        cfg->get_int_or("rounds", static_cast<long>(rounds)));
+    if (const long t = cfg->get_int_or("threads", 0); t > 0) {
+      threads = static_cast<std::size_t>(t);
+    }
+    include_100k = cfg->get_int_or("n100k", 0) != 0;
+  }
+
+  // Byte-identity proof: a serial and a threaded run of the same fleet
+  // must agree on every energy bit before any throughput number means
+  // anything.
+  {
+    auto serial_cfg = fleet_config(200, 6, 1);
+    auto threaded_cfg = fleet_config(200, 6, threads);
+    serial_cfg.shard_size = 16;
+    sim::FleetEngine serial(serial_cfg);
+    sim::FleetEngine threaded(threaded_cfg);
+    const auto a = serial.run();
+    const auto b = threaded.run();
+    if (!a.ok() || !b.ok()) {
+      std::fprintf(stderr, "identity probe failed to run\n");
+      return 1;
+    }
+    const bool identical =
+        a->ledger.total().value() == b->ledger.total().value() &&
+        a->accumulated_energy().value() == b->accumulated_energy().value() &&
+        a->wall_clock.value() == b->wall_clock.value() &&
+        a->training.final_params == b->training.final_params;
+    std::printf("thread identity (t=1 vs t=%zu): %s\n", threads,
+                identical ? "byte-identical" : "MISMATCH");
+    if (!identical) return 1;
+  }
+
+  bench::BenchReport report("fleet");
+  std::vector<std::size_t> sizes = {100, 1000, 10000};
+  if (include_100k) sizes.push_back(100000);
+
+  std::printf("%8s %8s %14s %10s %12s %10s\n", "servers", "rounds",
+              "servers/sec", "rss MB", "energy J", "sim secs");
+  for (const std::size_t n : sizes) {
+    sim::FleetEngine engine(fleet_config(n, rounds, threads));
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto r = engine.run();
+    const auto t1 = std::chrono::steady_clock::now();
+    if (!r.ok()) {
+      std::fprintf(stderr, "N=%zu failed: %s\n", n, r.error().message.c_str());
+      return 1;
+    }
+    const double elapsed_ns =
+        std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0).count();
+    const double server_rounds =
+        static_cast<double>(n) * static_cast<double>(r->training.rounds_run);
+    const double per_sec = server_rounds / (elapsed_ns * 1e-9);
+    const double rss = peak_rss_mb();
+    const std::string tag = "fleet/N=" + std::to_string(n);
+    report.add(tag + "/ns_per_server_round", elapsed_ns / server_rounds);
+    report.add(tag + "/rss_mb", rss);
+    report.add(tag + "/energy_j", r->ledger.total().value());
+    std::printf("%8zu %8zu %14.0f %10.1f %12.2f %10.2f\n", n,
+                r->training.rounds_run, per_sec, rss,
+                r->ledger.total().value(), r->wall_clock.value());
+  }
+  report.write();
+  return 0;
+}

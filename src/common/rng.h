@@ -137,4 +137,35 @@ class Rng {
   std::array<std::uint64_t, 4> state_{};
 };
 
+/// Stateless counted stream family.  `Rng::split` consumes the parent
+/// generator, so the order of splits matters — fine for sequential setup,
+/// unusable when shard workers must derive per-(server, round) streams in
+/// whatever order the thread pool schedules them.  A family instead derives
+/// every stream purely from (seed, a, b): any worker, on any thread, in any
+/// order, gets byte-identical streams.  Indices are mixed through two
+/// rounds of splitmix64 so that nearby (a, b) pairs decorrelate.
+class RngStreamFamily {
+ public:
+  explicit RngStreamFamily(std::uint64_t seed) : seed_(seed) {}
+
+  /// The Rng for counted stream (a, b) — e.g. (server, round).
+  [[nodiscard]] Rng stream(std::uint64_t a, std::uint64_t b = 0) const {
+    std::uint64_t x = seed_;
+    x = mix(x + 0x9e3779b97f4a7c15ULL * (a + 1));
+    x = mix(x + 0xd1342543de82ef95ULL * (b + 1));
+    return Rng(x);
+  }
+
+  [[nodiscard]] std::uint64_t seed() const { return seed_; }
+
+ private:
+  static constexpr std::uint64_t mix(std::uint64_t z) {
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  std::uint64_t seed_;
+};
+
 }  // namespace eefei

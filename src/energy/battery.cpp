@@ -5,14 +5,17 @@
 
 namespace eefei::energy {
 
-bool Battery::drain(Joules amount) {
-  if (amount.value() <= 0.0) return !depleted();
-  remaining_ -= amount;
-  if (remaining_.value() < 0.0) {
+Battery::DrainResult Battery::drain(Joules amount) {
+  if (amount.value() <= 0.0) return DrainResult{Joules{0.0}, !depleted()};
+  if (amount.value() >= remaining_.value()) {
+    // Ran out mid-draw: the battery supplies only what it held.
+    const Joules supplied = remaining_;
     remaining_ = Joules{0.0};
-    return false;
+    const bool exact = supplied.value() == amount.value();
+    return DrainResult{supplied, exact};
   }
-  return true;
+  remaining_ -= amount;
+  return DrainResult{amount, true};
 }
 
 LifetimeEstimate estimate_lifetime(Joules battery_capacity, Joules per_round,

@@ -32,9 +32,18 @@ class Battery {
                : 0.0;
   }
 
-  /// Draws `amount`; returns false (and clamps to empty) if the charge ran
-  /// out mid-draw.
-  bool drain(Joules amount);
+  /// Outcome of a drain: `drained` is what the battery actually supplied
+  /// (== the requested amount iff `completed`).  Callers must account only
+  /// `drained` Joules — the overdraft never existed.
+  struct DrainResult {
+    Joules drained{0.0};
+    bool completed = false;
+  };
+
+  /// Draws `amount`, clamping at empty: if the charge runs out mid-draw the
+  /// battery supplies only what it held (`drained` < `amount`,
+  /// `completed` == false).
+  DrainResult drain(Joules amount);
 
   void recharge() { remaining_ = capacity_; }
 

@@ -1,0 +1,76 @@
+#include "energy/compact_accumulator.h"
+
+#include <cassert>
+
+namespace eefei::energy {
+
+void CompactEnergyAccumulator::push(EdgeState state, Seconds duration) {
+  assert(duration.value() >= 0.0);
+  if (duration.value() <= 0.0) return;
+  if (run_open_ && run_state_ == state) {
+    // Same float op as the timeline coalescing its back interval.
+    run_duration_ += duration;
+  } else {
+    close_run();
+    run_state_ = state;
+    run_duration_ = duration;
+    run_open_ = true;
+  }
+  end_ += duration;
+}
+
+void CompactEnergyAccumulator::close_run() {
+  if (!run_open_) return;
+  const auto idx = static_cast<std::size_t>(run_state_);
+  // power × coalesced-duration, added in interval order: exactly the terms
+  // PowerStateTimeline::total_energy / energy_in_state / time_in_state sum.
+  total_ += profile_.power(run_state_) * run_duration_;
+  state_energy_[idx] += profile_.power(run_state_) * run_duration_;
+  state_time_[idx] += run_duration_;
+  run_open_ = false;
+  run_duration_ = Seconds{0.0};
+}
+
+void CompactEnergyAccumulator::run_phase(EdgeState state, Seconds start,
+                                         Seconds duration) {
+  assert(start.value() + 1e-12 >= end_.value() &&
+         "phase starts before the previous one ended");
+  if (start > end_) push(EdgeState::kWaiting, start - end_);
+  push(state, duration);
+}
+
+void CompactEnergyAccumulator::idle_until(Seconds until) {
+  if (until > end_) push(EdgeState::kWaiting, until - end_);
+}
+
+Joules CompactEnergyAccumulator::total_energy() const {
+  Joules total = total_;
+  if (run_open_) total += profile_.power(run_state_) * run_duration_;
+  return total;
+}
+
+Joules CompactEnergyAccumulator::energy_in_state(EdgeState state) const {
+  Joules total = state_energy_[static_cast<std::size_t>(state)];
+  if (run_open_ && run_state_ == state) {
+    total += profile_.power(run_state_) * run_duration_;
+  }
+  return total;
+}
+
+Seconds CompactEnergyAccumulator::time_in_state(EdgeState state) const {
+  Seconds total = state_time_[static_cast<std::size_t>(state)];
+  if (run_open_ && run_state_ == state) total += run_duration_;
+  return total;
+}
+
+void CompactEnergyAccumulator::clear() {
+  end_ = Seconds{0.0};
+  run_state_ = EdgeState::kWaiting;
+  run_duration_ = Seconds{0.0};
+  run_open_ = false;
+  total_ = Joules{0.0};
+  state_energy_.fill(Joules{0.0});
+  state_time_.fill(Seconds{0.0});
+}
+
+}  // namespace eefei::energy

@@ -1,0 +1,73 @@
+// Streaming energy accumulator: the O(1)-per-server replacement for
+// PowerStateTimeline at fleet scale.  A timeline stores every state
+// interval (hundreds per server per run); the accumulator keeps only the
+// current coalesced run of equal-state time plus per-state energy/time
+// totals — ~100 bytes per server regardless of run length.
+//
+// Bit-exactness contract: feeding the accumulator the same run_phase /
+// idle_until sequence as an EdgeServerSim produces total_energy(),
+// energy_in_state() and time_in_state() that match the timeline's to the
+// last bit.  That holds because the accumulator replays the timeline's
+// exact floating-point operation order: durations of a repeated state are
+// summed first (the timeline's interval coalescing), and power × duration
+// products are added in interval order (the timeline's total_energy loop).
+#pragma once
+
+#include <array>
+#include <cstddef>
+
+#include "common/units.h"
+#include "energy/power_model.h"
+
+namespace eefei::energy {
+
+class CompactEnergyAccumulator {
+ public:
+  explicit CompactEnergyAccumulator(DevicePowerProfile profile = {})
+      : profile_(profile) {}
+
+  /// Mirrors EdgeServerSim::run_phase: records [start, start+duration) in
+  /// `state`, filling any gap since the previous phase with Waiting.
+  /// `start` must not precede the end of the previous phase.
+  void run_phase(EdgeState state, Seconds start, Seconds duration);
+
+  /// Mirrors EdgeServerSim::idle_until: extends with Waiting up to `until`.
+  void idle_until(Seconds until);
+
+  [[nodiscard]] Seconds total_duration() const { return end_; }
+  [[nodiscard]] const DevicePowerProfile& profile() const { return profile_; }
+
+  /// Exact energy integral — bit-identical to the equivalent timeline's
+  /// PowerStateTimeline::total_energy().
+  [[nodiscard]] Joules total_energy() const;
+
+  /// Per-state energy / occupancy, same bit-exactness guarantee.
+  [[nodiscard]] Joules energy_in_state(EdgeState state) const;
+  [[nodiscard]] Seconds time_in_state(EdgeState state) const;
+
+  void clear();
+
+ private:
+  /// Appends `duration` in `state`, coalescing with the open run exactly
+  /// like PowerStateTimeline::push.
+  void push(EdgeState state, Seconds duration);
+
+  /// Closes the open run: folds power × run_duration into the totals in
+  /// the same order the timeline's summation loops would.  Queries never
+  /// call this — they add the open run's contribution on the fly, so a
+  /// query between two pushes of the same state cannot break coalescing.
+  void close_run();
+
+  DevicePowerProfile profile_;
+  Seconds end_{0.0};
+  // The open (not yet closed) coalesced run of equal-state time.
+  EdgeState run_state_ = EdgeState::kWaiting;
+  Seconds run_duration_{0.0};
+  bool run_open_ = false;
+  // Closed-run totals, indexed by EdgeState.
+  Joules total_{0.0};
+  std::array<Joules, kNumEdgeStates> state_energy_{};
+  std::array<Seconds, kNumEdgeStates> state_time_{};
+};
+
+}  // namespace eefei::energy

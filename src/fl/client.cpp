@@ -7,14 +7,16 @@
 namespace eefei::fl {
 
 Client::Client(ClientId id, const data::Shard* shard, ClientConfig config)
-    : id_(id),
-      shard_(shard),
-      config_(config),
-      model_(ml::make_model(config.model)),
-      grad_buffer_(model_->parameter_count(), 0.0) {
+    : id_(id), shard_(shard), config_(config) {
   assert(shard_ != nullptr);
   assert(shard_->size() > 0);
   assert(shard_->feature_dim() == config_.model.input_dim);
+}
+
+void Client::ensure_model() {
+  if (model_ != nullptr) return;
+  model_ = ml::make_model(config_.model);
+  grad_buffer_.assign(model_->parameter_count(), 0.0);
 }
 
 std::size_t Client::num_samples() const {
@@ -29,6 +31,7 @@ ml::BatchView Client::batch() const {
 
 LocalTrainResult Client::train(std::span<const double> global_params,
                                std::size_t epochs, std::size_t round) {
+  ensure_model();
   assert(global_params.size() == model_->parameter_count());
   auto params = model_->parameters();
   std::copy(global_params.begin(), global_params.end(), params.begin());

@@ -68,10 +68,16 @@ class Client {
  private:
   [[nodiscard]] ml::BatchView batch() const;
 
+  /// Materializes the local model on first use.  A fleet of 100k clients
+  /// would cost ~13 GB with eagerly-built models; lazily a client is a few
+  /// hundred bytes until it is actually selected to train.  make_model is
+  /// deterministic, so lazy construction cannot change results.
+  void ensure_model();
+
   ClientId id_;
   const data::Shard* shard_;
   ClientConfig config_;
-  std::unique_ptr<ml::Model> model_;  // reused across rounds
+  std::unique_ptr<ml::Model> model_;  // lazily built, reused across rounds
   std::vector<double> grad_buffer_;   // reused across epochs
 };
 

@@ -77,6 +77,21 @@ Result<TrainingOutcome> Coordinator::run() {
         clients_->size(), config_.clients_per_round + config_.overselect, t);
     assert(!selected.empty());
 
+    // Shared download payload: serialize ω_t exactly once per round into a
+    // reusable buffer.  The K client downloads all reference this one blob
+    // (bytes down = blob × K), where the naive path would serialize — and
+    // allocate — per client.  Clients still train on the double-precision
+    // span: the float32 blob is the wire representation, and feeding its
+    // roundtrip into training would change the trajectory.
+    ml::serialize_parameters_into(global, round_payload_);
+    if (obs::Telemetry* tel = obs::telemetry()) {
+      tel->metrics.counter("fl.payload.bytes_serialized")
+          .add(static_cast<double>(round_payload_.size_bytes()));
+      tel->metrics.counter("fl.payload.bytes_down")
+          .add(static_cast<double>(round_payload_.size_bytes() *
+                                   selected.size()));
+    }
+
     // Local training — every client trains from ω_t at the round-t lr.
     std::vector<LocalTrainResult> updates(selected.size());
     auto train_one = [&](std::size_t i) {
@@ -171,6 +186,7 @@ Result<TrainingOutcome> Coordinator::run() {
     record.updates_aggregated = survivor_count;
     record.local_epochs = config_.local_epochs;
     record.cumulative_local_epochs = cumulative_epochs;
+    record.payload_bytes = round_payload_.size_bytes();
     record.selected = selected;
     record.retries = fault_stats.retries;
     record.aborted_updates = fault_stats.aborted_updates;

@@ -19,6 +19,7 @@
 #include "fl/selection.h"
 #include "fl/server_optimizer.h"
 #include "fl/training_record.h"
+#include "ml/serialize.h"
 
 namespace eefei::fl {
 
@@ -160,6 +161,10 @@ class Coordinator {
   std::size_t start_round_ = 0;
   std::unique_ptr<ThreadPool> owned_pool_;
   ThreadPool* pool_ = nullptr;
+  /// Shared download payload: ω_t is serialized into this reusable blob
+  /// once per round and every selected client's download references it,
+  /// instead of one serialization (and allocation) per client.
+  ml::ModelBlob round_payload_;
   mutable std::unique_ptr<ml::Model> eval_model_;
   mutable std::vector<ml::Workspace> eval_workspaces_;
 };

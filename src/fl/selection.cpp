@@ -25,19 +25,19 @@ std::vector<ClientId> UniformRandomSelection::select(std::size_t n,
 std::vector<ClientId> RoundRobinSelection::select(std::size_t n, std::size_t k,
                                                   std::size_t round) {
   k = std::min(k, n);
+  // Round t continues the rotation exactly where round t-1 left off: the
+  // cursor is t·k mod n and the round takes the next k ids (mod n).  k
+  // consecutive residues mod n are always distinct for k <= n, so no
+  // dedupe/fill pass is needed — the old fill loop could only ever run on
+  // a duplicate that cannot occur, and filling with the lowest unused ids
+  // would have biased selection toward low ids.
+  const std::size_t start = (round * k) % n;
   std::vector<ClientId> ids;
   ids.reserve(k);
   for (std::size_t i = 0; i < k; ++i) {
-    ids.push_back((round * k + i) % n);
+    ids.push_back((start + i) % n);
   }
   std::sort(ids.begin(), ids.end());
-  ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
-  // If wrap-around produced duplicates (k close to n), fill with unused ids.
-  for (ClientId c = 0; ids.size() < k && c < n; ++c) {
-    if (!std::binary_search(ids.begin(), ids.end(), c)) {
-      ids.insert(std::lower_bound(ids.begin(), ids.end(), c), c);
-    }
-  }
   return ids;
 }
 

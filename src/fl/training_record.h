@@ -21,6 +21,10 @@ struct RoundRecord {
   std::size_t updates_aggregated = 0;  // survivors after failure injection
   std::size_t local_epochs = 0;      // E
   std::size_t cumulative_local_epochs = 0;  // Σ E over rounds (≈ t·E)
+  /// Wire size of ω_t, serialized ONCE per round by the coordinator's
+  /// shared-payload path; every selected client downloads this same blob,
+  /// so bytes down = payload_bytes × clients_selected.
+  std::size_t payload_bytes = 0;
   std::vector<ClientId> selected;
   // Fault-tolerance telemetry (all zero when fault injection is off).
   std::size_t retries = 0;           // failed transfer attempts retried

@@ -75,20 +75,26 @@ std::size_t wire_size(std::size_t param_count) {
   return kHeaderSize + param_count * sizeof(float) + kCrcSize;
 }
 
-ModelBlob serialize_parameters(std::span<const double> params) {
-  ModelBlob blob;
-  blob.bytes.reserve(wire_size(params.size()));
-  blob.bytes.insert(blob.bytes.end(), kMagic.begin(), kMagic.end());
-  put_u16(blob.bytes, kVersion);
-  put_u16(blob.bytes, 0);  // flags, reserved
-  put_u64(blob.bytes, params.size());
+void serialize_parameters_into(std::span<const double> params,
+                               ModelBlob& out) {
+  out.bytes.clear();
+  out.bytes.reserve(wire_size(params.size()));
+  out.bytes.insert(out.bytes.end(), kMagic.begin(), kMagic.end());
+  put_u16(out.bytes, kVersion);
+  put_u16(out.bytes, 0);  // flags, reserved
+  put_u64(out.bytes, params.size());
   for (const double p : params) {
     const auto f = static_cast<float>(p);
     std::uint32_t bits = 0;
     std::memcpy(&bits, &f, sizeof bits);
-    put_u32(blob.bytes, bits);
+    put_u32(out.bytes, bits);
   }
-  put_u32(blob.bytes, crc32(blob.bytes));
+  put_u32(out.bytes, crc32(out.bytes));
+}
+
+ModelBlob serialize_parameters(std::span<const double> params) {
+  ModelBlob blob;
+  serialize_parameters_into(params, blob);
   return blob;
 }
 

@@ -22,6 +22,12 @@ struct ModelBlob {
 /// Serializes parameters as float32 (the precision the prototype ships).
 [[nodiscard]] ModelBlob serialize_parameters(std::span<const double> params);
 
+/// Serializes into an existing blob, reusing its capacity — the shared-
+/// payload path serializes the global model once per round into one
+/// long-lived buffer instead of allocating a fresh blob per client.
+void serialize_parameters_into(std::span<const double> params,
+                               ModelBlob& out);
+
 /// Parses and CRC-checks a blob; returns the parameter vector as doubles.
 [[nodiscard]] Result<std::vector<double>> deserialize_parameters(
     std::span<const std::uint8_t> bytes);

@@ -44,19 +44,30 @@ CsmaTransferResult CsmaCell::transfer(Bytes payload,
   return result;  // safety cap hit (treated as dropped)
 }
 
-Seconds CsmaCell::expected_overhead(std::size_t contenders,
-                                    std::size_t trials) {
+Result<Seconds> CsmaCell::expected_overhead(std::size_t contenders,
+                                            std::size_t trials) const {
+  if (trials == 0) {
+    return Error::invalid_argument("expected_overhead: trials must be > 0");
+  }
+  // Probe on a forked stream: the estimate must not consume the cell's own
+  // RNG, or a preceding expected_overhead() call would perturb every
+  // subsequent same-seed transfer() sequence.
+  Rng fork = rng_;
+  CsmaCell probe(config_, fork.split(0x6f7665726865ULL));
   double acc = 0.0;
   std::size_t delivered = 0;
   for (std::size_t i = 0; i < trials; ++i) {
-    const auto r = transfer(Bytes{0.0}, contenders);
+    const auto r = probe.transfer(Bytes{0.0}, contenders);
     if (r.delivered) {
       acc += r.duration.value();
       ++delivered;
     }
   }
-  return delivered > 0 ? Seconds{acc / static_cast<double>(delivered)}
-                       : Seconds{0.0};
+  if (delivered == 0) {
+    return Error::infeasible(
+        "expected_overhead: no trial delivered (medium saturated)");
+  }
+  return Seconds{acc / static_cast<double>(delivered)};
 }
 
 }  // namespace eefei::net

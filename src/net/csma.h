@@ -13,6 +13,7 @@
 
 #include <cstddef>
 
+#include "common/result.h"
 #include "common/rng.h"
 #include "common/units.h"
 
@@ -46,8 +47,11 @@ class CsmaCell {
 
   /// Expected medium-acquisition overhead (no payload) for a given number
   /// of contenders — Monte-Carlo averaged; used by tests and planners.
-  [[nodiscard]] Seconds expected_overhead(std::size_t contenders,
-                                          std::size_t trials = 2000);
+  /// Probes a forked RNG stream, so calling it never perturbs the cell's
+  /// own `transfer` sequence.  Errors (instead of silently reporting zero
+  /// overhead) when no trial delivers, i.e. the medium is saturated.
+  [[nodiscard]] Result<Seconds> expected_overhead(
+      std::size_t contenders, std::size_t trials = 2000) const;
 
   [[nodiscard]] const CsmaConfig& config() const { return config_; }
 

@@ -10,11 +10,16 @@ UplinkResult IotDevice::upload_sample() {
     return UplinkResult{};  // dead radio: nothing transmitted
   }
   UplinkResult r = channel_.send(config_.sample_bytes);
-  lifetime_energy_ += r.device_energy;
-  if (battery_.has_value() && !battery_->drain(r.device_energy)) {
-    // The battery died mid-transmission; the sample did not make it.
-    r.delivered = false;
+  if (battery_.has_value()) {
+    const auto drain = battery_->drain(r.device_energy);
+    if (!drain.completed) {
+      // The battery died mid-transmission; the sample did not make it, and
+      // only the Joules the battery actually held were ever spent.
+      r.delivered = false;
+      r.device_energy = drain.drained;
+    }
   }
+  lifetime_energy_ += r.device_energy;
   if (r.delivered) {
     ++samples_sent_;
   } else {

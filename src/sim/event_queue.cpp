@@ -1,5 +1,6 @@
 #include "sim/event_queue.h"
 
+#include <algorithm>
 #include <cassert>
 #include <utility>
 
@@ -8,7 +9,8 @@ namespace eefei::sim {
 void EventQueue::schedule_at(Seconds at, Handler handler) {
   assert(handler);
   if (at < now_) at = now_;  // never schedule into the past
-  heap_.push(Event{at, next_seq_++, std::move(handler)});
+  heap_.push_back(Event{at, next_seq_++, std::move(handler)});
+  std::push_heap(heap_.begin(), heap_.end(), Later{});
 }
 
 void EventQueue::schedule_in(Seconds delay, Handler handler) {
@@ -19,10 +21,9 @@ void EventQueue::schedule_in(Seconds delay, Handler handler) {
 std::size_t EventQueue::run(std::size_t max_events) {
   std::size_t processed = 0;
   while (!heap_.empty() && processed < max_events) {
-    // priority_queue::top() is const; move out via const_cast is UB-adjacent,
-    // so copy the handler (cheap: std::function) and pop.
-    Event ev = heap_.top();
-    heap_.pop();
+    std::pop_heap(heap_.begin(), heap_.end(), Later{});
+    Event ev = std::move(heap_.back());
+    heap_.pop_back();
     now_ = ev.at;
     ev.handler();
     ++processed;
@@ -30,8 +31,6 @@ std::size_t EventQueue::run(std::size_t max_events) {
   return processed;
 }
 
-void EventQueue::clear() {
-  while (!heap_.empty()) heap_.pop();
-}
+void EventQueue::clear() { heap_.clear(); }
 
 }  // namespace eefei::sim

@@ -6,7 +6,6 @@
 
 #include <cstdint>
 #include <functional>
-#include <queue>
 #include <vector>
 
 #include "common/units.h"
@@ -37,6 +36,10 @@ class EventQueue {
   /// Drops all pending events (end of a simulation phase).
   void clear();
 
+  /// Pre-sizes the backing store so a warmed-up queue schedules and runs
+  /// without growing the heap vector.
+  void reserve(std::size_t events) { heap_.reserve(events); }
+
  private:
   struct Event {
     Seconds at{0.0};
@@ -50,7 +53,11 @@ class EventQueue {
     }
   };
 
-  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  // A plain vector managed with std::push_heap/pop_heap instead of
+  // std::priority_queue: pop_heap moves the earliest event to the back,
+  // where its handler can be moved out without copying the std::function
+  // (priority_queue::top() is const, forcing a heap-allocating copy).
+  std::vector<Event> heap_;
   Seconds now_{0.0};
   std::uint64_t next_seq_ = 0;
 };

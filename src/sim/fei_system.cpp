@@ -40,57 +40,31 @@ FeiSystemConfig prototype_config() {
 
 FeiSystem::FeiSystem(FeiSystemConfig config) : config_(std::move(config)) {}
 
-Status FeiSystem::build_population() {
-  if (config_.num_servers == 0) {
-    return Error::invalid_argument("fei: num_servers must be >= 1");
-  }
-  if (config_.samples_per_server == 0) {
-    return Error::invalid_argument("fei: samples_per_server must be >= 1");
-  }
+PopulationConfig population_config_for(const FeiSystemConfig& config) {
+  PopulationConfig pop;
+  pop.num_servers = config.num_servers;
+  pop.samples_per_server = config.samples_per_server;
+  pop.test_samples = config.test_samples;
+  pop.data = config.data;
+  pop.partition = config.partition;
+  pop.dirichlet_alpha = config.dirichlet_alpha;
+  pop.shards_per_client = config.shards_per_client;
+  pop.model = config.model;
+  pop.sgd = config.sgd;
+  pop.net = config.net;
+  pop.seed = config.seed;
+  return pop;
+}
 
-  data::SynthDigitsConfig data_cfg = config_.data;
-  data_cfg.seed = config_.seed * 1000003 + 17;
-  data::SynthDigits generator(data_cfg);
-  train_set_ = generator.generate(config_.num_servers *
-                                  config_.samples_per_server);
-  test_set_ = generator.generate(config_.test_samples);
-
-  Rng part_rng(config_.seed * 7919 + 3);
-  Result<std::vector<data::Shard>> shards = [&] {
-    switch (config_.partition) {
-      case PartitionScheme::kIid:
-        return data::partition_iid(train_set_, config_.num_servers, part_rng);
-      case PartitionScheme::kShards:
-        return data::partition_shards(train_set_, config_.num_servers,
-                                      config_.shards_per_client, part_rng);
-      case PartitionScheme::kDirichlet:
-        return data::partition_dirichlet(train_set_, config_.num_servers,
-                                         config_.dirichlet_alpha, part_rng);
-    }
-    return data::partition_iid(train_set_, config_.num_servers, part_rng);
-  }();
-  if (!shards.ok()) return shards.error();
-  shards_ = std::move(shards).value();
-
-  clients_.clear();
-  clients_.reserve(config_.num_servers);
-  for (std::size_t k = 0; k < config_.num_servers; ++k) {
-    fl::ClientConfig ccfg;
-    ccfg.model = config_.model;
-    ccfg.sgd = config_.sgd;
-    clients_.emplace_back(k, &shards_[k], ccfg);
-  }
-
-  net::TopologyConfig net_cfg = config_.net;
-  net_cfg.num_edge_servers = config_.num_servers;
-  net_cfg.seed = config_.seed * 31 + 11;
-  topology_ = std::make_unique<net::Topology>(net_cfg);
-  return Status::success();
+PopulationConfig FeiSystem::population_config() const {
+  return population_config_for(config_);
 }
 
 Status FeiSystem::prepare() {
   if (prepared_) return Status::success();
-  if (const auto st = build_population(); !st.ok()) return st;
+  if (const auto st = population_.build(population_config()); !st.ok()) {
+    return st;
+  }
   prepared_ = true;
   return Status::success();
 }
@@ -209,13 +183,13 @@ Result<FeiRunResult> FeiSystem::run() {
       // Step (1): data collection from the IoT fleet (energy only; the
       // devices push concurrently with the model dispatch).
       if (config_.iot_collection) {
-        const auto collected = topology_->fleet(sid).collect(n_k);
+        const auto collected = population_.topology().fleet(sid).collect(n_k);
         result.ledger.charge(sid, energy::EnergyCategory::kDataCollection,
                              collected.total_energy);
       }
 
       // Step (2): model download, serialized at the coordinator.
-      const auto down = topology_->lan(sid).transfer(down_msg);
+      const auto down = population_.topology().lan(sid).transfer(down_msg);
       const Seconds d = jittered(down.duration);
       const Seconds download_start = lan_free;
       lan_free += d;
@@ -249,7 +223,7 @@ Result<FeiRunResult> FeiSystem::run() {
           u = jittered(r.duration);
         } else {
           // FCFS queue at the access point.
-          const auto up = topology_->lan(sid).transfer(up_msg);
+          const auto up = population_.topology().lan(sid).transfer(up_msg);
           u = jittered(up.duration);
           upload_start = std::max(train_end, lan_free);
           const Seconds queue_wait = upload_start - train_end;
@@ -359,7 +333,7 @@ Result<FeiRunResult> FeiSystem::run() {
 
       // Step (1): IoT data collection, as in the fault-free path.
       if (config_.iot_collection) {
-        const auto collected = topology_->fleet(sid).collect(u.samples_used);
+        const auto collected = population_.topology().fleet(sid).collect(u.samples_used);
         result.ledger.charge(sid, energy::EnergyCategory::kDataCollection,
                              collected.total_energy);
       }
@@ -384,7 +358,7 @@ Result<FeiRunResult> FeiSystem::run() {
         continue;
       }
       const Seconds d1 = jittered(
-          topology_->lan(sid).nominal_duration(down_msg.wire_bytes()));
+          population_.topology().lan(sid).nominal_duration(down_msg.wire_bytes()));
       const auto down = net::plan_faulty_transfer(fault_rng, link_faults,
                                                   download_start, d1);
       stats.retries += down.attempts - 1;
@@ -489,7 +463,7 @@ Result<FeiRunResult> FeiSystem::run() {
         continue;
       }
       const Seconds u1 = jittered(
-          topology_->lan(sid).nominal_duration(up_msg.wire_bytes()));
+          population_.topology().lan(sid).nominal_duration(up_msg.wire_bytes()));
       const auto up = net::plan_faulty_transfer(fault_rng, link_faults,
                                                 upload_start, u1);
       stats.retries += up.attempts - 1;
@@ -570,7 +544,7 @@ Result<FeiRunResult> FeiSystem::run() {
   fl_cfg.drop_seed = config_.seed * 2654435761 + 13;
   auto policy = std::make_unique<fl::UniformRandomSelection>(
       Rng(config_.seed * 613 + 29));
-  fl::Coordinator coordinator(&clients_, &test_set_, fl_cfg,
+  fl::Coordinator coordinator(&population_.clients(), &population_.test_set(), fl_cfg,
                               std::move(policy));
   if (fault_injection_active()) {
     if (config_.lan_contention == FeiSystemConfig::LanContention::kCsma) {

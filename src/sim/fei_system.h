@@ -23,14 +23,9 @@
 #include "net/csma.h"
 #include "net/topology.h"
 #include "sim/fault_process.h"
+#include "sim/population.h"
 
 namespace eefei::sim {
-
-enum class PartitionScheme {
-  kIid,        // the prototype's uniform allocation
-  kShards,     // pathological label-sorted non-IID
-  kDirichlet,  // tunable label skew
-};
 
 struct FeiSystemConfig {
   // --- population ---
@@ -151,20 +146,26 @@ class FeiSystem {
   [[nodiscard]] const FeiSystemConfig& config() const { return config_; }
 
   /// Test-set accessor (valid after prepare()/run()).
-  [[nodiscard]] const data::Dataset& test_set() const { return test_set_; }
+  [[nodiscard]] const data::Dataset& test_set() const {
+    return population_.test_set();
+  }
 
   /// Mutable access to the built population (valid after prepare()) — for
   /// alternative coordination protocols layered on the same substrate,
   /// e.g. AsyncFeiSystem.
-  [[nodiscard]] std::vector<fl::Client>& clients() { return clients_; }
-  [[nodiscard]] net::Topology& topology() { return *topology_; }
+  [[nodiscard]] std::vector<fl::Client>& clients() {
+    return population_.clients();
+  }
+  [[nodiscard]] net::Topology& topology() { return population_.topology(); }
 
   /// Forces data/client construction without running (benches that only
   /// need the substrate).
   [[nodiscard]] Status prepare();
 
  private:
-  [[nodiscard]] Status build_population();
+  /// PopulationConfig slice of this system's configuration — the exact
+  /// recipe FleetEngine reuses to build a byte-identical world.
+  [[nodiscard]] PopulationConfig population_config() const;
 
   /// Any fault knob on → the fault-aware round simulation replaces the
   /// fault-free observer path (which stays byte-identical to the seed).
@@ -176,13 +177,13 @@ class FeiSystem {
   FeiSystemConfig config_;
   bool prepared_ = false;
   std::optional<fl::TrainingCheckpoint> resume_;
-
-  data::Dataset train_set_;
-  data::Dataset test_set_;
-  std::vector<data::Shard> shards_;
-  std::vector<fl::Client> clients_;
-  std::unique_ptr<net::Topology> topology_;
+  Population population_;
 };
+
+/// The PopulationConfig a FeiSystemConfig implies (shared with
+/// FleetEngine, which adds data pooling on top for very large N).
+[[nodiscard]] PopulationConfig population_config_for(
+    const FeiSystemConfig& config);
 
 /// Convenience: the library's default configuration reproducing the
 /// prototype (20 servers, 3000 samples each, Table II model, RPi-4B power

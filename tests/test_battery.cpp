@@ -10,18 +10,48 @@ namespace {
 TEST(Battery, DrainsAndDepletes) {
   Battery b(Joules{10.0});
   EXPECT_DOUBLE_EQ(b.state_of_charge(), 1.0);
-  EXPECT_TRUE(b.drain(Joules{4.0}));
+  const auto first = b.drain(Joules{4.0});
+  EXPECT_TRUE(first.completed);
+  EXPECT_DOUBLE_EQ(first.drained.value(), 4.0);
   EXPECT_DOUBLE_EQ(b.remaining().value(), 6.0);
   EXPECT_NEAR(b.state_of_charge(), 0.6, 1e-12);
-  EXPECT_FALSE(b.drain(Joules{7.0}));  // ran out mid-draw
+  const auto second = b.drain(Joules{7.0});  // ran out mid-draw
+  EXPECT_FALSE(second.completed);
+  // Clamp semantics: only the Joules the battery held were supplied.
+  EXPECT_DOUBLE_EQ(second.drained.value(), 6.0);
   EXPECT_TRUE(b.depleted());
   EXPECT_DOUBLE_EQ(b.remaining().value(), 0.0);
 }
 
+TEST(Battery, ExactDrainToEmptyCompletes) {
+  Battery b(Joules{5.0});
+  const auto r = b.drain(Joules{5.0});
+  EXPECT_TRUE(r.completed);
+  EXPECT_DOUBLE_EQ(r.drained.value(), 5.0);
+  EXPECT_TRUE(b.depleted());
+  const auto dead = b.drain(Joules{1.0});
+  EXPECT_FALSE(dead.completed);
+  EXPECT_DOUBLE_EQ(dead.drained.value(), 0.0);
+}
+
 TEST(Battery, ZeroDrainNoOp) {
   Battery b(Joules{5.0});
-  EXPECT_TRUE(b.drain(Joules{0.0}));
+  const auto r = b.drain(Joules{0.0});
+  EXPECT_TRUE(r.completed);
+  EXPECT_DOUBLE_EQ(r.drained.value(), 0.0);
   EXPECT_DOUBLE_EQ(b.remaining().value(), 5.0);
+}
+
+TEST(Battery, DrainedTotalsEqualBatteryDelta) {
+  // Ledger-conservation property: summing DrainResult::drained over any
+  // draw sequence equals the battery's charge delta, even past depletion.
+  Battery b(Joules{3.0});
+  double ledger = 0.0;
+  for (const double amount : {1.25, 0.5, 2.0, 4.0, 0.75}) {
+    ledger += b.drain(Joules{amount}).drained.value();
+  }
+  EXPECT_DOUBLE_EQ(ledger, b.capacity().value() - b.remaining().value());
+  EXPECT_DOUBLE_EQ(ledger, 3.0);  // fully depleted, nothing over-reported
 }
 
 TEST(Battery, Recharge) {
@@ -73,8 +103,13 @@ TEST(BatteryDevice, StopsTransmittingWhenDepleted) {
   IotDevice dev(0, cfg, Rng(1));
   EXPECT_TRUE(dev.upload_sample().delivered);
   EXPECT_TRUE(dev.upload_sample().delivered);
-  EXPECT_FALSE(dev.upload_sample().delivered);  // died mid-transmission
+  const auto fatal = dev.upload_sample();  // died mid-transmission
+  EXPECT_FALSE(fatal.delivered);
   EXPECT_FALSE(dev.alive());
+  // The fatal attempt reports only the Joules the battery still held, so
+  // the device's energy ledger equals the battery delta exactly.
+  EXPECT_LT(fatal.device_energy.value(), 0.774);
+  EXPECT_DOUBLE_EQ(dev.lifetime_energy().value(), 2.0);
   const auto after_death = dev.upload_sample();
   EXPECT_FALSE(after_death.delivered);
   EXPECT_DOUBLE_EQ(after_death.device_energy.value(), 0.0);
@@ -103,6 +138,10 @@ TEST(BatteryFleet, RoutesAroundDeadDevices) {
   EXPECT_EQ(r.samples_delivered, 4u);
   EXPECT_EQ(fleet.alive_count(), 0u);
   EXPECT_EQ(r.devices_depleted, 4u);
+  // Collection energy equals the summed battery deltas (4 × 1 J drained to
+  // empty) — the old accounting reported the full attempt cost and thus
+  // more Joules than the batteries ever held.
+  EXPECT_DOUBLE_EQ(r.total_energy.value(), 4.0);
   // A further collect does nothing (and terminates).
   const auto r2 = fleet.collect(5);
   EXPECT_EQ(r2.samples_delivered, 0u);

@@ -27,11 +27,37 @@ TEST(Csma, LoneStationTransmitsImmediately) {
 
 TEST(Csma, OverheadGrowsWithContenders) {
   CsmaCell cell(fast_config(), Rng(2));
-  const double lone = cell.expected_overhead(0).value();
-  const double few = cell.expected_overhead(4).value();
-  const double many = cell.expected_overhead(19).value();
-  EXPECT_LT(lone, few);
-  EXPECT_LT(few, many);
+  const auto lone = cell.expected_overhead(0);
+  const auto few = cell.expected_overhead(4);
+  const auto many = cell.expected_overhead(19);
+  ASSERT_TRUE(lone.ok());
+  ASSERT_TRUE(few.ok());
+  ASSERT_TRUE(many.ok());
+  EXPECT_LT(lone->value(), few->value());
+  EXPECT_LT(few->value(), many->value());
+}
+
+TEST(Csma, ExpectedOverheadDoesNotPerturbTransferStream) {
+  // Regression: expected_overhead used to consume the cell's own RNG, so a
+  // probe call changed every subsequent same-seed transfer.  It now probes
+  // a forked stream and the transfer sequence is byte-identical with or
+  // without a preceding estimate.
+  CsmaCell plain(fast_config(), Rng(6));
+  CsmaCell probed(fast_config(), Rng(6));
+  ASSERT_TRUE(probed.expected_overhead(7).ok());
+  ASSERT_TRUE(probed.expected_overhead(0).ok());
+  for (int i = 0; i < 50; ++i) {
+    const auto ra = plain.transfer(Bytes{500.0}, 7);
+    const auto rb = probed.transfer(Bytes{500.0}, 7);
+    ASSERT_EQ(ra.delivered, rb.delivered);
+    ASSERT_DOUBLE_EQ(ra.duration.value(), rb.duration.value());
+    ASSERT_EQ(ra.collisions, rb.collisions);
+  }
+}
+
+TEST(Csma, ExpectedOverheadRejectsZeroTrials) {
+  CsmaCell cell(fast_config(), Rng(7));
+  EXPECT_FALSE(cell.expected_overhead(3, 0).ok());
 }
 
 TEST(Csma, CollisionsIncreaseWithContention) {

@@ -174,6 +174,31 @@ TEST(Selection, RoundRobinHandlesWrap) {
   EXPECT_EQ(ids.size(), 4u);
   std::set<ClientId> uniq(ids.begin(), ids.end());
   EXPECT_EQ(uniq.size(), 4u);
+  // The cursor continues from where round 2 ended (id 12 mod 5 = 2), so
+  // the wrap picks {2, 3, 4, 0} — not a low-id refill.
+  EXPECT_EQ(ids, (std::vector<ClientId>{0, 2, 3, 4}));
+}
+
+TEST(Selection, RoundRobinFairOverFullCycle) {
+  // Fairness: over any n consecutive rounds every client is selected the
+  // same number of times ±1 — the old wrap-around refill systematically
+  // over-selected low ids whenever k did not divide n.
+  for (const auto [n, k] : {std::pair<std::size_t, std::size_t>{10, 3},
+                            {7, 4},
+                            {5, 4},
+                            {12, 5},
+                            {9, 9}}) {
+    RoundRobinSelection sel;
+    std::vector<std::size_t> counts(n, 0);
+    for (std::size_t round = 0; round < n; ++round) {
+      for (const auto id : sel.select(n, k, round)) ++counts[id];
+    }
+    const auto [lo, hi] = std::minmax_element(counts.begin(), counts.end());
+    EXPECT_LE(*hi - *lo, 1u) << "n=" << n << " k=" << k;
+    std::size_t total = 0;
+    for (const auto c : counts) total += c;
+    EXPECT_EQ(total, n * k) << "n=" << n << " k=" << k;
+  }
 }
 
 TEST(Selection, EnergyAwarePrefersLowSpenders) {

@@ -1,0 +1,302 @@
+// Fleet engine: golden byte-identity against the pre-fleet FeiSystem
+// fingerprint, thread-count invariance, the compact-accumulator /
+// timeline bit-exactness contract, the fault path, and data pooling.
+#include "sim/fleet_engine.h"
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <vector>
+
+#include "energy/compact_accumulator.h"
+#include "energy/timeline.h"
+#include "sim/fei_system.h"
+
+namespace eefei::sim {
+namespace {
+
+// The exact configuration whose FeiSystem output was fingerprinted before
+// the fleet engine existed (captured at commit "Unified telemetry layer",
+// threads ∈ {1, 4} produced identical bits).
+FeiSystemConfig golden_config() {
+  FeiSystemConfig cfg = prototype_config();
+  cfg.samples_per_server = 120;
+  cfg.test_samples = 400;
+  cfg.fl.clients_per_round = 10;
+  cfg.fl.local_epochs = 5;
+  cfg.fl.max_rounds = 8;
+  cfg.fl.eval_every = 2;
+  cfg.fl.target_accuracy = 2.0;  // unreachable: always runs all 8 rounds
+  cfg.fl.threads = 4;
+  cfg.seed = 3;
+  return cfg;
+}
+
+// Pre-fleet FeiSystem reference values for golden_config(), hexfloat so the
+// comparison is bit-exact.  If any of these move, the simulation's physics
+// changed — that is a regression, not a tolerance issue.
+constexpr double kGoldenLedgerTotal = 0x1.fe8f44bc615ffp+7;
+constexpr double kGoldenModeledTotal = 0x1.1c7bb34044fadp+5;
+constexpr double kGoldenCategory[7] = {
+    0x0p+0,                // data collection (off)
+    0x1.8354ace0ea07bp+7,  // waiting
+    0x1.a0dd585b30ce1p+4,  // download
+    0x1.44ca946be5dfep+2,  // training
+    0x1.e7c4c165907dbp+4,  // upload
+    0x0p+0,                // retry (faults off)
+    0x0p+0,                // aborted (faults off)
+};
+constexpr double kGoldenWallClock = 0x1.850c37394590cp+3;
+constexpr double kGoldenTimelineSum = 0x1.bcf4fb069b7bcp+9;
+constexpr double kGoldenFinalAccuracy = 0x1.170a3d70a3d71p-1;
+constexpr double kGoldenFinalLoss = 0x1.082c5a9bb4488p+1;
+
+void expect_golden(const FleetRunResult& r) {
+  EXPECT_EQ(r.training.rounds_run, 8u);
+  EXPECT_EQ(r.ledger.total().value(), kGoldenLedgerTotal);
+  EXPECT_EQ(r.ledger.modeled_total().value(), kGoldenModeledTotal);
+  for (std::size_t c = 0; c < energy::kNumEnergyCategories; ++c) {
+    EXPECT_EQ(r.ledger.category_total(static_cast<energy::EnergyCategory>(c))
+                  .value(),
+              kGoldenCategory[c])
+        << "category " << c;
+  }
+  EXPECT_EQ(r.wall_clock.value(), kGoldenWallClock);
+  EXPECT_EQ(r.accumulated_energy().value(), kGoldenTimelineSum);
+  EXPECT_EQ(r.training.record.last().test_accuracy, kGoldenFinalAccuracy);
+  EXPECT_EQ(r.training.record.last().global_loss, kGoldenFinalLoss);
+}
+
+TEST(FleetEngine, MatchesGoldenFingerprint) {
+  FleetEngineConfig cfg;
+  cfg.system = golden_config();
+  cfg.sampled_timelines = 20;  // keep every timeline at this scale
+  FleetEngine engine(cfg);
+  const auto r = engine.run();
+  ASSERT_TRUE(r.ok()) << r.error().message;
+  expect_golden(*r);
+
+  // Every sampled timeline must agree with its streaming accumulator to
+  // the last bit.
+  ASSERT_EQ(r->sampled_timelines.size(), 20u);
+  for (std::size_t i = 0; i < r->sampled_servers.size(); ++i) {
+    const std::size_t sid = r->sampled_servers[i];
+    const auto& tl = r->sampled_timelines[i];
+    const auto& acc = r->accumulators[sid];
+    EXPECT_EQ(tl.total_energy().value(), acc.total_energy().value());
+    EXPECT_EQ(tl.total_duration().value(), acc.total_duration().value());
+  }
+}
+
+TEST(FleetEngine, ThreadCountInvariant) {
+  FleetEngineConfig serial;
+  serial.system = golden_config();
+  serial.system.fl.threads = 1;
+  serial.sampled_timelines = 20;
+  serial.shard_size = 3;  // force many shards even at N = 20
+  FleetEngine engine(serial);
+  const auto r = engine.run();
+  ASSERT_TRUE(r.ok()) << r.error().message;
+  expect_golden(*r);
+}
+
+TEST(FleetEngine, MatchesFeiSystemBitwise) {
+  FeiSystem reference(golden_config());
+  const auto ref = reference.run();
+  ASSERT_TRUE(ref.ok()) << ref.error().message;
+
+  FleetEngineConfig cfg;
+  cfg.system = golden_config();
+  cfg.sampled_timelines = 20;
+  FleetEngine engine(cfg);
+  const auto fleet = engine.run();
+  ASSERT_TRUE(fleet.ok()) << fleet.error().message;
+
+  EXPECT_EQ(ref->ledger.total().value(), fleet->ledger.total().value());
+  EXPECT_EQ(ref->wall_clock.value(), fleet->wall_clock.value());
+  EXPECT_EQ(ref->training.final_params, fleet->training.final_params);
+  ASSERT_EQ(ref->timelines.size(), fleet->accumulators.size());
+  for (std::size_t sid = 0; sid < ref->timelines.size(); ++sid) {
+    EXPECT_EQ(ref->timelines[sid].total_energy().value(),
+              fleet->accumulators[sid].total_energy().value())
+        << "server " << sid;
+    EXPECT_EQ(ref->ledger.server_total(sid).value(),
+              fleet->ledger.server_total(sid).value())
+        << "server " << sid;
+  }
+}
+
+TEST(FleetEngine, CsmaContentionMatchesFeiSystem) {
+  FeiSystemConfig sys = golden_config();
+  sys.lan_contention = FeiSystemConfig::LanContention::kCsma;
+  sys.fl.max_rounds = 4;
+
+  FeiSystem reference(sys);
+  const auto ref = reference.run();
+  ASSERT_TRUE(ref.ok()) << ref.error().message;
+
+  FleetEngineConfig cfg;
+  cfg.system = sys;
+  FleetEngine engine(cfg);
+  const auto fleet = engine.run();
+  ASSERT_TRUE(fleet.ok()) << fleet.error().message;
+
+  // The fleet engine drains uploads through a sorted scan instead of the
+  // event queue; CSMA consumes a shared RNG in completion order, so bit
+  // equality here proves the orders are identical.
+  EXPECT_EQ(ref->ledger.total().value(), fleet->ledger.total().value());
+  EXPECT_EQ(ref->wall_clock.value(), fleet->wall_clock.value());
+  Joules timeline_sum{0.0};
+  for (const auto& tl : ref->timelines) timeline_sum += tl.total_energy();
+  EXPECT_EQ(timeline_sum.value(), fleet->accumulated_energy().value());
+}
+
+FeiSystemConfig faulty_config() {
+  FeiSystemConfig cfg = prototype_config();
+  cfg.num_servers = 30;
+  cfg.samples_per_server = 60;
+  cfg.test_samples = 200;
+  cfg.data.image_side = 12;
+  cfg.model.input_dim = 144;
+  cfg.sgd.learning_rate = 0.1;
+  cfg.fl.clients_per_round = 8;
+  cfg.fl.local_epochs = 3;
+  cfg.fl.max_rounds = 5;
+  cfg.fl.overselect = 2;
+  cfg.fl.threads = 4;
+  cfg.net.link_faults.loss_probability = 0.2;
+  cfg.net.link_faults.max_attempts = 3;
+  cfg.round_deadline = Seconds{60.0};
+  cfg.crashes.mtbf = Seconds{400.0};
+  cfg.crashes.mttr = Seconds{20.0};
+  cfg.charge_idle_servers = true;
+  cfg.seed = 11;
+  return cfg;
+}
+
+TEST(FleetEngine, FaultPathThreadInvariant) {
+  FleetEngineConfig a;
+  a.system = faulty_config();
+  FleetEngineConfig b = a;
+  b.system.fl.threads = 1;
+  b.shard_size = 4;
+
+  FleetEngine ea(a);
+  FleetEngine eb(b);
+  const auto ra = ea.run();
+  const auto rb = eb.run();
+  ASSERT_TRUE(ra.ok()) << ra.error().message;
+  ASSERT_TRUE(rb.ok()) << rb.error().message;
+
+  EXPECT_EQ(ra->ledger.total().value(), rb->ledger.total().value());
+  EXPECT_EQ(ra->wall_clock.value(), rb->wall_clock.value());
+  EXPECT_EQ(ra->training.final_params, rb->training.final_params);
+  EXPECT_EQ(ra->total_retries, rb->total_retries);
+  EXPECT_EQ(ra->total_aborted_updates, rb->total_aborted_updates);
+  EXPECT_EQ(ra->total_straggler_drops, rb->total_straggler_drops);
+  EXPECT_EQ(ra->total_crashed_servers, rb->total_crashed_servers);
+  for (std::size_t sid = 0; sid < a.system.num_servers; ++sid) {
+    EXPECT_EQ(ra->accumulators[sid].total_energy().value(),
+              rb->accumulators[sid].total_energy().value());
+  }
+  // The fault knobs actually fired (otherwise this test proves nothing).
+  EXPECT_GT(ra->total_retries + ra->total_aborted_updates +
+                ra->total_straggler_drops + ra->total_crashed_servers,
+            0u);
+}
+
+TEST(FleetEngine, RejectsCsmaWithFaultInjection) {
+  FleetEngineConfig cfg;
+  cfg.system = faulty_config();
+  cfg.system.lan_contention = FeiSystemConfig::LanContention::kCsma;
+  FleetEngine engine(cfg);
+  const auto r = engine.run();
+  ASSERT_FALSE(r.ok());
+}
+
+TEST(FleetEngine, DataPoolingRunsAndFullPoolIsIdentity) {
+  FeiSystemConfig sys = golden_config();
+  sys.num_servers = 24;
+  sys.net.num_edge_servers = 24;
+  sys.fl.max_rounds = 3;
+
+  // P >= N must be byte-identical to the unpooled population.
+  FleetEngineConfig full;
+  full.system = sys;
+  FleetEngineConfig pooled_full = full;
+  pooled_full.data_pool_shards = 24;
+  FleetEngine ea(full);
+  FleetEngine eb(pooled_full);
+  const auto ra = ea.run();
+  const auto rb = eb.run();
+  ASSERT_TRUE(ra.ok()) << ra.error().message;
+  ASSERT_TRUE(rb.ok()) << rb.error().message;
+  EXPECT_EQ(ra->ledger.total().value(), rb->ledger.total().value());
+  EXPECT_EQ(ra->training.final_params, rb->training.final_params);
+
+  // P < N shares shards round-robin but still trains and accounts energy
+  // for every distinct server.
+  FleetEngineConfig pooled;
+  pooled.system = sys;
+  pooled.data_pool_shards = 6;
+  FleetEngine ec(pooled);
+  const auto rc = ec.run();
+  ASSERT_TRUE(rc.ok()) << rc.error().message;
+  EXPECT_EQ(rc->accumulators.size(), 24u);
+  EXPECT_GT(rc->ledger.total().value(), 0.0);
+  EXPECT_EQ(rc->training.rounds_run, 3u);
+}
+
+// ------------------------------------------------------- accumulator bits
+
+TEST(FleetAccumulator, BitIdenticalToTimelineUnderInterleavedQueries) {
+  const energy::DevicePowerProfile profile;
+  energy::PowerStateTimeline timeline(profile);
+  energy::CompactEnergyAccumulator acc(profile);
+
+  auto phase = [&](energy::EdgeState s, double start, double dur) {
+    // Timeline semantics of EdgeServerSim::run_phase: waiting gap, then
+    // the phase itself.
+    const double gap = start - timeline.total_duration().value();
+    if (gap > 0.0) {
+      timeline.push(energy::EdgeState::kWaiting, Seconds{gap});
+    }
+    timeline.push(s, Seconds{dur});
+    acc.run_phase(s, Seconds{start}, Seconds{dur});
+  };
+
+  phase(energy::EdgeState::kDownloading, 0.125, 0.7);
+  phase(energy::EdgeState::kTraining, 0.825, 3.25);
+  // Query mid-stream: must not disturb coalescing of the next push.
+  EXPECT_EQ(acc.total_energy().value(), timeline.total_energy().value());
+  phase(energy::EdgeState::kTraining, 4.075, 1.5);  // coalesces with prior
+  phase(energy::EdgeState::kUploading, 6.0, 0.375);
+  phase(energy::EdgeState::kUploading, 6.375, 0.625);  // coalesces again
+  acc.idle_until(Seconds{10.0});
+  timeline.push(energy::EdgeState::kWaiting,
+                Seconds{10.0} - timeline.total_duration());
+
+  EXPECT_EQ(acc.total_energy().value(), timeline.total_energy().value());
+  EXPECT_EQ(acc.total_duration().value(), timeline.total_duration().value());
+  for (std::size_t s = 0; s < energy::kNumEdgeStates; ++s) {
+    const auto state = static_cast<energy::EdgeState>(s);
+    EXPECT_EQ(acc.energy_in_state(state).value(),
+              timeline.energy_in_state(state).value())
+        << "state " << s;
+    EXPECT_EQ(acc.time_in_state(state).value(),
+              timeline.time_in_state(state).value())
+        << "state " << s;
+  }
+}
+
+TEST(FleetAccumulator, ClearResets) {
+  energy::CompactEnergyAccumulator acc{energy::DevicePowerProfile{}};
+  acc.run_phase(energy::EdgeState::kTraining, Seconds{0.0}, Seconds{2.0});
+  EXPECT_GT(acc.total_energy().value(), 0.0);
+  acc.clear();
+  EXPECT_EQ(acc.total_energy().value(), 0.0);
+  EXPECT_EQ(acc.total_duration().value(), 0.0);
+}
+
+}  // namespace
+}  // namespace eefei::sim

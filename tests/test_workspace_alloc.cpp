@@ -12,6 +12,7 @@
 #include "data/synth_digits.h"
 #include "ml/logistic_regression.h"
 #include "ml/mlp.h"
+#include "sim/event_queue.h"
 
 namespace {
 std::atomic<std::size_t> g_allocations{0};
@@ -113,3 +114,51 @@ TEST(WorkspaceAlloc, GrowingBatchReallocatesOnlyOnGrowth) {
 
 }  // namespace
 }  // namespace eefei::ml
+
+namespace eefei::sim {
+namespace {
+
+using ml::steady_state_allocations;
+
+TEST(WorkspaceAlloc, EventQueueScheduleAndRunAreAllocationFree) {
+  // Regression: run() used to copy the std::function handler out of
+  // priority_queue::top() — one heap allocation per event in the hottest
+  // sim loop.  With the move-out heap and a warm backing vector, an entire
+  // schedule/run cycle with small (SBO-sized) handlers allocates nothing.
+  EventQueue queue;
+  queue.reserve(64);
+  std::size_t fired = 0;
+  auto drive = [&] {
+    for (int i = 0; i < 32; ++i) {
+      queue.schedule_in(Seconds{1e-3 * static_cast<double>(i % 7)},
+                        [&fired] { ++fired; });
+    }
+    (void)queue.run();
+  };
+  EXPECT_EQ(0u, steady_state_allocations(drive));
+  EXPECT_GT(fired, 0u);
+}
+
+TEST(WorkspaceAlloc, EventQueueCascadeIsAllocationFree) {
+  // Handlers scheduling follow-up events (the download→train→upload
+  // cascade shape) stay allocation-free too: every handler captures one
+  // pointer, comfortably inside std::function's small-buffer optimisation.
+  EventQueue queue;
+  queue.reserve(16);
+  struct Cascade {
+    EventQueue* q;
+    std::size_t depth = 0;
+    void fire() {
+      if (++depth % 8 != 0) q->schedule_in(Seconds{0.5}, [this] { fire(); });
+    }
+  };
+  Cascade cascade{&queue};
+  EXPECT_EQ(0u, steady_state_allocations([&cascade, &queue] {
+    queue.schedule_in(Seconds{0.1}, [&cascade] { cascade.fire(); });
+    (void)queue.run();
+  }));
+  EXPECT_GT(cascade.depth, 0u);
+}
+
+}  // namespace
+}  // namespace eefei::sim

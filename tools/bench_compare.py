@@ -2,19 +2,28 @@
 """Compare BENCH_<name>.json files produced by the bench binaries.
 
 Usage:
-    bench_compare.py CURRENT [BASELINE]
+    bench_compare.py [--fail-above FRAC] [--filter REGEX] CURRENT [BASELINE]
 
 CURRENT and BASELINE are BENCH_*.json files or directories containing them.
 With only CURRENT, prints the recorded metrics (including any speedups the
 binary itself computed against its baseline).  With both, recomputes
 speedups of CURRENT over BASELINE.
 
+--fail-above FRAC turns the comparison into a regression gate: exit 1 if
+any compared metric is more than FRAC slower than its baseline (e.g. 0.15
+fails on a >15% ns_per_op regression).  --filter REGEX restricts the gate
+(and the report) to metric names matching REGEX, so throughput metrics can
+be gated while incidental ones (RSS, energy) are merely printed elsewhere.
+
 Missing baselines or metrics are reported as first recordings, never
-errors — the tooling is no-op-tolerant by design (exit code 0).
+errors — without --fail-above the tooling is no-op-tolerant by design
+(exit code 0).
 """
 
+import argparse
 import json
 import os
+import re
 import sys
 
 
@@ -53,20 +62,40 @@ def fmt_ns(ns):
 
 
 def main(argv):
-    if len(argv) not in (2, 3):
-        print(__doc__.strip())
-        return 0 if len(argv) == 1 else 1
+    parser = argparse.ArgumentParser(
+        description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter
+    )
+    parser.add_argument("current")
+    parser.add_argument("baseline", nargs="?")
+    parser.add_argument(
+        "--fail-above",
+        type=float,
+        default=None,
+        metavar="FRAC",
+        help="exit 1 if any metric regresses by more than FRAC (e.g. 0.15)",
+    )
+    parser.add_argument(
+        "--filter",
+        default=None,
+        metavar="REGEX",
+        help="only consider metric names matching this regex",
+    )
+    args = parser.parse_args(argv[1:])
 
-    current = load(argv[1])
-    baseline = load(argv[2]) if len(argv) == 3 else {}
+    current = load(args.current)
+    baseline = load(args.baseline) if args.baseline else {}
+    name_filter = re.compile(args.filter) if args.filter else None
     if not current:
-        print(f"note: no BENCH_*.json found in {argv[1]} (nothing to compare)")
+        print(f"note: no BENCH_*.json found in {args.current} (nothing to compare)")
         return 0
 
+    regressions = []
     for bench, metrics in current.items():
         print(f"== {bench} ==")
         base = baseline.get(bench, {})
         for name, m in metrics.items():
+            if name_filter and not name_filter.search(name):
+                continue
             ns = m["ns_per_op"]
             line = f"  {name:<40} {fmt_ns(ns):>12}"
             ref = base.get(name, {}).get("ns_per_op")
@@ -74,9 +103,26 @@ def main(argv):
                 ref = m.get("baseline_ns_per_op")
             if ref and ns > 0:
                 line += f"   {ref / ns:6.2f}x vs baseline ({fmt_ns(ref)})"
+                if (
+                    args.fail_above is not None
+                    and ns > ref * (1.0 + args.fail_above)
+                ):
+                    regressions.append((bench, name, ns / ref - 1.0))
+                    line += "   REGRESSION"
             elif baseline or "baseline_ns_per_op" not in m:
                 line += "   (first recording, no baseline)"
             print(line)
+
+    if regressions:
+        print(
+            f"\nFAIL: {len(regressions)} metric(s) regressed beyond "
+            f"{args.fail_above:.0%}:"
+        )
+        for bench, name, frac in regressions:
+            print(f"  {bench}: {name} is {frac:+.1%} slower than baseline")
+        return 1
+    if args.fail_above is not None:
+        print(f"\nOK: no metric regressed beyond {args.fail_above:.0%}")
     return 0
 
 
