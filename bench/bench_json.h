@@ -69,8 +69,13 @@ class BenchReport {
   explicit BenchReport(std::string name, std::string out_dir = ".")
       : name_(std::move(name)), out_dir_(std::move(out_dir)) {}
 
-  void add(const std::string& metric, double ns_per_op) {
-    metrics_.emplace_back(metric, ns_per_op);
+  /// Extra numeric fields emitted on the metric's JSON line alongside
+  /// ns_per_op — e.g. {"gb_per_s", 12.3} or {"speedup_vs_scalar", 1.8}.
+  using Extras = std::vector<std::pair<std::string, double>>;
+
+  void add(const std::string& metric, double ns_per_op,
+           Extras extras = {}) {
+    metrics_.push_back({metric, ns_per_op, std::move(extras)});
   }
 
   /// Writes BENCH_<name>.json and returns its path.
@@ -91,9 +96,12 @@ class BenchReport {
         << std::max(1u, std::thread::hardware_concurrency())
         << ",\n \"metrics\": [";
     for (std::size_t i = 0; i < metrics_.size(); ++i) {
-      const auto& [metric, ns] = metrics_[i];
+      const auto& [metric, ns, extras] = metrics_[i];
       out << (i == 0 ? "\n" : ",\n");
       out << "  {\"name\": \"" << metric << "\", \"ns_per_op\": " << ns;
+      for (const auto& [key, value] : extras) {
+        out << ", \"" << key << "\": " << value;
+      }
       if (const auto it = baseline.find(metric);
           it != baseline.end() && ns > 0.0) {
         out << ", \"baseline_ns_per_op\": " << it->second
@@ -112,7 +120,7 @@ class BenchReport {
     obs::RunManifest manifest;
     manifest.tool = "bench_" + name_;
     manifest.artifacts.push_back(path);
-    for (const auto& [metric, ns] : metrics_) {
+    for (const auto& [metric, ns, extras] : metrics_) {
       manifest.metric_totals.emplace_back(metric + ".ns_per_op", ns);
     }
     const std::string manifest_path =
@@ -125,9 +133,15 @@ class BenchReport {
   }
 
  private:
+  struct Metric {
+    std::string name;
+    double ns_per_op = 0.0;
+    Extras extras;
+  };
+
   std::string name_;
   std::string out_dir_;
-  std::vector<std::pair<std::string, double>> metrics_;
+  std::vector<Metric> metrics_;
 };
 
 /// RAII end-to-end timer for the figure/table harnesses: construct at the

@@ -3,6 +3,7 @@
 // synthetic-digit rendering, the event queue and the power meter.
 #include <benchmark/benchmark.h>
 
+#include <cassert>
 #include <string>
 #include <utility>
 #include <vector>
@@ -10,6 +11,8 @@
 #include "bench_json.h"
 #include "common/rng.h"
 #include "data/synth_digits.h"
+#include "ml/aligned.h"
+#include "ml/simd.h"
 #include "energy/meter.h"
 #include "fl/aggregator.h"
 #include "ml/logistic_regression.h"
@@ -31,6 +34,85 @@ data::Dataset make_batch(std::size_t n, std::size_t side) {
   data::SynthDigits gen(cfg);
   return gen.generate(n);
 }
+
+// ---------------------------------------------------------------------------
+// SIMD kernel benchmarks.  Each runs twice: through the runtime-dispatched
+// table (widest ISA the CPU supports) and pinned to the scalar reference
+// table, so BENCH_micro.json records both the absolute GB/s and a
+// speedup_vs_scalar ratio per shape.  Inputs are rendered digit images —
+// the blank margins exercise the kernels' zero-block sparse skip exactly
+// like the training hot path does.
+// ---------------------------------------------------------------------------
+
+void RunAccumulateRows(benchmark::State& state,
+                       const ml::simd::KernelTable& table) {
+  const auto d = static_cast<std::size_t>(state.range(0));
+  const auto c = static_cast<std::size_t>(state.range(1));
+  const std::size_t kRows = 64;
+  const data::Dataset ds = make_batch(kRows, 28);
+  assert(ds.view().feature_dim == d);
+  // Weights and accumulators live in 64-byte-aligned storage, exactly like
+  // the real call sites (Matrix / Workspace buffers are AlignedVector).
+  Rng rng(7);
+  ml::AlignedVector w(d * c);
+  for (auto& x : w) x = rng.normal();
+  ml::AlignedVector acc(c, 0.0);
+  std::size_t row = 0;
+  for (auto _ : state) {
+    const double* x = ds.view().features.data() + (row % kRows) * d;
+    ++row;
+    table.accumulate_rows(x, d, c, w.data(), acc.data());
+    benchmark::DoNotOptimize(acc.data());
+  }
+  // Nominal traffic (sparse skip reduces the real numbers): x once, the
+  // full weight matrix, acc read+write.
+  state.SetBytesProcessed(
+      static_cast<std::int64_t>(state.iterations()) *
+      static_cast<std::int64_t>((d + d * c + 2 * c) * sizeof(double)));
+}
+
+void BM_AccumulateRows(benchmark::State& state) {
+  RunAccumulateRows(state, ml::simd::kernels());
+}
+BENCHMARK(BM_AccumulateRows)->Args({784, 10})->Args({784, 256});
+
+void BM_AccumulateRowsScalar(benchmark::State& state) {
+  RunAccumulateRows(state, *ml::simd::kernels_for(ml::simd::Isa::kScalar));
+}
+BENCHMARK(BM_AccumulateRowsScalar)->Args({784, 10})->Args({784, 256});
+
+void RunAccumulateOuter(benchmark::State& state,
+                        const ml::simd::KernelTable& table) {
+  const auto d = static_cast<std::size_t>(state.range(0));
+  const auto c = static_cast<std::size_t>(state.range(1));
+  const std::size_t kRows = 64;
+  const data::Dataset ds = make_batch(kRows, 28);
+  assert(ds.view().feature_dim == d);
+  Rng rng(8);
+  ml::AlignedVector err(c);
+  for (auto& x : err) x = rng.normal();
+  ml::AlignedVector out(d * c, 0.0);
+  std::size_t row = 0;
+  for (auto _ : state) {
+    const double* x = ds.view().features.data() + (row % kRows) * d;
+    ++row;
+    table.accumulate_outer(x, d, c, err.data(), out.data());
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetBytesProcessed(
+      static_cast<std::int64_t>(state.iterations()) *
+      static_cast<std::int64_t>((d + c + 2 * d * c) * sizeof(double)));
+}
+
+void BM_AccumulateOuter(benchmark::State& state) {
+  RunAccumulateOuter(state, ml::simd::kernels());
+}
+BENCHMARK(BM_AccumulateOuter)->Args({784, 10})->Args({784, 256});
+
+void BM_AccumulateOuterScalar(benchmark::State& state) {
+  RunAccumulateOuter(state, *ml::simd::kernels_for(ml::simd::Isa::kScalar));
+}
+BENCHMARK(BM_AccumulateOuterScalar)->Args({784, 10})->Args({784, 256});
 
 void BM_LrLossAndGradient(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
@@ -214,18 +296,31 @@ BENCHMARK(BM_AcsSolve);
 // BENCH_micro.json report.
 class JsonCollectingReporter : public benchmark::ConsoleReporter {
  public:
+  struct Result {
+    std::string name;
+    double ns_per_op = 0.0;
+    eefei::bench::BenchReport::Extras extras;
+  };
+
   void ReportRuns(const std::vector<Run>& runs) override {
     ConsoleReporter::ReportRuns(runs);
     for (const Run& run : runs) {
       if (run.error_occurred) continue;
       const double iters = static_cast<double>(run.iterations);
       if (iters <= 0.0) continue;
-      results.emplace_back(run.benchmark_name(),
-                           run.real_accumulated_time / iters * 1e9);
+      Result r{run.benchmark_name(),
+               run.real_accumulated_time / iters * 1e9,
+               {}};
+      if (const auto it = run.counters.find("bytes_per_second");
+          it != run.counters.end()) {
+        r.extras.emplace_back("gb_per_s",
+                              static_cast<double>(it->second) / 1e9);
+      }
+      results.push_back(std::move(r));
     }
   }
 
-  std::vector<std::pair<std::string, double>> results;
+  std::vector<Result> results;
 };
 
 }  // namespace
@@ -236,7 +331,30 @@ int main(int argc, char** argv) {
   JsonCollectingReporter reporter;
   benchmark::RunSpecifiedBenchmarks(&reporter);
   eefei::bench::BenchReport report("micro");
-  for (const auto& [name, ns] : reporter.results) report.add(name, ns);
+  // The dispatched kernel benches get a speedup_vs_scalar extra by pairing
+  // them with their *Scalar twin from the same run — the scalar table is
+  // bit-identical to the pre-SIMD code, so this ratio IS the SIMD win.
+  const auto scalar_twin = [&](const std::string& name) -> double {
+    const auto slash = name.find('/');
+    if (slash == std::string::npos) return 0.0;
+    const std::string twin =
+        name.substr(0, slash) + "Scalar" + name.substr(slash);
+    for (const auto& r : reporter.results) {
+      if (r.name == twin) return r.ns_per_op;
+    }
+    return 0.0;
+  };
+  for (const auto& r : reporter.results) {
+    auto extras = r.extras;
+    if (r.name.starts_with("BM_Accumulate") &&
+        r.name.find("Scalar") == std::string::npos) {
+      if (const double scalar_ns = scalar_twin(r.name);
+          scalar_ns > 0.0 && r.ns_per_op > 0.0) {
+        extras.emplace_back("speedup_vs_scalar", scalar_ns / r.ns_per_op);
+      }
+    }
+    report.add(r.name, r.ns_per_op, std::move(extras));
+  }
   report.write();
   return 0;
 }

@@ -1,78 +1,36 @@
-// Register-blocked inner loops shared by the dense kernels (gemm, logistic
-// forward/backward, MLP layers).  The hot pattern everywhere is a rank-1
-// style accumulation against a row-major weight block:
+// Dense inner loops shared by the ML hot path (gemm, logistic forward/
+// backward, MLP layers).  The hot pattern everywhere is a rank-1 style
+// accumulation against a row-major weight block:
 //
 //   accumulate_rows:  acc[j]      += Σ_k x[k] · w[k·c + j]   (forward)
 //   accumulate_outer: out[k·c+j]  += x[k] · err[j]           (backward)
 //
-// Both process k in blocks of four with the per-block inputs held in
-// registers, which gives the compiler a branch-free body it can vectorize
-// over the column dimension.  The sparse-skip of the original kernels is
-// kept at block granularity: a block whose four inputs are all zero (blank
-// regions of the synthetic digit images) is skipped outright, while mixed
-// blocks run dense — multiplying by the embedded zeros is cheaper than
-// branching per element.
+// Since the SIMD layer landed these are one-line dispatchers into the
+// runtime-selected kernel table (ml/simd.h): AVX2 / SSE2 / NEON / scalar,
+// all bit-identical by the fixed-lane determinism contract.  The k-blocking
+// (groups of four, with blocks whose four inputs are all zero — blank
+// regions of the synthetic digit images — skipped outright) lives in the
+// kernel bodies, simd_lanes.h.  One indirect call amortizes over an entire
+// d×c row block, so the dispatch cost is noise even at the 784×10 shape.
 #pragma once
 
 #include <cstddef>
+
+#include "ml/simd.h"
 
 namespace eefei::ml {
 
 /// acc[0..c) += Σ_k x[k] · w[k·c + j] for k in [0, d).
 inline void accumulate_rows(const double* x, std::size_t d, std::size_t c,
                             const double* w, double* acc) {
-  std::size_t k = 0;
-  for (; k + 4 <= d; k += 4) {
-    const double x0 = x[k];
-    const double x1 = x[k + 1];
-    const double x2 = x[k + 2];
-    const double x3 = x[k + 3];
-    if (x0 == 0.0 && x1 == 0.0 && x2 == 0.0 && x3 == 0.0) continue;
-    const double* w0 = w + k * c;
-    const double* w1 = w0 + c;
-    const double* w2 = w1 + c;
-    const double* w3 = w2 + c;
-    for (std::size_t j = 0; j < c; ++j) {
-      acc[j] += x0 * w0[j] + x1 * w1[j] + x2 * w2[j] + x3 * w3[j];
-    }
-  }
-  for (; k < d; ++k) {
-    const double xv = x[k];
-    if (xv == 0.0) continue;
-    const double* wrow = w + k * c;
-    for (std::size_t j = 0; j < c; ++j) acc[j] += xv * wrow[j];
-  }
+  simd::kernels().accumulate_rows(x, d, c, w, acc);
 }
 
 /// out[k·c + j] += x[k] · err[j] for k in [0, d), j in [0, c) — the outer
 /// product accumulation of the gradient contraction Xᵀ·(P − Y).
 inline void accumulate_outer(const double* x, std::size_t d, std::size_t c,
                              const double* err, double* out) {
-  std::size_t k = 0;
-  for (; k + 4 <= d; k += 4) {
-    const double x0 = x[k];
-    const double x1 = x[k + 1];
-    const double x2 = x[k + 2];
-    const double x3 = x[k + 3];
-    if (x0 == 0.0 && x1 == 0.0 && x2 == 0.0 && x3 == 0.0) continue;
-    double* g0 = out + k * c;
-    double* g1 = g0 + c;
-    double* g2 = g1 + c;
-    double* g3 = g2 + c;
-    for (std::size_t j = 0; j < c; ++j) {
-      const double e = err[j];
-      g0[j] += x0 * e;
-      g1[j] += x1 * e;
-      g2[j] += x2 * e;
-      g3[j] += x3 * e;
-    }
-  }
-  for (; k < d; ++k) {
-    const double xv = x[k];
-    if (xv == 0.0) continue;
-    double* grow = out + k * c;
-    for (std::size_t j = 0; j < c; ++j) grow[j] += xv * err[j];
-  }
+  simd::kernels().accumulate_outer(x, d, c, err, out);
 }
 
 }  // namespace eefei::ml

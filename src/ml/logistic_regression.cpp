@@ -25,52 +25,36 @@ LogisticRegression::LogisticRegression(LogisticRegressionConfig config,
   }
 }
 
-void LogisticRegression::forward(std::span<const double> features,
-                                 std::size_t n, double* out) const {
+void LogisticRegression::forward_row(const double* x, double* out) const {
   const std::size_t d = config_.input_dim;
   const std::size_t c = config_.num_classes;
-  assert(features.size() == n * d);
-  const double* w = params_.data();               // d × c row-major
-  const double* b = params_.data() + d * c;       // c
-  for (std::size_t i = 0; i < n; ++i) {
-    const double* x = features.data() + i * d;
-    double* logits = out + i * c;
-    for (std::size_t j = 0; j < c; ++j) logits[j] = b[j];
-    accumulate_rows(x, d, c, w, logits);
-    std::span<double> row(logits, c);
-    if (config_.activation == Activation::kSoftmax) {
-      softmax_inplace(row);
-    } else {
-      sigmoid_inplace(row);
-    }
+  const double* w = params_.data();          // d × c row-major
+  const double* b = params_.data() + d * c;  // c
+  for (std::size_t j = 0; j < c; ++j) out[j] = b[j];
+  accumulate_rows(x, d, c, w, out);
+  std::span<double> row(out, c);
+  if (config_.activation == Activation::kSoftmax) {
+    softmax_inplace(row);
+  } else {
+    sigmoid_inplace(row);
   }
 }
 
-double LogisticRegression::batch_loss_sum(std::span<const double> probs,
-                                          std::span<const int> labels) const {
+void LogisticRegression::accumulate_row_loss(const double* probs, int label,
+                                             double& loss_sum) const {
   const std::size_t c = config_.num_classes;
-  double loss = 0.0;
   if (config_.activation == Activation::kSoftmax) {
     // Multinomial cross-entropy: −log p_y.
-    for (std::size_t i = 0; i < labels.size(); ++i) {
-      const double p =
-          std::max(probs[i * c + static_cast<std::size_t>(labels[i])],
-                   kProbFloor);
-      loss -= std::log(p);
-    }
-  } else {
-    // One-vs-all binary cross-entropy summed over classes.
-    for (std::size_t i = 0; i < labels.size(); ++i) {
-      for (std::size_t j = 0; j < c; ++j) {
-        const double p = std::clamp(probs[i * c + j], kProbFloor,
-                                    1.0 - kProbFloor);
-        const double y =
-            (static_cast<std::size_t>(labels[i]) == j) ? 1.0 : 0.0;
-        loss -= y * std::log(p) + (1.0 - y) * std::log(1.0 - p);
-      }
-    }
+    loss_sum -= std::log(
+        std::max(probs[static_cast<std::size_t>(label)], kProbFloor));
+    return;
   }
-  return loss;
+  // One-vs-all binary cross-entropy summed over classes.
+  for (std::size_t j = 0; j < c; ++j) {
+    const double p = std::clamp(probs[j], kProbFloor, 1.0 - kProbFloor);
+    const double y = (static_cast<std::size_t>(label) == j) ? 1.0 : 0.0;
+    loss_sum -= y * std::log(p) + (1.0 - y) * std::log(1.0 - p);
+  }
 }
 
 double LogisticRegression::penalty() const {
@@ -90,24 +74,30 @@ double LogisticRegression::loss_and_gradient(const BatchView& batch,
   const std::size_t d = config_.input_dim;
   const std::size_t c = config_.num_classes;
 
-  const auto probs = Workspace::ensure(ws.probs, n * c);
-  forward(batch.features, n, probs.data());
-  const double loss = batch_loss_sum(probs, batch.labels) /
-                          static_cast<double>(n) +
-                      penalty();
-
-  // For both softmax+CE and sigmoid+BCE the error signal is (p − y):
-  // that identity is what makes the two heads share this gradient code.
   std::fill(grad.begin(), grad.end(), 0.0);
   double* gw = grad.data();
   double* gb = grad.data() + d * c;
+
+  // One fused pass per example: forward, loss, then gradient accumulation,
+  // all while the row's probabilities are hot in registers/L1.  The loss
+  // sum and both gradient accumulators visit examples in the same
+  // ascending order as the unfused two-pass version, so the result is
+  // bit-identical to it.  For both softmax+CE and sigmoid+BCE the error
+  // signal is (p − y) — that identity is what lets the two heads share
+  // this gradient code.
+  const auto probs = Workspace::ensure(ws.probs, c);
+  double loss_sum = 0.0;
   for (std::size_t i = 0; i < n; ++i) {
-    double* err = probs.data() + i * c;  // reuse probs as the error buffer
-    err[static_cast<std::size_t>(batch.labels[i])] -= 1.0;
     const double* x = batch.features.data() + i * d;
+    double* err = probs.data();
+    forward_row(x, err);
+    accumulate_row_loss(err, batch.labels[i], loss_sum);
+    err[static_cast<std::size_t>(batch.labels[i])] -= 1.0;  // p − y
     accumulate_outer(x, d, c, err, gw);
     for (std::size_t j = 0; j < c; ++j) gb[j] += err[j];
   }
+  const double loss = loss_sum / static_cast<double>(n) + penalty();
+
   const double inv_n = 1.0 / static_cast<double>(n);
   for (double& g : grad) g *= inv_n;
   if (config_.l2_lambda > 0.0) {
@@ -123,16 +113,16 @@ EvalSums LogisticRegression::evaluate_sums(const BatchView& batch,
   assert(batch.valid());
   assert(batch.feature_dim == config_.input_dim);
   const std::size_t n = batch.size();
+  const std::size_t d = config_.input_dim;
   const std::size_t c = config_.num_classes;
 
-  const auto probs = Workspace::ensure(ws.probs, n * c);
-  forward(batch.features, n, probs.data());
-
+  const auto probs = Workspace::ensure(ws.probs, c);
   EvalSums sums;
   sums.samples = n;
-  sums.loss_sum = batch_loss_sum(probs, batch.labels);
   for (std::size_t i = 0; i < n; ++i) {
-    const double* row = probs.data() + i * c;
+    const double* row = probs.data();
+    forward_row(batch.features.data() + i * d, probs.data());
+    accumulate_row_loss(row, batch.labels[i], sums.loss_sum);
     const std::size_t argmax = static_cast<std::size_t>(
         std::max_element(row, row + c) - row);
     if (argmax == static_cast<std::size_t>(batch.labels[i])) ++sums.correct;
@@ -144,7 +134,7 @@ int LogisticRegression::predict(std::span<const double> features,
                                 Workspace& ws) const {
   assert(features.size() == config_.input_dim);
   const auto probs = Workspace::ensure(ws.probs, config_.num_classes);
-  forward(features, 1, probs.data());
+  forward_row(features.data(), probs.data());
   return static_cast<int>(
       std::max_element(probs.begin(), probs.end()) - probs.begin());
 }

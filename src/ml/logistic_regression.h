@@ -62,15 +62,19 @@ class LogisticRegression final : public Model {
   }
 
  private:
-  /// Writes class probabilities (after activation) for `n` examples into
-  /// `out` (n × num_classes row-major, fully overwritten).
-  void forward(std::span<const double> features, std::size_t n,
-               double* out) const;
+  /// Fused GEMM+bias+activation for one example: writes the num_classes
+  /// probabilities into `out` (fully overwritten).  The whole hot path is
+  /// built from this row pass so probabilities never round-trip through an
+  /// O(batch) buffer.
+  void forward_row(const double* x, double* out) const;
 
-  /// Sum of per-example data losses given forward-pass probabilities
-  /// (no mean, no L2 — see EvalSums).
-  [[nodiscard]] double batch_loss_sum(std::span<const double> probs,
-                                      std::span<const int> labels) const;
+  /// Adds the data loss of one example (given its forward-pass
+  /// probabilities; no mean, no L2 — see EvalSums) onto `loss_sum`.
+  /// Appends term-by-term to the running accumulator so the summation
+  /// order — and therefore every bit — matches the pre-fusion
+  /// whole-batch loss loop.
+  void accumulate_row_loss(const double* probs, int label,
+                           double& loss_sum) const;
 
   LogisticRegressionConfig config_;
   // Layout: [W row-major (input_dim × num_classes) | bias (num_classes)].

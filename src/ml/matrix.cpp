@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "ml/kernels.h"
+#include "ml/simd.h"
 #include "obs/telemetry.h"
 
 namespace eefei::ml {
@@ -45,31 +46,35 @@ class GemmTimer {
 
 }  // namespace
 
+// The elementwise ops go through the SIMD kernel table: lanes are
+// independent, so the vector path is bit-identical to the scalar loops it
+// replaced.
 Matrix& Matrix::operator+=(const Matrix& other) {
   assert(same_shape(other));
-  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+  simd::kernels().add(data_.data(), other.data_.data(), data_.size());
   return *this;
 }
 
 Matrix& Matrix::operator-=(const Matrix& other) {
   assert(same_shape(other));
-  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= other.data_[i];
+  simd::kernels().sub(data_.data(), other.data_.data(), data_.size());
   return *this;
 }
 
 Matrix& Matrix::operator*=(double s) {
-  for (double& v : data_) v *= s;
+  simd::kernels().scale(data_.data(), data_.size(), s);
   return *this;
 }
 
 void Matrix::add_scaled(const Matrix& other, double alpha) {
   assert(same_shape(other));
-  for (std::size_t i = 0; i < data_.size(); ++i) {
-    data_[i] += alpha * other.data_[i];
-  }
+  simd::kernels().axpy(data_.data(), other.data_.data(), data_.size(), alpha);
 }
 
 double Matrix::squared_norm() const {
+  // Deliberately scalar: a lane-split accumulator would change the
+  // reduction order and therefore the bits.  The canonical op order for
+  // reductions is ascending-index serial (determinism contract, DESIGN.md).
   double acc = 0.0;
   for (const double v : data_) acc += v * v;
   return acc;

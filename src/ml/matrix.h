@@ -1,13 +1,17 @@
 // Dense row-major matrix used for model parameters and data batches.
 // Deliberately minimal: the workloads in this library are logistic
 // regression scale (784×10), so a cache-friendly GEMM plus a few
-// elementwise kernels is all that is needed.
+// elementwise kernels is all that is needed.  Storage is 64-byte aligned
+// (ml/aligned.h); the layout (row-major, contiguous) is unchanged, so
+// serialization and checkpoints are untouched by the alignment.
 #pragma once
 
 #include <cassert>
 #include <cstddef>
 #include <span>
 #include <vector>
+
+#include "ml/aligned.h"
 
 namespace eefei::ml {
 
@@ -23,7 +27,7 @@ class Matrix {
     Matrix m;
     m.rows_ = rows;
     m.cols_ = cols;
-    m.data_ = std::move(data);
+    m.data_.assign(data.begin(), data.end());
     return m;
   }
 
@@ -52,7 +56,7 @@ class Matrix {
 
   [[nodiscard]] std::span<double> flat() { return data_; }
   [[nodiscard]] std::span<const double> flat() const { return data_; }
-  [[nodiscard]] const std::vector<double>& storage() const { return data_; }
+  [[nodiscard]] const AlignedVector& storage() const { return data_; }
 
   void fill(double v) { std::fill(data_.begin(), data_.end(), v); }
 
@@ -76,7 +80,7 @@ class Matrix {
  private:
   std::size_t rows_ = 0;
   std::size_t cols_ = 0;
-  std::vector<double> data_;
+  AlignedVector data_;
 };
 
 /// out = A (n×k, row-major span) * B (k×m) — A given as a raw span so data

@@ -30,8 +30,7 @@ Mlp::Mlp(MlpConfig config)
   }
 }
 
-void Mlp::forward(std::span<const double> features, std::size_t n,
-                  double* hidden, double* probs) const {
+void Mlp::forward_row(const double* x, double* hidden, double* probs) const {
   const std::size_t d = config_.input_dim;
   const std::size_t h = config_.hidden_units;
   const std::size_t c = config_.num_classes;
@@ -40,18 +39,15 @@ void Mlp::forward(std::span<const double> features, std::size_t n,
   const double* w2 = params_.data() + w2_offset();  // h×c row-major
   const double* b2 = params_.data() + b2_offset();
 
-  for (std::size_t i = 0; i < n; ++i) {
-    const double* x = features.data() + i * d;
-    double* z = hidden + i * h;
-    for (std::size_t j = 0; j < h; ++j) z[j] = b1[j];
-    accumulate_rows(x, d, h, w1, z);
-    for (std::size_t j = 0; j < h; ++j) z[j] = std::max(0.0, z[j]);  // ReLU
-
-    double* logits = probs + i * c;
-    for (std::size_t j = 0; j < c; ++j) logits[j] = b2[j];
-    accumulate_rows(z, h, c, w2, logits);
-    softmax_inplace(std::span<double>(logits, c));
+  for (std::size_t j = 0; j < h; ++j) hidden[j] = b1[j];
+  accumulate_rows(x, d, h, w1, hidden);
+  for (std::size_t j = 0; j < h; ++j) {
+    hidden[j] = std::max(0.0, hidden[j]);  // ReLU
   }
+
+  for (std::size_t j = 0; j < c; ++j) probs[j] = b2[j];
+  accumulate_rows(hidden, h, c, w2, probs);
+  softmax_inplace(std::span<double>(probs, c));
 }
 
 double Mlp::penalty() const {
@@ -71,18 +67,6 @@ double Mlp::loss_and_gradient(const BatchView& batch, std::span<double> grad,
   const std::size_t h = config_.hidden_units;
   const std::size_t c = config_.num_classes;
 
-  const auto hidden = Workspace::ensure(ws.hidden, n * h);
-  const auto probs = Workspace::ensure(ws.probs, n * c);
-  forward(batch.features, n, hidden.data(), probs.data());
-
-  double loss = 0.0;
-  for (std::size_t i = 0; i < n; ++i) {
-    loss -= std::log(std::max(
-        probs[i * c + static_cast<std::size_t>(batch.labels[i])],
-        kProbFloor));
-  }
-  loss /= static_cast<double>(n);
-
   std::fill(grad.begin(), grad.end(), 0.0);
   double* gw1 = grad.data() + w1_offset();
   double* gb1 = grad.data() + b1_offset();
@@ -90,13 +74,24 @@ double Mlp::loss_and_gradient(const BatchView& batch, std::span<double> grad,
   double* gb2 = grad.data() + b2_offset();
   const double* w2 = params_.data() + w2_offset();
 
+  // One fused forward/backward pass per example while its activations are
+  // hot in cache.  Loss and every gradient accumulator visit examples in
+  // the same ascending order as the unfused version — bit-identical.
+  const auto hidden = Workspace::ensure(ws.hidden, h);
+  const auto probs = Workspace::ensure(ws.probs, c);
   const auto dhidden = Workspace::ensure(ws.scratch, h);
+  double loss_sum = 0.0;
   for (std::size_t i = 0; i < n; ++i) {
+    const double* x = batch.features.data() + i * d;
+    const double* a = hidden.data();  // post-ReLU activations
+    double* err = probs.data();
+    forward_row(x, hidden.data(), err);
+    loss_sum -= std::log(std::max(
+        err[static_cast<std::size_t>(batch.labels[i])], kProbFloor));
+
     // dL/dlogits = p − y (softmax + CE).
-    double* err = probs.data() + i * c;
     err[static_cast<std::size_t>(batch.labels[i])] -= 1.0;
 
-    const double* a = hidden.data() + i * h;  // post-ReLU activations
     // Head gradients: gw2 += a ⊗ err, gb2 += err.
     accumulate_outer(a, h, c, err, gw2);
     for (std::size_t j = 0; j < c; ++j) gb2[j] += err[j];
@@ -114,10 +109,10 @@ double Mlp::loss_and_gradient(const BatchView& batch, std::span<double> grad,
     }
 
     // Input-layer gradients: gw1 += x ⊗ dh, gb1 += dh.
-    const double* x = batch.features.data() + i * d;
     accumulate_outer(x, d, h, dhidden.data(), gw1);
     for (std::size_t j = 0; j < h; ++j) gb1[j] += dhidden[j];
   }
+  double loss = loss_sum / static_cast<double>(n);
 
   const double inv_n = 1.0 / static_cast<double>(n);
   for (double& g : grad) g *= inv_n;
@@ -135,16 +130,17 @@ double Mlp::loss_and_gradient(const BatchView& batch, std::span<double> grad,
 EvalSums Mlp::evaluate_sums(const BatchView& batch, Workspace& ws) const {
   assert(batch.valid());
   const std::size_t n = batch.size();
+  const std::size_t d = config_.input_dim;
   const std::size_t h = config_.hidden_units;
   const std::size_t c = config_.num_classes;
-  const auto hidden = Workspace::ensure(ws.hidden, n * h);
-  const auto probs = Workspace::ensure(ws.probs, n * c);
-  forward(batch.features, n, hidden.data(), probs.data());
+  const auto hidden = Workspace::ensure(ws.hidden, h);
+  const auto probs = Workspace::ensure(ws.probs, c);
 
   EvalSums sums;
   sums.samples = n;
   for (std::size_t i = 0; i < n; ++i) {
-    const double* row = probs.data() + i * c;
+    const double* row = probs.data();
+    forward_row(batch.features.data() + i * d, hidden.data(), probs.data());
     sums.loss_sum -= std::log(std::max(
         row[static_cast<std::size_t>(batch.labels[i])], kProbFloor));
     const auto argmax =
@@ -158,7 +154,7 @@ int Mlp::predict(std::span<const double> features, Workspace& ws) const {
   assert(features.size() == config_.input_dim);
   const auto hidden = Workspace::ensure(ws.hidden, config_.hidden_units);
   const auto probs = Workspace::ensure(ws.probs, config_.num_classes);
-  forward(features, 1, hidden.data(), probs.data());
+  forward_row(features.data(), hidden.data(), probs.data());
   return static_cast<int>(
       std::max_element(probs.begin(), probs.end()) - probs.begin());
 }

@@ -66,10 +66,11 @@ class Mlp final : public Model {
     return w2_offset() + config_.hidden_units * config_.num_classes;
   }
 
-  /// Forward pass for n examples; fills `hidden` (n×h, already ReLU'd) and
-  /// `probs` (n×c, already softmaxed).  Both fully overwritten.
-  void forward(std::span<const double> features, std::size_t n,
-               double* hidden, double* probs) const;
+  /// Fused forward pass for one example: fills `hidden` (h, already
+  /// ReLU'd) and `probs` (c, already softmaxed), both fully overwritten.
+  /// The fused loss/gradient/eval loops call this row pass so activations
+  /// never round-trip through an O(batch) buffer.
+  void forward_row(const double* x, double* hidden, double* probs) const;
 
   MlpConfig config_;
   std::vector<double> params_;

@@ -14,6 +14,7 @@
 #include <span>
 #include <vector>
 
+#include "ml/aligned.h"
 #include "ml/matrix.h"
 
 namespace eefei {
@@ -66,15 +67,18 @@ struct EvalSums {
 
 /// Reusable scratch buffers for forward/backward passes.  Buffers only ever
 /// grow, so a warmed workspace makes repeated calls allocation-free.  A
-/// workspace may be shared across models but never across threads.
+/// workspace may be shared across models but never across threads.  Storage
+/// is 64-byte aligned (ml/aligned.h) so kernels start on lane boundaries.
+/// Since the fused row passes landed, the per-row buffers are O(classes) /
+/// O(hidden_units) — never O(batch) — so a workspace stays cache-resident.
 struct Workspace {
-  std::vector<double> probs;    // n × num_classes activations
-  std::vector<double> hidden;   // n × hidden_units activations (MLP)
-  std::vector<double> scratch;  // per-example backprop buffer (MLP)
+  AlignedVector probs;    // per-row class activations
+  AlignedVector hidden;   // per-row hidden activations (MLP)
+  AlignedVector scratch;  // per-row backprop buffer (MLP)
 
   /// Grows `buf` to at least `n` and returns the first `n` elements
   /// (contents unspecified — kernels fully overwrite their spans).
-  static std::span<double> ensure(std::vector<double>& buf, std::size_t n) {
+  static std::span<double> ensure(AlignedVector& buf, std::size_t n) {
     if (buf.size() < n) buf.resize(n);
     return {buf.data(), n};
   }

@@ -1,0 +1,84 @@
+// Deterministic SIMD math layer: the public dispatch surface.
+//
+// Every dense kernel in the ML hot path (accumulate_rows/accumulate_outer
+// and the elementwise Matrix ops) is compiled once per instruction set from
+// one templated body (simd_lanes.h) and selected at runtime through the
+// KernelTable below.  The layer's contract is *determinism first*:
+//
+//   - Fixed per-element operation order.  Every backend — AVX-512, AVX2,
+//     SSE2, NEON, and the scalar fallback — runs the identical IEEE-754
+//     expression tree on each element in the identical order.  The 4-lane
+//     backends group columns by kLanes (SSE2/NEON emulate the 4-lane
+//     vector with two 2-lane halves; the scalar backend with a 4-double
+//     struct).  Lanes are independent in every kernel — there are no
+//     horizontal reductions — which is also why the AVX-512 backend may
+//     regroup columns 8 at a time without moving a bit: lane grouping is
+//     unobservable when ops never cross lanes.
+//   - No fused multiply-add.  Kernels use separate mul/add (never fma
+//     intrinsics) and the ml targets are built with -ffp-contract=off, so
+//     the compiler cannot contract a*b+c behind our back.
+//   - Identical tails and sparse-skips.  Row blocking (k in groups of 4
+//     with the all-zero block skip) and the scalar column tail match the
+//     pre-SIMD kernels expression-for-expression.
+//
+// Consequence: the SIMD path is bit-identical to the scalar path, which is
+// bit-identical to the pre-SIMD kernels — golden fingerprints never move
+// when the dispatcher picks a different ISA.  tests/test_simd.cpp pins this
+// with hard-coded CRCs; DESIGN.md ("Floating-point determinism contract")
+// spells out the rules.
+//
+// Dispatch order: EEFEI_SIMD=OFF builds always run the scalar fallback;
+// otherwise the EEFEI_SIMD_ISA environment variable
+// (scalar|sse2|avx2|avx512|neon) can force a backend, else CPUID picks the
+// widest supported ISA (avx512 > avx2 > sse2 on x86).
+#pragma once
+
+#include <cstddef>
+#include <string_view>
+
+namespace eefei::ml::simd {
+
+/// Fixed lane count of the portable vector: 4 doubles (one AVX2 register,
+/// two SSE2/NEON registers, a 4-double struct for scalar).
+inline constexpr std::size_t kLanes = 4;
+
+enum class Isa { kScalar, kSse2, kAvx2, kAvx512, kNeon };
+
+[[nodiscard]] std::string_view isa_name(Isa isa);
+
+/// The dispatched kernel set.  All function pointers are non-null.
+struct KernelTable {
+  /// acc[j] += Σ_k x[k] · w[k·c + j]  (forward contraction, row-major w).
+  void (*accumulate_rows)(const double* x, std::size_t d, std::size_t c,
+                          const double* w, double* acc);
+  /// out[k·c + j] += x[k] · err[j]  (outer-product gradient accumulation).
+  void (*accumulate_outer)(const double* x, std::size_t d, std::size_t c,
+                           const double* err, double* out);
+  /// y[i] += x[i]
+  void (*add)(double* y, const double* x, std::size_t n);
+  /// y[i] -= x[i]
+  void (*sub)(double* y, const double* x, std::size_t n);
+  /// y[i] *= s
+  void (*scale)(double* y, std::size_t n, double s);
+  /// y[i] += alpha · x[i]
+  void (*axpy)(double* y, const double* x, std::size_t n, double alpha);
+  Isa isa = Isa::kScalar;
+};
+
+/// The table picked for this process (see dispatch order above).  The
+/// choice is made once, on first call, and never changes afterwards.
+[[nodiscard]] const KernelTable& kernels();
+
+/// ISA of the dispatched table.
+[[nodiscard]] Isa active_isa();
+
+/// Table for a specific backend, or nullptr when that backend is not
+/// compiled into this binary or not runnable on this CPU.  The scalar
+/// table is always available.  Used by the cross-ISA identity tests and
+/// the scalar-reference microbenchmarks.
+[[nodiscard]] const KernelTable* kernels_for(Isa isa);
+
+/// True when this binary was configured with -DEEFEI_SIMD=ON.
+[[nodiscard]] bool simd_build_enabled();
+
+}  // namespace eefei::ml::simd

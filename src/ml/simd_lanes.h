@@ -1,0 +1,436 @@
+// Internal to the SIMD layer: fixed-lane vector backends plus the one
+// templated body of every dispatched kernel.  Included only by
+// simd_dispatch.cpp (scalar, SSE2, NEON) and simd_avx2.cpp (AVX2, the one
+// TU built with -mavx2) — never by user code.
+//
+// Bit-identity rules (see simd.h / DESIGN.md):
+//   - every backend exposes a 4-lane double vector with loadu/storeu/
+//     broadcast/add/mul only — no fma, no horizontal reductions;
+//   - kernel bodies spell out the exact association of the pre-SIMD scalar
+//     kernels (e.g. acc + (((x0·w0 + x1·w1) + x2·w2) + x3·w3)) so each
+//     lane performs the identical IEEE-754 op sequence;
+//   - the k-blocking and the all-zero block sparse-skip are copied from
+//     the original kernels at the same granularity;
+//   - column tails (c % 4) run the same scalar expression.
+#pragma once
+
+#include <cstddef>
+
+#include "ml/simd.h"
+
+#if defined(__SSE2__) || defined(__AVX2__)
+#include <immintrin.h>
+#endif
+#if defined(__aarch64__) && defined(__ARM_NEON)
+#include <arm_neon.h>
+#endif
+
+namespace eefei::ml::simd {
+
+/// Defined in simd_avx2.cpp (the only TU built with -mavx2): the AVX2
+/// kernel table, or nullptr when AVX2 is not compiled into this binary.
+[[nodiscard]] const KernelTable* avx2_kernel_table();
+
+/// Defined in simd_avx512.cpp (the only TU built with -mavx512f): the
+/// AVX-512 kernel table, or nullptr when not compiled in.
+[[nodiscard]] const KernelTable* avx512_kernel_table();
+
+// ---------------------------------------------------------------------------
+// Backends.  Each provides: Vec (4 doubles), loadu, storeu, broadcast, add,
+// mul — plus the same set on Half (2 doubles), used for the 2-wide column
+// tail of the vectorized kernels.  Lane i of every op behaves exactly like
+// the scalar expression on element i — that is the whole determinism
+// argument, and it holds for Half exactly as for Vec.
+// ---------------------------------------------------------------------------
+
+struct ScalarBackend {
+  struct Vec {
+    double v[4];
+  };
+  struct Half {
+    double v[2];
+  };
+  static Vec loadu(const double* p) { return {{p[0], p[1], p[2], p[3]}}; }
+  static void storeu(double* p, Vec a) {
+    p[0] = a.v[0];
+    p[1] = a.v[1];
+    p[2] = a.v[2];
+    p[3] = a.v[3];
+  }
+  static Vec broadcast(double s) { return {{s, s, s, s}}; }
+  static Vec add(Vec a, Vec b) {
+    return {{a.v[0] + b.v[0], a.v[1] + b.v[1], a.v[2] + b.v[2],
+             a.v[3] + b.v[3]}};
+  }
+  static Vec mul(Vec a, Vec b) {
+    return {{a.v[0] * b.v[0], a.v[1] * b.v[1], a.v[2] * b.v[2],
+             a.v[3] * b.v[3]}};
+  }
+  static Half loadh(const double* p) { return {{p[0], p[1]}}; }
+  static void storeh(double* p, Half a) {
+    p[0] = a.v[0];
+    p[1] = a.v[1];
+  }
+  static Half broadcasth(double s) { return {{s, s}}; }
+  static Half addh(Half a, Half b) {
+    return {{a.v[0] + b.v[0], a.v[1] + b.v[1]}};
+  }
+  static Half mulh(Half a, Half b) {
+    return {{a.v[0] * b.v[0], a.v[1] * b.v[1]}};
+  }
+};
+
+#if defined(__SSE2__)
+// Two 128-bit halves emulate the fixed 4-lane vector.
+struct Sse2Backend {
+  struct Vec {
+    __m128d lo, hi;
+  };
+  static Vec loadu(const double* p) {
+    return {_mm_loadu_pd(p), _mm_loadu_pd(p + 2)};
+  }
+  static void storeu(double* p, Vec a) {
+    _mm_storeu_pd(p, a.lo);
+    _mm_storeu_pd(p + 2, a.hi);
+  }
+  static Vec broadcast(double s) { return {_mm_set1_pd(s), _mm_set1_pd(s)}; }
+  static Vec add(Vec a, Vec b) {
+    return {_mm_add_pd(a.lo, b.lo), _mm_add_pd(a.hi, b.hi)};
+  }
+  static Vec mul(Vec a, Vec b) {
+    return {_mm_mul_pd(a.lo, b.lo), _mm_mul_pd(a.hi, b.hi)};
+  }
+  using Half = __m128d;
+  static Half loadh(const double* p) { return _mm_loadu_pd(p); }
+  static void storeh(double* p, Half a) { _mm_storeu_pd(p, a); }
+  static Half broadcasth(double s) { return _mm_set1_pd(s); }
+  static Half addh(Half a, Half b) { return _mm_add_pd(a, b); }
+  static Half mulh(Half a, Half b) { return _mm_mul_pd(a, b); }
+};
+#endif  // __SSE2__
+
+#if defined(__AVX2__)
+struct Avx2Backend {
+  struct Vec {
+    __m256d v;
+  };
+  static Vec loadu(const double* p) { return {_mm256_loadu_pd(p)}; }
+  static void storeu(double* p, Vec a) { _mm256_storeu_pd(p, a.v); }
+  static Vec broadcast(double s) { return {_mm256_set1_pd(s)}; }
+  static Vec add(Vec a, Vec b) { return {_mm256_add_pd(a.v, b.v)}; }
+  static Vec mul(Vec a, Vec b) { return {_mm256_mul_pd(a.v, b.v)}; }
+  using Half = __m128d;
+  static Half loadh(const double* p) { return _mm_loadu_pd(p); }
+  static void storeh(double* p, Half a) { _mm_storeu_pd(p, a); }
+  static Half broadcasth(double s) { return _mm_set1_pd(s); }
+  static Half addh(Half a, Half b) { return _mm_add_pd(a, b); }
+  static Half mulh(Half a, Half b) { return _mm_mul_pd(a, b); }
+};
+#endif  // __AVX2__
+
+#if defined(__aarch64__) && defined(__ARM_NEON)
+// Two 128-bit halves, like SSE2.
+struct NeonBackend {
+  struct Vec {
+    float64x2_t lo, hi;
+  };
+  static Vec loadu(const double* p) { return {vld1q_f64(p), vld1q_f64(p + 2)}; }
+  static void storeu(double* p, Vec a) {
+    vst1q_f64(p, a.lo);
+    vst1q_f64(p + 2, a.hi);
+  }
+  static Vec broadcast(double s) { return {vdupq_n_f64(s), vdupq_n_f64(s)}; }
+  static Vec add(Vec a, Vec b) {
+    return {vaddq_f64(a.lo, b.lo), vaddq_f64(a.hi, b.hi)};
+  }
+  static Vec mul(Vec a, Vec b) {
+    return {vmulq_f64(a.lo, b.lo), vmulq_f64(a.hi, b.hi)};
+  }
+  using Half = float64x2_t;
+  static Half loadh(const double* p) { return vld1q_f64(p); }
+  static void storeh(double* p, Half a) { vst1q_f64(p, a); }
+  static Half broadcasth(double s) { return vdupq_n_f64(s); }
+  static Half addh(Half a, Half b) { return vaddq_f64(a, b); }
+  static Half mulh(Half a, Half b) { return vmulq_f64(a, b); }
+};
+#endif  // __aarch64__ && __ARM_NEON
+
+// ---------------------------------------------------------------------------
+// Kernel bodies, templated on the backend.  The scalar column tails repeat
+// the vector-lane expression verbatim so c % 4 columns get the same bits.
+// ---------------------------------------------------------------------------
+
+/// acc[j] += Σ_k x[k] · w[k·c + j]; k blocked by 4 with the all-zero block
+/// skip of the original kernel (blank regions of the digit images).
+template <class B>
+void accumulate_rows_impl(const double* x, std::size_t d, std::size_t c,
+                          const double* w, double* acc) {
+  std::size_t k = 0;
+  for (; k + 4 <= d; k += 4) {
+    const double x0 = x[k];
+    const double x1 = x[k + 1];
+    const double x2 = x[k + 2];
+    const double x3 = x[k + 3];
+    if (x0 == 0.0 && x1 == 0.0 && x2 == 0.0 && x3 == 0.0) continue;
+    const double* w0 = w + k * c;
+    const double* w1 = w0 + c;
+    const double* w2 = w1 + c;
+    const double* w3 = w2 + c;
+    const auto vx0 = B::broadcast(x0);
+    const auto vx1 = B::broadcast(x1);
+    const auto vx2 = B::broadcast(x2);
+    const auto vx3 = B::broadcast(x3);
+    std::size_t j = 0;
+    for (; j + 4 <= c; j += 4) {
+      // t = ((x0·w0 + x1·w1) + x2·w2) + x3·w3;  acc += t — the exact
+      // association of the scalar kernel, per lane.
+      auto t = B::mul(vx0, B::loadu(w0 + j));
+      t = B::add(t, B::mul(vx1, B::loadu(w1 + j)));
+      t = B::add(t, B::mul(vx2, B::loadu(w2 + j)));
+      t = B::add(t, B::mul(vx3, B::loadu(w3 + j)));
+      B::storeu(acc + j, B::add(B::loadu(acc + j), t));
+    }
+    for (; j < c; ++j) {
+      acc[j] += x0 * w0[j] + x1 * w1[j] + x2 * w2[j] + x3 * w3[j];
+    }
+  }
+  for (; k < d; ++k) {
+    const double xv = x[k];
+    if (xv == 0.0) continue;
+    const double* wrow = w + k * c;
+    const auto vx = B::broadcast(xv);
+    std::size_t j = 0;
+    for (; j + 4 <= c; j += 4) {
+      B::storeu(acc + j,
+                B::add(B::loadu(acc + j), B::mul(vx, B::loadu(wrow + j))));
+    }
+    for (; j < c; ++j) acc[j] += xv * wrow[j];
+  }
+}
+
+/// accumulate_rows for the vector backends: the same interleaved body as
+/// accumulate_rows_impl, except the c % 4 column tail runs 2-wide in Half
+/// vectors before falling to the scalar expression for the last odd column.
+/// (Measured on rendered digit batches the rows are ~96% live 4-blocks, so
+/// the skip branch is well-predicted and cheaper than any branch-free
+/// indexing scheme.)  Per column j, the adds still land on acc[j] in
+/// ascending-k order with the identical expression tree; the skip set is
+/// the same predicate.
+template <class B>
+void accumulate_rows_vec_impl(const double* x, std::size_t d, std::size_t c,
+                              const double* w, double* acc) {
+  const std::size_t d_blocked = d - d % 4;
+  for (std::size_t k = 0; k < d_blocked; k += 4) {
+    const double x0 = x[k];
+    const double x1 = x[k + 1];
+    const double x2 = x[k + 2];
+    const double x3 = x[k + 3];
+    if (x0 == 0.0 && x1 == 0.0 && x2 == 0.0 && x3 == 0.0) continue;
+    const double* w0 = w + k * c;
+    const double* w1 = w0 + c;
+    const double* w2 = w1 + c;
+    const double* w3 = w2 + c;
+    const auto vx0 = B::broadcast(x0);
+    const auto vx1 = B::broadcast(x1);
+    const auto vx2 = B::broadcast(x2);
+    const auto vx3 = B::broadcast(x3);
+    std::size_t j = 0;
+    for (; j + 4 <= c; j += 4) {
+      auto t = B::mul(vx0, B::loadu(w0 + j));
+      t = B::add(t, B::mul(vx1, B::loadu(w1 + j)));
+      t = B::add(t, B::mul(vx2, B::loadu(w2 + j)));
+      t = B::add(t, B::mul(vx3, B::loadu(w3 + j)));
+      B::storeu(acc + j, B::add(B::loadu(acc + j), t));
+    }
+    if (j + 2 <= c) {
+      auto t = B::mulh(B::broadcasth(x0), B::loadh(w0 + j));
+      t = B::addh(t, B::mulh(B::broadcasth(x1), B::loadh(w1 + j)));
+      t = B::addh(t, B::mulh(B::broadcasth(x2), B::loadh(w2 + j)));
+      t = B::addh(t, B::mulh(B::broadcasth(x3), B::loadh(w3 + j)));
+      B::storeh(acc + j, B::addh(B::loadh(acc + j), t));
+      j += 2;
+    }
+    for (; j < c; ++j) {
+      acc[j] += x0 * w0[j] + x1 * w1[j] + x2 * w2[j] + x3 * w3[j];
+    }
+  }
+  for (std::size_t k = d_blocked; k < d; ++k) {
+    const double xv = x[k];
+    if (xv == 0.0) continue;
+    const double* wrow = w + k * c;
+    const auto vx = B::broadcast(xv);
+    std::size_t j = 0;
+    for (; j + 4 <= c; j += 4) {
+      B::storeu(acc + j,
+                B::add(B::loadu(acc + j), B::mul(vx, B::loadu(wrow + j))));
+    }
+    if (j + 2 <= c) {
+      const auto hx = B::broadcasth(xv);
+      B::storeh(acc + j,
+                B::addh(B::loadh(acc + j), B::mulh(hx, B::loadh(wrow + j))));
+      j += 2;
+    }
+    for (; j < c; ++j) acc[j] += xv * wrow[j];
+  }
+}
+
+/// accumulate_outer for the vector backends: interleaved body + Half tail,
+/// same bit-identity argument as accumulate_rows_vec_impl.
+template <class B>
+void accumulate_outer_vec_impl(const double* x, std::size_t d, std::size_t c,
+                               const double* err, double* out) {
+  const std::size_t d_blocked = d - d % 4;
+  for (std::size_t k = 0; k < d_blocked; k += 4) {
+    const double x0 = x[k];
+    const double x1 = x[k + 1];
+    const double x2 = x[k + 2];
+    const double x3 = x[k + 3];
+    if (x0 == 0.0 && x1 == 0.0 && x2 == 0.0 && x3 == 0.0) continue;
+    double* g0 = out + k * c;
+    double* g1 = g0 + c;
+    double* g2 = g1 + c;
+    double* g3 = g2 + c;
+    const auto vx0 = B::broadcast(x0);
+    const auto vx1 = B::broadcast(x1);
+    const auto vx2 = B::broadcast(x2);
+    const auto vx3 = B::broadcast(x3);
+    std::size_t j = 0;
+    for (; j + 4 <= c; j += 4) {
+      const auto e = B::loadu(err + j);
+      B::storeu(g0 + j, B::add(B::loadu(g0 + j), B::mul(vx0, e)));
+      B::storeu(g1 + j, B::add(B::loadu(g1 + j), B::mul(vx1, e)));
+      B::storeu(g2 + j, B::add(B::loadu(g2 + j), B::mul(vx2, e)));
+      B::storeu(g3 + j, B::add(B::loadu(g3 + j), B::mul(vx3, e)));
+    }
+    if (j + 2 <= c) {
+      const auto e = B::loadh(err + j);
+      B::storeh(g0 + j,
+                B::addh(B::loadh(g0 + j), B::mulh(B::broadcasth(x0), e)));
+      B::storeh(g1 + j,
+                B::addh(B::loadh(g1 + j), B::mulh(B::broadcasth(x1), e)));
+      B::storeh(g2 + j,
+                B::addh(B::loadh(g2 + j), B::mulh(B::broadcasth(x2), e)));
+      B::storeh(g3 + j,
+                B::addh(B::loadh(g3 + j), B::mulh(B::broadcasth(x3), e)));
+      j += 2;
+    }
+    for (; j < c; ++j) {
+      const double e = err[j];
+      g0[j] += x0 * e;
+      g1[j] += x1 * e;
+      g2[j] += x2 * e;
+      g3[j] += x3 * e;
+    }
+  }
+  for (std::size_t k = d_blocked; k < d; ++k) {
+    const double xv = x[k];
+    if (xv == 0.0) continue;
+    double* grow = out + k * c;
+    const auto vx = B::broadcast(xv);
+    std::size_t j = 0;
+    for (; j + 4 <= c; j += 4) {
+      B::storeu(grow + j,
+                B::add(B::loadu(grow + j), B::mul(vx, B::loadu(err + j))));
+    }
+    if (j + 2 <= c) {
+      const auto hx = B::broadcasth(xv);
+      B::storeh(grow + j,
+                B::addh(B::loadh(grow + j), B::mulh(hx, B::loadh(err + j))));
+      j += 2;
+    }
+    for (; j < c; ++j) grow[j] += xv * err[j];
+  }
+}
+
+/// out[k·c + j] += x[k] · err[j]; same blocking and sparse-skip.
+template <class B>
+void accumulate_outer_impl(const double* x, std::size_t d, std::size_t c,
+                           const double* err, double* out) {
+  std::size_t k = 0;
+  for (; k + 4 <= d; k += 4) {
+    const double x0 = x[k];
+    const double x1 = x[k + 1];
+    const double x2 = x[k + 2];
+    const double x3 = x[k + 3];
+    if (x0 == 0.0 && x1 == 0.0 && x2 == 0.0 && x3 == 0.0) continue;
+    double* g0 = out + k * c;
+    double* g1 = g0 + c;
+    double* g2 = g1 + c;
+    double* g3 = g2 + c;
+    const auto vx0 = B::broadcast(x0);
+    const auto vx1 = B::broadcast(x1);
+    const auto vx2 = B::broadcast(x2);
+    const auto vx3 = B::broadcast(x3);
+    std::size_t j = 0;
+    for (; j + 4 <= c; j += 4) {
+      const auto e = B::loadu(err + j);
+      B::storeu(g0 + j, B::add(B::loadu(g0 + j), B::mul(vx0, e)));
+      B::storeu(g1 + j, B::add(B::loadu(g1 + j), B::mul(vx1, e)));
+      B::storeu(g2 + j, B::add(B::loadu(g2 + j), B::mul(vx2, e)));
+      B::storeu(g3 + j, B::add(B::loadu(g3 + j), B::mul(vx3, e)));
+    }
+    for (; j < c; ++j) {
+      const double e = err[j];
+      g0[j] += x0 * e;
+      g1[j] += x1 * e;
+      g2[j] += x2 * e;
+      g3[j] += x3 * e;
+    }
+  }
+  for (; k < d; ++k) {
+    const double xv = x[k];
+    if (xv == 0.0) continue;
+    double* grow = out + k * c;
+    const auto vx = B::broadcast(xv);
+    std::size_t j = 0;
+    for (; j + 4 <= c; j += 4) {
+      B::storeu(grow + j,
+                B::add(B::loadu(grow + j), B::mul(vx, B::loadu(err + j))));
+    }
+    for (; j < c; ++j) grow[j] += xv * err[j];
+  }
+}
+
+template <class B>
+void add_impl(double* y, const double* x, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    B::storeu(y + i, B::add(B::loadu(y + i), B::loadu(x + i)));
+  }
+  for (; i < n; ++i) y[i] += x[i];
+}
+
+template <class B>
+void sub_impl(double* y, const double* x, std::size_t n) {
+  // Backends expose only add/mul, so subtraction is a + (−1·b).  That is
+  // bit-identical to a − b: multiplying by −1.0 is an exact sign flip and
+  // IEEE-754 defines a − b as a + (−b).
+  const auto neg1 = B::broadcast(-1.0);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    B::storeu(y + i, B::add(B::loadu(y + i), B::mul(B::loadu(x + i), neg1)));
+  }
+  for (; i < n; ++i) y[i] -= x[i];
+}
+
+template <class B>
+void scale_impl(double* y, std::size_t n, double s) {
+  const auto vs = B::broadcast(s);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    B::storeu(y + i, B::mul(B::loadu(y + i), vs));
+  }
+  for (; i < n; ++i) y[i] *= s;
+}
+
+template <class B>
+void axpy_impl(double* y, const double* x, std::size_t n, double alpha) {
+  const auto va = B::broadcast(alpha);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    B::storeu(y + i, B::add(B::loadu(y + i), B::mul(va, B::loadu(x + i))));
+  }
+  for (; i < n; ++i) y[i] += alpha * x[i];
+}
+
+}  // namespace eefei::ml::simd

@@ -83,5 +83,80 @@ TEST(LogSumExp, EmptyIsMinusInfinity) {
   EXPECT_TRUE(std::isinf(log_sum_exp({})));
 }
 
+// ---------------------------------------------------------------------------
+// Bit-exact pins of the current activation outputs on edge-case inputs.
+// These anchor the fused SIMD forward passes: the row kernels call these
+// exact functions, so if any of these pins move, every golden model
+// fingerprint moves with them.  Hexfloat literals record the precise bits
+// produced by the canonical op order (max-shift, ascending-index exp/sum,
+// multiply-by-reciprocal) under -ffp-contract=off.
+// ---------------------------------------------------------------------------
+
+TEST(Softmax, EqualLogitsPinExactFifth) {
+  // exp(0) = 1 per lane, sum = 5, inv = 1.0/5.0, each prob = 1 * inv —
+  // exactly the double literal 0.2.
+  std::vector<double> v(5, 3.0);
+  softmax_inplace(v);
+  for (const double x : v) EXPECT_DOUBLE_EQ(x, 0.2);
+}
+
+TEST(Softmax, SingleClassPinsExactOne) {
+  std::vector<double> v{123.456};
+  softmax_inplace(v);
+  EXPECT_DOUBLE_EQ(v[0], 1.0);
+}
+
+TEST(Softmax, LargePositiveRowPinsExactBits) {
+  // exp(710) alone would overflow; the max-shift makes the row finite and
+  // these exact bits are pinned.
+  std::vector<double> v{710.0, 709.0, 708.0};
+  softmax_inplace(v);
+  EXPECT_DOUBLE_EQ(v[0], 0x1.549a766a0679p-1);
+  EXPECT_DOUBLE_EQ(v[1], 0x1.f534335ca4bcep-3);
+  EXPECT_DOUBLE_EQ(v[2], 0x1.70c3e5f682bd9p-4);
+}
+
+TEST(Softmax, LargeNegativeRowPinsExactBits) {
+  // exp(-746) alone underflows to 0; shift-invariance means the bits equal
+  // the +710 row above.
+  std::vector<double> v{-745.0, -746.0, -747.0};
+  softmax_inplace(v);
+  EXPECT_DOUBLE_EQ(v[0], 0x1.549a766a0679p-1);
+  EXPECT_DOUBLE_EQ(v[1], 0x1.f534335ca4bcep-3);
+  EXPECT_DOUBLE_EQ(v[2], 0x1.70c3e5f682bd9p-4);
+}
+
+TEST(Softmax, MixedExtremeMagnitudesPinSaturatedRow) {
+  // v − mx = −2e308 overflows to −inf, exp(−inf) = 0: the dominated class
+  // is pinned at exactly 0, the max class at exactly 1.
+  std::vector<double> v{1e308, -1e308};
+  softmax_inplace(v);
+  EXPECT_DOUBLE_EQ(v[0], 1.0);
+  EXPECT_DOUBLE_EQ(v[1], 0.0);
+}
+
+TEST(Sigmoid, ClampBoundaryPinsExactBits) {
+  // The ±40 clamp saturates the positive side to exactly 1.0 (1 + exp(−40)
+  // rounds to 1) while the negative side stays a tiny nonzero double.
+  EXPECT_DOUBLE_EQ(sigmoid(40.0), 1.0);
+  EXPECT_DOUBLE_EQ(sigmoid(-40.0), 0x1.39792499b1a24p-58);
+  // Beyond the clamp the output is bit-identical to the boundary value.
+  EXPECT_DOUBLE_EQ(sigmoid(41.0), sigmoid(40.0));
+  EXPECT_DOUBLE_EQ(sigmoid(1e308), sigmoid(40.0));
+  EXPECT_DOUBLE_EQ(sigmoid(-41.0), sigmoid(-40.0));
+  EXPECT_DOUBLE_EQ(sigmoid(-1e308), sigmoid(-40.0));
+}
+
+TEST(LogSumExp, SingleElementPinsInputExactly) {
+  // mx + log(exp(0)) = mx + 0.0 — returns the input bit-for-bit.
+  const std::vector<double> v{0x1.23456789abcdep+3};
+  EXPECT_DOUBLE_EQ(log_sum_exp(v), 0x1.23456789abcdep+3);
+}
+
+TEST(LogSumExp, LargeNegativeRowPinsExactBits) {
+  const std::vector<double> v{-1000.0, -1001.0, -1002.0};
+  EXPECT_DOUBLE_EQ(log_sum_exp(v), -0x1.f3cbd39158874p+9);
+}
+
 }  // namespace
 }  // namespace eefei::ml

@@ -35,6 +35,34 @@ void operator delete[](void* p) noexcept { std::free(p); }
 void operator delete(void* p, std::size_t) noexcept { std::free(p); }
 void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
 
+// Over-aligned flavours: AlignedVector (ml/aligned.h) allocates workspace
+// and Matrix storage through these, so they must be counted too or the
+// zero-allocation proof would silently skip every 64-byte-aligned tensor
+// buffer.
+void* operator new(std::size_t size, std::align_val_t align) {
+  ++g_allocations;
+  if (void* p =
+          std::aligned_alloc(static_cast<std::size_t>(align),
+                             (size + static_cast<std::size_t>(align) - 1) &
+                                 ~(static_cast<std::size_t>(align) - 1))) {
+    return p;
+  }
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return operator new(size, align);
+}
+
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+
 namespace eefei::ml {
 namespace {
 

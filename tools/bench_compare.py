@@ -3,6 +3,7 @@
 
 Usage:
     bench_compare.py [--fail-above FRAC] [--filter REGEX] CURRENT [BASELINE]
+    bench_compare.py --update-baselines CURRENT BASELINE
 
 CURRENT and BASELINE are BENCH_*.json files or directories containing them.
 With only CURRENT, prints the recorded metrics (including any speedups the
@@ -14,9 +15,17 @@ any compared metric is more than FRAC slower than its baseline (e.g. 0.15
 fails on a >15% ns_per_op regression).  --filter REGEX restricts the gate
 (and the report) to metric names matching REGEX, so throughput metrics can
 be gated while incidental ones (RSS, energy) are merely printed elsewhere.
+Under --fail-above, a gated metric that is *absent from the baseline* is an
+error naming the offending key: a gate that silently treats new metrics as
+"first recordings" would wave through a renamed (= unguarded) metric.  Fix
+by refreshing the snapshot with --update-baselines.
 
-Missing baselines or metrics are reported as first recordings, never
-errors — without --fail-above the tooling is no-op-tolerant by design
+--update-baselines copies CURRENT's BENCH_*.json files into BASELINE
+(a directory, created if needed) and exits — the one-liner for refreshing
+bench/baselines/ after an intentional perf or metric change.
+
+Without --fail-above, missing baselines or metrics are reported as first
+recordings, never errors — the tooling is no-op-tolerant by design
 (exit code 0).
 """
 
@@ -24,20 +33,25 @@ import argparse
 import json
 import os
 import re
+import shutil
 import sys
+
+
+def bench_files(path):
+    """The BENCH_*.json files under `path` (itself, if it is a file)."""
+    if os.path.isdir(path):
+        return sorted(
+            os.path.join(path, f)
+            for f in os.listdir(path)
+            if f.startswith("BENCH_") and f.endswith(".json")
+        )
+    return [path]
 
 
 def load(path):
     """{bench_name: {metric_name: ns_per_op}} for a file or directory."""
     out = {}
-    if os.path.isdir(path):
-        files = sorted(
-            os.path.join(path, f)
-            for f in os.listdir(path)
-            if f.startswith("BENCH_") and f.endswith(".json")
-        )
-    else:
-        files = [path]
+    files = bench_files(path)
     for f in files:
         try:
             with open(f) as fh:
@@ -58,7 +72,9 @@ def fmt_ns(ns):
     for unit, div in (("s", 1e9), ("ms", 1e6), ("us", 1e3)):
         if ns >= div:
             return f"{ns / div:.3f} {unit}"
-    return f"{ns:.0f} ns"
+    # .4g keeps sub-1.0 deterministic metrics (losses, joules) readable;
+    # the unit is only meaningful for actual timings.
+    return f"{ns:.4g}"
 
 
 def main(argv):
@@ -80,7 +96,26 @@ def main(argv):
         metavar="REGEX",
         help="only consider metric names matching this regex",
     )
+    parser.add_argument(
+        "--update-baselines",
+        action="store_true",
+        help="copy CURRENT's BENCH_*.json files into the BASELINE directory",
+    )
     args = parser.parse_args(argv[1:])
+
+    if args.update_baselines:
+        if not args.baseline:
+            parser.error("--update-baselines needs both CURRENT and BASELINE")
+        files = [f for f in bench_files(args.current) if os.path.isfile(f)]
+        if not files:
+            print(f"note: no BENCH_*.json found in {args.current}")
+            return 1
+        os.makedirs(args.baseline, exist_ok=True)
+        for f in files:
+            dest = os.path.join(args.baseline, os.path.basename(f))
+            shutil.copyfile(f, dest)
+            print(f"updated {dest}")
+        return 0
 
     current = load(args.current)
     baseline = load(args.baseline) if args.baseline else {}
@@ -90,6 +125,7 @@ def main(argv):
         return 0
 
     regressions = []
+    unbaselined = []
     for bench, metrics in current.items():
         print(f"== {bench} ==")
         base = baseline.get(bench, {})
@@ -101,17 +137,41 @@ def main(argv):
             ref = base.get(name, {}).get("ns_per_op")
             if ref is None:
                 ref = m.get("baseline_ns_per_op")
-            if ref and ns > 0:
-                line += f"   {ref / ns:6.2f}x vs baseline ({fmt_ns(ref)})"
+            if ref is not None:
+                if ref > 0 and ns > 0:
+                    line += f"   {ref / ns:6.2f}x vs baseline ({fmt_ns(ref)})"
+                else:
+                    # A legitimately-zero deterministic metric (e.g. retry
+                    # joules in the fault-free column): compare exactly.
+                    line += f"   baseline {fmt_ns(ref)}"
                 if (
                     args.fail_above is not None
                     and ns > ref * (1.0 + args.fail_above)
                 ):
-                    regressions.append((bench, name, ns / ref - 1.0))
+                    frac = ns / ref - 1.0 if ref > 0 else float("inf")
+                    regressions.append((bench, name, frac))
                     line += "   REGRESSION"
             elif baseline or "baseline_ns_per_op" not in m:
-                line += "   (first recording, no baseline)"
+                if args.fail_above is not None:
+                    unbaselined.append((bench, name))
+                    line += "   MISSING FROM BASELINE"
+                else:
+                    line += "   (first recording, no baseline)"
             print(line)
+
+    if unbaselined:
+        print(
+            f"\nFAIL: {len(unbaselined)} gated metric(s) missing from the "
+            "baseline — the gate cannot vouch for them:"
+        )
+        for bench, name in unbaselined:
+            print(f"  {bench}: metric {name!r} has no baseline entry")
+        print(
+            "If the new metric (or rename) is intentional, refresh the "
+            "snapshot:\n  bench_compare.py --update-baselines "
+            f"{args.current} {args.baseline or '<baseline-dir>'}"
+        )
+        return 1
 
     if regressions:
         print(
@@ -119,7 +179,8 @@ def main(argv):
             f"{args.fail_above:.0%}:"
         )
         for bench, name, frac in regressions:
-            print(f"  {bench}: {name} is {frac:+.1%} slower than baseline")
+            delta = "nonzero vs a zero" if frac == float("inf") else f"{frac:+.1%} slower than"
+            print(f"  {bench}: {name} is {delta} baseline")
         return 1
     if args.fail_above is not None:
         print(f"\nOK: no metric regressed beyond {args.fail_above:.0%}")
