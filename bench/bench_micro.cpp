@@ -114,6 +114,119 @@ void BM_AccumulateOuterScalar(benchmark::State& state) {
 }
 BENCHMARK(BM_AccumulateOuterScalar)->Args({784, 10})->Args({784, 256});
 
+// ---------------------------------------------------------------------------
+// Batched (multi-model) kernel benchmarks: one indirect call covers K
+// independent packed problems — the ModelBank hot loop.  K = 1 prices the
+// packed representation itself; K ∈ {4, 10, 64} shows the dispatch/locality
+// amortization at fleet-round model counts.
+// ---------------------------------------------------------------------------
+
+struct BatchedProblems {
+  std::vector<ml::AlignedVector> block_x;
+  std::vector<std::vector<std::uint32_t>> run_off;
+  std::vector<std::vector<std::uint32_t>> run_blocks;
+  std::vector<ml::AlignedVector> tail_x;
+  std::vector<std::vector<std::uint32_t>> tail_off;
+  std::vector<ml::AlignedVector> w, acc, err, out;
+  std::vector<ml::simd::RowsBatchArg> rows;
+  std::vector<ml::simd::OuterBatchArg> outer;
+
+  BatchedProblems(const data::Dataset& ds, std::size_t k, std::size_t d,
+                  std::size_t c) {
+    Rng rng(17);
+    for (std::size_t m = 0; m < k; ++m) {
+      const double* x = ds.view().features.data() + (m % ds.size()) * d;
+      block_x.emplace_back((d / 4) * 4);
+      run_off.emplace_back(d / 4);
+      run_blocks.emplace_back(d / 4);
+      tail_x.emplace_back(d % 4 + 1);
+      tail_off.emplace_back(d % 4 + 1);
+      const auto counts = ml::simd::pack_sample(
+          x, d, c, block_x.back().data(), run_off.back().data(),
+          run_blocks.back().data(), tail_x.back().data(),
+          tail_off.back().data());
+      w.emplace_back(d * c);
+      for (auto& v : w.back()) v = rng.normal();
+      acc.emplace_back(c, 0.0);
+      err.emplace_back(c);
+      for (auto& v : err.back()) v = rng.normal();
+      out.emplace_back(d * c, 0.0);
+      const ml::simd::PackedSample sample{
+          block_x.back().data(), run_off.back().data(),
+          run_blocks.back().data(), counts.runs,
+          tail_x.back().data(),  tail_off.back().data(),  counts.tail};
+      rows.push_back({sample, w.back().data(), acc.back().data()});
+      outer.push_back({sample, err.back().data(), out.back().data()});
+    }
+  }
+};
+
+void RunAccumulateRowsBatched(benchmark::State& state,
+                              const ml::simd::KernelTable& table) {
+  const auto k = static_cast<std::size_t>(state.range(0));
+  const auto d = static_cast<std::size_t>(state.range(1));
+  const auto c = static_cast<std::size_t>(state.range(2));
+  const data::Dataset ds = make_batch(64, 28);
+  BatchedProblems p(ds, k, d, c);
+  for (auto _ : state) {
+    table.accumulate_rows_batched(p.rows.data(), k, c);
+    benchmark::DoNotOptimize(p.rows.data());
+  }
+  state.SetBytesProcessed(
+      static_cast<std::int64_t>(state.iterations()) *
+      static_cast<std::int64_t>(k * (d + d * c + 2 * c) * sizeof(double)));
+}
+
+void BM_AccumulateRowsBatched(benchmark::State& state) {
+  RunAccumulateRowsBatched(state, ml::simd::kernels());
+}
+BENCHMARK(BM_AccumulateRowsBatched)
+    ->Args({1, 784, 10})->Args({4, 784, 10})->Args({10, 784, 10})
+    ->Args({64, 784, 10})->Args({1, 784, 256})->Args({4, 784, 256})
+    ->Args({10, 784, 256})->Args({64, 784, 256});
+
+void BM_AccumulateRowsBatchedScalar(benchmark::State& state) {
+  RunAccumulateRowsBatched(state,
+                           *ml::simd::kernels_for(ml::simd::Isa::kScalar));
+}
+BENCHMARK(BM_AccumulateRowsBatchedScalar)
+    ->Args({1, 784, 10})->Args({4, 784, 10})->Args({10, 784, 10})
+    ->Args({64, 784, 10})->Args({1, 784, 256})->Args({4, 784, 256})
+    ->Args({10, 784, 256})->Args({64, 784, 256});
+
+void RunAccumulateOuterBatched(benchmark::State& state,
+                               const ml::simd::KernelTable& table) {
+  const auto k = static_cast<std::size_t>(state.range(0));
+  const auto d = static_cast<std::size_t>(state.range(1));
+  const auto c = static_cast<std::size_t>(state.range(2));
+  const data::Dataset ds = make_batch(64, 28);
+  BatchedProblems p(ds, k, d, c);
+  for (auto _ : state) {
+    table.accumulate_outer_batched(p.outer.data(), k, c);
+    benchmark::DoNotOptimize(p.outer.data());
+  }
+  state.SetBytesProcessed(
+      static_cast<std::int64_t>(state.iterations()) *
+      static_cast<std::int64_t>(k * (d + c + 2 * d * c) * sizeof(double)));
+}
+
+void BM_AccumulateOuterBatched(benchmark::State& state) {
+  RunAccumulateOuterBatched(state, ml::simd::kernels());
+}
+BENCHMARK(BM_AccumulateOuterBatched)
+    ->Args({1, 784, 10})->Args({4, 784, 10})->Args({10, 784, 10})
+    ->Args({64, 784, 10})->Args({1, 784, 256})->Args({4, 784, 256})
+    ->Args({10, 784, 256})->Args({64, 784, 256});
+
+void BM_AccumulateOuterBatchedScalar(benchmark::State& state) {
+  RunAccumulateOuterBatched(state,
+                            *ml::simd::kernels_for(ml::simd::Isa::kScalar));
+}
+BENCHMARK(BM_AccumulateOuterBatchedScalar)
+    ->Args({1, 784, 10})->Args({4, 784, 10})->Args({10, 784, 10})
+    ->Args({64, 784, 10})->Args({1, 784, 256})->Args({4, 784, 256})
+    ->Args({10, 784, 256})->Args({64, 784, 256});
+
 void BM_LrLossAndGradient(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
   const data::Dataset ds = make_batch(n, 28);

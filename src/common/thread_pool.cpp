@@ -108,7 +108,11 @@ void ThreadPool::parallel_for(std::size_t n,
   obs::Tracer::WallSpan span(obs::tracer(), "pool.parallel_for", "host.pool",
                              {{"n", static_cast<double>(n)}});
   // A few chunks per worker balances load without per-index queue traffic.
-  const std::size_t chunks = std::min(n, size() * 4);
+  // plan_chunks keeps every chunk non-empty and collapses small loops
+  // (workers < n < 4·workers) to one chunk per worker — the old
+  // min(n, 4·workers) rule queued n single-index tasks there, which for a
+  // handful of ModelBank chunks cost more in queue traffic than the work.
+  const std::size_t chunks = plan_chunks(n, size());
   std::vector<std::future<void>> futures;
   futures.reserve(chunks);
   for (std::size_t ci = 0; ci < chunks; ++ci) {

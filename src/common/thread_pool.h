@@ -66,6 +66,19 @@ class ThreadPool {
   /// is itself draining).
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
 
+  /// Chunk count parallel_for uses for n items on `workers` workers.  Every
+  /// chunk covers at least one index (no empty submissions), small loops
+  /// (n < 4·workers) get exactly one chunk per worker instead of one task
+  /// per index, and large loops get 4 chunks per worker for load balance.
+  /// Exposed for the chunking regression test.
+  [[nodiscard]] static std::size_t plan_chunks(std::size_t n,
+                                               std::size_t workers) {
+    if (n == 0 || workers == 0) return n == 0 ? 0 : 1;
+    if (n <= workers) return n;
+    if (n < workers * 4) return workers;
+    return workers * 4;
+  }
+
   [[nodiscard]] std::size_t size() const { return workers_.size(); }
 
  private:

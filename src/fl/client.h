@@ -65,6 +65,21 @@ class Client {
   /// by the convergence-constant calibration.
   [[nodiscard]] double local_loss(std::span<const double> params) const;
 
+  /// The batch train() sweeps each round (full shard or the sample_limit
+  /// prefix) — what the coordinator hands to ml::ModelBank.
+  [[nodiscard]] ml::BatchView local_batch() const { return batch(); }
+
+  /// True when this client's train() takes exactly the path ModelBank
+  /// replicates: a logistic-regression model, full-batch GD (no mini-batch
+  /// shuffling), plain FedAvg (no proximal term) and momentum-free SGD.
+  /// The coordinator falls back to the serial path otherwise.
+  [[nodiscard]] bool bank_eligible() const {
+    return config_.model.kind == ml::ModelKind::kLogisticRegression &&
+           (config_.batch_size == 0 ||
+            config_.batch_size >= num_samples()) &&
+           config_.proximal_mu == 0.0 && config_.sgd.momentum == 0.0;
+  }
+
  private:
   [[nodiscard]] ml::BatchView batch() const;
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cmath>
 
 #include "ml/model_spec.h"
 #include "ml/quantize.h"
@@ -93,6 +94,9 @@ Result<TrainingOutcome> Coordinator::run() {
     }
 
     // Local training — every client trains from ω_t at the round-t lr.
+    // Eligible rounds go through the batched ModelBank path (bit-identical
+    // to the serial loop below); the serial path is the reference and the
+    // fallback for mini-batch / FedProx / momentum / MLP configs and K = 1.
     std::vector<LocalTrainResult> updates(selected.size());
     auto train_one = [&](std::size_t i) {
       updates[i] =
@@ -103,10 +107,12 @@ Result<TrainingOutcome> Coordinator::run() {
           obs::tracer(), "fl.train", "host.fl",
           {{"round", static_cast<double>(t)},
            {"clients", static_cast<double>(selected.size())}});
-      if (pool) {
-        pool->parallel_for(selected.size(), train_one);
-      } else {
-        for (std::size_t i = 0; i < selected.size(); ++i) train_one(i);
+      if (!train_batched(global, selected, t, updates)) {
+        if (pool) {
+          pool->parallel_for(selected.size(), train_one);
+        } else {
+          for (std::size_t i = 0; i < selected.size(); ++i) train_one(i);
+        }
       }
     }
 
@@ -252,6 +258,76 @@ Result<TrainingOutcome> Coordinator::run() {
 
   outcome.final_params = std::move(global);
   return outcome;
+}
+
+bool Coordinator::train_batched(std::span<const double> global,
+                                std::span<const ClientId> selected,
+                                std::size_t round,
+                                std::vector<LocalTrainResult>& updates) {
+  if (!config_.batched_training || selected.size() < 2) return false;
+  const ClientConfig& cfg0 = (*clients_)[selected[0]].config();
+  for (const ClientId id : selected) {
+    const Client& client = (*clients_)[id];
+    if (!client.bank_eligible()) return false;
+    // The bank trains every model with one shape and schedule; mixed
+    // populations fall back to the per-client path.
+    const ClientConfig& cfg = client.config();
+    if (cfg.model.kind != cfg0.model.kind ||
+        cfg.model.input_dim != cfg0.model.input_dim ||
+        cfg.model.num_classes != cfg0.model.num_classes ||
+        cfg.model.activation != cfg0.model.activation ||
+        cfg.model.l2_lambda != cfg0.model.l2_lambda ||
+        cfg.sgd.learning_rate != cfg0.sgd.learning_rate ||
+        cfg.sgd.decay != cfg0.sgd.decay) {
+      return false;
+    }
+  }
+
+  // The round-t learning rate, evaluated with the exact expression
+  // Client::train uses (constant across the E local epochs).
+  const double lr = cfg0.sgd.learning_rate *
+                    std::pow(cfg0.sgd.decay, static_cast<double>(round));
+
+  const std::size_t k = selected.size();
+  const std::size_t banks =
+      pool_ != nullptr ? std::min(k, pool_->size()) : std::size_t{1};
+  if (train_banks_.size() < banks) train_banks_.resize(banks);
+  if (bank_tasks_.size() < banks) bank_tasks_.resize(banks);
+
+  // One contiguous chunk of models per bank.  Models are independent, so
+  // the partition (and the thread count) cannot change any model's bits.
+  auto run_chunk = [&](std::size_t b) {
+    const std::size_t begin = k * b / banks;
+    const std::size_t end = k * (b + 1) / banks;
+    ml::ModelBank& bank = train_banks_[b];
+    bank.configure(cfg0.model.lr_config());
+    std::vector<ml::ModelBank::Task>& tasks = bank_tasks_[b];
+    tasks.resize(end - begin);
+    for (std::size_t i = begin; i < end; ++i) {
+      ml::ModelBank::Task& task = tasks[i - begin];
+      task.batch = (*clients_)[selected[i]].local_batch();
+      task.epochs = config_.local_epochs;
+      task.learning_rate = lr;
+    }
+    bank.train(global, tasks);
+    for (std::size_t i = begin; i < end; ++i) {
+      const ml::ModelBank::Task& task = tasks[i - begin];
+      const auto params = bank.params_of(i - begin);
+      LocalTrainResult& update = updates[i];
+      update.client = (*clients_)[selected[i]].id();
+      update.params.assign(params.begin(), params.end());
+      update.initial_loss = task.initial_loss;
+      update.final_loss = task.final_loss;
+      update.epochs_run = config_.local_epochs;
+      update.samples_used = task.batch.size();
+    }
+  };
+  if (pool_ != nullptr && banks > 1) {
+    pool_->parallel_for(banks, run_chunk);
+  } else {
+    for (std::size_t b = 0; b < banks; ++b) run_chunk(b);
+  }
+  return true;
 }
 
 double Coordinator::evaluate_loss(std::span<const double> params) const {

@@ -19,6 +19,7 @@
 #include "fl/selection.h"
 #include "fl/server_optimizer.h"
 #include "fl/training_record.h"
+#include "ml/model_bank.h"
 #include "ml/serialize.h"
 
 namespace eefei::fl {
@@ -59,6 +60,13 @@ struct CoordinatorConfig {
   /// Autosave a TrainingCheckpoint to the registered sink every this many
   /// completed rounds (0 = off).
   std::size_t checkpoint_every = 0;
+  /// Batched multi-model local training: eligible rounds (K > 1 logistic-
+  /// regression clients on the full-batch FedAvg path) train through
+  /// ml::ModelBank — packed batched SIMD kernels, one arena per worker —
+  /// instead of one Client::train call per model.  Results are bit-identical
+  /// to the serial path for any K and thread count (pinned by
+  /// tests/test_model_bank.cpp); disable to force the per-client reference.
+  bool batched_training = true;
 };
 
 struct TrainingOutcome {
@@ -141,6 +149,16 @@ class Coordinator {
  private:
   [[nodiscard]] double evaluate_loss(std::span<const double> params) const;
 
+  /// Batched local training for one round: partitions the selected clients
+  /// into one contiguous chunk per worker, each trained by that worker's
+  /// ModelBank.  Returns false — leaving `updates` untouched — when any
+  /// selected client is ineligible (see Client::bank_eligible) or the
+  /// clients' training configs disagree; the caller then runs the serial
+  /// per-client path.
+  bool train_batched(std::span<const double> global,
+                     std::span<const ClientId> selected, std::size_t round,
+                     std::vector<LocalTrainResult>& updates);
+
   /// Pool for this config's thread count: null for serial, the shared
   /// process-wide pool when sizes match, else a lazily-created pool owned
   /// by (and reused across run() calls of) this coordinator.
@@ -167,6 +185,11 @@ class Coordinator {
   ml::ModelBlob round_payload_;
   mutable std::unique_ptr<ml::Model> eval_model_;
   mutable std::vector<ml::Workspace> eval_workspaces_;
+  /// One bank (and task list) per worker for the batched training path,
+  /// reused across rounds so steady-state training is allocation-free
+  /// inside the banks.
+  std::vector<ml::ModelBank> train_banks_;
+  std::vector<std::vector<ml::ModelBank::Task>> bank_tasks_;
 };
 
 }  // namespace eefei::fl

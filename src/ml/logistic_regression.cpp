@@ -12,6 +12,23 @@ namespace {
 constexpr double kProbFloor = 1e-12;  // avoids log(0) on saturated heads
 }
 
+void lr_accumulate_row_loss(Activation activation, const double* probs,
+                            int label, std::size_t num_classes,
+                            double& loss_sum) {
+  if (activation == Activation::kSoftmax) {
+    // Multinomial cross-entropy: −log p_y.
+    loss_sum -= std::log(
+        std::max(probs[static_cast<std::size_t>(label)], kProbFloor));
+    return;
+  }
+  // One-vs-all binary cross-entropy summed over classes.
+  for (std::size_t j = 0; j < num_classes; ++j) {
+    const double p = std::clamp(probs[j], kProbFloor, 1.0 - kProbFloor);
+    const double y = (static_cast<std::size_t>(label) == j) ? 1.0 : 0.0;
+    loss_sum -= y * std::log(p) + (1.0 - y) * std::log(1.0 - p);
+  }
+}
+
 LogisticRegression::LogisticRegression(LogisticRegressionConfig config,
                                        Rng* init_rng)
     : config_(config),
@@ -42,19 +59,8 @@ void LogisticRegression::forward_row(const double* x, double* out) const {
 
 void LogisticRegression::accumulate_row_loss(const double* probs, int label,
                                              double& loss_sum) const {
-  const std::size_t c = config_.num_classes;
-  if (config_.activation == Activation::kSoftmax) {
-    // Multinomial cross-entropy: −log p_y.
-    loss_sum -= std::log(
-        std::max(probs[static_cast<std::size_t>(label)], kProbFloor));
-    return;
-  }
-  // One-vs-all binary cross-entropy summed over classes.
-  for (std::size_t j = 0; j < c; ++j) {
-    const double p = std::clamp(probs[j], kProbFloor, 1.0 - kProbFloor);
-    const double y = (static_cast<std::size_t>(label) == j) ? 1.0 : 0.0;
-    loss_sum -= y * std::log(p) + (1.0 - y) * std::log(1.0 - p);
-  }
+  lr_accumulate_row_loss(config_.activation, probs, label,
+                         config_.num_classes, loss_sum);
 }
 
 double LogisticRegression::penalty() const {

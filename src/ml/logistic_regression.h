@@ -23,6 +23,15 @@ struct LogisticRegressionConfig {
   double init_stddev = 0.0;
 };
 
+/// Adds the data loss of one example (given its forward-pass probabilities;
+/// no mean, no L2) onto `loss_sum`, term-by-term in class order.  Shared by
+/// LogisticRegression and ml::ModelBank so the two paths cannot diverge —
+/// the batched trainer's bit-identity to the serial model depends on both
+/// running this exact expression sequence.
+void lr_accumulate_row_loss(Activation activation, const double* probs,
+                            int label, std::size_t num_classes,
+                            double& loss_sum);
+
 class LogisticRegression final : public Model {
  public:
   explicit LogisticRegression(LogisticRegressionConfig config,

@@ -1,0 +1,218 @@
+#include "ml/model_bank.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+#include "ml/activations.h"
+
+namespace eefei::ml {
+
+namespace {
+
+constexpr std::size_t kSlotAlign = kTensorAlignment / sizeof(double);
+
+std::size_t round_up(std::size_t n, std::size_t multiple) {
+  return (n + multiple - 1) / multiple * multiple;
+}
+
+void ensure_doubles(AlignedVector& buf, std::size_t n) {
+  if (buf.size() < n) buf.resize(n);
+}
+
+template <class T>
+void ensure_items(std::vector<T>& buf, std::size_t n) {
+  if (buf.size() < n) buf.resize(n);
+}
+
+}  // namespace
+
+void ModelBank::configure(const LogisticRegressionConfig& config) {
+  assert(config.input_dim > 0 && config.num_classes >= 2);
+  // Packed offsets are k·c in 32 bits (simd::PackedSample).
+  assert(config.input_dim * config.num_classes <=
+         std::numeric_limits<std::uint32_t>::max());
+  config_ = config;
+  param_count_ = config.input_dim * config.num_classes + config.num_classes;
+  param_stride_ = round_up(param_count_, kSlotAlign);
+  probs_stride_ = round_up(config.num_classes, kSlotAlign);
+}
+
+double ModelBank::penalty(const double* params) const {
+  if (config_.l2_lambda <= 0.0) return 0.0;
+  double sq = 0.0;
+  for (std::size_t i = 0; i < param_count_; ++i) sq += params[i] * params[i];
+  return 0.5 * config_.l2_lambda * sq;
+}
+
+void ModelBank::prepare_round(std::span<Task> tasks) {
+  const std::size_t k = tasks.size();
+  const std::size_t d = config_.input_dim;
+  const std::size_t c = config_.num_classes;
+
+  std::size_t total_samples = 0;
+  for (const Task& t : tasks) {
+    assert(t.batch.valid());
+    assert(t.batch.feature_dim == d);
+    total_samples += t.batch.size();
+  }
+  ensure_doubles(block_x_, total_samples * (d / simd::kLanes) * simd::kLanes);
+  ensure_items(run_off_, total_samples * (d / simd::kLanes));
+  ensure_items(run_blocks_, total_samples * (d / simd::kLanes));
+  ensure_doubles(tail_x_, total_samples * (d % simd::kLanes));
+  ensure_items(tail_off_, total_samples * (d % simd::kLanes));
+  ensure_items(packed_, total_samples);
+  ensure_items(packed_base_, k);
+
+  // Pack every (task, sample) row once; the E training sweeps plus the
+  // final evaluation all replay these entries.
+  std::size_t sample_ix = 0;
+  std::size_t block_ix = 0;
+  std::size_t run_ix = 0;
+  std::size_t tail_ix = 0;
+  for (std::size_t i = 0; i < k; ++i) {
+    packed_base_[i] = sample_ix;
+    const BatchView& batch = tasks[i].batch;
+    const std::size_t n = batch.size();
+    for (std::size_t s = 0; s < n; ++s, ++sample_ix) {
+      double* bx = block_x_.data() + block_ix * simd::kLanes;
+      std::uint32_t* ro = run_off_.data() + run_ix;
+      std::uint32_t* rb = run_blocks_.data() + run_ix;
+      double* tx = tail_x_.data() + tail_ix;
+      std::uint32_t* to = tail_off_.data() + tail_ix;
+      const simd::PackedCounts counts = simd::pack_sample(
+          batch.features.data() + s * d, d, c, bx, ro, rb, tx, to);
+      packed_[sample_ix] = {bx, ro, rb, counts.runs, tx, to, counts.tail};
+      block_ix += counts.blocks;
+      run_ix += counts.runs;
+      tail_ix += counts.tail;
+    }
+  }
+
+  std::size_t max_n = 0;
+  for (const Task& t : tasks) max_n = std::max(max_n, t.batch.size());
+  ensure_doubles(params_, k * param_stride_);
+  ensure_doubles(grads_, k * param_stride_);
+  ensure_doubles(probs_, max_n * probs_stride_);
+  ensure_items(rows_args_, max_n);
+  ensure_items(outer_args_, max_n);
+}
+
+void ModelBank::train(std::span<const double> global, std::span<Task> tasks) {
+  assert(global.size() == param_count_);
+  const std::size_t k = tasks.size();
+  if (k == 0) return;
+  const std::size_t d = config_.input_dim;
+  const std::size_t c = config_.num_classes;
+  const std::size_t wc = d * c;  // bias offset within a parameter slot
+  const simd::KernelTable& kt = simd::kernels();
+
+  prepare_round(tasks);
+
+  for (std::size_t i = 0; i < k; ++i) {
+    double* params = params_.data() + i * param_stride_;
+    std::copy(global.begin(), global.end(), params);
+  }
+
+  // Model-major sweep: each model runs its whole local problem before the
+  // next starts, so its parameter/gradient slot stays cache-hot, and each
+  // kernel call batches the model's n samples.  Per epoch the serial
+  // reference's exact sequence — zeroed gradient, ascending-sample
+  // forward/backward, mean + penalty loss, mean-scaled gradient, L2 term,
+  // params −= lr·grad — re-phased per the header's determinism argument.
+  for (std::size_t i = 0; i < k; ++i) {
+    Task& task = tasks[i];
+    const std::size_t n = task.batch.size();
+    double* params = params_.data() + i * param_stride_;
+    double* grad = grads_.data() + i * param_stride_;
+    double* gb = grad + wc;
+    const simd::PackedSample* rows = packed_.data() + packed_base_[i];
+
+    // Kernel argument batches are invariant across this task's epochs —
+    // every epoch touches the same packed rows, parameter slot, gradient
+    // slot and activation rows — so they are built once per task.
+    for (std::size_t s = 0; s < n; ++s) {
+      double* row = probs_.data() + s * probs_stride_;
+      rows_args_[s].x = rows[s];
+      rows_args_[s].w = params;
+      rows_args_[s].acc = row;
+      outer_args_[s].x = rows[s];
+      outer_args_[s].err = row;
+      outer_args_[s].out = grad;
+    }
+
+    for (std::size_t e = 0; e < task.epochs; ++e) {
+      std::fill(grad, grad + param_count_, 0.0);
+      double loss_sum = 0.0;
+
+      // Forward phase: bias copy + batched packed accumulate_rows over
+      // every sample of this model.
+      for (std::size_t s = 0; s < n; ++s) {
+        double* row = probs_.data() + s * probs_stride_;
+        for (std::size_t j = 0; j < c; ++j) row[j] = params[wc + j];
+      }
+      kt.accumulate_rows_batched(rows_args_.data(), n, c);
+
+      // Scalar phase: activation, row loss, error signal, ascending s.
+      for (std::size_t s = 0; s < n; ++s) {
+        double* row = probs_.data() + s * probs_stride_;
+        std::span<double> row_span(row, c);
+        if (config_.activation == Activation::kSoftmax) {
+          softmax_inplace(row_span);
+        } else {
+          sigmoid_inplace(row_span);
+        }
+        const int label = task.batch.labels[s];
+        lr_accumulate_row_loss(config_.activation, row, label, c, loss_sum);
+        row[static_cast<std::size_t>(label)] -= 1.0;  // p − y
+      }
+
+      // Backward phase: all samples accumulate into this model's gradient
+      // in argument (= ascending sample) order, then the bias rows.
+      kt.accumulate_outer_batched(outer_args_.data(), n, c);
+      for (std::size_t s = 0; s < n; ++s) {
+        const double* row = probs_.data() + s * probs_stride_;
+        for (std::size_t j = 0; j < c; ++j) gb[j] += row[j];
+      }
+
+      const double loss = loss_sum / static_cast<double>(n) + penalty(params);
+      if (e == 0) task.initial_loss = loss;
+      const double inv_n = 1.0 / static_cast<double>(n);
+      for (std::size_t p = 0; p < param_count_; ++p) grad[p] *= inv_n;
+      if (config_.l2_lambda > 0.0) {
+        for (std::size_t p = 0; p < param_count_; ++p) {
+          grad[p] += config_.l2_lambda * params[p];
+        }
+      }
+      const double lr = task.learning_rate;
+      for (std::size_t p = 0; p < param_count_; ++p) {
+        params[p] -= lr * grad[p];
+      }
+    }
+
+    // Final evaluation at the trained parameters — the serial client's
+    // model->evaluate(view) — replaying the same packed rows.
+    double loss_sum = 0.0;
+    for (std::size_t s = 0; s < n; ++s) {
+      double* row = probs_.data() + s * probs_stride_;
+      for (std::size_t j = 0; j < c; ++j) row[j] = params[wc + j];
+    }
+    kt.accumulate_rows_batched(rows_args_.data(), n, c);
+    for (std::size_t s = 0; s < n; ++s) {
+      double* row = probs_.data() + s * probs_stride_;
+      std::span<double> row_span(row, c);
+      if (config_.activation == Activation::kSoftmax) {
+        softmax_inplace(row_span);
+      } else {
+        sigmoid_inplace(row_span);
+      }
+      lr_accumulate_row_loss(config_.activation, row, task.batch.labels[s], c,
+                             loss_sum);
+    }
+    task.final_loss =
+        loss_sum / static_cast<double>(n) + penalty(params);
+    if (task.epochs == 0) task.initial_loss = task.final_loss;
+  }
+}
+
+}  // namespace eefei::ml

@@ -1,0 +1,111 @@
+// Batched multi-model trainer for the fleet hot loop.  A ModelBank stacks
+// K logistic-regression models' parameters, gradients and per-row
+// activations in one 64-byte-aligned arena and runs every forward/backward
+// pass through the batched kernel-table entries (ml/simd.h).  Models are
+// swept in order (model-major, so one model's ~d·c weights and gradient
+// stay cache-hot across its whole epoch, exactly like the serial client)
+// while the batch axis of each kernel call is the model's samples: one
+// indirect dispatch per epoch phase covers all n packed rows.  Feature
+// rows are packed once per round (pack_sample) so the inner loops are
+// branch-free replays of exactly the blocks the plain kernels would visit.
+//
+// Determinism contract: train() is memcmp-equal to running the serial
+// reference — fl::Client::train's full-batch path over
+// LogisticRegression::loss_and_gradient / evaluate — once per model, for
+// any K, any model order, any thread count and every SIMD backend.  The
+// argument, piece by piece:
+//
+//   - Models are independent and trained in order: no pass reads another
+//     model's state.
+//   - Per model the op order is the serial one re-phased: the serial fused
+//     loop runs forward(s), loss(s), outer(s), bias(s) per sample; the
+//     bank runs all forwards, then the loss/error row sweep, then all
+//     outers, then all bias adds — each phase ascending in s.  Every
+//     accumulator (loss_sum, weight gradient, bias gradient) is touched by
+//     exactly one phase and receives the identical additive sequence in
+//     the identical order, and the forward reads parameters that no phase
+//     writes, so the bits cannot move.  The packed kernels are
+//     bit-identical to the plain ones by construction (simd.h).
+//   - The round-constant learning rate lr0 · decay^t matches the serial
+//     client's SgdOptimizer schedule because pow(1.0, n) == 1.0 exactly.
+//
+// tests/test_model_bank.cpp pins all of this, plus the allocation-free
+// steady state: buffers only grow, so repeated rounds of stable shape
+// never touch the heap.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "ml/aligned.h"
+#include "ml/logistic_regression.h"
+#include "ml/model.h"
+#include "ml/simd.h"
+
+namespace eefei::ml {
+
+class ModelBank {
+ public:
+  /// One model's local training problem for a round.
+  struct Task {
+    BatchView batch;             // the model's full local batch
+    std::size_t epochs = 0;      // E
+    double learning_rate = 0.0;  // round-t rate, constant across epochs
+    double initial_loss = 0.0;   // out: loss at the received parameters
+    double final_loss = 0.0;     // out: loss after `epochs` steps
+  };
+
+  /// Binds the bank to a model shape.  Cheap when the shape is unchanged;
+  /// changing shapes regrows the arenas.
+  void configure(const LogisticRegressionConfig& config);
+
+  /// Trains every task from the shared `global` parameters ([W | b],
+  /// length parameter_count()) and fills the per-task loss outputs.
+  /// Trained parameters land in params_of(i).
+  void train(std::span<const double> global, std::span<Task> tasks);
+
+  /// Trained parameters of task i after train().
+  [[nodiscard]] std::span<const double> params_of(std::size_t i) const {
+    return {params_.data() + i * param_stride_, param_count_};
+  }
+
+  [[nodiscard]] std::size_t parameter_count() const { return param_count_; }
+  [[nodiscard]] const LogisticRegressionConfig& config() const {
+    return config_;
+  }
+
+ private:
+  /// Packs every task's feature rows into the arenas (one entry list per
+  /// (task, sample)) and sizes the per-model parameter/gradient slots.
+  void prepare_round(std::span<Task> tasks);
+
+  [[nodiscard]] double penalty(const double* params) const;
+
+  LogisticRegressionConfig config_;
+  std::size_t param_count_ = 0;
+  std::size_t param_stride_ = 0;  // slot stride, 64-byte multiple
+  std::size_t probs_stride_ = 0;
+
+  // Per-model parameter/gradient slots (K × param_stride_) and per-sample
+  // activation rows of the model currently in flight (max_n × probs_stride_).
+  AlignedVector params_;
+  AlignedVector grads_;
+  AlignedVector probs_;
+
+  // Packed-sample arenas shared by all tasks (pointees of packed_).
+  AlignedVector block_x_;
+  std::vector<std::uint32_t> run_off_;
+  std::vector<std::uint32_t> run_blocks_;
+  AlignedVector tail_x_;
+  std::vector<std::uint32_t> tail_off_;
+  std::vector<simd::PackedSample> packed_;  // per (task, sample)
+  std::vector<std::size_t> packed_base_;    // first packed_ index per task
+
+  // Kernel argument batches: one entry per sample of the model in flight.
+  std::vector<simd::RowsBatchArg> rows_args_;
+  std::vector<simd::OuterBatchArg> outer_args_;
+};
+
+}  // namespace eefei::ml

@@ -34,6 +34,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <string_view>
 
 namespace eefei::ml::simd {
@@ -45,6 +46,72 @@ inline constexpr std::size_t kLanes = 4;
 enum class Isa { kScalar, kSse2, kAvx2, kAvx512, kNeon };
 
 [[nodiscard]] std::string_view isa_name(Isa isa);
+
+// ---------------------------------------------------------------------------
+// Packed samples and the batched multi-model kernel arguments.
+//
+// accumulate_rows/accumulate_outer spend a measurable share of their time
+// re-testing the all-zero 4-block predicate on every pass over a feature
+// row, even though a training round sweeps the same fixed rows E+1 times.
+// pack_sample() hoists that work out of the hot loop: it records the live
+// 4-aligned blocks as *runs* — maximal stretches of consecutive live
+// blocks, stored as the element offset k·c of the run's first weight row
+// plus the run's block count, with the kLanes x-values of every live block
+// laid out contiguously — and the live d%4 tail rows, once, in ascending-k
+// order.  The batched kernels then replay exactly the blocks the plain
+// kernels would have visited — same skip set, same order, same per-column
+// expression tree — but inside a run they advance the weight pointer
+// linearly (no per-block offset lookup), so dense rows run at full plain-
+// kernel speed while the indirection cost is paid only once per run.  One
+// call amortizes the indirect dispatch over m independent (sample, model)
+// problems instead of one call per model.
+// ---------------------------------------------------------------------------
+
+/// One example's features in packed live-run form (see pack_sample).
+/// Offsets are element offsets into the weight block (k·c), stored 32-bit:
+/// packing asserts d·c fits.
+struct PackedSample {
+  const double* block_x = nullptr;           // kLanes x-values per live block
+  const std::uint32_t* run_off = nullptr;    // k·c of each run's first block
+  const std::uint32_t* run_blocks = nullptr; // live 4-blocks per run
+  std::size_t num_runs = 0;
+  const double* tail_x = nullptr;            // live rows of the d%4 tail
+  const std::uint32_t* tail_off = nullptr;   // k·c per live tail row
+  std::size_t num_tail = 0;
+};
+
+/// One forward problem of a batched call: acc[j] += Σ_k x[k] · w[k·c + j].
+struct RowsBatchArg {
+  PackedSample x;
+  const double* w = nullptr;
+  double* acc = nullptr;
+};
+
+/// One backward problem of a batched call: out[k·c + j] += x[k] · err[j].
+struct OuterBatchArg {
+  PackedSample x;
+  const double* err = nullptr;
+  double* out = nullptr;
+};
+
+struct PackedCounts {
+  std::size_t blocks = 0;
+  std::size_t runs = 0;
+  std::size_t tail = 0;
+};
+
+/// Packs one feature row for the batched kernels.  Writes at most d/kLanes
+/// block entries (kLanes doubles each into block_x), at most d/kLanes run
+/// entries (run_off/run_blocks), and d%kLanes tail entries into the
+/// caller's buffers, returning the counts.  The live set and order are
+/// exactly the plain kernels' traversal: 4-aligned blocks with at least
+/// one nonzero element, then nonzero tail rows, both ascending in k —
+/// which is what makes a packed replay bit-identical to the unpacked
+/// kernels.  Consecutive live blocks coalesce into one run.
+PackedCounts pack_sample(const double* x, std::size_t d, std::size_t c,
+                         double* block_x, std::uint32_t* run_off,
+                         std::uint32_t* run_blocks, double* tail_x,
+                         std::uint32_t* tail_off);
 
 /// The dispatched kernel set.  All function pointers are non-null.
 struct KernelTable {
@@ -62,6 +129,15 @@ struct KernelTable {
   void (*scale)(double* y, std::size_t n, double s);
   /// y[i] += alpha · x[i]
   void (*axpy)(double* y, const double* x, std::size_t n, double alpha);
+  /// m independent packed forward problems per call (see RowsBatchArg);
+  /// bit-identical to m sequential accumulate_rows calls on the unpacked
+  /// rows.  All problems share the column count c.
+  void (*accumulate_rows_batched)(const RowsBatchArg* args, std::size_t m,
+                                  std::size_t c);
+  /// m independent packed outer-product problems per call; bit-identical
+  /// to m sequential accumulate_outer calls on the unpacked rows.
+  void (*accumulate_outer_batched)(const OuterBatchArg* args, std::size_t m,
+                                   std::size_t c);
   Isa isa = Isa::kScalar;
 };
 

@@ -10,13 +10,16 @@ namespace eefei::ml::simd {
 #if EEFEI_SIMD_ENABLED && defined(__AVX2__)
 
 namespace {
-constexpr KernelTable kAvx2Table{&accumulate_rows_vec_impl<Avx2Backend>,
-                                 &accumulate_outer_vec_impl<Avx2Backend>,
-                                 &add_impl<Avx2Backend>,
-                                 &sub_impl<Avx2Backend>,
-                                 &scale_impl<Avx2Backend>,
-                                 &axpy_impl<Avx2Backend>,
-                                 Isa::kAvx2};
+constexpr KernelTable kAvx2Table{
+    &accumulate_rows_vec_impl<Avx2Backend>,
+    &accumulate_outer_vec_impl<Avx2Backend>,
+    &add_impl<Avx2Backend>,
+    &sub_impl<Avx2Backend>,
+    &scale_impl<Avx2Backend>,
+    &axpy_impl<Avx2Backend>,
+    &accumulate_rows_batched_vec_impl<Avx2Backend>,
+    &accumulate_outer_batched_vec_impl<Avx2Backend>,
+    Isa::kAvx2};
 }  // namespace
 
 const KernelTable* avx2_kernel_table() { return &kAvx2Table; }

@@ -275,6 +275,232 @@ void outer_avx512(const double* x, std::size_t d, std::size_t c,
   accumulate_outer_vec_impl<YmmBackend>(x, d, c, err, out);
 }
 
+// Packed-sample replay of rows_small_c: the same register-resident
+// accumulator groups and per-block expression tree, over the pre-recorded
+// live runs instead of the zero-tested k sweep.  Identical visit order →
+// identical bits; inside a run the weight pointer advances linearly, so
+// the inner loop is branch-free and offset-lookup-free.
+void rows_small_c_packed(const PackedSample& p, std::size_t c,
+                         const double* w, double* acc) {
+  const std::size_t f = c / 8;
+  const std::size_t ct = c - 8 * f;
+  const bool has_y = ct >= 4;
+  const std::size_t jy = 8 * f;
+  const std::size_t jp = jy + (has_y ? 4 : 0);
+  const bool has_p = c - jp >= 2;
+  const bool has_s = (c - jp) % 2 != 0;
+  __m512d a0 = f > 0 ? _mm512_loadu_pd(acc) : _mm512_setzero_pd();
+  __m512d a1 = f > 1 ? _mm512_loadu_pd(acc + 8) : _mm512_setzero_pd();
+  __m256d ay = has_y ? _mm256_loadu_pd(acc + jy) : _mm256_setzero_pd();
+  __m128d ap = has_p ? _mm_loadu_pd(acc + jp) : _mm_setzero_pd();
+  double as = has_s ? acc[c - 1] : 0.0;
+  const double* xb = p.block_x;
+  for (std::size_t r = 0; r < p.num_runs; ++r) {
+    const double* w0 = w + p.run_off[r];
+    for (std::uint32_t b = p.run_blocks[r]; b != 0;
+         --b, xb += kLanes, w0 += kLanes * c) {
+      const double x0 = xb[0];
+      const double x1 = xb[1];
+      const double x2 = xb[2];
+      const double x3 = xb[3];
+      const double* w1 = w0 + c;
+      const double* w2 = w1 + c;
+      const double* w3 = w2 + c;
+      const __m512d vx0 = _mm512_set1_pd(x0);
+      const __m512d vx1 = _mm512_set1_pd(x1);
+      const __m512d vx2 = _mm512_set1_pd(x2);
+      const __m512d vx3 = _mm512_set1_pd(x3);
+      if (f > 0) {
+        __m512d t = _mm512_mul_pd(vx0, _mm512_loadu_pd(w0));
+        t = _mm512_add_pd(t, _mm512_mul_pd(vx1, _mm512_loadu_pd(w1)));
+        t = _mm512_add_pd(t, _mm512_mul_pd(vx2, _mm512_loadu_pd(w2)));
+        t = _mm512_add_pd(t, _mm512_mul_pd(vx3, _mm512_loadu_pd(w3)));
+        a0 = _mm512_add_pd(a0, t);
+      }
+      if (f > 1) {
+        __m512d t = _mm512_mul_pd(vx0, _mm512_loadu_pd(w0 + 8));
+        t = _mm512_add_pd(t, _mm512_mul_pd(vx1, _mm512_loadu_pd(w1 + 8)));
+        t = _mm512_add_pd(t, _mm512_mul_pd(vx2, _mm512_loadu_pd(w2 + 8)));
+        t = _mm512_add_pd(t, _mm512_mul_pd(vx3, _mm512_loadu_pd(w3 + 8)));
+        a1 = _mm512_add_pd(a1, t);
+      }
+      if (has_y) {
+        __m256d t = _mm256_mul_pd(_mm512_castpd512_pd256(vx0),
+                                  _mm256_loadu_pd(w0 + jy));
+        t = _mm256_add_pd(t, _mm256_mul_pd(_mm512_castpd512_pd256(vx1),
+                                           _mm256_loadu_pd(w1 + jy)));
+        t = _mm256_add_pd(t, _mm256_mul_pd(_mm512_castpd512_pd256(vx2),
+                                           _mm256_loadu_pd(w2 + jy)));
+        t = _mm256_add_pd(t, _mm256_mul_pd(_mm512_castpd512_pd256(vx3),
+                                           _mm256_loadu_pd(w3 + jy)));
+        ay = _mm256_add_pd(ay, t);
+      }
+      if (has_p) {
+        __m128d t = _mm_mul_pd(_mm512_castpd512_pd128(vx0),
+                               _mm_loadu_pd(w0 + jp));
+        t = _mm_add_pd(t, _mm_mul_pd(_mm512_castpd512_pd128(vx1),
+                                     _mm_loadu_pd(w1 + jp)));
+        t = _mm_add_pd(t, _mm_mul_pd(_mm512_castpd512_pd128(vx2),
+                                     _mm_loadu_pd(w2 + jp)));
+        t = _mm_add_pd(t, _mm_mul_pd(_mm512_castpd512_pd128(vx3),
+                                     _mm_loadu_pd(w3 + jp)));
+        ap = _mm_add_pd(ap, t);
+      }
+      if (has_s) {
+        const std::size_t j = c - 1;
+        as += x0 * w0[j] + x1 * w1[j] + x2 * w2[j] + x3 * w3[j];
+      }
+    }
+  }
+  for (std::size_t t = 0; t < p.num_tail; ++t) {
+    const double xv = p.tail_x[t];
+    const double* wrow = w + p.tail_off[t];
+    const __m512d vx = _mm512_set1_pd(xv);
+    if (f > 0) {
+      a0 = _mm512_add_pd(a0, _mm512_mul_pd(vx, _mm512_loadu_pd(wrow)));
+    }
+    if (f > 1) {
+      a1 = _mm512_add_pd(a1, _mm512_mul_pd(vx, _mm512_loadu_pd(wrow + 8)));
+    }
+    if (has_y) {
+      ay = _mm256_add_pd(ay, _mm256_mul_pd(_mm512_castpd512_pd256(vx),
+                                           _mm256_loadu_pd(wrow + jy)));
+    }
+    if (has_p) {
+      ap = _mm_add_pd(ap, _mm_mul_pd(_mm512_castpd512_pd128(vx),
+                                     _mm_loadu_pd(wrow + jp)));
+    }
+    if (has_s) as += xv * wrow[c - 1];
+  }
+  if (f > 0) _mm512_storeu_pd(acc, a0);
+  if (f > 1) _mm512_storeu_pd(acc + 8, a1);
+  if (has_y) _mm256_storeu_pd(acc + jy, ay);
+  if (has_p) _mm_storeu_pd(acc + jp, ap);
+  if (has_s) acc[c - 1] = as;
+}
+
+// Packed replay of rows_big_c8's per-block zmm sweep.  Blocks go one at a
+// time — rows_big_c8's pairing of adjacent live blocks only fuses the two
+// sequential acc += t updates into (acc + t0) + t1, which is the identical
+// add sequence, so unpaired replay produces the same bits.
+void rows_big_c8_packed(const PackedSample& p, std::size_t c, const double* w,
+                        double* acc) {
+  const double* xb = p.block_x;
+  for (std::size_t r = 0; r < p.num_runs; ++r) {
+    const double* w0 = w + p.run_off[r];
+    for (std::uint32_t b = p.run_blocks[r]; b != 0;
+         --b, xb += kLanes, w0 += kLanes * c) {
+      const __m512d vx0 = _mm512_set1_pd(xb[0]);
+      const __m512d vx1 = _mm512_set1_pd(xb[1]);
+      const __m512d vx2 = _mm512_set1_pd(xb[2]);
+      const __m512d vx3 = _mm512_set1_pd(xb[3]);
+      for (std::size_t j = 0; j < c; j += 8) {
+        __m512d t = _mm512_mul_pd(vx0, _mm512_loadu_pd(w0 + j));
+        t = _mm512_add_pd(t, _mm512_mul_pd(vx1, _mm512_loadu_pd(w0 + c + j)));
+        t = _mm512_add_pd(t,
+                          _mm512_mul_pd(vx2, _mm512_loadu_pd(w0 + 2 * c + j)));
+        t = _mm512_add_pd(t,
+                          _mm512_mul_pd(vx3, _mm512_loadu_pd(w0 + 3 * c + j)));
+        _mm512_storeu_pd(acc + j, _mm512_add_pd(_mm512_loadu_pd(acc + j), t));
+      }
+    }
+  }
+  for (std::size_t t = 0; t < p.num_tail; ++t) {
+    const double* wrow = w + p.tail_off[t];
+    const __m512d vx = _mm512_set1_pd(p.tail_x[t]);
+    for (std::size_t j = 0; j < c; j += 8) {
+      _mm512_storeu_pd(
+          acc + j,
+          _mm512_add_pd(_mm512_loadu_pd(acc + j),
+                        _mm512_mul_pd(vx, _mm512_loadu_pd(wrow + j))));
+    }
+  }
+}
+
+void rows_batched_avx512(const RowsBatchArg* args, std::size_t m,
+                         std::size_t c) {
+  if (c <= 16) {
+    for (std::size_t a = 0; a < m; ++a) {
+      rows_small_c_packed(args[a].x, c, args[a].w, args[a].acc);
+    }
+  } else if (c % 8 == 0) {
+    for (std::size_t a = 0; a < m; ++a) {
+      rows_big_c8_packed(args[a].x, c, args[a].w, args[a].acc);
+    }
+  } else {
+    accumulate_rows_batched_vec_impl<YmmBackend>(args, m, c);
+  }
+}
+
+// Packed outer for c ≤ 16: err is constant for the whole problem, so the
+// error row is hoisted into registers (ymm groups, an xmm pair and a lone
+// scalar column on the same boundaries as the 4-lane backends) instead of
+// being reloaded for every live block.  Per element the update is still
+// g[k·c + j] += x[k] · err[j] in ascending-block order — register
+// residency of the right operand cannot move a bit.
+void outer_small_c_packed(const PackedSample& p, std::size_t c,
+                          const double* err, double* out) {
+  const std::size_t f = c / 4;  // 0..4 ymm groups
+  const std::size_t jp = 4 * f;
+  const bool has_p = c - jp >= 2;
+  const bool has_s = (c - jp) % 2 != 0;
+  __m256d e[4];
+  for (std::size_t g = 0; g < f; ++g) e[g] = _mm256_loadu_pd(err + 4 * g);
+  const __m128d eh = has_p ? _mm_loadu_pd(err + jp) : _mm_setzero_pd();
+  const double es = has_s ? err[c - 1] : 0.0;
+  const double* xb = p.block_x;
+  for (std::size_t r = 0; r < p.num_runs; ++r) {
+    double* g0 = out + p.run_off[r];
+    for (std::uint32_t b = p.run_blocks[r]; b != 0;
+         --b, xb += kLanes, g0 += kLanes * c) {
+      double* grow = g0;
+      for (std::size_t lane = 0; lane < kLanes; ++lane, grow += c) {
+        const double xv = xb[lane];
+        const __m256d vx = _mm256_set1_pd(xv);
+        for (std::size_t g = 0; g < f; ++g) {
+          _mm256_storeu_pd(grow + 4 * g,
+                           _mm256_add_pd(_mm256_loadu_pd(grow + 4 * g),
+                                         _mm256_mul_pd(vx, e[g])));
+        }
+        if (has_p) {
+          _mm_storeu_pd(grow + jp,
+                        _mm_add_pd(_mm_loadu_pd(grow + jp),
+                                   _mm_mul_pd(_mm256_castpd256_pd128(vx), eh)));
+        }
+        if (has_s) grow[c - 1] += xv * es;
+      }
+    }
+  }
+  for (std::size_t t = 0; t < p.num_tail; ++t) {
+    const double xv = p.tail_x[t];
+    double* grow = out + p.tail_off[t];
+    const __m256d vx = _mm256_set1_pd(xv);
+    for (std::size_t g = 0; g < f; ++g) {
+      _mm256_storeu_pd(grow + 4 * g,
+                       _mm256_add_pd(_mm256_loadu_pd(grow + 4 * g),
+                                     _mm256_mul_pd(vx, e[g])));
+    }
+    if (has_p) {
+      _mm_storeu_pd(grow + jp,
+                    _mm_add_pd(_mm_loadu_pd(grow + jp),
+                               _mm_mul_pd(_mm256_castpd256_pd128(vx), eh)));
+    }
+    if (has_s) grow[c - 1] += xv * es;
+  }
+}
+
+void outer_batched_avx512(const OuterBatchArg* args, std::size_t m,
+                          std::size_t c) {
+  // Store-bound like the unbatched outer: 256-bit shapes throughout.
+  if (c <= 16) {
+    for (std::size_t a = 0; a < m; ++a) {
+      outer_small_c_packed(args[a].x, c, args[a].err, args[a].out);
+    }
+  } else {
+    accumulate_outer_batched_vec_impl<YmmBackend>(args, m, c);
+  }
+}
+
 void add_avx512(double* y, const double* x, std::size_t n) {
   std::size_t i = 0;
   for (; i + 8 <= n; i += 8) {
@@ -317,9 +543,10 @@ void axpy_avx512(double* y, const double* x, std::size_t n, double alpha) {
   for (; i < n; ++i) y[i] += alpha * x[i];
 }
 
-constexpr KernelTable kAvx512Table{&rows_avx512,  &outer_avx512,
-                                   &add_avx512,   &sub_avx512,
-                                   &scale_avx512, &axpy_avx512,
+constexpr KernelTable kAvx512Table{&rows_avx512,         &outer_avx512,
+                                   &add_avx512,          &sub_avx512,
+                                   &scale_avx512,        &axpy_avx512,
+                                   &rows_batched_avx512, &outer_batched_avx512,
                                    Isa::kAvx512};
 
 }  // namespace

@@ -68,7 +68,7 @@ void FleetEngine::for_each_server_sharded(
 
 Result<FleetRunResult> FleetEngine::run() {
   if (const auto st = prepare(); !st.ok()) return st.error();
-  acquire_pool();
+  (void)acquire_pool();
   const FeiSystemConfig& sys = config_.system;
   const std::size_t n_servers = sys.num_servers;
 

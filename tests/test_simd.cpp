@@ -81,6 +81,78 @@ std::vector<double> kernel_battery(const simd::KernelTable& t) {
   return all;
 }
 
+// One problem's packed representation plus owning storage, built with the
+// exact arena layout ModelBank uses (pack_sample into tight arrays).
+struct PackedProblem {
+  std::vector<double> block_x;
+  std::vector<std::uint32_t> run_off;
+  std::vector<std::uint32_t> run_blocks;
+  std::vector<double> tail_x;
+  std::vector<std::uint32_t> tail_off;
+  simd::PackedSample sample;
+};
+
+PackedProblem pack_problem(const std::vector<double>& x, std::size_t d,
+                           std::size_t c) {
+  PackedProblem p;
+  p.block_x.resize((d / 4) * 4);
+  p.run_off.resize(d / 4);
+  p.run_blocks.resize(d / 4);
+  p.tail_x.resize(d % 4);
+  p.tail_off.resize(d % 4);
+  const simd::PackedCounts counts =
+      simd::pack_sample(x.data(), d, c, p.block_x.data(), p.run_off.data(),
+                        p.run_blocks.data(), p.tail_x.data(),
+                        p.tail_off.data());
+  p.sample = {p.block_x.data(), p.run_off.data(),  p.run_blocks.data(),
+              counts.runs,      p.tail_x.data(),   p.tail_off.data(),
+              counts.tail};
+  return p;
+}
+
+// The batched entries across m independent problems per shape — shapes
+// chosen to land in every AVX-512 packed split (register-resident c <= 16,
+// unrolled c % 8 == 0, generic fallback) with zero blocks, odd tails and a
+// d < 4 remainder-only problem in the mix.
+std::vector<double> batched_battery(const simd::KernelTable& t) {
+  struct Shape {
+    std::size_t d, c;
+    double zeros;
+  };
+  const Shape shapes[] = {{784, 10, 0.3}, {784, 256, 0.3}, {13, 7, 0.25},
+                          {3, 5, 0.0},    {9, 16, 0.2},    {20, 18, 0.2},
+                          {40, 21, 0.5},  {8, 4, 1.0}};
+  constexpr std::size_t kProblems = 3;
+  std::vector<double> all;
+  std::uint64_t seed = 211;
+  for (const auto& s : shapes) {
+    std::vector<std::vector<double>> xs, ws, errs;
+    std::vector<PackedProblem> packed;
+    std::vector<std::vector<double>> accs, outs;
+    for (std::size_t m = 0; m < kProblems; ++m) {
+      xs.push_back(random_buffer(s.d, seed++, s.zeros));
+      ws.push_back(random_buffer(s.d * s.c, seed++));
+      errs.push_back(random_buffer(s.c, seed++));
+      accs.push_back(random_buffer(s.c, seed++));
+      outs.push_back(random_buffer(s.d * s.c, seed++));
+      packed.push_back(pack_problem(xs.back(), s.d, s.c));
+    }
+    std::vector<simd::RowsBatchArg> rows(kProblems);
+    std::vector<simd::OuterBatchArg> outer(kProblems);
+    for (std::size_t m = 0; m < kProblems; ++m) {
+      rows[m] = {packed[m].sample, ws[m].data(), accs[m].data()};
+      outer[m] = {packed[m].sample, errs[m].data(), outs[m].data()};
+    }
+    t.accumulate_rows_batched(rows.data(), kProblems, s.c);
+    t.accumulate_outer_batched(outer.data(), kProblems, s.c);
+    for (std::size_t m = 0; m < kProblems; ++m) {
+      all.insert(all.end(), accs[m].begin(), accs[m].end());
+      all.insert(all.end(), outs[m].begin(), outs[m].end());
+    }
+  }
+  return all;
+}
+
 // Golden battery fingerprint of the scalar reference.  Pinned so every
 // build flavour (EEFEI_SIMD=ON/OFF, any ISA, any toolchain honouring the
 // determinism contract) can be compared against the same constant.  If
@@ -153,6 +225,131 @@ TEST(Simd, WideOddColumnShapesMatchScalarBitwise) {
           << " c=" << s.c;
     }
   }
+}
+
+// Golden fingerprint of the scalar batched battery — same re-pin policy
+// as kGoldenBatteryCrc.  Batched entries replay exactly the blocks the
+// plain kernels visit, so this pins the packed representation too.
+constexpr std::uint32_t kGoldenBatchedBatteryCrc = 0x762f049cu;
+
+TEST(Simd, ScalarBatchedBatteryMatchesPinnedGoldenFingerprint) {
+  const auto* scalar = simd::kernels_for(simd::Isa::kScalar);
+  ASSERT_NE(scalar, nullptr);
+  EXPECT_EQ(crc_of(batched_battery(*scalar)), kGoldenBatchedBatteryCrc);
+}
+
+TEST(Simd, EveryAvailableBackendBatchedBatteryMatchesScalarBitwise) {
+  const auto* scalar = simd::kernels_for(simd::Isa::kScalar);
+  ASSERT_NE(scalar, nullptr);
+  const auto reference = batched_battery(*scalar);
+  for (const auto isa : {simd::Isa::kSse2, simd::Isa::kAvx2,
+                         simd::Isa::kAvx512, simd::Isa::kNeon}) {
+    const auto* t = simd::kernels_for(isa);
+    if (t == nullptr) continue;  // not compiled in / not runnable here
+    const auto battery = batched_battery(*t);
+    ASSERT_EQ(battery.size(), reference.size());
+    EXPECT_EQ(0, std::memcmp(battery.data(), reference.data(),
+                             reference.size() * sizeof(double)))
+        << "batched entries of " << simd::isa_name(isa)
+        << " diverged from the scalar reference";
+  }
+}
+
+TEST(Simd, BatchedEntriesMatchPlainKernelsBitwise) {
+  // The equivalence ModelBank is built on: a batched call over m packed
+  // problems lands on the same bits as m plain kernel calls — per backend,
+  // including the AVX-512 packed specializations.
+  struct Shape {
+    std::size_t d, c;
+  };
+  const Shape shapes[] = {{784, 10}, {784, 256}, {13, 7}, {3, 5},
+                          {9, 16},   {20, 18},   {40, 21}};
+  for (const auto isa : {simd::Isa::kScalar, simd::Isa::kSse2,
+                         simd::Isa::kAvx2, simd::Isa::kAvx512,
+                         simd::Isa::kNeon}) {
+    const auto* t = simd::kernels_for(isa);
+    if (t == nullptr) continue;  // not compiled in / not runnable here
+    std::uint64_t seed = 307;
+    for (const auto& s : shapes) {
+      constexpr std::size_t kProblems = 4;
+      std::vector<std::vector<double>> xs, ws, errs, accs, outs, acc_refs,
+          out_refs;
+      std::vector<PackedProblem> packed;
+      for (std::size_t m = 0; m < kProblems; ++m) {
+        xs.push_back(random_buffer(s.d, seed++, 0.3));
+        ws.push_back(random_buffer(s.d * s.c, seed++));
+        errs.push_back(random_buffer(s.c, seed++));
+        accs.push_back(random_buffer(s.c, seed));
+        acc_refs.push_back(accs.back());
+        outs.push_back(random_buffer(s.d * s.c, seed + 1));
+        out_refs.push_back(outs.back());
+        seed += 2;
+        packed.push_back(pack_problem(xs.back(), s.d, s.c));
+      }
+      std::vector<simd::RowsBatchArg> rows(kProblems);
+      std::vector<simd::OuterBatchArg> outer(kProblems);
+      for (std::size_t m = 0; m < kProblems; ++m) {
+        rows[m] = {packed[m].sample, ws[m].data(), accs[m].data()};
+        outer[m] = {packed[m].sample, errs[m].data(), outs[m].data()};
+        t->accumulate_rows(xs[m].data(), s.d, s.c, ws[m].data(),
+                           acc_refs[m].data());
+        t->accumulate_outer(xs[m].data(), s.d, s.c, errs[m].data(),
+                            out_refs[m].data());
+      }
+      t->accumulate_rows_batched(rows.data(), kProblems, s.c);
+      t->accumulate_outer_batched(outer.data(), kProblems, s.c);
+      for (std::size_t m = 0; m < kProblems; ++m) {
+        EXPECT_EQ(0, std::memcmp(accs[m].data(), acc_refs[m].data(),
+                                 s.c * sizeof(double)))
+            << simd::isa_name(isa) << " rows_batched d=" << s.d
+            << " c=" << s.c << " problem " << m;
+        EXPECT_EQ(0, std::memcmp(outs[m].data(), out_refs[m].data(),
+                                 s.d * s.c * sizeof(double)))
+            << simd::isa_name(isa) << " outer_batched d=" << s.d
+            << " c=" << s.c << " problem " << m;
+      }
+    }
+  }
+}
+
+TEST(Simd, PackSampleRecordsExactlyTheLiveBlocks) {
+  // pack_sample must keep every nonzero 4-block and nonzero tail element
+  // (offsets pre-multiplied by c) and drop all-zero blocks — the same
+  // predicate the plain kernels' sparse skip evaluates.
+  const std::size_t d = 11, c = 3;
+  std::vector<double> x = {0, 0, 0, 0,  1.5, 0, 0, 0,  0, -2.0, 0.25};
+  auto p = pack_problem(x, d, c);
+  ASSERT_EQ(p.sample.num_runs, 1u);  // block [4,8) has a nonzero
+  EXPECT_EQ(p.sample.run_off[0], 4u * c);
+  EXPECT_EQ(p.sample.run_blocks[0], 1u);
+  EXPECT_EQ(p.sample.block_x[0], 1.5);
+  ASSERT_EQ(p.sample.num_tail, 2u);  // 0 at index 8 is skipped
+  EXPECT_EQ(p.sample.tail_off[0], 9u * c);
+  EXPECT_EQ(p.sample.tail_x[0], -2.0);
+  EXPECT_EQ(p.sample.tail_off[1], 10u * c);
+  EXPECT_EQ(p.sample.tail_x[1], 0.25);
+}
+
+TEST(Simd, PackSampleCoalescesConsecutiveLiveBlocksIntoRuns) {
+  // Live blocks at [0,4), [4,8) (one run), a dead block at [8,12), then a
+  // live block at [12,16) (second run): runs record the element offset of
+  // their first weight row plus the consecutive live-block count, with the
+  // x-values laid out contiguously across runs.
+  const std::size_t d = 16, c = 5;
+  std::vector<double> x(d, 0.0);
+  x[1] = 2.0;   // block 0 live
+  x[6] = -3.0;  // block 1 live
+  x[13] = 4.0;  // block 3 live (block 2 all-zero)
+  auto p = pack_problem(x, d, c);
+  ASSERT_EQ(p.sample.num_runs, 2u);
+  EXPECT_EQ(p.sample.run_off[0], 0u * c);
+  EXPECT_EQ(p.sample.run_blocks[0], 2u);
+  EXPECT_EQ(p.sample.run_off[1], 12u * c);
+  EXPECT_EQ(p.sample.run_blocks[1], 1u);
+  EXPECT_EQ(p.sample.block_x[1], 2.0);
+  EXPECT_EQ(p.sample.block_x[4 + 2], -3.0);
+  EXPECT_EQ(p.sample.block_x[8 + 1], 4.0);
+  ASSERT_EQ(p.sample.num_tail, 0u);
 }
 
 TEST(Simd, DispatchedTableMatchesPinnedGoldenFingerprint) {

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
 #include <atomic>
 #include <numeric>
 #include <stdexcept>
@@ -94,6 +95,53 @@ TEST(ThreadPool, QueueMetricsCountSubmittedTasks) {
   }
   // Gauge exists and has settled at zero depth after the drain.
   EXPECT_EQ(snapshot.gauge_value("pool.queue_depth"), 0.0);
+}
+
+TEST(ThreadPool, PlanChunksNeverProducesEmptyChunks) {
+  // Regression: chunks = min(n, 4·workers) queued one single-index task per
+  // item whenever workers < n < 4·workers — for a handful of ModelBank
+  // chunks the queue traffic outweighed the work.  plan_chunks must keep
+  // every chunk non-empty (chunks <= n) and cap queue traffic at one chunk
+  // per worker until the loop is big enough to split 4-ways.
+  for (std::size_t workers = 1; workers <= 16; ++workers) {
+    for (std::size_t n = 0; n <= workers * 6; ++n) {
+      const std::size_t chunks = ThreadPool::plan_chunks(n, workers);
+      if (n == 0) {
+        EXPECT_EQ(chunks, 0u);
+        continue;
+      }
+      ASSERT_GE(chunks, 1u) << "n=" << n << " workers=" << workers;
+      ASSERT_LE(chunks, n) << "n=" << n << " workers=" << workers;
+      // The begin/end arithmetic parallel_for uses must cover [0, n) with
+      // no empty chunk.
+      std::size_t covered = 0;
+      for (std::size_t ci = 0; ci < chunks; ++ci) {
+        const std::size_t begin = n * ci / chunks;
+        const std::size_t end = n * (ci + 1) / chunks;
+        ASSERT_LT(begin, end) << "empty chunk " << ci << " of " << chunks
+                              << " for n=" << n << " workers=" << workers;
+        covered += end - begin;
+      }
+      ASSERT_EQ(covered, n);
+      // Small loops: exactly one chunk per worker (or per item), never the
+      // old one-task-per-index spam.
+      if (n > workers && n < workers * 4) {
+        EXPECT_EQ(chunks, workers) << "n=" << n << " workers=" << workers;
+      }
+      if (n >= workers * 4) EXPECT_EQ(chunks, workers * 4);
+    }
+  }
+  // Defensive: a zero-worker plan still yields a runnable (inline) chunk.
+  EXPECT_EQ(ThreadPool::plan_chunks(5, 0), 1u);
+}
+
+TEST(ThreadPool, SmallParallelForCoversAllIndicesOnce) {
+  // The workers < n < 4·workers regime the chunking fix targets.
+  ThreadPool pool(4);
+  constexpr std::size_t kN = 6;
+  std::array<std::atomic<int>, kN> hits{};
+  pool.parallel_for(kN, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (std::size_t i = 0; i < kN; ++i) EXPECT_EQ(hits[i].load(), 1);
 }
 
 TEST(ThreadPool, DestructorDrainsCleanly) {

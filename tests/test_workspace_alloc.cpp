@@ -12,6 +12,7 @@
 #include "data/synth_digits.h"
 #include "ml/logistic_regression.h"
 #include "ml/mlp.h"
+#include "ml/model_bank.h"
 #include "sim/event_queue.h"
 
 namespace {
@@ -123,6 +124,27 @@ TEST(WorkspaceAlloc, ExplicitWorkspaceIsAllocationFreeOnceWarm) {
     (void)model.loss_and_gradient(ds.view(), grad, ws);
     (void)model.evaluate_sums(ds.view(), ws);
   }));
+}
+
+TEST(WorkspaceAlloc, ModelBankSteadyStateTrainingIsAllocationFree) {
+  // The batched fleet hot loop: once the arenas are warm from one round,
+  // repeated rounds of the same shape (re-pack, K model slots, every
+  // epoch's batched passes) must not touch the heap.
+  const auto ds = make_batch(160);
+  LogisticRegressionConfig cfg;
+  cfg.input_dim = 144;
+  ModelBank bank;
+  bank.configure(cfg);
+  const std::vector<double> global(144 * 10 + 10, 0.05);
+  constexpr std::size_t kModels = 4;
+  std::vector<ModelBank::Task> tasks(kModels);
+  for (std::size_t i = 0; i < kModels; ++i) {
+    tasks[i].batch = ds.view().slice(i * 40, 40 - 3 * i);  // ragged n_k
+    tasks[i].epochs = 2;
+    tasks[i].learning_rate = 0.05;
+  }
+  EXPECT_EQ(0u, steady_state_allocations(
+                    [&] { bank.train(global, tasks); }));
 }
 
 TEST(WorkspaceAlloc, GrowingBatchReallocatesOnlyOnGrowth) {
