@@ -1,10 +1,14 @@
 // Fleet-scale engine bench: runs the FleetEngine at N ∈ {100, 1k, 10k}
-// edge servers (100k opt-in via `n100k=1`), reporting simulation
-// throughput (servers·rounds per second), peak RSS, and energy at the end
-// of the run.  Also proves the thread-count byte-identity claim in-process
-// before timing anything.
+// edge servers (100k opt-in via `n100k=1`) and the event-driven
+// EventFleetEngine at the same sizes, reporting simulation throughput
+// (servers·rounds per second), peak RSS, and energy at the end of the run.
+// `n1m=1` adds the million-server row: EventFleetEngine with a virtual
+// population, O(K) selection and no per-server accumulator array, at a
+// pinned 100 federated rounds.  Also proves the thread-count and
+// event-vs-sorted-drain byte-identity claims in-process before timing
+// anything.
 //
-//   build/bench/bench_fleet [rounds=20] [threads=0] [n100k=1]
+//   build/bench/bench_fleet [rounds=20] [threads=0] [n100k=1] [n1m=1]
 //
 // Writes BENCH_fleet.json; tools/bench_compare.py gates CI on the
 // ns_per_server_round metrics (>15% regression fails).
@@ -16,6 +20,7 @@
 
 #include "bench_json.h"
 #include "common/config.h"
+#include "sim/event_fleet.h"
 #include "sim/fleet_engine.h"
 
 namespace {
@@ -55,12 +60,31 @@ sim::FleetEngineConfig fleet_config(std::size_t n, std::size_t rounds,
   return cfg;
 }
 
+sim::EventFleetEngineConfig event_config(std::size_t n, std::size_t rounds,
+                                         std::size_t threads) {
+  sim::EventFleetEngineConfig cfg;
+  cfg.system = fleet_config(n, rounds, threads).system;
+  cfg.data_pool_shards = n > 1000 ? 256 : 0;
+  cfg.sampled_timelines = 8;
+  if (n >= 1000000) {
+    // The million-server shape: datasets stay pooled and eager, but
+    // clients materialize lazily, per-server LAN objects are never built,
+    // the O(N) accumulator array is skipped (the ledger remains), and
+    // selection runs Floyd's O(K) sampler instead of the O(N) shuffle.
+    cfg.virtual_population = true;
+    cfg.per_server_accumulators = false;
+    cfg.scalable_selection = true;
+  }
+  return cfg;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::size_t rounds = 20;
   std::size_t threads = std::max(1u, std::thread::hardware_concurrency());
   bool include_100k = false;
+  bool include_1m = false;
   if (const auto cfg = Config::from_args(argc, argv); cfg.ok()) {
     rounds = static_cast<std::size_t>(
         cfg->get_int_or("rounds", static_cast<long>(rounds)));
@@ -68,6 +92,7 @@ int main(int argc, char** argv) {
       threads = static_cast<std::size_t>(t);
     }
     include_100k = cfg->get_int_or("n100k", 0) != 0;
+    include_1m = cfg->get_int_or("n1m", 0) != 0;
   }
 
   // Byte-identity proof: a serial and a threaded run of the same fleet
@@ -95,6 +120,36 @@ int main(int argc, char** argv) {
     if (!identical) return 1;
   }
 
+  // Second identity proof: the event-driven engine must reproduce the
+  // sorted-drain FleetEngine bit for bit (and itself be thread-invariant)
+  // on the overlapping configuration.
+  {
+    sim::FleetEngine reference(fleet_config(200, 6, threads));
+    auto ev_cfg = event_config(200, 6, threads);
+    auto ev_serial_cfg = event_config(200, 6, 1);
+    ev_serial_cfg.shard_size = 16;
+    sim::EventFleetEngine event_engine(ev_cfg);
+    sim::EventFleetEngine event_serial(ev_serial_cfg);
+    const auto a = reference.run();
+    const auto b = event_engine.run();
+    const auto c = event_serial.run();
+    if (!a.ok() || !b.ok() || !c.ok()) {
+      std::fprintf(stderr, "event identity probe failed to run\n");
+      return 1;
+    }
+    const bool identical =
+        a->ledger.total().value() == b->ledger.total().value() &&
+        a->accumulated_energy().value() == b->accumulated_energy().value() &&
+        a->wall_clock.value() == b->wall_clock.value() &&
+        a->training.final_params == b->training.final_params &&
+        b->ledger.total().value() == c->ledger.total().value() &&
+        b->wall_clock.value() == c->wall_clock.value() &&
+        b->training.final_params == c->training.final_params;
+    std::printf("event/fleet identity (N=200): %s\n",
+                identical ? "byte-identical" : "MISMATCH");
+    if (!identical) return 1;
+  }
+
   bench::BenchReport report("fleet");
   std::vector<std::size_t> sizes = {100, 1000, 10000};
   if (include_100k) sizes.push_back(100000);
@@ -110,18 +165,17 @@ int main(int argc, char** argv) {
     double energy_j = 0.0;
     double sim_secs = 0.0;
     std::size_t rounds = 0;
+    double events = 0.0;  // event engine only
   };
   // Best of kReps fresh runs: a timed region of `rounds` federated rounds
   // is a few milliseconds, small enough that scheduler noise on a shared
   // core dominates a single sample.  Energy must be bit-equal across reps
   // (the simulation is deterministic) or the measurement is rejected.
   constexpr int kReps = 3;
-  auto timed_run = [&](std::size_t n, bool batched,
-                       TimedRun& out) -> bool {
+  auto measure = [&](std::size_t n, auto make_engine,
+                     TimedRun& out) -> bool {
     for (int rep = 0; rep < kReps; ++rep) {
-      auto cfg = fleet_config(n, rounds, threads);
-      cfg.system.fl.batched_training = batched;
-      sim::FleetEngine engine(cfg);
+      auto engine = make_engine();
       if (const auto st = engine.prepare(); !st.ok()) {
         std::fprintf(stderr, "N=%zu prepare failed: %s\n", n,
                      st.error().message.c_str());
@@ -151,22 +205,77 @@ int main(int argc, char** argv) {
       out.energy_j = r->ledger.total().value();
       out.sim_secs = r->wall_clock.value();
       out.rounds = r->training.rounds_run;
+      if constexpr (requires { r->events_processed; }) {
+        out.events = static_cast<double>(r->events_processed);
+      }
     }
     return true;
   };
 
   std::printf("%8s %8s %8s %14s %10s %12s %10s\n", "servers", "rounds",
-              "batched", "servers/sec", "rss MB", "energy J", "sim secs");
+              "mode", "servers/sec", "rss MB", "energy J", "sim secs");
+  auto print_row = [&](std::size_t n, const TimedRun& run, const char* mode,
+                       double rss) {
+    std::printf("%8zu %8zu %8s %14.0f %10.1f %12.2f %10.2f\n", n, run.rounds,
+                mode, 1e9 / run.ns_per_server_round, rss, run.energy_j,
+                run.sim_secs);
+  };
+
+  // The million-server row runs FIRST so its rss_mb reading is its own
+  // peak, not an earlier row's (ru_maxrss is monotone for the process).
+  // 100 federated rounds, pinned: this row is the paper-scale capacity
+  // claim, not a smoke loop.
+  if (include_1m) {
+    constexpr std::size_t kMillion = 1000000;
+    constexpr std::size_t kMillionRounds = 100;
+    TimedRun event_run;
+    if (!measure(kMillion, [&] {
+          return sim::EventFleetEngine(
+              event_config(kMillion, kMillionRounds, threads));
+        }, event_run)) {
+      return 1;
+    }
+    const double rss = peak_rss_mb();
+    const std::string tag = "fleet/event/N=" + std::to_string(kMillion);
+    report.add(tag + "/ns_per_server_round", event_run.ns_per_server_round,
+               {{"events_processed", event_run.events}});
+    report.add(tag + "/rss_mb", rss);
+    report.add(tag + "/energy_j", event_run.energy_j);
+    print_row(kMillion, event_run, "event", rss);
+  }
+
   for (const std::size_t n : sizes) {
     // Twin rows: the batched ModelBank path (the default, the headline
     // metric) and the serial per-client reference.  Both are bit-identical
     // by contract, so energy must agree exactly between the twins.
     TimedRun batched, serial;
-    if (!timed_run(n, true, batched) || !timed_run(n, false, serial)) {
+    if (!measure(n, [&] {
+          auto cfg = fleet_config(n, rounds, threads);
+          cfg.system.fl.batched_training = true;
+          return sim::FleetEngine(cfg);
+        }, batched) ||
+        !measure(n, [&] {
+          auto cfg = fleet_config(n, rounds, threads);
+          cfg.system.fl.batched_training = false;
+          return sim::FleetEngine(cfg);
+        }, serial)) {
       return 1;
     }
     if (batched.energy_j != serial.energy_j) {
       std::fprintf(stderr, "N=%zu batched/serial energy mismatch\n", n);
+      return 1;
+    }
+    // The event-driven engine on the identical configuration: a third
+    // bit-identity gate (same energy or the row is rejected) plus its own
+    // throughput metric.
+    TimedRun event_run;
+    if (!measure(n, [&] {
+          return sim::EventFleetEngine(event_config(n, rounds, threads));
+        }, event_run)) {
+      return 1;
+    }
+    if (event_run.energy_j != batched.energy_j) {
+      std::fprintf(stderr, "N=%zu event/fleet energy mismatch\n", n);
       return 1;
     }
     const double rss = peak_rss_mb();
@@ -178,14 +287,12 @@ int main(int argc, char** argv) {
                serial.ns_per_server_round);
     report.add(tag + "/rss_mb", rss);
     report.add(tag + "/energy_j", batched.energy_j);
-    for (const bool is_batched : {true, false}) {
-      const TimedRun& run = is_batched ? batched : serial;
-      const double per_sec =
-          1e9 / run.ns_per_server_round;
-      std::printf("%8zu %8zu %8d %14.0f %10.1f %12.2f %10.2f\n", n,
-                  run.rounds, is_batched ? 1 : 0, per_sec, rss, run.energy_j,
-                  run.sim_secs);
-    }
+    report.add("fleet/event/N=" + std::to_string(n) + "/ns_per_server_round",
+               event_run.ns_per_server_round,
+               {{"events_processed", event_run.events}});
+    print_row(n, batched, "batched", rss);
+    print_row(n, serial, "serial", rss);
+    print_row(n, event_run, "event", rss);
   }
   report.write();
   return 0;

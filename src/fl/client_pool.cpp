@@ -1,0 +1,27 @@
+#include "fl/client_pool.h"
+
+#include <cassert>
+
+namespace eefei::fl {
+
+Client& LazyClientPool::client(ClientId id) {
+  assert(id < num_clients_);
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = cache_.find(id);
+  if (it == cache_.end()) {
+    // Same recipe as Population::build: id, shard id mod P, shared config.
+    // unique_ptr storage keeps the Client& stable across rehashes.
+    it = cache_
+             .emplace(id, std::make_unique<Client>(
+                              id, &(*shards_)[id % shards_->size()], config_))
+             .first;
+  }
+  return *it->second;
+}
+
+std::size_t LazyClientPool::materialized() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return cache_.size();
+}
+
+}  // namespace eefei::fl

@@ -14,7 +14,20 @@ Coordinator::Coordinator(std::vector<Client>* clients,
                          const data::Dataset* test_set,
                          CoordinatorConfig config,
                          std::unique_ptr<SelectionPolicy> policy)
-    : clients_(clients),
+    : owned_clients_view_(std::make_unique<DenseClientPool>(clients)),
+      clients_(owned_clients_view_.get()),
+      test_set_(test_set),
+      config_(config),
+      policy_(std::move(policy)) {
+  assert(clients != nullptr);
+  assert(test_set_ != nullptr);
+  assert(policy_ != nullptr);
+}
+
+Coordinator::Coordinator(ClientPool* pool, const data::Dataset* test_set,
+                         CoordinatorConfig config,
+                         std::unique_ptr<SelectionPolicy> policy)
+    : clients_(pool),
       test_set_(test_set),
       config_(config),
       policy_(std::move(policy)) {
@@ -49,7 +62,7 @@ Result<TrainingOutcome> Coordinator::run() {
   // ω_0 comes from a freshly constructed model: the all-zero vector for
   // the paper's (convex) logistic regression, a proper random init for
   // non-convex models like the MLP (zero init would be a dead network).
-  const auto init_model = ml::make_model(clients_->front().config().model);
+  const auto init_model = ml::make_model(clients_->client(0).config().model);
   const std::size_t param_count = init_model->parameter_count();
   std::vector<double> global(init_model->parameters().begin(),
                              init_model->parameters().end());
@@ -100,7 +113,7 @@ Result<TrainingOutcome> Coordinator::run() {
     std::vector<LocalTrainResult> updates(selected.size());
     auto train_one = [&](std::size_t i) {
       updates[i] =
-          (*clients_)[selected[i]].train(global, config_.local_epochs, t);
+          clients_->client(selected[i]).train(global, config_.local_epochs, t);
     };
     {
       obs::Tracer::WallSpan span(
@@ -265,9 +278,9 @@ bool Coordinator::train_batched(std::span<const double> global,
                                 std::size_t round,
                                 std::vector<LocalTrainResult>& updates) {
   if (!config_.batched_training || selected.size() < 2) return false;
-  const ClientConfig& cfg0 = (*clients_)[selected[0]].config();
+  const ClientConfig& cfg0 = clients_->client(selected[0]).config();
   for (const ClientId id : selected) {
-    const Client& client = (*clients_)[id];
+    const Client& client = clients_->client(id);
     if (!client.bank_eligible()) return false;
     // The bank trains every model with one shape and schedule; mixed
     // populations fall back to the per-client path.
@@ -305,7 +318,7 @@ bool Coordinator::train_batched(std::span<const double> global,
     tasks.resize(end - begin);
     for (std::size_t i = begin; i < end; ++i) {
       ml::ModelBank::Task& task = tasks[i - begin];
-      task.batch = (*clients_)[selected[i]].local_batch();
+      task.batch = clients_->client(selected[i]).local_batch();
       task.epochs = config_.local_epochs;
       task.learning_rate = lr;
     }
@@ -314,7 +327,7 @@ bool Coordinator::train_batched(std::span<const double> global,
       const ml::ModelBank::Task& task = tasks[i - begin];
       const auto params = bank.params_of(i - begin);
       LocalTrainResult& update = updates[i];
-      update.client = (*clients_)[selected[i]].id();
+      update.client = clients_->client(selected[i]).id();
       update.params.assign(params.begin(), params.end());
       update.initial_loss = task.initial_loss;
       update.final_loss = task.final_loss;
@@ -355,7 +368,7 @@ ThreadPool* Coordinator::acquire_pool() {
 
 ml::Model& Coordinator::eval_model() const {
   if (!eval_model_) {
-    eval_model_ = ml::make_model(clients_->front().config().model);
+    eval_model_ = ml::make_model(clients_->client(0).config().model);
   }
   return *eval_model_;
 }

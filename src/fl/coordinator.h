@@ -16,6 +16,7 @@
 #include "fl/aggregator.h"
 #include "fl/checkpoint.h"
 #include "fl/client.h"
+#include "fl/client_pool.h"
 #include "fl/selection.h"
 #include "fl/server_optimizer.h"
 #include "fl/training_record.h"
@@ -120,6 +121,14 @@ class Coordinator {
               CoordinatorConfig config,
               std::unique_ptr<SelectionPolicy> policy);
 
+  /// Client-pool seam: the coordinator only ever needs "how many clients"
+  /// and "give me client k", so any ClientPool works — a dense view over a
+  /// materialized vector, or a lazily-materializing pool for virtual
+  /// million-server populations.  `pool` must outlive the coordinator.
+  Coordinator(ClientPool* pool, const data::Dataset* test_set,
+              CoordinatorConfig config,
+              std::unique_ptr<SelectionPolicy> policy);
+
   /// Runs the federated loop.  Fails if there are no clients or K = 0.
   [[nodiscard]] Result<TrainingOutcome> run();
 
@@ -168,7 +177,9 @@ class Coordinator {
   /// by every evaluation (run() rounds and evaluate_loss()).
   [[nodiscard]] ml::Model& eval_model() const;
 
-  std::vector<Client>* clients_;
+  /// Owns the dense view when constructed from a raw vector<Client>.
+  std::unique_ptr<DenseClientPool> owned_clients_view_;
+  ClientPool* clients_;
   const data::Dataset* test_set_;
   CoordinatorConfig config_;
   std::unique_ptr<SelectionPolicy> policy_;

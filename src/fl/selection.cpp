@@ -22,6 +22,27 @@ std::vector<ClientId> UniformRandomSelection::select(std::size_t n,
   return ids;
 }
 
+std::vector<ClientId> ScalableUniformSelection::select(std::size_t n,
+                                                       std::size_t k,
+                                                       std::size_t /*round*/) {
+  k = std::min(k, n);
+  // Floyd's algorithm: for j = n-k .. n-1 draw t uniform on [0, j]; insert
+  // t unless already sampled, else insert j.  Exactly uniform without
+  // replacement, k draws total, no O(n) id array.
+  std::vector<ClientId> ids;
+  ids.reserve(k);
+  auto contains = [&](ClientId v) {
+    return std::find(ids.begin(), ids.end(), v) != ids.end();
+  };
+  for (std::size_t j = n - k; j < n; ++j) {
+    const auto t =
+        static_cast<ClientId>(rng_.uniform_index(j + 1));
+    ids.push_back(contains(t) ? static_cast<ClientId>(j) : t);
+  }
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
 std::vector<ClientId> RoundRobinSelection::select(std::size_t n, std::size_t k,
                                                   std::size_t round) {
   k = std::min(k, n);

@@ -33,6 +33,22 @@ class UniformRandomSelection final : public SelectionPolicy {
   Rng rng_;
 };
 
+/// Uniform random K-of-N without replacement in O(K) time and memory
+/// (Floyd's sampling algorithm) — the million-server variant.  The partial
+/// Fisher–Yates of UniformRandomSelection is exactly uniform too, but its
+/// O(N) id array per round dominates a fleet round once N reaches 10^6.
+/// The two policies draw different variates, so their selections differ
+/// for the same seed; both are exactly uniform.
+class ScalableUniformSelection final : public SelectionPolicy {
+ public:
+  explicit ScalableUniformSelection(Rng rng) : rng_(rng) {}
+  [[nodiscard]] std::vector<ClientId> select(std::size_t n, std::size_t k,
+                                             std::size_t round) override;
+
+ private:
+  Rng rng_;
+};
+
 /// Deterministic rotation: round t takes clients [t·k, t·k+k) mod n.
 class RoundRobinSelection final : public SelectionPolicy {
  public:

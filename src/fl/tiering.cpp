@@ -1,0 +1,64 @@
+#include "fl/tiering.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+
+namespace eefei::fl {
+
+namespace {
+
+std::size_t ceil_div(std::size_t a, std::size_t b) {
+  return (a + b - 1) / b;
+}
+
+}  // namespace
+
+TierPlan::TierPlan(std::size_t num_servers, TierConfig config)
+    : num_servers_(num_servers), config_(config) {
+  assert(config_.valid());
+  num_gateways_ = ceil_div(num_servers_, config_.gateway_fanin);
+  num_regions_ = ceil_div(num_gateways_, config_.region_fanin);
+}
+
+std::size_t TierPlan::gateway_fanin(std::size_t gateway) const {
+  assert(gateway < num_gateways_);
+  const std::size_t lo = gateway * config_.gateway_fanin;
+  return std::min(num_servers_, lo + config_.gateway_fanin) - lo;
+}
+
+std::size_t TierPlan::region_fanin(std::size_t region) const {
+  assert(region < num_regions_);
+  const std::size_t lo = region * config_.region_fanin;
+  return std::min(num_gateways_, lo + config_.region_fanin) - lo;
+}
+
+TierPlan::Participation TierPlan::participation(
+    std::span<const ClientId> selected) const {
+  // Ordered maps: the round only touches O(K) tier nodes, and iterating a
+  // std::map yields them id-ascending regardless of the selection order —
+  // the deterministic merge order the engine's parallel drains rely on.
+  std::map<std::size_t, std::size_t> per_gateway;
+  for (const ClientId sid : selected) {
+    assert(sid < num_servers_);
+    ++per_gateway[gateway_of(sid)];
+  }
+  std::map<std::size_t, std::size_t> per_region;
+  for (const auto& [gid, _] : per_gateway) {
+    ++per_region[region_of_gateway(gid)];
+  }
+
+  Participation p;
+  p.gateways.reserve(per_gateway.size());
+  for (const auto& [gid, count] : per_gateway) {
+    p.gateways.push_back({gid, count});
+  }
+  p.regions.reserve(per_region.size());
+  for (const auto& [rid, count] : per_region) {
+    p.regions.push_back({rid, count});
+  }
+  p.root_expected = p.regions.size();
+  return p;
+}
+
+}  // namespace eefei::fl

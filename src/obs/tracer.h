@@ -79,6 +79,21 @@ class Tracer {
       std::size_t shard) {
     return kFleetShardPidBase + static_cast<std::int32_t>(shard);
   }
+  /// Aggregation-tier tracks for the event-driven fleet engine: one track
+  /// per ACTIVE gateway / regional coordinator per round (≤ K of each, so
+  /// a 1M-server trace stays viewable), plus one root track.  Named lazily
+  /// on first use by the engine.
+  static constexpr std::int32_t kTierGatewayPidBase = 2'000'000;
+  static constexpr std::int32_t kTierRegionPidBase = 3'000'000;
+  static constexpr std::int32_t kTierRootPid = 3'999'999;
+  [[nodiscard]] static constexpr std::int32_t tier_gateway_pid(
+      std::size_t gateway) {
+    return kTierGatewayPidBase + static_cast<std::int32_t>(gateway);
+  }
+  [[nodiscard]] static constexpr std::int32_t tier_region_pid(
+      std::size_t region) {
+    return kTierRegionPidBase + static_cast<std::int32_t>(region);
+  }
 
   Tracer();
   Tracer(const Tracer&) = delete;

@@ -110,6 +110,9 @@ Result<AsyncRunResult> AsyncFeiSystem::run() {
     if (stop) return;
     stop = true;
     stop_time = queue.now();
+    // clear(), not reset(): the clock must stay pinned at the stopping
+    // update's completion time — stop_time and the cancelled-task instants
+    // below read queue.now() after this point.
     queue.clear();
   };
 

@@ -1,0 +1,958 @@
+#include "sim/event_fleet.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+#include "energy/idle_settlement.h"
+#include "fl/selection.h"
+#include "ml/quantize.h"
+#include "ml/serialize.h"
+#include "net/csma.h"
+#include "net/fault.h"
+#include "obs/telemetry.h"
+#include "sim/event_queue.h"
+#include "sim/fault_process.h"
+
+namespace eefei::sim {
+
+EventFleetEngine::EventFleetEngine(EventFleetEngineConfig config)
+    : config_(std::move(config)) {}
+
+Status EventFleetEngine::validate() const {
+  const FeiSystemConfig& sys = config_.system;
+  if (!config_.tiers.valid()) {
+    return Error::invalid_argument("event fleet: tier fan-in must be >= 1");
+  }
+  if (config_.gateway_latency.value() < 0.0 ||
+      config_.region_latency.value() < 0.0 ||
+      config_.root_latency.value() < 0.0) {
+    return Error::invalid_argument(
+        "event fleet: tier latencies must be >= 0");
+  }
+  if (config_.virtual_population) {
+    if (sys.net.lan.loss_probability != 0.0) {
+      return Error::invalid_argument(
+          "event fleet: virtual population requires a loss-free LAN "
+          "(per-server channel RNG streams are never materialized)");
+    }
+    if (sys.iot_collection) {
+      return Error::invalid_argument(
+          "event fleet: virtual population cannot simulate per-device IoT "
+          "collection (device fleets are never materialized)");
+    }
+    if (config_.data_pool_shards == 0 ||
+        config_.data_pool_shards >= sys.num_servers) {
+      return Error::invalid_argument(
+          "event fleet: virtual population requires data pooling "
+          "(0 < data_pool_shards < num_servers)");
+    }
+  }
+  if (config_.gateway_contention) {
+    if (sys.lan_contention == FeiSystemConfig::LanContention::kCsma) {
+      return Error::invalid_argument(
+          "event fleet: gateway contention models FCFS segments only");
+    }
+    if (fault_injection_active()) {
+      return Error::invalid_argument(
+          "event fleet: gateway contention does not support fault "
+          "injection");
+    }
+  }
+  if (fault_injection_active() &&
+      sys.lan_contention == FeiSystemConfig::LanContention::kCsma) {
+    return Error::invalid_argument(
+        "fleet: link fault injection models FCFS LAN contention only");
+  }
+  return Status::success();
+}
+
+Status EventFleetEngine::prepare() {
+  if (prepared_) return Status::success();
+  if (const auto st = validate(); !st.ok()) return st;
+  PopulationConfig pop = population_config_for(config_.system);
+  pop.data_pool_shards = config_.data_pool_shards;
+  pop.materialize_world = !config_.virtual_population;
+  if (const auto st = population_.build(pop); !st.ok()) return st;
+  prepared_ = true;
+  return Status::success();
+}
+
+ThreadPool* EventFleetEngine::acquire_pool() {
+  const std::size_t threads = config_.system.fl.threads;
+  if (threads <= 1) {
+    pool_ = nullptr;
+  } else if (pool_ == nullptr) {
+    if (threads == ThreadPool::shared().size()) {
+      pool_ = &ThreadPool::shared();
+    } else {
+      owned_pool_ = std::make_unique<ThreadPool>(threads);
+      pool_ = owned_pool_.get();
+    }
+  }
+  return pool_;
+}
+
+void EventFleetEngine::for_each_server_sharded(
+    const std::function<void(std::size_t)>& fn) {
+  const std::size_t n = config_.system.num_servers;
+  const std::size_t shard = std::max<std::size_t>(1, config_.shard_size);
+  const std::size_t num_shards = (n + shard - 1) / shard;
+  auto run_shard = [&](std::size_t s) {
+    const std::size_t lo = s * shard;
+    const std::size_t hi = std::min(n, lo + shard);
+    for (std::size_t k = lo; k < hi; ++k) fn(k);
+  };
+  if (pool_ != nullptr && num_shards > 1) {
+    pool_->parallel_for(num_shards, run_shard);
+  } else {
+    for (std::size_t s = 0; s < num_shards; ++s) run_shard(s);
+  }
+}
+
+Result<EventFleetRunResult> EventFleetEngine::run() {
+  if (const auto st = prepare(); !st.ok()) return st.error();
+  (void)acquire_pool();
+  const FeiSystemConfig& sys = config_.system;
+  const std::size_t n_servers = sys.num_servers;
+  const bool faults = fault_injection_active();
+  const bool virtual_pop = config_.virtual_population;
+  const bool charge_idle = sys.charge_idle_servers;
+
+  EventFleetRunResult result;
+  result.ledger = energy::EnergyLedger(n_servers);
+  if (config_.per_server_accumulators) {
+    result.accumulators.assign(n_servers,
+                               energy::CompactEnergyAccumulator(sys.profile));
+  }
+
+  fl::TierPlan tier_plan(n_servers, config_.tiers);
+  result.num_gateways = tier_plan.num_gateways();
+  result.num_regions = tier_plan.num_regions();
+
+  // Sampled full-timeline mirrors: same even spacing as FleetEngine, but a
+  // hash map instead of an O(N) mirror index array.
+  const std::size_t n_sampled = std::min(config_.sampled_timelines, n_servers);
+  std::unordered_map<std::size_t, std::uint32_t> mirror_of;
+  std::vector<EdgeServerSim> mirrors;
+  mirrors.reserve(n_sampled);
+  if (n_sampled > 0) {
+    const std::size_t stride = n_servers / n_sampled;
+    for (std::size_t k = 0; k < n_sampled; ++k) {
+      const std::size_t sid = k * stride;
+      mirror_of.emplace(sid, static_cast<std::uint32_t>(mirrors.size()));
+      result.sampled_servers.push_back(sid);
+      mirrors.emplace_back(sid, sys.profile);
+    }
+  }
+
+  obs::Tracer* const tracer = obs::tracer();
+  std::unordered_set<std::int32_t> named_tracks;
+  auto name_track = [&](std::int32_t pid, std::string name) {
+    if (tracer != nullptr && named_tracks.insert(pid).second) {
+      tracer->set_track_name(pid, std::move(name));
+    }
+  };
+  if (tracer != nullptr) {
+    name_track(obs::Tracer::kCoordinatorPid, "coordinator");
+    name_track(obs::Tracer::kTierRootPid, "fleet_root");
+    for (const std::size_t sid : result.sampled_servers) {
+      name_track(obs::Tracer::server_pid(sid),
+                 "edge_server_" + std::to_string(sid));
+    }
+  }
+  if (obs::Telemetry* tel = obs::telemetry()) {
+    tel->metrics.gauge("fleet.servers").set(static_cast<double>(n_servers));
+    tel->metrics.gauge("fleet.gateways")
+        .set(static_cast<double>(result.num_gateways));
+    tel->metrics.gauge("fleet.regions")
+        .set(static_cast<double>(result.num_regions));
+  }
+
+  const bool track_accumulators = config_.per_server_accumulators;
+  auto run_phase = [&](std::size_t sid, energy::EdgeState state, Seconds start,
+                       Seconds duration) {
+    if (track_accumulators) {
+      result.accumulators[sid].run_phase(state, start, duration);
+    }
+    if (const auto it = mirror_of.find(sid); it != mirror_of.end()) {
+      mirrors[it->second].run_phase(state, start, duration);
+    }
+  };
+
+  const std::size_t param_count = sys.model.parameter_count();
+  net::Message down_msg;
+  down_msg.payload_bytes = ml::wire_size(param_count);
+  net::Message up_msg = down_msg;
+  if (ml::valid_quant_bits(sys.upload_quant_bits)) {
+    up_msg.payload_bytes =
+        ml::quantized_wire_size(param_count, sys.upload_quant_bits);
+  }
+
+  // Same seed derivations as FeiSystem/FleetEngine; the dispatch scan
+  // consumes these streams serially in selection order, so a fault-free
+  // materialized run matches both reference engines bit for bit.
+  Rng jitter_rng(sys.seed * 104729 + 5);
+  Rng straggler_rng(sys.seed * 15485863 + 7);
+  net::CsmaCell csma(sys.csma, Rng(sys.seed * 48611 + 9));
+  auto jittered = [&](Seconds nominal) {
+    if (sys.timing_jitter <= 0.0) return nominal;
+    const double f =
+        std::max(0.5, 1.0 + jitter_rng.normal(0.0, sys.timing_jitter));
+    return nominal * f;
+  };
+  std::vector<double> persistent_slowdown;
+  if (sys.straggler_persistent && sys.straggler_fraction > 0.0) {
+    // Same draws as FleetEngine; the O(N) array only exists when the knob
+    // is on (it is one of the few remaining per-server allocations).
+    persistent_slowdown.assign(n_servers, 1.0);
+    for (auto& f : persistent_slowdown) {
+      if (straggler_rng.bernoulli(sys.straggler_fraction)) {
+        f = std::max(1.0, sys.straggler_slowdown);
+      }
+    }
+  }
+  auto straggler_factor = [&](std::size_t sid) {
+    if (sys.straggler_fraction <= 0.0) return 1.0;
+    if (sys.straggler_persistent) return persistent_slowdown[sid];
+    return straggler_rng.bernoulli(sys.straggler_fraction)
+               ? std::max(1.0, sys.straggler_slowdown)
+               : 1.0;
+  };
+
+  // Virtual mode never materializes per-server channels: every server
+  // shares the WifiLanConfig, and with loss_probability == 0 a transfer's
+  // duration IS the nominal duration (one attempt, no loss roll), so the
+  // shared model reproduces the per-server objects' bits exactly.
+  net::WifiLan shared_lan(sys.net.lan, Rng(0));
+  auto down_duration = [&](std::size_t sid) -> Seconds {
+    if (virtual_pop) return shared_lan.nominal_duration(down_msg.wire_bytes());
+    return population_.topology().lan(sid).transfer(down_msg).duration;
+  };
+  auto up_duration = [&](std::size_t sid) -> Seconds {
+    if (virtual_pop) return shared_lan.nominal_duration(up_msg.wire_bytes());
+    return population_.topology().lan(sid).transfer(up_msg).duration;
+  };
+  auto nominal_duration = [&](std::size_t sid, Bytes bytes) -> Seconds {
+    if (virtual_pop) return shared_lan.nominal_duration(bytes);
+    return population_.topology().lan(sid).nominal_duration(bytes);
+  };
+
+  const Watts p_down = sys.profile.power(energy::EdgeState::kDownloading);
+  const Watts p_train = sys.profile.power(energy::EdgeState::kTraining);
+  const Watts p_up = sys.profile.power(energy::EdgeState::kUploading);
+  const Watts p_wait = sys.profile.power(energy::EdgeState::kWaiting);
+
+  Seconds clock{0.0};
+  std::size_t events_processed = 0;
+
+  // Lazy idle settlement (see energy/idle_settlement.h): no O(N) sweep per
+  // round.  settled_upto[sid] = rounds already reflected in sid's row.
+  energy::IdleChargeSchedule idle_schedule(p_wait);
+  std::unordered_map<std::size_t, std::size_t> settled_upto;
+  auto settle_and_mark_active = [&](std::size_t sid) {
+    auto [it, inserted] = settled_upto.try_emplace(sid, 0);
+    const auto charges = idle_schedule.per_round();
+    for (std::size_t r = it->second; r < charges.size(); ++r) {
+      result.ledger.charge(sid, energy::EnergyCategory::kWaiting, charges[r]);
+    }
+    // +1 skips the round now starting: the server is active, not idle.
+    it->second = charges.size() + 1;
+  };
+
+  // ---- event queue + per-round tier completion state --------------------
+  EventQueue queue;
+  struct TierNodeState {
+    std::size_t remaining = 0;  // children not yet resolved this round
+    std::size_t members = 0;    // children active this round
+    Seconds last{0.0};          // latest child resolution time
+  };
+  std::map<std::size_t, TierNodeState> round_gateways;
+  std::map<std::size_t, TierNodeState> round_regions;
+  std::size_t root_remaining = 0;
+  Seconds root_last{0.0};
+  Seconds root_done{0.0};
+  Seconds round_start_time{0.0};
+  std::size_t current_round = 0;
+
+  auto root_member_resolved = [&](Seconds at) {
+    root_last = std::max(root_last, at);
+    if (--root_remaining == 0) {
+      const Seconds done = root_last + config_.root_latency;
+      const Seconds start = round_start_time;
+      const double round_arg = static_cast<double>(current_round);
+      queue.schedule_at(done, [&, done, start, round_arg] {
+        root_done = done;
+        if (tracer != nullptr) {
+          tracer->sim_span("fleet.root.aggregate", "sim.tier",
+                           obs::Tracer::kTierRootPid, start, done - start,
+                           {{"round", round_arg}});
+        }
+      });
+    }
+  };
+  auto region_member_resolved = [&](std::size_t rid, Seconds at) {
+    TierNodeState& r = round_regions.at(rid);
+    r.last = std::max(r.last, at);
+    if (--r.remaining == 0) {
+      const Seconds done = r.last + config_.region_latency;
+      const Seconds start = round_start_time;
+      const double round_arg = static_cast<double>(current_round);
+      const double members = static_cast<double>(r.members);
+      queue.schedule_at(done, [&, rid, done, start, round_arg, members] {
+        if (tracer != nullptr) {
+          name_track(obs::Tracer::tier_region_pid(rid),
+                     "fleet_region_" + std::to_string(rid));
+          tracer->sim_span("fleet.region.aggregate", "sim.tier",
+                           obs::Tracer::tier_region_pid(rid), start,
+                           done - start,
+                           {{"round", round_arg}, {"gateways", members}});
+        }
+        root_member_resolved(done);
+      });
+    }
+  };
+  // A member "resolves" its gateway by uploading — or, on the fault path,
+  // by definitively failing (crash, deadline, lost transfer): either way
+  // the gateway knows it will hear nothing more from it this round.
+  auto gateway_member_resolved = [&](std::size_t sid, Seconds at) {
+    const std::size_t gid = tier_plan.gateway_of(sid);
+    TierNodeState& g = round_gateways.at(gid);
+    g.last = std::max(g.last, at);
+    if (--g.remaining == 0) {
+      const Seconds done = g.last + config_.gateway_latency;
+      const Seconds start = round_start_time;
+      const double round_arg = static_cast<double>(current_round);
+      const double members = static_cast<double>(g.members);
+      queue.schedule_at(done, [&, gid, done, start, round_arg, members] {
+        if (tracer != nullptr) {
+          name_track(obs::Tracer::tier_gateway_pid(gid),
+                     "fleet_gateway_" + std::to_string(gid));
+          tracer->sim_span("fleet.gateway.aggregate", "sim.tier",
+                           obs::Tracer::tier_gateway_pid(gid), start,
+                           done - start,
+                           {{"round", round_arg}, {"devices", members}});
+        }
+        region_member_resolved(tier_plan.region_of_gateway(gid), done);
+      });
+    }
+  };
+
+  auto begin_round = [&](std::size_t round,
+                         std::span<const fl::ClientId> selected) {
+    round_start_time = clock;
+    current_round = round;
+    const auto part = tier_plan.participation(selected);
+    round_gateways.clear();
+    round_regions.clear();
+    for (const auto& node : part.gateways) {
+      round_gateways[node.id] = {node.expected, node.expected, Seconds{0.0}};
+    }
+    for (const auto& node : part.regions) {
+      round_regions[node.id] = {node.expected, node.expected, Seconds{0.0}};
+    }
+    root_remaining = part.root_expected;
+    root_last = Seconds{0.0};
+    root_done = round_start_time;
+    if (charge_idle) {
+      for (const auto sid : selected) settle_and_mark_active(sid);
+    }
+  };
+
+  // --- Fault-free round simulation: one shared LAN, global event queue ---
+  // Equivalence with FleetEngine's sorted drain: epoch-done events fire in
+  // (train_end, FIFO) order and FIFO order equals selection-index order, so
+  // the upload legs consume jitter_rng / csma / lan_free in exactly the
+  // (train_end, index) order FleetEngine's explicit sort produces.
+  auto observer = [&](const fl::RoundRecord& record,
+                      std::span<const fl::LocalTrainResult> updates) {
+    begin_round(record.round, record.selected);
+    const Seconds round_start = round_start_time;
+    Seconds lan_free = round_start;
+    Seconds round_end = round_start;
+    std::size_t uploads_pending = record.selected.size();
+
+    for (std::size_t i = 0; i < record.selected.size(); ++i) {
+      const std::size_t sid = record.selected[i];
+      const std::size_t n_k = updates[i].samples_used;
+
+      if (sys.iot_collection) {
+        const auto collected = population_.topology().fleet(sid).collect(n_k);
+        result.ledger.charge(sid, energy::EnergyCategory::kDataCollection,
+                             collected.total_energy);
+      }
+
+      const Seconds d = jittered(down_duration(sid));
+      const Seconds download_start = lan_free;
+      lan_free += d;
+      Seconds t = jittered(sys.timing.duration(record.local_epochs, n_k));
+      t *= straggler_factor(sid);
+
+      // download-done: book the reception phase on the event boundary.
+      queue.schedule_at(download_start + d, [&, sid, download_start, d] {
+        run_phase(sid, energy::EdgeState::kDownloading, download_start, d);
+        result.ledger.charge(sid, energy::EnergyCategory::kDownload,
+                             p_down * d);
+      });
+
+      // epoch-done: book training, then resolve this upload's contention
+      // at its actual completion time.
+      const Seconds train_start = download_start + d;
+      queue.schedule_at(train_start + t, [&, sid, train_start, t] {
+        run_phase(sid, energy::EdgeState::kTraining, train_start, t);
+        result.ledger.charge(sid, energy::EnergyCategory::kTraining,
+                             p_train * t);
+        const Seconds train_end = train_start + t;
+        Seconds u{0.0};
+        Seconds upload_start = train_end;
+        if (sys.lan_contention == FeiSystemConfig::LanContention::kCsma) {
+          const auto r =
+              csma.transfer(up_msg.wire_bytes(), uploads_pending - 1);
+          u = jittered(r.duration);
+        } else {
+          u = jittered(up_duration(sid));
+          upload_start = std::max(train_end, lan_free);
+          const Seconds queue_wait = upload_start - train_end;
+          lan_free = upload_start + u;
+          if (queue_wait.value() > 0.0) {
+            result.ledger.charge(sid, energy::EnergyCategory::kWaiting,
+                                 p_wait * queue_wait);
+          }
+        }
+        --uploads_pending;
+        // upload-done: book transmission, notify the aggregation tier.
+        queue.schedule_at(upload_start + u, [&, sid, upload_start, u] {
+          run_phase(sid, energy::EdgeState::kUploading, upload_start, u);
+          result.ledger.charge(sid, energy::EnergyCategory::kUpload,
+                               p_up * u);
+          round_end = std::max(round_end, upload_start + u);
+          gateway_member_resolved(sid, upload_start + u);
+        });
+      });
+    }
+
+    const std::size_t n_events = queue.run();
+    events_processed += n_events;
+    clock = std::max(std::max(round_end, lan_free), root_done);
+
+    if (charge_idle) idle_schedule.push_round(clock - round_start);
+
+    if (obs::Telemetry* tel = obs::telemetry()) {
+      tel->tracer.sim_span(
+          "round", "sim.round", obs::Tracer::kCoordinatorPid, round_start,
+          clock - round_start,
+          {{"round", static_cast<double>(record.round)},
+           {"selected", static_cast<double>(record.selected.size())},
+           {"accuracy", record.test_accuracy},
+           {"loss", record.global_loss}});
+      tel->metrics.counter("fleet.rounds").increment();
+      tel->metrics.counter("fleet.selected")
+          .add(static_cast<double>(record.selected.size()));
+      tel->metrics.counter("fleet.events")
+          .add(static_cast<double>(n_events));
+    }
+  };
+
+  // --- Per-gateway contention mode ---------------------------------------
+  // Each gateway is its own FCFS LAN segment, so the per-gateway event
+  // streams are independent: they drain in PARALLEL across the thread
+  // pool, each on a private EventQueue, touching only its own members'
+  // ledger rows / accumulators / mirrors.  All RNG (download, training,
+  // upload jitter) is consumed at dispatch in selection order, so results
+  // are byte-identical for any thread count; outcomes merge in ascending
+  // gateway order.
+  auto gateway_observer = [&](const fl::RoundRecord& record,
+                              std::span<const fl::LocalTrainResult> updates) {
+    begin_round(record.round, record.selected);
+    const Seconds round_start = round_start_time;
+
+    struct Job {
+      std::size_t sid = 0;
+      Seconds download_start{0.0};
+      Seconds d{0.0};
+      Seconds t{0.0};
+      Seconds u{0.0};
+    };
+    std::map<std::size_t, std::vector<Job>> per_gateway;
+    std::map<std::size_t, Seconds> gw_lan_free;
+    for (std::size_t i = 0; i < record.selected.size(); ++i) {
+      const std::size_t sid = record.selected[i];
+      const std::size_t n_k = updates[i].samples_used;
+      if (sys.iot_collection) {
+        const auto collected = population_.topology().fleet(sid).collect(n_k);
+        result.ledger.charge(sid, energy::EnergyCategory::kDataCollection,
+                             collected.total_energy);
+      }
+      const std::size_t gid = tier_plan.gateway_of(sid);
+      auto [lf, inserted] = gw_lan_free.try_emplace(gid, round_start);
+      const Seconds d = jittered(down_duration(sid));
+      const Seconds download_start = lf->second;
+      lf->second = download_start + d;
+      Seconds t = jittered(sys.timing.duration(record.local_epochs, n_k));
+      t *= straggler_factor(sid);
+      const Seconds u = jittered(up_duration(sid));
+      per_gateway[gid].push_back({sid, download_start, d, t, u});
+    }
+
+    std::vector<std::pair<std::size_t, std::vector<Job>>> groups;
+    groups.reserve(per_gateway.size());
+    for (auto& [gid, jobs] : per_gateway) {
+      groups.emplace_back(gid, std::move(jobs));
+    }
+    struct GatewayOutcome {
+      Seconds done{0.0};
+      std::size_t events = 0;
+    };
+    std::vector<GatewayOutcome> outcomes(groups.size());
+
+    auto drain_gateway = [&](std::size_t gi) {
+      const std::size_t gid = groups[gi].first;
+      const std::vector<Job>& jobs = groups[gi].second;
+      EventQueue local;
+      // Uploads queue behind this gateway's downloads, like the shared
+      // medium does globally.
+      Seconds lan_free = gw_lan_free.at(gid);
+      Seconds gw_end = round_start;
+      for (const Job& job : jobs) {
+        local.schedule_at(job.download_start + job.d, [&, job] {
+          run_phase(job.sid, energy::EdgeState::kDownloading,
+                    job.download_start, job.d);
+          result.ledger.charge(job.sid, energy::EnergyCategory::kDownload,
+                               p_down * job.d);
+        });
+        const Seconds train_start = job.download_start + job.d;
+        local.schedule_at(train_start + job.t, [&, job, train_start] {
+          run_phase(job.sid, energy::EdgeState::kTraining, train_start,
+                    job.t);
+          result.ledger.charge(job.sid, energy::EnergyCategory::kTraining,
+                               p_train * job.t);
+          const Seconds train_end = train_start + job.t;
+          const Seconds upload_start = std::max(train_end, lan_free);
+          const Seconds queue_wait = upload_start - train_end;
+          lan_free = upload_start + job.u;
+          if (queue_wait.value() > 0.0) {
+            result.ledger.charge(job.sid, energy::EnergyCategory::kWaiting,
+                                 p_wait * queue_wait);
+          }
+          local.schedule_at(upload_start + job.u, [&, job, upload_start] {
+            run_phase(job.sid, energy::EdgeState::kUploading, upload_start,
+                      job.u);
+            result.ledger.charge(job.sid, energy::EnergyCategory::kUpload,
+                                 p_up * job.u);
+            gw_end = std::max(gw_end, upload_start + job.u);
+          });
+        });
+      }
+      outcomes[gi].events = local.run();
+      outcomes[gi].done = gw_end;
+    };
+    if (pool_ != nullptr && groups.size() > 1) {
+      pool_->parallel_for(groups.size(), drain_gateway);
+    } else {
+      for (std::size_t gi = 0; gi < groups.size(); ++gi) drain_gateway(gi);
+    }
+
+    // Deterministic merge: ascending gateway order, independent of which
+    // worker finished first.  Gateway completion feeds the same tier chain
+    // the global mode uses (its events drain on the global queue).
+    Seconds round_end = round_start;
+    std::size_t n_events = 0;
+    for (std::size_t gi = 0; gi < groups.size(); ++gi) {
+      n_events += outcomes[gi].events;
+      round_end = std::max(round_end, outcomes[gi].done);
+      TierNodeState& g = round_gateways.at(groups[gi].first);
+      g.remaining = 1;  // resolve the whole gateway at once
+      gateway_member_resolved(groups[gi].first * config_.tiers.gateway_fanin,
+                              outcomes[gi].done);
+    }
+    n_events += queue.run();
+    events_processed += n_events;
+    clock = std::max(round_end, root_done);
+
+    if (charge_idle) idle_schedule.push_round(clock - round_start);
+
+    if (obs::Telemetry* tel = obs::telemetry()) {
+      tel->tracer.sim_span(
+          "round", "sim.round", obs::Tracer::kCoordinatorPid, round_start,
+          clock - round_start,
+          {{"round", static_cast<double>(record.round)},
+           {"selected", static_cast<double>(record.selected.size())},
+           {"gateways", static_cast<double>(groups.size())},
+           {"loss", record.global_loss}});
+      tel->metrics.counter("fleet.rounds").increment();
+      tel->metrics.counter("fleet.selected")
+          .add(static_cast<double>(record.selected.size()));
+      tel->metrics.counter("fleet.events")
+          .add(static_cast<double>(n_events));
+    }
+  };
+
+  // --- Fault-mode round simulation ---------------------------------------
+  // The control flow (what fails, when, what it costs) is FleetEngine's
+  // fault filter verbatim — the timing plan is computed in the dispatch
+  // scan because the FCFS lan_free chain needs it — but every energy
+  // booking now lands on its event boundary: download-done, epoch-done,
+  // upload-done, server-crash, deadline truncations and lost transfers all
+  // fire as queue events, and each failure resolves its aggregation tier
+  // (a reboot is implicit: CrashProcess's down interval ends and the
+  // server is selectable again).
+  const net::LinkFaultConfig link_faults = sys.net.link_faults;
+  const RngStreamFamily fault_streams(
+      link_faults.seed * 0x9e3779b97f4a7c15ULL + sys.seed * 7349 + 101);
+  CrashProcessConfig crash_cfg = sys.crashes;
+  crash_cfg.seed =
+      crash_cfg.seed * 2862933555777941757ULL + sys.seed * 977 + 3;
+  // CrashProcess keeps an O(N) timeline array — only pay for it when the
+  // fault path is actually live.
+  std::unique_ptr<CrashProcess> crash_process;
+  if (faults) {
+    crash_process = std::make_unique<CrashProcess>(n_servers, crash_cfg);
+  }
+
+  auto fault_filter = [&](std::size_t round,
+                          std::span<const fl::ClientId> selected,
+                          std::span<fl::LocalTrainResult> updates)
+      -> fl::RoundFaultStats {
+    begin_round(round, selected);
+    fl::RoundFaultStats stats;
+    const Seconds round_start = round_start_time;
+    const auto trace_fault = [&](const char* name, std::size_t sid,
+                                 Seconds at) {
+      if (mirror_of.find(sid) == mirror_of.end()) return;
+      if (tracer != nullptr) {
+        tracer->sim_instant(name, "sim.fault", obs::Tracer::server_pid(sid),
+                            at);
+      }
+    };
+    const bool has_deadline = sys.round_deadline.value() > 0.0;
+    const Seconds deadline = round_start + sys.round_deadline;
+
+    Seconds lan_free = round_start;
+    Seconds round_end = round_start;
+    const auto note_end = [&](Seconds at) {
+      round_end =
+          std::max(round_end, has_deadline ? std::min(at, deadline) : at);
+    };
+    const auto plan_transfer = [&](std::size_t sid, bool upload,
+                                   Seconds start, Seconds nominal) {
+      Rng stream = fault_streams.stream(round, sid * 2 + (upload ? 1 : 0));
+      return net::plan_faulty_transfer(stream, link_faults, start, nominal);
+    };
+
+    for (std::size_t i = 0; i < selected.size(); ++i) {
+      const std::size_t sid = selected[i];
+      auto& u = updates[i];
+
+      if (sys.iot_collection) {
+        const auto collected =
+            population_.topology().fleet(sid).collect(u.samples_used);
+        result.ledger.charge(sid, energy::EnergyCategory::kDataCollection,
+                             collected.total_energy);
+      }
+
+      if (crash_process->is_down(sid, round_start)) {
+        queue.schedule_at(round_start, [&, sid] {
+          trace_fault("server.down", sid, round_start);
+          gateway_member_resolved(sid, round_start);
+        });
+        u.aggregated = false;
+        ++stats.crashed_servers;
+        continue;
+      }
+
+      const Seconds download_start = lan_free;
+      if (has_deadline && download_start >= deadline) {
+        queue.schedule_at(deadline, [&, sid] {
+          trace_fault("deadline.drop", sid, deadline);
+          gateway_member_resolved(sid, deadline);
+        });
+        u.aggregated = false;
+        ++stats.straggler_drops;
+        note_end(deadline);
+        continue;
+      }
+      const Seconds d1 =
+          jittered(nominal_duration(sid, down_msg.wire_bytes()));
+      const auto down = plan_transfer(sid, /*upload=*/false, download_start,
+                                      d1);
+      stats.retries += down.attempts - 1;
+      lan_free = has_deadline ? std::min(down.finish, deadline) : down.finish;
+      if (has_deadline && down.finish > deadline) {
+        const double frac =
+            (deadline - download_start) / (down.finish - download_start);
+        const Seconds cut = down.air_time * std::clamp(frac, 0.0, 1.0);
+        queue.schedule_at(deadline, [&, sid, download_start, cut] {
+          result.ledger.charge(sid, energy::EnergyCategory::kAborted,
+                               p_down * cut);
+          run_phase(sid, energy::EdgeState::kDownloading, download_start,
+                    cut);
+          trace_fault("deadline.drop", sid, deadline);
+          gateway_member_resolved(sid, deadline);
+        });
+        u.aggregated = false;
+        ++stats.straggler_drops;
+        note_end(deadline);
+        continue;
+      }
+      if (!down.delivered) {
+        queue.schedule_at(
+            down.finish,
+            [&, sid, download_start, air = down.air_time,
+             finish = down.finish] {
+              result.ledger.charge(sid, energy::EnergyCategory::kAborted,
+                                   p_down * air);
+              run_phase(sid, energy::EdgeState::kDownloading, download_start,
+                        air);
+              trace_fault("update.lost", sid, finish);
+              gateway_member_resolved(sid, finish);
+            });
+        u.aggregated = false;
+        ++stats.aborted_updates;
+        note_end(down.finish);
+        continue;
+      }
+      // download-done (possibly with retried attempts folded in).
+      queue.schedule_at(down.finish, [&, sid, download_start,
+                                      wasted = down.wasted_air_time,
+                                      air = down.air_time] {
+        result.ledger.charge(sid, energy::EnergyCategory::kRetry,
+                             p_down * wasted);
+        result.ledger.charge(sid, energy::EnergyCategory::kDownload,
+                             p_down * (air - wasted));
+        run_phase(sid, energy::EdgeState::kDownloading, download_start, air);
+      });
+
+      const Seconds train_start = down.finish;
+      Seconds t = jittered(sys.timing.duration(u.epochs_run, u.samples_used));
+      t *= straggler_factor(sid);
+      const Seconds train_end = train_start + t;
+      const Seconds train_cap =
+          has_deadline ? std::min(train_end, deadline) : train_end;
+      if (const auto crash =
+              crash_process->next_crash_in(sid, train_start, train_cap)) {
+        const Seconds at = *crash;
+        queue.schedule_at(at, [&, sid, train_start, at] {
+          result.ledger.charge(sid, energy::EnergyCategory::kAborted,
+                               p_train * (at - train_start));
+          run_phase(sid, energy::EdgeState::kTraining, train_start,
+                    at - train_start);
+          trace_fault("server.crash", sid, at);
+          gateway_member_resolved(sid, at);
+        });
+        u.aggregated = false;
+        ++stats.crashed_servers;
+        note_end(at);
+        continue;
+      }
+      if (has_deadline && train_end > deadline) {
+        queue.schedule_at(deadline, [&, sid, train_start] {
+          result.ledger.charge(sid, energy::EnergyCategory::kAborted,
+                               p_train * (deadline - train_start));
+          if (deadline > train_start) {
+            run_phase(sid, energy::EdgeState::kTraining, train_start,
+                      deadline - train_start);
+          }
+          trace_fault("deadline.drop", sid, deadline);
+          gateway_member_resolved(sid, deadline);
+        });
+        u.aggregated = false;
+        ++stats.straggler_drops;
+        note_end(deadline);
+        continue;
+      }
+
+      // epoch-done: book the full training phase, then run the upload leg
+      // against the (event-ordered) FCFS chain — exactly FleetEngine's
+      // sorted (train_end, index) drain, produced by the queue's FIFO.
+      queue.schedule_at(train_end, [&, i, sid, train_start, t, train_end] {
+        result.ledger.charge(sid, energy::EnergyCategory::kTraining,
+                             p_train * t);
+        run_phase(sid, energy::EdgeState::kTraining, train_start, t);
+        auto& uu = updates[i];
+        const Seconds upload_start = std::max(train_end, lan_free);
+        const Seconds queue_wait_end =
+            has_deadline ? std::min(upload_start, deadline) : upload_start;
+        if (queue_wait_end > train_end) {
+          result.ledger.charge(sid, energy::EnergyCategory::kWaiting,
+                               p_wait * (queue_wait_end - train_end));
+        }
+        if (has_deadline && upload_start >= deadline) {
+          trace_fault("deadline.drop", sid, deadline);
+          uu.aggregated = false;
+          ++stats.straggler_drops;
+          note_end(deadline);
+          gateway_member_resolved(sid, deadline);
+          return;
+        }
+        const Seconds u1 =
+            jittered(nominal_duration(sid, up_msg.wire_bytes()));
+        const auto up = plan_transfer(sid, /*upload=*/true, upload_start, u1);
+        stats.retries += up.attempts - 1;
+        lan_free = has_deadline ? std::min(up.finish, deadline) : up.finish;
+        if (has_deadline && up.finish > deadline) {
+          const double frac =
+              (deadline - upload_start) / (up.finish - upload_start);
+          const Seconds cut = up.air_time * std::clamp(frac, 0.0, 1.0);
+          queue.schedule_at(deadline, [&, sid, upload_start, cut] {
+            result.ledger.charge(sid, energy::EnergyCategory::kAborted,
+                                 p_up * cut);
+            run_phase(sid, energy::EdgeState::kUploading, upload_start, cut);
+            trace_fault("deadline.drop", sid, deadline);
+            gateway_member_resolved(sid, deadline);
+          });
+          uu.aggregated = false;
+          ++stats.straggler_drops;
+          note_end(deadline);
+          return;
+        }
+        if (!up.delivered) {
+          queue.schedule_at(up.finish,
+                            [&, sid, upload_start, air = up.air_time,
+                             finish = up.finish] {
+                              result.ledger.charge(
+                                  sid, energy::EnergyCategory::kAborted,
+                                  p_up * air);
+                              run_phase(sid, energy::EdgeState::kUploading,
+                                        upload_start, air);
+                              trace_fault("update.lost", sid, finish);
+                              gateway_member_resolved(sid, finish);
+                            });
+          uu.aggregated = false;
+          ++stats.aborted_updates;
+          note_end(up.finish);
+          return;
+        }
+        // upload-done: delivery books the phase and resolves the tier.
+        queue.schedule_at(up.finish, [&, sid, upload_start,
+                                      wasted = up.wasted_air_time,
+                                      air = up.air_time, finish = up.finish] {
+          result.ledger.charge(sid, energy::EnergyCategory::kRetry,
+                               p_up * wasted);
+          result.ledger.charge(sid, energy::EnergyCategory::kUpload,
+                               p_up * (air - wasted));
+          run_phase(sid, energy::EdgeState::kUploading, upload_start, air);
+          gateway_member_resolved(sid, finish);
+        });
+        note_end(up.finish);
+      });
+    }
+
+    const std::size_t n_events = queue.run();
+    events_processed += n_events;
+    clock = std::max(std::max(round_end, round_start), root_done);
+
+    if (charge_idle) idle_schedule.push_round(clock - round_start);
+
+    if (obs::Telemetry* tel = obs::telemetry()) {
+      tel->tracer.sim_span(
+          "round", "sim.round", obs::Tracer::kCoordinatorPid, round_start,
+          clock - round_start,
+          {{"round", static_cast<double>(round)},
+           {"selected", static_cast<double>(selected.size())},
+           {"retries", static_cast<double>(stats.retries)},
+           {"dropped", static_cast<double>(stats.straggler_drops +
+                                           stats.aborted_updates +
+                                           stats.crashed_servers)}});
+      tel->metrics.counter("fleet.rounds").increment();
+      tel->metrics.counter("fleet.selected")
+          .add(static_cast<double>(selected.size()));
+      tel->metrics.counter("fleet.events")
+          .add(static_cast<double>(n_events));
+    }
+    return stats;
+  };
+
+  // ---- coordinator wiring ------------------------------------------------
+  fl::CoordinatorConfig fl_cfg = sys.fl;
+  fl_cfg.upload_quant_bits = sys.upload_quant_bits;
+  fl_cfg.update_drop_probability = sys.update_drop_probability;
+  fl_cfg.drop_seed = sys.seed * 2654435761 + 13;
+  std::unique_ptr<fl::SelectionPolicy> policy;
+  if (config_.scalable_selection) {
+    policy = std::make_unique<fl::ScalableUniformSelection>(
+        Rng(sys.seed * 613 + 29));
+  } else {
+    policy = std::make_unique<fl::UniformRandomSelection>(
+        Rng(sys.seed * 613 + 29));
+  }
+
+  std::unique_ptr<fl::ClientPool> clients;
+  if (virtual_pop) {
+    fl::ClientConfig ccfg;
+    ccfg.model = sys.model;
+    ccfg.sgd = sys.sgd;
+    clients = std::make_unique<fl::LazyClientPool>(
+        n_servers, &population_.shards(), ccfg);
+  } else {
+    clients = std::make_unique<fl::DenseClientPool>(&population_.clients());
+  }
+  fl::Coordinator coordinator(clients.get(), &population_.test_set(), fl_cfg,
+                              std::move(policy));
+  if (faults) {
+    coordinator.set_update_filter(fault_filter);
+  } else if (config_.gateway_contention) {
+    coordinator.set_round_observer(gateway_observer);
+  } else {
+    coordinator.set_round_observer(observer);
+  }
+
+  auto outcome = coordinator.run();
+  if (!outcome.ok()) return outcome.error();
+  result.training = std::move(outcome).value();
+  result.wall_clock = clock;
+  result.events_processed = events_processed;
+  for (const auto& r : result.training.record.all()) {
+    result.total_retries += r.retries;
+    result.total_aborted_updates += r.aborted_updates;
+    result.total_straggler_drops += r.straggler_drops;
+    result.total_crashed_servers += r.crashed_servers;
+  }
+
+  // ---- lazy idle settlement: bring every ledger row up to date ----------
+  if (charge_idle) {
+    const auto charges = idle_schedule.per_round();
+    // Touched servers replay their outstanding idle rounds in round order
+    // (per-row, so hash iteration order cannot change any bits).
+    for (auto& [sid, upto] : settled_upto) {
+      for (std::size_t r = upto; r < charges.size(); ++r) {
+        result.ledger.charge(sid, energy::EnergyCategory::kWaiting,
+                             charges[r]);
+      }
+      upto = charges.size();
+    }
+    // Never-selected servers get the whole run's fold in ONE charge — the
+    // O(N) pass this engine runs once instead of every round.
+    const Joules untouched_total = idle_schedule.all_rounds_total();
+    for_each_server_sharded([&](std::size_t sid) {
+      if (settled_upto.find(sid) == settled_upto.end()) {
+        result.ledger.charge(sid, energy::EnergyCategory::kWaiting,
+                             untouched_total);
+      }
+    });
+    if (obs::Telemetry* tel = obs::telemetry()) {
+      tel->metrics.counter("fleet.idle_charges")
+          .add(static_cast<double>(n_servers));
+    }
+  }
+
+  // Close every tracked timeline at the makespan.
+  if (track_accumulators) {
+    for_each_server_sharded(
+        [&](std::size_t sid) { result.accumulators[sid].idle_until(clock); });
+  }
+  for (auto& m : mirrors) m.idle_until(clock);
+  result.sampled_timelines.reserve(mirrors.size());
+  for (auto& m : mirrors) result.sampled_timelines.push_back(m.timeline());
+
+  return result;
+}
+
+}  // namespace eefei::sim

@@ -21,6 +21,10 @@ void EventQueue::schedule_in(Seconds delay, Handler handler) {
 std::size_t EventQueue::run(std::size_t max_events) {
   std::size_t processed = 0;
   while (!heap_.empty() && processed < max_events) {
+    // Re-entrancy: the event is moved OUT of the vector (and popped) before
+    // its handler runs, so a handler that calls schedule_at — growing and
+    // possibly reallocating heap_ — cannot invalidate the event being
+    // dispatched.  The pop must stay ahead of the call; do not reorder.
     std::pop_heap(heap_.begin(), heap_.end(), Later{});
     Event ev = std::move(heap_.back());
     heap_.pop_back();
@@ -32,5 +36,11 @@ std::size_t EventQueue::run(std::size_t max_events) {
 }
 
 void EventQueue::clear() { heap_.clear(); }
+
+void EventQueue::reset() {
+  heap_.clear();
+  now_ = Seconds{0.0};
+  next_seq_ = 0;
+}
 
 }  // namespace eefei::sim

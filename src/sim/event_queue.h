@@ -20,21 +20,36 @@ class EventQueue {
   /// or the last processed event after run() returns).
   [[nodiscard]] Seconds now() const { return now_; }
 
-  /// Schedules `handler` at absolute simulated time `at` (>= now).
+  /// Schedules `handler` at absolute simulated time `at`.  Time is
+  /// monotonic: a timestamp in the past is clamped to `now()` (it fires as
+  /// the next event at the current time, never "before" events that were
+  /// already processed, and `now()` can never move backwards mid-run).
   void schedule_at(Seconds at, Handler handler);
 
   /// Schedules `handler` `delay` after the current time.
   void schedule_in(Seconds delay, Handler handler);
 
   /// Processes events until the queue is empty or `max_events` fires.
-  /// Returns the number of events processed.
+  /// Returns the number of events processed.  Handlers may schedule more
+  /// events (including at the current timestamp); a stopped run resumes
+  /// exactly where it left off on the next call.
   std::size_t run(std::size_t max_events = SIZE_MAX);
 
   [[nodiscard]] bool empty() const { return heap_.empty(); }
   [[nodiscard]] std::size_t pending() const { return heap_.size(); }
 
-  /// Drops all pending events (end of a simulation phase).
+  /// Drops all pending events but keeps the clock (and the FIFO sequence
+  /// counter): the next phase of the same simulation continues from the
+  /// time already reached.  This is the semantic AsyncFeiSystem's stop path
+  /// wants — `request_stop` cancels in-flight work *at* the stop time.  Use
+  /// reset() to also rewind the clock for a fresh, unrelated simulation.
   void clear();
+
+  /// Clears pending events AND rewinds the clock to zero (also resetting
+  /// the FIFO tie-break counter), returning the queue to its
+  /// freshly-constructed state.  clear() alone leaves `now()` at the last
+  /// processed timestamp, which silently time-shifts a reused queue.
+  void reset();
 
   /// Pre-sizes the backing store so a warmed-up queue schedules and runs
   /// without growing the heap vector.

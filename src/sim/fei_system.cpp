@@ -129,6 +129,10 @@ Result<FeiRunResult> FeiSystem::run() {
         ml::quantized_wire_size(param_count, config_.upload_quant_bits);
   }
 
+  // One queue for the whole run, drained to empty every round: its clock
+  // persists across rounds (never clear()/reset() between rounds), so the
+  // next round's schedule_at timestamps — always >= the last drained event
+  // — continue the same monotonic timeline.
   EventQueue queue;
   Rng jitter_rng(config_.seed * 104729 + 5);
   Rng straggler_rng(config_.seed * 15485863 + 7);

@@ -1,0 +1,423 @@
+// Event-driven fleet engine: golden byte-identity against the pre-fleet
+// FeiSystem fingerprint, equivalence with FleetEngine on every overlapping
+// configuration (fault-free, jittered, CSMA, fault injection, N = 1k),
+// thread-count invariance, the virtual-population contract, tier latency
+// semantics, per-gateway contention determinism, and config validation.
+#include "sim/event_fleet.h"
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <set>
+#include <vector>
+
+#include "sim/fei_system.h"
+#include "sim/fleet_engine.h"
+
+namespace eefei::sim {
+namespace {
+
+// Same configuration and pre-fleet FeiSystem reference values as
+// tests/test_fleet_engine.cpp (hexfloat: comparisons are bit-exact).  If
+// these move, the simulation's physics changed — a regression, not a
+// tolerance issue.
+FeiSystemConfig golden_config() {
+  FeiSystemConfig cfg = prototype_config();
+  cfg.samples_per_server = 120;
+  cfg.test_samples = 400;
+  cfg.fl.clients_per_round = 10;
+  cfg.fl.local_epochs = 5;
+  cfg.fl.max_rounds = 8;
+  cfg.fl.eval_every = 2;
+  cfg.fl.target_accuracy = 2.0;  // unreachable: always runs all 8 rounds
+  cfg.fl.threads = 4;
+  cfg.seed = 3;
+  return cfg;
+}
+
+constexpr double kGoldenLedgerTotal = 0x1.fe8f44bc615ffp+7;
+constexpr double kGoldenWallClock = 0x1.850c37394590cp+3;
+constexpr double kGoldenTimelineSum = 0x1.bcf4fb069b7bcp+9;
+constexpr double kGoldenFinalAccuracy = 0x1.170a3d70a3d71p-1;
+constexpr double kGoldenFinalLoss = 0x1.082c5a9bb4488p+1;
+
+void expect_golden(const EventFleetRunResult& r) {
+  EXPECT_EQ(r.training.rounds_run, 8u);
+  EXPECT_EQ(r.ledger.total().value(), kGoldenLedgerTotal);
+  EXPECT_EQ(r.wall_clock.value(), kGoldenWallClock);
+  EXPECT_EQ(r.accumulated_energy().value(), kGoldenTimelineSum);
+  EXPECT_EQ(r.training.record.last().test_accuracy, kGoldenFinalAccuracy);
+  EXPECT_EQ(r.training.record.last().global_loss, kGoldenFinalLoss);
+}
+
+void expect_bitwise_equal(const FleetRunResult& a, const FleetRunResult& b,
+                          std::size_t n_servers) {
+  EXPECT_EQ(a.ledger.total().value(), b.ledger.total().value());
+  EXPECT_EQ(a.wall_clock.value(), b.wall_clock.value());
+  EXPECT_EQ(a.training.final_params, b.training.final_params);
+  EXPECT_EQ(a.total_retries, b.total_retries);
+  EXPECT_EQ(a.total_aborted_updates, b.total_aborted_updates);
+  EXPECT_EQ(a.total_straggler_drops, b.total_straggler_drops);
+  EXPECT_EQ(a.total_crashed_servers, b.total_crashed_servers);
+  ASSERT_EQ(a.accumulators.size(), n_servers);
+  ASSERT_EQ(b.accumulators.size(), n_servers);
+  for (std::size_t sid = 0; sid < n_servers; ++sid) {
+    EXPECT_EQ(a.ledger.server_total(sid).value(),
+              b.ledger.server_total(sid).value())
+        << "server " << sid;
+    EXPECT_EQ(a.accumulators[sid].total_energy().value(),
+              b.accumulators[sid].total_energy().value())
+        << "server " << sid;
+  }
+}
+
+TEST(EventFleetEngine, MatchesGoldenFingerprint) {
+  EventFleetEngineConfig cfg;
+  cfg.system = golden_config();
+  cfg.sampled_timelines = 20;
+  // Several gateways and regions (N = 20, fan-ins 4 and 2): the tier
+  // completion chain runs for real, and with zero latencies it must not
+  // move the clock by a single bit.
+  cfg.tiers.gateway_fanin = 4;
+  cfg.tiers.region_fanin = 2;
+  EventFleetEngine engine(cfg);
+  const auto r = engine.run();
+  ASSERT_TRUE(r.ok()) << r.error().message;
+  expect_golden(*r);
+  EXPECT_EQ(r->num_gateways, 5u);
+  EXPECT_EQ(r->num_regions, 3u);
+  // Every selected server contributes at least download-done, epoch-done
+  // and upload-done; tier completions come on top.
+  EXPECT_GE(r->events_processed, 3u * 10u * 8u);
+
+  for (std::size_t i = 0; i < r->sampled_servers.size(); ++i) {
+    const std::size_t sid = r->sampled_servers[i];
+    EXPECT_EQ(r->sampled_timelines[i].total_energy().value(),
+              r->accumulators[sid].total_energy().value());
+  }
+}
+
+TEST(EventFleetEngine, ThreadCountInvariant) {
+  EventFleetEngineConfig serial;
+  serial.system = golden_config();
+  serial.system.fl.threads = 1;
+  serial.sampled_timelines = 20;
+  serial.shard_size = 3;  // force many shards even at N = 20
+  serial.tiers.gateway_fanin = 4;
+  EventFleetEngine engine(serial);
+  const auto r = engine.run();
+  ASSERT_TRUE(r.ok()) << r.error().message;
+  expect_golden(*r);
+}
+
+// The tentpole equivalence pin at scale: N = 1k with timing jitter and
+// transient stragglers on, so the RNG streams are consumed for real — the
+// event order must reproduce FleetEngine's sorted upload drain exactly.
+TEST(EventFleetEngine, MatchesFleetEngineBitwiseAtN1k) {
+  FeiSystemConfig sys = prototype_config();
+  sys.num_servers = 1000;
+  sys.net.num_edge_servers = 1000;
+  sys.samples_per_server = 30;
+  sys.test_samples = 200;
+  sys.data.image_side = 12;
+  sys.model.input_dim = 144;
+  sys.sgd.learning_rate = 0.1;
+  sys.fl.clients_per_round = 20;
+  sys.fl.local_epochs = 2;
+  sys.fl.max_rounds = 4;
+  sys.fl.eval_every = 2;
+  sys.fl.threads = 4;
+  sys.timing_jitter = 0.05;
+  sys.straggler_fraction = 0.2;
+  sys.straggler_slowdown = 3.0;
+  sys.charge_idle_servers = true;
+  sys.seed = 17;
+
+  FleetEngineConfig ref_cfg;
+  ref_cfg.system = sys;
+  ref_cfg.data_pool_shards = 50;
+  FleetEngine reference(ref_cfg);
+  const auto ref = reference.run();
+  ASSERT_TRUE(ref.ok()) << ref.error().message;
+
+  EventFleetEngineConfig cfg;
+  cfg.system = sys;
+  cfg.data_pool_shards = 50;
+  cfg.tiers.gateway_fanin = 32;
+  cfg.tiers.region_fanin = 8;
+  EventFleetEngine engine(cfg);
+  const auto r = engine.run();
+  ASSERT_TRUE(r.ok()) << r.error().message;
+
+  expect_bitwise_equal(*ref, *r, 1000);
+}
+
+TEST(EventFleetEngine, VirtualPopulationMatchesMaterialized) {
+  FeiSystemConfig sys = prototype_config();
+  sys.num_servers = 200;
+  sys.net.num_edge_servers = 200;
+  sys.samples_per_server = 40;
+  sys.test_samples = 200;
+  sys.data.image_side = 12;
+  sys.model.input_dim = 144;
+  sys.sgd.learning_rate = 0.1;
+  sys.fl.clients_per_round = 12;
+  sys.fl.local_epochs = 2;
+  sys.fl.max_rounds = 3;
+  sys.fl.threads = 4;
+  sys.timing_jitter = 0.1;
+  sys.charge_idle_servers = true;
+  sys.seed = 5;
+
+  EventFleetEngineConfig mat;
+  mat.system = sys;
+  mat.data_pool_shards = 16;
+  EventFleetEngineConfig virt = mat;
+  virt.virtual_population = true;
+
+  EventFleetEngine ea(mat);
+  EventFleetEngine eb(virt);
+  const auto ra = ea.run();
+  const auto rb = eb.run();
+  ASSERT_TRUE(ra.ok()) << ra.error().message;
+  ASSERT_TRUE(rb.ok()) << rb.error().message;
+  expect_bitwise_equal(*ra, *rb, 200);
+  EXPECT_EQ(ra->events_processed, rb->events_processed);
+}
+
+TEST(EventFleetEngine, CsmaContentionMatchesFleetEngine) {
+  FeiSystemConfig sys = golden_config();
+  sys.lan_contention = FeiSystemConfig::LanContention::kCsma;
+  sys.timing_jitter = 0.05;  // upload jitter draws in completion order
+  sys.fl.max_rounds = 4;
+
+  FleetEngineConfig ref_cfg;
+  ref_cfg.system = sys;
+  FleetEngine reference(ref_cfg);
+  const auto ref = reference.run();
+  ASSERT_TRUE(ref.ok()) << ref.error().message;
+
+  EventFleetEngineConfig cfg;
+  cfg.system = sys;
+  EventFleetEngine engine(cfg);
+  const auto r = engine.run();
+  ASSERT_TRUE(r.ok()) << r.error().message;
+
+  // CSMA consumes a single shared RNG in upload-completion order; bit
+  // equality proves the queue's (time, FIFO) order IS the sorted
+  // (train_end, index) drain order.
+  expect_bitwise_equal(*ref, *r, sys.num_servers);
+}
+
+FeiSystemConfig faulty_config() {
+  FeiSystemConfig cfg = prototype_config();
+  cfg.num_servers = 30;
+  cfg.net.num_edge_servers = 30;
+  cfg.samples_per_server = 60;
+  cfg.test_samples = 200;
+  cfg.data.image_side = 12;
+  cfg.model.input_dim = 144;
+  cfg.sgd.learning_rate = 0.1;
+  cfg.fl.clients_per_round = 8;
+  cfg.fl.local_epochs = 3;
+  cfg.fl.max_rounds = 5;
+  cfg.fl.overselect = 2;
+  cfg.fl.threads = 4;
+  cfg.net.link_faults.loss_probability = 0.2;
+  cfg.net.link_faults.max_attempts = 3;
+  cfg.round_deadline = Seconds{60.0};
+  cfg.crashes.mtbf = Seconds{400.0};
+  cfg.crashes.mttr = Seconds{20.0};
+  cfg.charge_idle_servers = true;
+  cfg.seed = 11;
+  return cfg;
+}
+
+TEST(EventFleetEngine, FaultPathMatchesFleetEngine) {
+  FleetEngineConfig ref_cfg;
+  ref_cfg.system = faulty_config();
+  FleetEngine reference(ref_cfg);
+  const auto ref = reference.run();
+  ASSERT_TRUE(ref.ok()) << ref.error().message;
+
+  EventFleetEngineConfig cfg;
+  cfg.system = faulty_config();
+  cfg.tiers.gateway_fanin = 8;
+  EventFleetEngine engine(cfg);
+  const auto r = engine.run();
+  ASSERT_TRUE(r.ok()) << r.error().message;
+
+  expect_bitwise_equal(*ref, *r, 30);
+  // The fault knobs actually fired (otherwise this proves nothing) —
+  // crashes / drops resolve their aggregation tier instead of uploading.
+  EXPECT_GT(r->total_retries + r->total_aborted_updates +
+                r->total_straggler_drops + r->total_crashed_servers,
+            0u);
+}
+
+TEST(EventFleetEngine, FaultPathThreadInvariant) {
+  EventFleetEngineConfig a;
+  a.system = faulty_config();
+  a.tiers.gateway_fanin = 8;
+  EventFleetEngineConfig b = a;
+  b.system.fl.threads = 1;
+  b.shard_size = 4;
+
+  EventFleetEngine ea(a);
+  EventFleetEngine eb(b);
+  const auto ra = ea.run();
+  const auto rb = eb.run();
+  ASSERT_TRUE(ra.ok()) << ra.error().message;
+  ASSERT_TRUE(rb.ok()) << rb.error().message;
+  expect_bitwise_equal(*ra, *rb, 30);
+  EXPECT_EQ(ra->events_processed, rb->events_processed);
+}
+
+TEST(EventFleetEngine, TierLatenciesExtendTheMakespan) {
+  EventFleetEngineConfig base;
+  base.system = golden_config();
+  base.tiers.gateway_fanin = 4;
+  base.tiers.region_fanin = 2;
+  EventFleetEngineConfig slow = base;
+  slow.gateway_latency = Seconds{0.5};
+  slow.region_latency = Seconds{0.25};
+  slow.root_latency = Seconds{0.25};
+
+  EventFleetEngine ea(base);
+  EventFleetEngine eb(slow);
+  const auto ra = ea.run();
+  const auto rb = eb.run();
+  ASSERT_TRUE(ra.ok()) << ra.error().message;
+  ASSERT_TRUE(rb.ok()) << rb.error().message;
+  // Every round now ends at root-done, which trails the last upload by at
+  // least the three hop latencies.
+  EXPECT_GE(rb->wall_clock.value(),
+            ra->wall_clock.value() + 8 * (0.5 + 0.25 + 0.25));
+  // Aggregation latency idles servers longer but changes no phase energy:
+  // training totals are unaffected.
+  EXPECT_EQ(
+      ra->ledger.category_total(energy::EnergyCategory::kTraining).value(),
+      rb->ledger.category_total(energy::EnergyCategory::kTraining).value());
+}
+
+TEST(EventFleetEngine, GatewayContentionIsDeterministicAcrossThreads) {
+  FeiSystemConfig sys = golden_config();
+  sys.num_servers = 200;
+  sys.net.num_edge_servers = 200;
+  sys.samples_per_server = 40;
+  sys.fl.clients_per_round = 40;
+  sys.fl.max_rounds = 3;
+  sys.timing_jitter = 0.05;
+  sys.charge_idle_servers = true;
+
+  EventFleetEngineConfig a;
+  a.system = sys;
+  a.tiers.gateway_fanin = 16;
+  a.gateway_contention = true;
+  EventFleetEngineConfig b = a;
+  b.system.fl.threads = 1;
+
+  EventFleetEngine ea(a);
+  EventFleetEngine eb(b);
+  const auto ra = ea.run();
+  const auto rb = eb.run();
+  ASSERT_TRUE(ra.ok()) << ra.error().message;
+  ASSERT_TRUE(rb.ok()) << rb.error().message;
+  expect_bitwise_equal(*ra, *rb, 200);
+  EXPECT_EQ(ra->events_processed, rb->events_processed);
+
+  // Per-gateway segments only queue uploads behind gateway-mates, so the
+  // makespan cannot exceed the shared-medium run's.
+  EventFleetEngineConfig shared = a;
+  shared.gateway_contention = false;
+  EventFleetEngine ec(shared);
+  const auto rc = ec.run();
+  ASSERT_TRUE(rc.ok()) << rc.error().message;
+  EXPECT_LE(ra->wall_clock.value(), rc->wall_clock.value());
+}
+
+TEST(EventFleetEngine, ScalableSelectionRunsAndStaysUniform) {
+  EventFleetEngineConfig cfg;
+  cfg.system = golden_config();
+  cfg.system.num_servers = 100;
+  cfg.system.net.num_edge_servers = 100;
+  cfg.system.fl.max_rounds = 4;
+  cfg.data_pool_shards = 10;
+  cfg.scalable_selection = true;
+  EventFleetEngine engine(cfg);
+  const auto r = engine.run();
+  ASSERT_TRUE(r.ok()) << r.error().message;
+  EXPECT_EQ(r->training.rounds_run, 4u);
+  for (const auto& rec : r->training.record.all()) {
+    EXPECT_EQ(rec.selected.size(), 10u);
+    std::set<std::size_t> distinct(rec.selected.begin(), rec.selected.end());
+    EXPECT_EQ(distinct.size(), rec.selected.size());
+    for (const auto sid : rec.selected) EXPECT_LT(sid, 100u);
+  }
+}
+
+TEST(EventFleetEngine, PerServerAccumulatorsCanBeDisabled) {
+  EventFleetEngineConfig cfg;
+  cfg.system = golden_config();
+  cfg.per_server_accumulators = false;
+  EventFleetEngine engine(cfg);
+  const auto r = engine.run();
+  ASSERT_TRUE(r.ok()) << r.error().message;
+  EXPECT_TRUE(r->accumulators.empty());
+  // The ledger is accumulator-independent and still matches golden.
+  EXPECT_EQ(r->ledger.total().value(), kGoldenLedgerTotal);
+  EXPECT_EQ(r->wall_clock.value(), kGoldenWallClock);
+}
+
+TEST(EventFleetEngine, RejectsInvalidConfigs) {
+  {  // gateway contention is FCFS-only
+    EventFleetEngineConfig cfg;
+    cfg.system = golden_config();
+    cfg.system.lan_contention = FeiSystemConfig::LanContention::kCsma;
+    cfg.gateway_contention = true;
+    EXPECT_FALSE(EventFleetEngine(cfg).run().ok());
+  }
+  {  // gateway contention + fault injection unsupported
+    EventFleetEngineConfig cfg;
+    cfg.system = faulty_config();
+    cfg.gateway_contention = true;
+    EXPECT_FALSE(EventFleetEngine(cfg).run().ok());
+  }
+  {  // CSMA + faults rejected, like FleetEngine
+    EventFleetEngineConfig cfg;
+    cfg.system = faulty_config();
+    cfg.system.lan_contention = FeiSystemConfig::LanContention::kCsma;
+    EXPECT_FALSE(EventFleetEngine(cfg).run().ok());
+  }
+  {  // virtual population requires data pooling
+    EventFleetEngineConfig cfg;
+    cfg.system = golden_config();
+    cfg.virtual_population = true;
+    EXPECT_FALSE(EventFleetEngine(cfg).run().ok());
+  }
+  {  // ... and a loss-free LAN
+    EventFleetEngineConfig cfg;
+    cfg.system = golden_config();
+    cfg.system.net.lan.loss_probability = 0.1;
+    cfg.virtual_population = true;
+    cfg.data_pool_shards = 4;
+    EXPECT_FALSE(EventFleetEngine(cfg).run().ok());
+  }
+  {  // ... and no per-device IoT collection
+    EventFleetEngineConfig cfg;
+    cfg.system = golden_config();
+    cfg.system.iot_collection = true;
+    cfg.virtual_population = true;
+    cfg.data_pool_shards = 4;
+    EXPECT_FALSE(EventFleetEngine(cfg).run().ok());
+  }
+  {  // degenerate tier fan-in
+    EventFleetEngineConfig cfg;
+    cfg.system = golden_config();
+    cfg.tiers.gateway_fanin = 0;
+    EXPECT_FALSE(EventFleetEngine(cfg).run().ok());
+  }
+}
+
+}  // namespace
+}  // namespace eefei::sim

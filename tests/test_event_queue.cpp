@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <functional>
 #include <vector>
 
 namespace eefei::sim {
@@ -80,6 +82,121 @@ TEST(EventQueue, Clear) {
   q.clear();
   EXPECT_TRUE(q.empty());
   EXPECT_EQ(q.run(), 0u);
+}
+
+// FIFO must hold among equal timestamps even when the equal-time events are
+// interleaved with earlier/later ones and scheduled from inside handlers —
+// the property the fleet engine's deterministic upload drain rests on.
+TEST(EventQueue, FifoTieBreakSurvivesInterleavedScheduling) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule_at(Seconds{2.0}, [&] { order.push_back(10); });
+  q.schedule_at(Seconds{1.0}, [&] {
+    // Scheduled mid-run, at the same timestamp as event 10 — but later in
+    // FIFO order, so it must fire after it.
+    q.schedule_at(Seconds{2.0}, [&] { order.push_back(11); });
+    order.push_back(0);
+  });
+  q.schedule_at(Seconds{2.0}, [&] { order.push_back(12); });
+  q.schedule_at(Seconds{3.0}, [&] { order.push_back(20); });
+  q.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 10, 12, 11, 20}));
+}
+
+// A max_events-stopped run() must resume exactly where it left off: same
+// order, same clock, nothing skipped or replayed.
+TEST(EventQueue, MaxEventsStopThenResume) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 6; ++i) {
+    q.schedule_at(Seconds{static_cast<double>(i)},
+                  [&order, i] { order.push_back(i); });
+  }
+  EXPECT_EQ(q.run(2), 2u);
+  EXPECT_EQ(order, (std::vector<int>{0, 1}));
+  EXPECT_DOUBLE_EQ(q.now().value(), 1.0);
+  EXPECT_EQ(q.pending(), 4u);
+  EXPECT_EQ(q.run(3), 3u);
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+  EXPECT_EQ(q.run(), 1u);
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4, 5}));
+  EXPECT_DOUBLE_EQ(q.now().value(), 5.0);
+}
+
+// clear() keeps the clock (the async stop semantic): a reused queue
+// continues on the same timeline and still clamps past schedules to it.
+TEST(EventQueue, ClearKeepsClockForReuse) {
+  EventQueue q;
+  q.schedule_at(Seconds{4.0}, [] {});
+  q.run();
+  q.schedule_at(Seconds{9.0}, [] {});
+  q.clear();
+  EXPECT_TRUE(q.empty());
+  EXPECT_DOUBLE_EQ(q.now().value(), 4.0);  // stale-by-design: time survives
+  double fired_at = -1.0;
+  q.schedule_at(Seconds{1.0}, [&] { fired_at = q.now().value(); });
+  q.run();
+  EXPECT_DOUBLE_EQ(fired_at, 4.0);  // clamped to the surviving clock
+}
+
+// reset() rewinds the clock too: the queue behaves like a fresh one.
+TEST(EventQueue, ResetRewindsClock) {
+  EventQueue q;
+  q.schedule_at(Seconds{4.0}, [] {});
+  q.run();
+  q.schedule_at(Seconds{9.0}, [] {});
+  q.reset();
+  EXPECT_TRUE(q.empty());
+  EXPECT_DOUBLE_EQ(q.now().value(), 0.0);
+  double fired_at = -1.0;
+  q.schedule_at(Seconds{1.0}, [&] { fired_at = q.now().value(); });
+  EXPECT_EQ(q.run(), 1u);
+  EXPECT_DOUBLE_EQ(fired_at, 1.0);  // not clamped: the clock was rewound
+}
+
+// now() must never move backwards across any sequence of schedule/run
+// calls, even when callers hand in past timestamps mid-run.
+TEST(EventQueue, NowIsMonotonicAcrossRuns) {
+  EventQueue q;
+  double max_seen = 0.0;
+  std::vector<double> stamps;
+  auto observe = [&] {
+    EXPECT_GE(q.now().value(), max_seen);
+    max_seen = std::max(max_seen, q.now().value());
+    stamps.push_back(q.now().value());
+  };
+  q.schedule_at(Seconds{2.0}, [&] {
+    observe();
+    q.schedule_at(Seconds{0.5}, observe);  // past: clamps to 2.0
+  });
+  q.run();
+  q.schedule_at(Seconds{1.0}, observe);  // past again after the run
+  q.run();
+  EXPECT_EQ(stamps, (std::vector<double>{2.0, 2.0, 2.0}));
+}
+
+// Re-entrancy stress: each handler schedules a fan of new events, forcing
+// the heap vector to grow (and reallocate) while the moved-out handler is
+// still executing.  ASan guards the dispatch-after-realloc path; the
+// counts prove nothing was lost or double-run.
+TEST(EventQueue, HandlerSchedulesManyEventsDuringRun) {
+  EventQueue q;
+  // Start tiny so every early fan-out reallocates the backing vector.
+  std::size_t fired = 0;
+  std::function<void(int)> fan = [&](int depth) {
+    ++fired;
+    if (depth == 0) return;
+    for (int i = 0; i < 8; ++i) {
+      q.schedule_in(Seconds{0.25 * (i + 1)}, [&fan, depth] {
+        fan(depth - 1);
+      });
+    }
+  };
+  q.schedule_at(Seconds{0.0}, [&fan] { fan(4); });
+  // 1 + 8 + 64 + 512 + 4096 events in total.
+  EXPECT_EQ(q.run(), 4681u);
+  EXPECT_EQ(fired, 4681u);
+  EXPECT_TRUE(q.empty());
 }
 
 }  // namespace
