@@ -15,6 +15,7 @@
 #include <optional>
 #include <string>
 #include <thread>
+#include <vector>
 
 #include "common/config.h"
 #include "obs/manifest.h"
@@ -90,7 +91,9 @@ class TraceSession {
     }
     const std::string metrics_path = base + ".metrics.json";
     const std::string manifest_path = base + ".manifest.json";
+    const std::string timeseries_path = base + ".timeseries.json";
     const auto snapshot = telemetry_->metrics.snapshot();
+    const auto rounds = telemetry_->rounds.snapshot();
 
     obs::RunManifest manifest;
     manifest.tool = tool_;
@@ -102,16 +105,24 @@ class TraceSession {
     manifest.set("threads", std::to_string(scale_.threads));
     manifest.add_metric_totals(snapshot);
     manifest.artifacts = {path_, metrics_path};
+    // Fleet engines append the per-round table; bench binaries that never
+    // run a fleet (fig5 etc.) have no rows and skip the sidecar.
+    if (rounds.rows() > 0) manifest.artifacts.push_back(timeseries_path);
 
-    for (const auto& st :
-         {obs::write_chrome_trace(telemetry_->tracer, path_),
-          obs::write_metrics_json(snapshot, metrics_path),
-          obs::write_manifest(manifest, manifest_path)}) {
+    std::vector<Status> statuses = {
+        obs::write_chrome_trace(telemetry_->tracer, path_),
+        obs::write_metrics_json(snapshot, metrics_path),
+        obs::write_manifest(manifest, manifest_path)};
+    if (rounds.rows() > 0) {
+      statuses.push_back(obs::write_timeseries_json(rounds, timeseries_path));
+    }
+    for (const auto& st : statuses) {
       if (!st.ok()) {
         std::fprintf(stderr, "warning: %s\n", st.error().message.c_str());
       }
     }
-    std::printf("wrote %s (+ metrics, manifest)\n", path_.c_str());
+    std::printf("wrote %s (+ metrics, manifest%s)\n", path_.c_str(),
+                rounds.rows() > 0 ? ", timeseries" : "");
   }
 
  private:

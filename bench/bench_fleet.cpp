@@ -9,17 +9,28 @@
 // anything.
 //
 //   build/bench/bench_fleet [rounds=20] [threads=0] [n100k=1] [n1m=1]
+//                           [trace=fleet.json] [overhead=1.05]
+//
+// With n1m=1 and a trace path, the million-server row runs a TRACED twin:
+// telemetry on, same config.  The twin must be byte-identical to the
+// untraced row (energy + final params), stay within the overhead budget
+// (default 5%), and its trace sidecar must stay bounded — the fleet
+// observability layer's three contract gates, run as one bench.
 //
 // Writes BENCH_fleet.json; tools/bench_compare.py gates CI on the
 // ns_per_server_round metrics (>15% regression fails).
 #include <sys/resource.h>
+#include <sys/stat.h>
 
 #include <cstdio>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "bench_json.h"
 #include "common/config.h"
+#include "obs/telemetry.h"
+#include "obs/trace_export.h"
 #include "sim/event_fleet.h"
 #include "sim/fleet_engine.h"
 
@@ -85,6 +96,8 @@ int main(int argc, char** argv) {
   std::size_t threads = std::max(1u, std::thread::hardware_concurrency());
   bool include_100k = false;
   bool include_1m = false;
+  std::string trace_path;
+  double overhead_budget = 1.05;
   if (const auto cfg = Config::from_args(argc, argv); cfg.ok()) {
     rounds = static_cast<std::size_t>(
         cfg->get_int_or("rounds", static_cast<long>(rounds)));
@@ -93,6 +106,8 @@ int main(int argc, char** argv) {
     }
     include_100k = cfg->get_int_or("n100k", 0) != 0;
     include_1m = cfg->get_int_or("n1m", 0) != 0;
+    trace_path = cfg->get_string_or("trace", "");
+    overhead_budget = cfg->get_double_or("overhead", overhead_budget);
   }
 
   // Byte-identity proof: a serial and a threaded run of the same fleet
@@ -165,7 +180,8 @@ int main(int argc, char** argv) {
     double energy_j = 0.0;
     double sim_secs = 0.0;
     std::size_t rounds = 0;
-    double events = 0.0;  // event engine only
+    double events = 0.0;                    // event engine only
+    std::vector<double> final_params;       // for traced-twin identity
   };
   // Best of kReps fresh runs: a timed region of `rounds` federated rounds
   // is a few milliseconds, small enough that scheduler noise on a shared
@@ -205,6 +221,7 @@ int main(int argc, char** argv) {
       out.energy_j = r->ledger.total().value();
       out.sim_secs = r->wall_clock.value();
       out.rounds = r->training.rounds_run;
+      out.final_params = r->training.final_params;
       if constexpr (requires { r->events_processed; }) {
         out.events = static_cast<double>(r->events_processed);
       }
@@ -242,6 +259,96 @@ int main(int argc, char** argv) {
     report.add(tag + "/rss_mb", rss);
     report.add(tag + "/energy_j", event_run.energy_j);
     print_row(kMillion, event_run, "event", rss);
+
+    // Traced twin: telemetry on, identical config.  Three gates — the
+    // non-perturbation contract (energy + final params bit-identical to
+    // the untraced row), the overhead budget, and a bounded trace file.
+    if (!trace_path.empty()) {
+      TimedRun traced;
+      std::unique_ptr<obs::Telemetry> telemetry;
+      for (int rep = 0; rep < kReps; ++rep) {
+        auto fresh = std::make_unique<obs::Telemetry>();
+        sim::EventFleetEngine engine(
+            event_config(kMillion, kMillionRounds, threads));
+        if (const auto st = engine.prepare(); !st.ok()) {
+          std::fprintf(stderr, "traced prepare failed: %s\n",
+                       st.error().message.c_str());
+          return 1;
+        }
+        auto scope = std::make_unique<obs::TelemetryScope>(*fresh);
+        const auto t0 = std::chrono::steady_clock::now();
+        const auto r = engine.run();
+        const auto t1 = std::chrono::steady_clock::now();
+        scope.reset();
+        if (!r.ok()) {
+          std::fprintf(stderr, "traced run failed: %s\n",
+                       r.error().message.c_str());
+          return 1;
+        }
+        const double ns =
+            static_cast<double>(
+                std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
+                    .count()) /
+            (static_cast<double>(kMillion) *
+             static_cast<double>(r->training.rounds_run));
+        if (rep == 0 || ns < traced.ns_per_server_round) {
+          traced.ns_per_server_round = ns;
+        }
+        traced.energy_j = r->ledger.total().value();
+        traced.rounds = r->training.rounds_run;
+        traced.sim_secs = r->wall_clock.value();
+        traced.final_params = r->training.final_params;
+        telemetry = std::move(fresh);
+      }
+      const bool identical = traced.energy_j == event_run.energy_j &&
+                             traced.final_params == event_run.final_params;
+      std::printf("traced identity (N=%zu): %s\n", kMillion,
+                  identical ? "byte-identical" : "MISMATCH");
+      if (!identical) return 1;
+      const double overhead =
+          traced.ns_per_server_round / event_run.ns_per_server_round;
+      std::printf("traced overhead: %.1f%% (budget %.1f%%)\n",
+                  (overhead - 1.0) * 100.0, (overhead_budget - 1.0) * 100.0);
+      if (overhead > overhead_budget) {
+        std::fprintf(stderr, "traced overhead %.3fx exceeds budget %.3fx\n",
+                     overhead, overhead_budget);
+        return 1;
+      }
+
+      std::string base = trace_path;
+      if (const auto dot = base.rfind(".json");
+          dot != std::string::npos && dot + 5 == base.size()) {
+        base.resize(dot);
+      }
+      for (const auto& st :
+           {obs::write_chrome_trace(telemetry->tracer, trace_path),
+            obs::write_metrics_json(telemetry->metrics.snapshot(),
+                                    base + ".metrics.json"),
+            obs::write_timeseries_json(telemetry->rounds.snapshot(),
+                                       base + ".timeseries.json")}) {
+        if (!st.ok()) {
+          std::fprintf(stderr, "sidecar write failed: %s\n",
+                       st.error().message.c_str());
+          return 1;
+        }
+      }
+      struct stat sb{};
+      const double trace_mb =
+          stat(trace_path.c_str(), &sb) == 0
+              ? static_cast<double>(sb.st_size) / (1024.0 * 1024.0)
+              : 0.0;
+      std::printf("wrote %s (%.1f MB) + metrics, timeseries\n",
+                  trace_path.c_str(), trace_mb);
+      if (trace_mb > 20.0) {
+        std::fprintf(stderr,
+                     "trace sidecar %.1f MB exceeds the 20 MB bound — track "
+                     "sampling is not holding\n",
+                     trace_mb);
+        return 1;
+      }
+      report.add(tag + "/traced_overhead_pct", (overhead - 1.0) * 100.0);
+      report.add(tag + "/trace_mb", trace_mb);
+    }
   }
 
   for (const std::size_t n : sizes) {

@@ -27,6 +27,29 @@ const std::string& category_counter_name(EnergyCategory category) {
   return names[static_cast<std::size_t>(category)];
 }
 
+// charge() runs once per ledger row — at fleet scale that is millions of
+// calls per run, so the registry's name lookup (mutex + map) cannot sit on
+// this path.  Each thread caches the seven Counter pointers, keyed on the
+// registry's never-reused id: a new Telemetry (new registry id) invalidates
+// the cache, and registry-owned counters have stable addresses for the
+// registry's lifetime, so a hit is just an indexed load.
+obs::Counter& category_counter(obs::MetricsRegistry& metrics,
+                               EnergyCategory category) {
+  struct Cache {
+    std::uint64_t registry_id = 0;
+    std::array<obs::Counter*, kNumEnergyCategories> counters{};
+  };
+  thread_local Cache cache;
+  if (cache.registry_id != metrics.id()) {
+    for (std::size_t c = 0; c < kNumEnergyCategories; ++c) {
+      cache.counters[c] = &metrics.counter(
+          category_counter_name(static_cast<EnergyCategory>(c)));
+    }
+    cache.registry_id = metrics.id();
+  }
+  return *cache.counters[static_cast<std::size_t>(category)];
+}
+
 }  // namespace
 
 EnergyLedger::EnergyLedger(std::size_t num_servers)
@@ -40,7 +63,7 @@ void EnergyLedger::charge(std::size_t server, EnergyCategory category,
   assert(amount.value() >= 0.0);
   per_server_[server][static_cast<std::size_t>(category)] += amount;
   if (obs::Telemetry* t = obs::telemetry()) {
-    t->metrics.counter(category_counter_name(category)).add(amount.value());
+    category_counter(t->metrics, category).add(amount.value());
   }
 }
 
@@ -53,8 +76,8 @@ void EnergyLedger::reclassify(std::size_t server, EnergyCategory from,
   src -= moved;
   per_server_[server][static_cast<std::size_t>(to)] += moved;
   if (obs::Telemetry* t = obs::telemetry(); t != nullptr && moved.value() > 0.0) {
-    t->metrics.counter(category_counter_name(from)).add(-moved.value());
-    t->metrics.counter(category_counter_name(to)).add(moved.value());
+    category_counter(t->metrics, from).add(-moved.value());
+    category_counter(t->metrics, to).add(moved.value());
   }
 }
 

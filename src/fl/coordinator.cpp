@@ -77,6 +77,18 @@ Result<TrainingOutcome> Coordinator::run() {
   ml::Model& evaluator = eval_model();
   ThreadPool* pool = acquire_pool();
 
+  // Host-side wall-time distributions, resolved once per run.  Null when
+  // telemetry is off; the clock reads below are gated on these handles, so
+  // untraced runs pay nothing.
+  obs::QuantileSketch* sk_train_wall = nullptr;
+  obs::QuantileSketch* sk_eval_wall = nullptr;
+  obs::Tracer* wall_clock_src = nullptr;
+  if (obs::Telemetry* tel = obs::telemetry()) {
+    sk_train_wall = &tel->metrics.sketch("fl.train.wall_ns");
+    sk_eval_wall = &tel->metrics.sketch("fl.eval.wall_ns");
+    wall_clock_src = &tel->tracer;
+  }
+
   TrainingOutcome outcome;
   std::size_t cumulative_epochs = 0;
   Rng drop_rng(config_.drop_seed);
@@ -116,6 +128,8 @@ Result<TrainingOutcome> Coordinator::run() {
           clients_->client(selected[i]).train(global, config_.local_epochs, t);
     };
     {
+      const std::uint64_t t0 =
+          sk_train_wall != nullptr ? wall_clock_src->wall_now_ns() : 0;
       obs::Tracer::WallSpan span(
           obs::tracer(), "fl.train", "host.fl",
           {{"round", static_cast<double>(t)},
@@ -126,6 +140,10 @@ Result<TrainingOutcome> Coordinator::run() {
         } else {
           for (std::size_t i = 0; i < selected.size(); ++i) train_one(i);
         }
+      }
+      if (sk_train_wall != nullptr) {
+        sk_train_wall->record(
+            static_cast<double>(wall_clock_src->wall_now_ns() - t0));
       }
     }
 
@@ -220,6 +238,8 @@ Result<TrainingOutcome> Coordinator::run() {
     const bool eval_round = (t % config_.eval_every == 0) ||
                             (t + 1 == start_round_ + config_.max_rounds);
     if (eval_round) {
+      const std::uint64_t t0 =
+          sk_eval_wall != nullptr ? wall_clock_src->wall_now_ns() : 0;
       obs::Tracer::WallSpan span(obs::tracer(), "fl.eval", "host.fl",
                                  {{"round", static_cast<double>(t)}});
       auto params = evaluator.parameters();
@@ -230,6 +250,10 @@ Result<TrainingOutcome> Coordinator::run() {
       record.test_accuracy = eval.accuracy;
       if (obs::Telemetry* tel = obs::telemetry()) {
         tel->metrics.counter("fl.evals").increment();
+        if (sk_eval_wall != nullptr) {
+          sk_eval_wall->record(
+              static_cast<double>(wall_clock_src->wall_now_ns() - t0));
+        }
       }
     } else if (!outcome.record.empty()) {
       record.global_loss = outcome.record.last().global_loss;

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cmath>
+#include <limits>
 
 namespace eefei::obs {
 
@@ -20,8 +22,30 @@ Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
   assert(std::is_sorted(bounds_.begin(), bounds_.end()));
   for (auto& s : shards_) {
     s.buckets = std::vector<std::atomic<std::uint64_t>>(bounds_.size() + 1);
+    s.min.store(std::numeric_limits<double>::infinity(),
+                std::memory_order_relaxed);
+    s.max.store(-std::numeric_limits<double>::infinity(),
+                std::memory_order_relaxed);
   }
 }
+
+namespace {
+
+void cas_min(std::atomic<double>& m, double v) {
+  double cur = m.load(std::memory_order_relaxed);
+  while (v < cur &&
+         !m.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+void cas_max(std::atomic<double>& m, double v) {
+  double cur = m.load(std::memory_order_relaxed);
+  while (v > cur &&
+         !m.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
 
 void Histogram::observe(double v) {
   const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
@@ -30,6 +54,8 @@ void Histogram::observe(double v) {
   Shard& s = shards_[detail::metric_shard()];
   s.buckets[bucket].fetch_add(1, std::memory_order_relaxed);
   s.sum.fetch_add(v, std::memory_order_relaxed);
+  cas_min(s.min, v);
+  cas_max(s.max, v);
 }
 
 std::vector<std::uint64_t> Histogram::bucket_counts() const {
@@ -54,6 +80,30 @@ double Histogram::sum() const {
     total += s.sum.load(std::memory_order_relaxed);
   }
   return total;
+}
+
+std::uint64_t Histogram::overflow() const {
+  std::uint64_t total = 0;
+  for (const auto& s : shards_) {
+    total += s.buckets.back().load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+double Histogram::min() const {
+  double lo = std::numeric_limits<double>::infinity();
+  for (const auto& s : shards_) {
+    lo = std::min(lo, s.min.load(std::memory_order_relaxed));
+  }
+  return std::isfinite(lo) ? lo : 0.0;
+}
+
+double Histogram::max() const {
+  double hi = -std::numeric_limits<double>::infinity();
+  for (const auto& s : shards_) {
+    hi = std::max(hi, s.max.load(std::memory_order_relaxed));
+  }
+  return std::isfinite(hi) ? hi : 0.0;
 }
 
 std::vector<double> Histogram::exponential_bounds(double first, double factor,
@@ -82,6 +132,18 @@ double MetricsSnapshot::gauge_value(std::string_view name) const {
   }
   return 0.0;
 }
+
+const SketchSnapshot* MetricsSnapshot::sketch(std::string_view name) const {
+  for (const auto& s : sketches) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+MetricsRegistry::MetricsRegistry() : id_([] {
+  static std::atomic<std::uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}()) {}
 
 Counter& MetricsRegistry::counter(std::string_view name) {
   const std::lock_guard<std::mutex> lock(mutex_);
@@ -114,6 +176,18 @@ Histogram& MetricsRegistry::histogram(std::string_view name,
               .first->second;
 }
 
+QuantileSketch& MetricsRegistry::sketch(std::string_view name,
+                                        double relative_accuracy) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (const auto it = sketches_.find(name); it != sketches_.end()) {
+    return *it->second;
+  }
+  return *sketches_
+              .emplace(std::string(name),
+                       std::make_unique<QuantileSketch>(relative_accuracy))
+              .first->second;
+}
+
 MetricsSnapshot MetricsRegistry::snapshot() const {
   const std::lock_guard<std::mutex> lock(mutex_);
   MetricsSnapshot snap;
@@ -133,7 +207,16 @@ MetricsSnapshot MetricsRegistry::snapshot() const {
     hs.buckets = h->bucket_counts();
     hs.sum = h->sum();
     for (const std::uint64_t c : hs.buckets) hs.count += c;
+    hs.overflow = hs.buckets.back();
+    hs.min = h->min();
+    hs.max = h->max();
     snap.histograms.push_back(std::move(hs));
+  }
+  snap.sketches.reserve(sketches_.size());
+  for (const auto& [name, sk] : sketches_) {
+    SketchSnapshot ss = sk->snapshot();
+    ss.name = name;
+    snap.sketches.push_back(std::move(ss));
   }
   return snap;
 }

@@ -26,6 +26,8 @@
 #include <string_view>
 #include <vector>
 
+#include "obs/sketch.h"
+
 namespace eefei::obs {
 
 inline constexpr std::size_t kMetricShards = 16;
@@ -73,8 +75,11 @@ class Gauge {
 };
 
 /// Fixed-bucket histogram: bucket i counts observations <= bounds[i], with
-/// an implicit overflow bucket above the last bound.  Bounds are fixed at
-/// registration; observations are sharded like counters.
+/// an EXPLICIT overflow bucket above the last bound — values past the last
+/// edge are counted (overflow()), never silently dropped, and the recorded
+/// min/max expose the actual range so saturation is visible in exports.
+/// Bounds are fixed at registration; observations are sharded like
+/// counters.
 class Histogram {
  public:
   explicit Histogram(std::vector<double> bounds);
@@ -86,6 +91,11 @@ class Histogram {
   [[nodiscard]] std::vector<std::uint64_t> bucket_counts() const;
   [[nodiscard]] std::uint64_t count() const;
   [[nodiscard]] double sum() const;
+  /// Observations beyond the last bound (the overflow bucket).
+  [[nodiscard]] std::uint64_t overflow() const;
+  /// Smallest / largest observation; 0.0 when count() == 0.
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
 
   /// `count` bounds growing geometrically from `first` by `factor` — the
   /// usual shape for nanosecond timings.
@@ -96,6 +106,8 @@ class Histogram {
  private:
   struct alignas(64) Shard {
     std::atomic<double> sum{0.0};
+    std::atomic<double> min{0.0};  // CAS-updated; +inf until first observe
+    std::atomic<double> max{0.0};  // CAS-updated; -inf until first observe
     std::vector<std::atomic<std::uint64_t>> buckets;
   };
   std::vector<double> bounds_;
@@ -108,6 +120,9 @@ struct HistogramSnapshot {
   std::vector<std::uint64_t> buckets;  // bounds.size() + 1 entries
   std::uint64_t count = 0;
   double sum = 0.0;
+  std::uint64_t overflow = 0;  // == buckets.back()
+  double min = 0.0;            // 0.0 when count == 0
+  double max = 0.0;
 };
 
 /// Point-in-time merge of every registered metric, name-sorted.
@@ -115,15 +130,18 @@ struct MetricsSnapshot {
   std::vector<std::pair<std::string, double>> counters;
   std::vector<std::pair<std::string, double>> gauges;
   std::vector<HistogramSnapshot> histograms;
+  std::vector<SketchSnapshot> sketches;
 
   /// Counter value by name (0.0 when absent) — test convenience.
   [[nodiscard]] double counter_value(std::string_view name) const;
   [[nodiscard]] double gauge_value(std::string_view name) const;
+  /// Sketch by name (nullptr when absent).
+  [[nodiscard]] const SketchSnapshot* sketch(std::string_view name) const;
 };
 
 class MetricsRegistry {
  public:
-  MetricsRegistry() = default;
+  MetricsRegistry();
   MetricsRegistry(const MetricsRegistry&) = delete;
   MetricsRegistry& operator=(const MetricsRegistry&) = delete;
 
@@ -134,14 +152,26 @@ class MetricsRegistry {
   /// `bounds` is only consulted on first registration of `name`.
   [[nodiscard]] Histogram& histogram(std::string_view name,
                                      std::span<const double> bounds);
+  /// `relative_accuracy` is only consulted on first registration of `name`.
+  [[nodiscard]] QuantileSketch& sketch(
+      std::string_view name,
+      double relative_accuracy = QuantileSketch::kDefaultRelativeAccuracy);
+
+  /// Never-reused process-wide id of this registry instance.  Hot call
+  /// sites (e.g. the energy ledger's per-charge counter mirror) key
+  /// thread-local pointer caches on it so they skip the name lookup.
+  [[nodiscard]] std::uint64_t id() const { return id_; }
 
   [[nodiscard]] MetricsSnapshot snapshot() const;
 
  private:
+  const std::uint64_t id_;
   mutable std::mutex mutex_;
   std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+  std::map<std::string, std::unique_ptr<QuantileSketch>, std::less<>>
+      sketches_;
 };
 
 }  // namespace eefei::obs

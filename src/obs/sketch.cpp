@@ -1,0 +1,233 @@
+#include "obs/sketch.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "obs/metrics.h"
+
+namespace eefei::obs {
+
+namespace {
+
+void update_min(std::atomic<double>& m, double v) {
+  double cur = m.load(std::memory_order_relaxed);
+  while (v < cur &&
+         !m.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+void update_max(std::atomic<double>& m, double v) {
+  double cur = m.load(std::memory_order_relaxed);
+  while (v > cur &&
+         !m.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+QuantileSketch::QuantileSketch(double relative_accuracy) {
+  alpha_ = std::clamp(relative_accuracy, kMinRelativeAccuracy,
+                      kMaxRelativeAccuracy);
+  gamma_ = (1.0 + alpha_) / (1.0 - alpha_);
+  inv_log_gamma_ = 1.0 / std::log(gamma_);
+  min_index_ =
+      static_cast<std::int32_t>(std::ceil(std::log(kMinTrackable) *
+                                          inv_log_gamma_));
+  max_index_ =
+      static_cast<std::int32_t>(std::ceil(std::log(kMaxTrackable) *
+                                          inv_log_gamma_));
+  const std::size_t n_buckets =
+      static_cast<std::size_t>(max_index_ - min_index_) + 1;
+  bucket_bounds_.resize(n_buckets + 1);
+  for (std::size_t s = 0; s < bucket_bounds_.size(); ++s) {
+    bucket_bounds_[s] =
+        std::pow(gamma_, static_cast<double>(min_index_ - 1) +
+                             static_cast<double>(s));
+  }
+  for (auto& s : shards_) {
+    s.buckets = std::vector<std::atomic<std::uint64_t>>(n_buckets);
+    s.min.store(std::numeric_limits<double>::infinity(),
+                std::memory_order_relaxed);
+    s.max.store(-std::numeric_limits<double>::infinity(),
+                std::memory_order_relaxed);
+  }
+}
+
+QuantileSketch::BulkRecorder::BulkRecorder(QuantileSketch& sketch)
+    : sketch_(sketch),
+      shard_idx_(detail::metric_shard() % kShards),
+      min_(std::numeric_limits<double>::infinity()),
+      max_(-std::numeric_limits<double>::infinity()) {}
+
+void QuantileSketch::BulkRecorder::record(double v) {
+  if (std::isnan(v)) return;
+  ++count_;
+  sum_ += v;
+  if (v < min_) min_ = v;
+  if (v > max_) max_ = v;
+  if (v <= 0.0) {
+    ++zero_;
+    return;
+  }
+  const auto& bounds = sketch_.bucket_bounds_;
+  if (slot_ >= 0) {
+    const auto s = static_cast<std::size_t>(slot_);
+    if (v > bounds[s] && v <= bounds[s + 1]) {
+      ++slot_count_;
+      return;
+    }
+    flush_slot();
+  }
+  slot_ = sketch_.index_of(v) - sketch_.min_index_;
+  slot_count_ = 1;
+}
+
+void QuantileSketch::BulkRecorder::flush_slot() {
+  if (slot_count_ > 0) {
+    sketch_.shards_[shard_idx_]
+        .buckets[static_cast<std::size_t>(slot_)]
+        .fetch_add(slot_count_, std::memory_order_relaxed);
+    slot_count_ = 0;
+  }
+}
+
+QuantileSketch::BulkRecorder::~BulkRecorder() {
+  flush_slot();
+  if (count_ == 0) return;
+  Shard& s = sketch_.shards_[shard_idx_];
+  s.count.fetch_add(count_, std::memory_order_relaxed);
+  s.zero.fetch_add(zero_, std::memory_order_relaxed);
+  s.sum.fetch_add(sum_, std::memory_order_relaxed);
+  update_min(s.min, min_);
+  update_max(s.max, max_);
+}
+
+std::int32_t QuantileSketch::index_of(double v) const {
+  const double raw = std::ceil(std::log(v) * inv_log_gamma_);
+  if (raw <= static_cast<double>(min_index_)) return min_index_;
+  if (raw >= static_cast<double>(max_index_)) return max_index_;
+  return static_cast<std::int32_t>(raw);
+}
+
+void QuantileSketch::record(double v) {
+  if (std::isnan(v)) return;
+  Shard& s = shards_[detail::metric_shard() % kShards];
+  if (v <= 0.0) {
+    s.zero.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    const std::size_t slot =
+        static_cast<std::size_t>(index_of(v) - min_index_);
+    s.buckets[slot].fetch_add(1, std::memory_order_relaxed);
+  }
+  s.count.fetch_add(1, std::memory_order_relaxed);
+  s.sum.fetch_add(v, std::memory_order_relaxed);
+  update_min(s.min, v);
+  update_max(s.max, v);
+}
+
+std::uint64_t QuantileSketch::count() const {
+  std::uint64_t total = 0;
+  for (const auto& s : shards_) {
+    total += s.count.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+SketchSnapshot QuantileSketch::snapshot() const {
+  SketchSnapshot snap;
+  snap.relative_accuracy = alpha_;
+  snap.gamma = gamma_;
+  snap.min = std::numeric_limits<double>::infinity();
+  snap.max = -std::numeric_limits<double>::infinity();
+
+  const std::size_t n_buckets =
+      static_cast<std::size_t>(max_index_ - min_index_) + 1;
+  std::vector<std::uint64_t> merged(n_buckets, 0);
+  for (const auto& s : shards_) {
+    snap.count += s.count.load(std::memory_order_relaxed);
+    snap.zero_count += s.zero.load(std::memory_order_relaxed);
+    snap.sum += s.sum.load(std::memory_order_relaxed);
+    snap.min = std::min(snap.min, s.min.load(std::memory_order_relaxed));
+    snap.max = std::max(snap.max, s.max.load(std::memory_order_relaxed));
+    for (std::size_t b = 0; b < n_buckets; ++b) {
+      merged[b] += s.buckets[b].load(std::memory_order_relaxed);
+    }
+  }
+  if (snap.count == 0) {
+    snap.min = 0.0;
+    snap.max = 0.0;
+    return snap;
+  }
+
+  // Trim to the non-zero span so snapshots of sparse sketches stay small.
+  std::size_t first = 0;
+  while (first < n_buckets && merged[first] == 0) ++first;
+  std::size_t last = n_buckets;
+  while (last > first && merged[last - 1] == 0) --last;
+  snap.first_index = min_index_ + static_cast<std::int32_t>(first);
+  snap.buckets.assign(merged.begin() + static_cast<std::ptrdiff_t>(first),
+                      merged.begin() + static_cast<std::ptrdiff_t>(last));
+  return snap;
+}
+
+double SketchSnapshot::quantile(double q) const {
+  if (count == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const auto rank =
+      static_cast<std::uint64_t>(std::llround(q * static_cast<double>(
+                                                      count - 1)));
+  if (rank < zero_count) return 0.0;
+  std::uint64_t cum = zero_count;
+  for (std::size_t k = 0; k < buckets.size(); ++k) {
+    cum += buckets[k];
+    if (cum > rank) {
+      const double i = static_cast<double>(first_index) +
+                       static_cast<double>(k);
+      const double est = 2.0 * std::pow(gamma, i) / (gamma + 1.0);
+      // Clamping toward the recorded extremes can only move the estimate
+      // closer to the true order statistic, so the error bound holds.
+      return std::clamp(est, std::min(min, max), std::max(min, max));
+    }
+  }
+  return max;
+}
+
+Status SketchSnapshot::merge_from(const SketchSnapshot& other) {
+  if (other.count == 0) return Status::success();
+  if (count == 0) {
+    const std::string kept_name = name;
+    *this = other;
+    name = kept_name;
+    return Status::success();
+  }
+  if (gamma != other.gamma) {
+    return Error::invalid_argument(
+        "sketch merge: incompatible resolutions (gamma " +
+        std::to_string(gamma) + " vs " + std::to_string(other.gamma) + ")");
+  }
+  const std::int32_t lo = std::min(first_index, other.first_index);
+  const std::int32_t a_end =
+      first_index + static_cast<std::int32_t>(buckets.size());
+  const std::int32_t b_end =
+      other.first_index + static_cast<std::int32_t>(other.buckets.size());
+  const std::int32_t hi = std::max(a_end, b_end);
+  std::vector<std::uint64_t> merged(static_cast<std::size_t>(hi - lo), 0);
+  for (std::size_t k = 0; k < buckets.size(); ++k) {
+    merged[static_cast<std::size_t>(first_index - lo) + k] += buckets[k];
+  }
+  for (std::size_t k = 0; k < other.buckets.size(); ++k) {
+    merged[static_cast<std::size_t>(other.first_index - lo) + k] +=
+        other.buckets[k];
+  }
+  first_index = lo;
+  buckets = std::move(merged);
+  count += other.count;
+  zero_count += other.zero_count;
+  sum += other.sum;
+  min = std::min(min, other.min);
+  max = std::max(max, other.max);
+  return Status::success();
+}
+
+}  // namespace eefei::obs

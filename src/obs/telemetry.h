@@ -14,6 +14,7 @@
 #include <atomic>
 
 #include "obs/metrics.h"
+#include "obs/timeseries.h"
 #include "obs/tracer.h"
 
 namespace eefei::obs {
@@ -22,6 +23,7 @@ class Telemetry {
  public:
   Tracer tracer;
   MetricsRegistry metrics;
+  RoundSeries rounds;
 };
 
 namespace detail {

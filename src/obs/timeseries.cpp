@@ -1,0 +1,181 @@
+#include "obs/timeseries.h"
+
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+#include "obs/build_info.h"
+#include "obs/json.h"
+#include "obs/trace_export.h"
+
+namespace eefei::obs {
+
+bool AnomalyRadar::Signal::spike(double v, double z, std::size_t warmup,
+                                 double* threshold) {
+  bool spiked = false;
+  if (n >= warmup) {
+    const double var = n > 1 ? m2 / static_cast<double>(n - 1) : 0.0;
+    const double stddev = std::sqrt(var);
+    const double bound = mean + z * stddev;
+    if (stddev > 0.0 && v > bound) {
+      spiked = true;
+      if (threshold != nullptr) *threshold = bound;
+    }
+  }
+  // Welford update — history includes spikes so a level shift stops
+  // alarming once it becomes the norm.
+  ++n;
+  const double d = v - mean;
+  mean += d / static_cast<double>(n);
+  m2 += d * (v - mean);
+  return spiked;
+}
+
+std::uint32_t AnomalyRadar::observe(const RoundStats& s,
+                                    std::vector<Anomaly>* out) {
+  std::uint32_t mask = 0;
+  const auto round = static_cast<std::uint64_t>(s.round);
+  const auto flag = [&](std::uint32_t bit, const char* kind, double value,
+                        double threshold) {
+    mask |= bit;
+    if (out != nullptr) out->push_back({round, kind, value, threshold});
+  };
+
+  double thr = 0.0;
+  if (duration_.spike(s.duration_s, cfg_.z_threshold, cfg_.warmup_rounds,
+                      &thr)) {
+    flag(kAnomalyRoundTime, "round_time", s.duration_s, thr);
+  }
+  if (energy_.spike(s.energy_j, cfg_.z_threshold, cfg_.warmup_rounds, &thr)) {
+    flag(kAnomalyEnergy, "energy", s.energy_j, thr);
+  }
+  if (retries_.spike(s.retries, cfg_.z_threshold, cfg_.warmup_rounds, &thr)) {
+    flag(kAnomalyRetryBurst, "retry_burst", s.retries, thr);
+  }
+
+  const double storm_floor = std::max(3.0, 0.5 * s.selected);
+  if (s.crashes >= storm_floor && s.crashes > 0.0) {
+    flag(kAnomalyCrashStorm, "crash_storm", s.crashes, storm_floor);
+  }
+  if (s.stragglers >= storm_floor && s.stragglers > 0.0) {
+    flag(kAnomalyDeadlineBurst, "deadline_burst", s.stragglers, storm_floor);
+  }
+  return mask;
+}
+
+const std::array<const char*, RoundSeries::kColumns>&
+RoundSeries::column_names() {
+  static const std::array<const char*, kColumns> kNames = {
+      "round",
+      "start_s",
+      "duration_s",
+      "selected",
+      "aggregated",
+      "stragglers",
+      "crashes",
+      "retries",
+      "aborted",
+      "events",
+      "queue_peak",
+      "gateways",
+      "energy_j",
+      "energy_data_collection_j",
+      "energy_waiting_j",
+      "energy_download_j",
+      "energy_training_j",
+      "energy_upload_j",
+      "energy_retry_j",
+      "energy_aborted_j",
+      "anomaly_mask",
+  };
+  return kNames;
+}
+
+void RoundSeries::append(const RoundStats& s) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const std::uint32_t mask = radar_.observe(s, &anomalies_);
+  std::size_t c = 0;
+  const auto push = [&](double v) { columns_[c++].push_back(v); };
+  push(s.round);
+  push(s.start_s);
+  push(s.duration_s);
+  push(s.selected);
+  push(s.aggregated);
+  push(s.stragglers);
+  push(s.crashes);
+  push(s.retries);
+  push(s.aborted);
+  push(s.events);
+  push(s.queue_peak);
+  push(s.gateways);
+  push(s.energy_j);
+  push(s.energy_data_collection_j);
+  push(s.energy_waiting_j);
+  push(s.energy_download_j);
+  push(s.energy_training_j);
+  push(s.energy_upload_j);
+  push(s.energy_retry_j);
+  push(s.energy_aborted_j);
+  push(static_cast<double>(mask));
+}
+
+std::size_t RoundSeries::size() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return columns_[0].size();
+}
+
+const std::vector<double>* RoundSeries::Snapshot::column(
+    const std::string& name) const {
+  const auto& names = column_names();
+  for (std::size_t c = 0; c < kColumns; ++c) {
+    if (name == names[c]) return &columns[c];
+  }
+  return nullptr;
+}
+
+RoundSeries::Snapshot RoundSeries::snapshot() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  Snapshot snap;
+  snap.columns = columns_;
+  snap.anomalies = anomalies_;
+  return snap;
+}
+
+std::string timeseries_json(const RoundSeries::Snapshot& snap) {
+  std::ostringstream out;
+  out << "{\"schema_version\": " << kTelemetrySchemaVersion
+      << ", \"kind\": \"timeseries\", \"git_sha\": " << json_quote(git_sha())
+      << ",\n \"rows\": " << snap.rows() << ",\n \"columns\": {";
+  const auto& names = RoundSeries::column_names();
+  for (std::size_t c = 0; c < RoundSeries::kColumns; ++c) {
+    out << (c == 0 ? "\n" : ",\n") << "  " << json_quote(names[c]) << ": [";
+    const auto& col = snap.columns[c];
+    for (std::size_t r = 0; r < col.size(); ++r) {
+      out << (r == 0 ? "" : ", ") << json_number(col[r]);
+    }
+    out << "]";
+  }
+  out << "\n },\n \"anomalies\": [";
+  for (std::size_t i = 0; i < snap.anomalies.size(); ++i) {
+    const Anomaly& a = snap.anomalies[i];
+    out << (i == 0 ? "\n" : ",\n") << "  {\"round\": " << a.round
+        << ", \"kind\": " << json_quote(a.kind)
+        << ", \"value\": " << json_number(a.value)
+        << ", \"threshold\": " << json_number(a.threshold) << "}";
+  }
+  out << "\n ]}\n";
+  return out.str();
+}
+
+Status write_timeseries_json(const RoundSeries::Snapshot& snap,
+                             const std::string& path) {
+  std::ofstream file(path);
+  if (!file) return Error::io_error("timeseries export: cannot open " + path);
+  file << timeseries_json(snap);
+  if (!file) {
+    return Error::io_error("timeseries export: write failed: " + path);
+  }
+  return Status::success();
+}
+
+}  // namespace eefei::obs

@@ -98,13 +98,39 @@ std::string metrics_json(const MetricsSnapshot& snapshot) {
     const HistogramSnapshot& h = snapshot.histograms[i];
     out << (i == 0 ? "\n" : ",\n") << "  {\"name\": " << json_quote(h.name)
         << ", \"count\": " << h.count << ", \"sum\": " << json_number(h.sum)
-        << ", \"bounds\": [";
+        << ", \"overflow\": " << h.overflow
+        << ", \"min\": " << json_number(h.min)
+        << ", \"max\": " << json_number(h.max) << ", \"bounds\": [";
     for (std::size_t b = 0; b < h.bounds.size(); ++b) {
       out << (b == 0 ? "" : ", ") << json_number(h.bounds[b]);
     }
     out << "], \"buckets\": [";
     for (std::size_t b = 0; b < h.buckets.size(); ++b) {
       out << (b == 0 ? "" : ", ") << h.buckets[b];
+    }
+    out << "]}";
+  }
+  out << "\n ],\n \"sketches\": [";
+  for (std::size_t i = 0; i < snapshot.sketches.size(); ++i) {
+    const SketchSnapshot& s = snapshot.sketches[i];
+    out << (i == 0 ? "\n" : ",\n") << "  {\"name\": " << json_quote(s.name)
+        << ", \"relative_accuracy\": " << json_number(s.relative_accuracy)
+        << ", \"gamma\": " << json_number(s.gamma)
+        << ", \"count\": " << s.count << ", \"zero_count\": " << s.zero_count
+        << ", \"sum\": " << json_number(s.sum)
+        << ", \"min\": " << json_number(s.min)
+        << ", \"max\": " << json_number(s.max)
+        << ", \"first_index\": " << s.first_index;
+    if (s.count > 0) {
+      out << ", \"quantiles\": {\"p50\": " << json_number(s.quantile(0.50))
+          << ", \"p90\": " << json_number(s.quantile(0.90))
+          << ", \"p95\": " << json_number(s.quantile(0.95))
+          << ", \"p99\": " << json_number(s.quantile(0.99))
+          << ", \"p999\": " << json_number(s.quantile(0.999)) << "}";
+    }
+    out << ", \"buckets\": [";
+    for (std::size_t b = 0; b < s.buckets.size(); ++b) {
+      out << (b == 0 ? "" : ", ") << s.buckets[b];
     }
     out << "]}";
   }

@@ -1,6 +1,7 @@
 #include "sim/event_fleet.h"
 
 #include <algorithm>
+#include <array>
 #include <cassert>
 #include <cmath>
 #include <limits>
@@ -155,6 +156,22 @@ Result<EventFleetRunResult> EventFleetEngine::run() {
   }
 
   obs::Tracer* const tracer = obs::tracer();
+
+  // Trace-track sampling: a bounded, deterministic subset of the mirrors
+  // owns a pseudo-process track; the rest keep full timelines but stay
+  // mute.  Coordinator/tier lanes are always on.  This is the fix for the
+  // O(N) track-name loop: naming is driven by the sampled set, never by
+  // the server count.
+  const obs::TrackSampler track_sampler(mirrors.size(), config_.trace_tracks);
+  std::unordered_set<std::size_t> tracked_sids;
+  tracked_sids.reserve(track_sampler.size() * 2);
+  for (const std::size_t mi : track_sampler.ids()) {
+    tracked_sids.insert(result.sampled_servers[mi]);
+  }
+  for (std::size_t mi = 0; mi < mirrors.size(); ++mi) {
+    mirrors[mi].set_traced(track_sampler.contains(mi));
+  }
+
   std::unordered_set<std::int32_t> named_tracks;
   auto name_track = [&](std::int32_t pid, std::string name) {
     if (tracer != nullptr && named_tracks.insert(pid).second) {
@@ -164,18 +181,61 @@ Result<EventFleetRunResult> EventFleetEngine::run() {
   if (tracer != nullptr) {
     name_track(obs::Tracer::kCoordinatorPid, "coordinator");
     name_track(obs::Tracer::kTierRootPid, "fleet_root");
-    for (const std::size_t sid : result.sampled_servers) {
+    for (const std::size_t mi : track_sampler.ids()) {
+      const std::size_t sid = result.sampled_servers[mi];
       name_track(obs::Tracer::server_pid(sid),
                  "edge_server_" + std::to_string(sid));
     }
   }
+  // Telemetry handles are resolved once per run (registry lookups are
+  // mutex + map — too hot for per-event or per-round paths).  All of these
+  // are null/unused when telemetry is off, and recording into them only
+  // READS sim state, so the non-perturbation contract holds.
+  obs::QuantileSketch* sk_round_s = nullptr;     // per-round makespan
+  obs::QuantileSketch* sk_wait_s = nullptr;      // per-upload queue wait
+  obs::QuantileSketch* sk_turnaround_s = nullptr;  // dispatch->delivered
+  obs::QuantileSketch* sk_joules = nullptr;      // per-server run total
+  std::array<obs::Counter*, energy::kNumEnergyCategories> energy_counters{};
+  std::array<double, energy::kNumEnergyCategories> prev_energy{};
   if (obs::Telemetry* tel = obs::telemetry()) {
     tel->metrics.gauge("fleet.servers").set(static_cast<double>(n_servers));
     tel->metrics.gauge("fleet.gateways")
         .set(static_cast<double>(result.num_gateways));
     tel->metrics.gauge("fleet.regions")
         .set(static_cast<double>(result.num_regions));
+    sk_round_s = &tel->metrics.sketch("fleet.round.seconds");
+    sk_wait_s = &tel->metrics.sketch("fleet.upload.wait_s");
+    sk_turnaround_s = &tel->metrics.sketch("fleet.server.turnaround_s");
+    sk_joules = &tel->metrics.sketch("fleet.server.joules");
+    for (std::size_t c = 0; c < energy::kNumEnergyCategories; ++c) {
+      energy_counters[c] = &tel->metrics.counter(
+          std::string("energy.joules.") +
+          energy::to_string(static_cast<energy::EnergyCategory>(c)));
+      prev_energy[c] = energy_counters[c]->value();
+    }
   }
+
+  // One row of the round time-series, appended O(1) per round by every
+  // round path.  Per-category joules come from the energy.joules.* counter
+  // deltas (idle settlement is lazy, so non-selected servers' waiting
+  // energy lands in the rounds where it is folded, i.e. at end of run).
+  auto append_round_stats = [&](obs::Telemetry* tel, obs::RoundStats rs) {
+    double total = 0.0;
+    std::array<double*, energy::kNumEnergyCategories> cols = {
+        &rs.energy_data_collection_j, &rs.energy_waiting_j,
+        &rs.energy_download_j,        &rs.energy_training_j,
+        &rs.energy_upload_j,          &rs.energy_retry_j,
+        &rs.energy_aborted_j};
+    for (std::size_t c = 0; c < energy::kNumEnergyCategories; ++c) {
+      const double now = energy_counters[c]->value();
+      *cols[c] = now - prev_energy[c];
+      total += now - prev_energy[c];
+      prev_energy[c] = now;
+    }
+    rs.energy_j = total;
+    if (sk_round_s != nullptr) sk_round_s->record(rs.duration_s);
+    tel->rounds.append(rs);
+  };
 
   const bool track_accumulators = config_.per_server_accumulators;
   auto run_phase = [&](std::size_t sid, energy::EdgeState state, Seconds start,
@@ -350,6 +410,7 @@ Result<EventFleetRunResult> EventFleetEngine::run() {
                          std::span<const fl::ClientId> selected) {
     round_start_time = clock;
     current_round = round;
+    queue.reset_high_water();  // per-round queue-depth window
     const auto part = tier_plan.participation(selected);
     round_gateways.clear();
     round_regions.clear();
@@ -426,6 +487,7 @@ Result<EventFleetRunResult> EventFleetEngine::run() {
             result.ledger.charge(sid, energy::EnergyCategory::kWaiting,
                                  p_wait * queue_wait);
           }
+          if (sk_wait_s != nullptr) sk_wait_s->record(queue_wait.value());
         }
         --uploads_pending;
         // upload-done: book transmission, notify the aggregation tier.
@@ -434,6 +496,10 @@ Result<EventFleetRunResult> EventFleetEngine::run() {
           result.ledger.charge(sid, energy::EnergyCategory::kUpload,
                                p_up * u);
           round_end = std::max(round_end, upload_start + u);
+          if (sk_turnaround_s != nullptr) {
+            sk_turnaround_s->record(
+                (upload_start + u - round_start).value());
+          }
           gateway_member_resolved(sid, upload_start + u);
         });
       });
@@ -458,6 +524,16 @@ Result<EventFleetRunResult> EventFleetEngine::run() {
           .add(static_cast<double>(record.selected.size()));
       tel->metrics.counter("fleet.events")
           .add(static_cast<double>(n_events));
+      obs::RoundStats rs;
+      rs.round = static_cast<double>(record.round);
+      rs.start_s = round_start.value();
+      rs.duration_s = (clock - round_start).value();
+      rs.selected = static_cast<double>(record.selected.size());
+      rs.aggregated = static_cast<double>(record.updates_aggregated);
+      rs.events = static_cast<double>(n_events);
+      rs.queue_peak = static_cast<double>(queue.high_water());
+      rs.gateways = static_cast<double>(round_gateways.size());
+      append_round_stats(tel, rs);
     }
   };
 
@@ -510,6 +586,7 @@ Result<EventFleetRunResult> EventFleetEngine::run() {
     struct GatewayOutcome {
       Seconds done{0.0};
       std::size_t events = 0;
+      std::size_t queue_peak = 0;
     };
     std::vector<GatewayOutcome> outcomes(groups.size());
 
@@ -542,17 +619,23 @@ Result<EventFleetRunResult> EventFleetEngine::run() {
             result.ledger.charge(job.sid, energy::EnergyCategory::kWaiting,
                                  p_wait * queue_wait);
           }
+          if (sk_wait_s != nullptr) sk_wait_s->record(queue_wait.value());
           local.schedule_at(upload_start + job.u, [&, job, upload_start] {
             run_phase(job.sid, energy::EdgeState::kUploading, upload_start,
                       job.u);
             result.ledger.charge(job.sid, energy::EnergyCategory::kUpload,
                                  p_up * job.u);
             gw_end = std::max(gw_end, upload_start + job.u);
+            if (sk_turnaround_s != nullptr) {
+              sk_turnaround_s->record(
+                  (upload_start + job.u - round_start).value());
+            }
           });
         });
       }
       outcomes[gi].events = local.run();
       outcomes[gi].done = gw_end;
+      outcomes[gi].queue_peak = local.high_water();
     };
     if (pool_ != nullptr && groups.size() > 1) {
       pool_->parallel_for(groups.size(), drain_gateway);
@@ -592,6 +675,18 @@ Result<EventFleetRunResult> EventFleetEngine::run() {
           .add(static_cast<double>(record.selected.size()));
       tel->metrics.counter("fleet.events")
           .add(static_cast<double>(n_events));
+      obs::RoundStats rs;
+      rs.round = static_cast<double>(record.round);
+      rs.start_s = round_start.value();
+      rs.duration_s = (clock - round_start).value();
+      rs.selected = static_cast<double>(record.selected.size());
+      rs.aggregated = static_cast<double>(record.updates_aggregated);
+      rs.events = static_cast<double>(n_events);
+      std::size_t peak = queue.high_water();
+      for (const auto& o : outcomes) peak = std::max(peak, o.queue_peak);
+      rs.queue_peak = static_cast<double>(peak);
+      rs.gateways = static_cast<double>(groups.size());
+      append_round_stats(tel, rs);
     }
   };
 
@@ -626,7 +721,7 @@ Result<EventFleetRunResult> EventFleetEngine::run() {
     const Seconds round_start = round_start_time;
     const auto trace_fault = [&](const char* name, std::size_t sid,
                                  Seconds at) {
-      if (mirror_of.find(sid) == mirror_of.end()) return;
+      if (tracked_sids.find(sid) == tracked_sids.end()) return;
       if (tracer != nullptr) {
         tracer->sim_instant(name, "sim.fault", obs::Tracer::server_pid(sid),
                             at);
@@ -784,6 +879,9 @@ Result<EventFleetRunResult> EventFleetEngine::run() {
           result.ledger.charge(sid, energy::EnergyCategory::kWaiting,
                                p_wait * (queue_wait_end - train_end));
         }
+        if (sk_wait_s != nullptr) {
+          sk_wait_s->record((queue_wait_end - train_end).value());
+        }
         if (has_deadline && upload_start >= deadline) {
           trace_fault("deadline.drop", sid, deadline);
           uu.aggregated = false;
@@ -839,6 +937,9 @@ Result<EventFleetRunResult> EventFleetEngine::run() {
           result.ledger.charge(sid, energy::EnergyCategory::kUpload,
                                p_up * (air - wasted));
           run_phase(sid, energy::EdgeState::kUploading, upload_start, air);
+          if (sk_turnaround_s != nullptr) {
+            sk_turnaround_s->record((finish - round_start).value());
+          }
           gateway_member_resolved(sid, finish);
         });
         note_end(up.finish);
@@ -866,6 +967,22 @@ Result<EventFleetRunResult> EventFleetEngine::run() {
           .add(static_cast<double>(selected.size()));
       tel->metrics.counter("fleet.events")
           .add(static_cast<double>(n_events));
+      obs::RoundStats rs;
+      rs.round = static_cast<double>(round);
+      rs.start_s = round_start.value();
+      rs.duration_s = (clock - round_start).value();
+      rs.selected = static_cast<double>(selected.size());
+      rs.aggregated = static_cast<double>(
+          selected.size() - stats.crashed_servers - stats.straggler_drops -
+          stats.aborted_updates);
+      rs.stragglers = static_cast<double>(stats.straggler_drops);
+      rs.crashes = static_cast<double>(stats.crashed_servers);
+      rs.retries = static_cast<double>(stats.retries);
+      rs.aborted = static_cast<double>(stats.aborted_updates);
+      rs.events = static_cast<double>(n_events);
+      rs.queue_peak = static_cast<double>(queue.high_water());
+      rs.gateways = static_cast<double>(round_gateways.size());
+      append_round_stats(tel, rs);
     }
     return stats;
   };
@@ -940,6 +1057,35 @@ Result<EventFleetRunResult> EventFleetEngine::run() {
     if (obs::Telemetry* tel = obs::telemetry()) {
       tel->metrics.counter("fleet.idle_charges")
           .add(static_cast<double>(n_servers));
+    }
+  }
+
+  // Joules-per-server distribution: one read-only sharded pass over the
+  // settled ledger.  Telemetry-gated, so untraced runs never pay it; the
+  // bulk recorder (one local bucket run per shard, no log per value) keeps
+  // the traced N = 1M pass inside the 5% overhead budget.
+  if (sk_joules != nullptr) {
+    std::size_t stride = 1;
+    if (const std::size_t cap = config_.joules_sample_cap;
+        cap != 0 && n_servers > cap) {
+      stride = n_servers / cap;
+      if (stride % 2 == 0) ++stride;  // coprime with pow-2 pool periods
+    }
+    const std::size_t n_rec = (n_servers + stride - 1) / stride;
+    const std::size_t shard = std::max<std::size_t>(1, config_.shard_size);
+    const std::size_t n_sh = (n_rec + shard - 1) / shard;
+    auto record_shard = [&](std::size_t s) {
+      obs::QuantileSketch::BulkRecorder rec(*sk_joules);
+      const std::size_t lo = s * shard;
+      const std::size_t hi = std::min(n_rec, lo + shard);
+      for (std::size_t k = lo; k < hi; ++k) {
+        rec.record(result.ledger.server_total(k * stride).value());
+      }
+    };
+    if (pool_ != nullptr && n_sh > 1) {
+      pool_->parallel_for(n_sh, record_shard);
+    } else {
+      for (std::size_t s = 0; s < n_sh; ++s) record_shard(s);
     }
   }
 

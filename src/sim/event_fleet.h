@@ -51,6 +51,7 @@
 #include "common/units.h"
 #include "fl/client_pool.h"
 #include "fl/tiering.h"
+#include "obs/track_sampler.h"
 #include "sim/fleet_engine.h"
 
 namespace eefei::sim {
@@ -108,6 +109,19 @@ struct EventFleetEngineConfig {
   /// results) no longer match FleetEngine for the same seed.  The knob the
   /// N = 1M bench row turns on.
   bool scalable_selection = false;
+
+  /// Which of the sampled-timeline mirrors also own a per-server trace
+  /// track when tracing is on (sampling is over the mirror list, since
+  /// only mirrors replay per-phase spans).  The default stride mode with
+  /// max_tracks >= sampled_timelines keeps every mirror traced, exactly
+  /// the pre-sampling behavior; at fleet scale the bound keeps a traced
+  /// N = 1M run's track count — and trace size — fixed.  Pure telemetry:
+  /// any setting produces byte-identical run results.
+  obs::TrackSamplerConfig trace_tracks;
+
+  /// Cap on servers feeding the fleet.server.joules sketch (0 = all); see
+  /// FleetEngineConfig::joules_sample_cap.
+  std::size_t joules_sample_cap = 131072;
 };
 
 struct EventFleetRunResult : FleetRunResult {

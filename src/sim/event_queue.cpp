@@ -11,6 +11,7 @@ void EventQueue::schedule_at(Seconds at, Handler handler) {
   if (at < now_) at = now_;  // never schedule into the past
   heap_.push_back(Event{at, next_seq_++, std::move(handler)});
   std::push_heap(heap_.begin(), heap_.end(), Later{});
+  if (heap_.size() > high_water_) high_water_ = heap_.size();
 }
 
 void EventQueue::schedule_in(Seconds delay, Handler handler) {
@@ -41,6 +42,7 @@ void EventQueue::reset() {
   heap_.clear();
   now_ = Seconds{0.0};
   next_seq_ = 0;
+  high_water_ = 0;
 }
 
 }  // namespace eefei::sim

@@ -38,6 +38,13 @@ class EventQueue {
   [[nodiscard]] bool empty() const { return heap_.empty(); }
   [[nodiscard]] std::size_t pending() const { return heap_.size(); }
 
+  /// Deepest the queue has been since construction / the last
+  /// reset_high_water().  One compare per schedule; telemetry reads this
+  /// per round to report queue-depth pressure without touching the run.
+  [[nodiscard]] std::size_t high_water() const { return high_water_; }
+  /// Re-arms the mark at the current depth (per-round windows).
+  void reset_high_water() { high_water_ = heap_.size(); }
+
   /// Drops all pending events but keeps the clock (and the FIFO sequence
   /// counter): the next phase of the same simulation continues from the
   /// time already reached.  This is the semantic AsyncFeiSystem's stop path
@@ -75,6 +82,7 @@ class EventQueue {
   std::vector<Event> heap_;
   Seconds now_{0.0};
   std::uint64_t next_seq_ = 0;
+  std::size_t high_water_ = 0;
 };
 
 }  // namespace eefei::sim

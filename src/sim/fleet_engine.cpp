@@ -1,10 +1,12 @@
 #include "sim/fleet_engine.h"
 
 #include <algorithm>
+#include <array>
 #include <cassert>
 #include <cmath>
 #include <limits>
 #include <string>
+#include <unordered_set>
 
 #include "common/rng.h"
 #include "ml/quantize.h"
@@ -96,9 +98,24 @@ Result<FleetRunResult> FleetEngine::run() {
   const std::size_t shard_width = std::max<std::size_t>(1, config_.shard_size);
   const std::size_t num_shards = (n_servers + shard_width - 1) / shard_width;
 
+  // Trace-track sampling over the mirror list (see event_fleet.cpp): only
+  // the sampled subset owns a per-server track; the rest keep full
+  // timelines but emit no spans.  Shard tracks stay always-on — they are
+  // the bounded fleet-scale view.
+  const obs::TrackSampler track_sampler(mirrors.size(), config_.trace_tracks);
+  std::unordered_set<std::size_t> tracked_sids;
+  tracked_sids.reserve(track_sampler.size() * 2);
+  for (const std::size_t mi : track_sampler.ids()) {
+    tracked_sids.insert(result.sampled_servers[mi]);
+  }
+  for (std::size_t mi = 0; mi < mirrors.size(); ++mi) {
+    mirrors[mi].set_traced(track_sampler.contains(mi));
+  }
+
   if (obs::Tracer* tr = obs::tracer()) {
     tr->set_track_name(obs::Tracer::kCoordinatorPid, "coordinator");
-    for (const std::size_t sid : result.sampled_servers) {
+    for (const std::size_t mi : track_sampler.ids()) {
+      const std::size_t sid = result.sampled_servers[mi];
       tr->set_track_name(obs::Tracer::server_pid(sid),
                          "edge_server_" + std::to_string(sid));
     }
@@ -107,11 +124,53 @@ Result<FleetRunResult> FleetEngine::run() {
                          "fleet_shard_" + std::to_string(s));
     }
   }
+
+  // Telemetry handles resolved once per run (registry lookups are
+  // mutex + map).  Null when telemetry is off; recording only READS sim
+  // state, so the non-perturbation contract holds.
+  obs::QuantileSketch* sk_round_s = nullptr;       // per-round makespan
+  obs::QuantileSketch* sk_wait_s = nullptr;        // per-upload queue wait
+  obs::QuantileSketch* sk_turnaround_s = nullptr;  // dispatch->delivered
+  obs::QuantileSketch* sk_joules = nullptr;        // per-server run total
+  std::array<obs::Counter*, energy::kNumEnergyCategories> energy_counters{};
+  std::array<double, energy::kNumEnergyCategories> prev_energy{};
   if (obs::Telemetry* tel = obs::telemetry()) {
     tel->metrics.gauge("fleet.servers")
         .set(static_cast<double>(n_servers));
     tel->metrics.gauge("fleet.shards").set(static_cast<double>(num_shards));
+    sk_round_s = &tel->metrics.sketch("fleet.round.seconds");
+    sk_wait_s = &tel->metrics.sketch("fleet.upload.wait_s");
+    sk_turnaround_s = &tel->metrics.sketch("fleet.server.turnaround_s");
+    sk_joules = &tel->metrics.sketch("fleet.server.joules");
+    for (std::size_t c = 0; c < energy::kNumEnergyCategories; ++c) {
+      energy_counters[c] = &tel->metrics.counter(
+          std::string("energy.joules.") +
+          energy::to_string(static_cast<energy::EnergyCategory>(c)));
+      prev_energy[c] = energy_counters[c]->value();
+    }
   }
+
+  // One round time-series row per round, O(1) to append.  Per-category
+  // joules are energy.joules.* counter deltas; this engine charges idle
+  // servers eagerly, so (unlike the event engine) every round's waiting
+  // energy lands in its own row.
+  auto append_round_stats = [&](obs::Telemetry* tel, obs::RoundStats rs) {
+    double total = 0.0;
+    std::array<double*, energy::kNumEnergyCategories> cols = {
+        &rs.energy_data_collection_j, &rs.energy_waiting_j,
+        &rs.energy_download_j,        &rs.energy_training_j,
+        &rs.energy_upload_j,          &rs.energy_retry_j,
+        &rs.energy_aborted_j};
+    for (std::size_t c = 0; c < energy::kNumEnergyCategories; ++c) {
+      const double now = energy_counters[c]->value();
+      *cols[c] = now - prev_energy[c];
+      total += now - prev_energy[c];
+      prev_energy[c] = now;
+    }
+    rs.energy_j = total;
+    if (sk_round_s != nullptr) sk_round_s->record(rs.duration_s);
+    tel->rounds.append(rs);
+  };
 
   // Per-server phase recording: every server streams into its compact
   // accumulator; sampled servers additionally mirror into a full
@@ -276,11 +335,15 @@ Result<FleetRunResult> FleetEngine::run() {
           result.ledger.charge(sid, energy::EnergyCategory::kWaiting,
                                p_wait * queue_wait);
         }
+        if (sk_wait_s != nullptr) sk_wait_s->record(queue_wait.value());
       }
       --uploads_pending;
       run_phase(sid, energy::EdgeState::kUploading, upload_start, u);
       result.ledger.charge(sid, energy::EnergyCategory::kUpload, p_up * u);
       round_end = std::max(round_end, upload_start + u);
+      if (sk_turnaround_s != nullptr) {
+        sk_turnaround_s->record((upload_start + u - round_start).value());
+      }
     }
 
     clock = std::max(round_end, lan_free);
@@ -301,6 +364,13 @@ Result<FleetRunResult> FleetEngine::run() {
       tel->metrics.counter("fleet.rounds").increment();
       tel->metrics.counter("fleet.selected")
           .add(static_cast<double>(record.selected.size()));
+      obs::RoundStats rs;
+      rs.round = static_cast<double>(record.round);
+      rs.start_s = round_start.value();
+      rs.duration_s = (clock - round_start).value();
+      rs.selected = static_cast<double>(record.selected.size());
+      rs.aggregated = static_cast<double>(record.updates_aggregated);
+      append_round_stats(tel, rs);
     }
     trace_shard_round(record.round, round_start, record.selected);
   };
@@ -326,7 +396,7 @@ Result<FleetRunResult> FleetEngine::run() {
     const Seconds round_start = clock;
     const auto trace_fault = [&](const char* name, std::size_t sid,
                                  Seconds at) {
-      if (mirror_of[sid] == kNoMirror) return;  // only sampled tracks exist
+      if (tracked_sids.find(sid) == tracked_sids.end()) return;
       if (obs::Tracer* tr = obs::tracer()) {
         tr->sim_instant(name, "sim.fault", obs::Tracer::server_pid(sid), at);
       }
@@ -472,6 +542,9 @@ Result<FleetRunResult> FleetEngine::run() {
         result.ledger.charge(sid, energy::EnergyCategory::kWaiting,
                              p_wait * (queue_wait_end - p.train_end));
       }
+      if (sk_wait_s != nullptr) {
+        sk_wait_s->record((queue_wait_end - p.train_end).value());
+      }
       if (has_deadline && upload_start >= deadline) {
         trace_fault("deadline.drop", sid, deadline);
         u.aggregated = false;
@@ -515,6 +588,9 @@ Result<FleetRunResult> FleetEngine::run() {
                            p_up * (up.air_time - up.wasted_air_time));
       run_phase(sid, energy::EdgeState::kUploading, upload_start,
                 up.air_time);
+      if (sk_turnaround_s != nullptr) {
+        sk_turnaround_s->record((up.finish - round_start).value());
+      }
       note_end(up.finish);
     }
 
@@ -538,6 +614,21 @@ Result<FleetRunResult> FleetEngine::run() {
       tel->metrics.counter("fleet.rounds").increment();
       tel->metrics.counter("fleet.selected")
           .add(static_cast<double>(selected.size()));
+      obs::RoundStats rs;
+      rs.round = static_cast<double>(round);
+      rs.start_s = round_start.value();
+      rs.duration_s = (clock - round_start).value();
+      rs.selected = static_cast<double>(selected.size());
+      // Coordinator-level update drops are decided after this filter, so
+      // "aggregated" here is the filter's survivor count.
+      rs.aggregated = static_cast<double>(
+          selected.size() - stats.crashed_servers - stats.straggler_drops -
+          stats.aborted_updates);
+      rs.stragglers = static_cast<double>(stats.straggler_drops);
+      rs.crashes = static_cast<double>(stats.crashed_servers);
+      rs.retries = static_cast<double>(stats.retries);
+      rs.aborted = static_cast<double>(stats.aborted_updates);
+      append_round_stats(tel, rs);
     }
     trace_shard_round(round, round_start, selected);
     return stats;
@@ -577,6 +668,33 @@ Result<FleetRunResult> FleetEngine::run() {
   // shard touches only its own servers' accumulators.
   for_each_server_sharded(
       [&](std::size_t sid) { result.accumulators[sid].idle_until(clock); });
+
+  // Joules-per-server distribution over the (fully charged) ledger.
+  // Telemetry-gated; the bulk recorder batches same-bucket runs so the
+  // pass stays inside the telemetry overhead budget at fleet scale.
+  if (sk_joules != nullptr) {
+    std::size_t stride = 1;
+    if (const std::size_t cap = config_.joules_sample_cap;
+        cap != 0 && n_servers > cap) {
+      stride = n_servers / cap;
+      if (stride % 2 == 0) ++stride;  // coprime with pow-2 pool periods
+    }
+    const std::size_t n_rec = (n_servers + stride - 1) / stride;
+    const std::size_t n_sh = (n_rec + shard_width - 1) / shard_width;
+    auto record_shard = [&](std::size_t s) {
+      obs::QuantileSketch::BulkRecorder rec(*sk_joules);
+      const std::size_t lo = s * shard_width;
+      const std::size_t hi = std::min(n_rec, lo + shard_width);
+      for (std::size_t k = lo; k < hi; ++k) {
+        rec.record(result.ledger.server_total(k * stride).value());
+      }
+    };
+    if (pool_ != nullptr && n_sh > 1) {
+      pool_->parallel_for(n_sh, record_shard);
+    } else {
+      for (std::size_t s = 0; s < n_sh; ++s) record_shard(s);
+    }
+  }
   for (auto& m : mirrors) m.idle_until(clock);
   result.sampled_timelines.reserve(mirrors.size());
   for (auto& m : mirrors) result.sampled_timelines.push_back(m.timeline());

@@ -37,6 +37,7 @@
 #include "energy/compact_accumulator.h"
 #include "energy/ledger.h"
 #include "fl/coordinator.h"
+#include "obs/track_sampler.h"
 #include "sim/edge_server_sim.h"
 #include "sim/fei_system.h"
 #include "sim/population.h"
@@ -61,6 +62,18 @@ struct FleetEngineConfig {
   /// datasets and map server k to pool shard k mod P.  0 keeps the full
   /// per-server population (byte-identical to FeiSystem).
   std::size_t data_pool_shards = 0;
+
+  /// Which of the sampled-timeline mirrors also own a per-server trace
+  /// track when tracing is on (see EventFleetEngineConfig::trace_tracks).
+  /// Pure telemetry: any setting produces byte-identical run results.
+  obs::TrackSamplerConfig trace_tracks;
+
+  /// At most this many servers feed the fleet.server.joules sketch (0 =
+  /// all).  Above the cap the end-of-run pass stride-samples server ids
+  /// (odd stride, so power-of-two data-pool periods stay fully covered) —
+  /// a full O(N) ledger read at N = 10^6 costs more memory bandwidth than
+  /// the whole telemetry overhead budget.  Pure telemetry.
+  std::size_t joules_sample_cap = 131072;
 };
 
 struct FleetRunResult {

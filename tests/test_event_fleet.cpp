@@ -9,8 +9,10 @@
 
 #include <cstddef>
 #include <set>
+#include <string>
 #include <vector>
 
+#include "obs/telemetry.h"
 #include "sim/fei_system.h"
 #include "sim/fleet_engine.h"
 
@@ -417,6 +419,120 @@ TEST(EventFleetEngine, RejectsInvalidConfigs) {
     cfg.tiers.gateway_fanin = 0;
     EXPECT_FALSE(EventFleetEngine(cfg).run().ok());
   }
+}
+
+// The telemetry contract at fleet scale: tracing with *sampled* tracks must
+// leave the simulation byte-identical (the golden fingerprint pins every
+// result bit), keep the track count bounded by the sampler, fill the round
+// table one row per round, and populate the first-class sketches.
+TEST(EventFleetEngine, TracedRunIsGoldenWithBoundedSampledTracks) {
+  EventFleetEngineConfig cfg;
+  cfg.system = golden_config();
+  cfg.sampled_timelines = 20;
+  cfg.trace_tracks.max_tracks = 4;  // fewer tracks than mirrored timelines
+  cfg.tiers.gateway_fanin = 4;
+  cfg.tiers.region_fanin = 2;
+
+  obs::Telemetry tel;
+  EventFleetEngine engine(cfg);
+  const auto r = [&] {
+    obs::TelemetryScope scope(tel);
+    return engine.run();
+  }();
+  ASSERT_TRUE(r.ok()) << r.error().message;
+  expect_golden(*r);  // bit-for-bit the untraced result
+
+  // The sampler bounds per-server lanes; coordinator/tier lanes stay on.
+  std::size_t edge_tracks = 0;
+  bool has_coordinator = false;
+  for (const auto& [pid, name] : tel.tracer.track_names()) {
+    if (name.rfind("edge_server_", 0) == 0) ++edge_tracks;
+    if (name == "coordinator") has_coordinator = true;
+  }
+  EXPECT_EQ(edge_tracks, 4u);
+  EXPECT_TRUE(has_coordinator);
+  EXPECT_FALSE(tel.tracer.empty());
+
+  // Round table: one row per round, radar-annotated.
+  ASSERT_EQ(tel.rounds.size(), 8u);
+  const auto rounds = tel.rounds.snapshot();
+  const auto& selected = *rounds.column("selected");
+  const auto& duration = *rounds.column("duration_s");
+  for (std::size_t i = 0; i < rounds.rows(); ++i) {
+    EXPECT_EQ(selected[i], 10.0) << "round " << i;
+    EXPECT_GT(duration[i], 0.0) << "round " << i;
+  }
+
+  // First-class sketches: one round-time sample per round, one joules
+  // sample per server (N = 20 is far below the sampling cap).
+  const auto metrics = tel.metrics.snapshot();
+  const auto* round_s = metrics.sketch("fleet.round.seconds");
+  ASSERT_NE(round_s, nullptr);
+  EXPECT_EQ(round_s->count, 8u);
+  const auto* joules = metrics.sketch("fleet.server.joules");
+  ASSERT_NE(joules, nullptr);
+  EXPECT_EQ(joules->count, 20u);
+  // The sketch saw exactly the per-server ledger totals (different
+  // accumulation order, so a tight relative tolerance, not bitwise).
+  double per_server_sum = 0.0;
+  for (std::size_t sid = 0; sid < 20; ++sid) {
+    per_server_sum += r->ledger.server_total(sid).value();
+  }
+  EXPECT_NEAR(joules->sum, per_server_sum, 1e-9 * per_server_sum);
+  ASSERT_NE(metrics.sketch("fleet.upload.wait_s"), nullptr);
+  ASSERT_NE(metrics.sketch("fleet.server.turnaround_s"), nullptr);
+}
+
+// max_tracks = 0 mutes every per-server lane but must not perturb the run
+// or the round table.
+TEST(EventFleetEngine, ZeroSampledTracksStillGoldenAndRecordsRounds) {
+  EventFleetEngineConfig cfg;
+  cfg.system = golden_config();
+  cfg.sampled_timelines = 20;
+  cfg.trace_tracks.max_tracks = 0;
+  cfg.tiers.gateway_fanin = 4;
+  cfg.tiers.region_fanin = 2;
+
+  obs::Telemetry tel;
+  EventFleetEngine engine(cfg);
+  const auto r = [&] {
+    obs::TelemetryScope scope(tel);
+    return engine.run();
+  }();
+  ASSERT_TRUE(r.ok()) << r.error().message;
+  expect_golden(*r);
+
+  for (const auto& [pid, name] : tel.tracer.track_names()) {
+    EXPECT_NE(name.rfind("edge_server_", 0), 0u) << name;
+  }
+  EXPECT_EQ(tel.rounds.size(), 8u);
+}
+
+// The joules sampling cap: with the cap forced below N the sketch must hold
+// exactly ceil(N / stride) observations (stride bumped to odd), and the
+// stride-sampled subset must still produce finite quantiles.
+TEST(EventFleetEngine, JoulesSampleCapBoundsSketchObservations) {
+  EventFleetEngineConfig cfg;
+  cfg.system = golden_config();
+  cfg.sampled_timelines = 8;
+  cfg.joules_sample_cap = 6;  // N = 20 -> stride 3 (20/6 = 3, already odd)
+  cfg.tiers.gateway_fanin = 4;
+
+  obs::Telemetry tel;
+  EventFleetEngine engine(cfg);
+  const auto r = [&] {
+    obs::TelemetryScope scope(tel);
+    return engine.run();
+  }();
+  ASSERT_TRUE(r.ok()) << r.error().message;
+  expect_golden(*r);  // the cap only changes what telemetry reads
+
+  const auto metrics = tel.metrics.snapshot();
+  const auto* joules = metrics.sketch("fleet.server.joules");
+  ASSERT_NE(joules, nullptr);
+  EXPECT_EQ(joules->count, 7u);  // ceil(20 / 3)
+  EXPECT_GT(joules->quantile(0.5), 0.0);
+  EXPECT_LE(joules->quantile(0.999), r->ledger.total().value());
 }
 
 }  // namespace

@@ -66,6 +66,32 @@ TEST(Metrics, HistogramBucketsObservations) {
   EXPECT_EQ(buckets[3], 1u);
 }
 
+TEST(Metrics, HistogramOverflowIsCountedNotDropped) {
+  // Regression: saturating observations used to vanish into the last bucket
+  // with no trace; they must land in an explicit overflow bucket, and
+  // min/max must expose the actual recorded range.
+  obs::Histogram h({1.0, 10.0});
+  EXPECT_DOUBLE_EQ(h.min(), 0.0);  // empty histogram reports 0.0
+  EXPECT_DOUBLE_EQ(h.max(), 0.0);
+  h.observe(0.25);
+  h.observe(500.0);   // past the last bound
+  h.observe(7000.0);  // further past
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_EQ(h.overflow(), 2u);
+  const auto buckets = h.bucket_counts();
+  ASSERT_EQ(buckets.size(), 3u);  // 2 bounds + overflow
+  EXPECT_EQ(buckets.back(), h.overflow());
+  EXPECT_DOUBLE_EQ(h.min(), 0.25);
+  EXPECT_DOUBLE_EQ(h.max(), 7000.0);
+  // The export carries all three, so saturation is visible downstream.
+  obs::MetricsRegistry registry;
+  registry.histogram("sat", std::vector<double>{1.0, 10.0}).observe(500.0);
+  const std::string json = obs::metrics_json(registry.snapshot());
+  EXPECT_NE(json.find("\"overflow\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"min\": 500"), std::string::npos);
+  EXPECT_NE(json.find("\"max\": 500"), std::string::npos);
+}
+
 TEST(Metrics, ExponentialBoundsGrowGeometrically) {
   const auto bounds = obs::Histogram::exponential_bounds(1e3, 4.0, 5);
   ASSERT_EQ(bounds.size(), 5u);
@@ -92,6 +118,65 @@ TEST(Metrics, RegistryReturnsStableAddressesAndSortedSnapshot) {
   EXPECT_DOUBLE_EQ(snapshot.gauge_value("depth"), 7.0);
   ASSERT_EQ(snapshot.histograms.size(), 1u);
   EXPECT_EQ(snapshot.histograms[0].name, "lat");
+}
+
+TEST(Metrics, RegistrySketchFindOrCreateKeepsStableAddresses) {
+  obs::MetricsRegistry registry;
+  obs::QuantileSketch& sk = registry.sketch("fleet.round.seconds");
+  EXPECT_EQ(&sk, &registry.sketch("fleet.round.seconds"));
+  // Accuracy is only consulted on first registration.
+  EXPECT_EQ(&sk, &registry.sketch("fleet.round.seconds", 0.1));
+  EXPECT_DOUBLE_EQ(sk.relative_accuracy(),
+                   obs::QuantileSketch::kDefaultRelativeAccuracy);
+  sk.record(0.5);
+  const auto snap = registry.snapshot();
+  ASSERT_EQ(snap.sketches.size(), 1u);
+  const auto* found = snap.sketch("fleet.round.seconds");
+  ASSERT_NE(found, nullptr);
+  EXPECT_EQ(found->count, 1u);
+  EXPECT_EQ(snap.sketch("missing"), nullptr);
+}
+
+TEST(Metrics, SketchSnapshotWhileRecordingIsSafe) {
+  // TSan target: snapshot() must be data-race-free against concurrent
+  // record() calls, and every snapshot must be internally consistent
+  // (bucket totals == count - zero_count even mid-recording).
+  obs::QuantileSketch sketch;
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 4; ++t) {
+    writers.emplace_back([&] {
+      std::uint64_t i = 1;
+      while (!stop.load(std::memory_order_relaxed)) {
+        sketch.record(static_cast<double>(i % 1000) * 0.01);
+        ++i;
+      }
+    });
+  }
+  std::uint64_t last_count = 0;
+  for (int s = 0; s < 50; ++s) {
+    const auto snap = sketch.snapshot();
+    // Per-shard counters only grow, and same-variable relaxed loads respect
+    // modification order, so successive snapshots are monotone.
+    EXPECT_GE(snap.count, last_count);
+    last_count = snap.count;
+  }
+  stop.store(true, std::memory_order_relaxed);
+  for (auto& w : writers) w.join();
+  const auto final_snap = sketch.snapshot();
+  std::uint64_t in_buckets = final_snap.zero_count;
+  for (const auto b : final_snap.buckets) in_buckets += b;
+  EXPECT_EQ(in_buckets, final_snap.count);
+}
+
+TEST(Metrics, EmptyRegistryExportsValidDocument) {
+  obs::MetricsRegistry registry;
+  const std::string json = obs::metrics_json(registry.snapshot());
+  EXPECT_NE(json.find("\"kind\": \"metrics\""), std::string::npos);
+  EXPECT_NE(json.find("\"schema_version\""), std::string::npos);
+  EXPECT_NE(json.find("\"counters\": ["), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\": ["), std::string::npos);
+  EXPECT_NE(json.find("\"sketches\": ["), std::string::npos);
 }
 
 // ------------------------------------------------------------------- tracer

@@ -1,0 +1,202 @@
+// Round time-series recorder + anomaly radar: column schema, O(1) append
+// bookkeeping, the radar's warmup/z-score/absolute rules, and the JSON
+// export consumed by tools/trace_check.py and tools/fleet_report.py.
+#include "obs/timeseries.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+namespace eefei::obs {
+namespace {
+
+RoundStats quiet_round(std::uint64_t r) {
+  RoundStats s;
+  s.round = static_cast<double>(r);
+  s.start_s = static_cast<double>(r) * 0.4;
+  s.duration_s = 0.3;
+  s.selected = 10.0;
+  s.aggregated = 10.0;
+  s.energy_j = 1000.0;
+  s.energy_training_j = 800.0;
+  s.energy_upload_j = 200.0;
+  return s;
+}
+
+TEST(TimeSeries, ColumnSchemaMatchesRoundStats) {
+  const auto& names = RoundSeries::column_names();
+  ASSERT_EQ(names.size(), RoundSeries::kColumns);
+  // The export contract: these exact names, in this order, ending with the
+  // radar's verdict column.  trace_check.py pins the same list.
+  const std::vector<std::string> expected = {
+      "round",          "start_s",
+      "duration_s",     "selected",
+      "aggregated",     "stragglers",
+      "crashes",        "retries",
+      "aborted",        "events",
+      "queue_peak",     "gateways",
+      "energy_j",       "energy_data_collection_j",
+      "energy_waiting_j", "energy_download_j",
+      "energy_training_j", "energy_upload_j",
+      "energy_retry_j", "energy_aborted_j",
+      "anomaly_mask"};
+  ASSERT_EQ(expected.size(), names.size());
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    EXPECT_EQ(expected[i], names[i]) << "column " << i;
+  }
+}
+
+TEST(TimeSeries, AppendFillsEveryColumnAndSnapshotFindsByName) {
+  RoundSeries series;
+  EXPECT_TRUE(series.empty());
+  for (std::uint64_t r = 0; r < 5; ++r) series.append(quiet_round(r));
+  EXPECT_EQ(series.size(), 5u);
+
+  const auto snap = series.snapshot();
+  EXPECT_EQ(snap.rows(), 5u);
+  for (const char* name : RoundSeries::column_names()) {
+    const auto* col = snap.column(name);
+    ASSERT_NE(col, nullptr) << name;
+    EXPECT_EQ(col->size(), 5u) << name;
+  }
+  EXPECT_EQ(snap.column("no_such_column"), nullptr);
+  EXPECT_EQ((*snap.column("round"))[4], 4.0);
+  EXPECT_EQ((*snap.column("energy_training_j"))[0], 800.0);
+  EXPECT_TRUE(snap.anomalies.empty());
+}
+
+TEST(TimeSeries, RadarWarmupSuppressesZScoreSignals) {
+  AnomalyRadar radar;  // warmup 8, z 4.0
+  std::vector<Anomaly> out;
+  // A 100x duration spike inside the warmup window must not alarm.
+  for (std::uint64_t r = 0; r < 7; ++r) {
+    RoundStats s = quiet_round(r);
+    if (r == 5) s.duration_s = 30.0;
+    EXPECT_EQ(radar.observe(s, &out), 0u) << "round " << r;
+  }
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(TimeSeries, RadarFlagsRoundTimeSpikeAfterWarmupDeterministically) {
+  // Run the identical stream twice; the radar is pure state-machine, so the
+  // verdicts must match exactly.
+  for (int rep = 0; rep < 2; ++rep) {
+    AnomalyRadar radar;
+    std::vector<Anomaly> out;
+    std::uint32_t spike_mask = 0;
+    for (std::uint64_t r = 0; r < 20; ++r) {
+      RoundStats s = quiet_round(r);
+      // Mild jitter so the stddev is non-zero, then one 10x spike.
+      s.duration_s = 0.3 + 0.001 * static_cast<double>(r % 3);
+      if (r == 15) s.duration_s = 3.0;
+      const std::uint32_t mask = radar.observe(s, &out);
+      if (r == 15) {
+        spike_mask = mask;
+      } else {
+        EXPECT_EQ(mask & kAnomalyRoundTime, 0u) << "round " << r;
+      }
+    }
+    EXPECT_NE(spike_mask & kAnomalyRoundTime, 0u);
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0].round, 15u);
+    EXPECT_STREQ(out[0].kind, "round_time");
+    EXPECT_EQ(out[0].value, 3.0);
+    EXPECT_LT(out[0].threshold, 3.0);
+  }
+}
+
+TEST(TimeSeries, RadarSpikeFoldsIntoHistory) {
+  // A sustained shift alarms once, then becomes the new normal.
+  AnomalyRadar radar;
+  std::vector<Anomaly> out;
+  int flagged = 0;
+  for (std::uint64_t r = 0; r < 40; ++r) {
+    RoundStats s = quiet_round(r);
+    s.duration_s = (r < 12) ? 0.3 + 0.001 * static_cast<double>(r % 3) : 3.0;
+    if ((radar.observe(s, &out) & kAnomalyRoundTime) != 0) ++flagged;
+  }
+  EXPECT_GE(flagged, 1);
+  EXPECT_LE(flagged, 4);  // not 28 alarms for 28 shifted rounds
+}
+
+TEST(TimeSeries, RadarCrashStormIsAbsoluteAndFiresFromRoundZero) {
+  AnomalyRadar radar;
+  std::vector<Anomaly> out;
+  RoundStats s = quiet_round(0);
+  s.selected = 10.0;
+  s.crashes = 5.0;  // >= max(3, selected/2) = 5
+  const std::uint32_t mask = radar.observe(s, &out);
+  EXPECT_NE(mask & kAnomalyCrashStorm, 0u);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_STREQ(out[0].kind, "crash_storm");
+  EXPECT_EQ(out[0].value, 5.0);
+
+  // 4 of 10 stays under the bar.
+  AnomalyRadar radar2;
+  RoundStats calm = quiet_round(0);
+  calm.crashes = 4.0;
+  EXPECT_EQ(radar2.observe(calm, nullptr) & kAnomalyCrashStorm, 0u);
+}
+
+TEST(TimeSeries, RadarDeadlineBurstOnStragglerDrops) {
+  AnomalyRadar radar;
+  std::vector<Anomaly> out;
+  RoundStats s = quiet_round(0);
+  s.selected = 4.0;
+  s.stragglers = 3.0;  // >= max(3, 2)
+  EXPECT_NE(radar.observe(s, &out) & kAnomalyDeadlineBurst, 0u);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_STREQ(out[0].kind, "deadline_burst");
+}
+
+TEST(TimeSeries, SeriesRecordsAnomalyMaskAlignedWithAnomalyList) {
+  RoundSeries series;
+  for (std::uint64_t r = 0; r < 12; ++r) {
+    RoundStats s = quiet_round(r);
+    if (r == 9) s.crashes = 7.0;  // absolute rule, no warmup needed
+    series.append(s);
+  }
+  const auto snap = series.snapshot();
+  const auto& mask = *snap.column("anomaly_mask");
+  for (std::size_t r = 0; r < snap.rows(); ++r) {
+    EXPECT_EQ(mask[r] != 0.0, r == 9) << "round " << r;
+  }
+  ASSERT_FALSE(snap.anomalies.empty());
+  for (const auto& a : snap.anomalies) {
+    EXPECT_EQ(a.round, 9u);
+    EXPECT_NE(mask[a.round], 0.0);
+  }
+}
+
+TEST(TimeSeries, JsonExportCarriesSchemaRowsColumnsAnomalies) {
+  RoundSeries series;
+  for (std::uint64_t r = 0; r < 3; ++r) {
+    RoundStats s = quiet_round(r);
+    if (r == 2) s.crashes = 9.0;
+    series.append(s);
+  }
+  const std::string json = timeseries_json(series.snapshot());
+  EXPECT_NE(json.find("\"kind\": \"timeseries\""), std::string::npos);
+  EXPECT_NE(json.find("\"schema_version\""), std::string::npos);
+  EXPECT_NE(json.find("\"rows\": 3"), std::string::npos);
+  EXPECT_NE(json.find("\"anomalies\""), std::string::npos);
+  EXPECT_NE(json.find("\"crash_storm\""), std::string::npos);
+  for (const char* name : RoundSeries::column_names()) {
+    EXPECT_NE(json.find(std::string("\"") + name + "\""), std::string::npos)
+        << name;
+  }
+}
+
+TEST(TimeSeries, EmptySeriesExportsZeroRows) {
+  RoundSeries series;
+  const auto snap = series.snapshot();
+  EXPECT_EQ(snap.rows(), 0u);
+  const std::string json = timeseries_json(snap);
+  EXPECT_NE(json.find("\"rows\": 0"), std::string::npos);
+  EXPECT_NE(json.find("\"kind\": \"timeseries\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace eefei::obs

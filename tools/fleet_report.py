@@ -1,0 +1,280 @@
+#!/usr/bin/env python3
+"""Render a self-contained HTML report from a fleet run's telemetry sidecars.
+
+Usage:
+    fleet_report.py BASE [-o report.html]
+
+BASE is the trace path stem shared by the sidecars: `fleet_1m` (or
+`fleet_1m.json`) reads `fleet_1m.metrics.json` and
+`fleet_1m.timeseries.json`.  Missing sidecars degrade the report (a
+metrics-only report has no round charts) rather than failing it; at least
+one sidecar must exist.
+
+The report is one HTML file with inline SVG — no JS, no external assets —
+holding three panels:
+
+  * quantile bands: every exported sketch as a p50/p90/p95/p99/p999 table
+    (round time, upload wait, turnaround, joules-per-server, host wall
+    times), plus count/min/max so tails are honest about sample size;
+  * energy breakdown: per-round stacked joules by ledger category, with
+    run totals in the legend;
+  * anomaly timeline: round-duration line with the radar's flagged rounds
+    marked and listed (kind, value, threshold).
+
+Stdlib only.  Exit code 0 = report written, 1 = no usable sidecar.
+"""
+
+import html
+import json
+import os
+import sys
+
+SCHEMA_VERSION = 1
+
+ENERGY_COLUMNS = (
+    ("energy_training_j", "training", "#4c78a8"),
+    ("energy_upload_j", "upload", "#f58518"),
+    ("energy_download_j", "download", "#54a24b"),
+    ("energy_waiting_j", "waiting", "#b8b8b8"),
+    ("energy_data_collection_j", "data collection", "#72b7b2"),
+    ("energy_retry_j", "retry", "#e45756"),
+    ("energy_aborted_j", "aborted", "#9d755d"),
+)
+
+QUANTS = ("p50", "p90", "p95", "p99", "p999")
+
+CSS = """
+body { font-family: -apple-system, 'Segoe UI', sans-serif; margin: 2em;
+       max-width: 70em; color: #222; }
+h1 { font-size: 1.4em; } h2 { font-size: 1.1em; margin-top: 2em; }
+table { border-collapse: collapse; font-size: 0.9em; }
+th, td { border: 1px solid #ddd; padding: 0.3em 0.7em; text-align: right; }
+th { background: #f5f5f5; } td.name { text-align: left; font-family: monospace; }
+.anomaly { color: #b00; }
+.meta { color: #666; font-size: 0.85em; }
+svg { background: #fcfcfc; border: 1px solid #eee; }
+"""
+
+
+def load(path):
+    try:
+        with open(path) as fh:
+            doc = json.load(fh)
+    except (OSError, json.JSONDecodeError):
+        return None
+    if not isinstance(doc, dict) or doc.get("schema_version") != SCHEMA_VERSION:
+        return None
+    return doc
+
+
+def fmt(v):
+    if v == 0:
+        return "0"
+    if abs(v) >= 1e6 or abs(v) < 1e-3:
+        return f"{v:.3e}"
+    return f"{v:,.4g}"
+
+
+def sketch_table(metrics):
+    sketches = metrics.get("sketches", []) if metrics else []
+    if not sketches:
+        return "<p class='meta'>no sketches in metrics sidecar</p>"
+    head = "".join(f"<th>{q}</th>" for q in QUANTS)
+    rows = []
+    for s in sorted(sketches, key=lambda s: s.get("name", "")):
+        q = s.get("quantiles") or {}
+        cells = "".join(f"<td>{fmt(q[name])}</td>" if name in q else "<td>—</td>"
+                        for name in QUANTS)
+        rows.append(
+            f"<tr><td class='name'>{html.escape(s.get('name', '?'))}</td>"
+            f"<td>{s.get('count', 0):,}</td>{cells}"
+            f"<td>{fmt(s.get('min', 0))}</td><td>{fmt(s.get('max', 0))}</td>"
+            f"<td>±{100 * s.get('relative_accuracy', 0):.1f}%</td></tr>"
+        )
+    return (
+        "<table><tr><th>sketch</th><th>count</th>"
+        + head
+        + "<th>min</th><th>max</th><th>rel. err</th></tr>"
+        + "".join(rows)
+        + "</table>"
+    )
+
+
+def svg_polyline(points, color, width=1.5):
+    path = " ".join(f"{x:.1f},{y:.1f}" for x, y in points)
+    return (
+        f"<polyline fill='none' stroke='{color}' stroke-width='{width}' "
+        f"points='{path}'/>"
+    )
+
+
+def chart_frame(width, height, title):
+    return (
+        f"<svg width='{width}' height='{height}' "
+        f"viewBox='0 0 {width} {height}'>"
+        f"<text x='8' y='16' font-size='12' fill='#444'>{title}</text>"
+    )
+
+
+def scale(values, lo_px, hi_px, vmax=None):
+    vmax = vmax if vmax else (max(values) if values and max(values) > 0 else 1.0)
+    span = hi_px - lo_px
+    return lambda v: hi_px - span * (v / vmax), vmax
+
+
+def energy_chart(ts):
+    cols = ts["columns"]
+    rounds = cols.get("round", [])
+    n = len(rounds)
+    if n == 0:
+        return "<p class='meta'>empty time-series</p>"
+    w, h, pad = 900, 260, 30
+    xstep = (w - 2 * pad) / max(1, n - 1)
+    stacks = []  # cumulative per-round stacked values, bottom-up
+    base = [0.0] * n
+    for key, label, color in ENERGY_COLUMNS:
+        vals = cols.get(key, [0.0] * n)
+        top = [b + v for b, v in zip(base, vals)]
+        stacks.append((label, color, list(base), list(top), sum(vals)))
+        base = top
+    y_of, vmax = scale(base, pad, h - pad)
+    parts = [chart_frame(w, h, "per-round energy by category (J)")]
+    for label, color, lo, hi, _total in stacks:
+        pts_top = [(pad + i * xstep, y_of(hi[i])) for i in range(n)]
+        pts_lo = [(pad + i * xstep, y_of(lo[i])) for i in range(n - 1, -1, -1)]
+        path = " ".join(f"{x:.1f},{y:.1f}" for x, y in pts_top + pts_lo)
+        parts.append(
+            f"<polygon fill='{color}' fill-opacity='0.8' stroke='none' "
+            f"points='{path}'/>"
+        )
+    parts.append(
+        f"<text x='{w - 8}' y='16' font-size='11' fill='#888' "
+        f"text-anchor='end'>peak {fmt(vmax)} J/round</text></svg>"
+    )
+    legend = " &nbsp; ".join(
+        f"<span style='color:{color}'>■</span> {label} ({fmt(total)} J)"
+        for label, color, _lo, _hi, total in stacks
+        if total > 0
+    )
+    return "".join(parts) + f"<p class='meta'>{legend}</p>"
+
+
+def anomaly_chart(ts):
+    cols = ts["columns"]
+    rounds = cols.get("round", [])
+    durations = cols.get("duration_s", [])
+    masks = cols.get("anomaly_mask", [])
+    n = len(rounds)
+    if n == 0:
+        return "<p class='meta'>empty time-series</p>"
+    w, h, pad = 900, 200, 30
+    xstep = (w - 2 * pad) / max(1, n - 1)
+    y_of, vmax = scale(durations, pad, h - pad)
+    pts = [(pad + i * xstep, y_of(durations[i])) for i in range(n)]
+    parts = [
+        chart_frame(w, h, "round duration (sim s), anomalies marked"),
+        svg_polyline(pts, "#4c78a8"),
+    ]
+    for i in range(n):
+        if int(masks[i]) != 0:
+            x, y = pts[i]
+            parts.append(
+                f"<circle cx='{x:.1f}' cy='{y:.1f}' r='4' fill='#b00'/>"
+            )
+    parts.append(
+        f"<text x='{w - 8}' y='16' font-size='11' fill='#888' "
+        f"text-anchor='end'>max {fmt(vmax)} s</text></svg>"
+    )
+    anomalies = ts.get("anomalies", [])
+    if anomalies:
+        rows = "".join(
+            f"<tr><td>{a['round']}</td><td class='name'>{html.escape(a['kind'])}"
+            f"</td><td>{fmt(a['value'])}</td><td>{fmt(a['threshold'])}</td></tr>"
+            for a in anomalies
+        )
+        listing = (
+            "<table><tr><th>round</th><th>kind</th><th>value</th>"
+            "<th>threshold</th></tr>" + rows + "</table>"
+        )
+    else:
+        listing = "<p class='meta'>no anomalies flagged</p>"
+    return "".join(parts) + listing
+
+
+def counters_table(metrics):
+    if not metrics:
+        return ""
+    wanted = ("fleet.rounds", "fleet.selected", "fleet.events",
+              "fl.rounds", "fl.evals")
+    entries = [
+        (m["name"], m["value"])
+        for m in metrics.get("counters", []) + metrics.get("gauges", [])
+        if m.get("name", "").startswith(("fleet.", "fl.", "energy."))
+    ]
+    if not entries:
+        return ""
+    entries.sort(key=lambda kv: (kv[0] not in wanted, kv[0]))
+    rows = "".join(
+        f"<tr><td class='name'>{html.escape(k)}</td><td>{fmt(v)}</td></tr>"
+        for k, v in entries
+    )
+    return ("<h2>run counters</h2><table><tr><th>metric</th><th>value</th>"
+            "</tr>" + rows + "</table>")
+
+
+def main(argv):
+    args = argv[1:]
+    out_path = "fleet_report.html"
+    if "-o" in args:
+        i = args.index("-o")
+        if i + 1 >= len(args):
+            print("-o needs a path")
+            return 1
+        out_path = args[i + 1]
+        del args[i:i + 2]
+    if len(args) != 1:
+        print(__doc__.strip())
+        return 1
+    base = args[0]
+    if base.endswith(".json"):
+        base = base[: -len(".json")]
+
+    metrics = load(base + ".metrics.json")
+    ts = load(base + ".timeseries.json")
+    if metrics is None and ts is None:
+        print(f"no usable sidecars at {base}.{{metrics,timeseries}}.json")
+        return 1
+
+    git_sha = (metrics or ts).get("git_sha", "unknown")
+    sections = [
+        f"<h1>fleet run report: {html.escape(os.path.basename(base))}</h1>",
+        f"<p class='meta'>git {html.escape(str(git_sha))} · schema v"
+        f"{SCHEMA_VERSION}</p>",
+        "<h2>latency &amp; energy quantiles</h2>",
+        sketch_table(metrics),
+    ]
+    if ts is not None:
+        sections += [
+            "<h2>energy breakdown</h2>",
+            energy_chart(ts),
+            "<h2>anomaly radar</h2>",
+            anomaly_chart(ts),
+        ]
+    else:
+        sections.append("<p class='meta'>no timeseries sidecar</p>")
+    sections.append(counters_table(metrics))
+
+    doc = (
+        "<!doctype html><html><head><meta charset='utf-8'>"
+        f"<title>fleet report</title><style>{CSS}</style></head><body>"
+        + "".join(sections)
+        + "</body></html>"
+    )
+    with open(out_path, "w") as fh:
+        fh.write(doc)
+    print(f"wrote {out_path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -2,19 +2,22 @@
 """Validate telemetry artifacts written by the simulator's obs layer.
 
 Usage:
-    trace_check.py [--expect-phases] FILE [FILE ...]
+    trace_check.py [--expect-phases] [--max-tracks N] FILE [FILE ...]
 
 Each FILE is a telemetry artifact recognised by shape: a Chrome trace-event
-file (has "traceEvents"), a metrics dump (kind == "metrics"), a run
-manifest (kind == "manifest"), or a BENCH_*.json bench report (has
-"bench").
+file (has "traceEvents"), a metrics dump (kind == "metrics"), a round
+time-series (kind == "timeseries"), a run manifest (kind == "manifest"),
+or a BENCH_*.json bench report (has "bench").
 
 Checks are structural — schema_version, required keys, numeric/ordered
-timestamps, per-track process_name metadata — so a regression in an
-exporter fails CI before anyone drags a broken trace into Perfetto.
+timestamps, per-track process_name metadata, sketch/histogram count
+consistency — so a regression in an exporter fails CI before anyone drags
+a broken trace into Perfetto.
 --expect-phases additionally requires that at least one edge-server track
 carries the paper's Fig. 3 state machine (downloading / training /
 uploading spans); use it on traces of full simulation runs.
+--max-tracks N fails a trace whose edge_server_* track count exceeds N —
+the gate that proves track sampling keeps fleet traces bounded.
 
 Stdlib only.  Exit code 0 = all files valid, 1 = any check failed.
 """
@@ -24,6 +27,31 @@ import sys
 
 SCHEMA_VERSION = 1
 PHASE_NAMES = ("downloading", "training", "uploading")
+
+# Every column the fleet engines' RoundSeries promises to export.
+TIMESERIES_COLUMNS = (
+    "round",
+    "start_s",
+    "duration_s",
+    "selected",
+    "aggregated",
+    "stragglers",
+    "crashes",
+    "retries",
+    "aborted",
+    "events",
+    "queue_peak",
+    "gateways",
+    "energy_j",
+    "energy_data_collection_j",
+    "energy_waiting_j",
+    "energy_download_j",
+    "energy_training_j",
+    "energy_upload_j",
+    "energy_retry_j",
+    "energy_aborted_j",
+    "anomaly_mask",
+)
 
 
 class Checker:
@@ -40,7 +68,7 @@ class Checker:
         return cond
 
 
-def check_trace(doc, chk, expect_phases):
+def check_trace(doc, chk, expect_phases, max_tracks=None):
     events = doc.get("traceEvents")
     if not chk.require(isinstance(events, list), "traceEvents is not a list"):
         return
@@ -99,12 +127,19 @@ def check_trace(doc, chk, expect_phases):
     for pid in sorted(used_pids - named_pids, key=str):
         chk.error(f"pid {pid} has events but no process_name metadata")
 
+    server_pids = {
+        pid
+        for pid, name in track_names.items()
+        if isinstance(name, str) and name.startswith("edge_server_")
+    }
+    if max_tracks is not None:
+        chk.require(
+            len(server_pids) <= max_tracks,
+            f"{len(server_pids)} edge_server_* tracks exceed the "
+            f"--max-tracks bound of {max_tracks} (sampling not holding)",
+        )
+
     if expect_phases:
-        server_pids = {
-            pid
-            for pid, name in track_names.items()
-            if isinstance(name, str) and name.startswith("edge_server_")
-        }
         chk.require(server_pids, "no edge_server_* tracks registered")
         seen = {
             e.get("name")
@@ -149,9 +184,116 @@ def check_metrics(doc, chk):
             sum(buckets) == h.get("count"),
             f"histogram {name}: bucket sum != count",
         )
+        for key in ("sum", "overflow", "min", "max"):
+            chk.require(
+                isinstance(h.get(key), (int, float)),
+                f"histogram {name}: non-numeric {key} (inf/nan leaked?)",
+            )
+        if buckets:
+            chk.require(
+                h.get("overflow") == buckets[-1],
+                f"histogram {name}: overflow != last bucket",
+            )
+        if h.get("count"):
+            chk.require(
+                h.get("min") <= h.get("max"),
+                f"histogram {name}: min > max",
+            )
+    for s in doc.get("sketches", []):
+        name = s.get("name") if isinstance(s, dict) else None
+        if not chk.require(
+            isinstance(name, str), f"malformed sketch entry: {s!r}"
+        ):
+            continue
+        for key in ("relative_accuracy", "gamma", "sum", "min", "max"):
+            chk.require(
+                isinstance(s.get(key), (int, float)),
+                f"sketch {name}: non-numeric {key} (inf/nan leaked?)",
+            )
         chk.require(
-            isinstance(h.get("sum"), (int, float)),
-            f"histogram {name}: non-numeric sum (inf/nan leaked?)",
+            0.0 < s.get("relative_accuracy", 0) <= 0.25,
+            f"sketch {name}: relative_accuracy out of range",
+        )
+        count, zero = s.get("count", 0), s.get("zero_count", 0)
+        buckets = s.get("buckets", [])
+        chk.require(
+            sum(buckets) + zero == count,
+            f"sketch {name}: bucket sum + zero_count != count",
+        )
+        quantiles = s.get("quantiles")
+        if count > 0:
+            if chk.require(
+                isinstance(quantiles, dict) and quantiles,
+                f"sketch {name}: non-empty sketch without quantiles",
+            ):
+                ordered = [
+                    quantiles[q]
+                    for q in ("p50", "p90", "p95", "p99", "p999")
+                    if q in quantiles
+                ]
+                chk.require(
+                    all(
+                        a <= b for a, b in zip(ordered, ordered[1:])
+                    ),
+                    f"sketch {name}: quantiles not monotone",
+                )
+            chk.require(
+                s.get("min") <= s.get("max"),
+                f"sketch {name}: min > max",
+            )
+
+
+def check_timeseries(doc, chk):
+    columns = doc.get("columns")
+    if not chk.require(isinstance(columns, dict), "columns is not an object"):
+        return
+    rows = doc.get("rows")
+    chk.require(isinstance(rows, int) and rows >= 0, f"bad rows {rows!r}")
+    for name in TIMESERIES_COLUMNS:
+        col = columns.get(name)
+        if not chk.require(
+            isinstance(col, list), f"column {name!r} missing"
+        ):
+            continue
+        chk.require(
+            len(col) == rows,
+            f"column {name!r}: {len(col)} values for {rows} rows",
+        )
+        chk.require(
+            all(isinstance(v, (int, float)) for v in col),
+            f"column {name!r}: non-numeric value (inf/nan leaked?)",
+        )
+    for extra in set(columns) - set(TIMESERIES_COLUMNS):
+        chk.error(f"unknown column {extra!r}")
+    masks = columns.get("anomaly_mask", [])
+    chk.require(
+        all(
+            isinstance(m, (int, float)) and m >= 0 and m == int(m)
+            for m in masks
+        ),
+        "anomaly_mask holds non-bitmask values",
+    )
+    anomalies = doc.get("anomalies")
+    if not chk.require(isinstance(anomalies, list), "anomalies not a list"):
+        return
+    flagged_rounds = {
+        int(r)
+        for r, m in zip(columns.get("round", []), masks)
+        if int(m) != 0
+    }
+    for a in anomalies:
+        ok = (
+            isinstance(a, dict)
+            and isinstance(a.get("round"), int)
+            and isinstance(a.get("kind"), str)
+            and isinstance(a.get("value"), (int, float))
+            and isinstance(a.get("threshold"), (int, float))
+        )
+        if not chk.require(ok, f"malformed anomaly entry: {a!r}"):
+            continue
+        chk.require(
+            a["round"] in flagged_rounds,
+            f"anomaly round {a['round']} has a zero anomaly_mask",
         )
 
 
@@ -191,7 +333,7 @@ def check_manifest(doc, chk):
     )
 
 
-def check_file(path, expect_phases):
+def check_file(path, expect_phases, max_tracks=None):
     chk = Checker(path)
     try:
         with open(path) as fh:
@@ -208,9 +350,11 @@ def check_file(path, expect_phases):
         f"schema_version {doc.get('schema_version')!r} != {SCHEMA_VERSION}",
     )
     if "traceEvents" in doc:
-        check_trace(doc, chk, expect_phases)
+        check_trace(doc, chk, expect_phases, max_tracks)
     elif doc.get("kind") == "metrics":
         check_metrics(doc, chk)
+    elif doc.get("kind") == "timeseries":
+        check_timeseries(doc, chk)
     elif doc.get("kind") == "manifest":
         check_manifest(doc, chk)
     elif "bench" in doc:
@@ -223,14 +367,27 @@ def check_file(path, expect_phases):
 def main(argv):
     args = argv[1:]
     expect_phases = "--expect-phases" in args
-    paths = [a for a in args if a != "--expect-phases"]
+    max_tracks = None
+    paths = []
+    i = 0
+    pos = [a for a in args if a != "--expect-phases"]
+    while i < len(pos):
+        if pos[i] == "--max-tracks":
+            if i + 1 >= len(pos) or not pos[i + 1].isdigit():
+                print("--max-tracks needs an integer argument")
+                return 1
+            max_tracks = int(pos[i + 1])
+            i += 2
+            continue
+        paths.append(pos[i])
+        i += 1
     if not paths:
         print(__doc__.strip())
         return 1
 
     failed = False
     for path in paths:
-        errors = check_file(path, expect_phases)
+        errors = check_file(path, expect_phases, max_tracks)
         if errors:
             failed = True
             for e in errors:
