@@ -89,6 +89,24 @@ sim::EventFleetEngineConfig event_config(std::size_t n, std::size_t rounds,
   return cfg;
 }
 
+// Multi-hop backhaul variant of event_config.  With `clients == 0` the
+// links stay at their transparent defaults (the zero-config twin row);
+// otherwise the round selects `clients` servers and the single
+// region→coordinator link is narrowed so every upload funnels through a
+// congested backhaul (at N = 1000 the default 64/64 fan-ins give 16
+// gateways and exactly one region).
+sim::EventFleetEngineConfig multihop_config(std::size_t n, std::size_t rounds,
+                                            std::size_t threads,
+                                            std::size_t clients) {
+  auto cfg = event_config(n, rounds, threads);
+  cfg.multi_hop = true;
+  if (clients > 0) {
+    cfg.system.fl.clients_per_round = clients;
+    cfg.backhaul_uplink.rate = BitsPerSecond::from_mbps(0.5);
+  }
+  return cfg;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -181,6 +199,8 @@ int main(int argc, char** argv) {
     double sim_secs = 0.0;
     std::size_t rounds = 0;
     double events = 0.0;                    // event engine only
+    double link_wait_s = 0.0;               // multi-hop engine only
+    double link_util_peak = 0.0;
     std::vector<double> final_params;       // for traced-twin identity
   };
   // Best of kReps fresh runs: a timed region of `rounds` federated rounds
@@ -225,6 +245,10 @@ int main(int argc, char** argv) {
       if constexpr (requires { r->events_processed; }) {
         out.events = static_cast<double>(r->events_processed);
       }
+      if constexpr (requires { r->link_wait; }) {
+        out.link_wait_s = r->link_wait.value();
+        out.link_util_peak = r->link_util_peak;
+      }
     }
     return true;
   };
@@ -259,6 +283,33 @@ int main(int argc, char** argv) {
     report.add(tag + "/rss_mb", rss);
     report.add(tag + "/energy_j", event_run.energy_j);
     print_row(kMillion, event_run, "event", rss);
+
+    // Million-server multi-hop twin: the ~16k-node gateway/region graph
+    // with transparent links must reproduce the point-to-point row bit
+    // for bit, inside the same time/RSS envelope.  This is the capacity
+    // claim for the network layer itself.
+    {
+      TimedRun mh_run;
+      if (!measure(kMillion, [&] {
+            return sim::EventFleetEngine(
+                multihop_config(kMillion, kMillionRounds, threads, 0));
+          }, mh_run)) {
+        return 1;
+      }
+      const bool twin_ok = mh_run.energy_j == event_run.energy_j &&
+                           mh_run.final_params == event_run.final_params &&
+                           mh_run.link_wait_s == 0.0;
+      std::printf("multihop zero-config twin (N=%zu): %s\n", kMillion,
+                  twin_ok ? "byte-identical" : "MISMATCH");
+      if (!twin_ok) return 1;
+      const double mh_rss = peak_rss_mb();
+      const std::string mtag =
+          "fleet/multihop/N=" + std::to_string(kMillion);
+      report.add(mtag + "/ns_per_server_round", mh_run.ns_per_server_round,
+                 {{"events_processed", mh_run.events}});
+      report.add(mtag + "/rss_mb", mh_rss);
+      print_row(kMillion, mh_run, "mhop", mh_rss);
+    }
 
     // Traced twin: telemetry on, identical config.  Three gates — the
     // non-perturbation contract (energy + final params bit-identical to
@@ -400,6 +451,63 @@ int main(int argc, char** argv) {
     print_row(n, batched, "batched", rss);
     print_row(n, serial, "serial", rss);
     print_row(n, event_run, "event", rss);
+
+    // Multi-hop rows at N = 1000: first the zero-config twin gate (default
+    // transparent links must reproduce the point-to-point event row bit
+    // for bit), then the congested-gateway pair — 16 gateways funneling
+    // into one narrow region→coordinator backhaul at two offered loads.
+    // The queueing delay must grow with the offered load or the row fails:
+    // congestion is the feature under test, not an incidental number.
+    if (n == 1000) {
+      TimedRun twin;
+      if (!measure(n, [&] {
+            return sim::EventFleetEngine(
+                multihop_config(n, rounds, threads, 0));
+          }, twin)) {
+        return 1;
+      }
+      const bool twin_ok = twin.energy_j == event_run.energy_j &&
+                           twin.final_params == event_run.final_params &&
+                           twin.link_wait_s == 0.0;
+      std::printf("multihop zero-config twin (N=%zu): %s\n", n,
+                  twin_ok ? "byte-identical" : "MISMATCH");
+      if (!twin_ok) return 1;
+
+      TimedRun light, heavy;
+      if (!measure(n, [&] {
+            return sim::EventFleetEngine(
+                multihop_config(n, rounds, threads, 10));
+          }, light) ||
+          !measure(n, [&] {
+            return sim::EventFleetEngine(
+                multihop_config(n, rounds, threads, 40));
+          }, heavy)) {
+        return 1;
+      }
+      if (!(light.link_wait_s > 0.0 &&
+            heavy.link_wait_s > light.link_wait_s)) {
+        std::fprintf(stderr,
+                     "congestion gate failed: link wait K=40 %.6fs vs "
+                     "K=10 %.6fs (must grow with offered load)\n",
+                     heavy.link_wait_s, light.link_wait_s);
+        return 1;
+      }
+      std::printf("multihop congestion (N=%zu): wait K=10 %.3fs -> "
+                  "K=40 %.3fs, peak util %.2f\n",
+                  n, light.link_wait_s, heavy.link_wait_s,
+                  heavy.link_util_peak);
+      const std::string mtag = "fleet/multihop/N=" + std::to_string(n);
+      report.add(mtag + "/K=10/ns_per_server_round",
+                 light.ns_per_server_round,
+                 {{"link_wait_s", light.link_wait_s},
+                  {"link_util_peak", light.link_util_peak}});
+      report.add(mtag + "/K=40/ns_per_server_round",
+                 heavy.ns_per_server_round,
+                 {{"link_wait_s", heavy.link_wait_s},
+                  {"link_util_peak", heavy.link_util_peak}});
+      print_row(n, light, "mh k10", rss);
+      print_row(n, heavy, "mh k40", rss);
+    }
   }
   report.write();
   return 0;

@@ -56,6 +56,14 @@ class TierPlan {
   [[nodiscard]] std::size_t region_of(std::size_t server) const {
     return region_of_gateway(gateway_of(server));
   }
+  /// First server of a gateway's contiguous member block — the inverse of
+  /// gateway_of().  Consumers that address "the gateway" through a member
+  /// id (the per-gateway contention merge, the multi-hop graph mapping)
+  /// use this instead of re-deriving the block arithmetic.
+  [[nodiscard]] std::size_t first_member_of_gateway(
+      std::size_t gateway) const {
+    return gateway * config_.gateway_fanin;
+  }
 
   /// Actual fan-in of a given node (the last gateway/region of the fleet
   /// may be partially filled).

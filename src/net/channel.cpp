@@ -4,6 +4,34 @@
 
 namespace eefei::net {
 
+Status WifiLanConfig::validate() const {
+  if (rate.value() <= 0.0) {
+    return Error::invalid_argument("WifiLanConfig: rate must be > 0");
+  }
+  if (base_latency.value() < 0.0) {
+    return Error::invalid_argument("WifiLanConfig: base_latency must be >= 0");
+  }
+  if (loss_probability < 0.0 || loss_probability > 1.0) {
+    return Error::invalid_argument(
+        "WifiLanConfig: loss_probability must be in [0, 1]");
+  }
+  return Status::success();
+}
+
+Status NbIotConfig::validate() const {
+  if (energy_per_byte.value() <= 0.0) {
+    return Error::invalid_argument("NbIotConfig: energy_per_byte must be > 0");
+  }
+  if (rate.value() <= 0.0) {
+    return Error::invalid_argument("NbIotConfig: rate must be > 0");
+  }
+  if (collision_probability < 0.0 || collision_probability > 1.0) {
+    return Error::invalid_argument(
+        "NbIotConfig: collision_probability must be in [0, 1]");
+  }
+  return Status::success();
+}
+
 Seconds WifiLan::nominal_duration(Bytes payload) const {
   return config_.base_latency + transfer_time(payload, config_.rate);
 }
@@ -16,10 +44,13 @@ TransferResult WifiLan::transfer(const Message& msg) {
     result.duration += once;
     if (!rng_.bernoulli(config_.loss_probability)) {
       result.delivered = true;
+      // Everything before the successful attempt was retransmission.
+      result.wasted = result.duration - once;
       return result;
     }
   }
-  return result;  // dropped after max_retries
+  result.wasted = result.duration;  // dropped: every attempt was wasted
+  return result;
 }
 
 UplinkResult NbIotChannel::send(Bytes payload) {
@@ -32,25 +63,33 @@ UplinkResult NbIotChannel::send(Bytes payload) {
     result.duration += air_time;
     if (!rng_.bernoulli(config_.collision_probability)) {
       result.delivered = true;
+      result.wasted = result.duration - air_time;
+      result.wasted_energy = result.device_energy - per_attempt;
       return result;
     }
   }
+  result.wasted = result.duration;
+  result.wasted_energy = result.device_energy;
   return result;
+}
+
+double expected_transmission_attempts(double failure_probability,
+                                      std::size_t max_attempts) {
+  double expected = 0.0;
+  double prob_reach = 1.0;  // probability the k-th attempt happens
+  for (std::size_t k = 0; k < max_attempts; ++k) {
+    expected += prob_reach;
+    prob_reach *= failure_probability;
+  }
+  return expected;
 }
 
 Joules NbIotChannel::expected_energy(Bytes payload) const {
   const Joules clean = config_.energy_per_byte * payload;
   const double p = config_.collision_probability;
   if (p <= 0.0) return clean;
-  // Expected attempts of a geometric truncated at max_retries+1 tries.
-  const auto max_attempts = static_cast<double>(config_.max_retries + 1);
-  double expected_attempts = 0.0;
-  double prob_reach = 1.0;  // probability the k-th attempt happens
-  for (double k = 1.0; k <= max_attempts; k += 1.0) {
-    expected_attempts += prob_reach;
-    prob_reach *= p;
-  }
-  return clean * expected_attempts;
+  return clean *
+         expected_transmission_attempts(p, config_.max_retries + 1);
 }
 
 }  // namespace eefei::net

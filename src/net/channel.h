@@ -11,6 +11,7 @@
 
 #include <cstddef>
 
+#include "common/result.h"
 #include "common/rng.h"
 #include "common/units.h"
 #include "net/message.h"
@@ -22,12 +23,17 @@ struct WifiLanConfig {
   Seconds base_latency = Seconds::from_millis(2.0);
   double loss_probability = 0.0;  // per-attempt message loss
   std::size_t max_retries = 5;
+
+  /// Rejects non-physical configurations: rate must be positive, latency
+  /// non-negative, loss a probability in [0, 1].
+  [[nodiscard]] Status validate() const;
 };
 
 /// Result of pushing one message through a link.
 struct TransferResult {
   bool delivered = false;
   Seconds duration{0.0};     // total air time incl. retries
+  Seconds wasted{0.0};       // air time of failed attempts only
   std::size_t attempts = 0;  // 1 = clean delivery
 };
 
@@ -58,6 +64,10 @@ struct NbIotConfig {
   double collision_probability = 0.0;
   std::size_t max_retries = 8;
   BitsPerSecond rate = BitsPerSecond::from_mbps(0.06);  // ~60 kbps uplink
+
+  /// Rejects non-physical configurations: energy-per-byte and rate must
+  /// be positive, collision probability in [0, 1].
+  [[nodiscard]] Status validate() const;
 };
 
 /// One IoT uplink transmission outcome: energy spent by the device
@@ -66,6 +76,8 @@ struct UplinkResult {
   bool delivered = false;
   Joules device_energy{0.0};
   Seconds duration{0.0};
+  Seconds wasted{0.0};         // air time of failed attempts only
+  Joules wasted_energy{0.0};   // energy of failed attempts only
   std::size_t attempts = 0;
 };
 
@@ -88,5 +100,15 @@ class NbIotChannel {
   NbIotConfig config_;
   Rng rng_;
 };
+
+/// Expected number of transmission attempts for a channel that fails
+/// each attempt independently with probability `failure_probability`,
+/// truncated at `max_attempts` total tries: Σ_{k=1..A} p^{k-1}.  The
+/// final attempt counts whether or not it succeeds — matching transfer()
+/// and send(), which spend air time/energy on a last failed attempt too.
+/// Shared by NbIotChannel::expected_energy and the statistical tests so
+/// the closed form and the empirical path cannot drift.
+[[nodiscard]] double expected_transmission_attempts(double failure_probability,
+                                                    std::size_t max_attempts);
 
 }  // namespace eefei::net

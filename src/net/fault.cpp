@@ -18,6 +18,36 @@ namespace {
 
 }  // namespace
 
+Status LinkFaultConfig::validate() const {
+  if (loss_probability < 0.0 || loss_probability > 1.0) {
+    return Error::invalid_argument(
+        "LinkFaultConfig: loss_probability must be in [0, 1]");
+  }
+  if (max_attempts == 0) {
+    return Error::invalid_argument("LinkFaultConfig: max_attempts must be >= 1");
+  }
+  if (backoff_base.value() < 0.0) {
+    return Error::invalid_argument(
+        "LinkFaultConfig: backoff_base must be >= 0");
+  }
+  if (backoff_factor < 1.0) {
+    return Error::invalid_argument(
+        "LinkFaultConfig: backoff_factor must be >= 1");
+  }
+  for (const OutageWindow& w : outages) {
+    if (w.start.value() < 0.0) {
+      return Error::invalid_argument(
+          "LinkFaultConfig: outage start must be >= 0");
+    }
+    if (w.duration.value() <= 0.0) {
+      return Error::invalid_argument(
+          "LinkFaultConfig: outage duration must be > 0 (a zero-length "
+          "window never overlaps any attempt)");
+    }
+  }
+  return Status::success();
+}
+
 FaultTransferOutcome plan_faulty_transfer(Rng& rng,
                                           const LinkFaultConfig& config,
                                           Seconds start,
@@ -45,6 +75,9 @@ FaultTransferOutcome plan_faulty_transfer(Rng& rng,
     if (attempt + 1 < cap) {
       outcome.backoff_time += backoff;
       at += backoff;
+      // Defensive backstop: validate() rejects factors < 1, so the clamp
+      // only matters for callers that skip validation; it keeps the gap
+      // monotone instead of collapsing toward zero.
       backoff *= std::max(1.0, config.backoff_factor);
     }
   }

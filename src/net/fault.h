@@ -14,6 +14,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/result.h"
 #include "common/rng.h"
 #include "common/units.h"
 
@@ -43,6 +44,16 @@ struct LinkFaultConfig {
   [[nodiscard]] bool enabled() const {
     return loss_probability > 0.0 || !outages.empty();
   }
+
+  /// Rejects degenerate configurations that plan_faulty_transfer would
+  /// otherwise accept silently: loss outside [0, 1], max_attempts == 0,
+  /// negative backoff_base, backoff_factor < 1 (the planner clamps it to
+  /// 1 as a defensive backstop, but a sub-1 factor is almost certainly a
+  /// misconfiguration, so it is rejected here rather than reinterpreted),
+  /// and zero-length or negative-start OutageWindows — a zero-length
+  /// window never overlaps any attempt under the half-open
+  /// [start, end()) semantics, so it silently does nothing.
+  [[nodiscard]] Status validate() const;
 };
 
 /// Outcome of one transfer pushed through a faulty link.

@@ -1,0 +1,40 @@
+#include "net/graph.h"
+
+namespace eefei::net {
+
+const char* to_string(NodeKind kind) {
+  switch (kind) {
+    case NodeKind::kDevice:
+      return "device";
+    case NodeKind::kGateway:
+      return "gateway";
+    case NodeKind::kBackhaul:
+      return "backhaul";
+    case NodeKind::kCoordinator:
+      return "coordinator";
+  }
+  return "unknown";
+}
+
+std::size_t NetGraph::add_node(NodeKind kind) {
+  kinds_.push_back(kind);
+  out_.emplace_back();
+  return kinds_.size() - 1;
+}
+
+Result<std::size_t> NetGraph::add_link(std::size_t from, std::size_t to,
+                                       LinkConfig config) {
+  if (from >= kinds_.size() || to >= kinds_.size()) {
+    return Error::invalid_argument("NetGraph: link endpoint out of range");
+  }
+  if (from == to) {
+    return Error::invalid_argument("NetGraph: self-loop links not allowed");
+  }
+  if (auto st = config.validate(); !st.ok()) return st.error();
+  const std::size_t id = links_.size();
+  links_.push_back(GraphLink{id, from, to, config});
+  out_[from].push_back(id);
+  return id;
+}
+
+}  // namespace eefei::net

@@ -1,0 +1,63 @@
+// Multi-hop network graph: typed nodes (device, NB-IoT gateway,
+// backhaul, coordinator) joined by directed links, each carrying a
+// rate/latency/queue model (net::LinkConfig).  The graph is the static
+// substrate; per-link LinkQueues and the Router own the dynamics.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "net/link_queue.h"
+
+namespace eefei::net {
+
+enum class NodeKind : std::uint8_t {
+  kDevice = 0,
+  kGateway = 1,
+  kBackhaul = 2,
+  kCoordinator = 3,
+};
+
+[[nodiscard]] const char* to_string(NodeKind kind);
+
+struct GraphLink {
+  std::size_t id = 0;
+  std::size_t from = 0;
+  std::size_t to = 0;
+  LinkConfig config;
+};
+
+class NetGraph {
+ public:
+  // Nodes get consecutive ids starting at 0, in insertion order.
+  std::size_t add_node(NodeKind kind);
+
+  // Adds a directed link and returns its id.  Rejects out-of-range
+  // endpoints, self-loops, and invalid LinkConfigs.
+  [[nodiscard]] Result<std::size_t> add_link(std::size_t from,
+                                             std::size_t to,
+                                             LinkConfig config);
+
+  [[nodiscard]] std::size_t num_nodes() const { return kinds_.size(); }
+  [[nodiscard]] std::size_t num_links() const { return links_.size(); }
+  [[nodiscard]] NodeKind node_kind(std::size_t node) const {
+    return kinds_.at(node);
+  }
+  [[nodiscard]] const GraphLink& link(std::size_t id) const {
+    return links_.at(id);
+  }
+  // Out-links of a node, in ascending link-id order.
+  [[nodiscard]] const std::vector<std::size_t>& out_links(
+      std::size_t node) const {
+    return out_.at(node);
+  }
+
+ private:
+  std::vector<NodeKind> kinds_;
+  std::vector<GraphLink> links_;
+  std::vector<std::vector<std::size_t>> out_;
+};
+
+}  // namespace eefei::net

@@ -14,9 +14,12 @@ UplinkResult IotDevice::upload_sample() {
     const auto drain = battery_->drain(r.device_energy);
     if (!drain.completed) {
       // The battery died mid-transmission; the sample did not make it, and
-      // only the Joules the battery actually held were ever spent.
+      // only the Joules the battery actually held were ever spent — all of
+      // them wasted, since nothing was delivered.
       r.delivered = false;
       r.device_energy = drain.drained;
+      r.wasted = r.duration;
+      r.wasted_energy = r.device_energy;
     }
   }
   lifetime_energy_ += r.device_energy;
@@ -56,6 +59,7 @@ CollectionResult DeviceFleet::collect(std::size_t n) {
     if (!dev.alive()) continue;  // route around dead devices
     const UplinkResult r = dev.upload_sample();
     result.total_energy += r.device_energy;
+    result.wasted_energy += r.wasted_energy;
     result.duration += r.duration;
     if (r.delivered) ++result.samples_delivered;
   }

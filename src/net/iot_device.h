@@ -67,8 +67,9 @@ class IotDevice {
 struct CollectionResult {
   std::size_t samples_requested = 0;
   std::size_t samples_delivered = 0;
-  Joules total_energy{0.0};  // e_k^I including retransmissions
-  Seconds duration{0.0};     // wall time (devices transmit sequentially)
+  Joules total_energy{0.0};   // e_k^I including retransmissions
+  Joules wasted_energy{0.0};  // collision/battery-death share of the total
+  Seconds duration{0.0};      // wall time (devices transmit sequentially)
   std::size_t devices_depleted = 0;  // batteries that ran out this round
 };
 

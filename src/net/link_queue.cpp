@@ -1,0 +1,53 @@
+#include "net/link_queue.h"
+
+#include <algorithm>
+
+namespace eefei::net {
+
+Status LinkConfig::validate() const {
+  if (rate.value() < 0.0) {
+    return Error::invalid_argument("LinkConfig: rate must be >= 0");
+  }
+  if (latency.value() < 0.0) {
+    return Error::invalid_argument("LinkConfig: latency must be >= 0");
+  }
+  return Status::success();
+}
+
+LinkQueue::Admission LinkQueue::offer(Seconds now, Bytes bytes) {
+  while (!in_service_.empty() && in_service_.front() <= now) {
+    in_service_.pop_front();
+  }
+  ++stats_.offered;
+
+  Admission adm;
+  if (config_.queue_capacity > 0 &&
+      in_service_.size() >= config_.queue_capacity) {
+    ++stats_.dropped;
+    adm.depth = in_service_.size();
+    return adm;
+  }
+
+  const Seconds tx = config_.rate.value() > 0.0
+                         ? transfer_time(bytes, config_.rate)
+                         : Seconds{0.0};
+  adm.accepted = true;
+  adm.depart = std::max(now, busy_until_);
+  adm.wait = adm.depart - now;
+  adm.arrive = adm.depart + tx + config_.latency;
+  busy_until_ = adm.depart + tx;
+  in_service_.push_back(busy_until_);
+  adm.depth = in_service_.size();
+
+  stats_.busy += tx;
+  stats_.total_wait += adm.wait;
+  stats_.max_depth = std::max(stats_.max_depth, adm.depth);
+  return adm;
+}
+
+double LinkQueue::utilization(Seconds horizon) const {
+  if (horizon.value() <= 0.0) return 0.0;
+  return std::min(1.0, stats_.busy.value() / horizon.value());
+}
+
+}  // namespace eefei::net

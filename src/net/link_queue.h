@@ -1,0 +1,75 @@
+// Bounded FIFO transmission queue for one directed network link.
+//
+// A link serializes messages one at a time at `rate` and delivers each
+// `latency` after its serialization completes.  Messages offered while
+// the link is busy wait in FIFO order; with `queue_capacity > 0` a full
+// queue rejects new offers (the caller decides what a drop means).  All
+// state advances only through offer(), so a link embedded in a
+// discrete-event simulation stays deterministic: admission outcomes are
+// a pure function of the (time-ordered) offer sequence.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+
+#include "common/result.h"
+#include "common/units.h"
+
+namespace eefei::net {
+
+// Rate/latency/capacity model of one directed link.
+struct LinkConfig {
+  // Serialization rate.  0 = infinite bandwidth: messages never occupy
+  // the link, so they never queue and never drop.
+  BitsPerSecond rate{0.0};
+  // Fixed propagation delay added after serialization completes.
+  Seconds latency{0.0};
+  // Maximum messages pending on the link (queued + in service).
+  // 0 = unbounded.
+  std::size_t queue_capacity = 0;
+
+  [[nodiscard]] Status validate() const;
+};
+
+struct LinkQueueStats {
+  std::size_t offered = 0;    // messages presented to the link
+  std::size_t dropped = 0;    // rejected because the queue was full
+  std::size_t max_depth = 0;  // peak pending messages (incl. in service)
+  Seconds busy{0.0};          // cumulative serialization time
+  Seconds total_wait{0.0};    // cumulative queueing delay
+};
+
+class LinkQueue {
+ public:
+  explicit LinkQueue(LinkConfig config) : config_(config) {}
+
+  struct Admission {
+    bool accepted = false;
+    Seconds depart{0.0};  // when serialization starts (>= offer time)
+    Seconds arrive{0.0};  // when the message lands at the far end
+    Seconds wait{0.0};    // depart - offer time (queueing delay)
+    std::size_t depth = 0;  // pending messages after this offer
+  };
+
+  // Offers one message of `bytes` at absolute time `now`.  Offer times
+  // must be non-decreasing — the event queue's time ordering guarantees
+  // this for every caller in the simulator.
+  Admission offer(Seconds now, Bytes bytes);
+
+  [[nodiscard]] const LinkQueueStats& stats() const { return stats_; }
+  [[nodiscard]] const LinkConfig& config() const { return config_; }
+  [[nodiscard]] Seconds busy_until() const { return busy_until_; }
+
+  // Fraction of [0, horizon] the link spent serializing bits.
+  [[nodiscard]] double utilization(Seconds horizon) const;
+
+ private:
+  LinkConfig config_;
+  Seconds busy_until_{0.0};
+  // Service-completion times of messages still pending (front = oldest).
+  // Entries <= the current offer time have left the link.
+  std::deque<Seconds> in_service_;
+  LinkQueueStats stats_;
+};
+
+}  // namespace eefei::net

@@ -1,0 +1,119 @@
+#include "net/router.h"
+
+#include <queue>
+#include <tuple>
+
+namespace eefei::net {
+namespace {
+
+struct Cost {
+  double latency = std::numeric_limits<double>::infinity();
+  std::size_t hops = std::numeric_limits<std::size_t>::max();
+};
+
+}  // namespace
+
+Status Router::add_destination(std::size_t dst) {
+  if (graph_ == nullptr) {
+    return Error::invalid_argument("Router: no graph attached");
+  }
+  if (dst >= graph_->num_nodes()) {
+    return Error::invalid_argument("Router: destination out of range");
+  }
+  if (next_.count(dst) != 0) return Status::success();
+
+  const std::size_t n = graph_->num_nodes();
+  std::vector<std::vector<std::size_t>> in(n);
+  for (std::size_t l = 0; l < graph_->num_links(); ++l) {
+    in[graph_->link(l).to].push_back(l);
+  }
+
+  // Dijkstra from dst over reversed links; keys ordered by
+  // (latency, hops, node) so pops are deterministic.
+  std::vector<Cost> dist(n);
+  dist[dst] = Cost{0.0, 0};
+  using Key = std::tuple<double, std::size_t, std::size_t>;
+  std::priority_queue<Key, std::vector<Key>, std::greater<>> frontier;
+  frontier.push({0.0, 0, dst});
+  while (!frontier.empty()) {
+    const auto [lat, hops, v] = frontier.top();
+    frontier.pop();
+    if (lat > dist[v].latency ||
+        (lat == dist[v].latency && hops > dist[v].hops)) {
+      continue;  // stale entry
+    }
+    for (const std::size_t lid : in[v]) {
+      const GraphLink& link = graph_->link(lid);
+      const double cand_lat = lat + link.config.latency.value();
+      const std::size_t cand_hops = hops + 1;
+      Cost& d = dist[link.from];
+      if (cand_lat < d.latency ||
+          (cand_lat == d.latency && cand_hops < d.hops)) {
+        d = Cost{cand_lat, cand_hops};
+        frontier.push({cand_lat, cand_hops, link.from});
+      }
+    }
+  }
+
+  // Next-hop derivation: among out-links achieving the optimal
+  // (latency, hops), the smallest target node id wins, then the
+  // smallest link id — this pins route uniqueness for tied paths.
+  std::vector<std::size_t> next(n, kNoRoute);
+  for (std::size_t u = 0; u < n; ++u) {
+    if (u == dst || dist[u].hops == std::numeric_limits<std::size_t>::max()) {
+      continue;
+    }
+    std::size_t best = kNoRoute;
+    for (const std::size_t lid : graph_->out_links(u)) {
+      const GraphLink& link = graph_->link(lid);
+      const Cost& to = dist[link.to];
+      if (to.hops == std::numeric_limits<std::size_t>::max()) continue;
+      // Addition is commutative bitwise, so the link that set dist[u]
+      // during relaxation reproduces it exactly here.
+      if (link.config.latency.value() + to.latency != dist[u].latency ||
+          to.hops + 1 != dist[u].hops) {
+        continue;
+      }
+      if (best == kNoRoute) {
+        best = lid;
+        continue;
+      }
+      const GraphLink& champ = graph_->link(best);
+      if (link.to < champ.to || (link.to == champ.to && lid < best)) {
+        best = lid;
+      }
+    }
+    next[u] = best;
+  }
+  next_.emplace(dst, std::move(next));
+  return Status::success();
+}
+
+std::size_t Router::next_link(std::size_t node, std::size_t dst) const {
+  const auto it = next_.find(dst);
+  if (it == next_.end() || node >= it->second.size()) return kNoRoute;
+  return it->second[node];
+}
+
+Result<std::vector<std::size_t>> Router::path(std::size_t node,
+                                              std::size_t dst) const {
+  if (next_.find(dst) == next_.end()) {
+    return Error::invalid_argument("Router: destination not registered");
+  }
+  std::vector<std::size_t> links;
+  std::size_t at = node;
+  while (at != dst) {
+    const std::size_t lid = next_link(at, dst);
+    if (lid == kNoRoute) {
+      return Error::infeasible("Router: destination unreachable");
+    }
+    links.push_back(lid);
+    at = graph_->link(lid).to;
+    if (links.size() > graph_->num_nodes()) {
+      return Error::internal("Router: routing loop");
+    }
+  }
+  return links;
+}
+
+}  // namespace eefei::net

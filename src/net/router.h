@@ -1,0 +1,48 @@
+// Deterministic static routing over a NetGraph.
+//
+// For each registered destination the router runs Dijkstra on the
+// reversed graph with the lexicographic cost (total link latency, hop
+// count) and then derives one next-hop link per node: among the
+// out-links achieving the optimal cost, the smallest target node id
+// wins, then the smallest link id.  That tie-break makes every route
+// unique and independent of insertion order, priority-queue internals,
+// or thread count — two routers built over the same graph always agree,
+// which the multi-hop determinism contract relies on.
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <map>
+#include <vector>
+
+#include "common/result.h"
+#include "net/graph.h"
+
+namespace eefei::net {
+
+class Router {
+ public:
+  static constexpr std::size_t kNoRoute =
+      std::numeric_limits<std::size_t>::max();
+
+  explicit Router(const NetGraph* graph) : graph_(graph) {}
+
+  // Precomputes the shortest-path tree toward `dst`.  Idempotent.
+  [[nodiscard]] Status add_destination(std::size_t dst);
+
+  // Link to take from `node` toward `dst`.  kNoRoute when `dst` is
+  // unreachable, was never added, or node == dst.
+  [[nodiscard]] std::size_t next_link(std::size_t node,
+                                      std::size_t dst) const;
+
+  // Full link sequence from `node` to `dst`.
+  [[nodiscard]] Result<std::vector<std::size_t>> path(std::size_t node,
+                                                      std::size_t dst) const;
+
+ private:
+  const NetGraph* graph_;
+  // Destination -> per-node next link (kNoRoute where unreachable).
+  std::map<std::size_t, std::vector<std::size_t>> next_;
+};
+
+}  // namespace eefei::net

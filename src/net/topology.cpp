@@ -4,6 +4,13 @@
 
 namespace eefei::net {
 
+Status TopologyConfig::validate() const {
+  if (const auto st = lan.validate(); !st.ok()) return st;
+  if (const auto st = device.uplink.validate(); !st.ok()) return st;
+  if (const auto st = link_faults.validate(); !st.ok()) return st;
+  return Status::success();
+}
+
 Topology::Topology(TopologyConfig config) : config_(config) {
   assert(config_.num_edge_servers > 0);
   assert(config_.devices_per_edge > 0);

@@ -24,6 +24,11 @@ struct TopologyConfig {
   /// attempts to EnergyCategory::kRetry/kAborted.
   LinkFaultConfig link_faults;
   std::uint64_t seed = 7;
+
+  /// Validates the three channel/fault configs in one place; every
+  /// simulation entry point (Population::build) calls this so degenerate
+  /// configs are rejected before they silently skew results.
+  [[nodiscard]] Status validate() const;
 };
 
 class Topology {

@@ -60,6 +60,19 @@ std::uint32_t AnomalyRadar::observe(const RoundStats& s,
   if (s.stragglers >= storm_floor && s.stragglers > 0.0) {
     flag(kAnomalyDeadlineBurst, "deadline_burst", s.stragglers, storm_floor);
   }
+
+  // Sustained link saturation: a streak counter, not a z-score — the
+  // signal is bounded at 1.0 so "pinned at the ceiling for several rounds"
+  // is the anomaly, not a statistical spike.
+  if (s.link_util_max >= cfg_.link_saturation_util) {
+    ++saturation_streak_;
+    if (saturation_streak_ >= cfg_.link_saturation_rounds) {
+      flag(kAnomalyLinkSaturation, "link_saturation", s.link_util_max,
+           cfg_.link_saturation_util);
+    }
+  } else {
+    saturation_streak_ = 0;
+  }
   return mask;
 }
 
@@ -86,6 +99,10 @@ RoundSeries::column_names() {
       "energy_upload_j",
       "energy_retry_j",
       "energy_aborted_j",
+      "link_msgs",
+      "link_wait_s",
+      "link_util_max",
+      "link_drops",
       "anomaly_mask",
   };
   return kNames;
@@ -116,6 +133,10 @@ void RoundSeries::append(const RoundStats& s) {
   push(s.energy_upload_j);
   push(s.energy_retry_j);
   push(s.energy_aborted_j);
+  push(s.link_msgs);
+  push(s.link_wait_s);
+  push(s.link_util_max);
+  push(s.link_drops);
   push(static_cast<double>(mask));
 }
 

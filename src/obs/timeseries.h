@@ -48,6 +48,10 @@ struct RoundStats {
   double energy_upload_j = 0.0;
   double energy_retry_j = 0.0;
   double energy_aborted_j = 0.0;
+  double link_msgs = 0.0;      // multi-hop backhaul admissions this round
+  double link_wait_s = 0.0;    // summed per-hop queueing delay this round
+  double link_util_max = 0.0;  // busiest single link's utilization [0, 1]
+  double link_drops = 0.0;     // messages rejected by bounded link queues
 };
 
 /// Anomaly kinds, both as bit flags (the per-round `anomaly_mask` column)
@@ -58,6 +62,8 @@ enum : std::uint32_t {
   kAnomalyDeadlineBurst = 1u << 2,  // straggler drops >= max(3, selected/2)
   kAnomalyEnergy = 1u << 3,         // per-round joules z-score spike
   kAnomalyRetryBurst = 1u << 4,     // retries z-score spike
+  kAnomalyLinkSaturation = 1u << 5,  // a backhaul link pinned at high
+                                     // utilization for consecutive rounds
 };
 
 struct Anomaly {
@@ -79,6 +85,14 @@ class AnomalyRadar {
   struct Config {
     std::size_t warmup_rounds = 8;
     double z_threshold = 4.0;
+    /// Link-saturation rule: fire when link_util_max stays at or above
+    /// this utilization for at least `link_saturation_rounds` consecutive
+    /// rounds (absolute rule — a transient one-round burst is normal for a
+    /// bursty round structure; a sustained streak means the backhaul is
+    /// the bottleneck).  Fires on every round of the streak from the
+    /// threshold round on; the streak resets when utilization dips below.
+    double link_saturation_util = 0.9;
+    std::size_t link_saturation_rounds = 3;
   };
 
   AnomalyRadar() = default;
@@ -102,14 +116,15 @@ class AnomalyRadar {
   Signal duration_;
   Signal energy_;
   Signal retries_;
+  std::size_t saturation_streak_ = 0;
 };
 
 /// Thread-safe columnar store of RoundStats rows + the radar's verdicts.
 /// Appends are O(1) amortized (one vector push per column under one lock);
-/// memory is ~23 doubles per round, so even a 10^6-round run stays bounded.
+/// memory is ~27 doubles per round, so even a 10^6-round run stays bounded.
 class RoundSeries {
  public:
-  static constexpr std::size_t kColumns = 21;  // RoundStats fields + mask
+  static constexpr std::size_t kColumns = 25;  // RoundStats fields + mask
   static const std::array<const char*, kColumns>& column_names();
 
   RoundSeries() = default;

@@ -125,9 +125,20 @@ Result<AsyncRunResult> AsyncFeiSystem::run() {
     // short relative to training and overlap freely).
     const auto down = topology.lan(server).transfer(msg);
     const Seconds d = jittered(down.duration);
+    // Retransmitted air time books as kRetry; only the useful share lands
+    // in kDownload (and in the in-flight record, so an abort reclassifies
+    // exactly what was charged there).
+    const Seconds dw = down.wasted.value() > 0.0
+                           ? d * (down.wasted / down.duration)
+                           : Seconds{0.0};
+    if (dw.value() > 0.0) {
+      result.ledger.charge(
+          server, energy::EnergyCategory::kRetry,
+          base.profile.power(energy::EdgeState::kDownloading) * dw);
+    }
     result.ledger.charge(
         server, energy::EnergyCategory::kDownload,
-        base.profile.power(energy::EdgeState::kDownloading) * d);
+        base.profile.power(energy::EdgeState::kDownloading) * (d - dw));
 
     // Snapshot the global model NOW (the server trains on what it pulled).
     const std::vector<double> snapshot = global;
@@ -141,14 +152,22 @@ Result<AsyncRunResult> AsyncFeiSystem::run() {
 
     const auto up = topology.lan(server).transfer(msg);
     const Seconds u = jittered(up.duration);
+    const Seconds uw = up.wasted.value() > 0.0
+                           ? u * (up.wasted / up.duration)
+                           : Seconds{0.0};
+    if (uw.value() > 0.0) {
+      result.ledger.charge(
+          server, energy::EnergyCategory::kRetry,
+          base.profile.power(energy::EdgeState::kUploading) * uw);
+    }
     result.ledger.charge(
         server, energy::EnergyCategory::kUpload,
-        base.profile.power(energy::EdgeState::kUploading) * u);
+        base.profile.power(energy::EdgeState::kUploading) * (u - uw));
 
     in_flight[server] = InFlight{
-        base.profile.power(energy::EdgeState::kDownloading) * d,
+        base.profile.power(energy::EdgeState::kDownloading) * (d - dw),
         base.profile.power(energy::EdgeState::kTraining) * train,
-        base.profile.power(energy::EdgeState::kUploading) * u};
+        base.profile.power(energy::EdgeState::kUploading) * (u - uw)};
 
     // The whole task timeline is known at dispatch (the computation runs
     // lazily at completion), so the three phase spans are recorded here.

@@ -19,6 +19,8 @@
 #include "ml/serialize.h"
 #include "net/csma.h"
 #include "net/fault.h"
+#include "net/graph.h"
+#include "net/router.h"
 #include "obs/telemetry.h"
 #include "sim/event_queue.h"
 #include "sim/fault_process.h"
@@ -72,6 +74,28 @@ Status EventFleetEngine::validate() const {
       sys.lan_contention == FeiSystemConfig::LanContention::kCsma) {
     return Error::invalid_argument(
         "fleet: link fault injection models FCFS LAN contention only");
+  }
+  if (config_.multi_hop) {
+    if (sys.lan_contention == FeiSystemConfig::LanContention::kCsma) {
+      return Error::invalid_argument(
+          "event fleet: multi-hop backhaul models FCFS access only");
+    }
+    if (config_.gateway_contention) {
+      return Error::invalid_argument(
+          "event fleet: multi_hop and gateway_contention are exclusive "
+          "backhaul models");
+    }
+    if (fault_injection_active()) {
+      return Error::invalid_argument(
+          "event fleet: multi-hop backhaul does not support fault "
+          "injection");
+    }
+    if (const auto st = config_.gateway_uplink.validate(); !st.ok()) {
+      return st;
+    }
+    if (const auto st = config_.backhaul_uplink.validate(); !st.ok()) {
+      return st;
+    }
   }
   return Status::success();
 }
@@ -195,6 +219,7 @@ Result<EventFleetRunResult> EventFleetEngine::run() {
   obs::QuantileSketch* sk_wait_s = nullptr;      // per-upload queue wait
   obs::QuantileSketch* sk_turnaround_s = nullptr;  // dispatch->delivered
   obs::QuantileSketch* sk_joules = nullptr;      // per-server run total
+  obs::QuantileSketch* sk_link_wait_s = nullptr;  // per-hop queueing delay
   std::array<obs::Counter*, energy::kNumEnergyCategories> energy_counters{};
   std::array<double, energy::kNumEnergyCategories> prev_energy{};
   if (obs::Telemetry* tel = obs::telemetry()) {
@@ -207,6 +232,11 @@ Result<EventFleetRunResult> EventFleetEngine::run() {
     sk_wait_s = &tel->metrics.sketch("fleet.upload.wait_s");
     sk_turnaround_s = &tel->metrics.sketch("fleet.server.turnaround_s");
     sk_joules = &tel->metrics.sketch("fleet.server.joules");
+    if (config_.multi_hop) {
+      // Registered only for multi-hop runs so point-to-point runs keep
+      // their exact pre-existing sketch export set.
+      sk_link_wait_s = &tel->metrics.sketch("fleet.link.wait_s");
+    }
     for (std::size_t c = 0; c < energy::kNumEnergyCategories; ++c) {
       energy_counters[c] = &tel->metrics.counter(
           std::string("energy.joules.") +
@@ -293,13 +323,30 @@ Result<EventFleetRunResult> EventFleetEngine::run() {
   // duration IS the nominal duration (one attempt, no loss roll), so the
   // shared model reproduces the per-server objects' bits exactly.
   net::WifiLan shared_lan(sys.net.lan, Rng(0));
-  auto down_duration = [&](std::size_t sid) -> Seconds {
-    if (virtual_pop) return shared_lan.nominal_duration(down_msg.wire_bytes());
-    return population_.topology().lan(sid).transfer(down_msg).duration;
+  struct LegTiming {
+    Seconds duration{0.0};
+    Seconds wasted{0.0};  // retransmitted share (materialized lossy LAN)
   };
-  auto up_duration = [&](std::size_t sid) -> Seconds {
-    if (virtual_pop) return shared_lan.nominal_duration(up_msg.wire_bytes());
-    return population_.topology().lan(sid).transfer(up_msg).duration;
+  auto down_leg = [&](std::size_t sid) -> LegTiming {
+    if (virtual_pop) {
+      return {shared_lan.nominal_duration(down_msg.wire_bytes()),
+              Seconds{0.0}};
+    }
+    const auto r = population_.topology().lan(sid).transfer(down_msg);
+    return {r.duration, r.wasted};
+  };
+  auto up_leg = [&](std::size_t sid) -> LegTiming {
+    if (virtual_pop) {
+      return {shared_lan.nominal_duration(up_msg.wire_bytes()), Seconds{0.0}};
+    }
+    const auto r = population_.topology().lan(sid).transfer(up_msg);
+    return {r.duration, r.wasted};
+  };
+  // Retransmitted share of the jittered leg duration: scaled, never
+  // re-rolled — jittered() consumes exactly one normal per leg either way.
+  auto wasted_share = [](Seconds scaled, const LegTiming& leg) -> Seconds {
+    if (leg.wasted.value() <= 0.0) return Seconds{0.0};
+    return scaled * (leg.wasted / leg.duration);
   };
   auto nominal_duration = [&](std::size_t sid, Bytes bytes) -> Seconds {
     if (virtual_pop) return shared_lan.nominal_duration(bytes);
@@ -406,6 +453,111 @@ Result<EventFleetRunResult> EventFleetEngine::run() {
     }
   };
 
+  // ---- multi-hop backhaul graph -----------------------------------------
+  // Tier plan → graph mapping: one gateway node per tier-plan gateway, one
+  // backhaul node per region, one coordinator node; links follow the
+  // aggregation tree.  At N = 1M the graph holds ~16k nodes — the device →
+  // gateway leg stays the access-medium model (WifiLan/CSMA), so no O(N)
+  // per-device nodes are ever materialized.
+  net::NetGraph net_graph;
+  net::Router router(&net_graph);
+  std::vector<net::LinkQueue> link_queues;
+  std::vector<std::size_t> gateway_node;
+  std::size_t coordinator_node = 0;
+  // Per-round link aggregates, maintained incrementally by hop_arrival;
+  // touched_links dedups via a round epoch so round-end cost is O(touched),
+  // never O(links).
+  struct RoundLinkStats {
+    std::size_t msgs = 0;
+    std::size_t drops = 0;
+    double wait_s = 0.0;
+  };
+  RoundLinkStats round_links;
+  std::vector<double> link_busy_prev;  // cumulative busy at last round end
+  std::vector<std::uint32_t> link_epoch;
+  std::vector<std::size_t> touched_links;
+  std::uint32_t round_epoch = 0;
+  if (config_.multi_hop) {
+    const std::size_t n_gateways = tier_plan.num_gateways();
+    const std::size_t n_regions = tier_plan.num_regions();
+    gateway_node.reserve(n_gateways);
+    for (std::size_t g = 0; g < n_gateways; ++g) {
+      gateway_node.push_back(net_graph.add_node(net::NodeKind::kGateway));
+    }
+    std::vector<std::size_t> region_node;
+    region_node.reserve(n_regions);
+    for (std::size_t r = 0; r < n_regions; ++r) {
+      region_node.push_back(net_graph.add_node(net::NodeKind::kBackhaul));
+    }
+    coordinator_node = net_graph.add_node(net::NodeKind::kCoordinator);
+    for (std::size_t g = 0; g < n_gateways; ++g) {
+      const auto lid = net_graph.add_link(
+          gateway_node[g], region_node[tier_plan.region_of_gateway(g)],
+          config_.gateway_uplink);
+      if (!lid.ok()) return lid.error();
+    }
+    for (std::size_t r = 0; r < n_regions; ++r) {
+      const auto lid = net_graph.add_link(region_node[r], coordinator_node,
+                                          config_.backhaul_uplink);
+      if (!lid.ok()) return lid.error();
+    }
+    if (const auto st = router.add_destination(coordinator_node); !st.ok()) {
+      return st.error();
+    }
+    link_queues.reserve(net_graph.num_links());
+    for (std::size_t l = 0; l < net_graph.num_links(); ++l) {
+      link_queues.emplace_back(net_graph.link(l).config);
+    }
+    link_busy_prev.assign(net_graph.num_links(), 0.0);
+    link_epoch.assign(net_graph.num_links(), 0);
+    result.num_links = net_graph.num_links();
+    if (obs::Telemetry* tel = obs::telemetry()) {
+      tel->metrics.gauge("fleet.links")
+          .set(static_cast<double>(net_graph.num_links()));
+    }
+  }
+
+  // Hop-by-hop forwarding: each admission schedules the next hop's arrival
+  // as an event, so queueing delay accumulates along the path and
+  // congestion emerges from the round's offered load.  Hop events charge
+  // no energy and consume no RNG; with the default zero-config links every
+  // admission is instantaneous (wait 0, arrive == at), which is why the
+  // zero-config twin reproduces the point-to-point bits exactly.
+  std::function<void(std::size_t, std::size_t, Seconds)> hop_arrival =
+      [&](std::size_t node, std::size_t sid, Seconds at) {
+        if (node == coordinator_node) {
+          gateway_member_resolved(sid, at);
+          return;
+        }
+        const std::size_t lid = router.next_link(node, coordinator_node);
+        assert(lid != net::Router::kNoRoute);
+        net::LinkQueue& lq = link_queues[lid];
+        const auto adm = lq.offer(at, up_msg.wire_bytes());
+        if (link_epoch[lid] != round_epoch) {
+          link_epoch[lid] = round_epoch;
+          touched_links.push_back(lid);
+        }
+        if (!adm.accepted) {
+          // Bounded queue full: the update is lost in the backhaul.  The
+          // member still resolves — at the drop time — so the tier chain
+          // completes; observer-mode aggregation is never vetoed (drops
+          // are a timing/telemetry outcome, like tier latencies).
+          ++round_links.drops;
+          gateway_member_resolved(sid, at);
+          return;
+        }
+        ++round_links.msgs;
+        round_links.wait_s += adm.wait.value();
+        if (sk_link_wait_s != nullptr) {
+          sk_link_wait_s->record(adm.wait.value());
+        }
+        const std::size_t next_node = net_graph.link(lid).to;
+        queue.schedule_at(adm.arrive,
+                          [&, next_node, sid, arrive = adm.arrive] {
+                            hop_arrival(next_node, sid, arrive);
+                          });
+      };
+
   auto begin_round = [&](std::size_t round,
                          std::span<const fl::ClientId> selected) {
     round_start_time = clock;
@@ -423,6 +575,11 @@ Result<EventFleetRunResult> EventFleetEngine::run() {
     root_remaining = part.root_expected;
     root_last = Seconds{0.0};
     root_done = round_start_time;
+    if (config_.multi_hop) {
+      round_links = RoundLinkStats{};
+      touched_links.clear();
+      ++round_epoch;
+    }
     if (charge_idle) {
       for (const auto sid : selected) settle_and_mark_active(sid);
     }
@@ -447,21 +604,38 @@ Result<EventFleetRunResult> EventFleetEngine::run() {
 
       if (sys.iot_collection) {
         const auto collected = population_.topology().fleet(sid).collect(n_k);
-        result.ledger.charge(sid, energy::EnergyCategory::kDataCollection,
-                             collected.total_energy);
+        if (collected.wasted_energy.value() > 0.0) {
+          result.ledger.charge(sid, energy::EnergyCategory::kRetry,
+                               collected.wasted_energy);
+          result.ledger.charge(
+              sid, energy::EnergyCategory::kDataCollection,
+              collected.total_energy - collected.wasted_energy);
+        } else {
+          result.ledger.charge(sid, energy::EnergyCategory::kDataCollection,
+                               collected.total_energy);
+        }
       }
 
-      const Seconds d = jittered(down_duration(sid));
+      const auto dl = down_leg(sid);
+      const Seconds d = jittered(dl.duration);
+      const Seconds dw = wasted_share(d, dl);
       const Seconds download_start = lan_free;
       lan_free += d;
       Seconds t = jittered(sys.timing.duration(record.local_epochs, n_k));
       t *= straggler_factor(sid);
 
       // download-done: book the reception phase on the event boundary.
-      queue.schedule_at(download_start + d, [&, sid, download_start, d] {
+      queue.schedule_at(download_start + d, [&, sid, download_start, d, dw] {
         run_phase(sid, energy::EdgeState::kDownloading, download_start, d);
-        result.ledger.charge(sid, energy::EnergyCategory::kDownload,
-                             p_down * d);
+        if (dw.value() > 0.0) {
+          result.ledger.charge(sid, energy::EnergyCategory::kRetry,
+                               p_down * dw);
+          result.ledger.charge(sid, energy::EnergyCategory::kDownload,
+                               p_down * (d - dw));
+        } else {
+          result.ledger.charge(sid, energy::EnergyCategory::kDownload,
+                               p_down * d);
+        }
       });
 
       // epoch-done: book training, then resolve this upload's contention
@@ -473,13 +647,16 @@ Result<EventFleetRunResult> EventFleetEngine::run() {
                              p_train * t);
         const Seconds train_end = train_start + t;
         Seconds u{0.0};
+        Seconds uw{0.0};
         Seconds upload_start = train_end;
         if (sys.lan_contention == FeiSystemConfig::LanContention::kCsma) {
           const auto r =
               csma.transfer(up_msg.wire_bytes(), uploads_pending - 1);
           u = jittered(r.duration);
         } else {
-          u = jittered(up_duration(sid));
+          const auto ul = up_leg(sid);
+          u = jittered(ul.duration);
+          uw = wasted_share(u, ul);
           upload_start = std::max(train_end, lan_free);
           const Seconds queue_wait = upload_start - train_end;
           lan_free = upload_start + u;
@@ -490,17 +667,30 @@ Result<EventFleetRunResult> EventFleetEngine::run() {
           if (sk_wait_s != nullptr) sk_wait_s->record(queue_wait.value());
         }
         --uploads_pending;
-        // upload-done: book transmission, notify the aggregation tier.
-        queue.schedule_at(upload_start + u, [&, sid, upload_start, u] {
+        // upload-done: book transmission, notify the aggregation tier —
+        // directly, or through the multi-hop backhaul graph.
+        queue.schedule_at(upload_start + u, [&, sid, upload_start, u, uw] {
           run_phase(sid, energy::EdgeState::kUploading, upload_start, u);
-          result.ledger.charge(sid, energy::EnergyCategory::kUpload,
-                               p_up * u);
+          if (uw.value() > 0.0) {
+            result.ledger.charge(sid, energy::EnergyCategory::kRetry,
+                                 p_up * uw);
+            result.ledger.charge(sid, energy::EnergyCategory::kUpload,
+                                 p_up * (u - uw));
+          } else {
+            result.ledger.charge(sid, energy::EnergyCategory::kUpload,
+                                 p_up * u);
+          }
           round_end = std::max(round_end, upload_start + u);
           if (sk_turnaround_s != nullptr) {
             sk_turnaround_s->record(
                 (upload_start + u - round_start).value());
           }
-          gateway_member_resolved(sid, upload_start + u);
+          if (config_.multi_hop) {
+            hop_arrival(gateway_node[tier_plan.gateway_of(sid)], sid,
+                        upload_start + u);
+          } else {
+            gateway_member_resolved(sid, upload_start + u);
+          }
         });
       });
     }
@@ -508,6 +698,27 @@ Result<EventFleetRunResult> EventFleetEngine::run() {
     const std::size_t n_events = queue.run();
     events_processed += n_events;
     clock = std::max(std::max(round_end, lan_free), root_done);
+
+    // Per-round link utilization: busy-time delta over the round span,
+    // maxed across the links this round actually touched.
+    double link_util_max = 0.0;
+    if (config_.multi_hop) {
+      const double span = (clock - round_start).value();
+      for (const std::size_t lid : touched_links) {
+        const double busy = link_queues[lid].stats().busy.value();
+        if (span > 0.0) {
+          link_util_max = std::max(
+              link_util_max,
+              std::min(1.0, (busy - link_busy_prev[lid]) / span));
+        }
+        link_busy_prev[lid] = busy;
+      }
+      result.link_messages += round_links.msgs;
+      result.link_drops += round_links.drops;
+      result.link_wait += Seconds{round_links.wait_s};
+      result.link_util_peak =
+          std::max(result.link_util_peak, link_util_max);
+    }
 
     if (charge_idle) idle_schedule.push_round(clock - round_start);
 
@@ -533,6 +744,10 @@ Result<EventFleetRunResult> EventFleetEngine::run() {
       rs.events = static_cast<double>(n_events);
       rs.queue_peak = static_cast<double>(queue.high_water());
       rs.gateways = static_cast<double>(round_gateways.size());
+      rs.link_msgs = static_cast<double>(round_links.msgs);
+      rs.link_wait_s = round_links.wait_s;
+      rs.link_util_max = link_util_max;
+      rs.link_drops = static_cast<double>(round_links.drops);
       append_round_stats(tel, rs);
     }
   };
@@ -554,8 +769,10 @@ Result<EventFleetRunResult> EventFleetEngine::run() {
       std::size_t sid = 0;
       Seconds download_start{0.0};
       Seconds d{0.0};
+      Seconds dw{0.0};  // retransmitted share of d
       Seconds t{0.0};
       Seconds u{0.0};
+      Seconds uw{0.0};  // retransmitted share of u
     };
     std::map<std::size_t, std::vector<Job>> per_gateway;
     std::map<std::size_t, Seconds> gw_lan_free;
@@ -564,18 +781,30 @@ Result<EventFleetRunResult> EventFleetEngine::run() {
       const std::size_t n_k = updates[i].samples_used;
       if (sys.iot_collection) {
         const auto collected = population_.topology().fleet(sid).collect(n_k);
-        result.ledger.charge(sid, energy::EnergyCategory::kDataCollection,
-                             collected.total_energy);
+        if (collected.wasted_energy.value() > 0.0) {
+          result.ledger.charge(sid, energy::EnergyCategory::kRetry,
+                               collected.wasted_energy);
+          result.ledger.charge(
+              sid, energy::EnergyCategory::kDataCollection,
+              collected.total_energy - collected.wasted_energy);
+        } else {
+          result.ledger.charge(sid, energy::EnergyCategory::kDataCollection,
+                               collected.total_energy);
+        }
       }
       const std::size_t gid = tier_plan.gateway_of(sid);
       auto [lf, inserted] = gw_lan_free.try_emplace(gid, round_start);
-      const Seconds d = jittered(down_duration(sid));
+      const auto dl = down_leg(sid);
+      const Seconds d = jittered(dl.duration);
       const Seconds download_start = lf->second;
       lf->second = download_start + d;
       Seconds t = jittered(sys.timing.duration(record.local_epochs, n_k));
       t *= straggler_factor(sid);
-      const Seconds u = jittered(up_duration(sid));
-      per_gateway[gid].push_back({sid, download_start, d, t, u});
+      const auto ul = up_leg(sid);
+      const Seconds u = jittered(ul.duration);
+      per_gateway[gid].push_back({sid, download_start, d,
+                                  wasted_share(d, dl), t, u,
+                                  wasted_share(u, ul)});
     }
 
     std::vector<std::pair<std::size_t, std::vector<Job>>> groups;
@@ -602,8 +831,15 @@ Result<EventFleetRunResult> EventFleetEngine::run() {
         local.schedule_at(job.download_start + job.d, [&, job] {
           run_phase(job.sid, energy::EdgeState::kDownloading,
                     job.download_start, job.d);
-          result.ledger.charge(job.sid, energy::EnergyCategory::kDownload,
-                               p_down * job.d);
+          if (job.dw.value() > 0.0) {
+            result.ledger.charge(job.sid, energy::EnergyCategory::kRetry,
+                                 p_down * job.dw);
+            result.ledger.charge(job.sid, energy::EnergyCategory::kDownload,
+                                 p_down * (job.d - job.dw));
+          } else {
+            result.ledger.charge(job.sid, energy::EnergyCategory::kDownload,
+                                 p_down * job.d);
+          }
         });
         const Seconds train_start = job.download_start + job.d;
         local.schedule_at(train_start + job.t, [&, job, train_start] {
@@ -623,8 +859,15 @@ Result<EventFleetRunResult> EventFleetEngine::run() {
           local.schedule_at(upload_start + job.u, [&, job, upload_start] {
             run_phase(job.sid, energy::EdgeState::kUploading, upload_start,
                       job.u);
-            result.ledger.charge(job.sid, energy::EnergyCategory::kUpload,
-                                 p_up * job.u);
+            if (job.uw.value() > 0.0) {
+              result.ledger.charge(job.sid, energy::EnergyCategory::kRetry,
+                                   p_up * job.uw);
+              result.ledger.charge(job.sid, energy::EnergyCategory::kUpload,
+                                   p_up * (job.u - job.uw));
+            } else {
+              result.ledger.charge(job.sid, energy::EnergyCategory::kUpload,
+                                   p_up * job.u);
+            }
             gw_end = std::max(gw_end, upload_start + job.u);
             if (sk_turnaround_s != nullptr) {
               sk_turnaround_s->record(
@@ -653,8 +896,9 @@ Result<EventFleetRunResult> EventFleetEngine::run() {
       round_end = std::max(round_end, outcomes[gi].done);
       TierNodeState& g = round_gateways.at(groups[gi].first);
       g.remaining = 1;  // resolve the whole gateway at once
-      gateway_member_resolved(groups[gi].first * config_.tiers.gateway_fanin,
-                              outcomes[gi].done);
+      gateway_member_resolved(
+          tier_plan.first_member_of_gateway(groups[gi].first),
+          outcomes[gi].done);
     }
     n_events += queue.run();
     events_processed += n_events;

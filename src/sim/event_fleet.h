@@ -51,6 +51,7 @@
 #include "common/units.h"
 #include "fl/client_pool.h"
 #include "fl/tiering.h"
+#include "net/link_queue.h"
 #include "obs/track_sampler.h"
 #include "sim/fleet_engine.h"
 
@@ -122,15 +123,42 @@ struct EventFleetEngineConfig {
   /// Cap on servers feeding the fleet.server.joules sketch (0 = all); see
   /// FleetEngineConfig::joules_sample_cap.
   std::size_t joules_sample_cap = 131072;
+
+  /// true: after its access-medium upload completes, each update traverses
+  /// a multi-hop backhaul graph (net::NetGraph) mapped from the tier plan
+  /// — gateway → backhaul → coordinator — where every hop is a scheduled
+  /// arrival event through a per-link FIFO queue (net::LinkQueue), so
+  /// queueing delay and congestion emerge from the round's offered load.
+  /// A member's tier resolution moves from upload-done to
+  /// coordinator-arrival; when a bounded queue drops the update, the
+  /// member resolves at the drop time instead (observer-mode aggregation
+  /// is never vetoed — a drop is a timing/telemetry outcome, mirroring
+  /// how tier latencies never gate the numeric FedAvg).  With the default
+  /// zero-rate/zero-latency/unbounded links every hop is instantaneous,
+  /// charges no energy and consumes no RNG, so results stay bit-identical
+  /// to the point-to-point path (the golden twin test).  FCFS access only;
+  /// incompatible with gateway_contention, CSMA and fault injection.
+  bool multi_hop = false;
+  /// Per-link model for each gateway → backhaul link.
+  net::LinkConfig gateway_uplink;
+  /// Per-link model for each backhaul → coordinator link.
+  net::LinkConfig backhaul_uplink;
 };
 
 struct EventFleetRunResult : FleetRunResult {
   /// Total events the simulation processed (phase completions, crashes,
-  /// tier completions) — the DES cost measure: O(K·T), not O(N·T).
+  /// tier completions, hop arrivals) — the DES cost measure: O(K·T), not
+  /// O(N·T).
   std::size_t events_processed = 0;
   /// Tier-plan shape actually used.
   std::size_t num_gateways = 0;
   std::size_t num_regions = 0;
+  /// Multi-hop link totals (all zero when multi_hop is off).
+  std::size_t num_links = 0;
+  std::size_t link_messages = 0;   // hop admissions across the run
+  std::size_t link_drops = 0;      // messages rejected by bounded queues
+  Seconds link_wait{0.0};          // summed per-hop queueing delay
+  double link_util_peak = 0.0;     // max per-round single-link utilization
 };
 
 class EventFleetEngine {

@@ -188,8 +188,18 @@ Result<FeiRunResult> FeiSystem::run() {
       // devices push concurrently with the model dispatch).
       if (config_.iot_collection) {
         const auto collected = population_.topology().fleet(sid).collect(n_k);
-        result.ledger.charge(sid, energy::EnergyCategory::kDataCollection,
-                             collected.total_energy);
+        if (collected.wasted_energy.value() > 0.0) {
+          // Collision/battery-death energy books as kRetry so the
+          // data-collection category only carries useful uplink work.
+          result.ledger.charge(sid, energy::EnergyCategory::kRetry,
+                               collected.wasted_energy);
+          result.ledger.charge(
+              sid, energy::EnergyCategory::kDataCollection,
+              collected.total_energy - collected.wasted_energy);
+        } else {
+          result.ledger.charge(sid, energy::EnergyCategory::kDataCollection,
+                               collected.total_energy);
+        }
       }
 
       // Step (2): model download, serialized at the coordinator.
@@ -199,9 +209,21 @@ Result<FeiRunResult> FeiSystem::run() {
       lan_free += d;
       servers[sid].run_phase(energy::EdgeState::kDownloading, download_start,
                              d);
-      result.ledger.charge(
-          sid, energy::EnergyCategory::kDownload,
-          config_.profile.power(energy::EdgeState::kDownloading) * d);
+      if (down.wasted.value() > 0.0) {
+        // Retransmitted share of the jittered air time → kRetry (identical
+        // split as FleetEngine, preserving cross-engine bit-identity).
+        const Seconds dw = d * (down.wasted / down.duration);
+        result.ledger.charge(
+            sid, energy::EnergyCategory::kRetry,
+            config_.profile.power(energy::EdgeState::kDownloading) * dw);
+        result.ledger.charge(
+            sid, energy::EnergyCategory::kDownload,
+            config_.profile.power(energy::EdgeState::kDownloading) * (d - dw));
+      } else {
+        result.ledger.charge(
+            sid, energy::EnergyCategory::kDownload,
+            config_.profile.power(energy::EdgeState::kDownloading) * d);
+      }
 
       // Step (3): local training, with optional straggler slowdown.
       Seconds t = jittered(
@@ -218,6 +240,7 @@ Result<FeiRunResult> FeiSystem::run() {
       const Seconds train_end = download_start + d + t;
       queue.schedule_at(train_end, [&, sid, train_end] {
         Seconds u{0.0};
+        Seconds u_wasted{0.0};
         Seconds upload_start = train_end;
         if (config_.lan_contention == FeiSystemConfig::LanContention::kCsma) {
           // CSMA/CA: contention with the other servers still uploading is
@@ -229,6 +252,9 @@ Result<FeiRunResult> FeiSystem::run() {
           // FCFS queue at the access point.
           const auto up = population_.topology().lan(sid).transfer(up_msg);
           u = jittered(up.duration);
+          if (up.wasted.value() > 0.0) {
+            u_wasted = u * (up.wasted / up.duration);
+          }
           upload_start = std::max(train_end, lan_free);
           const Seconds queue_wait = upload_start - train_end;
           lan_free = upload_start + u;
@@ -242,9 +268,19 @@ Result<FeiRunResult> FeiSystem::run() {
         --uploads_pending;
         servers[sid].run_phase(energy::EdgeState::kUploading, upload_start,
                                u);
-        result.ledger.charge(
-            sid, energy::EnergyCategory::kUpload,
-            config_.profile.power(energy::EdgeState::kUploading) * u);
+        if (u_wasted.value() > 0.0) {
+          result.ledger.charge(
+              sid, energy::EnergyCategory::kRetry,
+              config_.profile.power(energy::EdgeState::kUploading) * u_wasted);
+          result.ledger.charge(
+              sid, energy::EnergyCategory::kUpload,
+              config_.profile.power(energy::EdgeState::kUploading) *
+                  (u - u_wasted));
+        } else {
+          result.ledger.charge(
+              sid, energy::EnergyCategory::kUpload,
+              config_.profile.power(energy::EdgeState::kUploading) * u);
+        }
         round_end = std::max(round_end, upload_start + u);
       });
     }

@@ -290,8 +290,18 @@ Result<FleetRunResult> FleetEngine::run() {
 
       if (sys.iot_collection) {
         const auto collected = population_.topology().fleet(sid).collect(n_k);
-        result.ledger.charge(sid, energy::EnergyCategory::kDataCollection,
-                             collected.total_energy);
+        if (collected.wasted_energy.value() > 0.0) {
+          // Collision/battery-death energy books as kRetry so the
+          // data-collection category only carries useful uplink work.
+          result.ledger.charge(sid, energy::EnergyCategory::kRetry,
+                               collected.wasted_energy);
+          result.ledger.charge(
+              sid, energy::EnergyCategory::kDataCollection,
+              collected.total_energy - collected.wasted_energy);
+        } else {
+          result.ledger.charge(sid, energy::EnergyCategory::kDataCollection,
+                               collected.total_energy);
+        }
       }
 
       const auto down = population_.topology().lan(sid).transfer(down_msg);
@@ -299,7 +309,19 @@ Result<FleetRunResult> FleetEngine::run() {
       const Seconds download_start = lan_free;
       lan_free += d;
       run_phase(sid, energy::EdgeState::kDownloading, download_start, d);
-      result.ledger.charge(sid, energy::EnergyCategory::kDownload, p_down * d);
+      if (down.wasted.value() > 0.0) {
+        // The retransmitted share of the (jittered) air time books as
+        // kRetry; loss-free links take the exact pre-existing single
+        // charge, keeping golden fingerprints bit-identical.
+        const Seconds dw = d * (down.wasted / down.duration);
+        result.ledger.charge(sid, energy::EnergyCategory::kRetry,
+                             p_down * dw);
+        result.ledger.charge(sid, energy::EnergyCategory::kDownload,
+                             p_down * (d - dw));
+      } else {
+        result.ledger.charge(sid, energy::EnergyCategory::kDownload,
+                             p_down * d);
+      }
 
       Seconds t = jittered(sys.timing.duration(record.local_epochs, n_k));
       t *= straggler_factor(sid);
@@ -320,6 +342,7 @@ Result<FleetRunResult> FleetEngine::run() {
     for (const auto& p : pending) {
       const std::size_t sid = p.server;
       Seconds u{0.0};
+      Seconds u_wasted{0.0};
       Seconds upload_start = p.train_end;
       if (sys.lan_contention == FeiSystemConfig::LanContention::kCsma) {
         const auto r =
@@ -328,6 +351,9 @@ Result<FleetRunResult> FleetEngine::run() {
       } else {
         const auto up = population_.topology().lan(sid).transfer(up_msg);
         u = jittered(up.duration);
+        if (up.wasted.value() > 0.0) {
+          u_wasted = u * (up.wasted / up.duration);
+        }
         upload_start = std::max(p.train_end, lan_free);
         const Seconds queue_wait = upload_start - p.train_end;
         lan_free = upload_start + u;
@@ -339,7 +365,14 @@ Result<FleetRunResult> FleetEngine::run() {
       }
       --uploads_pending;
       run_phase(sid, energy::EdgeState::kUploading, upload_start, u);
-      result.ledger.charge(sid, energy::EnergyCategory::kUpload, p_up * u);
+      if (u_wasted.value() > 0.0) {
+        result.ledger.charge(sid, energy::EnergyCategory::kRetry,
+                             p_up * u_wasted);
+        result.ledger.charge(sid, energy::EnergyCategory::kUpload,
+                             p_up * (u - u_wasted));
+      } else {
+        result.ledger.charge(sid, energy::EnergyCategory::kUpload, p_up * u);
+      }
       round_end = std::max(round_end, upload_start + u);
       if (sk_turnaround_s != nullptr) {
         sk_turnaround_s->record((upload_start + u - round_start).value());

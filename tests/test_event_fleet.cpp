@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstddef>
 #include <set>
 #include <string>
@@ -419,6 +420,263 @@ TEST(EventFleetEngine, RejectsInvalidConfigs) {
     cfg.tiers.gateway_fanin = 0;
     EXPECT_FALSE(EventFleetEngine(cfg).run().ok());
   }
+}
+
+// --- Multi-hop backhaul graph ---------------------------------------------
+
+// The golden twin: zero-rate / zero-latency / unbounded links make every
+// hop instantaneous, charge no energy and consume no RNG — the run must
+// reproduce the point-to-point golden fingerprint bit for bit, while the
+// hop chain demonstrably ran (two admissions per upload).
+TEST(EventFleetEngine, MultiHopZeroConfigMatchesGoldenFingerprint) {
+  EventFleetEngineConfig cfg;
+  cfg.system = golden_config();
+  cfg.sampled_timelines = 20;
+  cfg.tiers.gateway_fanin = 4;
+  cfg.tiers.region_fanin = 2;
+  cfg.multi_hop = true;  // default LinkConfigs: transparent links
+  EventFleetEngine engine(cfg);
+  const auto r = engine.run();
+  ASSERT_TRUE(r.ok()) << r.error().message;
+  expect_golden(*r);
+  // 5 gateways + 3 regions -> 5 gateway links + 3 backhaul links.
+  EXPECT_EQ(r->num_links, 8u);
+  // Every upload crosses gateway -> region -> coordinator: 2 admissions.
+  EXPECT_EQ(r->link_messages, 10u * 8u * 2u);
+  EXPECT_EQ(r->link_drops, 0u);
+  EXPECT_EQ(r->link_wait.value(), 0.0);
+  EXPECT_EQ(r->link_util_peak, 0.0);
+}
+
+// Bit-identity for any thread count at N = 1k, and the zero-config
+// multi-hop run is byte-identical to the point-to-point engine on the
+// same jittered / straggler-heavy configuration.
+TEST(EventFleetEngine, MultiHopZeroConfigBitwiseTwinAtN1k) {
+  FeiSystemConfig sys = prototype_config();
+  sys.num_servers = 1000;
+  sys.net.num_edge_servers = 1000;
+  sys.samples_per_server = 30;
+  sys.test_samples = 200;
+  sys.data.image_side = 12;
+  sys.model.input_dim = 144;
+  sys.sgd.learning_rate = 0.1;
+  sys.fl.clients_per_round = 20;
+  sys.fl.local_epochs = 2;
+  sys.fl.max_rounds = 4;
+  sys.fl.eval_every = 2;
+  sys.fl.threads = 4;
+  sys.timing_jitter = 0.05;
+  sys.straggler_fraction = 0.2;
+  sys.straggler_slowdown = 3.0;
+  sys.charge_idle_servers = true;
+  sys.seed = 17;
+
+  EventFleetEngineConfig plain;
+  plain.system = sys;
+  plain.data_pool_shards = 50;
+  plain.tiers.gateway_fanin = 32;
+  plain.tiers.region_fanin = 8;
+  EventFleetEngine ref_engine(plain);
+  const auto ref = ref_engine.run();
+  ASSERT_TRUE(ref.ok()) << ref.error().message;
+
+  EventFleetEngineConfig mh = plain;
+  mh.multi_hop = true;
+  EventFleetEngine e4(mh);
+  const auto r4 = e4.run();
+  ASSERT_TRUE(r4.ok()) << r4.error().message;
+
+  EventFleetEngineConfig mh1 = mh;
+  mh1.system.fl.threads = 1;
+  mh1.shard_size = 64;
+  EventFleetEngine e1(mh1);
+  const auto r1 = e1.run();
+  ASSERT_TRUE(r1.ok()) << r1.error().message;
+
+  expect_bitwise_equal(*ref, *r4, 1000);
+  expect_bitwise_equal(*r4, *r1, 1000);
+  EXPECT_EQ(r4->events_processed, r1->events_processed);
+  EXPECT_EQ(r4->link_messages, r1->link_messages);
+  EXPECT_EQ(r4->link_wait.value(), 0.0);
+  EXPECT_EQ(r4->link_messages, 20u * 4u * 2u);
+}
+
+// Congestion config: 8 gateways funneling into ONE region whose backhaul
+// link is narrow — every upload serializes through it, so queueing delay
+// emerges from the offered load.
+EventFleetEngineConfig congested_config(std::size_t clients_per_round) {
+  EventFleetEngineConfig cfg;
+  cfg.system = prototype_config();
+  cfg.system.num_servers = 64;
+  cfg.system.net.num_edge_servers = 64;
+  cfg.system.samples_per_server = 30;
+  cfg.system.test_samples = 200;
+  cfg.system.data.image_side = 12;
+  cfg.system.model.input_dim = 144;
+  cfg.system.sgd.learning_rate = 0.1;
+  cfg.system.fl.clients_per_round = clients_per_round;
+  cfg.system.fl.local_epochs = 2;
+  cfg.system.fl.max_rounds = 3;
+  cfg.system.fl.threads = 4;
+  cfg.system.seed = 23;
+  cfg.tiers.gateway_fanin = 8;
+  cfg.tiers.region_fanin = 64;  // one region: a single backhaul bottleneck
+  cfg.multi_hop = true;
+  cfg.backhaul_uplink.rate = BitsPerSecond::from_mbps(0.2);
+  return cfg;
+}
+
+TEST(EventFleetEngine, MultiHopCongestionGrowsWithOfferedLoad) {
+  EventFleetEngine light(congested_config(8));
+  EventFleetEngine heavy(congested_config(32));
+  const auto rl = light.run();
+  const auto rh = heavy.run();
+  ASSERT_TRUE(rl.ok()) << rl.error().message;
+  ASSERT_TRUE(rh.ok()) << rh.error().message;
+
+  // The narrow link actually queued messages, and 4x the offered load
+  // means more total waiting — congestion is emergent, not configured.
+  EXPECT_GT(rl->link_wait.value(), 0.0);
+  EXPECT_GT(rh->link_wait.value(), rl->link_wait.value());
+  EXPECT_GT(rh->link_util_peak, 0.0);
+  EXPECT_LE(rh->link_util_peak, 1.0);
+
+  // The backhaul stretches the makespan relative to transparent links.
+  EventFleetEngineConfig transparent = congested_config(32);
+  transparent.backhaul_uplink = net::LinkConfig{};
+  EventFleetEngine fast(transparent);
+  const auto rf = fast.run();
+  ASSERT_TRUE(rf.ok()) << rf.error().message;
+  EXPECT_GT(rh->wall_clock.value(), rf->wall_clock.value());
+  // ... but hops charge nothing: every energy category is bit-identical
+  // except kWaiting, whose LAN queue-wait is a subtraction of absolute
+  // event times — congestion shifts later rounds' absolute clock, so its
+  // LOW BITS may round differently even though no hop books a joule.
+  for (std::size_t c = 0; c < energy::kNumEnergyCategories; ++c) {
+    const auto cat = static_cast<energy::EnergyCategory>(c);
+    if (cat == energy::EnergyCategory::kWaiting) {
+      EXPECT_NEAR(rh->ledger.category_total(cat).value(),
+                  rf->ledger.category_total(cat).value(), 1e-9);
+    } else {
+      EXPECT_EQ(rh->ledger.category_total(cat).value(),
+                rf->ledger.category_total(cat).value())
+          << energy::to_string(cat);
+    }
+  }
+  EXPECT_NEAR(rh->ledger.total().value(), rf->ledger.total().value(), 1e-9);
+  EXPECT_EQ(rh->training.final_params, rf->training.final_params);
+}
+
+TEST(EventFleetEngine, MultiHopBoundedQueueDropsAreTimingOnly) {
+  EventFleetEngineConfig bounded = congested_config(32);
+  bounded.backhaul_uplink.queue_capacity = 2;
+  EventFleetEngine eb(bounded);
+  const auto rb = eb.run();
+  ASSERT_TRUE(rb.ok()) << rb.error().message;
+  EXPECT_GT(rb->link_drops, 0u);
+  // Rounds still complete (a drop resolves the member at drop time) and
+  // the numeric aggregation is untouched: same params as unbounded.
+  EXPECT_EQ(rb->training.rounds_run, 3u);
+  EventFleetEngine eu(congested_config(32));
+  const auto ru = eu.run();
+  ASSERT_TRUE(ru.ok()) << ru.error().message;
+  EXPECT_EQ(rb->training.final_params, ru->training.final_params);
+  // Same absolute-clock caveat as the congestion test: drops charge
+  // nothing, but shifting round starts can move kWaiting's low bits.
+  for (std::size_t c = 0; c < energy::kNumEnergyCategories; ++c) {
+    const auto cat = static_cast<energy::EnergyCategory>(c);
+    if (cat == energy::EnergyCategory::kWaiting) {
+      EXPECT_NEAR(rb->ledger.category_total(cat).value(),
+                  ru->ledger.category_total(cat).value(), 1e-9);
+    } else {
+      EXPECT_EQ(rb->ledger.category_total(cat).value(),
+                ru->ledger.category_total(cat).value())
+          << energy::to_string(cat);
+    }
+  }
+  EXPECT_NEAR(rb->ledger.total().value(), ru->ledger.total().value(), 1e-9);
+}
+
+TEST(EventFleetEngine, MultiHopRejectsIncompatibleModes) {
+  {  // CSMA access medium
+    EventFleetEngineConfig cfg;
+    cfg.system = golden_config();
+    cfg.system.lan_contention = FeiSystemConfig::LanContention::kCsma;
+    cfg.multi_hop = true;
+    EXPECT_FALSE(EventFleetEngine(cfg).run().ok());
+  }
+  {  // per-gateway contention is the other exclusive backhaul model
+    EventFleetEngineConfig cfg;
+    cfg.system = golden_config();
+    cfg.multi_hop = true;
+    cfg.gateway_contention = true;
+    EXPECT_FALSE(EventFleetEngine(cfg).run().ok());
+  }
+  {  // fault injection unsupported
+    EventFleetEngineConfig cfg;
+    cfg.system = faulty_config();
+    cfg.multi_hop = true;
+    EXPECT_FALSE(EventFleetEngine(cfg).run().ok());
+  }
+  {  // invalid link config caught at validation
+    EventFleetEngineConfig cfg;
+    cfg.system = golden_config();
+    cfg.multi_hop = true;
+    cfg.gateway_uplink.latency = Seconds{-1.0};
+    EXPECT_FALSE(EventFleetEngine(cfg).run().ok());
+  }
+}
+
+// Multi-hop telemetry: the link columns land in the round table, the
+// per-hop wait sketch is registered, and totals reconcile with the run
+// result — while recording perturbs nothing (same fingerprint bits as the
+// untraced congested run).
+TEST(EventFleetEngine, MultiHopTelemetryExportsLinkColumns) {
+  EventFleetEngine untraced(congested_config(16));
+  const auto ru = untraced.run();
+  ASSERT_TRUE(ru.ok()) << ru.error().message;
+
+  obs::Telemetry tel;
+  EventFleetEngine engine(congested_config(16));
+  const auto r = [&] {
+    obs::TelemetryScope scope(tel);
+    return engine.run();
+  }();
+  ASSERT_TRUE(r.ok()) << r.error().message;
+  EXPECT_EQ(r->ledger.total().value(), ru->ledger.total().value());
+  EXPECT_EQ(r->wall_clock.value(), ru->wall_clock.value());
+  EXPECT_EQ(r->link_wait.value(), ru->link_wait.value());
+
+  ASSERT_EQ(tel.rounds.size(), 3u);
+  const auto rounds = tel.rounds.snapshot();
+  const auto& msgs = *rounds.column("link_msgs");
+  const auto& wait = *rounds.column("link_wait_s");
+  const auto& util = *rounds.column("link_util_max");
+  const auto& drops = *rounds.column("link_drops");
+  double total_msgs = 0.0;
+  double total_wait = 0.0;
+  double total_drops = 0.0;
+  double util_peak = 0.0;
+  for (std::size_t i = 0; i < rounds.rows(); ++i) {
+    total_msgs += msgs[i];
+    total_wait += wait[i];
+    total_drops += drops[i];
+    util_peak = std::max(util_peak, util[i]);
+    EXPECT_GE(util[i], 0.0);
+    EXPECT_LE(util[i], 1.0);
+  }
+  EXPECT_EQ(total_msgs, static_cast<double>(r->link_messages));
+  EXPECT_EQ(total_drops, static_cast<double>(r->link_drops));
+  EXPECT_NEAR(total_wait, r->link_wait.value(),
+              1e-9 * (1.0 + r->link_wait.value()));
+  EXPECT_EQ(util_peak, r->link_util_peak);
+
+  const auto metrics = tel.metrics.snapshot();
+  EXPECT_EQ(metrics.gauge_value("fleet.links"),
+            static_cast<double>(r->num_links));
+  const auto* wait_sketch = metrics.sketch("fleet.link.wait_s");
+  ASSERT_NE(wait_sketch, nullptr);
+  EXPECT_EQ(wait_sketch->count, r->link_messages);
 }
 
 // The telemetry contract at fleet scale: tracing with *sampled* tracks must

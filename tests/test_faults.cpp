@@ -99,6 +99,77 @@ TEST(PlanFaultyTransfer, RngStreamAdvancesOncePerAttempt) {
   EXPECT_EQ(a.next(), b.next());
 }
 
+TEST(PlanFaultyTransfer, OutageOverlapIsHalfOpenOnBothEnds) {
+  // An attempt occupying [start, start + duration) and a window covering
+  // [w.start, w.end()) overlap iff begin < w.end() && w.start < end.
+  // All instants are dyadic so start + duration is exact — the boundary
+  // comparisons below are about interval semantics, not float rounding.
+  Rng rng(1);
+  net::LinkFaultConfig cfg;
+  cfg.outages = {{Seconds{0.125}, Seconds{0.25}}};  // window [0.125, 0.375)
+
+  // Attempt [0.0, 0.125): touches the window's start instant only — the
+  // half-open semantics make that a miss, so delivery is first-try.
+  const auto before =
+      net::plan_faulty_transfer(rng, cfg, Seconds{0.0}, Seconds{0.125});
+  EXPECT_TRUE(before.delivered);
+  EXPECT_EQ(before.attempts, 1u);
+
+  // Attempt [0.375, 0.5): starts exactly at the window's end — also a miss.
+  const auto after =
+      net::plan_faulty_transfer(rng, cfg, Seconds{0.375}, Seconds{0.125});
+  EXPECT_TRUE(after.delivered);
+  EXPECT_EQ(after.attempts, 1u);
+
+  // Attempt [0.25, 0.375): overlaps the window's tail, so the first
+  // attempt fails and the transfer retries.
+  const auto inside =
+      net::plan_faulty_transfer(rng, cfg, Seconds{0.25}, Seconds{0.125});
+  EXPECT_GT(inside.attempts, 1u);
+}
+
+TEST(LinkFaultConfig, ValidateAcceptsDefaultsAndBoundaries) {
+  net::LinkFaultConfig cfg;
+  EXPECT_TRUE(cfg.validate().ok());
+  cfg.loss_probability = 1.0;
+  cfg.backoff_factor = 1.0;  // constant backoff is legal
+  cfg.backoff_base = Seconds{0.0};
+  cfg.max_attempts = 1;
+  cfg.outages = {{Seconds{0.0}, Seconds{0.001}}};
+  EXPECT_TRUE(cfg.validate().ok());
+}
+
+TEST(LinkFaultConfig, ValidateRejectsDegenerateKnobs) {
+  net::LinkFaultConfig cfg;
+  cfg.loss_probability = -0.01;
+  EXPECT_FALSE(cfg.validate().ok());
+  cfg = {};
+  cfg.loss_probability = 1.01;
+  EXPECT_FALSE(cfg.validate().ok());
+  cfg = {};
+  cfg.max_attempts = 0;
+  EXPECT_FALSE(cfg.validate().ok());
+  cfg = {};
+  cfg.backoff_base = Seconds{-0.01};
+  EXPECT_FALSE(cfg.validate().ok());
+  cfg = {};
+  cfg.backoff_factor = 0.5;  // the planner would clamp it; validate rejects
+  EXPECT_FALSE(cfg.validate().ok());
+}
+
+TEST(LinkFaultConfig, ValidateRejectsZeroLengthAndNegativeOutages) {
+  // A zero-length window never overlaps any attempt under the half-open
+  // semantics — it silently does nothing, so it is rejected as a likely
+  // misconfiguration rather than accepted.
+  net::LinkFaultConfig cfg;
+  cfg.outages = {{Seconds{1.0}, Seconds{0.0}}};
+  EXPECT_FALSE(cfg.validate().ok());
+  cfg.outages = {{Seconds{-0.5}, Seconds{1.0}}};
+  EXPECT_FALSE(cfg.validate().ok());
+  cfg.outages = {{Seconds{1.0}, Seconds{-1.0}}};
+  EXPECT_FALSE(cfg.validate().ok());
+}
+
 // ---------------------------------------------------------- sim::CrashProcess
 
 TEST(CrashProcess, DisabledNeverCrashes) {

@@ -77,6 +77,72 @@ TEST(WifiLan, GivesUpAfterMaxRetries) {
   EXPECT_EQ(r.attempts, 4u);  // initial + 3 retries
 }
 
+TEST(WifiLan, WastedIsZeroOnCleanDelivery) {
+  WifiLanConfig cfg;
+  cfg.loss_probability = 0.0;
+  WifiLan lan(cfg, Rng(12));
+  Message m;
+  m.payload_bytes = 500;
+  const auto r = lan.transfer(m);
+  EXPECT_TRUE(r.delivered);
+  EXPECT_DOUBLE_EQ(r.wasted.value(), 0.0);
+}
+
+TEST(WifiLan, WastedCountsFailedAttemptAirTimeOnly) {
+  // Regression for the retry-vs-useful energy split: on a lossy delivery
+  // `wasted` must be exactly the air time of the attempts that failed —
+  // duration minus one clean attempt — so the engines can book it as
+  // kRetry without double-charging the useful share.
+  WifiLanConfig cfg;
+  cfg.loss_probability = 0.5;
+  cfg.max_retries = 20;
+  WifiLan lan(cfg, Rng(13));
+  Message m;
+  m.payload_bytes = 300;
+  const double once = lan.nominal_duration(m.wire_bytes()).value();
+  bool saw_retry = false;
+  for (int i = 0; i < 200; ++i) {
+    const auto r = lan.transfer(m);
+    ASSERT_TRUE(r.delivered);
+    EXPECT_NEAR(r.wasted.value(), r.duration.value() - once, 1e-12);
+    EXPECT_EQ(r.wasted.value() == 0.0, r.attempts == 1u);
+    saw_retry = saw_retry || r.attempts > 1u;
+  }
+  EXPECT_TRUE(saw_retry);
+}
+
+TEST(WifiLan, DroppedTransferIsAllWaste) {
+  WifiLanConfig cfg;
+  cfg.loss_probability = 1.0;
+  cfg.max_retries = 3;
+  WifiLan lan(cfg, Rng(14));
+  Message m;
+  const auto r = lan.transfer(m);
+  EXPECT_FALSE(r.delivered);
+  EXPECT_DOUBLE_EQ(r.wasted.value(), r.duration.value());
+}
+
+TEST(WifiLanConfig, ValidateRejectsNonPhysicalConfigs) {
+  WifiLanConfig ok;
+  EXPECT_TRUE(ok.validate().ok());
+  ok.loss_probability = 0.0;
+  EXPECT_TRUE(ok.validate().ok());
+  ok.loss_probability = 1.0;  // boundary: a certain-loss link is legal
+  EXPECT_TRUE(ok.validate().ok());
+
+  WifiLanConfig bad = ok;
+  bad.rate = BitsPerSecond{0.0};
+  EXPECT_FALSE(bad.validate().ok());
+  bad = ok;
+  bad.base_latency = Seconds{-0.001};
+  EXPECT_FALSE(bad.validate().ok());
+  bad = ok;
+  bad.loss_probability = -0.1;
+  EXPECT_FALSE(bad.validate().ok());
+  bad.loss_probability = 1.1;
+  EXPECT_FALSE(bad.validate().ok());
+}
+
 TEST(NbIot, CleanChannelEnergyMatchesRho) {
   NbIotConfig cfg;
   cfg.collision_probability = 0.0;
@@ -115,6 +181,92 @@ TEST(NbIot, ExpectedEnergyTruncatedByMaxRetries) {
   NbIotChannel ch(cfg, Rng(7));
   EXPECT_NEAR(ch.expected_energy(Bytes{10.0}).value(),
               cfg.energy_per_byte.value() * 10.0, 1e-12);
+}
+
+TEST(NbIot, WastedEnergySplitsFailedAttemptsFromUsefulWork) {
+  NbIotConfig cfg;
+  cfg.collision_probability = 0.5;
+  cfg.max_retries = 20;
+  NbIotChannel ch(cfg, Rng(15));
+  const double clean = cfg.energy_per_byte.value() * 200.0;
+  bool saw_retry = false;
+  for (int i = 0; i < 200; ++i) {
+    const auto r = ch.send(Bytes{200.0});
+    ASSERT_TRUE(r.delivered);
+    EXPECT_NEAR(r.wasted_energy.value(), r.device_energy.value() - clean,
+                1e-12);
+    EXPECT_NEAR(r.wasted.value(),
+                r.duration.value() / static_cast<double>(r.attempts) *
+                    static_cast<double>(r.attempts - 1),
+                1e-12);
+    saw_retry = saw_retry || r.attempts > 1u;
+  }
+  EXPECT_TRUE(saw_retry);
+}
+
+TEST(NbIot, HopelessUplinkIsAllWaste) {
+  NbIotConfig cfg;
+  cfg.collision_probability = 1.0;
+  cfg.max_retries = 2;
+  NbIotChannel ch(cfg, Rng(16));
+  const auto r = ch.send(Bytes{50.0});
+  EXPECT_FALSE(r.delivered);
+  EXPECT_DOUBLE_EQ(r.wasted.value(), r.duration.value());
+  EXPECT_DOUBLE_EQ(r.wasted_energy.value(), r.device_energy.value());
+}
+
+TEST(NbIotConfig, ValidateRejectsNonPhysicalConfigs) {
+  NbIotConfig ok;
+  EXPECT_TRUE(ok.validate().ok());
+  ok.collision_probability = 1.0;  // boundary
+  EXPECT_TRUE(ok.validate().ok());
+
+  NbIotConfig bad;
+  bad.energy_per_byte = JoulesPerByte{0.0};
+  EXPECT_FALSE(bad.validate().ok());
+  bad = NbIotConfig{};
+  bad.rate = BitsPerSecond{0.0};
+  EXPECT_FALSE(bad.validate().ok());
+  bad = NbIotConfig{};
+  bad.collision_probability = 1.5;
+  EXPECT_FALSE(bad.validate().ok());
+}
+
+TEST(ExpectedAttempts, ClosedFormMatchesTruncatedGeometricSeries) {
+  // Σ_{k=1..A} p^{k-1}; the final attempt counts whether it succeeds or
+  // not, matching send()/transfer() spending energy on a last failure.
+  EXPECT_DOUBLE_EQ(expected_transmission_attempts(0.0, 5), 1.0);
+  EXPECT_DOUBLE_EQ(expected_transmission_attempts(0.7, 1), 1.0);
+  EXPECT_DOUBLE_EQ(expected_transmission_attempts(1.0, 4), 4.0);
+  EXPECT_DOUBLE_EQ(expected_transmission_attempts(0.5, 3), 1.75);
+  EXPECT_DOUBLE_EQ(expected_transmission_attempts(0.6, 3), 1.96);
+}
+
+TEST(ExpectedAttempts, MatchesEmpiricalSendMean) {
+  // The closed form the energy model uses and the Bernoulli loop send()
+  // actually runs must agree: p = 0.6 truncated at 3 attempts gives
+  // E[attempts] = 1 + 0.6 + 0.36 = 1.96 (stddev ≈ 0.87, so 20k trials put
+  // the standard error near 0.006 — the 0.03 tolerance is ~5σ).
+  NbIotConfig cfg;
+  cfg.collision_probability = 0.6;
+  cfg.max_retries = 2;
+  NbIotChannel ch(cfg, Rng(17));
+  const double clean = cfg.energy_per_byte.value() * 100.0;
+  double mean_attempts = 0.0;
+  double mean_energy = 0.0;
+  constexpr int kN = 20000;
+  for (int i = 0; i < kN; ++i) {
+    const auto r = ch.send(Bytes{100.0});
+    mean_attempts += static_cast<double>(r.attempts);
+    mean_energy += r.device_energy.value();
+  }
+  mean_attempts /= kN;
+  mean_energy /= kN;
+  const double expected = expected_transmission_attempts(0.6, 3);
+  EXPECT_NEAR(mean_attempts, expected, 0.03);
+  EXPECT_NEAR(mean_energy, clean * expected, clean * 0.03);
+  EXPECT_NEAR(mean_energy, ch.expected_energy(Bytes{100.0}).value(),
+              clean * 0.03);
 }
 
 TEST(DeviceFleet, CollectDeliversExactlyN) {
@@ -170,6 +322,23 @@ TEST(Topology, BuildsRequestedShape) {
   for (std::size_t e = 0; e < 6; ++e) {
     EXPECT_EQ(topo.fleet(e).size(), 3u);
   }
+}
+
+TEST(Topology, ValidatePropagatesToEveryChannelConfig) {
+  TopologyConfig ok;
+  EXPECT_TRUE(ok.validate().ok());
+
+  TopologyConfig bad_lan = ok;
+  bad_lan.lan.loss_probability = 2.0;
+  EXPECT_FALSE(bad_lan.validate().ok());
+
+  TopologyConfig bad_uplink = ok;
+  bad_uplink.device.uplink.rate = BitsPerSecond{0.0};
+  EXPECT_FALSE(bad_uplink.validate().ok());
+
+  TopologyConfig bad_faults = ok;
+  bad_faults.link_faults.max_attempts = 0;
+  EXPECT_FALSE(bad_faults.validate().ok());
 }
 
 TEST(Topology, IndependentFleetStreams) {

@@ -1,0 +1,333 @@
+// Multi-hop network substrate: the typed graph, the deterministic static
+// router (tie-breaks pinned for tied shortest paths), and the bounded
+// FIFO per-link queue whose admissions are a pure function of the
+// time-ordered offer sequence.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <limits>
+#include <vector>
+
+#include "common/rng.h"
+#include "net/graph.h"
+#include "net/link_queue.h"
+#include "net/router.h"
+
+namespace eefei::net {
+namespace {
+
+// --------------------------------------------------------------- NetGraph
+
+TEST(NetGraph, NodesAndLinksGetConsecutiveIds) {
+  NetGraph g;
+  EXPECT_EQ(g.add_node(NodeKind::kGateway), 0u);
+  EXPECT_EQ(g.add_node(NodeKind::kBackhaul), 1u);
+  EXPECT_EQ(g.add_node(NodeKind::kCoordinator), 2u);
+  EXPECT_EQ(g.num_nodes(), 3u);
+  EXPECT_EQ(g.node_kind(1), NodeKind::kBackhaul);
+
+  const auto l0 = g.add_link(0, 1, LinkConfig{});
+  const auto l1 = g.add_link(1, 2, LinkConfig{});
+  const auto l2 = g.add_link(0, 2, LinkConfig{});
+  ASSERT_TRUE(l0.ok());
+  ASSERT_TRUE(l1.ok());
+  ASSERT_TRUE(l2.ok());
+  EXPECT_EQ(*l0, 0u);
+  EXPECT_EQ(*l1, 1u);
+  EXPECT_EQ(*l2, 2u);
+  EXPECT_EQ(g.num_links(), 3u);
+  EXPECT_EQ(g.link(1).from, 1u);
+  EXPECT_EQ(g.link(1).to, 2u);
+  // Out-links come back in ascending link-id order.
+  const std::vector<std::size_t> expected = {0u, 2u};
+  EXPECT_EQ(g.out_links(0), expected);
+  EXPECT_TRUE(g.out_links(2).empty());
+}
+
+TEST(NetGraph, RejectsBadLinks) {
+  NetGraph g;
+  (void)g.add_node(NodeKind::kGateway);
+  (void)g.add_node(NodeKind::kCoordinator);
+  EXPECT_FALSE(g.add_link(0, 7, LinkConfig{}).ok());  // endpoint range
+  EXPECT_FALSE(g.add_link(9, 1, LinkConfig{}).ok());
+  EXPECT_FALSE(g.add_link(0, 0, LinkConfig{}).ok());  // self-loop
+  LinkConfig bad;
+  bad.latency = Seconds{-0.5};
+  EXPECT_FALSE(g.add_link(0, 1, bad).ok());  // invalid config
+  EXPECT_EQ(g.num_links(), 0u);  // nothing leaked in
+}
+
+TEST(NetGraph, NodeKindNames) {
+  EXPECT_STREQ(to_string(NodeKind::kDevice), "device");
+  EXPECT_STREQ(to_string(NodeKind::kGateway), "gateway");
+  EXPECT_STREQ(to_string(NodeKind::kBackhaul), "backhaul");
+  EXPECT_STREQ(to_string(NodeKind::kCoordinator), "coordinator");
+}
+
+// -------------------------------------------------------------- LinkQueue
+
+TEST(LinkQueue, DefaultConfigIsTransparent) {
+  // rate 0 = infinite bandwidth, latency 0, unbounded: every offer is
+  // admitted with zero wait and instant arrival — the configuration the
+  // multi-hop golden-twin contract leans on.
+  LinkQueue q{LinkConfig{}};
+  for (int i = 0; i < 50; ++i) {
+    const auto adm = q.offer(Seconds{0.1 * i}, Bytes{1e6});
+    EXPECT_TRUE(adm.accepted);
+    EXPECT_DOUBLE_EQ(adm.wait.value(), 0.0);
+    EXPECT_DOUBLE_EQ(adm.depart.value(), 0.1 * i);
+    EXPECT_DOUBLE_EQ(adm.arrive.value(), 0.1 * i);
+  }
+  EXPECT_EQ(q.stats().dropped, 0u);
+  EXPECT_DOUBLE_EQ(q.stats().busy.value(), 0.0);
+  EXPECT_DOUBLE_EQ(q.utilization(Seconds{5.0}), 0.0);
+}
+
+TEST(LinkQueue, SerializesFifoAndAccumulatesWait) {
+  LinkConfig cfg;
+  cfg.rate = BitsPerSecond::from_mbps(8.0);  // 1000 bytes = 1 ms
+  cfg.latency = Seconds::from_millis(2.0);
+  LinkQueue q{cfg};
+
+  // Three messages offered back-to-back at t = 0 serialize in order.
+  const auto a = q.offer(Seconds{0.0}, Bytes{1000.0});
+  const auto b = q.offer(Seconds{0.0}, Bytes{1000.0});
+  const auto c = q.offer(Seconds{0.0}, Bytes{1000.0});
+  EXPECT_DOUBLE_EQ(a.wait.value(), 0.0);
+  EXPECT_NEAR(a.arrive.value(), 0.003, 1e-12);  // tx + latency
+  EXPECT_NEAR(b.wait.value(), 0.001, 1e-12);    // behind a
+  EXPECT_NEAR(b.arrive.value(), 0.004, 1e-12);
+  EXPECT_NEAR(c.wait.value(), 0.002, 1e-12);    // behind a and b
+  EXPECT_NEAR(c.arrive.value(), 0.005, 1e-12);
+  EXPECT_EQ(c.depth, 3u);
+
+  // A later offer after the backlog drained starts immediately.
+  const auto d = q.offer(Seconds{0.01}, Bytes{1000.0});
+  EXPECT_DOUBLE_EQ(d.wait.value(), 0.0);
+  EXPECT_EQ(d.depth, 1u);  // the earlier three were purged
+
+  EXPECT_EQ(q.stats().offered, 4u);
+  EXPECT_EQ(q.stats().max_depth, 3u);
+  EXPECT_NEAR(q.stats().busy.value(), 0.004, 1e-12);
+  EXPECT_NEAR(q.stats().total_wait.value(), 0.003, 1e-12);
+}
+
+TEST(LinkQueue, BoundedQueueDropsWhenFullAndRecoversAfterDrain) {
+  LinkConfig cfg;
+  cfg.rate = BitsPerSecond::from_mbps(8.0);
+  cfg.queue_capacity = 2;
+  LinkQueue q{cfg};
+
+  EXPECT_TRUE(q.offer(Seconds{0.0}, Bytes{1000.0}).accepted);
+  EXPECT_TRUE(q.offer(Seconds{0.0}, Bytes{1000.0}).accepted);
+  const auto drop = q.offer(Seconds{0.0}, Bytes{1000.0});
+  EXPECT_FALSE(drop.accepted);
+  EXPECT_EQ(drop.depth, 2u);
+  EXPECT_EQ(q.stats().dropped, 1u);
+
+  // By t = 2 ms both pending messages finished serializing, so capacity
+  // is free again.
+  EXPECT_TRUE(q.offer(Seconds{0.002}, Bytes{1000.0}).accepted);
+  EXPECT_EQ(q.stats().offered, 4u);
+  EXPECT_EQ(q.stats().dropped, 1u);
+}
+
+TEST(LinkQueue, UtilizationClampsAndHandlesZeroHorizon) {
+  LinkConfig cfg;
+  cfg.rate = BitsPerSecond::from_mbps(8.0);
+  LinkQueue q{cfg};
+  (void)q.offer(Seconds{0.0}, Bytes{1000.0});  // 1 ms busy
+  EXPECT_NEAR(q.utilization(Seconds{0.002}), 0.5, 1e-12);
+  EXPECT_DOUBLE_EQ(q.utilization(Seconds{0.0005}), 1.0);  // clamped
+  EXPECT_DOUBLE_EQ(q.utilization(Seconds{0.0}), 0.0);
+  EXPECT_DOUBLE_EQ(q.utilization(Seconds{-1.0}), 0.0);
+}
+
+TEST(LinkQueue, ValidateRejectsNegativeRateAndLatency) {
+  LinkConfig cfg;
+  EXPECT_TRUE(cfg.validate().ok());
+  cfg.rate = BitsPerSecond{-1.0};
+  EXPECT_FALSE(cfg.validate().ok());
+  cfg = LinkConfig{};
+  cfg.latency = Seconds{-0.1};
+  EXPECT_FALSE(cfg.validate().ok());
+}
+
+// ----------------------------------------------------------------- Router
+
+TEST(Router, RoutesAlongLatencyShortestPath) {
+  // 0 → 1 → 3 (1 ms + 1 ms) beats 0 → 2 → 3 (5 ms + 1 ms).
+  NetGraph g;
+  for (int i = 0; i < 4; ++i) (void)g.add_node(NodeKind::kBackhaul);
+  LinkConfig fast;
+  fast.latency = Seconds::from_millis(1.0);
+  LinkConfig slow;
+  slow.latency = Seconds::from_millis(5.0);
+  const auto l01 = g.add_link(0, 1, fast);
+  const auto l02 = g.add_link(0, 2, slow);
+  const auto l13 = g.add_link(1, 3, fast);
+  const auto l23 = g.add_link(2, 3, fast);
+  ASSERT_TRUE(l01.ok() && l02.ok() && l13.ok() && l23.ok());
+
+  Router r(&g);
+  ASSERT_TRUE(r.add_destination(3).ok());
+  EXPECT_EQ(r.next_link(0, 3), *l01);
+  EXPECT_EQ(r.next_link(1, 3), *l13);
+  EXPECT_EQ(r.next_link(2, 3), *l23);
+  EXPECT_EQ(r.next_link(3, 3), Router::kNoRoute);  // already there
+
+  const auto path = r.path(0, 3);
+  ASSERT_TRUE(path.ok());
+  const std::vector<std::size_t> expected = {*l01, *l13};
+  EXPECT_EQ(*path, expected);
+}
+
+TEST(Router, FewerHopsBreakLatencyTies) {
+  // All links zero-latency: 0 → 3 direct (1 hop) must beat 0 → 1 → 3.
+  NetGraph g;
+  for (int i = 0; i < 4; ++i) (void)g.add_node(NodeKind::kBackhaul);
+  (void)g.add_link(0, 1, LinkConfig{});
+  (void)g.add_link(1, 3, LinkConfig{});
+  const auto direct = g.add_link(0, 3, LinkConfig{});
+  ASSERT_TRUE(direct.ok());
+
+  Router r(&g);
+  ASSERT_TRUE(r.add_destination(3).ok());
+  EXPECT_EQ(r.next_link(0, 3), *direct);
+}
+
+TEST(Router, TiedPathsPickSmallestNodeIdThenLinkId) {
+  // Diamond with identical costs both ways.  Insertion order deliberately
+  // gives the *higher* next-hop node the *lower* link id, so the test
+  // distinguishes "smallest node id first" from "smallest link id first".
+  NetGraph g;
+  for (int i = 0; i < 4; ++i) (void)g.add_node(NodeKind::kBackhaul);
+  const auto to_hi = g.add_link(0, 2, LinkConfig{});  // link 0 → node 2
+  const auto to_lo = g.add_link(0, 1, LinkConfig{});  // link 1 → node 1
+  (void)g.add_link(1, 3, LinkConfig{});
+  (void)g.add_link(2, 3, LinkConfig{});
+  ASSERT_TRUE(to_hi.ok() && to_lo.ok());
+
+  Router r(&g);
+  ASSERT_TRUE(r.add_destination(3).ok());
+  EXPECT_EQ(r.next_link(0, 3), *to_lo);  // node 1 < node 2 wins
+
+  // Parallel links to the same node: the smaller link id wins.
+  NetGraph p;
+  (void)p.add_node(NodeKind::kGateway);
+  (void)p.add_node(NodeKind::kCoordinator);
+  const auto first = p.add_link(0, 1, LinkConfig{});
+  const auto second = p.add_link(0, 1, LinkConfig{});
+  ASSERT_TRUE(first.ok() && second.ok());
+  Router rp(&p);
+  ASSERT_TRUE(rp.add_destination(1).ok());
+  EXPECT_EQ(rp.next_link(0, 1), *first);
+}
+
+TEST(Router, UnreachableAndUnregisteredDestinations) {
+  NetGraph g;
+  (void)g.add_node(NodeKind::kGateway);
+  (void)g.add_node(NodeKind::kCoordinator);
+  (void)g.add_node(NodeKind::kGateway);  // isolated from 1
+  const auto l = g.add_link(0, 1, LinkConfig{});
+  ASSERT_TRUE(l.ok());
+
+  Router r(&g);
+  EXPECT_EQ(r.next_link(0, 1), Router::kNoRoute);  // not registered yet
+  EXPECT_FALSE(r.path(0, 1).ok());
+  ASSERT_TRUE(r.add_destination(1).ok());
+  EXPECT_EQ(r.next_link(0, 1), *l);
+  EXPECT_EQ(r.next_link(2, 1), Router::kNoRoute);  // unreachable
+  EXPECT_FALSE(r.path(2, 1).ok());
+  EXPECT_FALSE(r.add_destination(99).ok());  // out of range
+}
+
+// Property test: seeded random layered graphs with ALL-EQUAL latencies —
+// the maximally-tied case.  Every next hop must (a) agree between two
+// independently built routers, (b) strictly descend the BFS hop-distance
+// toward the destination, and (c) go to the smallest-id node among the
+// out-neighbors achieving that descent (the pinned tie-break), with the
+// smallest link id among parallel links.  Together these imply the route
+// from any node is unique and deterministic.
+TEST(Router, PropertyTiedShortestPathsAreDeterministicAndUnique) {
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    Rng rng(seed * 7919);
+    NetGraph g;
+    // 4 layers of up to 6 nodes funneling into one destination.
+    std::vector<std::vector<std::size_t>> layers(4);
+    for (auto& layer : layers) {
+      const std::size_t width = 2 + rng.next() % 5;
+      for (std::size_t i = 0; i < width; ++i) {
+        layer.push_back(g.add_node(NodeKind::kBackhaul));
+      }
+    }
+    const std::size_t dst = g.add_node(NodeKind::kCoordinator);
+    for (std::size_t li = 0; li + 1 < layers.size(); ++li) {
+      for (const std::size_t from : layers[li]) {
+        // 1–3 random forward links (duplicates allowed: parallel links).
+        const std::size_t fan = 1 + rng.next() % 3;
+        for (std::size_t k = 0; k < fan; ++k) {
+          const std::size_t to =
+              layers[li + 1][rng.next() % layers[li + 1].size()];
+          ASSERT_TRUE(g.add_link(from, to, LinkConfig{}).ok());
+        }
+      }
+    }
+    for (const std::size_t from : layers.back()) {
+      ASSERT_TRUE(g.add_link(from, dst, LinkConfig{}).ok());
+    }
+
+    Router a(&g);
+    Router b(&g);
+    ASSERT_TRUE(a.add_destination(dst).ok());
+    ASSERT_TRUE(b.add_destination(dst).ok());
+
+    // Reference BFS hop distance to dst over reversed links.
+    constexpr std::size_t kInf = std::numeric_limits<std::size_t>::max();
+    std::vector<std::size_t> hopdist(g.num_nodes(), kInf);
+    hopdist[dst] = 0;
+    for (bool changed = true; changed;) {  // Bellman-Ford on hop count
+      changed = false;
+      for (std::size_t l = 0; l < g.num_links(); ++l) {
+        const GraphLink& link = g.link(l);
+        if (hopdist[link.to] != kInf &&
+            hopdist[link.to] + 1 < hopdist[link.from]) {
+          hopdist[link.from] = hopdist[link.to] + 1;
+          changed = true;
+        }
+      }
+    }
+
+    for (std::size_t node = 0; node < g.num_nodes(); ++node) {
+      const std::size_t la = a.next_link(node, dst);
+      ASSERT_EQ(la, b.next_link(node, dst)) << "seed " << seed;
+      if (node == dst || hopdist[node] == kInf) {
+        EXPECT_EQ(la, Router::kNoRoute);
+        continue;
+      }
+      ASSERT_NE(la, Router::kNoRoute) << "seed " << seed;
+      const GraphLink& chosen = g.link(la);
+      // (b) strict descent toward dst.
+      EXPECT_EQ(hopdist[chosen.to] + 1, hopdist[node]) << "seed " << seed;
+      // (c) pinned tie-break among descending out-links.
+      for (const std::size_t lid : g.out_links(node)) {
+        const GraphLink& alt = g.link(lid);
+        if (hopdist[alt.to] == kInf ||
+            hopdist[alt.to] + 1 != hopdist[node]) {
+          continue;
+        }
+        EXPECT_LE(chosen.to, alt.to) << "seed " << seed;
+        if (alt.to == chosen.to) {
+          EXPECT_LE(la, lid) << "seed " << seed;
+        }
+      }
+      // The walked path terminates (uniqueness sanity).
+      const auto path = a.path(node, dst);
+      ASSERT_TRUE(path.ok()) << "seed " << seed;
+      EXPECT_EQ(path->size(), hopdist[node]) << "seed " << seed;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace eefei::net

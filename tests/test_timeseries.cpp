@@ -41,6 +41,8 @@ TEST(TimeSeries, ColumnSchemaMatchesRoundStats) {
       "energy_waiting_j", "energy_download_j",
       "energy_training_j", "energy_upload_j",
       "energy_retry_j", "energy_aborted_j",
+      "link_msgs",      "link_wait_s",
+      "link_util_max",  "link_drops",
       "anomaly_mask"};
   ASSERT_EQ(expected.size(), names.size());
   for (std::size_t i = 0; i < names.size(); ++i) {
@@ -149,6 +151,51 @@ TEST(TimeSeries, RadarDeadlineBurstOnStragglerDrops) {
   EXPECT_NE(radar.observe(s, &out) & kAnomalyDeadlineBurst, 0u);
   ASSERT_EQ(out.size(), 1u);
   EXPECT_STREQ(out[0].kind, "deadline_burst");
+}
+
+TEST(TimeSeries, RadarLinkSaturationNeedsSustainedStreak) {
+  AnomalyRadar radar;  // link rule: util >= 0.9 for >= 3 consecutive rounds
+  std::vector<Anomaly> out;
+  // Two hot rounds, a cool one, then two hot again: no streak reaches 3.
+  const double utils[] = {0.95, 0.99, 0.2, 0.93, 0.95};
+  for (std::uint64_t r = 0; r < 5; ++r) {
+    RoundStats s = quiet_round(r);
+    s.link_util_max = utils[r];
+    EXPECT_EQ(radar.observe(s, &out) & kAnomalyLinkSaturation, 0u)
+        << "round " << r;
+  }
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(TimeSeries, RadarLinkSaturationFiresEachRoundOnceStreakReached) {
+  AnomalyRadar radar;
+  std::vector<Anomaly> out;
+  // Saturated from round 2 on: rounds 4, 5, 6 (streak 3, 4, 5) flag.
+  for (std::uint64_t r = 0; r < 7; ++r) {
+    RoundStats s = quiet_round(r);
+    s.link_util_max = (r >= 2) ? 0.97 : 0.1;
+    const std::uint32_t mask = radar.observe(s, &out);
+    EXPECT_EQ((mask & kAnomalyLinkSaturation) != 0u, r >= 4) << "round " << r;
+  }
+  ASSERT_EQ(out.size(), 3u);
+  for (const auto& a : out) {
+    EXPECT_STREQ(a.kind, "link_saturation");
+    EXPECT_EQ(a.value, 0.97);
+    EXPECT_EQ(a.threshold, 0.9);
+  }
+  EXPECT_EQ(out[0].round, 4u);
+
+  // Dipping below the threshold resets the streak: three more hot rounds
+  // are needed before it fires again.
+  RoundStats cool = quiet_round(7);
+  cool.link_util_max = 0.5;
+  EXPECT_EQ(radar.observe(cool, nullptr) & kAnomalyLinkSaturation, 0u);
+  for (std::uint64_t r = 8; r < 11; ++r) {
+    RoundStats s = quiet_round(r);
+    s.link_util_max = 0.91;
+    const std::uint32_t mask = radar.observe(s, nullptr);
+    EXPECT_EQ((mask & kAnomalyLinkSaturation) != 0u, r == 10) << "round " << r;
+  }
 }
 
 TEST(TimeSeries, SeriesRecordsAnomalyMaskAlignedWithAnomalyList) {

@@ -50,6 +50,10 @@ TIMESERIES_COLUMNS = (
     "energy_upload_j",
     "energy_retry_j",
     "energy_aborted_j",
+    "link_msgs",
+    "link_wait_s",
+    "link_util_max",
+    "link_drops",
     "anomaly_mask",
 )
 
