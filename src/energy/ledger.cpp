@@ -1,6 +1,7 @@
 #include "energy/ledger.h"
 
 #include <algorithm>
+#include <bit>
 #include <cassert>
 
 #include "common/table.h"
@@ -53,60 +54,88 @@ obs::Counter& category_counter(obs::MetricsRegistry& metrics,
 }  // namespace
 
 EnergyLedger::EnergyLedger(std::size_t num_servers)
-    : per_server_(num_servers) {
+    : num_servers_(num_servers),
+      cells_(num_servers * kNumEnergyCategories),  // uninitialized cells
+      touched_((num_servers + 63) / 64, 0) {
   assert(num_servers > 0);
 }
 
+double* EnergyLedger::row_for(std::size_t server) {
+  assert(server < num_servers_);
+  std::uint64_t& word = touched_[server >> 6];
+  const std::uint64_t bit = std::uint64_t{1} << (server & 63);
+  double* r = cells_.data() + server * kNumEnergyCategories;
+  if ((word & bit) == 0) {
+    word |= bit;
+    for (std::size_t c = 0; c < kNumEnergyCategories; ++c) {
+      r[c] = baseline_[c];
+    }
+  }
+  return r;
+}
+
+void EnergyLedger::materialize(std::size_t server) { (void)row_for(server); }
+
 void EnergyLedger::charge(std::size_t server, EnergyCategory category,
                           Joules amount) {
-  assert(server < per_server_.size());
   assert(amount.value() >= 0.0);
-  per_server_[server][static_cast<std::size_t>(category)] += amount;
+  row_for(server)[static_cast<std::size_t>(category)] += amount.value();
   if (obs::Telemetry* t = obs::telemetry()) {
     category_counter(t->metrics, category).add(amount.value());
   }
 }
 
+void EnergyLedger::charge_untouched(EnergyCategory category, Joules amount) {
+  assert(amount.value() >= 0.0);
+  baseline_[static_cast<std::size_t>(category)] += amount.value();
+}
+
 void EnergyLedger::reclassify(std::size_t server, EnergyCategory from,
                               EnergyCategory to, Joules amount) {
-  assert(server < per_server_.size());
   assert(amount.value() >= 0.0);
-  Joules& src = per_server_[server][static_cast<std::size_t>(from)];
-  const Joules moved = std::min(src, amount);
+  double* r = row_for(server);
+  double& src = r[static_cast<std::size_t>(from)];
+  const double moved = std::min(src, amount.value());
   src -= moved;
-  per_server_[server][static_cast<std::size_t>(to)] += moved;
-  if (obs::Telemetry* t = obs::telemetry(); t != nullptr && moved.value() > 0.0) {
-    category_counter(t->metrics, from).add(-moved.value());
-    category_counter(t->metrics, to).add(moved.value());
+  r[static_cast<std::size_t>(to)] += moved;
+  if (obs::Telemetry* t = obs::telemetry(); t != nullptr && moved > 0.0) {
+    category_counter(t->metrics, from).add(-moved);
+    category_counter(t->metrics, to).add(moved);
   }
 }
 
 Joules EnergyLedger::server_total(std::size_t server) const {
-  assert(server < per_server_.size());
-  Joules total{0.0};
-  for (const Joules j : per_server_[server]) total += j;
-  return total;
+  assert(server < num_servers_);
+  double total = 0.0;
+  if (touched(server)) {
+    const double* r = cells(server);
+    for (std::size_t c = 0; c < kNumEnergyCategories; ++c) total += r[c];
+  } else {
+    for (std::size_t c = 0; c < kNumEnergyCategories; ++c) {
+      total += baseline_[c];
+    }
+  }
+  return Joules{total};
 }
 
 Joules EnergyLedger::category_total(EnergyCategory category) const {
-  Joules total{0.0};
-  for (const auto& row : per_server_) {
-    total += row[static_cast<std::size_t>(category)];
-  }
-  return total;
+  const std::size_t c = static_cast<std::size_t>(category);
+  double total = 0.0;
+  for (std::size_t s = 0; s < num_servers_; ++s) total += logical(s, c);
+  return Joules{total};
 }
 
 Joules EnergyLedger::total() const {
   Joules total{0.0};
-  for (std::size_t s = 0; s < per_server_.size(); ++s) {
+  for (std::size_t s = 0; s < num_servers_; ++s) {
     total += server_total(s);
   }
   return total;
 }
 
 Joules EnergyLedger::entry(std::size_t server, EnergyCategory category) const {
-  assert(server < per_server_.size());
-  return per_server_[server][static_cast<std::size_t>(category)];
+  assert(server < num_servers_);
+  return Joules{logical(server, static_cast<std::size_t>(category))};
 }
 
 Joules EnergyLedger::modeled_total() const {
@@ -116,16 +145,36 @@ Joules EnergyLedger::modeled_total() const {
 }
 
 void EnergyLedger::merge(const EnergyLedger& other) {
-  assert(per_server_.size() == other.per_server_.size());
-  for (std::size_t s = 0; s < per_server_.size(); ++s) {
-    for (std::size_t c = 0; c < kNumEnergyCategories; ++c) {
-      per_server_[s][c] += other.per_server_[s][c];
+  assert(num_servers_ == other.num_servers_);
+  // Rows touched on either side materialize here (against OUR pre-merge
+  // baseline) and absorb the other side's logical row; rows untouched on
+  // both sides merge implicitly through the baseline sum below.  Same
+  // per-cell additions as the dense ledger's row-wise merge, bit for bit.
+  for (std::size_t w = 0; w < touched_.size(); ++w) {
+    std::uint64_t any = touched_[w] | other.touched_[w];
+    while (any != 0) {
+      const std::size_t s =
+          w * 64 + static_cast<std::size_t>(std::countr_zero(any));
+      any &= any - 1;
+      double* r = row_for(s);
+      if (other.touched(s)) {
+        const double* o = other.cells(s);
+        for (std::size_t c = 0; c < kNumEnergyCategories; ++c) r[c] += o[c];
+      } else {
+        for (std::size_t c = 0; c < kNumEnergyCategories; ++c) {
+          r[c] += other.baseline_[c];
+        }
+      }
     }
+  }
+  for (std::size_t c = 0; c < kNumEnergyCategories; ++c) {
+    baseline_[c] += other.baseline_[c];
   }
 }
 
 void EnergyLedger::reset() {
-  for (auto& row : per_server_) row.fill(Joules{0.0});
+  std::fill(touched_.begin(), touched_.end(), 0);
+  baseline_.fill(0.0);
 }
 
 std::string EnergyLedger::render() const {
@@ -135,10 +184,10 @@ std::string EnergyLedger::render() const {
   }
   header.emplace_back("total_J");
   AsciiTable table(std::move(header));
-  for (std::size_t s = 0; s < per_server_.size(); ++s) {
+  for (std::size_t s = 0; s < num_servers_; ++s) {
     std::vector<std::string> row{std::to_string(s)};
     for (std::size_t c = 0; c < kNumEnergyCategories; ++c) {
-      row.push_back(format_double(per_server_[s][c].value(), 5));
+      row.push_back(format_double(logical(s, c), 5));
     }
     row.push_back(format_double(server_total(s).value(), 6));
     table.add_row(std::move(row));

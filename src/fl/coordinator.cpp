@@ -338,6 +338,7 @@ bool Coordinator::train_batched(std::span<const double> global,
     const std::size_t end = k * (b + 1) / banks;
     ml::ModelBank& bank = train_banks_[b];
     bank.configure(cfg0.model.lr_config());
+    bank.set_pack_cache(config_.pack_cache);
     std::vector<ml::ModelBank::Task>& tasks = bank_tasks_[b];
     tasks.resize(end - begin);
     for (std::size_t i = begin; i < end; ++i) {

@@ -68,6 +68,12 @@ struct CoordinatorConfig {
   /// to the serial path for any K and thread count (pinned by
   /// tests/test_model_bank.cpp); disable to force the per-client reference.
   bool batched_training = true;
+  /// Reuse packed feature rows across rounds in the batched path (see
+  /// ml::ModelBank::set_pack_cache).  Opt-in: only sound when every
+  /// client's batch storage is immutable and address-stable for the whole
+  /// run — true for the engines whose batches view Population-owned shards
+  /// (the fleet engines turn this on).  Bit-identical either way.
+  bool pack_cache = false;
 };
 
 struct TrainingOutcome {

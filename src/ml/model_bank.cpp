@@ -50,42 +50,90 @@ void ModelBank::prepare_round(std::span<Task> tasks) {
   const std::size_t d = config_.input_dim;
   const std::size_t c = config_.num_classes;
 
-  std::size_t total_samples = 0;
-  for (const Task& t : tasks) {
-    assert(t.batch.valid());
-    assert(t.batch.feature_dim == d);
-    total_samples += t.batch.size();
-  }
-  ensure_doubles(block_x_, total_samples * (d / simd::kLanes) * simd::kLanes);
-  ensure_items(run_off_, total_samples * (d / simd::kLanes));
-  ensure_items(run_blocks_, total_samples * (d / simd::kLanes));
-  ensure_doubles(tail_x_, total_samples * (d % simd::kLanes));
-  ensure_items(tail_off_, total_samples * (d % simd::kLanes));
-  ensure_items(packed_, total_samples);
-  ensure_items(packed_base_, k);
+  ensure_items(task_rows_, k);
 
-  // Pack every (task, sample) row once; the E training sweeps plus the
-  // final evaluation all replay these entries.
-  std::size_t sample_ix = 0;
-  std::size_t block_ix = 0;
-  std::size_t run_ix = 0;
-  std::size_t tail_ix = 0;
-  for (std::size_t i = 0; i < k; ++i) {
-    packed_base_[i] = sample_ix;
-    const BatchView& batch = tasks[i].batch;
-    const std::size_t n = batch.size();
-    for (std::size_t s = 0; s < n; ++s, ++sample_ix) {
-      double* bx = block_x_.data() + block_ix * simd::kLanes;
-      std::uint32_t* ro = run_off_.data() + run_ix;
-      std::uint32_t* rb = run_blocks_.data() + run_ix;
-      double* tx = tail_x_.data() + tail_ix;
-      std::uint32_t* to = tail_off_.data() + tail_ix;
-      const simd::PackedCounts counts = simd::pack_sample(
-          batch.features.data() + s * d, d, c, bx, ro, rb, tx, to);
-      packed_[sample_ix] = {bx, ro, rb, counts.runs, tx, to, counts.tail};
-      block_ix += counts.blocks;
-      run_ix += counts.runs;
-      tail_ix += counts.tail;
+  if (pack_cache_enabled_) {
+    // Cross-round path: each distinct batch packs ONCE, into an entry that
+    // owns exact-size arenas (built full-size up front, never resized, so
+    // the PackedSample pointers into them stay valid for the bank's
+    // lifetime).  Repeat batches — pooled shards re-selected round after
+    // round — are a hash lookup.
+    for (std::size_t i = 0; i < k; ++i) {
+      const BatchView& batch = tasks[i].batch;
+      assert(batch.valid());
+      assert(batch.feature_dim == d);
+      const std::size_t n = batch.size();
+      const PackKey key{batch.features.data(), n};
+      auto [it, fresh] = pack_cache_.try_emplace(key);
+      CachedPack& entry = it->second;
+      if (fresh) {
+        entry.block_x.resize(n * (d / simd::kLanes) * simd::kLanes);
+        entry.run_off.resize(n * (d / simd::kLanes));
+        entry.run_blocks.resize(n * (d / simd::kLanes));
+        entry.tail_x.resize(n * (d % simd::kLanes));
+        entry.tail_off.resize(n * (d % simd::kLanes));
+        entry.packed.resize(n);
+        std::size_t block_ix = 0;
+        std::size_t run_ix = 0;
+        std::size_t tail_ix = 0;
+        for (std::size_t s = 0; s < n; ++s) {
+          double* bx = entry.block_x.data() + block_ix * simd::kLanes;
+          std::uint32_t* ro = entry.run_off.data() + run_ix;
+          std::uint32_t* rb = entry.run_blocks.data() + run_ix;
+          double* tx = entry.tail_x.data() + tail_ix;
+          std::uint32_t* to = entry.tail_off.data() + tail_ix;
+          const simd::PackedCounts counts = simd::pack_sample(
+              batch.features.data() + s * d, d, c, bx, ro, rb, tx, to);
+          entry.packed[s] = {bx, ro, rb, counts.runs, tx, to, counts.tail};
+          block_ix += counts.blocks;
+          run_ix += counts.runs;
+          tail_ix += counts.tail;
+        }
+      }
+      task_rows_[i] = entry.packed.data();
+    }
+  } else {
+    std::size_t total_samples = 0;
+    for (const Task& t : tasks) {
+      assert(t.batch.valid());
+      assert(t.batch.feature_dim == d);
+      total_samples += t.batch.size();
+    }
+    ensure_doubles(block_x_,
+                   total_samples * (d / simd::kLanes) * simd::kLanes);
+    ensure_items(run_off_, total_samples * (d / simd::kLanes));
+    ensure_items(run_blocks_, total_samples * (d / simd::kLanes));
+    ensure_doubles(tail_x_, total_samples * (d % simd::kLanes));
+    ensure_items(tail_off_, total_samples * (d % simd::kLanes));
+    ensure_items(packed_, total_samples);
+    ensure_items(packed_base_, k);
+
+    // Pack every (task, sample) row once; the E training sweeps plus the
+    // final evaluation all replay these entries.
+    std::size_t sample_ix = 0;
+    std::size_t block_ix = 0;
+    std::size_t run_ix = 0;
+    std::size_t tail_ix = 0;
+    for (std::size_t i = 0; i < k; ++i) {
+      packed_base_[i] = sample_ix;
+      const BatchView& batch = tasks[i].batch;
+      const std::size_t n = batch.size();
+      for (std::size_t s = 0; s < n; ++s, ++sample_ix) {
+        double* bx = block_x_.data() + block_ix * simd::kLanes;
+        std::uint32_t* ro = run_off_.data() + run_ix;
+        std::uint32_t* rb = run_blocks_.data() + run_ix;
+        double* tx = tail_x_.data() + tail_ix;
+        std::uint32_t* to = tail_off_.data() + tail_ix;
+        const simd::PackedCounts counts = simd::pack_sample(
+            batch.features.data() + s * d, d, c, bx, ro, rb, tx, to);
+        packed_[sample_ix] = {bx, ro, rb, counts.runs, tx, to, counts.tail};
+        block_ix += counts.blocks;
+        run_ix += counts.runs;
+        tail_ix += counts.tail;
+      }
+    }
+    for (std::size_t i = 0; i < k; ++i) {
+      task_rows_[i] = packed_.data() + packed_base_[i];
     }
   }
 
@@ -126,7 +174,7 @@ void ModelBank::train(std::span<const double> global, std::span<Task> tasks) {
     double* params = params_.data() + i * param_stride_;
     double* grad = grads_.data() + i * param_stride_;
     double* gb = grad + wc;
-    const simd::PackedSample* rows = packed_.data() + packed_base_[i];
+    const simd::PackedSample* rows = task_rows_[i];
 
     // Kernel argument batches are invariant across this task's epochs —
     // every epoch touches the same packed rows, parameter slot, gradient

@@ -36,7 +36,9 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <span>
+#include <unordered_map>
 #include <vector>
 
 #include "ml/aligned.h"
@@ -60,6 +62,18 @@ class ModelBank {
   /// Binds the bank to a model shape.  Cheap when the shape is unchanged;
   /// changing shapes regrows the arenas.
   void configure(const LogisticRegressionConfig& config);
+
+  /// Opt-in reuse of packed feature rows ACROSS rounds, keyed by the
+  /// batch's (features pointer, size).  Only sound when the caller
+  /// guarantees every batch's feature storage is immutable and
+  /// address-stable for the bank's lifetime — true for the fleet engines,
+  /// whose batches view Population-owned shards.  Packing is deterministic
+  /// and the kernels only read the packed values, so a cache hit replays
+  /// the identical blocks and results stay bit-identical; the only change
+  /// is that repeat batches (pooled shards re-selected round after round)
+  /// skip the O(n·d) re-pack.  Entries own exact-size arenas built once,
+  /// so their PackedSample pointers never dangle.
+  void set_pack_cache(bool enabled) { pack_cache_enabled_ = enabled; }
 
   /// Trains every task from the shared `global` parameters ([W | b],
   /// length parameter_count()) and fills the per-task loss outputs.
@@ -102,6 +116,33 @@ class ModelBank {
   std::vector<std::uint32_t> tail_off_;
   std::vector<simd::PackedSample> packed_;  // per (task, sample)
   std::vector<std::size_t> packed_base_;    // first packed_ index per task
+
+  // Cross-round pack cache (see set_pack_cache).  Each entry owns its own
+  // exact-size arenas; map rehash moves the vectors but not their heap
+  // buffers, so the PackedSample pointers stay valid.
+  struct PackKey {
+    const double* features = nullptr;
+    std::size_t n = 0;
+    bool operator==(const PackKey&) const = default;
+  };
+  struct PackKeyHash {
+    std::size_t operator()(const PackKey& k) const {
+      return std::hash<const double*>{}(k.features) ^ (k.n * 0x9e3779b97f4a7c15ULL);
+    }
+  };
+  struct CachedPack {
+    AlignedVector block_x;
+    std::vector<std::uint32_t> run_off;
+    std::vector<std::uint32_t> run_blocks;
+    AlignedVector tail_x;
+    std::vector<std::uint32_t> tail_off;
+    std::vector<simd::PackedSample> packed;
+  };
+  bool pack_cache_enabled_ = false;
+  std::unordered_map<PackKey, CachedPack, PackKeyHash> pack_cache_;
+  // Per-task packed-row pointers for the round in flight (into packed_ or
+  // into cache entries).
+  std::vector<const simd::PackedSample*> task_rows_;
 
   // Kernel argument batches: one entry per sample of the model in flight.
   std::vector<simd::RowsBatchArg> rows_args_;

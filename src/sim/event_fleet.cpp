@@ -5,7 +5,6 @@
 #include <cassert>
 #include <cmath>
 #include <limits>
-#include <map>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
@@ -22,8 +21,10 @@
 #include "net/graph.h"
 #include "net/router.h"
 #include "obs/telemetry.h"
-#include "sim/event_queue.h"
+#include "sim/calendar_queue.h"
 #include "sim/fault_process.h"
+#include "sim/fleet_event.h"
+#include "sim/typed_event_queue.h"
 
 namespace eefei::sim {
 
@@ -34,6 +35,10 @@ Status EventFleetEngine::validate() const {
   const FeiSystemConfig& sys = config_.system;
   if (!config_.tiers.valid()) {
     return Error::invalid_argument("event fleet: tier fan-in must be >= 1");
+  }
+  if (sys.num_servers > std::numeric_limits<std::uint32_t>::max()) {
+    return Error::invalid_argument(
+        "event fleet: num_servers must fit 32 bits (typed event ids)");
   }
   if (config_.gateway_latency.value() < 0.0 ||
       config_.region_latency.value() < 0.0 ||
@@ -144,6 +149,21 @@ void EventFleetEngine::for_each_server_sharded(
 }
 
 Result<EventFleetRunResult> EventFleetEngine::run() {
+  if (config_.event_queue == FleetQueueImpl::kBinaryHeap) {
+    return run_impl<TypedEventQueue<FleetEvent>>();
+  }
+  return run_impl<CalendarQueue<FleetEvent>>();
+}
+
+// The simulation body, templated over the typed event scheduler.  Every
+// event is a POD FleetEvent dispatched through the switch below; each case
+// body is the former capturing-lambda handler verbatim, with by-value
+// captures riding in the event's t0/t1/t2 fields and by-reference captures
+// read from the engine's round state at fire time — so the event order,
+// every floating-point expression and every RNG draw are unchanged, and
+// results stay bit-identical to the closure-based implementation.
+template <class Q>
+Result<EventFleetRunResult> EventFleetEngine::run_impl() {
   if (const auto st = prepare(); !st.ok()) return st.error();
   (void)acquire_pool();
   const FeiSystemConfig& sys = config_.system;
@@ -362,28 +382,47 @@ Result<EventFleetRunResult> EventFleetEngine::run() {
   std::size_t events_processed = 0;
 
   // Lazy idle settlement (see energy/idle_settlement.h): no O(N) sweep per
-  // round.  settled_upto[sid] = rounds already reflected in sid's row.
+  // round.  Dense state instead of a hash map: settled_upto[sid] stores
+  // (rounds already reflected in sid's row) + 1, 0 meaning never selected,
+  // and settled_sids lists touched servers in first-touch order — so the
+  // per-selection path never allocates and the end-of-run fold iterates
+  // only touched servers (per-row charges, so order cannot change bits).
   energy::IdleChargeSchedule idle_schedule(p_wait);
-  std::unordered_map<std::size_t, std::size_t> settled_upto;
+  std::vector<std::uint32_t> settled_upto;
+  std::vector<std::uint32_t> settled_sids;
+  if (charge_idle) {
+    settled_upto.assign(n_servers, 0);
+    settled_sids.reserve(std::min<std::size_t>(
+        n_servers, sys.fl.clients_per_round *
+                       std::max<std::size_t>(1, sys.fl.max_rounds)));
+  }
   auto settle_and_mark_active = [&](std::size_t sid) {
-    auto [it, inserted] = settled_upto.try_emplace(sid, 0);
+    std::uint32_t& s = settled_upto[sid];
     const auto charges = idle_schedule.per_round();
-    for (std::size_t r = it->second; r < charges.size(); ++r) {
+    if (s == 0) settled_sids.push_back(static_cast<std::uint32_t>(sid));
+    for (std::size_t r = (s == 0 ? 0 : s - 1); r < charges.size(); ++r) {
       result.ledger.charge(sid, energy::EnergyCategory::kWaiting, charges[r]);
     }
-    // +1 skips the round now starting: the server is active, not idle.
-    it->second = charges.size() + 1;
+    // +1 skips the round now starting: the server is active, not idle
+    // (and +1 again for the 0-means-untouched encoding).
+    s = static_cast<std::uint32_t>(charges.size() + 1) + 1;
   };
 
-  // ---- event queue + per-round tier completion state --------------------
-  EventQueue queue;
+  // ---- typed event queue + per-round tier completion state --------------
+  // Dense tier tables replace the per-round ordered maps: node state is
+  // indexed by gateway/region id, and the per-round touched-id lists both
+  // bound the reset cost to O(touched) and provide the deterministic
+  // iteration order (sorted where it matters — the per-gateway merge).
+  Q queue;
   struct TierNodeState {
     std::size_t remaining = 0;  // children not yet resolved this round
     std::size_t members = 0;    // children active this round
     Seconds last{0.0};          // latest child resolution time
   };
-  std::map<std::size_t, TierNodeState> round_gateways;
-  std::map<std::size_t, TierNodeState> round_regions;
+  std::vector<TierNodeState> gw_nodes(tier_plan.num_gateways());
+  std::vector<TierNodeState> rg_nodes(tier_plan.num_regions());
+  std::vector<std::uint32_t> round_gw_ids;
+  std::vector<std::uint32_t> round_rg_ids;
   std::size_t root_remaining = 0;
   Seconds root_last{0.0};
   Seconds root_done{0.0};
@@ -394,37 +433,17 @@ Result<EventFleetRunResult> EventFleetEngine::run() {
     root_last = std::max(root_last, at);
     if (--root_remaining == 0) {
       const Seconds done = root_last + config_.root_latency;
-      const Seconds start = round_start_time;
-      const double round_arg = static_cast<double>(current_round);
-      queue.schedule_at(done, [&, done, start, round_arg] {
-        root_done = done;
-        if (tracer != nullptr) {
-          tracer->sim_span("fleet.root.aggregate", "sim.tier",
-                           obs::Tracer::kTierRootPid, start, done - start,
-                           {{"round", round_arg}});
-        }
-      });
+      queue.schedule_at(done, FleetEvent{FleetEventKind::kRootDone});
     }
   };
   auto region_member_resolved = [&](std::size_t rid, Seconds at) {
-    TierNodeState& r = round_regions.at(rid);
+    TierNodeState& r = rg_nodes[rid];
     r.last = std::max(r.last, at);
     if (--r.remaining == 0) {
       const Seconds done = r.last + config_.region_latency;
-      const Seconds start = round_start_time;
-      const double round_arg = static_cast<double>(current_round);
-      const double members = static_cast<double>(r.members);
-      queue.schedule_at(done, [&, rid, done, start, round_arg, members] {
-        if (tracer != nullptr) {
-          name_track(obs::Tracer::tier_region_pid(rid),
-                     "fleet_region_" + std::to_string(rid));
-          tracer->sim_span("fleet.region.aggregate", "sim.tier",
-                           obs::Tracer::tier_region_pid(rid), start,
-                           done - start,
-                           {{"round", round_arg}, {"gateways", members}});
-        }
-        root_member_resolved(done);
-      });
+      queue.schedule_at(done,
+                        FleetEvent{FleetEventKind::kRegionDone,
+                                   static_cast<std::uint32_t>(rid)});
     }
   };
   // A member "resolves" its gateway by uploading — or, on the fault path,
@@ -432,24 +451,13 @@ Result<EventFleetRunResult> EventFleetEngine::run() {
   // the gateway knows it will hear nothing more from it this round.
   auto gateway_member_resolved = [&](std::size_t sid, Seconds at) {
     const std::size_t gid = tier_plan.gateway_of(sid);
-    TierNodeState& g = round_gateways.at(gid);
+    TierNodeState& g = gw_nodes[gid];
     g.last = std::max(g.last, at);
     if (--g.remaining == 0) {
       const Seconds done = g.last + config_.gateway_latency;
-      const Seconds start = round_start_time;
-      const double round_arg = static_cast<double>(current_round);
-      const double members = static_cast<double>(g.members);
-      queue.schedule_at(done, [&, gid, done, start, round_arg, members] {
-        if (tracer != nullptr) {
-          name_track(obs::Tracer::tier_gateway_pid(gid),
-                     "fleet_gateway_" + std::to_string(gid));
-          tracer->sim_span("fleet.gateway.aggregate", "sim.tier",
-                           obs::Tracer::tier_gateway_pid(gid), start,
-                           done - start,
-                           {{"round", round_arg}, {"devices", members}});
-        }
-        region_member_resolved(tier_plan.region_of_gateway(gid), done);
-      });
+      queue.schedule_at(done,
+                        FleetEvent{FleetEventKind::kGatewayDone,
+                                   static_cast<std::uint32_t>(gid)});
     }
   };
 
@@ -523,56 +531,89 @@ Result<EventFleetRunResult> EventFleetEngine::run() {
   // no energy and consume no RNG; with the default zero-config links every
   // admission is instantaneous (wait 0, arrive == at), which is why the
   // zero-config twin reproduces the point-to-point bits exactly.
-  std::function<void(std::size_t, std::size_t, Seconds)> hop_arrival =
-      [&](std::size_t node, std::size_t sid, Seconds at) {
-        if (node == coordinator_node) {
-          gateway_member_resolved(sid, at);
-          return;
-        }
-        const std::size_t lid = router.next_link(node, coordinator_node);
-        assert(lid != net::Router::kNoRoute);
-        net::LinkQueue& lq = link_queues[lid];
-        const auto adm = lq.offer(at, up_msg.wire_bytes());
-        if (link_epoch[lid] != round_epoch) {
-          link_epoch[lid] = round_epoch;
-          touched_links.push_back(lid);
-        }
-        if (!adm.accepted) {
-          // Bounded queue full: the update is lost in the backhaul.  The
-          // member still resolves — at the drop time — so the tier chain
-          // completes; observer-mode aggregation is never vetoed (drops
-          // are a timing/telemetry outcome, like tier latencies).
-          ++round_links.drops;
-          gateway_member_resolved(sid, at);
-          return;
-        }
-        ++round_links.msgs;
-        round_links.wait_s += adm.wait.value();
-        if (sk_link_wait_s != nullptr) {
-          sk_link_wait_s->record(adm.wait.value());
-        }
-        const std::size_t next_node = net_graph.link(lid).to;
-        queue.schedule_at(adm.arrive,
-                          [&, next_node, sid, arrive = adm.arrive] {
-                            hop_arrival(next_node, sid, arrive);
-                          });
-      };
+  auto hop_arrival = [&](std::size_t node, std::size_t sid, Seconds at) {
+    if (node == coordinator_node) {
+      gateway_member_resolved(sid, at);
+      return;
+    }
+    const std::size_t lid = router.next_link(node, coordinator_node);
+    assert(lid != net::Router::kNoRoute);
+    net::LinkQueue& lq = link_queues[lid];
+    const auto adm = lq.offer(at, up_msg.wire_bytes());
+    if (link_epoch[lid] != round_epoch) {
+      link_epoch[lid] = round_epoch;
+      touched_links.push_back(lid);
+    }
+    if (!adm.accepted) {
+      // Bounded queue full: the update is lost in the backhaul.  The
+      // member still resolves — at the drop time — so the tier chain
+      // completes; observer-mode aggregation is never vetoed (drops
+      // are a timing/telemetry outcome, like tier latencies).
+      ++round_links.drops;
+      gateway_member_resolved(sid, at);
+      return;
+    }
+    ++round_links.msgs;
+    round_links.wait_s += adm.wait.value();
+    if (sk_link_wait_s != nullptr) {
+      sk_link_wait_s->record(adm.wait.value());
+    }
+    const std::size_t next_node = net_graph.link(lid).to;
+    queue.schedule_at(adm.arrive,
+                      FleetEvent{FleetEventKind::kHopArrival,
+                                 static_cast<std::uint32_t>(next_node),
+                                 static_cast<std::uint32_t>(sid)});
+  };
+
+  // ---- round state shared by the dispatch switch ------------------------
+  // Everything a closure handler used to capture by reference: the FCFS
+  // chain, the round end watermark, the fault path's deadline/stats, the
+  // selected updates span.  All round-scoped — every event fires inside
+  // its own round's drain.
+  Seconds lan_free{0.0};
+  Seconds round_end{0.0};
+  std::size_t uploads_pending = 0;
+  const bool has_deadline = sys.round_deadline.value() > 0.0;
+  Seconds deadline{0.0};
+  fl::RoundFaultStats* fstats = nullptr;
+  std::span<fl::LocalTrainResult> fupdates;
 
   auto begin_round = [&](std::size_t round,
                          std::span<const fl::ClientId> selected) {
     round_start_time = clock;
     current_round = round;
+    deadline = round_start_time + sys.round_deadline;
     queue.reset_high_water();  // per-round queue-depth window
-    const auto part = tier_plan.participation(selected);
-    round_gateways.clear();
-    round_regions.clear();
-    for (const auto& node : part.gateways) {
-      round_gateways[node.id] = {node.expected, node.expected, Seconds{0.0}};
+    for (const std::uint32_t gid : round_gw_ids) {
+      gw_nodes[gid] = TierNodeState{};
     }
-    for (const auto& node : part.regions) {
-      round_regions[node.id] = {node.expected, node.expected, Seconds{0.0}};
+    for (const std::uint32_t rid : round_rg_ids) {
+      rg_nodes[rid] = TierNodeState{};
     }
-    root_remaining = part.root_expected;
+    round_gw_ids.clear();
+    round_rg_ids.clear();
+    // Direct dense fill of the round participation (the block arithmetic
+    // TierPlan::participation() sorts into maps): per gateway the number
+    // of selected members, per region the number of active gateways, at
+    // the root the number of active regions — selection never repeats a
+    // server, so counting occurrences equals counting distinct members.
+    for (const auto sid : selected) {
+      const std::size_t gid = tier_plan.gateway_of(sid);
+      TierNodeState& g = gw_nodes[gid];
+      if (g.members == 0) {
+        round_gw_ids.push_back(static_cast<std::uint32_t>(gid));
+        const std::size_t rid = tier_plan.region_of_gateway(gid);
+        TierNodeState& r = rg_nodes[rid];
+        if (r.members == 0) {
+          round_rg_ids.push_back(static_cast<std::uint32_t>(rid));
+        }
+        ++r.members;
+        ++r.remaining;
+      }
+      ++g.members;
+      ++g.remaining;
+    }
+    root_remaining = round_rg_ids.size();
     root_last = Seconds{0.0};
     root_done = round_start_time;
     if (config_.multi_hop) {
@@ -585,6 +626,354 @@ Result<EventFleetRunResult> EventFleetEngine::run() {
     }
   };
 
+  // Fault constants and processes (FleetEngine's fault filter verbatim).
+  const net::LinkFaultConfig link_faults = sys.net.link_faults;
+  const RngStreamFamily fault_streams(
+      link_faults.seed * 0x9e3779b97f4a7c15ULL + sys.seed * 7349 + 101);
+  CrashProcessConfig crash_cfg = sys.crashes;
+  crash_cfg.seed =
+      crash_cfg.seed * 2862933555777941757ULL + sys.seed * 977 + 3;
+  // CrashProcess keeps an O(N) timeline array — only pay for it when the
+  // fault path is actually live.
+  std::unique_ptr<CrashProcess> crash_process;
+  if (faults) {
+    crash_process = std::make_unique<CrashProcess>(n_servers, crash_cfg);
+  }
+
+  const auto trace_fault = [&](const char* name, std::size_t sid,
+                               Seconds at) {
+    if (tracked_sids.find(sid) == tracked_sids.end()) return;
+    if (tracer != nullptr) {
+      tracer->sim_instant(name, "sim.fault", obs::Tracer::server_pid(sid),
+                          at);
+    }
+  };
+  const auto note_end = [&](Seconds at) {
+    round_end =
+        std::max(round_end, has_deadline ? std::min(at, deadline) : at);
+  };
+  const auto plan_transfer = [&](std::size_t sid, bool upload,
+                                 Seconds start, Seconds nominal) {
+    Rng stream =
+        fault_streams.stream(current_round, sid * 2 + (upload ? 1 : 0));
+    return net::plan_faulty_transfer(stream, link_faults, start, nominal);
+  };
+
+  // ---- the typed dispatch -----------------------------------------------
+  // One switch replaces the ~20 capturing-lambda handlers.  Per-kind field
+  // mapping is documented in sim/fleet_event.h; each case is the former
+  // closure body with `at` standing in for the value the closure recomputed
+  // from its captures (bit-identical: the scheduled time IS that value, and
+  // the engine's monotone round structure means the past-time clamp never
+  // actually rewrites it).
+  auto dispatch = [&](const FleetEvent& ev, Seconds at) {
+    switch (ev.kind) {
+      case FleetEventKind::kRootDone: {
+        root_done = at;
+        if (tracer != nullptr) {
+          tracer->sim_span(
+              "fleet.root.aggregate", "sim.tier", obs::Tracer::kTierRootPid,
+              round_start_time, at - round_start_time,
+              {{"round", static_cast<double>(current_round)}});
+        }
+        break;
+      }
+      case FleetEventKind::kRegionDone: {
+        const std::size_t rid = ev.a;
+        if (tracer != nullptr) {
+          name_track(obs::Tracer::tier_region_pid(rid),
+                     "fleet_region_" + std::to_string(rid));
+          tracer->sim_span(
+              "fleet.region.aggregate", "sim.tier",
+              obs::Tracer::tier_region_pid(rid), round_start_time,
+              at - round_start_time,
+              {{"round", static_cast<double>(current_round)},
+               {"gateways", static_cast<double>(rg_nodes[rid].members)}});
+        }
+        root_member_resolved(at);
+        break;
+      }
+      case FleetEventKind::kGatewayDone: {
+        const std::size_t gid = ev.a;
+        if (tracer != nullptr) {
+          name_track(obs::Tracer::tier_gateway_pid(gid),
+                     "fleet_gateway_" + std::to_string(gid));
+          tracer->sim_span(
+              "fleet.gateway.aggregate", "sim.tier",
+              obs::Tracer::tier_gateway_pid(gid), round_start_time,
+              at - round_start_time,
+              {{"round", static_cast<double>(current_round)},
+               {"devices", static_cast<double>(gw_nodes[gid].members)}});
+        }
+        region_member_resolved(tier_plan.region_of_gateway(gid), at);
+        break;
+      }
+      case FleetEventKind::kHopArrival: {
+        hop_arrival(ev.a, ev.b, at);
+        break;
+      }
+      case FleetEventKind::kDownloadDone: {
+        const std::size_t sid = ev.a;
+        const Seconds download_start = ev.t0;
+        const Seconds d = ev.t1;
+        const Seconds dw = ev.t2;
+        run_phase(sid, energy::EdgeState::kDownloading, download_start, d);
+        if (dw.value() > 0.0) {
+          result.ledger.charge(sid, energy::EnergyCategory::kRetry,
+                               p_down * dw);
+          result.ledger.charge(sid, energy::EnergyCategory::kDownload,
+                               p_down * (d - dw));
+        } else {
+          result.ledger.charge(sid, energy::EnergyCategory::kDownload,
+                               p_down * d);
+        }
+        break;
+      }
+      case FleetEventKind::kEpochDone: {
+        const std::size_t sid = ev.a;
+        const Seconds train_start = ev.t0;
+        const Seconds t = ev.t1;
+        run_phase(sid, energy::EdgeState::kTraining, train_start, t);
+        result.ledger.charge(sid, energy::EnergyCategory::kTraining,
+                             p_train * t);
+        const Seconds train_end = train_start + t;
+        Seconds u{0.0};
+        Seconds uw{0.0};
+        Seconds upload_start = train_end;
+        if (sys.lan_contention == FeiSystemConfig::LanContention::kCsma) {
+          const auto r =
+              csma.transfer(up_msg.wire_bytes(), uploads_pending - 1);
+          u = jittered(r.duration);
+        } else {
+          const auto ul = up_leg(sid);
+          u = jittered(ul.duration);
+          uw = wasted_share(u, ul);
+          upload_start = std::max(train_end, lan_free);
+          const Seconds queue_wait = upload_start - train_end;
+          lan_free = upload_start + u;
+          if (queue_wait.value() > 0.0) {
+            result.ledger.charge(sid, energy::EnergyCategory::kWaiting,
+                                 p_wait * queue_wait);
+          }
+          if (sk_wait_s != nullptr) sk_wait_s->record(queue_wait.value());
+        }
+        --uploads_pending;
+        queue.schedule_at(upload_start + u,
+                          FleetEvent{FleetEventKind::kUploadDone,
+                                     static_cast<std::uint32_t>(sid), 0,
+                                     upload_start, u, uw});
+        break;
+      }
+      case FleetEventKind::kUploadDone: {
+        const std::size_t sid = ev.a;
+        const Seconds upload_start = ev.t0;
+        const Seconds u = ev.t1;
+        const Seconds uw = ev.t2;
+        run_phase(sid, energy::EdgeState::kUploading, upload_start, u);
+        if (uw.value() > 0.0) {
+          result.ledger.charge(sid, energy::EnergyCategory::kRetry,
+                               p_up * uw);
+          result.ledger.charge(sid, energy::EnergyCategory::kUpload,
+                               p_up * (u - uw));
+        } else {
+          result.ledger.charge(sid, energy::EnergyCategory::kUpload,
+                               p_up * u);
+        }
+        round_end = std::max(round_end, at);
+        if (sk_turnaround_s != nullptr) {
+          sk_turnaround_s->record((at - round_start_time).value());
+        }
+        if (config_.multi_hop) {
+          hop_arrival(gateway_node[tier_plan.gateway_of(sid)], sid, at);
+        } else {
+          gateway_member_resolved(sid, at);
+        }
+        break;
+      }
+      case FleetEventKind::kFaultServerDown: {
+        trace_fault("server.down", ev.a, round_start_time);
+        gateway_member_resolved(ev.a, round_start_time);
+        break;
+      }
+      case FleetEventKind::kFaultDeadlineDrop: {
+        trace_fault("deadline.drop", ev.a, deadline);
+        gateway_member_resolved(ev.a, deadline);
+        break;
+      }
+      case FleetEventKind::kFaultDownloadCut: {
+        const std::size_t sid = ev.a;
+        const Seconds download_start = ev.t0;
+        const Seconds cut = ev.t1;
+        result.ledger.charge(sid, energy::EnergyCategory::kAborted,
+                             p_down * cut);
+        run_phase(sid, energy::EdgeState::kDownloading, download_start, cut);
+        trace_fault("deadline.drop", sid, deadline);
+        gateway_member_resolved(sid, deadline);
+        break;
+      }
+      case FleetEventKind::kFaultDownloadLost: {
+        const std::size_t sid = ev.a;
+        const Seconds download_start = ev.t0;
+        const Seconds air = ev.t1;
+        result.ledger.charge(sid, energy::EnergyCategory::kAborted,
+                             p_down * air);
+        run_phase(sid, energy::EdgeState::kDownloading, download_start, air);
+        trace_fault("update.lost", sid, at);
+        gateway_member_resolved(sid, at);
+        break;
+      }
+      case FleetEventKind::kFaultDownloadDone: {
+        const std::size_t sid = ev.a;
+        const Seconds download_start = ev.t0;
+        const Seconds wasted = ev.t1;
+        const Seconds air = ev.t2;
+        result.ledger.charge(sid, energy::EnergyCategory::kRetry,
+                             p_down * wasted);
+        result.ledger.charge(sid, energy::EnergyCategory::kDownload,
+                             p_down * (air - wasted));
+        run_phase(sid, energy::EdgeState::kDownloading, download_start, air);
+        break;
+      }
+      case FleetEventKind::kFaultTrainCrash: {
+        const std::size_t sid = ev.a;
+        const Seconds train_start = ev.t0;
+        result.ledger.charge(sid, energy::EnergyCategory::kAborted,
+                             p_train * (at - train_start));
+        run_phase(sid, energy::EdgeState::kTraining, train_start,
+                  at - train_start);
+        trace_fault("server.crash", sid, at);
+        gateway_member_resolved(sid, at);
+        break;
+      }
+      case FleetEventKind::kFaultTrainDeadline: {
+        const std::size_t sid = ev.a;
+        const Seconds train_start = ev.t0;
+        result.ledger.charge(sid, energy::EnergyCategory::kAborted,
+                             p_train * (deadline - train_start));
+        if (deadline > train_start) {
+          run_phase(sid, energy::EdgeState::kTraining, train_start,
+                    deadline - train_start);
+        }
+        trace_fault("deadline.drop", sid, deadline);
+        gateway_member_resolved(sid, deadline);
+        break;
+      }
+      case FleetEventKind::kFaultEpochDone: {
+        // Book the full training phase, then run the upload leg against
+        // the (event-ordered) FCFS chain — exactly FleetEngine's sorted
+        // (train_end, index) drain, produced by the queue's FIFO.
+        const std::size_t sid = ev.a;
+        const Seconds train_start = ev.t0;
+        const Seconds t = ev.t1;
+        result.ledger.charge(sid, energy::EnergyCategory::kTraining,
+                             p_train * t);
+        run_phase(sid, energy::EdgeState::kTraining, train_start, t);
+        auto& uu = fupdates[ev.b];
+        const Seconds train_end = at;
+        const Seconds upload_start = std::max(train_end, lan_free);
+        const Seconds queue_wait_end =
+            has_deadline ? std::min(upload_start, deadline) : upload_start;
+        if (queue_wait_end > train_end) {
+          result.ledger.charge(sid, energy::EnergyCategory::kWaiting,
+                               p_wait * (queue_wait_end - train_end));
+        }
+        if (sk_wait_s != nullptr) {
+          sk_wait_s->record((queue_wait_end - train_end).value());
+        }
+        if (has_deadline && upload_start >= deadline) {
+          trace_fault("deadline.drop", sid, deadline);
+          uu.aggregated = false;
+          ++fstats->straggler_drops;
+          note_end(deadline);
+          gateway_member_resolved(sid, deadline);
+          break;
+        }
+        const Seconds u1 =
+            jittered(nominal_duration(sid, up_msg.wire_bytes()));
+        const auto up = plan_transfer(sid, /*upload=*/true, upload_start, u1);
+        fstats->retries += up.attempts - 1;
+        lan_free = has_deadline ? std::min(up.finish, deadline) : up.finish;
+        if (has_deadline && up.finish > deadline) {
+          const double frac =
+              (deadline - upload_start) / (up.finish - upload_start);
+          const Seconds cut = up.air_time * std::clamp(frac, 0.0, 1.0);
+          queue.schedule_at(deadline,
+                            FleetEvent{FleetEventKind::kFaultUploadCut,
+                                       static_cast<std::uint32_t>(sid), 0,
+                                       upload_start, cut});
+          uu.aggregated = false;
+          ++fstats->straggler_drops;
+          note_end(deadline);
+          break;
+        }
+        if (!up.delivered) {
+          queue.schedule_at(up.finish,
+                            FleetEvent{FleetEventKind::kFaultUploadLost,
+                                       static_cast<std::uint32_t>(sid), 0,
+                                       upload_start, up.air_time});
+          uu.aggregated = false;
+          ++fstats->aborted_updates;
+          note_end(up.finish);
+          break;
+        }
+        // upload-done: delivery books the phase and resolves the tier.
+        queue.schedule_at(up.finish,
+                          FleetEvent{FleetEventKind::kFaultUploadDone,
+                                     static_cast<std::uint32_t>(sid), 0,
+                                     upload_start, up.wasted_air_time,
+                                     up.air_time});
+        note_end(up.finish);
+        break;
+      }
+      case FleetEventKind::kFaultUploadCut: {
+        const std::size_t sid = ev.a;
+        const Seconds upload_start = ev.t0;
+        const Seconds cut = ev.t1;
+        result.ledger.charge(sid, energy::EnergyCategory::kAborted,
+                             p_up * cut);
+        run_phase(sid, energy::EdgeState::kUploading, upload_start, cut);
+        trace_fault("deadline.drop", sid, deadline);
+        gateway_member_resolved(sid, deadline);
+        break;
+      }
+      case FleetEventKind::kFaultUploadLost: {
+        const std::size_t sid = ev.a;
+        const Seconds upload_start = ev.t0;
+        const Seconds air = ev.t1;
+        result.ledger.charge(sid, energy::EnergyCategory::kAborted,
+                             p_up * air);
+        run_phase(sid, energy::EdgeState::kUploading, upload_start, air);
+        trace_fault("update.lost", sid, at);
+        gateway_member_resolved(sid, at);
+        break;
+      }
+      case FleetEventKind::kFaultUploadDone: {
+        const std::size_t sid = ev.a;
+        const Seconds upload_start = ev.t0;
+        const Seconds wasted = ev.t1;
+        const Seconds air = ev.t2;
+        result.ledger.charge(sid, energy::EnergyCategory::kRetry,
+                             p_up * wasted);
+        result.ledger.charge(sid, energy::EnergyCategory::kUpload,
+                             p_up * (air - wasted));
+        run_phase(sid, energy::EdgeState::kUploading, upload_start, air);
+        if (sk_turnaround_s != nullptr) {
+          sk_turnaround_s->record((at - round_start_time).value());
+        }
+        gateway_member_resolved(sid, at);
+        break;
+      }
+      case FleetEventKind::kGwDownloadDone:
+      case FleetEventKind::kGwEpochDone:
+      case FleetEventKind::kGwUploadDone: {
+        // Gateway-local events dispatch on the per-gateway queues, never
+        // the global one.
+        assert(false);
+        break;
+      }
+    }
+  };
+
   // --- Fault-free round simulation: one shared LAN, global event queue ---
   // Equivalence with FleetEngine's sorted drain: epoch-done events fire in
   // (train_end, FIFO) order and FIFO order equals selection-index order, so
@@ -594,9 +983,9 @@ Result<EventFleetRunResult> EventFleetEngine::run() {
                       std::span<const fl::LocalTrainResult> updates) {
     begin_round(record.round, record.selected);
     const Seconds round_start = round_start_time;
-    Seconds lan_free = round_start;
-    Seconds round_end = round_start;
-    std::size_t uploads_pending = record.selected.size();
+    lan_free = round_start;
+    round_end = round_start;
+    uploads_pending = record.selected.size();
 
     for (std::size_t i = 0; i < record.selected.size(); ++i) {
       const std::size_t sid = record.selected[i];
@@ -625,78 +1014,24 @@ Result<EventFleetRunResult> EventFleetEngine::run() {
       t *= straggler_factor(sid);
 
       // download-done: book the reception phase on the event boundary.
-      queue.schedule_at(download_start + d, [&, sid, download_start, d, dw] {
-        run_phase(sid, energy::EdgeState::kDownloading, download_start, d);
-        if (dw.value() > 0.0) {
-          result.ledger.charge(sid, energy::EnergyCategory::kRetry,
-                               p_down * dw);
-          result.ledger.charge(sid, energy::EnergyCategory::kDownload,
-                               p_down * (d - dw));
-        } else {
-          result.ledger.charge(sid, energy::EnergyCategory::kDownload,
-                               p_down * d);
-        }
-      });
+      queue.schedule_at(download_start + d,
+                        FleetEvent{FleetEventKind::kDownloadDone,
+                                   static_cast<std::uint32_t>(sid), 0,
+                                   download_start, d, dw});
 
       // epoch-done: book training, then resolve this upload's contention
-      // at its actual completion time.
+      // at its actual completion time (the dispatch schedules upload-done).
       const Seconds train_start = download_start + d;
-      queue.schedule_at(train_start + t, [&, sid, train_start, t] {
-        run_phase(sid, energy::EdgeState::kTraining, train_start, t);
-        result.ledger.charge(sid, energy::EnergyCategory::kTraining,
-                             p_train * t);
-        const Seconds train_end = train_start + t;
-        Seconds u{0.0};
-        Seconds uw{0.0};
-        Seconds upload_start = train_end;
-        if (sys.lan_contention == FeiSystemConfig::LanContention::kCsma) {
-          const auto r =
-              csma.transfer(up_msg.wire_bytes(), uploads_pending - 1);
-          u = jittered(r.duration);
-        } else {
-          const auto ul = up_leg(sid);
-          u = jittered(ul.duration);
-          uw = wasted_share(u, ul);
-          upload_start = std::max(train_end, lan_free);
-          const Seconds queue_wait = upload_start - train_end;
-          lan_free = upload_start + u;
-          if (queue_wait.value() > 0.0) {
-            result.ledger.charge(sid, energy::EnergyCategory::kWaiting,
-                                 p_wait * queue_wait);
-          }
-          if (sk_wait_s != nullptr) sk_wait_s->record(queue_wait.value());
-        }
-        --uploads_pending;
-        // upload-done: book transmission, notify the aggregation tier —
-        // directly, or through the multi-hop backhaul graph.
-        queue.schedule_at(upload_start + u, [&, sid, upload_start, u, uw] {
-          run_phase(sid, energy::EdgeState::kUploading, upload_start, u);
-          if (uw.value() > 0.0) {
-            result.ledger.charge(sid, energy::EnergyCategory::kRetry,
-                                 p_up * uw);
-            result.ledger.charge(sid, energy::EnergyCategory::kUpload,
-                                 p_up * (u - uw));
-          } else {
-            result.ledger.charge(sid, energy::EnergyCategory::kUpload,
-                                 p_up * u);
-          }
-          round_end = std::max(round_end, upload_start + u);
-          if (sk_turnaround_s != nullptr) {
-            sk_turnaround_s->record(
-                (upload_start + u - round_start).value());
-          }
-          if (config_.multi_hop) {
-            hop_arrival(gateway_node[tier_plan.gateway_of(sid)], sid,
-                        upload_start + u);
-          } else {
-            gateway_member_resolved(sid, upload_start + u);
-          }
-        });
-      });
+      queue.schedule_at(train_start + t,
+                        FleetEvent{FleetEventKind::kEpochDone,
+                                   static_cast<std::uint32_t>(sid), 0,
+                                   train_start, t});
     }
 
-    const std::size_t n_events = queue.run();
+    const std::size_t n_events = queue.run(dispatch);
     events_processed += n_events;
+    result.queue_high_water =
+        std::max(result.queue_high_water, queue.high_water());
     clock = std::max(std::max(round_end, lan_free), root_done);
 
     // Per-round link utilization: busy-time delta over the round span,
@@ -743,7 +1078,7 @@ Result<EventFleetRunResult> EventFleetEngine::run() {
       rs.aggregated = static_cast<double>(record.updates_aggregated);
       rs.events = static_cast<double>(n_events);
       rs.queue_peak = static_cast<double>(queue.high_water());
-      rs.gateways = static_cast<double>(round_gateways.size());
+      rs.gateways = static_cast<double>(round_gw_ids.size());
       rs.link_msgs = static_cast<double>(round_links.msgs);
       rs.link_wait_s = round_links.wait_s;
       rs.link_util_max = link_util_max;
@@ -755,27 +1090,40 @@ Result<EventFleetRunResult> EventFleetEngine::run() {
   // --- Per-gateway contention mode ---------------------------------------
   // Each gateway is its own FCFS LAN segment, so the per-gateway event
   // streams are independent: they drain in PARALLEL across the thread
-  // pool, each on a private EventQueue, touching only its own members'
+  // pool, each on a private typed queue, touching only its own members'
   // ledger rows / accumulators / mirrors.  All RNG (download, training,
   // upload jitter) is consumed at dispatch in selection order, so results
   // are byte-identical for any thread count; outcomes merge in ascending
   // gateway order.
+  struct Job {
+    std::size_t sid = 0;
+    Seconds download_start{0.0};
+    Seconds d{0.0};
+    Seconds dw{0.0};  // retransmitted share of d
+    Seconds t{0.0};
+    Seconds u{0.0};
+    Seconds uw{0.0};  // retransmitted share of u
+  };
+  // Dense per-gateway job lists + lan_free chain, reused across rounds
+  // (grow-only: jobs vectors clear but keep capacity).  Allocated only in
+  // gateway-contention mode.
+  std::vector<std::vector<Job>> gw_jobs;
+  std::vector<Seconds> gw_lan_free;
+  if (config_.gateway_contention) {
+    gw_jobs.resize(tier_plan.num_gateways());
+    gw_lan_free.assign(tier_plan.num_gateways(), Seconds{0.0});
+  }
+
   auto gateway_observer = [&](const fl::RoundRecord& record,
                               std::span<const fl::LocalTrainResult> updates) {
     begin_round(record.round, record.selected);
     const Seconds round_start = round_start_time;
 
-    struct Job {
-      std::size_t sid = 0;
-      Seconds download_start{0.0};
-      Seconds d{0.0};
-      Seconds dw{0.0};  // retransmitted share of d
-      Seconds t{0.0};
-      Seconds u{0.0};
-      Seconds uw{0.0};  // retransmitted share of u
-    };
-    std::map<std::size_t, std::vector<Job>> per_gateway;
-    std::map<std::size_t, Seconds> gw_lan_free;
+    // Per-round gateway job grouping, ascending-gateway drain order.  The
+    // touched-gateway list is exactly round_gw_ids (every selected member
+    // contributes one job), sorted ascending for the deterministic merge.
+    std::vector<std::uint32_t> active_gids(round_gw_ids);
+    std::sort(active_gids.begin(), active_gids.end());
     for (std::size_t i = 0; i < record.selected.size(); ++i) {
       const std::size_t sid = record.selected[i];
       const std::size_t n_k = updates[i].samples_used;
@@ -793,70 +1141,75 @@ Result<EventFleetRunResult> EventFleetEngine::run() {
         }
       }
       const std::size_t gid = tier_plan.gateway_of(sid);
-      auto [lf, inserted] = gw_lan_free.try_emplace(gid, round_start);
+      if (gw_jobs[gid].empty()) gw_lan_free[gid] = round_start;
       const auto dl = down_leg(sid);
       const Seconds d = jittered(dl.duration);
-      const Seconds download_start = lf->second;
-      lf->second = download_start + d;
+      const Seconds download_start = gw_lan_free[gid];
+      gw_lan_free[gid] = download_start + d;
       Seconds t = jittered(sys.timing.duration(record.local_epochs, n_k));
       t *= straggler_factor(sid);
       const auto ul = up_leg(sid);
       const Seconds u = jittered(ul.duration);
-      per_gateway[gid].push_back({sid, download_start, d,
-                                  wasted_share(d, dl), t, u,
-                                  wasted_share(u, ul)});
+      gw_jobs[gid].push_back({sid, download_start, d, wasted_share(d, dl), t,
+                              u, wasted_share(u, ul)});
     }
 
-    std::vector<std::pair<std::size_t, std::vector<Job>>> groups;
-    groups.reserve(per_gateway.size());
-    for (auto& [gid, jobs] : per_gateway) {
-      groups.emplace_back(gid, std::move(jobs));
-    }
     struct GatewayOutcome {
       Seconds done{0.0};
       std::size_t events = 0;
       std::size_t queue_peak = 0;
     };
-    std::vector<GatewayOutcome> outcomes(groups.size());
+    std::vector<GatewayOutcome> outcomes(active_gids.size());
 
     auto drain_gateway = [&](std::size_t gi) {
-      const std::size_t gid = groups[gi].first;
-      const std::vector<Job>& jobs = groups[gi].second;
-      EventQueue local;
+      const std::size_t gid = active_gids[gi];
+      const std::vector<Job>& jobs = gw_jobs[gid];
+      Q local;
       // Uploads queue behind this gateway's downloads, like the shared
       // medium does globally.
-      Seconds lan_free = gw_lan_free.at(gid);
+      Seconds lf = gw_lan_free[gid];
       Seconds gw_end = round_start;
-      for (const Job& job : jobs) {
-        local.schedule_at(job.download_start + job.d, [&, job] {
-          run_phase(job.sid, energy::EdgeState::kDownloading,
-                    job.download_start, job.d);
-          if (job.dw.value() > 0.0) {
-            result.ledger.charge(job.sid, energy::EnergyCategory::kRetry,
-                                 p_down * job.dw);
-            result.ledger.charge(job.sid, energy::EnergyCategory::kDownload,
-                                 p_down * (job.d - job.dw));
-          } else {
-            result.ledger.charge(job.sid, energy::EnergyCategory::kDownload,
-                                 p_down * job.d);
+      auto local_dispatch = [&](const FleetEvent& lev, Seconds lat) {
+        const Job& job = jobs[lev.a];
+        switch (lev.kind) {
+          case FleetEventKind::kGwDownloadDone: {
+            run_phase(job.sid, energy::EdgeState::kDownloading,
+                      job.download_start, job.d);
+            if (job.dw.value() > 0.0) {
+              result.ledger.charge(job.sid, energy::EnergyCategory::kRetry,
+                                   p_down * job.dw);
+              result.ledger.charge(job.sid,
+                                   energy::EnergyCategory::kDownload,
+                                   p_down * (job.d - job.dw));
+            } else {
+              result.ledger.charge(job.sid,
+                                   energy::EnergyCategory::kDownload,
+                                   p_down * job.d);
+            }
+            break;
           }
-        });
-        const Seconds train_start = job.download_start + job.d;
-        local.schedule_at(train_start + job.t, [&, job, train_start] {
-          run_phase(job.sid, energy::EdgeState::kTraining, train_start,
-                    job.t);
-          result.ledger.charge(job.sid, energy::EnergyCategory::kTraining,
-                               p_train * job.t);
-          const Seconds train_end = train_start + job.t;
-          const Seconds upload_start = std::max(train_end, lan_free);
-          const Seconds queue_wait = upload_start - train_end;
-          lan_free = upload_start + job.u;
-          if (queue_wait.value() > 0.0) {
-            result.ledger.charge(job.sid, energy::EnergyCategory::kWaiting,
-                                 p_wait * queue_wait);
+          case FleetEventKind::kGwEpochDone: {
+            const Seconds train_start = job.download_start + job.d;
+            run_phase(job.sid, energy::EdgeState::kTraining, train_start,
+                      job.t);
+            result.ledger.charge(job.sid, energy::EnergyCategory::kTraining,
+                                 p_train * job.t);
+            const Seconds train_end = lat;
+            const Seconds upload_start = std::max(train_end, lf);
+            const Seconds queue_wait = upload_start - train_end;
+            lf = upload_start + job.u;
+            if (queue_wait.value() > 0.0) {
+              result.ledger.charge(job.sid, energy::EnergyCategory::kWaiting,
+                                   p_wait * queue_wait);
+            }
+            if (sk_wait_s != nullptr) sk_wait_s->record(queue_wait.value());
+            local.schedule_at(upload_start + job.u,
+                              FleetEvent{FleetEventKind::kGwUploadDone,
+                                         lev.a, 0, upload_start});
+            break;
           }
-          if (sk_wait_s != nullptr) sk_wait_s->record(queue_wait.value());
-          local.schedule_at(upload_start + job.u, [&, job, upload_start] {
+          case FleetEventKind::kGwUploadDone: {
+            const Seconds upload_start = lev.t0;
             run_phase(job.sid, energy::EdgeState::kUploading, upload_start,
                       job.u);
             if (job.uw.value() > 0.0) {
@@ -868,41 +1221,63 @@ Result<EventFleetRunResult> EventFleetEngine::run() {
               result.ledger.charge(job.sid, energy::EnergyCategory::kUpload,
                                    p_up * job.u);
             }
-            gw_end = std::max(gw_end, upload_start + job.u);
+            gw_end = std::max(gw_end, lat);
             if (sk_turnaround_s != nullptr) {
-              sk_turnaround_s->record(
-                  (upload_start + job.u - round_start).value());
+              sk_turnaround_s->record((lat - round_start).value());
             }
-          });
-        });
+            break;
+          }
+          default:
+            assert(false);
+            break;
+        }
+      };
+      for (std::size_t j = 0; j < jobs.size(); ++j) {
+        const Job& job = jobs[j];
+        local.schedule_at(job.download_start + job.d,
+                          FleetEvent{FleetEventKind::kGwDownloadDone,
+                                     static_cast<std::uint32_t>(j)});
+        const Seconds train_start = job.download_start + job.d;
+        local.schedule_at(train_start + job.t,
+                          FleetEvent{FleetEventKind::kGwEpochDone,
+                                     static_cast<std::uint32_t>(j)});
       }
-      outcomes[gi].events = local.run();
+      outcomes[gi].events = local.run(local_dispatch);
       outcomes[gi].done = gw_end;
       outcomes[gi].queue_peak = local.high_water();
     };
-    if (pool_ != nullptr && groups.size() > 1) {
-      pool_->parallel_for(groups.size(), drain_gateway);
+    if (pool_ != nullptr && active_gids.size() > 1) {
+      pool_->parallel_for(active_gids.size(), drain_gateway);
     } else {
-      for (std::size_t gi = 0; gi < groups.size(); ++gi) drain_gateway(gi);
+      for (std::size_t gi = 0; gi < active_gids.size(); ++gi) {
+        drain_gateway(gi);
+      }
     }
 
     // Deterministic merge: ascending gateway order, independent of which
     // worker finished first.  Gateway completion feeds the same tier chain
     // the global mode uses (its events drain on the global queue).
-    Seconds round_end = round_start;
+    round_end = round_start;
     std::size_t n_events = 0;
-    for (std::size_t gi = 0; gi < groups.size(); ++gi) {
+    for (std::size_t gi = 0; gi < active_gids.size(); ++gi) {
       n_events += outcomes[gi].events;
       round_end = std::max(round_end, outcomes[gi].done);
-      TierNodeState& g = round_gateways.at(groups[gi].first);
+      TierNodeState& g = gw_nodes[active_gids[gi]];
       g.remaining = 1;  // resolve the whole gateway at once
       gateway_member_resolved(
-          tier_plan.first_member_of_gateway(groups[gi].first),
+          tier_plan.first_member_of_gateway(active_gids[gi]),
           outcomes[gi].done);
     }
-    n_events += queue.run();
+    n_events += queue.run(dispatch);
     events_processed += n_events;
     clock = std::max(round_end, root_done);
+
+    std::size_t peak = queue.high_water();
+    for (const auto& o : outcomes) peak = std::max(peak, o.queue_peak);
+    result.queue_high_water = std::max(result.queue_high_water, peak);
+
+    // Round teardown: release the job lists (capacity retained).
+    for (const std::uint32_t gid : active_gids) gw_jobs[gid].clear();
 
     if (charge_idle) idle_schedule.push_round(clock - round_start);
 
@@ -912,7 +1287,7 @@ Result<EventFleetRunResult> EventFleetEngine::run() {
           clock - round_start,
           {{"round", static_cast<double>(record.round)},
            {"selected", static_cast<double>(record.selected.size())},
-           {"gateways", static_cast<double>(groups.size())},
+           {"gateways", static_cast<double>(active_gids.size())},
            {"loss", record.global_loss}});
       tel->metrics.counter("fleet.rounds").increment();
       tel->metrics.counter("fleet.selected")
@@ -926,10 +1301,8 @@ Result<EventFleetRunResult> EventFleetEngine::run() {
       rs.selected = static_cast<double>(record.selected.size());
       rs.aggregated = static_cast<double>(record.updates_aggregated);
       rs.events = static_cast<double>(n_events);
-      std::size_t peak = queue.high_water();
-      for (const auto& o : outcomes) peak = std::max(peak, o.queue_peak);
       rs.queue_peak = static_cast<double>(peak);
-      rs.gateways = static_cast<double>(groups.size());
+      rs.gateways = static_cast<double>(active_gids.size());
       append_round_stats(tel, rs);
     }
   };
@@ -943,48 +1316,18 @@ Result<EventFleetRunResult> EventFleetEngine::run() {
   // fire as queue events, and each failure resolves its aggregation tier
   // (a reboot is implicit: CrashProcess's down interval ends and the
   // server is selectable again).
-  const net::LinkFaultConfig link_faults = sys.net.link_faults;
-  const RngStreamFamily fault_streams(
-      link_faults.seed * 0x9e3779b97f4a7c15ULL + sys.seed * 7349 + 101);
-  CrashProcessConfig crash_cfg = sys.crashes;
-  crash_cfg.seed =
-      crash_cfg.seed * 2862933555777941757ULL + sys.seed * 977 + 3;
-  // CrashProcess keeps an O(N) timeline array — only pay for it when the
-  // fault path is actually live.
-  std::unique_ptr<CrashProcess> crash_process;
-  if (faults) {
-    crash_process = std::make_unique<CrashProcess>(n_servers, crash_cfg);
-  }
-
   auto fault_filter = [&](std::size_t round,
                           std::span<const fl::ClientId> selected,
                           std::span<fl::LocalTrainResult> updates)
       -> fl::RoundFaultStats {
     begin_round(round, selected);
     fl::RoundFaultStats stats;
+    fstats = &stats;
+    fupdates = updates;
     const Seconds round_start = round_start_time;
-    const auto trace_fault = [&](const char* name, std::size_t sid,
-                                 Seconds at) {
-      if (tracked_sids.find(sid) == tracked_sids.end()) return;
-      if (tracer != nullptr) {
-        tracer->sim_instant(name, "sim.fault", obs::Tracer::server_pid(sid),
-                            at);
-      }
-    };
-    const bool has_deadline = sys.round_deadline.value() > 0.0;
-    const Seconds deadline = round_start + sys.round_deadline;
 
-    Seconds lan_free = round_start;
-    Seconds round_end = round_start;
-    const auto note_end = [&](Seconds at) {
-      round_end =
-          std::max(round_end, has_deadline ? std::min(at, deadline) : at);
-    };
-    const auto plan_transfer = [&](std::size_t sid, bool upload,
-                                   Seconds start, Seconds nominal) {
-      Rng stream = fault_streams.stream(round, sid * 2 + (upload ? 1 : 0));
-      return net::plan_faulty_transfer(stream, link_faults, start, nominal);
-    };
+    lan_free = round_start;
+    round_end = round_start;
 
     for (std::size_t i = 0; i < selected.size(); ++i) {
       const std::size_t sid = selected[i];
@@ -998,10 +1341,9 @@ Result<EventFleetRunResult> EventFleetEngine::run() {
       }
 
       if (crash_process->is_down(sid, round_start)) {
-        queue.schedule_at(round_start, [&, sid] {
-          trace_fault("server.down", sid, round_start);
-          gateway_member_resolved(sid, round_start);
-        });
+        queue.schedule_at(round_start,
+                          FleetEvent{FleetEventKind::kFaultServerDown,
+                                     static_cast<std::uint32_t>(sid)});
         u.aggregated = false;
         ++stats.crashed_servers;
         continue;
@@ -1009,10 +1351,9 @@ Result<EventFleetRunResult> EventFleetEngine::run() {
 
       const Seconds download_start = lan_free;
       if (has_deadline && download_start >= deadline) {
-        queue.schedule_at(deadline, [&, sid] {
-          trace_fault("deadline.drop", sid, deadline);
-          gateway_member_resolved(sid, deadline);
-        });
+        queue.schedule_at(deadline,
+                          FleetEvent{FleetEventKind::kFaultDeadlineDrop,
+                                     static_cast<std::uint32_t>(sid)});
         u.aggregated = false;
         ++stats.straggler_drops;
         note_end(deadline);
@@ -1028,46 +1369,31 @@ Result<EventFleetRunResult> EventFleetEngine::run() {
         const double frac =
             (deadline - download_start) / (down.finish - download_start);
         const Seconds cut = down.air_time * std::clamp(frac, 0.0, 1.0);
-        queue.schedule_at(deadline, [&, sid, download_start, cut] {
-          result.ledger.charge(sid, energy::EnergyCategory::kAborted,
-                               p_down * cut);
-          run_phase(sid, energy::EdgeState::kDownloading, download_start,
-                    cut);
-          trace_fault("deadline.drop", sid, deadline);
-          gateway_member_resolved(sid, deadline);
-        });
+        queue.schedule_at(deadline,
+                          FleetEvent{FleetEventKind::kFaultDownloadCut,
+                                     static_cast<std::uint32_t>(sid), 0,
+                                     download_start, cut});
         u.aggregated = false;
         ++stats.straggler_drops;
         note_end(deadline);
         continue;
       }
       if (!down.delivered) {
-        queue.schedule_at(
-            down.finish,
-            [&, sid, download_start, air = down.air_time,
-             finish = down.finish] {
-              result.ledger.charge(sid, energy::EnergyCategory::kAborted,
-                                   p_down * air);
-              run_phase(sid, energy::EdgeState::kDownloading, download_start,
-                        air);
-              trace_fault("update.lost", sid, finish);
-              gateway_member_resolved(sid, finish);
-            });
+        queue.schedule_at(down.finish,
+                          FleetEvent{FleetEventKind::kFaultDownloadLost,
+                                     static_cast<std::uint32_t>(sid), 0,
+                                     download_start, down.air_time});
         u.aggregated = false;
         ++stats.aborted_updates;
         note_end(down.finish);
         continue;
       }
       // download-done (possibly with retried attempts folded in).
-      queue.schedule_at(down.finish, [&, sid, download_start,
-                                      wasted = down.wasted_air_time,
-                                      air = down.air_time] {
-        result.ledger.charge(sid, energy::EnergyCategory::kRetry,
-                             p_down * wasted);
-        result.ledger.charge(sid, energy::EnergyCategory::kDownload,
-                             p_down * (air - wasted));
-        run_phase(sid, energy::EdgeState::kDownloading, download_start, air);
-      });
+      queue.schedule_at(down.finish,
+                        FleetEvent{FleetEventKind::kFaultDownloadDone,
+                                   static_cast<std::uint32_t>(sid), 0,
+                                   download_start, down.wasted_air_time,
+                                   down.air_time});
 
       const Seconds train_start = down.finish;
       Seconds t = jittered(sys.timing.duration(u.epochs_run, u.samples_used));
@@ -1077,122 +1403,41 @@ Result<EventFleetRunResult> EventFleetEngine::run() {
           has_deadline ? std::min(train_end, deadline) : train_end;
       if (const auto crash =
               crash_process->next_crash_in(sid, train_start, train_cap)) {
-        const Seconds at = *crash;
-        queue.schedule_at(at, [&, sid, train_start, at] {
-          result.ledger.charge(sid, energy::EnergyCategory::kAborted,
-                               p_train * (at - train_start));
-          run_phase(sid, energy::EdgeState::kTraining, train_start,
-                    at - train_start);
-          trace_fault("server.crash", sid, at);
-          gateway_member_resolved(sid, at);
-        });
+        queue.schedule_at(*crash,
+                          FleetEvent{FleetEventKind::kFaultTrainCrash,
+                                     static_cast<std::uint32_t>(sid), 0,
+                                     train_start});
         u.aggregated = false;
         ++stats.crashed_servers;
-        note_end(at);
+        note_end(*crash);
         continue;
       }
       if (has_deadline && train_end > deadline) {
-        queue.schedule_at(deadline, [&, sid, train_start] {
-          result.ledger.charge(sid, energy::EnergyCategory::kAborted,
-                               p_train * (deadline - train_start));
-          if (deadline > train_start) {
-            run_phase(sid, energy::EdgeState::kTraining, train_start,
-                      deadline - train_start);
-          }
-          trace_fault("deadline.drop", sid, deadline);
-          gateway_member_resolved(sid, deadline);
-        });
+        queue.schedule_at(deadline,
+                          FleetEvent{FleetEventKind::kFaultTrainDeadline,
+                                     static_cast<std::uint32_t>(sid), 0,
+                                     train_start});
         u.aggregated = false;
         ++stats.straggler_drops;
         note_end(deadline);
         continue;
       }
 
-      // epoch-done: book the full training phase, then run the upload leg
-      // against the (event-ordered) FCFS chain — exactly FleetEngine's
-      // sorted (train_end, index) drain, produced by the queue's FIFO.
-      queue.schedule_at(train_end, [&, i, sid, train_start, t, train_end] {
-        result.ledger.charge(sid, energy::EnergyCategory::kTraining,
-                             p_train * t);
-        run_phase(sid, energy::EdgeState::kTraining, train_start, t);
-        auto& uu = updates[i];
-        const Seconds upload_start = std::max(train_end, lan_free);
-        const Seconds queue_wait_end =
-            has_deadline ? std::min(upload_start, deadline) : upload_start;
-        if (queue_wait_end > train_end) {
-          result.ledger.charge(sid, energy::EnergyCategory::kWaiting,
-                               p_wait * (queue_wait_end - train_end));
-        }
-        if (sk_wait_s != nullptr) {
-          sk_wait_s->record((queue_wait_end - train_end).value());
-        }
-        if (has_deadline && upload_start >= deadline) {
-          trace_fault("deadline.drop", sid, deadline);
-          uu.aggregated = false;
-          ++stats.straggler_drops;
-          note_end(deadline);
-          gateway_member_resolved(sid, deadline);
-          return;
-        }
-        const Seconds u1 =
-            jittered(nominal_duration(sid, up_msg.wire_bytes()));
-        const auto up = plan_transfer(sid, /*upload=*/true, upload_start, u1);
-        stats.retries += up.attempts - 1;
-        lan_free = has_deadline ? std::min(up.finish, deadline) : up.finish;
-        if (has_deadline && up.finish > deadline) {
-          const double frac =
-              (deadline - upload_start) / (up.finish - upload_start);
-          const Seconds cut = up.air_time * std::clamp(frac, 0.0, 1.0);
-          queue.schedule_at(deadline, [&, sid, upload_start, cut] {
-            result.ledger.charge(sid, energy::EnergyCategory::kAborted,
-                                 p_up * cut);
-            run_phase(sid, energy::EdgeState::kUploading, upload_start, cut);
-            trace_fault("deadline.drop", sid, deadline);
-            gateway_member_resolved(sid, deadline);
-          });
-          uu.aggregated = false;
-          ++stats.straggler_drops;
-          note_end(deadline);
-          return;
-        }
-        if (!up.delivered) {
-          queue.schedule_at(up.finish,
-                            [&, sid, upload_start, air = up.air_time,
-                             finish = up.finish] {
-                              result.ledger.charge(
-                                  sid, energy::EnergyCategory::kAborted,
-                                  p_up * air);
-                              run_phase(sid, energy::EdgeState::kUploading,
-                                        upload_start, air);
-                              trace_fault("update.lost", sid, finish);
-                              gateway_member_resolved(sid, finish);
-                            });
-          uu.aggregated = false;
-          ++stats.aborted_updates;
-          note_end(up.finish);
-          return;
-        }
-        // upload-done: delivery books the phase and resolves the tier.
-        queue.schedule_at(up.finish, [&, sid, upload_start,
-                                      wasted = up.wasted_air_time,
-                                      air = up.air_time, finish = up.finish] {
-          result.ledger.charge(sid, energy::EnergyCategory::kRetry,
-                               p_up * wasted);
-          result.ledger.charge(sid, energy::EnergyCategory::kUpload,
-                               p_up * (air - wasted));
-          run_phase(sid, energy::EdgeState::kUploading, upload_start, air);
-          if (sk_turnaround_s != nullptr) {
-            sk_turnaround_s->record((finish - round_start).value());
-          }
-          gateway_member_resolved(sid, finish);
-        });
-        note_end(up.finish);
-      });
+      // epoch-done: the dispatch books training and runs the upload leg.
+      queue.schedule_at(train_end,
+                        FleetEvent{FleetEventKind::kFaultEpochDone,
+                                   static_cast<std::uint32_t>(sid),
+                                   static_cast<std::uint32_t>(i),
+                                   train_start, t});
     }
 
-    const std::size_t n_events = queue.run();
+    const std::size_t n_events = queue.run(dispatch);
     events_processed += n_events;
+    result.queue_high_water =
+        std::max(result.queue_high_water, queue.high_water());
     clock = std::max(std::max(round_end, round_start), root_done);
+    fstats = nullptr;
+    fupdates = {};
 
     if (charge_idle) idle_schedule.push_round(clock - round_start);
 
@@ -1225,7 +1470,7 @@ Result<EventFleetRunResult> EventFleetEngine::run() {
       rs.aborted = static_cast<double>(stats.aborted_updates);
       rs.events = static_cast<double>(n_events);
       rs.queue_peak = static_cast<double>(queue.high_water());
-      rs.gateways = static_cast<double>(round_gateways.size());
+      rs.gateways = static_cast<double>(round_gw_ids.size());
       append_round_stats(tel, rs);
     }
     return stats;
@@ -1236,6 +1481,11 @@ Result<EventFleetRunResult> EventFleetEngine::run() {
   fl_cfg.upload_quant_bits = sys.upload_quant_bits;
   fl_cfg.update_drop_probability = sys.update_drop_probability;
   fl_cfg.drop_seed = sys.seed * 2654435761 + 13;
+  // Batches view Population-owned shard storage — immutable and
+  // address-stable for the run — so repeat selections of pooled shards can
+  // reuse their packed feature rows across rounds (bit-identical; see
+  // ModelBank::set_pack_cache).
+  fl_cfg.pack_cache = true;
   std::unique_ptr<fl::SelectionPolicy> policy;
   if (config_.scalable_selection) {
     policy = std::make_unique<fl::ScalableUniformSelection>(
@@ -1280,28 +1530,38 @@ Result<EventFleetRunResult> EventFleetEngine::run() {
   // ---- lazy idle settlement: bring every ledger row up to date ----------
   if (charge_idle) {
     const auto charges = idle_schedule.per_round();
-    // Touched servers replay their outstanding idle rounds in round order
-    // (per-row, so hash iteration order cannot change any bits).
-    for (auto& [sid, upto] : settled_upto) {
-      for (std::size_t r = upto; r < charges.size(); ++r) {
+    // Selected servers replay their outstanding idle rounds in round order
+    // (per-row, so iteration order cannot change any bits).  materialize()
+    // first: a server whose only selection ended in a pre-round crash may
+    // have an empty replay AND no direct charges, and such a row must not
+    // receive the never-selected bulk fold below.
+    for (const std::uint32_t sid : settled_sids) {
+      result.ledger.materialize(sid);
+      for (std::size_t r = settled_upto[sid] - 1; r < charges.size(); ++r) {
         result.ledger.charge(sid, energy::EnergyCategory::kWaiting,
                              charges[r]);
       }
-      upto = charges.size();
+      settled_upto[sid] = static_cast<std::uint32_t>(charges.size()) + 1;
     }
-    // Never-selected servers get the whole run's fold in ONE charge — the
-    // O(N) pass this engine runs once instead of every round.
+    // Never-selected servers get the whole run's idle energy through the
+    // ledger's shared baseline row: ONE O(1) add instead of the O(N)
+    // per-row sweep (0.0 + x == x, so every readable value is bitwise what
+    // the sweep produced).  Only the telemetry energy counter still wants
+    // the per-server add sequence — traced runs pay an O(N) counter loop
+    // to keep energy.joules.waiting bitwise equal to category_total.
     const Joules untouched_total = idle_schedule.all_rounds_total();
-    for_each_server_sharded([&](std::size_t sid) {
-      if (settled_upto.find(sid) == settled_upto.end()) {
-        result.ledger.charge(sid, energy::EnergyCategory::kWaiting,
-                             untouched_total);
-      }
-    });
     if (obs::Telemetry* tel = obs::telemetry()) {
+      obs::Counter& waiting = tel->metrics.counter(
+          std::string("energy.joules.") +
+          energy::to_string(energy::EnergyCategory::kWaiting));
+      for_each_server_sharded([&](std::size_t sid) {
+        if (settled_upto[sid] == 0) waiting.add(untouched_total.value());
+      });
       tel->metrics.counter("fleet.idle_charges")
           .add(static_cast<double>(n_servers));
     }
+    result.ledger.charge_untouched(energy::EnergyCategory::kWaiting,
+                                   untouched_total);
   }
 
   // Joules-per-server distribution: one read-only sharded pass over the
@@ -1344,5 +1604,10 @@ Result<EventFleetRunResult> EventFleetEngine::run() {
 
   return result;
 }
+
+template Result<EventFleetRunResult>
+EventFleetEngine::run_impl<CalendarQueue<FleetEvent>>();
+template Result<EventFleetRunResult>
+EventFleetEngine::run_impl<TypedEventQueue<FleetEvent>>();
 
 }  // namespace eefei::sim

@@ -57,6 +57,16 @@
 
 namespace eefei::sim {
 
+/// Scheduler backing the fleet engine's typed event loop.  Both process
+/// POD sim::FleetEvent payloads through the engine's switch dispatch and
+/// implement the exact same (time, seq) FIFO total order, so results are
+/// bit-identical across the two — the calendar queue is the O(1)-amortized
+/// default, the binary heap the reference the equivalence tests pin it to.
+enum class FleetQueueImpl {
+  kCalendar,    // sim::CalendarQueue (bucketed, O(1) amortized)
+  kBinaryHeap,  // sim::TypedEventQueue (push_heap/pop_heap reference)
+};
+
 struct EventFleetEngineConfig {
   /// Full system description; `system.fl.threads` sizes the worker pool
   /// for sharded passes and per-gateway drains.
@@ -143,6 +153,11 @@ struct EventFleetEngineConfig {
   net::LinkConfig gateway_uplink;
   /// Per-link model for each backhaul → coordinator link.
   net::LinkConfig backhaul_uplink;
+
+  /// Event scheduler implementation.  Pure performance knob: both options
+  /// dispatch the same typed events in the same total order and produce
+  /// byte-identical results (pinned by tests/test_event_fleet.cpp).
+  FleetQueueImpl event_queue = FleetQueueImpl::kCalendar;
 };
 
 struct EventFleetRunResult : FleetRunResult {
@@ -159,6 +174,9 @@ struct EventFleetRunResult : FleetRunResult {
   std::size_t link_drops = 0;      // messages rejected by bounded queues
   Seconds link_wait{0.0};          // summed per-hop queueing delay
   double link_util_peak = 0.0;     // max per-round single-link utilization
+  /// Deepest any event queue got across the run (global queue and, in
+  /// gateway-contention mode, the per-gateway local queues).
+  std::size_t queue_high_water = 0;
 };
 
 class EventFleetEngine {
@@ -186,6 +204,13 @@ class EventFleetEngine {
   [[nodiscard]] Status validate() const;
   [[nodiscard]] ThreadPool* acquire_pool();
   void for_each_server_sharded(const std::function<void(std::size_t)>& fn);
+
+  /// The whole simulation, parameterized over the typed event scheduler
+  /// (CalendarQueue or TypedEventQueue); run() picks per config.  Both
+  /// instantiations execute the identical round logic in the identical
+  /// event order — the queue choice is invisible to the results.
+  template <class Q>
+  [[nodiscard]] Result<EventFleetRunResult> run_impl();
 
   EventFleetEngineConfig config_;
   bool prepared_ = false;

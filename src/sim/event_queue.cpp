@@ -2,21 +2,26 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cmath>
 #include <utility>
 
 namespace eefei::sim {
 
-void EventQueue::schedule_at(Seconds at, Handler handler) {
+bool EventQueue::schedule_at(Seconds at, Handler handler) {
   assert(handler);
+  // A non-finite timestamp breaks Later's strict weak ordering (NaN
+  // compares false both ways), corrupting the heap: reject it outright.
+  if (!std::isfinite(at.value())) return false;
   if (at < now_) at = now_;  // never schedule into the past
   heap_.push_back(Event{at, next_seq_++, std::move(handler)});
   std::push_heap(heap_.begin(), heap_.end(), Later{});
   if (heap_.size() > high_water_) high_water_ = heap_.size();
+  return true;
 }
 
-void EventQueue::schedule_in(Seconds delay, Handler handler) {
+bool EventQueue::schedule_in(Seconds delay, Handler handler) {
   assert(delay.value() >= 0.0);
-  schedule_at(now_ + delay, std::move(handler));
+  return schedule_at(now_ + delay, std::move(handler));
 }
 
 std::size_t EventQueue::run(std::size_t max_events) {
@@ -36,7 +41,12 @@ std::size_t EventQueue::run(std::size_t max_events) {
   return processed;
 }
 
-void EventQueue::clear() { heap_.clear(); }
+void EventQueue::clear() {
+  heap_.clear();
+  // Re-arm the mark: a telemetry window opened after clear() must not
+  // report the pre-clear depth as ghost queue pressure.
+  high_water_ = 0;
+}
 
 void EventQueue::reset() {
   heap_.clear();

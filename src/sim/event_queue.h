@@ -24,10 +24,13 @@ class EventQueue {
   /// monotonic: a timestamp in the past is clamped to `now()` (it fires as
   /// the next event at the current time, never "before" events that were
   /// already processed, and `now()` can never move backwards mid-run).
-  void schedule_at(Seconds at, Handler handler);
+  /// Non-finite timestamps are rejected — nothing is enqueued and false is
+  /// returned: a NaN would break the Later comparator's strict weak
+  /// ordering and silently corrupt the heap invariant.
+  bool schedule_at(Seconds at, Handler handler);
 
   /// Schedules `handler` `delay` after the current time.
-  void schedule_in(Seconds delay, Handler handler);
+  bool schedule_in(Seconds delay, Handler handler);
 
   /// Processes events until the queue is empty or `max_events` fires.
   /// Returns the number of events processed.  Handlers may schedule more
@@ -39,8 +42,9 @@ class EventQueue {
   [[nodiscard]] std::size_t pending() const { return heap_.size(); }
 
   /// Deepest the queue has been since construction / the last
-  /// reset_high_water().  One compare per schedule; telemetry reads this
-  /// per round to report queue-depth pressure without touching the run.
+  /// reset_high_water(), clear() or reset().  One compare per schedule;
+  /// telemetry reads this per round to report queue-depth pressure without
+  /// touching the run.
   [[nodiscard]] std::size_t high_water() const { return high_water_; }
   /// Re-arms the mark at the current depth (per-round windows).
   void reset_high_water() { high_water_ = heap_.size(); }

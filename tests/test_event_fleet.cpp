@@ -100,6 +100,30 @@ TEST(EventFleetEngine, MatchesGoldenFingerprint) {
   }
 }
 
+// The queue-implementation switch is a pure performance knob: the binary
+// heap reference must hit the identical golden fingerprint as the default
+// calendar queue, and both must process the same number of events with the
+// same peak depth.
+TEST(EventFleetEngine, BinaryHeapQueueMatchesGoldenFingerprint) {
+  EventFleetEngineConfig cal_cfg;
+  cal_cfg.system = golden_config();
+  cal_cfg.sampled_timelines = 20;
+  cal_cfg.tiers.gateway_fanin = 4;
+  cal_cfg.tiers.region_fanin = 2;
+  EventFleetEngineConfig heap_cfg = cal_cfg;
+  heap_cfg.event_queue = FleetQueueImpl::kBinaryHeap;
+  EventFleetEngine cal_engine(cal_cfg);
+  EventFleetEngine heap_engine(heap_cfg);
+  const auto cal = cal_engine.run();
+  const auto heap = heap_engine.run();
+  ASSERT_TRUE(cal.ok()) << cal.error().message;
+  ASSERT_TRUE(heap.ok()) << heap.error().message;
+  expect_golden(*heap);
+  EXPECT_EQ(heap->events_processed, cal->events_processed);
+  EXPECT_EQ(heap->queue_high_water, cal->queue_high_water);
+  EXPECT_EQ(heap->training.final_params, cal->training.final_params);
+}
+
 TEST(EventFleetEngine, ThreadCountInvariant) {
   EventFleetEngineConfig serial;
   serial.system = golden_config();

@@ -4,6 +4,7 @@
 
 #include <algorithm>
 #include <functional>
+#include <limits>
 #include <vector>
 
 namespace eefei::sim {
@@ -173,6 +174,47 @@ TEST(EventQueue, NowIsMonotonicAcrossRuns) {
   q.schedule_at(Seconds{1.0}, observe);  // past again after the run
   q.run();
   EXPECT_EQ(stamps, (std::vector<double>{2.0, 2.0, 2.0}));
+}
+
+// Regression: clear() and reset() used to leave high_water_ at the stale
+// pre-clear depth, so a telemetry window opened after either call reported
+// ghost queue pressure from the previous phase.  Both must re-arm the mark.
+TEST(EventQueue, ClearAndResetReArmHighWater) {
+  EventQueue q;
+  for (int i = 0; i < 8; ++i) {
+    q.schedule_at(Seconds{static_cast<double>(i)}, [] {});
+  }
+  EXPECT_EQ(q.high_water(), 8u);
+  q.clear();
+  EXPECT_EQ(q.high_water(), 0u);
+  q.schedule_at(Seconds{1.0}, [] {});
+  EXPECT_EQ(q.high_water(), 1u);  // tracks the new window, not the ghost 8
+  q.reset();
+  EXPECT_EQ(q.high_water(), 0u);
+}
+
+// Regression: schedule_at used to silently accept NaN/Inf timestamps.  A
+// NaN compares false both ways, breaking the Later comparator's strict
+// weak ordering and silently corrupting the heap invariant — the schedule
+// must be rejected with nothing enqueued.
+TEST(EventQueue, RejectsNonFiniteTimestamps) {
+  EventQueue q;
+  EXPECT_FALSE(q.schedule_at(
+      Seconds{std::numeric_limits<double>::quiet_NaN()}, [] {}));
+  EXPECT_FALSE(q.schedule_at(
+      Seconds{std::numeric_limits<double>::infinity()}, [] {}));
+  EXPECT_FALSE(q.schedule_at(
+      Seconds{-std::numeric_limits<double>::infinity()}, [] {}));
+  EXPECT_FALSE(q.schedule_in(
+      Seconds{std::numeric_limits<double>::quiet_NaN()}, [] {}));
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.high_water(), 0u);
+  EXPECT_EQ(q.run(), 0u);
+  // A finite schedule still works on the untouched queue.
+  bool fired = false;
+  EXPECT_TRUE(q.schedule_at(Seconds{1.0}, [&] { fired = true; }));
+  EXPECT_EQ(q.run(), 1u);
+  EXPECT_TRUE(fired);
 }
 
 // Re-entrancy stress: each handler schedules a fan of new events, forcing

@@ -13,7 +13,10 @@
 #include "ml/logistic_regression.h"
 #include "ml/mlp.h"
 #include "ml/model_bank.h"
+#include "sim/calendar_queue.h"
 #include "sim/event_queue.h"
+#include "sim/fleet_event.h"
+#include "sim/typed_event_queue.h"
 
 namespace {
 std::atomic<std::size_t> g_allocations{0};
@@ -208,6 +211,97 @@ TEST(WorkspaceAlloc, EventQueueCascadeIsAllocationFree) {
     (void)queue.run();
   }));
   EXPECT_GT(cascade.depth, 0u);
+}
+
+// The typed-path satellite pin: a warmed-up event-fleet ROUND LOOP —
+// N = 1k fleet, faults on, so the dispatch fans across download/train/
+// upload chains, fault outcomes, deadline drops and tier completions —
+// schedules and runs with ZERO steady-state allocations.  FleetEvent is a
+// 40-byte POD (nothing to box, unlike std::function), and both typed
+// queues only grow their backing storage, so after one warm-up round the
+// per-round schedule/drain cycle never touches the heap.  This is the
+// structural win of the typed path: the closure queue allocates whenever a
+// capture list outgrows the SBO slot, which at fleet scale is every event
+// that captures more than two words.
+template <class Q>
+std::size_t typed_fleet_round_loop_allocations() {
+  constexpr std::size_t kServers = 1000;
+  constexpr std::size_t kSelected = 100;  // K per round
+  Q queue;
+  queue.reserve(4 * kSelected);
+  std::size_t fired = 0;
+  Seconds round_start{0.0};
+
+  // One round: K per-server chains (download → E epochs → upload), every
+  // 7th server a fault chain (download cut → retry → crash or deadline
+  // drop), plus the tier completion events — the engine's event shapes,
+  // with the same re-entrant schedule-from-dispatch structure.
+  auto dispatch = [&](const FleetEvent& ev, Seconds at) {
+    ++fired;
+    switch (ev.kind) {
+      case FleetEventKind::kDownloadDone: {
+        FleetEvent next;
+        next.kind = FleetEventKind::kEpochDone;
+        next.a = ev.a;
+        next.t0 = at;
+        queue.schedule_at(at + Seconds{0.01 + 1e-5 * (ev.a % 13)}, next);
+        break;
+      }
+      case FleetEventKind::kEpochDone: {
+        FleetEvent next;
+        next.kind = FleetEventKind::kUploadDone;
+        next.a = ev.a;
+        next.t0 = at;
+        queue.schedule_at(at + Seconds{0.02}, next);  // equal-time ties
+        break;
+      }
+      case FleetEventKind::kFaultDownloadCut: {
+        FleetEvent retry;
+        retry.kind = (ev.a % 3 == 0) ? FleetEventKind::kFaultTrainCrash
+                                     : FleetEventKind::kFaultDeadlineDrop;
+        retry.a = ev.a;
+        retry.t0 = at;
+        queue.schedule_at(at + Seconds{0.005}, retry);
+        break;
+      }
+      default:
+        break;  // chain terminals: upload done, faults resolved, tiers
+    }
+  };
+
+  auto round = [&] {
+    for (std::size_t i = 0; i < kSelected; ++i) {
+      const std::uint32_t sid =
+          static_cast<std::uint32_t>((i * 97) % kServers);
+      FleetEvent ev;
+      ev.kind = (sid % 7 == 0) ? FleetEventKind::kFaultDownloadCut
+                               : FleetEventKind::kDownloadDone;
+      ev.a = sid;
+      queue.schedule_at(round_start + Seconds{1e-4 * (sid % 29)}, ev);
+    }
+    FleetEvent root;
+    root.kind = FleetEventKind::kRootDone;
+    queue.schedule_at(round_start + Seconds{0.5}, root);
+    queue.reset_high_water();  // the per-round telemetry window
+    (void)queue.run(dispatch);
+    round_start = queue.now();
+  };
+
+  // The calendar queue re-derives its bucket window from each round's
+  // event times; a handful of rounds discover the worst-case bucket
+  // occupancies (grow-only storage), after which the cycle is warm.
+  for (int i = 0; i < 8; ++i) round();
+  return steady_state_allocations(round);
+}
+
+TEST(WorkspaceAlloc, FleetEventCalendarRoundLoopIsAllocationFree) {
+  EXPECT_EQ(0u, typed_fleet_round_loop_allocations<
+                    CalendarQueue<FleetEvent>>());
+}
+
+TEST(WorkspaceAlloc, FleetEventBinaryHeapRoundLoopIsAllocationFree) {
+  EXPECT_EQ(0u, typed_fleet_round_loop_allocations<
+                    TypedEventQueue<FleetEvent>>());
 }
 
 }  // namespace
